@@ -1,0 +1,105 @@
+//===- bench/BenchCommon.cpp --------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace incline;
+using namespace incline::bench;
+using namespace incline::workloads;
+
+ResultCache &incline::bench::globalCache() {
+  static ResultCache Cache;
+  return Cache;
+}
+
+void incline::bench::registerBenchmarks(
+    const std::vector<Workload> &Workloads,
+    const std::vector<CompilerVariant> &Variants, const RunConfig &Config) {
+  for (const Workload &W : Workloads) {
+    for (const CompilerVariant &Variant : Variants) {
+      std::string Name = W.Name + "/" + Variant.Label;
+      // Captured by value: the registered callables outlive the caller's
+      // (possibly temporary) workload/variant vectors.
+      benchmark::RegisterBenchmark(
+          Name.c_str(),
+          [W, Variant, Config](benchmark::State &State) {
+            for (auto _ : State) {
+              const RunResult &Result =
+                  globalCache().get(W, Variant, Config);
+              State.counters["cycles"] =
+                  benchmark::Counter(Result.SteadyStateCycles);
+              State.counters["code"] = benchmark::Counter(
+                  static_cast<double>(Result.InstalledCodeSize));
+            }
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+void incline::bench::printComparisonTable(
+    const char *Title, const std::vector<Workload> &Workloads,
+    const std::vector<CompilerVariant> &Variants, const RunConfig &Config) {
+  std::printf("\n=== %s ===\n", Title);
+  std::printf("%-12s", "workload");
+  for (const CompilerVariant &Variant : Variants)
+    std::printf(" | %18s cyc  code  spd", Variant.Label.c_str());
+  std::printf("\n");
+
+  std::vector<std::vector<double>> SpeedupsPerVariant(Variants.size());
+  for (const Workload &W : Workloads) {
+    std::printf("%-12s", W.Name.c_str());
+    const RunResult &Baseline = globalCache().get(W, Variants[0], Config);
+    for (size_t VI = 0; VI < Variants.size(); ++VI) {
+      const RunResult &Result = globalCache().get(W, Variants[VI], Config);
+      double Speedup = Result.SteadyStateCycles > 0
+                           ? Baseline.SteadyStateCycles /
+                                 Result.SteadyStateCycles
+                           : 0.0;
+      SpeedupsPerVariant[VI].push_back(Speedup > 0 ? Speedup : 1.0);
+      std::printf(" | %22.0f %5llu %4.2f", Result.SteadyStateCycles,
+                  static_cast<unsigned long long>(Result.InstalledCodeSize),
+                  Speedup);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-12s", "geomean-spd");
+  for (size_t VI = 0; VI < Variants.size(); ++VI)
+    std::printf(" | %33.3f", geomean(SpeedupsPerVariant[VI]));
+  std::printf("\n");
+}
+
+CompilerVariant incline::bench::incrementalVariant(
+    std::string Label, inliner::InlinerConfig Config) {
+  return {std::move(Label), [Config] {
+            return std::make_unique<inliner::IncrementalCompiler>(Config);
+          }};
+}
+
+CompilerVariant incline::bench::greedyVariant() {
+  return {"greedy",
+          [] { return std::make_unique<inliner::GreedyCompiler>(); }};
+}
+
+CompilerVariant incline::bench::c2Variant() {
+  return {"c2", [] { return std::make_unique<inliner::C2StyleCompiler>(); }};
+}
+
+CompilerVariant incline::bench::c1Variant() {
+  return {"c1", [] { return std::make_unique<inliner::TrivialCompiler>(); }};
+}
+
+int incline::bench::benchMain(int argc, char **argv,
+                              const std::function<void()> &PrintTables) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  PrintTables();
+  return 0;
+}

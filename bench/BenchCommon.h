@@ -1,0 +1,101 @@
+//===- bench/BenchCommon.h - Shared benchmark-harness plumbing -------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plumbing shared by the per-figure/per-table bench binaries: a result
+/// cache (each (workload, configuration) pair is simulated once and
+/// reused by both the google-benchmark counters and the paper-style
+/// summary table), compiler factories for every evaluated configuration,
+/// and table renderers.
+///
+/// Conventions: every binary runs its measurements under google-benchmark
+/// (one benchmark per table cell, a single iteration each — the metric is
+/// simulated cycles, not host wall time) and then prints the figure/table
+/// the paper reports, with the measured series.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_BENCH_BENCHCOMMON_H
+#define INCLINE_BENCH_BENCHCOMMON_H
+
+#include "inliner/Compilers.h"
+#include "support/Statistics.h"
+#include "workloads/Harness.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace incline::bench {
+
+/// A named compiler configuration evaluated by a bench binary.
+struct CompilerVariant {
+  std::string Label;
+  std::function<std::unique_ptr<jit::Compiler>()> Make;
+};
+
+/// Cache: one simulation per (workload, variant label).
+class ResultCache {
+public:
+  const workloads::RunResult &
+  get(const workloads::Workload &W, const CompilerVariant &Variant,
+      const workloads::RunConfig &Config = workloads::RunConfig()) {
+    std::string Key = W.Name + "|" + Variant.Label;
+    auto It = Cache.find(Key);
+    if (It != Cache.end())
+      return It->second;
+    std::unique_ptr<jit::Compiler> Compiler = Variant.Make();
+    workloads::RunResult Result = workloads::runWorkload(W, *Compiler, Config);
+    if (!Result.Ok)
+      std::fprintf(stderr, "WARNING: %s under %s failed: %s\n",
+                   W.Name.c_str(), Variant.Label.c_str(),
+                   Result.Error.c_str());
+    return Cache.emplace(std::move(Key), std::move(Result)).first->second;
+  }
+
+private:
+  std::map<std::string, workloads::RunResult> Cache;
+};
+
+/// The process-wide cache used by the registered benchmarks and the table
+/// printer.
+ResultCache &globalCache();
+
+/// Registers one google-benchmark entry per (workload, variant) pair. The
+/// benchmark body pulls from the cache and reports `cycles` (steady-state
+/// effective cycles) and `code` (installed |ir|) as counters.
+void registerBenchmarks(const std::vector<workloads::Workload> &Workloads,
+                        const std::vector<CompilerVariant> &Variants,
+                        const workloads::RunConfig &Config =
+                            workloads::RunConfig());
+
+/// Prints the paper-style table: one row per workload, one column pair
+/// (cycles, code) per variant, plus each variant's speedup over the first
+/// variant (the baseline column).
+void printComparisonTable(const char *Title,
+                          const std::vector<workloads::Workload> &Workloads,
+                          const std::vector<CompilerVariant> &Variants,
+                          const workloads::RunConfig &Config =
+                              workloads::RunConfig());
+
+/// Standard variant factories.
+CompilerVariant incrementalVariant(std::string Label = "incremental",
+                                   inliner::InlinerConfig Config =
+                                       inliner::InlinerConfig());
+CompilerVariant greedyVariant();
+CompilerVariant c2Variant();
+CompilerVariant c1Variant();
+
+/// Shared main: runs google-benchmark, then the binary's table printer.
+int benchMain(int argc, char **argv, const std::function<void()> &PrintTables);
+
+} // namespace incline::bench
+
+#endif // INCLINE_BENCH_BENCHCOMMON_H

@@ -1,0 +1,140 @@
+//===- examples/foreach_devirt.cpp - The paper's Figure 1 scenario ----------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the paper's motivating example (Fig. 1): a generic
+/// `foreach` over a sequence, where the `length`, `get` and `apply` calls
+/// are all virtual. The example shows why this is a *cluster*: compiling
+/// `log` without inlining `foreach` (and its inner calls) leaves every
+/// call polymorphic, while the incremental inliner's deep trials
+/// specialize the whole group and erase all dynamic dispatch.
+///
+/// Build & run:  ./build/examples/foreach_devirt
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "inliner/Compilers.h"
+#include "interp/Interpreter.h"
+#include "ir/IRPrinter.h"
+#include "support/Casting.h"
+
+#include <cstdio>
+
+using namespace incline;
+
+namespace {
+
+const char *Program = R"(
+class Fn { def apply(x: int): int { return x; } }
+class Printer extends Fn { def apply(x: int): int { return x * 2 + 1; } }
+// A second overrider defeats class-hierarchy analysis: `f.apply(...)`
+// inside foreach cannot be devirtualized without knowing the *callsite's*
+// argument — which is exactly what deep inlining trials propagate.
+class Negate extends Fn { def apply(x: int): int { return 0 - x; } }
+
+class Seq {
+  var data: int[];
+  def length(): int { return this.data.length; }
+  def get(i: int): int { return this.data[i]; }
+  def foreach(f: Fn): int {
+    var i = 0;
+    var acc = 0;
+    while (i < this.length()) {
+      acc = acc + f.apply(this.get(i));
+      i = i + 1;
+    }
+    return acc;
+  }
+}
+
+def log(xs: Seq): int {
+  return xs.foreach(new Printer());
+}
+def checksum(xs: Seq): int {
+  return xs.foreach(new Negate());
+}
+
+def main() {
+  var s = new Seq();
+  s.data = new int[32];
+  var i = 0;
+  while (i < 32) { s.data[i] = i; i = i + 1; }
+  var total = 0;
+  var rep = 0;
+  while (rep < 10) {
+    total = total + log(s) + checksum(s);
+    rep = rep + 1;
+  }
+  print(total);
+}
+)";
+
+size_t countVirtualCalls(const ir::Function &F) {
+  size_t Count = 0;
+  for (const auto &BB : F.blocks())
+    for (const auto &Inst : BB->instructions())
+      if (isa<ir::VirtualCallInst>(Inst.get()))
+        ++Count;
+  return Count;
+}
+
+size_t countDirectCalls(const ir::Function &F) {
+  size_t Count = 0;
+  for (const auto &BB : F.blocks())
+    for (const auto &Inst : BB->instructions())
+      if (isa<ir::CallInst>(Inst.get()))
+        ++Count;
+  return Count;
+}
+
+std::unique_ptr<ir::Function> compileLog(jit::Compiler &Compiler,
+                                         const ir::Module &M,
+                                         const profile::ProfileTable &P) {
+  jit::CompileStats Stats;
+  return Compiler.compile(*M.function("log"), M, P, Stats);
+}
+
+} // namespace
+
+int main() {
+  std::unique_ptr<ir::Module> M = frontend::compileOrDie(Program);
+  profile::ProfileTable Profiles;
+  interp::runMain(*M, &Profiles);
+
+  std::printf("Virtual callsites in the source methods:\n");
+  for (const char *Name : {"log", "Seq.foreach", "Seq.get", "Seq.length"})
+    std::printf("  %-12s %zu\n", Name,
+                countVirtualCalls(*M->function(Name)));
+
+  // The greedy baseline: inlines by frequency/size, without trials. The
+  // foreach body lands in log, but its inner calls stay virtual unless
+  // their benefit is visible up front.
+  inliner::GreedyCompiler Greedy;
+  std::unique_ptr<ir::Function> GreedyLog = compileLog(Greedy, *M, Profiles);
+
+  // The incremental inliner: explores the call tree, specializes foreach
+  // for the exact Printer argument (deep inlining trials), sees
+  // length/get/apply devirtualize, and inlines the whole cluster.
+  inliner::IncrementalCompiler Incremental;
+  std::unique_ptr<ir::Function> IncLog =
+      compileLog(Incremental, *M, Profiles);
+
+  std::printf("\ncompiled `log`, greedy:      |ir| = %4zu, calls remaining: "
+              "%zu virtual + %zu direct (per-element overhead stays)\n",
+              GreedyLog->instructionCount(), countVirtualCalls(*GreedyLog),
+              countDirectCalls(*GreedyLog));
+  std::printf("compiled `log`, incremental: |ir| = %4zu, calls remaining: "
+              "%zu virtual + %zu direct\n\n",
+              IncLog->instructionCount(), countVirtualCalls(*IncLog),
+              countDirectCalls(*IncLog));
+
+  std::printf("--- `log` as compiled by the incremental inliner ---\n%s\n",
+              ir::printFunction(*IncLog).c_str());
+  std::printf("Every length/get/apply dispatch is gone: the loop reads the "
+              "array\nand applies Printer.apply's body directly.\n");
+  return 0;
+}

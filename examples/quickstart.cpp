@@ -1,0 +1,96 @@
+//===- examples/quickstart.cpp - Five-minute tour of the library -----------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The smallest end-to-end use of the public API:
+///
+///   1. compile a MiniOO program to SSA IR,
+///   2. run it in the profiling interpreter,
+///   3. compile its hot method with the incremental inliner,
+///   4. show the method before and after, plus the compile stats.
+///
+/// Build & run:  ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "inliner/Compilers.h"
+#include "interp/Interpreter.h"
+#include "ir/IRPrinter.h"
+
+#include <cstdio>
+
+using namespace incline;
+
+namespace {
+
+const char *Program = R"(
+class Shape { def area(): int { return 0; } }
+class Square extends Shape {
+  var side: int;
+  def area(): int { return this.side * this.side; }
+}
+
+def totalArea(shapes: Shape[]): int {
+  var i = 0;
+  var total = 0;
+  while (i < shapes.length) {
+    total = total + shapes[i].area();
+    i = i + 1;
+  }
+  return total;
+}
+
+def main() {
+  var shapes = new Shape[40];
+  var i = 0;
+  while (i < 40) {
+    var s = new Square();
+    s.side = i % 7;
+    shapes[i] = s;
+    i = i + 1;
+  }
+  print(totalArea(shapes));
+}
+)";
+
+} // namespace
+
+int main() {
+  // 1. MiniOO source -> verified SSA module.
+  std::unique_ptr<ir::Module> M = frontend::compileOrDie(Program);
+  std::printf("Compiled %zu functions.\n\n", M->numFunctions());
+
+  // 2. One profiling run: records branch probabilities, receiver classes
+  //    and invocation counts — the inliner's fuel.
+  profile::ProfileTable Profiles;
+  interp::ExecResult Run = interp::runMain(*M, &Profiles);
+  std::printf("Interpreted run: output=%s  cycles=%llu\n\n",
+              Run.Output.c_str(),
+              static_cast<unsigned long long>(Run.totalCycles()));
+
+  // 3. Compile the hot method with the paper's incremental inliner.
+  const ir::Function *Source = M->function("totalArea");
+  std::printf("--- totalArea before ---\n%s\n",
+              ir::printFunction(*Source).c_str());
+
+  inliner::IncrementalCompiler Compiler;
+  jit::CompileStats Stats;
+  std::unique_ptr<ir::Function> Compiled =
+      Compiler.compile(*Source, *M, Profiles, Stats);
+
+  // 4. The virtual area() call became a typeswitch-free direct inline:
+  //    the receiver profile is monomorphic (only Square observed).
+  std::printf("--- totalArea after ---\n%s\n",
+              ir::printFunction(*Compiled).c_str());
+  std::printf("inlined callsites: %llu\nexplored call-tree nodes: %llu\n"
+              "optimizations triggered: %llu\nrounds: %llu\n",
+              static_cast<unsigned long long>(Stats.InlinedCallsites),
+              static_cast<unsigned long long>(Stats.ExploredNodes),
+              static_cast<unsigned long long>(Stats.OptsTriggered),
+              static_cast<unsigned long long>(Stats.Rounds));
+  return 0;
+}

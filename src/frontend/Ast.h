@@ -1,0 +1,574 @@
+//===- frontend/Ast.h - MiniOO abstract syntax tree ------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniOO AST. Nodes carry source locations for diagnostics plus slots
+/// that semantic analysis fills in (resolved types, local variable ids,
+/// field slots, resolved methods) so lowering never re-resolves names.
+///
+/// MiniOO in one screen:
+/// \code
+///   class Shape { var area: int; def describe(): int { return this.area; } }
+///   class Circle extends Shape { def describe(): int { return 314; } }
+///   def main() { var s: Shape = new Circle(); print(s.describe()); }
+/// \endcode
+///
+/// Notes: single inheritance, virtual dispatch on all method calls,
+/// `e is C` / `e as C` type test and cast, one-dimensional `int[]`/`C[]`
+/// arrays with `.length`, non-short-circuit `&&`/`||` (both operands are
+/// always evaluated), and a `print(int|bool)` intrinsic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_FRONTEND_AST_H
+#define INCLINE_FRONTEND_AST_H
+
+#include "frontend/SourceLocation.h"
+#include "support/Casting.h"
+#include "types/Type.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace incline::types {
+struct MethodInfo;
+}
+
+namespace incline::frontend {
+
+/// An unresolved syntactic type: `int`, `bool`, `C`, `int[]`, `C[]`, or the
+/// implicit `void` of a procedure.
+struct TypeRef {
+  enum class Kind : uint8_t { Void, Int, Bool, Named, IntArray, NamedArray };
+  Kind K = Kind::Void;
+  std::string Name; ///< For Named / NamedArray.
+  SourceLocation Loc;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind : uint8_t {
+  IntLit,
+  BoolLit,
+  NullLit,
+  This,
+  VarRef,
+  Binary,
+  Unary,
+  Call,
+  MethodCall,
+  FieldAccess,
+  Index,
+  NewObject,
+  NewArray,
+  Is,
+  As,
+};
+
+/// Base class of expressions. `type()` is set by Sema.
+class Expr {
+public:
+  virtual ~Expr() = default;
+  ExprKind kind() const { return Kind; }
+  SourceLocation loc() const { return Loc; }
+
+  types::Type type() const { return Ty; }
+  void setType(types::Type T) { Ty = T; }
+
+protected:
+  Expr(ExprKind Kind, SourceLocation Loc) : Kind(Kind), Loc(Loc) {}
+
+private:
+  ExprKind Kind;
+  SourceLocation Loc;
+  types::Type Ty;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(int64_t Value, SourceLocation Loc)
+      : Expr(ExprKind::IntLit, Loc), Value(Value) {}
+  int64_t value() const { return Value; }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::IntLit; }
+
+private:
+  int64_t Value;
+};
+
+class BoolLitExpr : public Expr {
+public:
+  BoolLitExpr(bool Value, SourceLocation Loc)
+      : Expr(ExprKind::BoolLit, Loc), Value(Value) {}
+  bool value() const { return Value; }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::BoolLit; }
+
+private:
+  bool Value;
+};
+
+class NullLitExpr : public Expr {
+public:
+  explicit NullLitExpr(SourceLocation Loc) : Expr(ExprKind::NullLit, Loc) {}
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::NullLit; }
+};
+
+class ThisExpr : public Expr {
+public:
+  explicit ThisExpr(SourceLocation Loc) : Expr(ExprKind::This, Loc) {}
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::This; }
+};
+
+/// Reference to a local variable or parameter. Sema sets `localId()`.
+class VarRefExpr : public Expr {
+public:
+  VarRefExpr(std::string Name, SourceLocation Loc)
+      : Expr(ExprKind::VarRef, Loc), Name(std::move(Name)) {}
+  const std::string &name() const { return Name; }
+  int localId() const { return LocalId; }
+  void setLocalId(int Id) { LocalId = Id; }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::VarRef; }
+
+private:
+  std::string Name;
+  int LocalId = -1;
+};
+
+class BinaryExpr : public Expr {
+public:
+  enum class Op : uint8_t {
+    Add, Sub, Mul, Div, Mod,
+    And, Or,
+    Eq, Ne, Lt, Le, Gt, Ge,
+  };
+
+  BinaryExpr(Op O, ExprPtr Lhs, ExprPtr Rhs, SourceLocation Loc)
+      : Expr(ExprKind::Binary, Loc), O(O), Lhs(std::move(Lhs)),
+        Rhs(std::move(Rhs)) {}
+  Op op() const { return O; }
+  Expr *lhs() const { return Lhs.get(); }
+  Expr *rhs() const { return Rhs.get(); }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Binary; }
+
+private:
+  Op O;
+  ExprPtr Lhs, Rhs;
+};
+
+class UnaryExpr : public Expr {
+public:
+  enum class Op : uint8_t { Neg, Not };
+  UnaryExpr(Op O, ExprPtr Sub, SourceLocation Loc)
+      : Expr(ExprKind::Unary, Loc), O(O), Sub(std::move(Sub)) {}
+  Op op() const { return O; }
+  Expr *sub() const { return Sub.get(); }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Unary; }
+
+private:
+  Op O;
+  ExprPtr Sub;
+};
+
+/// Call to a free function: `f(a, b)`.
+class CallExpr : public Expr {
+public:
+  CallExpr(std::string Callee, std::vector<ExprPtr> Args, SourceLocation Loc)
+      : Expr(ExprKind::Call, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  const std::string &callee() const { return Callee; }
+  const std::vector<ExprPtr> &args() const { return Args; }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Call; }
+
+private:
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+};
+
+/// Virtual method call: `recv.m(a, b)`. Sema resolves the static target.
+class MethodCallExpr : public Expr {
+public:
+  MethodCallExpr(ExprPtr Receiver, std::string Method,
+                 std::vector<ExprPtr> Args, SourceLocation Loc)
+      : Expr(ExprKind::MethodCall, Loc), Receiver(std::move(Receiver)),
+        Method(std::move(Method)), Args(std::move(Args)) {}
+  Expr *receiver() const { return Receiver.get(); }
+  const std::string &method() const { return Method; }
+  const std::vector<ExprPtr> &args() const { return Args; }
+  const types::MethodInfo *resolved() const { return Resolved; }
+  void setResolved(const types::MethodInfo *M) { Resolved = M; }
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::MethodCall;
+  }
+
+private:
+  ExprPtr Receiver;
+  std::string Method;
+  std::vector<ExprPtr> Args;
+  const types::MethodInfo *Resolved = nullptr;
+};
+
+/// Field read `obj.f`, or `arr.length` (Sema sets `isArrayLength()`).
+class FieldAccessExpr : public Expr {
+public:
+  FieldAccessExpr(ExprPtr Object, std::string Field, SourceLocation Loc)
+      : Expr(ExprKind::FieldAccess, Loc), Object(std::move(Object)),
+        Field(std::move(Field)) {}
+  Expr *object() const { return Object.get(); }
+  /// Releases ownership of the object expression (used when the parser
+  /// re-shapes `obj.f = v` into an AssignFieldStmt).
+  Expr *takeObject() { return Object.release(); }
+  const std::string &field() const { return Field; }
+  unsigned fieldSlot() const { return FieldSlot; }
+  void setFieldSlot(unsigned Slot) { FieldSlot = Slot; }
+  bool isArrayLength() const { return ArrayLength; }
+  void setIsArrayLength(bool B) { ArrayLength = B; }
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::FieldAccess;
+  }
+
+private:
+  ExprPtr Object;
+  std::string Field;
+  unsigned FieldSlot = 0;
+  bool ArrayLength = false;
+};
+
+/// Array element read `arr[i]`.
+class IndexExpr : public Expr {
+public:
+  IndexExpr(ExprPtr Array, ExprPtr Index, SourceLocation Loc)
+      : Expr(ExprKind::Index, Loc), Array(std::move(Array)),
+        Index(std::move(Index)) {}
+  Expr *array() const { return Array.get(); }
+  Expr *index() const { return Index.get(); }
+  /// Ownership-releasing accessors for the parser's assignment re-shaping.
+  Expr *takeArray() { return Array.release(); }
+  Expr *takeIndex() { return Index.release(); }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Index; }
+
+private:
+  ExprPtr Array, Index;
+};
+
+/// `new C()`.
+class NewObjectExpr : public Expr {
+public:
+  NewObjectExpr(std::string ClassName, SourceLocation Loc)
+      : Expr(ExprKind::NewObject, Loc), ClassName(std::move(ClassName)) {}
+  const std::string &className() const { return ClassName; }
+  int classId() const { return ClassId; }
+  void setClassId(int Id) { ClassId = Id; }
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::NewObject;
+  }
+
+private:
+  std::string ClassName;
+  int ClassId = -1;
+};
+
+/// `new int[n]` / `new C[n]`.
+class NewArrayExpr : public Expr {
+public:
+  NewArrayExpr(TypeRef ElemTy, ExprPtr Length, SourceLocation Loc)
+      : Expr(ExprKind::NewArray, Loc), ElemTy(std::move(ElemTy)),
+        Length(std::move(Length)) {}
+  const TypeRef &elemType() const { return ElemTy; }
+  Expr *length() const { return Length.get(); }
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::NewArray;
+  }
+
+private:
+  TypeRef ElemTy;
+  ExprPtr Length;
+};
+
+/// `e is C`.
+class IsExpr : public Expr {
+public:
+  IsExpr(ExprPtr Object, std::string ClassName, SourceLocation Loc)
+      : Expr(ExprKind::Is, Loc), Object(std::move(Object)),
+        ClassName(std::move(ClassName)) {}
+  Expr *object() const { return Object.get(); }
+  const std::string &className() const { return ClassName; }
+  int classId() const { return ClassId; }
+  void setClassId(int Id) { ClassId = Id; }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Is; }
+
+private:
+  ExprPtr Object;
+  std::string ClassName;
+  int ClassId = -1;
+};
+
+/// `e as C`.
+class AsExpr : public Expr {
+public:
+  AsExpr(ExprPtr Object, std::string ClassName, SourceLocation Loc)
+      : Expr(ExprKind::As, Loc), Object(std::move(Object)),
+        ClassName(std::move(ClassName)) {}
+  Expr *object() const { return Object.get(); }
+  const std::string &className() const { return ClassName; }
+  int classId() const { return ClassId; }
+  void setClassId(int Id) { ClassId = Id; }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::As; }
+
+private:
+  ExprPtr Object;
+  std::string ClassName;
+  int ClassId = -1;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind : uint8_t {
+  Block,
+  VarDecl,
+  AssignLocal,
+  AssignField,
+  AssignIndex,
+  If,
+  While,
+  Return,
+  Print,
+  ExprStmt,
+};
+
+class Stmt {
+public:
+  virtual ~Stmt() = default;
+  StmtKind kind() const { return Kind; }
+  SourceLocation loc() const { return Loc; }
+
+protected:
+  Stmt(StmtKind Kind, SourceLocation Loc) : Kind(Kind), Loc(Loc) {}
+
+private:
+  StmtKind Kind;
+  SourceLocation Loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+class BlockStmt : public Stmt {
+public:
+  BlockStmt(std::vector<StmtPtr> Stmts, SourceLocation Loc)
+      : Stmt(StmtKind::Block, Loc), Stmts(std::move(Stmts)) {}
+  const std::vector<StmtPtr> &statements() const { return Stmts; }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Block; }
+
+private:
+  std::vector<StmtPtr> Stmts;
+};
+
+/// `var x: T = init;` (type optional — inferred from the initializer).
+class VarDeclStmt : public Stmt {
+public:
+  VarDeclStmt(std::string Name, std::optional<TypeRef> DeclaredTy,
+              ExprPtr Init, SourceLocation Loc)
+      : Stmt(StmtKind::VarDecl, Loc), Name(std::move(Name)),
+        DeclaredTy(std::move(DeclaredTy)), Init(std::move(Init)) {}
+  const std::string &name() const { return Name; }
+  const std::optional<TypeRef> &declaredType() const { return DeclaredTy; }
+  Expr *init() const { return Init.get(); }
+  int localId() const { return LocalId; }
+  void setLocalId(int Id) { LocalId = Id; }
+  types::Type varType() const { return VarTy; }
+  void setVarType(types::Type T) { VarTy = T; }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::VarDecl; }
+
+private:
+  std::string Name;
+  std::optional<TypeRef> DeclaredTy;
+  ExprPtr Init;
+  int LocalId = -1;
+  types::Type VarTy;
+};
+
+/// `x = e;`
+class AssignLocalStmt : public Stmt {
+public:
+  AssignLocalStmt(std::string Name, ExprPtr Value, SourceLocation Loc)
+      : Stmt(StmtKind::AssignLocal, Loc), Name(std::move(Name)),
+        Value(std::move(Value)) {}
+  const std::string &name() const { return Name; }
+  Expr *value() const { return Value.get(); }
+  int localId() const { return LocalId; }
+  void setLocalId(int Id) { LocalId = Id; }
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::AssignLocal;
+  }
+
+private:
+  std::string Name;
+  ExprPtr Value;
+  int LocalId = -1;
+};
+
+/// `obj.f = e;`
+class AssignFieldStmt : public Stmt {
+public:
+  AssignFieldStmt(ExprPtr Object, std::string Field, ExprPtr Value,
+                  SourceLocation Loc)
+      : Stmt(StmtKind::AssignField, Loc), Object(std::move(Object)),
+        Field(std::move(Field)), Value(std::move(Value)) {}
+  Expr *object() const { return Object.get(); }
+  const std::string &field() const { return Field; }
+  Expr *value() const { return Value.get(); }
+  unsigned fieldSlot() const { return FieldSlot; }
+  void setFieldSlot(unsigned Slot) { FieldSlot = Slot; }
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::AssignField;
+  }
+
+private:
+  ExprPtr Object;
+  std::string Field;
+  ExprPtr Value;
+  unsigned FieldSlot = 0;
+};
+
+/// `arr[i] = e;`
+class AssignIndexStmt : public Stmt {
+public:
+  AssignIndexStmt(ExprPtr Array, ExprPtr Index, ExprPtr Value,
+                  SourceLocation Loc)
+      : Stmt(StmtKind::AssignIndex, Loc), Array(std::move(Array)),
+        Index(std::move(Index)), Value(std::move(Value)) {}
+  Expr *array() const { return Array.get(); }
+  Expr *index() const { return Index.get(); }
+  Expr *value() const { return Value.get(); }
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::AssignIndex;
+  }
+
+private:
+  ExprPtr Array, Index, Value;
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else, SourceLocation Loc)
+      : Stmt(StmtKind::If, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  Expr *condition() const { return Cond.get(); }
+  Stmt *thenStmt() const { return Then.get(); }
+  Stmt *elseStmt() const { return Else.get(); } ///< May be null.
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::If; }
+
+private:
+  ExprPtr Cond;
+  StmtPtr Then, Else;
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(ExprPtr Cond, StmtPtr Body, SourceLocation Loc)
+      : Stmt(StmtKind::While, Loc), Cond(std::move(Cond)),
+        Body(std::move(Body)) {}
+  Expr *condition() const { return Cond.get(); }
+  Stmt *body() const { return Body.get(); }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::While; }
+
+private:
+  ExprPtr Cond;
+  StmtPtr Body;
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(ExprPtr Value, SourceLocation Loc)
+      : Stmt(StmtKind::Return, Loc), Value(std::move(Value)) {}
+  Expr *value() const { return Value.get(); } ///< May be null.
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Return; }
+
+private:
+  ExprPtr Value;
+};
+
+class PrintStmt : public Stmt {
+public:
+  PrintStmt(ExprPtr Value, SourceLocation Loc)
+      : Stmt(StmtKind::Print, Loc), Value(std::move(Value)) {}
+  Expr *value() const { return Value.get(); }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Print; }
+
+private:
+  ExprPtr Value;
+};
+
+/// A call evaluated for effect: `f(x);` / `o.m();`.
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(ExprPtr E, SourceLocation Loc)
+      : Stmt(StmtKind::ExprStmt, Loc), E(std::move(E)) {}
+  Expr *expr() const { return E.get(); }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::ExprStmt; }
+
+private:
+  ExprPtr E;
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+struct ParamDecl {
+  std::string Name;
+  TypeRef Ty;
+  SourceLocation Loc;
+  int LocalId = -1; ///< Assigned by Sema.
+};
+
+/// A method or a free function. For methods, `OwnerClass` names the class.
+struct FunctionDecl {
+  std::string Name;
+  std::string OwnerClass; ///< Empty for free functions.
+  std::vector<ParamDecl> Params;
+  TypeRef ReturnTy; ///< Kind::Void when omitted.
+  std::unique_ptr<BlockStmt> Body;
+  SourceLocation Loc;
+
+  /// Sema results.
+  std::string Symbol;  ///< "main" or "Class.method".
+  int NumLocals = 0;   ///< Locals + params, for the SSA construction.
+  std::vector<types::Type> LocalTypes; ///< Indexed by local id.
+
+  bool isMethod() const { return !OwnerClass.empty(); }
+};
+
+struct FieldDecl {
+  std::string Name;
+  TypeRef Ty;
+  SourceLocation Loc;
+};
+
+struct ClassDecl {
+  std::string Name;
+  std::string SuperName; ///< Empty when no `extends`.
+  std::vector<FieldDecl> Fields;
+  std::vector<std::unique_ptr<FunctionDecl>> Methods;
+  SourceLocation Loc;
+};
+
+/// A parsed compilation unit.
+struct Program {
+  std::vector<std::unique_ptr<ClassDecl>> Classes;
+  std::vector<std::unique_ptr<FunctionDecl>> Functions;
+};
+
+} // namespace incline::frontend
+
+#endif // INCLINE_FRONTEND_AST_H

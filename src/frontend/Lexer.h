@@ -1,0 +1,56 @@
+//===- frontend/Lexer.h - MiniOO lexer ---------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hand-written single-pass lexer for MiniOO. Supports `//` line comments
+/// and `/* */` block comments. The source buffer must outlive the tokens
+/// (token text is a view).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_FRONTEND_LEXER_H
+#define INCLINE_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+
+#include <string_view>
+#include <vector>
+
+namespace incline::frontend {
+
+/// Lexes MiniOO source into a token stream.
+class Lexer {
+public:
+  explicit Lexer(std::string_view Source) : Source(Source) {}
+
+  /// Lexes the next token (EndOfFile at the end, repeatedly).
+  Token next();
+
+  /// Lexes the whole input. The final token is EndOfFile. Error tokens are
+  /// included in-place so the parser can report them with positions.
+  std::vector<Token> lexAll();
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance();
+  bool match(char Expected);
+  void skipWhitespaceAndComments();
+  SourceLocation here() const { return {Line, Column}; }
+  Token make(TokenKind Kind, size_t Begin, SourceLocation Loc) const;
+  Token lexIdentifierOrKeyword(SourceLocation Loc);
+  Token lexNumber(SourceLocation Loc);
+
+  std::string_view Source;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+};
+
+} // namespace incline::frontend
+
+#endif // INCLINE_FRONTEND_LEXER_H

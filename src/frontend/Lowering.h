@@ -1,0 +1,36 @@
+//===- frontend/Lowering.h - AST to SSA IR ----------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a type-checked MiniOO Program to SSA IR using on-the-fly SSA
+/// construction (Braun et al., CC'13): local variables are tracked per
+/// block; phis are created lazily at joins and loop headers and trivial
+/// phis are removed recursively. Method calls lower to VirtualCallInst
+/// (dispatch is always virtual at this stage, like javac's invokevirtual);
+/// devirtualization is the optimizer's and inliner's job, exactly as in the
+/// paper's JVM setting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_FRONTEND_LOWERING_H
+#define INCLINE_FRONTEND_LOWERING_H
+
+#include "frontend/Sema.h"
+#include "ir/Module.h"
+
+#include <memory>
+
+namespace incline::frontend {
+
+/// Lowers \p Prog (already checked by \p S) into a fresh Module whose class
+/// hierarchy is moved from \p Classes. Must only be called after Sema::run
+/// succeeded.
+std::unique_ptr<ir::Module> lowerProgram(const Program &Prog, const Sema &S,
+                                         types::ClassHierarchy Classes);
+
+} // namespace incline::frontend
+
+#endif // INCLINE_FRONTEND_LOWERING_H

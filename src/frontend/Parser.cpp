@@ -1,0 +1,653 @@
+//===- frontend/Parser.cpp ---------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "support/StringUtils.h"
+
+using namespace incline;
+using namespace incline::frontend;
+
+const Token &Parser::peek(size_t Ahead) const {
+  size_t Index = Pos + Ahead;
+  if (Index >= Tokens.size())
+    Index = Tokens.size() - 1; // EndOfFile sentinel.
+  return Tokens[Index];
+}
+
+Token Parser::advance() {
+  Token T = current();
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::match(TokenKind Kind) {
+  if (!check(Kind))
+    return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *What) {
+  if (match(Kind))
+    return true;
+  error(current().Loc,
+        formatString("expected %s, found %s", What,
+                     std::string(tokenKindName(current().Kind)).c_str()));
+  return false;
+}
+
+void Parser::error(SourceLocation Loc, std::string Message) {
+  Diags.push_back({Loc, std::move(Message)});
+}
+
+void Parser::synchronizeToDecl() {
+  while (!check(TokenKind::EndOfFile) && !check(TokenKind::KwClass) &&
+         !check(TokenKind::KwDef))
+    advance();
+}
+
+void Parser::synchronizeToStmt() {
+  while (!check(TokenKind::EndOfFile)) {
+    if (match(TokenKind::Semicolon))
+      return;
+    if (check(TokenKind::RBrace) || check(TokenKind::KwIf) ||
+        check(TokenKind::KwWhile) || check(TokenKind::KwReturn) ||
+        check(TokenKind::KwVar) || check(TokenKind::KwPrint))
+      return;
+    advance();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Program> Parser::parseProgram() {
+  auto Prog = std::make_unique<Program>();
+  while (!check(TokenKind::EndOfFile)) {
+    if (check(TokenKind::KwClass)) {
+      if (auto C = parseClass())
+        Prog->Classes.push_back(std::move(C));
+      else
+        synchronizeToDecl();
+    } else if (check(TokenKind::KwDef)) {
+      if (auto F = parseFunction(/*OwnerClass=*/""))
+        Prog->Functions.push_back(std::move(F));
+      else
+        synchronizeToDecl();
+    } else {
+      error(current().Loc, "expected 'class' or 'def' at top level");
+      synchronizeToDecl();
+      if (!check(TokenKind::KwClass) && !check(TokenKind::KwDef))
+        break;
+    }
+  }
+  return Prog;
+}
+
+std::unique_ptr<ClassDecl> Parser::parseClass() {
+  SourceLocation Loc = current().Loc;
+  expect(TokenKind::KwClass, "'class'");
+  auto Decl = std::make_unique<ClassDecl>();
+  Decl->Loc = Loc;
+  if (!check(TokenKind::Identifier)) {
+    error(current().Loc, "expected class name");
+    return nullptr;
+  }
+  Decl->Name = std::string(advance().Text);
+  if (match(TokenKind::KwExtends)) {
+    if (!check(TokenKind::Identifier)) {
+      error(current().Loc, "expected superclass name after 'extends'");
+      return nullptr;
+    }
+    Decl->SuperName = std::string(advance().Text);
+  }
+  if (!expect(TokenKind::LBrace, "'{'"))
+    return nullptr;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+    if (check(TokenKind::KwVar)) {
+      SourceLocation FieldLoc = advance().Loc; // 'var'
+      if (!check(TokenKind::Identifier)) {
+        error(current().Loc, "expected field name");
+        synchronizeToStmt();
+        continue;
+      }
+      FieldDecl Field;
+      Field.Loc = FieldLoc;
+      Field.Name = std::string(advance().Text);
+      if (!expect(TokenKind::Colon, "':' before field type")) {
+        synchronizeToStmt();
+        continue;
+      }
+      Field.Ty = parseType();
+      expect(TokenKind::Semicolon, "';' after field declaration");
+      Decl->Fields.push_back(std::move(Field));
+    } else if (check(TokenKind::KwDef)) {
+      if (auto M = parseFunction(Decl->Name))
+        Decl->Methods.push_back(std::move(M));
+      else
+        synchronizeToDecl();
+    } else {
+      error(current().Loc, "expected 'var' or 'def' in class body");
+      advance();
+    }
+  }
+  expect(TokenKind::RBrace, "'}' closing class body");
+  return Decl;
+}
+
+std::unique_ptr<FunctionDecl> Parser::parseFunction(std::string OwnerClass) {
+  SourceLocation Loc = current().Loc;
+  expect(TokenKind::KwDef, "'def'");
+  auto Decl = std::make_unique<FunctionDecl>();
+  Decl->Loc = Loc;
+  Decl->OwnerClass = std::move(OwnerClass);
+  if (!check(TokenKind::Identifier)) {
+    error(current().Loc, "expected function name");
+    return nullptr;
+  }
+  Decl->Name = std::string(advance().Text);
+  if (!expect(TokenKind::LParen, "'('"))
+    return nullptr;
+  if (!parseParams(Decl->Params))
+    return nullptr;
+  if (match(TokenKind::Colon) || match(TokenKind::Arrow))
+    Decl->ReturnTy = parseType();
+  else
+    Decl->ReturnTy.K = TypeRef::Kind::Void;
+  Decl->Body = parseBlock();
+  if (!Decl->Body)
+    return nullptr;
+  return Decl;
+}
+
+bool Parser::parseParams(std::vector<ParamDecl> &Params) {
+  if (match(TokenKind::RParen))
+    return true;
+  while (true) {
+    if (!check(TokenKind::Identifier)) {
+      error(current().Loc, "expected parameter name");
+      return false;
+    }
+    ParamDecl P;
+    P.Loc = current().Loc;
+    P.Name = std::string(advance().Text);
+    if (!expect(TokenKind::Colon, "':' before parameter type"))
+      return false;
+    P.Ty = parseType();
+    Params.push_back(std::move(P));
+    if (match(TokenKind::RParen))
+      return true;
+    if (!expect(TokenKind::Comma, "',' between parameters"))
+      return false;
+  }
+}
+
+TypeRef Parser::parseType() {
+  TypeRef Ty;
+  Ty.Loc = current().Loc;
+  if (match(TokenKind::KwInt)) {
+    Ty.K = TypeRef::Kind::Int;
+  } else if (match(TokenKind::KwBool)) {
+    Ty.K = TypeRef::Kind::Bool;
+  } else if (check(TokenKind::Identifier)) {
+    Ty.K = TypeRef::Kind::Named;
+    Ty.Name = std::string(advance().Text);
+  } else {
+    error(current().Loc, "expected a type");
+    Ty.K = TypeRef::Kind::Int; // Recover with a plausible type.
+    return Ty;
+  }
+  if (match(TokenKind::LBracket)) {
+    expect(TokenKind::RBracket, "']' in array type");
+    if (Ty.K == TypeRef::Kind::Int) {
+      Ty.K = TypeRef::Kind::IntArray;
+    } else if (Ty.K == TypeRef::Kind::Named) {
+      Ty.K = TypeRef::Kind::NamedArray;
+    } else {
+      error(Ty.Loc, "bool arrays are not supported");
+      Ty.K = TypeRef::Kind::IntArray;
+    }
+  }
+  return Ty;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<BlockStmt> Parser::parseBlock() {
+  SourceLocation Loc = current().Loc;
+  if (!expect(TokenKind::LBrace, "'{'"))
+    return nullptr;
+  std::vector<StmtPtr> Stmts;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+    if (StmtPtr S = parseStatement())
+      Stmts.push_back(std::move(S));
+    else
+      synchronizeToStmt();
+  }
+  expect(TokenKind::RBrace, "'}' closing block");
+  return std::make_unique<BlockStmt>(std::move(Stmts), Loc);
+}
+
+StmtPtr Parser::parseStatement() {
+  switch (current().Kind) {
+  case TokenKind::KwVar:
+    return parseVarDecl();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwReturn:
+    return parseReturn();
+  case TokenKind::KwPrint:
+    return parsePrint();
+  case TokenKind::LBrace:
+    return parseBlock();
+  default:
+    return parseExprOrAssign();
+  }
+}
+
+StmtPtr Parser::parseVarDecl() {
+  SourceLocation Loc = advance().Loc; // 'var'
+  if (!check(TokenKind::Identifier)) {
+    error(current().Loc, "expected variable name");
+    return nullptr;
+  }
+  std::string Name = std::string(advance().Text);
+  std::optional<TypeRef> DeclaredTy;
+  if (match(TokenKind::Colon))
+    DeclaredTy = parseType();
+  if (!expect(TokenKind::Assign, "'=' (variables must be initialized)"))
+    return nullptr;
+  ExprPtr Init = parseExpr();
+  if (!Init)
+    return nullptr;
+  expect(TokenKind::Semicolon, "';' after variable declaration");
+  return std::make_unique<VarDeclStmt>(std::move(Name), std::move(DeclaredTy),
+                                       std::move(Init), Loc);
+}
+
+StmtPtr Parser::parseIf() {
+  SourceLocation Loc = advance().Loc; // 'if'
+  if (!expect(TokenKind::LParen, "'(' after 'if'"))
+    return nullptr;
+  ExprPtr Cond = parseExpr();
+  if (!Cond)
+    return nullptr;
+  if (!expect(TokenKind::RParen, "')' after condition"))
+    return nullptr;
+  StmtPtr Then = parseBlock();
+  if (!Then)
+    return nullptr;
+  StmtPtr Else;
+  if (match(TokenKind::KwElse)) {
+    if (check(TokenKind::KwIf))
+      Else = parseIf();
+    else
+      Else = parseBlock();
+    if (!Else)
+      return nullptr;
+  }
+  return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                  std::move(Else), Loc);
+}
+
+StmtPtr Parser::parseWhile() {
+  SourceLocation Loc = advance().Loc; // 'while'
+  if (!expect(TokenKind::LParen, "'(' after 'while'"))
+    return nullptr;
+  ExprPtr Cond = parseExpr();
+  if (!Cond)
+    return nullptr;
+  if (!expect(TokenKind::RParen, "')' after condition"))
+    return nullptr;
+  StmtPtr Body = parseBlock();
+  if (!Body)
+    return nullptr;
+  return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body), Loc);
+}
+
+StmtPtr Parser::parseReturn() {
+  SourceLocation Loc = advance().Loc; // 'return'
+  ExprPtr Value;
+  if (!check(TokenKind::Semicolon)) {
+    Value = parseExpr();
+    if (!Value)
+      return nullptr;
+  }
+  expect(TokenKind::Semicolon, "';' after return");
+  return std::make_unique<ReturnStmt>(std::move(Value), Loc);
+}
+
+StmtPtr Parser::parsePrint() {
+  SourceLocation Loc = advance().Loc; // 'print'
+  if (!expect(TokenKind::LParen, "'(' after 'print'"))
+    return nullptr;
+  ExprPtr Value = parseExpr();
+  if (!Value)
+    return nullptr;
+  expect(TokenKind::RParen, "')' after print argument");
+  expect(TokenKind::Semicolon, "';' after print");
+  return std::make_unique<PrintStmt>(std::move(Value), Loc);
+}
+
+StmtPtr Parser::parseExprOrAssign() {
+  SourceLocation Loc = current().Loc;
+  ExprPtr E = parseExpr();
+  if (!E)
+    return nullptr;
+  if (match(TokenKind::Assign)) {
+    ExprPtr Value = parseExpr();
+    if (!Value)
+      return nullptr;
+    expect(TokenKind::Semicolon, "';' after assignment");
+    // The parsed LHS determines the assignment form.
+    if (auto *Var = dyn_cast<VarRefExpr>(E.get()))
+      return std::make_unique<AssignLocalStmt>(Var->name(), std::move(Value),
+                                               Loc);
+    if (isa<FieldAccessExpr>(E.get())) {
+      auto *FA = static_cast<FieldAccessExpr *>(E.release());
+      std::unique_ptr<FieldAccessExpr> Owned(FA);
+      // Re-own the object expression out of the field access node.
+      // FieldAccessExpr does not expose a release; rebuild via a helper.
+      return std::make_unique<AssignFieldStmt>(
+          std::unique_ptr<Expr>(Owned->takeObject()), Owned->field(),
+          std::move(Value), Loc);
+    }
+    if (isa<IndexExpr>(E.get())) {
+      auto *IE = static_cast<IndexExpr *>(E.release());
+      std::unique_ptr<IndexExpr> Owned(IE);
+      return std::make_unique<AssignIndexStmt>(
+          std::unique_ptr<Expr>(Owned->takeArray()),
+          std::unique_ptr<Expr>(Owned->takeIndex()), std::move(Value), Loc);
+    }
+    error(Loc, "invalid assignment target");
+    return nullptr;
+  }
+  expect(TokenKind::Semicolon, "';' after expression statement");
+  if (!isa<CallExpr>(E.get()) && !isa<MethodCallExpr>(E.get()))
+    error(Loc, "only call expressions may be used as statements");
+  return std::make_unique<ExprStmt>(std::move(E), Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseExpr() { return parseOr(); }
+
+ExprPtr Parser::parseOr() {
+  ExprPtr Lhs = parseAnd();
+  while (Lhs && check(TokenKind::PipePipe)) {
+    SourceLocation Loc = advance().Loc;
+    ExprPtr Rhs = parseAnd();
+    if (!Rhs)
+      return nullptr;
+    Lhs = std::make_unique<BinaryExpr>(BinaryExpr::Op::Or, std::move(Lhs),
+                                       std::move(Rhs), Loc);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseAnd() {
+  ExprPtr Lhs = parseEquality();
+  while (Lhs && check(TokenKind::AmpAmp)) {
+    SourceLocation Loc = advance().Loc;
+    ExprPtr Rhs = parseEquality();
+    if (!Rhs)
+      return nullptr;
+    Lhs = std::make_unique<BinaryExpr>(BinaryExpr::Op::And, std::move(Lhs),
+                                       std::move(Rhs), Loc);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseEquality() {
+  ExprPtr Lhs = parseRelational();
+  while (Lhs && (check(TokenKind::EqEq) || check(TokenKind::BangEq))) {
+    BinaryExpr::Op Op = check(TokenKind::EqEq) ? BinaryExpr::Op::Eq
+                                               : BinaryExpr::Op::Ne;
+    SourceLocation Loc = advance().Loc;
+    ExprPtr Rhs = parseRelational();
+    if (!Rhs)
+      return nullptr;
+    Lhs = std::make_unique<BinaryExpr>(Op, std::move(Lhs), std::move(Rhs),
+                                       Loc);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseRelational() {
+  ExprPtr Lhs = parseAdditive();
+  while (Lhs) {
+    if (check(TokenKind::KwIs) || check(TokenKind::KwAs)) {
+      bool IsTest = check(TokenKind::KwIs);
+      SourceLocation Loc = advance().Loc;
+      if (!check(TokenKind::Identifier)) {
+        error(current().Loc, "expected class name after 'is'/'as'");
+        return nullptr;
+      }
+      std::string ClassName = std::string(advance().Text);
+      if (IsTest)
+        Lhs = std::make_unique<IsExpr>(std::move(Lhs), std::move(ClassName),
+                                       Loc);
+      else
+        Lhs = std::make_unique<AsExpr>(std::move(Lhs), std::move(ClassName),
+                                       Loc);
+      continue;
+    }
+    BinaryExpr::Op Op;
+    if (check(TokenKind::Less))
+      Op = BinaryExpr::Op::Lt;
+    else if (check(TokenKind::LessEq))
+      Op = BinaryExpr::Op::Le;
+    else if (check(TokenKind::Greater))
+      Op = BinaryExpr::Op::Gt;
+    else if (check(TokenKind::GreaterEq))
+      Op = BinaryExpr::Op::Ge;
+    else
+      break;
+    SourceLocation Loc = advance().Loc;
+    ExprPtr Rhs = parseAdditive();
+    if (!Rhs)
+      return nullptr;
+    Lhs = std::make_unique<BinaryExpr>(Op, std::move(Lhs), std::move(Rhs),
+                                       Loc);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseAdditive() {
+  ExprPtr Lhs = parseMultiplicative();
+  while (Lhs && (check(TokenKind::Plus) || check(TokenKind::Minus))) {
+    BinaryExpr::Op Op = check(TokenKind::Plus) ? BinaryExpr::Op::Add
+                                               : BinaryExpr::Op::Sub;
+    SourceLocation Loc = advance().Loc;
+    ExprPtr Rhs = parseMultiplicative();
+    if (!Rhs)
+      return nullptr;
+    Lhs = std::make_unique<BinaryExpr>(Op, std::move(Lhs), std::move(Rhs),
+                                       Loc);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseMultiplicative() {
+  ExprPtr Lhs = parseUnary();
+  while (Lhs && (check(TokenKind::Star) || check(TokenKind::Slash) ||
+                 check(TokenKind::Percent))) {
+    BinaryExpr::Op Op = check(TokenKind::Star)    ? BinaryExpr::Op::Mul
+                        : check(TokenKind::Slash) ? BinaryExpr::Op::Div
+                                                  : BinaryExpr::Op::Mod;
+    SourceLocation Loc = advance().Loc;
+    ExprPtr Rhs = parseUnary();
+    if (!Rhs)
+      return nullptr;
+    Lhs = std::make_unique<BinaryExpr>(Op, std::move(Lhs), std::move(Rhs),
+                                       Loc);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseUnary() {
+  if (check(TokenKind::Minus)) {
+    SourceLocation Loc = advance().Loc;
+    ExprPtr Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(UnaryExpr::Op::Neg, std::move(Sub),
+                                       Loc);
+  }
+  if (check(TokenKind::Bang)) {
+    SourceLocation Loc = advance().Loc;
+    ExprPtr Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(UnaryExpr::Op::Not, std::move(Sub),
+                                       Loc);
+  }
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  while (E) {
+    if (check(TokenKind::Dot)) {
+      SourceLocation Loc = advance().Loc;
+      if (!check(TokenKind::Identifier)) {
+        error(current().Loc, "expected member name after '.'");
+        return nullptr;
+      }
+      std::string Member = std::string(advance().Text);
+      if (check(TokenKind::LParen)) {
+        advance();
+        std::vector<ExprPtr> Args;
+        if (!parseArgs(Args))
+          return nullptr;
+        E = std::make_unique<MethodCallExpr>(std::move(E), std::move(Member),
+                                             std::move(Args), Loc);
+      } else {
+        E = std::make_unique<FieldAccessExpr>(std::move(E), std::move(Member),
+                                              Loc);
+      }
+      continue;
+    }
+    if (check(TokenKind::LBracket)) {
+      SourceLocation Loc = advance().Loc;
+      ExprPtr Index = parseExpr();
+      if (!Index)
+        return nullptr;
+      expect(TokenKind::RBracket, "']' after index");
+      E = std::make_unique<IndexExpr>(std::move(E), std::move(Index), Loc);
+      continue;
+    }
+    break;
+  }
+  return E;
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLocation Loc = current().Loc;
+  switch (current().Kind) {
+  case TokenKind::IntLiteral: {
+    Token T = advance();
+    return std::make_unique<IntLitExpr>(T.IntValue, Loc);
+  }
+  case TokenKind::KwTrue:
+    advance();
+    return std::make_unique<BoolLitExpr>(true, Loc);
+  case TokenKind::KwFalse:
+    advance();
+    return std::make_unique<BoolLitExpr>(false, Loc);
+  case TokenKind::KwNull:
+    advance();
+    return std::make_unique<NullLitExpr>(Loc);
+  case TokenKind::KwThis:
+    advance();
+    return std::make_unique<ThisExpr>(Loc);
+  case TokenKind::LParen: {
+    advance();
+    ExprPtr E = parseExpr();
+    if (!E)
+      return nullptr;
+    expect(TokenKind::RParen, "')'");
+    return E;
+  }
+  case TokenKind::KwNew: {
+    advance();
+    if (match(TokenKind::KwInt)) {
+      if (!expect(TokenKind::LBracket, "'[' in array allocation"))
+        return nullptr;
+      ExprPtr Len = parseExpr();
+      if (!Len)
+        return nullptr;
+      expect(TokenKind::RBracket, "']' after array length");
+      TypeRef Elem;
+      Elem.K = TypeRef::Kind::Int;
+      Elem.Loc = Loc;
+      return std::make_unique<NewArrayExpr>(std::move(Elem), std::move(Len),
+                                            Loc);
+    }
+    if (!check(TokenKind::Identifier)) {
+      error(current().Loc, "expected class name after 'new'");
+      return nullptr;
+    }
+    std::string ClassName = std::string(advance().Text);
+    if (match(TokenKind::LBracket)) {
+      ExprPtr Len = parseExpr();
+      if (!Len)
+        return nullptr;
+      expect(TokenKind::RBracket, "']' after array length");
+      TypeRef Elem;
+      Elem.K = TypeRef::Kind::Named;
+      Elem.Name = std::move(ClassName);
+      Elem.Loc = Loc;
+      return std::make_unique<NewArrayExpr>(std::move(Elem), std::move(Len),
+                                            Loc);
+    }
+    if (!expect(TokenKind::LParen, "'(' in object allocation"))
+      return nullptr;
+    expect(TokenKind::RParen, "')' (constructors take no arguments)");
+    return std::make_unique<NewObjectExpr>(std::move(ClassName), Loc);
+  }
+  case TokenKind::Identifier: {
+    std::string Name = std::string(advance().Text);
+    if (match(TokenKind::LParen)) {
+      std::vector<ExprPtr> Args;
+      if (!parseArgs(Args))
+        return nullptr;
+      return std::make_unique<CallExpr>(std::move(Name), std::move(Args),
+                                        Loc);
+    }
+    return std::make_unique<VarRefExpr>(std::move(Name), Loc);
+  }
+  default:
+    error(Loc, formatString(
+                   "expected an expression, found %s",
+                   std::string(tokenKindName(current().Kind)).c_str()));
+    return nullptr;
+  }
+}
+
+bool Parser::parseArgs(std::vector<ExprPtr> &Args) {
+  if (match(TokenKind::RParen))
+    return true;
+  while (true) {
+    ExprPtr Arg = parseExpr();
+    if (!Arg)
+      return false;
+    Args.push_back(std::move(Arg));
+    if (match(TokenKind::RParen))
+      return true;
+    if (!expect(TokenKind::Comma, "',' between arguments"))
+      return false;
+  }
+}

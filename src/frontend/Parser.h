@@ -1,0 +1,85 @@
+//===- frontend/Parser.h - MiniOO recursive-descent parser ----------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A recursive-descent parser with operator-precedence expression parsing.
+/// Errors are collected as diagnostics; on an error the parser synchronizes
+/// to the next declaration/statement boundary and continues, so a single
+/// run reports multiple problems.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_FRONTEND_PARSER_H
+#define INCLINE_FRONTEND_PARSER_H
+
+#include "frontend/Ast.h"
+#include "frontend/Token.h"
+
+#include <memory>
+#include <vector>
+
+namespace incline::frontend {
+
+/// Parses a token stream into a Program.
+class Parser {
+public:
+  explicit Parser(std::vector<Token> Tokens) : Tokens(std::move(Tokens)) {}
+
+  /// Parses the whole unit. Check `diagnostics()` before using the result.
+  std::unique_ptr<Program> parseProgram();
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+private:
+  // Token cursor.
+  const Token &peek(size_t Ahead = 0) const;
+  const Token &current() const { return peek(0); }
+  Token advance();
+  bool check(TokenKind Kind) const { return current().is(Kind); }
+  bool match(TokenKind Kind);
+  /// Consumes a token of \p Kind or reports \p What and returns false.
+  bool expect(TokenKind Kind, const char *What);
+  void error(SourceLocation Loc, std::string Message);
+  void synchronizeToDecl();
+  void synchronizeToStmt();
+
+  // Declarations.
+  std::unique_ptr<ClassDecl> parseClass();
+  std::unique_ptr<FunctionDecl> parseFunction(std::string OwnerClass);
+  bool parseParams(std::vector<ParamDecl> &Params);
+  TypeRef parseType();
+
+  // Statements.
+  std::unique_ptr<BlockStmt> parseBlock();
+  StmtPtr parseStatement();
+  StmtPtr parseVarDecl();
+  StmtPtr parseIf();
+  StmtPtr parseWhile();
+  StmtPtr parseReturn();
+  StmtPtr parsePrint();
+  StmtPtr parseExprOrAssign();
+
+  // Expressions (precedence climbing).
+  ExprPtr parseExpr();
+  ExprPtr parseOr();
+  ExprPtr parseAnd();
+  ExprPtr parseEquality();
+  ExprPtr parseRelational();  // Also handles `is` / `as`.
+  ExprPtr parseAdditive();
+  ExprPtr parseMultiplicative();
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+  bool parseArgs(std::vector<ExprPtr> &Args);
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace incline::frontend
+
+#endif // INCLINE_FRONTEND_PARSER_H

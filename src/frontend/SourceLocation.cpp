@@ -1,0 +1,26 @@
+//===- frontend/SourceLocation.cpp ------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/SourceLocation.h"
+
+#include "support/StringUtils.h"
+
+using namespace incline;
+using namespace incline::frontend;
+
+std::string Diagnostic::toString() const {
+  return formatString("%u:%u: %s", Loc.Line, Loc.Column, Message.c_str());
+}
+
+std::string incline::frontend::renderDiagnostics(
+    const std::vector<Diagnostic> &Diags) {
+  std::string Result;
+  for (const Diagnostic &D : Diags) {
+    Result += D.toString();
+    Result += '\n';
+  }
+  return Result;
+}

@@ -1,0 +1,44 @@
+//===- frontend/SourceLocation.h - Positions and diagnostics --------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source positions (1-based line/column) and the diagnostic record used by
+/// the MiniOO lexer, parser and semantic analyzer. The frontend never
+/// throws: phases collect diagnostics and callers inspect them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_FRONTEND_SOURCELOCATION_H
+#define INCLINE_FRONTEND_SOURCELOCATION_H
+
+#include <string>
+#include <vector>
+
+namespace incline::frontend {
+
+/// A position in MiniOO source text.
+struct SourceLocation {
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  bool isValid() const { return Line > 0; }
+};
+
+/// One frontend error message anchored at a source position.
+struct Diagnostic {
+  SourceLocation Loc;
+  std::string Message;
+
+  /// "line:col: message" rendering.
+  std::string toString() const;
+};
+
+/// Renders a diagnostic list, one per line.
+std::string renderDiagnostics(const std::vector<Diagnostic> &Diags);
+
+} // namespace incline::frontend
+
+#endif // INCLINE_FRONTEND_SOURCELOCATION_H

@@ -1,0 +1,58 @@
+//===- frontend/Token.h - MiniOO tokens -------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds produced by the MiniOO lexer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_FRONTEND_TOKEN_H
+#define INCLINE_FRONTEND_TOKEN_H
+
+#include "frontend/SourceLocation.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace incline::frontend {
+
+enum class TokenKind : uint8_t {
+  EndOfFile,
+  Error,
+  Identifier,
+  IntLiteral,
+  // Keywords.
+  KwClass, KwExtends, KwVar, KwDef, KwIf, KwElse, KwWhile, KwReturn,
+  KwPrint, KwNew, KwTrue, KwFalse, KwNull, KwThis, KwInt, KwBool,
+  KwIs, KwAs,
+  // Punctuation.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semicolon, Colon, Comma, Dot, Arrow,
+  // Operators.
+  Plus, Minus, Star, Slash, Percent,
+  Bang, AmpAmp, PipePipe,
+  EqEq, BangEq, Less, LessEq, Greater, GreaterEq,
+  Assign,
+};
+
+/// Human-readable token kind (for diagnostics).
+std::string_view tokenKindName(TokenKind Kind);
+
+/// One lexed token. `Text` views into the original source buffer;
+/// `IntValue` is set for IntLiteral.
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  std::string_view Text;
+  SourceLocation Loc;
+  int64_t IntValue = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace incline::frontend
+
+#endif // INCLINE_FRONTEND_TOKEN_H

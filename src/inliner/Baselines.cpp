@@ -1,0 +1,199 @@
+//===- inliner/Baselines.cpp --------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "inliner/Baselines.h"
+
+#include "opt/InlineIR.h"
+#include "profile/BlockFrequency.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+using namespace incline;
+using namespace incline::inliner;
+using namespace incline::ir;
+
+namespace {
+
+/// Book-keeping the greedy algorithms track per candidate callsite.
+struct Candidate {
+  CallInst *Call = nullptr;
+  const Function *Callee = nullptr;
+  double Frequency = 1.0;
+  size_t Depth = 0;
+  int Recursion = 0; ///< Same-callee occurrences along the inline path.
+};
+
+bool hasReturn(const Function &F) {
+  for (const auto &BB : F.blocks())
+    for (const auto &Inst : BB->instructions())
+      if (isa<ReturnInst>(Inst.get()))
+        return true;
+  return false;
+}
+
+/// Collects the direct callsites of \p Root that are not yet tracked in
+/// \p Known, tagging them with \p Depth/\p ParentRecursion defaults.
+/// Frequency comes from \p Freq (per-block) times \p BaseFrequency.
+void collectCandidates(Function &Root, const ir::Module &M,
+                       const std::unordered_map<const BasicBlock *, double>
+                           &Freq,
+                       double BaseFrequency, size_t Depth,
+                       const std::map<const Instruction *, Candidate> &Known,
+                       std::vector<Candidate> &Out) {
+  for (const auto &BB : Root.blocks()) {
+    for (const auto &Inst : BB->instructions()) {
+      auto *Call = dyn_cast<CallInst>(Inst.get());
+      if (!Call || Known.count(Call))
+        continue;
+      const Function *Callee = M.function(Call->callee());
+      if (!Callee || !hasReturn(*Callee))
+        continue;
+      Candidate C;
+      C.Call = Call;
+      C.Callee = Callee;
+      auto It = Freq.find(BB.get());
+      C.Frequency = BaseFrequency * (It != Freq.end() ? It->second : 0.0);
+      C.Depth = Depth;
+      Out.push_back(C);
+    }
+  }
+}
+
+/// Shared engine: priority-greedy inlining with pluggable admission.
+/// \p Admit decides whether a candidate may be inlined given the current
+/// root size.
+template <typename AdmitFn>
+BaselineResult greedyLoop(Function &Root, const ir::Module &M,
+                          const profile::ProfileTable *Profiles,
+                          const std::string &ProfileName, size_t RootBudget,
+                          size_t MaxDepth, int MaxRecursion,
+                          AdmitFn &&Admit) {
+  BaselineResult Result;
+
+  std::unordered_map<const BasicBlock *, double> RootFreq =
+      profile::computeBlockFrequencies(Root, Profiles, ProfileName);
+
+  std::map<const Instruction *, Candidate> Tracked;
+  std::vector<Candidate> Fresh;
+  collectCandidates(Root, M, RootFreq, 1.0, 0, Tracked, Fresh);
+  for (const Candidate &C : Fresh)
+    Tracked.emplace(C.Call, C);
+
+  while (true) {
+    if (Root.instructionCount() >= RootBudget)
+      break;
+    // Pick the best candidate by frequency/size ratio.
+    const Candidate *Best = nullptr;
+    double BestScore = -1.0;
+    for (const auto &[Inst, C] : Tracked) {
+      if (C.Depth >= MaxDepth || C.Recursion > MaxRecursion)
+        continue;
+      if (!Admit(C, Root.instructionCount()))
+        continue;
+      double Score = C.Frequency /
+                     std::max<double>(1.0, static_cast<double>(
+                                               C.Callee->instructionCount()));
+      if (Score > BestScore) {
+        BestScore = Score;
+        Best = &C;
+      }
+    }
+    if (!Best)
+      break;
+
+    Candidate Chosen = *Best;
+    Tracked.erase(Chosen.Call);
+    opt::InlineResult Inlined =
+        opt::inlineCall(Root, Chosen.Call, *Chosen.Callee);
+    ++Result.CallsitesInlined;
+
+    // Newly exposed callsites: everything in the callee body maps through
+    // the value map; give them the child depth and recursion count.
+    for (const auto &[OldValue, NewValue] : Inlined.ValueMap) {
+      const auto *OldCall = dyn_cast<CallInst>(
+          static_cast<const Value *>(OldValue));
+      if (!OldCall)
+        continue;
+      auto *NewCall = dyn_cast<CallInst>(NewValue);
+      if (!NewCall || !NewCall->parent())
+        continue;
+      const Function *Callee = M.function(NewCall->callee());
+      if (!Callee || !hasReturn(*Callee))
+        continue;
+      Candidate C;
+      C.Call = NewCall;
+      C.Callee = Callee;
+      // Approximation: the inlined code inherits the callsite frequency.
+      C.Frequency = Chosen.Frequency;
+      C.Depth = Chosen.Depth + 1;
+      C.Recursion = Chosen.Recursion +
+                    (NewCall->callee() == Chosen.Callee->name() ? 1 : 0);
+      Tracked.emplace(C.Call, C);
+    }
+  }
+  return Result;
+}
+
+} // namespace
+
+BaselineResult incline::inliner::runGreedyInliner(
+    Function &Root, const ir::Module &M,
+    const profile::ProfileTable &Profiles, const std::string &ProfileName,
+    const GreedyConfig &Config) {
+  return greedyLoop(
+      Root, M, &Profiles, ProfileName, Config.RootBudget, Config.MaxDepth,
+      Config.MaxRecursion, [&](const Candidate &C, size_t /*RootSize*/) {
+        if (C.Frequency < Config.MinFrequency)
+          return false;
+        return C.Callee->instructionCount() <= Config.MaxCalleeSize;
+      });
+}
+
+BaselineResult incline::inliner::runC2StyleInliner(
+    Function &Root, const ir::Module &M,
+    const profile::ProfileTable &Profiles, const std::string &ProfileName,
+    const C2StyleConfig &Config) {
+  BaselineResult Result;
+
+  // Phase 1, "during bytecode parsing": trivial methods inline always,
+  // regardless of hotness.
+  GreedyConfig TrivialPhase;
+  TrivialPhase.MaxCalleeSize = Config.TrivialSize;
+  TrivialPhase.RootBudget = Config.RootBudget;
+  TrivialPhase.MaxDepth = Config.MaxDepth;
+  TrivialPhase.MaxRecursion = Config.MaxRecursion;
+  TrivialPhase.MinFrequency = 0.0;
+  BaselineResult Phase1 =
+      runGreedyInliner(Root, M, Profiles, ProfileName, TrivialPhase);
+  Result.CallsitesInlined += Phase1.CallsitesInlined;
+
+  // Phase 2: greedy with fixed thresholds; hot callsites get a larger
+  // allowance (C2's FreqInlineSize vs MaxInlineSize).
+  BaselineResult Phase2 = greedyLoop(
+      Root, M, &Profiles, ProfileName, Config.RootBudget, Config.MaxDepth,
+      Config.MaxRecursion, [&](const Candidate &C, size_t /*RootSize*/) {
+        size_t Limit = C.Frequency >= Config.HotFrequency
+                           ? Config.FreqInlineSize
+                           : Config.MaxInlineSize;
+        return C.Callee->instructionCount() <= Limit;
+      });
+  Result.CallsitesInlined += Phase2.CallsitesInlined;
+  return Result;
+}
+
+BaselineResult incline::inliner::runTrivialInliner(Function &Root,
+                                                   const ir::Module &M,
+                                                   const TrivialConfig &Config) {
+  return greedyLoop(Root, M, /*Profiles=*/nullptr, Root.name(),
+                    Config.RootBudget, Config.MaxDepth, /*MaxRecursion=*/0,
+                    [&](const Candidate &C, size_t /*RootSize*/) {
+                      return C.Callee->instructionCount() <=
+                             Config.TrivialSize;
+                    });
+}

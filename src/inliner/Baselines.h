@@ -1,0 +1,87 @@
+//===- inliner/Baselines.h - Baseline inlining algorithms ------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison inliners of §V:
+///
+///  * `GreedyInliner` — the open-source-Graal-style greedy inliner (akin to
+///    Steiner et al. [82]): a priority queue over callsites by
+///    frequency/size, fixed size and depth budgets, no exploration phase,
+///    no alternation with optimization, no clustering, no trials.
+///  * `C2StyleInliner` — HotSpot C2's shape: trivial methods inlined
+///    unconditionally during "parsing", then one-method-at-a-time greedy
+///    inlining with fixed thresholds (bigger allowance for hot callsites).
+///  * `TrivialOnlyInliner` — the C1-like first tier: tiny callees only.
+///
+/// All operate directly on the root method's body; like the real systems
+/// they still benefit from the shared optimizer (canonicalization
+/// devirtualizes statically known receivers for them too).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_INLINER_BASELINES_H
+#define INCLINE_INLINER_BASELINES_H
+
+#include "ir/Module.h"
+#include "profile/ProfileData.h"
+
+#include <cstdint>
+#include <string>
+
+namespace incline::inliner {
+
+/// Result counters shared by the baseline inliners.
+struct BaselineResult {
+  size_t CallsitesInlined = 0;
+};
+
+/// Parameters of the greedy baseline.
+struct GreedyConfig {
+  size_t MaxCalleeSize = 150;  ///< Callees above this are never inlined.
+  size_t RootBudget = 3000;    ///< Stop when the root reaches this size.
+  size_t MaxDepth = 9;         ///< Inlining depth limit.
+  int MaxRecursion = 1;        ///< Same-callee occurrences on the path.
+  double MinFrequency = 1e-3;  ///< Ignore essentially-cold callsites.
+};
+
+/// Runs the greedy inliner on \p Root (a compilation copy of the method
+/// whose profiles are under \p ProfileName).
+BaselineResult runGreedyInliner(ir::Function &Root, const ir::Module &M,
+                                const profile::ProfileTable &Profiles,
+                                const std::string &ProfileName,
+                                const GreedyConfig &Config = GreedyConfig());
+
+/// Parameters of the C2-style baseline.
+struct C2StyleConfig {
+  size_t TrivialSize = 10;    ///< Always inlined ("bytecode parser").
+  size_t MaxInlineSize = 28;  ///< Cold-callsite ceiling (C2's MaxInlineSize).
+  size_t FreqInlineSize = 80; ///< Hot-callsite ceiling (C2's FreqInlineSize).
+  double HotFrequency = 3.0;  ///< Callsite frequency making it "hot".
+  size_t RootBudget = 2000;
+  size_t MaxDepth = 9;
+  int MaxRecursion = 1;
+};
+
+/// Runs the C2-style inliner.
+BaselineResult runC2StyleInliner(ir::Function &Root, const ir::Module &M,
+                                 const profile::ProfileTable &Profiles,
+                                 const std::string &ProfileName,
+                                 const C2StyleConfig &Config = C2StyleConfig());
+
+/// Parameters of the C1-like trivial-only inliner.
+struct TrivialConfig {
+  size_t TrivialSize = 12;
+  size_t MaxDepth = 3;
+  size_t RootBudget = 1500;
+};
+
+/// Runs the trivial-only inliner.
+BaselineResult runTrivialInliner(ir::Function &Root, const ir::Module &M,
+                                 const TrivialConfig &Config = TrivialConfig());
+
+} // namespace incline::inliner
+
+#endif // INCLINE_INLINER_BASELINES_H

@@ -1,0 +1,400 @@
+//===- inliner/CallTree.cpp ---------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "inliner/CallTree.h"
+
+#include "ir/IRCloner.h"
+#include "opt/Canonicalizer.h"
+#include "opt/DCE.h"
+#include "profile/BlockFrequency.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+#include "support/StringUtils.h"
+
+#include <unordered_set>
+
+using namespace incline;
+using namespace incline::inliner;
+using namespace incline::ir;
+
+std::string_view incline::inliner::callNodeKindName(CallNodeKind Kind) {
+  switch (Kind) {
+  case CallNodeKind::Cutoff: return "C";
+  case CallNodeKind::Expanded: return "E";
+  case CallNodeKind::Deleted: return "D";
+  case CallNodeKind::Generic: return "G";
+  case CallNodeKind::Polymorphic: return "P";
+  }
+  incline_unreachable("unknown call node kind");
+}
+
+//===----------------------------------------------------------------------===//
+// CallNode
+//===----------------------------------------------------------------------===//
+
+size_t CallNode::irSize() const {
+  switch (Kind) {
+  case CallNodeKind::Expanded:
+    return Body ? Body->instructionCount() : 0;
+  case CallNodeKind::Cutoff:
+    return SourceFn ? SourceFn->instructionCount() : 0;
+  case CallNodeKind::Polymorphic:
+    // The typeswitch skeleton itself: one class-id load plus a couple of
+    // compare/branch pairs per target.
+    return 2 + 3 * Children.size();
+  case CallNodeKind::Deleted:
+  case CallNodeKind::Generic:
+    return 0;
+  }
+  incline_unreachable("unknown call node kind");
+}
+
+size_t CallNode::subtreeIrSize() const {
+  size_t Total = irSize();
+  for (const auto &Child : Children)
+    Total += Child->subtreeIrSize();
+  return Total;
+}
+
+size_t CallNode::cutoffSize() const {
+  size_t Total = Kind == CallNodeKind::Cutoff ? irSize() : 0;
+  for (const auto &Child : Children)
+    Total += Child->cutoffSize();
+  return Total;
+}
+
+size_t CallNode::cutoffCount() const {
+  size_t Total = Kind == CallNodeKind::Cutoff ? 1 : 0;
+  for (const auto &Child : Children)
+    Total += Child->cutoffCount();
+  return Total;
+}
+
+void CallNode::forEach(const std::function<void(CallNode &)> &Fn) {
+  Fn(*this);
+  for (const auto &Child : Children)
+    Child->forEach(Fn);
+}
+
+std::string CallNode::dump(unsigned Indent) const {
+  std::string Pad(Indent * 2, ' ');
+  std::string Label = isRoot() ? "<root>"
+                      : !CalleeSymbol.empty()
+                          ? CalleeSymbol
+                          : (MethodName.empty() ? "<?>" : "*." + MethodName);
+  std::string Result = formatString(
+      "%s[%s] %s f=%.2f |ir|=%zu", Pad.c_str(),
+      std::string(callNodeKindName(Kind)).c_str(), Label.c_str(), Frequency,
+      irSize());
+  if (Kind == CallNodeKind::Expanded)
+    Result += formatString(" Ns=%u", TrialOpts);
+  if (Kind == CallNodeKind::Cutoff)
+    Result += formatString(" Na=%u", ArgsMoreConcrete);
+  if (Parent && Parent->Kind == CallNodeKind::Polymorphic)
+    Result += formatString(" p=%.2f", Probability);
+  if (InCluster)
+    Result += " (clustered)";
+  Result += "\n";
+  for (const auto &Child : Children)
+    Result += Child->dump(Indent + 1);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// CallTree
+//===----------------------------------------------------------------------===//
+
+CallNode &CallTree::buildRoot(std::unique_ptr<Function> RootBody,
+                              std::string ProfileName) {
+  Root = std::make_unique<CallNode>();
+  Root->Kind = CallNodeKind::Expanded;
+  Root->Body = std::move(RootBody);
+  Root->ProfileName = std::move(ProfileName);
+  Root->CalleeSymbol = Root->ProfileName;
+  Root->SourceFn = M.function(Root->ProfileName);
+  Root->Frequency = 1.0;
+  ++NodesCreated;
+  collectChildren(*Root);
+  return *Root;
+}
+
+double CallTree::localBenefit(const CallNode &N) const {
+  switch (N.Kind) {
+  case CallNodeKind::Cutoff:
+    // Recursive re-entries carry no realizable benefit: Eq. 14's pressure
+    // (2^d - 2, positive from depth 2) means they will never be explored
+    // to completion, so their potential must not be forfeited against
+    // their ancestors' clusters either.
+    if (N.RecursionDepth >= 2)
+      return 0.0;
+    // Eq. 4, kind C: frequency times (1 + more-concrete argument count).
+    return N.Frequency * (1.0 + N.ArgsMoreConcrete);
+  case CallNodeKind::Expanded:
+    // Eq. 4, kind E: frequency times (1 + optimizations triggered).
+    return N.Frequency * (1.0 + N.TrialOpts);
+  case CallNodeKind::Polymorphic: {
+    // Eq. 13: probability-weighted sum over the speculated targets.
+    double Sum = 0.0;
+    for (const auto &Child : N.Children)
+      Sum += Child->Probability * localBenefit(*Child);
+    return Sum;
+  }
+  case CallNodeKind::Deleted:
+  case CallNodeKind::Generic:
+    return 0.0;
+  }
+  incline_unreachable("unknown call node kind");
+}
+
+int CallTree::recursionDepthOf(const CallNode &Parent,
+                               const std::string &CalleeSymbol) const {
+  int Depth = 0;
+  for (const CallNode *Cur = &Parent; Cur; Cur = Cur->Parent)
+    if (Cur->CalleeSymbol == CalleeSymbol)
+      ++Depth;
+  return Depth;
+}
+
+void CallTree::addChildForCallsite(CallNode &Parent, Instruction *Inst,
+                                   double BlockFrequency) {
+  auto Child = std::make_unique<CallNode>();
+  Child->Parent = &Parent;
+  Child->Callsite = Inst;
+  Child->Frequency = Parent.Frequency * BlockFrequency;
+  ++NodesCreated;
+
+  if (auto *Call = dyn_cast<CallInst>(Inst)) {
+    const Function *Target = M.function(Call->callee());
+    if (!Target) {
+      Child->Kind = CallNodeKind::Generic;
+      Parent.Children.push_back(std::move(Child));
+      return;
+    }
+    Child->Kind = CallNodeKind::Cutoff;
+    Child->CalleeSymbol = Call->callee();
+    Child->SourceFn = Target;
+    Child->ProfileName = Call->callee();
+    Child->RecursionDepth = recursionDepthOf(Parent, Child->CalleeSymbol);
+    // Count arguments whose callsite type is more concrete than the
+    // declared parameter (type narrowed, or exactness gained).
+    for (size_t I = 0; I < Call->numArgs(); ++I) {
+      const Value *Arg = Call->arg(I);
+      const Argument *Param = Target->arg(I);
+      bool Narrower = Arg->type() != Param->type() &&
+                      M.classes().isAssignable(Arg->type(), Param->type());
+      bool GainedExactness =
+          Arg->hasExactType() && !Param->hasExactType() &&
+          Arg->type().isObject();
+      if (Narrower || GainedExactness)
+        ++Child->ArgsMoreConcrete;
+    }
+    Parent.Children.push_back(std::move(Child));
+    return;
+  }
+
+  auto *VCall = cast<VirtualCallInst>(Inst);
+  Child->MethodName = VCall->methodName();
+
+  // Receiver-profile speculation (§IV): up to MaxPolymorphicTargets
+  // classes, each at least MinReceiverProbability likely.
+  std::vector<std::pair<int, double>> TopReceivers;
+  if (Config.EnablePolymorphicInlining) {
+    if (const profile::ReceiverProfile *RP = Profiles.receiverProfile(
+            Parent.ProfileName, VCall->profileId()))
+      TopReceivers = RP->topReceivers(Config.MaxPolymorphicTargets,
+                                      Config.MinReceiverProbability);
+  }
+  if (TopReceivers.empty()) {
+    Child->Kind = CallNodeKind::Generic;
+    Parent.Children.push_back(std::move(Child));
+    return;
+  }
+
+  Child->Kind = CallNodeKind::Polymorphic;
+  for (const auto &[ClassId, Prob] : TopReceivers) {
+    const types::MethodInfo *Target =
+        M.classes().resolveMethod(ClassId, VCall->methodName());
+    if (!Target)
+      continue; // Profile-polluted entry; skip the class.
+    const Function *TargetFn = M.function(Target->QualifiedName);
+    if (!TargetFn)
+      continue;
+    auto TargetChild = std::make_unique<CallNode>();
+    TargetChild->Parent = Child.get();
+    TargetChild->Kind = CallNodeKind::Cutoff;
+    TargetChild->CalleeSymbol = Target->QualifiedName;
+    TargetChild->SourceFn = TargetFn;
+    TargetChild->ProfileName = Target->QualifiedName;
+    TargetChild->Callsite = Inst; // Until typeswitch emission.
+    TargetChild->Probability = Prob;
+    TargetChild->SpeculatedClassId = ClassId;
+    TargetChild->Frequency = Child->Frequency * Prob;
+    TargetChild->RecursionDepth =
+        recursionDepthOf(Parent, TargetChild->CalleeSymbol);
+    // The speculated receiver is exact: that alone makes the receiver
+    // argument more concrete than the declared parameter.
+    TargetChild->ArgsMoreConcrete = 1;
+    ++NodesCreated;
+    Child->Children.push_back(std::move(TargetChild));
+  }
+  if (Child->Children.empty())
+    Child->Kind = CallNodeKind::Generic; // Nothing usable in the profile.
+  Parent.Children.push_back(std::move(Child));
+}
+
+void CallTree::collectChildren(CallNode &N) {
+  assert(N.Body && "collectChildren requires a body");
+  // Callsites already covered by a child (reconciliation reuse).
+  std::unordered_set<const Instruction *> Known;
+  for (const auto &Child : N.Children)
+    if (Child->Callsite)
+      Known.insert(Child->Callsite);
+
+  std::unordered_map<const BasicBlock *, double> Freq =
+      profile::computeBlockFrequencies(*N.Body, &Profiles, N.ProfileName);
+
+  for (const auto &BB : N.Body->blocks()) {
+    for (const auto &Inst : BB->instructions()) {
+      if (!isa<CallInst, VirtualCallInst>(Inst.get()))
+        continue;
+      if (Known.count(Inst.get()))
+        continue;
+      auto FreqIt = Freq.find(BB.get());
+      double BlockFreq = FreqIt != Freq.end() ? FreqIt->second : 0.0;
+      addChildForCallsite(N, Inst.get(), BlockFreq);
+    }
+  }
+}
+
+unsigned CallTree::specializeArguments(CallNode &N) {
+  assert(N.Body && N.Callsite && "specialization needs body and callsite");
+  unsigned Improved = 0;
+
+  auto Improve = [&](Argument *Param, types::Type ArgTy, bool ArgExact) {
+    bool Narrower = ArgTy != Param->type() && ArgTy.isObject() &&
+                    !ArgTy.isNull() &&
+                    M.classes().isAssignable(ArgTy, Param->type());
+    bool GainedExactness = ArgExact && !Param->hasExactType();
+    if (!Narrower && !GainedExactness)
+      return;
+    if (Narrower)
+      Param->setType(ArgTy);
+    if (ArgExact)
+      Param->setExactType(true);
+    ++Improved;
+  };
+
+  if (const auto *Call = dyn_cast<CallInst>(N.Callsite)) {
+    for (size_t I = 0; I < Call->numArgs(); ++I)
+      Improve(N.Body->arg(I), Call->arg(I)->type(),
+              Call->arg(I)->hasExactType());
+    return Improved;
+  }
+
+  // P-target child: receiver is exactly the speculated class; remaining
+  // arguments come from the virtual callsite.
+  const auto *VCall = cast<VirtualCallInst>(N.Callsite);
+  assert(N.SpeculatedClassId != types::NullClassId &&
+         "virtual callsite child without speculation");
+  Improve(N.Body->arg(0), types::Type::object(N.SpeculatedClassId),
+          /*ArgExact=*/true);
+  for (size_t I = 0; I < VCall->numArgs(); ++I)
+    Improve(N.Body->arg(I + 1), VCall->arg(I)->type(),
+            VCall->arg(I)->hasExactType());
+  return Improved;
+}
+
+bool CallTree::expandCutoff(CallNode &N) {
+  assert(N.Kind == CallNodeKind::Cutoff && "can only expand cutoffs");
+  assert(N.SourceFn && "cutoff without a source function");
+
+  if (N.RecursionDepth > Config.MaxRecursionDepth) {
+    N.Kind = CallNodeKind::Generic; // Give up on this branch of recursion.
+    return false;
+  }
+  // A callee with no return never completes; inlining it is unsupported.
+  bool HasReturn = false;
+  for (const auto &BB : N.SourceFn->blocks())
+    for (const auto &Inst : BB->instructions())
+      HasReturn |= isa<ReturnInst>(Inst.get());
+  if (!HasReturn) {
+    N.Kind = CallNodeKind::Generic;
+    return false;
+  }
+
+  ClonedFunction Clone = cloneFunction(
+      *N.SourceFn,
+      formatString("%s$spec%llu", N.SourceFn->name().c_str(),
+                   static_cast<unsigned long long>(NextCloneId++)));
+  N.Body = std::move(Clone.F);
+
+  // Deep inlining trials: propagate the callsite's argument types into the
+  // copy and run the canonicalizer, counting triggered optimizations
+  // (N_s). The shallow ablation only specializes the root's direct
+  // callees.
+  bool Specialize =
+      Config.DeepTrials || (N.Parent && N.Parent->isRoot()) ||
+      (N.Parent && N.Parent->Kind == CallNodeKind::Polymorphic &&
+       N.Parent->Parent && N.Parent->Parent->isRoot());
+  unsigned SpecializedParams = 0;
+  unsigned CanonOpts = 0;
+  if (Specialize) {
+    SpecializedParams = specializeArguments(N);
+    opt::CanonOptions Options;
+    Options.VisitBudget = Config.TrialVisitBudget;
+    opt::CanonStats Stats = opt::canonicalize(*N.Body, M, Options);
+    opt::eliminateDeadCode(*N.Body);
+    CanonOpts = Stats.total();
+  }
+
+  N.Kind = CallNodeKind::Expanded;
+  collectChildren(N);
+
+  // N_s — the trial's measured optimization potential: rewrites that
+  // actually fired, parameters that became more concrete (each simplifies
+  // guards and type checks downstream, like Graal's pi/guard removal),
+  // and callsites whose receiver profile admits speculation (optimization
+  // the inlining would unlock). All with equal weight, per §IV.
+  unsigned SpeculationSites = 0;
+  if (Specialize)
+    for (const auto &Child : N.Children)
+      if (Child->Kind == CallNodeKind::Polymorphic)
+        ++SpeculationSites;
+  N.TrialOpts = CanonOpts + SpecializedParams + SpeculationSites;
+  return true;
+}
+
+size_t CallTree::reconcileRoot() {
+  assert(Root && Root->Body && "no root to reconcile");
+  size_t Changes = 0;
+
+  // Live callsites in the root body.
+  std::unordered_set<const Instruction *> Live;
+  for (const auto &BB : Root->Body->blocks())
+    for (const auto &Inst : BB->instructions())
+      if (isa<CallInst, VirtualCallInst>(Inst.get()))
+        Live.insert(Inst.get());
+
+  // Children whose callsite vanished were optimized away (kind D). Their
+  // whole subtree is dropped: it described code that no longer exists.
+  for (const auto &Child : Root->Children) {
+    if (Child->Kind == CallNodeKind::Deleted || !Child->Callsite)
+      continue;
+    if (!Live.count(Child->Callsite)) {
+      Child->Kind = CallNodeKind::Deleted;
+      Child->Children.clear();
+      Child->Body.reset();
+      Child->Callsite = nullptr;
+      ++Changes;
+    }
+  }
+
+  // Brand-new callsites (devirtualization products etc.) get children.
+  size_t Before = Root->Children.size();
+  collectChildren(*Root);
+  Changes += Root->Children.size() - Before;
+  return Changes;
+}

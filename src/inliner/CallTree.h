@@ -1,0 +1,188 @@
+//===- inliner/CallTree.h - The partial call tree (Listing 2) --------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The partial call tree of §III-A. Each node represents one callsite in
+/// its parent's *specialized body* and carries:
+///
+///  * its kind — C (cutoff, not yet expanded), E (expanded, body attached),
+///    D (deleted by an optimization), G (cannot be inlined), and P
+///    (polymorphic callsite speculated from the receiver profile);
+///  * a pointer to the callsite instruction in the parent's body;
+///  * for E nodes, the *specialized* clone of the callee: argument types
+///    propagated from the callsite and canonicalized (deep inlining
+///    trials), which is why a call tree — not a call graph — is used:
+///    every node can be specialized for its unique calling context;
+///  * the metrics feeding the paper's formulas: the callsite frequency
+///    f(n), the deep-trial optimization count N_s, the more-concrete
+///    argument count for cutoffs, and the recursion depth d(n).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_INLINER_CALLTREE_H
+#define INCLINE_INLINER_CALLTREE_H
+
+#include "inliner/CostBenefit.h"
+#include "inliner/InlinerConfig.h"
+#include "ir/Module.h"
+#include "profile/ProfileData.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace incline::inliner {
+
+/// Node kinds of Listing 2, plus P for polymorphic callsites (§IV).
+enum class CallNodeKind : uint8_t {
+  Cutoff,      ///< C: callsite known, body not yet attached.
+  Expanded,    ///< E: specialized body attached, children collected.
+  Deleted,     ///< D: the callsite was removed by an optimization.
+  Generic,     ///< G: cannot be inlined (unknown target).
+  Polymorphic, ///< P: receiver-profile speculation; children = targets.
+};
+
+std::string_view callNodeKindName(CallNodeKind Kind);
+
+/// One call-tree node.
+class CallNode {
+public:
+  CallNodeKind Kind = CallNodeKind::Cutoff;
+  CallNode *Parent = nullptr;
+  std::vector<std::unique_ptr<CallNode>> Children;
+
+  /// Resolved direct target symbol for C/E nodes ("Class.m" or "f");
+  /// empty for G/P nodes and the root.
+  std::string CalleeSymbol;
+  /// The callee's unspecialized body in the module (C/E nodes).
+  const ir::Function *SourceFn = nullptr;
+  /// Virtual method name (P nodes and virtual G nodes).
+  std::string MethodName;
+
+  /// The callsite in the parent's body (CallInst for direct, VirtualCall
+  /// for P/virtual-G). Null for the root. P-target children initially
+  /// share their parent's callsite until typeswitch emission gives each
+  /// arm its own direct call.
+  ir::Instruction *Callsite = nullptr;
+
+  /// The specialized body (E nodes and the root). Kept outside the module:
+  /// it is this callsite's private copy.
+  std::unique_ptr<ir::Function> Body;
+  /// Profile-table key for Body's profile ids (the original method name).
+  std::string ProfileName;
+
+  //===--------------------------------------------------------------------===//
+  // Metrics (inputs of Eqs. 4-8 and 12-14).
+  //===--------------------------------------------------------------------===//
+  /// f(n): expected executions per execution of the root.
+  double Frequency = 1.0;
+  /// For cutoffs: arguments whose callsite type is more concrete than the
+  /// declared parameter type.
+  unsigned ArgsMoreConcrete = 0;
+  /// For expanded nodes: simple optimizations triggered by the deep
+  /// inlining trial (N_s).
+  unsigned TrialOpts = 0;
+  /// d(n): occurrences of this callee among the ancestors.
+  int RecursionDepth = 0;
+  /// Receiver probability under a P parent (p_m of Eq. 13).
+  double Probability = 1.0;
+  /// Speculated exact receiver class for P-target children.
+  int SpeculatedClassId = types::NullClassId;
+
+  //===--------------------------------------------------------------------===//
+  // Analysis results (Listing 6).
+  //===--------------------------------------------------------------------===//
+  /// The cost-benefit tuple of the cluster rooted at this node.
+  CostBenefit Tuple;
+  /// True when the analysis merged this node into its parent's cluster
+  /// ("inlined" relation): it is inlined together with the parent or not
+  /// at all.
+  bool InCluster = false;
+
+  bool isRoot() const { return Parent == nullptr; }
+
+  /// |ir(n)|: specialized body size for E, unspecialized callee size for
+  /// C, 0 for G/D, and the typeswitch overhead estimate for P.
+  size_t irSize() const;
+
+  /// S_ir(n) (Eq. 1): total |ir| over the subtree (this node included).
+  size_t subtreeIrSize() const;
+  /// S_c(n) (Eq. 2): total |ir| over the subtree's cutoff nodes.
+  size_t cutoffSize() const;
+  /// N_c(n) (Eq. 3): number of cutoff nodes in the subtree.
+  size_t cutoffCount() const;
+
+  /// Pre-order visit of the subtree.
+  void forEach(const std::function<void(CallNode &)> &Fn);
+
+  /// Renders the subtree as an indented text dump (for the examples and
+  /// debugging): kind tag, callee, frequency, sizes.
+  std::string dump(unsigned Indent = 0) const;
+};
+
+/// Builds and maintains the call tree: child collection from a body's
+/// callsites, cutoff expansion with specialization and deep trials, and
+/// post-inline reconciliation.
+class CallTree {
+public:
+  CallTree(const InlinerConfig &Config, const ir::Module &M,
+           const profile::ProfileTable &Profiles)
+      : Config(Config), M(M), Profiles(Profiles) {}
+
+  /// Creates the root node around the compilation copy \p RootBody, whose
+  /// profiles live under \p ProfileName, and collects its children.
+  CallNode &buildRoot(std::unique_ptr<ir::Function> RootBody,
+                      std::string ProfileName);
+
+  CallNode *root() { return Root.get(); }
+  const CallNode *root() const { return Root.get(); }
+
+  /// B_L(n) — the local benefit (Eq. 4 / Eq. 13).
+  double localBenefit(const CallNode &N) const;
+
+  /// Expands a cutoff: clones the callee, propagates the callsite's
+  /// argument types (deep trials), canonicalizes the copy, and collects
+  /// grandchildren. Returns false when the node cannot be expanded (e.g.
+  /// recursion depth exceeded); such nodes become G.
+  bool expandCutoff(CallNode &N);
+
+  /// Scans \p N's body and appends child nodes for every callsite that has
+  /// no node yet. Used at expansion and for post-inline reconciliation of
+  /// the root. New direct callsites become C/G children; virtual callsites
+  /// become P (with profiled targets) or G.
+  void collectChildren(CallNode &N);
+
+  /// Post-optimization reconciliation for the root: children whose
+  /// callsite instruction no longer exists in the root body are marked
+  /// Deleted (D), and brand-new callsites get fresh children. Returns the
+  /// number of changes made.
+  size_t reconcileRoot();
+
+  /// Number of nodes ever created (for compile stats).
+  uint64_t nodesCreated() const { return NodesCreated; }
+
+private:
+  /// Creates a child node for callsite \p Inst inside \p Parent.
+  void addChildForCallsite(CallNode &Parent, ir::Instruction *Inst,
+                           double BlockFrequency);
+  int recursionDepthOf(const CallNode &Parent,
+                       const std::string &CalleeSymbol) const;
+  /// Specializes \p N's Body arguments from its callsite; returns how many
+  /// parameters became more concrete.
+  unsigned specializeArguments(CallNode &N);
+
+  const InlinerConfig &Config;
+  const ir::Module &M;
+  const profile::ProfileTable &Profiles;
+  std::unique_ptr<CallNode> Root;
+  uint64_t NodesCreated = 0;
+  uint64_t NextCloneId = 0;
+};
+
+} // namespace incline::inliner
+
+#endif // INCLINE_INLINER_CALLTREE_H

@@ -1,0 +1,109 @@
+//===- inliner/ClusterAnalysis.cpp --------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "inliner/ClusterAnalysis.h"
+
+#include <algorithm>
+
+using namespace incline;
+using namespace incline::inliner;
+
+namespace {
+
+bool isInlineableUnit(const CallNode &N) {
+  return N.Kind == CallNodeKind::Expanded ||
+         N.Kind == CallNodeKind::Polymorphic;
+}
+
+void collectFront(CallNode &N, std::vector<CallNode *> &Out) {
+  for (const auto &Child : N.Children) {
+    if (Child->InCluster)
+      collectFront(*Child, Out); // Inside the cluster: look deeper.
+    else if (isInlineableUnit(*Child))
+      Out.push_back(Child.get());
+  }
+}
+
+/// Listing 6 for one node (children already analyzed).
+void analyzeNode(const InlinerConfig &Config, CallTree &Tree, CallNode &N) {
+  double Cost = std::max<double>(1.0, static_cast<double>(N.irSize()));
+  for (const auto &Child : N.Children)
+    Child->InCluster = false; // Reset; re-established below.
+
+  if (!Config.UseClustering) {
+    // 1-by-1 ablation: the classic per-method benefit/cost judgement —
+    // no cluster bookkeeping, no forfeit accounting.
+    N.Tuple = CostBenefit(Tree.localBenefit(N), Cost);
+    return;
+  }
+
+  // Initial tuple: cost is |ir(n)|; benefit is the local benefit minus the
+  // forfeited local benefits of the children (inlining n alone gives up
+  // the optimizations its callees would have enabled). Merging a child
+  // cluster adds its benefit back (Listing 6).
+  double Benefit = Tree.localBenefit(N);
+  for (const auto &Child : N.Children)
+    Benefit -= Tree.localBenefit(*Child);
+  N.Tuple = CostBenefit(Benefit, Cost);
+  if (!isInlineableUnit(N) && !N.isRoot())
+    return; // Cutoff/Generic/Deleted nodes never grow clusters.
+
+  // Greedy merging: take the adjacent cluster with the best ratio while it
+  // improves this cluster's ratio.
+  std::vector<CallNode *> Front;
+  collectFront(N, Front);
+  while (!Front.empty()) {
+    auto BestIt = std::max_element(
+        Front.begin(), Front.end(), [](CallNode *A, CallNode *B) {
+          return A->Tuple.ratio() < B->Tuple.ratio();
+        });
+    CallNode *Best = *BestIt;
+    CostBenefit Merged = N.Tuple.merged(Best->Tuple);
+    if (Merged.ratio() <= N.Tuple.ratio())
+      break; // No adjacent cluster improves the ratio any more.
+    N.Tuple = Merged;
+    Best->InCluster = true;
+    Front.erase(BestIt);
+    collectFront(*Best, Front); // Best's front becomes adjacent to N.
+  }
+}
+
+void analyzePostOrder(const InlinerConfig &Config, CallTree &Tree,
+                      CallNode &N) {
+  for (const auto &Child : N.Children)
+    analyzePostOrder(Config, Tree, *Child);
+  if (!N.isRoot())
+    analyzeNode(Config, Tree, N);
+}
+
+} // namespace
+
+void incline::inliner::analyzeTree(const InlinerConfig &Config,
+                                   CallTree &Tree) {
+  if (CallNode *Root = Tree.root()) {
+    for (const auto &Child : Root->Children)
+      analyzePostOrder(Config, Tree, *Child);
+    // The root's own children form the initial cluster roots; the root is
+    // never merged anywhere.
+    for (const auto &Child : Root->Children)
+      Child->InCluster = false;
+  }
+}
+
+std::vector<CallNode *> incline::inliner::clusterFront(CallNode &N) {
+  std::vector<CallNode *> Out;
+  collectFront(N, Out);
+  return Out;
+}
+
+std::vector<CallNode *> incline::inliner::clusterMembers(CallNode &N) {
+  std::vector<CallNode *> Members = {&N};
+  for (size_t I = 0; I < Members.size(); ++I)
+    for (const auto &Child : Members[I]->Children)
+      if (Child->InCluster)
+        Members.push_back(Child.get());
+  return Members;
+}

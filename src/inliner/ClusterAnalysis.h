@@ -1,0 +1,44 @@
+//===- inliner/ClusterAnalysis.h - Cost-benefit clustering (Listing 6) -----===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analysis phase: a bottom-up pass assigning each node its
+/// cost-benefit tuple and greedily merging adjacent child clusters while
+/// doing so improves the benefit-to-cost ratio (Listing 6). The result is
+/// the `InCluster` relation: a cluster is inlined together or not at all —
+/// the paper's answer to the impedance between subroutines (logical units)
+/// and groups of subroutines (optimizable units).
+///
+/// The 1-by-1 ablation (Fig. 8) skips merging: every method is its own
+/// cluster.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_INLINER_CLUSTERANALYSIS_H
+#define INCLINE_INLINER_CLUSTERANALYSIS_H
+
+#include "inliner/CallTree.h"
+
+#include <vector>
+
+namespace incline::inliner {
+
+/// Runs the analysis over the whole tree (bottom-up). After this, every
+/// node's `Tuple` and `InCluster` are up to date.
+void analyzeTree(const InlinerConfig &Config, CallTree &Tree);
+
+/// The "front" of \p N's cluster: inlineable descendants (E/P) reachable
+/// through cluster members that are themselves not part of the cluster.
+/// These become independent cluster roots once \p N is inlined.
+std::vector<CallNode *> clusterFront(CallNode &N);
+
+/// All members of the cluster rooted at \p N (N first, then the merged
+/// descendants in pre-order).
+std::vector<CallNode *> clusterMembers(CallNode &N);
+
+} // namespace incline::inliner
+
+#endif // INCLINE_INLINER_CLUSTERANALYSIS_H

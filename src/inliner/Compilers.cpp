@@ -1,0 +1,88 @@
+//===- inliner/Compilers.cpp --------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "inliner/Compilers.h"
+
+#include "inliner/IncrementalInliner.h"
+#include "ir/IRCloner.h"
+#include "opt/Canonicalizer.h"
+#include "opt/DCE.h"
+#include "opt/PassPipeline.h"
+
+using namespace incline;
+using namespace incline::inliner;
+
+std::unique_ptr<ir::Function>
+IncrementalCompiler::compile(const ir::Function &Source, const ir::Module &M,
+                             const profile::ProfileTable &Profiles,
+                             jit::CompileStats &Stats) {
+  ir::ClonedFunction Clone = ir::cloneFunction(Source, Source.name());
+  IncrementalInliner Inliner(Config, M, Profiles);
+  InlinerResult Result = Inliner.run(std::move(Clone.F), Source.name());
+
+  Stats.InlinedCallsites = Result.CallsitesInlined;
+  Stats.Rounds = Result.Rounds;
+  Stats.ExploredNodes = Result.NodesExplored;
+  Stats.OptsTriggered = Result.OptsTriggered;
+
+  opt::PipelineStats Pipeline = opt::runOptimizationPipeline(*Result.Body, M);
+  Stats.OptsTriggered += Pipeline.Canon.total();
+  return std::move(Result.Body);
+}
+
+std::unique_ptr<ir::Function>
+GreedyCompiler::compile(const ir::Function &Source, const ir::Module &M,
+                        const profile::ProfileTable &Profiles,
+                        jit::CompileStats &Stats) {
+  ir::ClonedFunction Clone = ir::cloneFunction(Source, Source.name());
+  // The greedy inliner does not alternate with optimization: a single
+  // canonicalization precedes it (statically-known devirtualization), the
+  // shared pipeline follows it.
+  opt::CanonStats Canon = opt::canonicalize(*Clone.F, M);
+  BaselineResult Result =
+      runGreedyInliner(*Clone.F, M, Profiles, Source.name(), Config);
+  Stats.InlinedCallsites = Result.CallsitesInlined;
+  Stats.Rounds = 1;
+  Stats.OptsTriggered = Canon.total();
+
+  opt::PipelineStats Pipeline = opt::runOptimizationPipeline(*Clone.F, M);
+  Stats.OptsTriggered += Pipeline.Canon.total();
+  return std::move(Clone.F);
+}
+
+std::unique_ptr<ir::Function>
+C2StyleCompiler::compile(const ir::Function &Source, const ir::Module &M,
+                         const profile::ProfileTable &Profiles,
+                         jit::CompileStats &Stats) {
+  ir::ClonedFunction Clone = ir::cloneFunction(Source, Source.name());
+  opt::CanonStats Canon = opt::canonicalize(*Clone.F, M);
+  BaselineResult Result =
+      runC2StyleInliner(*Clone.F, M, Profiles, Source.name(), Config);
+  Stats.InlinedCallsites = Result.CallsitesInlined;
+  Stats.Rounds = 2; // Trivial phase + greedy phase.
+  Stats.OptsTriggered = Canon.total();
+
+  opt::PipelineStats Pipeline = opt::runOptimizationPipeline(*Clone.F, M);
+  Stats.OptsTriggered += Pipeline.Canon.total();
+  return std::move(Clone.F);
+}
+
+std::unique_ptr<ir::Function>
+TrivialCompiler::compile(const ir::Function &Source, const ir::Module &M,
+                         const profile::ProfileTable &Profiles,
+                         jit::CompileStats &Stats) {
+  (void)Profiles; // The first tier does not consult profiles.
+  ir::ClonedFunction Clone = ir::cloneFunction(Source, Source.name());
+  BaselineResult Result = runTrivialInliner(*Clone.F, M, Config);
+  Stats.InlinedCallsites = Result.CallsitesInlined;
+  Stats.Rounds = 1;
+
+  // C1 does only light cleanup: canonicalize + DCE, no GVN/RWE.
+  opt::CanonStats Canon = opt::canonicalize(*Clone.F, M);
+  opt::eliminateDeadCode(*Clone.F);
+  Stats.OptsTriggered = Canon.total();
+  return std::move(Clone.F);
+}

@@ -1,0 +1,50 @@
+//===- inliner/CostBenefit.h - The b|c tuple algebra -----------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cost-benefit tuple b|c of §IV with its two operations:
+/// merging (Eq. 9)     b1|c1 (+) b2|c2 = (b1+b2)|(c1+c2)
+/// comparison (Eq. 10) b1|c1 >= b2|c2 <=> b1/c1 >= b2/c2
+/// and the ratio (Eq. 11) <b|c> = b/c.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_INLINER_COSTBENEFIT_H
+#define INCLINE_INLINER_COSTBENEFIT_H
+
+#include <cassert>
+
+namespace incline::inliner {
+
+/// A benefit/cost pair. Benefit is in (frequency-weighted) saved-work
+/// units; cost is in IR nodes. Benefit may be negative after subtracting
+/// forfeited child benefits (Listing 6); cost is always positive.
+struct CostBenefit {
+  double Benefit = 0.0;
+  double Cost = 1.0;
+
+  CostBenefit() = default;
+  CostBenefit(double Benefit, double Cost) : Benefit(Benefit), Cost(Cost) {
+    assert(Cost > 0 && "cost must be positive");
+  }
+
+  /// Eq. 9: cluster merging.
+  CostBenefit merged(const CostBenefit &Other) const {
+    return CostBenefit(Benefit + Other.Benefit, Cost + Other.Cost);
+  }
+
+  /// Eq. 11: the benefit-to-cost ratio.
+  double ratio() const { return Benefit / Cost; }
+
+  /// Eq. 10: ratio ordering.
+  bool betterThan(const CostBenefit &Other) const {
+    return ratio() >= Other.ratio();
+  }
+};
+
+} // namespace incline::inliner
+
+#endif // INCLINE_INLINER_COSTBENEFIT_H

@@ -1,0 +1,119 @@
+//===- inliner/ExpansionPhase.cpp ---------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "inliner/ExpansionPhase.h"
+
+#include <cmath>
+#include <limits>
+
+using namespace incline;
+using namespace incline::inliner;
+
+namespace {
+constexpr double NegInf = -std::numeric_limits<double>::infinity();
+}
+
+double ExpansionPhase::explorationPenalty(const CallNode &N) const {
+  // Eq. 7: psi(n) = p1*S_ir(n) + p2*S_c(n) - b1*max(0, b2 - N_c(n)^2).
+  double Sir = static_cast<double>(N.subtreeIrSize());
+  double Sc = static_cast<double>(N.cutoffSize());
+  double Nc = static_cast<double>(N.cutoffCount());
+  return Config.P1 * Sir + Config.P2 * Sc -
+         Config.B1 * std::max(0.0, Config.B2 - Nc * Nc);
+}
+
+double ExpansionPhase::intrinsicPriority(CallNode &N) const {
+  switch (N.Kind) {
+  case CallNodeKind::Cutoff: {
+    if (Rejected.count(&N))
+      return NegInf;
+    if (N.RecursionDepth > Config.MaxRecursionDepth)
+      return NegInf;
+    double Size = std::max<double>(1.0, static_cast<double>(N.irSize()));
+    double Base = Tree.localBenefit(N) / Size;
+    // Eq. 14: psi_r(n) = max(1, f(n)) * max(0, 2^d(n) - 2).
+    double RecursionPenalty =
+        std::max(1.0, N.Frequency) *
+        std::max(0.0, std::pow(2.0, N.RecursionDepth) - 2.0);
+    return Base - RecursionPenalty;
+  }
+  case CallNodeKind::Expanded:
+  case CallNodeKind::Polymorphic: {
+    // Eq. 5: the best child determines the subtree's priority.
+    double Best = NegInf;
+    for (const auto &Child : N.Children)
+      Best = std::max(Best, priority(*Child));
+    return Best;
+  }
+  case CallNodeKind::Deleted:
+  case CallNodeKind::Generic:
+    return NegInf;
+  }
+  return NegInf;
+}
+
+double ExpansionPhase::priority(CallNode &N) const {
+  double Intrinsic = intrinsicPriority(N);
+  if (Intrinsic == NegInf)
+    return NegInf;
+  return Intrinsic - explorationPenalty(N); // Eq. 6.
+}
+
+bool ExpansionPhase::shouldExpand(const CallNode &N) const {
+  double RootTreeSize = static_cast<double>(Tree.root()->subtreeIrSize());
+  if (Config.ExpansionPolicy == ExpansionPolicyKind::FixedTreeSize)
+    return RootTreeSize < Config.FixedExpansionThreshold;
+
+  // Eq. 8: B_L(n)/|ir(n)| >= exp((S_ir(root) - r1)/r2). The threshold
+  // rises steadily with the tree size but never forbids exploration
+  // outright: a very beneficial call stays expandable past the typical
+  // size.
+  double Size = std::max<double>(1.0, static_cast<double>(N.irSize()));
+  double RelativeBenefit = Tree.localBenefit(N) / Size;
+  double Threshold = std::exp((RootTreeSize - Config.R1) / Config.R2);
+  return RelativeBenefit >= Threshold;
+}
+
+CallNode *ExpansionPhase::descend() {
+  CallNode *Cur = Tree.root();
+  while (Cur) {
+    if (Cur->Kind == CallNodeKind::Cutoff)
+      return Cur;
+    CallNode *Best = nullptr;
+    double BestPriority = NegInf;
+    for (const auto &Child : Cur->Children) {
+      double P = priority(*Child);
+      if (P > BestPriority) {
+        BestPriority = P;
+        Best = Child.get();
+      }
+    }
+    if (!Best || BestPriority == NegInf)
+      return nullptr; // No expandable cutoff below.
+    Cur = Best;
+  }
+  return nullptr;
+}
+
+size_t ExpansionPhase::run() {
+  Rejected.clear();
+  size_t Expanded = 0;
+  while (Expanded < Config.MaxExpansionsPerRound) {
+    CallNode *Cutoff = descend();
+    if (!Cutoff)
+      break;
+    if (!shouldExpand(*Cutoff)) {
+      Rejected.insert(Cutoff);
+      continue;
+    }
+    if (Tree.expandCutoff(*Cutoff))
+      ++Expanded;
+    else
+      Rejected.insert(Cutoff); // Became Generic; priority is now -inf
+                               // anyway, but keep the set tidy.
+  }
+  return Expanded;
+}

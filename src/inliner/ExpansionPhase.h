@@ -1,0 +1,62 @@
+//===- inliner/ExpansionPhase.h - Call-tree exploration (Listing 3) --------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The expansion phase: repeatedly descends from the root towards the
+/// highest-priority cutoff (Eqs. 5-7: intrinsic priority B_L/|ir| with the
+/// exploration penalty psi and the recursion penalty psi_r of Eq. 14) and
+/// expands it if the adaptive threshold (Eq. 8) — or the fixed-size
+/// ablation — admits it. Stops after MaxExpansionsPerRound expansions so
+/// analysis and inlining get their turn (the explore/optimize/inline
+/// alternation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_INLINER_EXPANSIONPHASE_H
+#define INCLINE_INLINER_EXPANSIONPHASE_H
+
+#include "inliner/CallTree.h"
+
+#include <unordered_set>
+
+namespace incline::inliner {
+
+/// Runs expansion phases over one call tree.
+class ExpansionPhase {
+public:
+  ExpansionPhase(const InlinerConfig &Config, CallTree &Tree)
+      : Config(Config), Tree(Tree) {}
+
+  /// One phase; returns the number of cutoffs expanded.
+  size_t run();
+
+  /// Final priority P(n) = P_I(n) - psi(n) (Eq. 6). Exposed for tests and
+  /// the call-tree explorer example.
+  double priority(CallNode &N) const;
+  /// Intrinsic priority P_I(n) (Eq. 5), including the recursion penalty
+  /// psi_r for cutoffs (Eq. 14). -infinity for unexpandable subtrees.
+  double intrinsicPriority(CallNode &N) const;
+  /// Exploration penalty psi(n) (Eq. 7).
+  double explorationPenalty(const CallNode &N) const;
+  /// The expansion admission test (Eq. 8 or the fixed-T_e ablation).
+  bool shouldExpand(const CallNode &N) const;
+
+private:
+  /// Hierarchical descend (Listing 3): picks the best child at each level
+  /// until reaching a cutoff. Returns null when no admissible cutoff
+  /// remains.
+  CallNode *descend();
+
+  const InlinerConfig &Config;
+  CallTree &Tree;
+  /// Cutoffs rejected during the current phase (threshold failures); they
+  /// are skipped for the rest of the phase.
+  std::unordered_set<const CallNode *> Rejected;
+};
+
+} // namespace incline::inliner
+
+#endif // INCLINE_INLINER_EXPANSIONPHASE_H

@@ -1,0 +1,74 @@
+//===- inliner/IncrementalInliner.cpp -----------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "inliner/IncrementalInliner.h"
+
+#include "inliner/ClusterAnalysis.h"
+#include "inliner/ExpansionPhase.h"
+#include "inliner/InliningPhase.h"
+#include "opt/Canonicalizer.h"
+#include "opt/DCE.h"
+#include "opt/LoopPeeling.h"
+#include "opt/ReadWriteElimination.h"
+
+using namespace incline;
+using namespace incline::inliner;
+
+InlinerResult IncrementalInliner::run(std::unique_ptr<ir::Function> RootBody,
+                                      std::string ProfileName) {
+  InlinerResult Result;
+
+  // Parity with Graal: the graph is canonicalized before inlining starts,
+  // so statically obvious devirtualizations precede exploration.
+  opt::CanonOptions CanonOpts;
+  CanonOpts.VisitBudget = Config.TrialVisitBudget;
+  Result.OptsTriggered += opt::canonicalize(*RootBody, M, CanonOpts).total();
+
+  CallTree Tree(Config, M, Profiles);
+  Tree.buildRoot(std::move(RootBody), std::move(ProfileName));
+  ExpansionPhase Expansion(Config, Tree);
+
+  for (size_t Round = 0; Round < Config.MaxRounds; ++Round) {
+    CallNode *Root = Tree.root();
+    if (Root->Body->instructionCount() >= Config.RootSizeCap)
+      break; // Graal's compilations become too slow past this point.
+
+    size_t Expanded = Expansion.run();
+    analyzeTree(Config, Tree);
+    InlinePhaseStats Inlined = runInliningPhase(Config, Tree, M);
+    Result.CallsitesInlined += Inlined.CallsitesInlined;
+    Result.TypeSwitchesEmitted += Inlined.TypeSwitchesEmitted;
+    ++Result.Rounds;
+
+    size_t Reconciled = 0;
+    if (Inlined.ClustersInlined > 0) {
+      // §IV "Other optimizations": re-optimize the grown root each round.
+      Result.OptsTriggered +=
+          opt::canonicalize(*Root->Body, M, CanonOpts).total();
+      if (Config.EnableRoundReadWriteElimination) {
+        opt::eliminateReadsWrites(*Root->Body);
+        Result.OptsTriggered +=
+            opt::canonicalize(*Root->Body, M, CanonOpts).total();
+      }
+      if (Config.EnableRoundLoopPeeling && opt::peelLoops(*Root->Body) > 0)
+        Result.OptsTriggered +=
+            opt::canonicalize(*Root->Body, M, CanonOpts).total();
+      opt::eliminateDeadCode(*Root->Body);
+      Reconciled = Tree.reconcileRoot();
+    }
+
+    // Termination: no cutoffs left, or a completely quiet round.
+    if (Tree.root()->cutoffCount() == 0 && Inlined.ClustersInlined == 0 &&
+        Reconciled == 0)
+      break;
+    if (Expanded == 0 && Inlined.ClustersInlined == 0 && Reconciled == 0)
+      break;
+  }
+
+  Result.NodesExplored = Tree.nodesCreated();
+  Result.Body = std::move(Tree.root()->Body);
+  return Result;
+}

@@ -1,0 +1,59 @@
+//===- inliner/IncrementalInliner.h - The algorithm driver (Listing 1) -----===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's top-level loop: expand -> analyze -> inline, repeated until
+/// termination (no cutoffs left, no change during the round, or the
+/// 50000-node root cap). Between rounds the root method is re-optimized —
+/// canonicalization plus the §IV "other optimizations": read-write
+/// elimination (restores receiver types lost through memory) and
+/// first-iteration loop peeling — and the call tree is reconciled with the
+/// optimized root (deleted callsites become D nodes; new direct callsites
+/// from devirtualization become fresh C nodes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_INLINER_INCREMENTALINLINER_H
+#define INCLINE_INLINER_INCREMENTALINLINER_H
+
+#include "inliner/CallTree.h"
+
+#include <memory>
+#include <string>
+
+namespace incline::inliner {
+
+/// Outcome of one full inliner run.
+struct InlinerResult {
+  std::unique_ptr<ir::Function> Body; ///< The transformed root method.
+  size_t Rounds = 0;
+  size_t CallsitesInlined = 0;
+  size_t TypeSwitchesEmitted = 0;
+  uint64_t NodesExplored = 0;
+  uint64_t OptsTriggered = 0; ///< Canonicalizer rewrites in root + trials.
+};
+
+/// Runs the incremental inlining algorithm on one compilation request.
+class IncrementalInliner {
+public:
+  IncrementalInliner(const InlinerConfig &Config, const ir::Module &M,
+                     const profile::ProfileTable &Profiles)
+      : Config(Config), M(M), Profiles(Profiles) {}
+
+  /// Consumes the compilation copy \p RootBody of the method named
+  /// \p ProfileName and returns the inlined, optimized body.
+  InlinerResult run(std::unique_ptr<ir::Function> RootBody,
+                    std::string ProfileName);
+
+private:
+  const InlinerConfig &Config;
+  const ir::Module &M;
+  const profile::ProfileTable &Profiles;
+};
+
+} // namespace incline::inliner
+
+#endif // INCLINE_INLINER_INCREMENTALINLINER_H

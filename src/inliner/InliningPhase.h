@@ -1,0 +1,44 @@
+//===- inliner/InliningPhase.h - Cluster inlining (Listing 5) --------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inlining phase: repeatedly selects the best cluster among the
+/// root's children (by tuple ratio), admits it through the adaptive
+/// threshold of Eq. 12 (or the fixed-T_i ablation), and grafts the whole
+/// cluster into the root method — expanded nodes via inline substitution,
+/// polymorphic nodes via typeswitch emission followed by inlining of the
+/// speculated targets. Cluster descendants outside the cluster are
+/// re-parented under the root and queued as further candidates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_INLINER_INLININGPHASE_H
+#define INCLINE_INLINER_INLININGPHASE_H
+
+#include "inliner/CallTree.h"
+
+namespace incline::inliner {
+
+/// Statistics of one inlining phase.
+struct InlinePhaseStats {
+  size_t ClustersInlined = 0;
+  size_t CallsitesInlined = 0; ///< Individual bodies grafted.
+  size_t TypeSwitchesEmitted = 0;
+};
+
+/// Runs one inlining phase over \p Tree (Listing 5). \p M resolves class
+/// metadata for typeswitch emission.
+InlinePhaseStats runInliningPhase(const InlinerConfig &Config, CallTree &Tree,
+                                  const ir::Module &M);
+
+/// The admission test (Eq. 12 adaptive, or the fixed-root-size ablation).
+/// Exposed for tests.
+bool canInlineCluster(const InlinerConfig &Config, const CallNode &Root,
+                      const CallNode &Cluster);
+
+} // namespace incline::inliner
+
+#endif // INCLINE_INLINER_INLININGPHASE_H

@@ -1,0 +1,36 @@
+//===- interp/Heap.cpp ---------------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Heap.h"
+
+using namespace incline;
+using namespace incline::interp;
+
+size_t Heap::allocObject(int ClassId) {
+  const std::vector<types::FieldInfo> &Layout = Classes.fieldLayout(ClassId);
+  RtObject Obj;
+  Obj.ClassId = ClassId;
+  Obj.Fields.reserve(Layout.size());
+  for (const types::FieldInfo &F : Layout) {
+    if (F.Ty.isInt())
+      Obj.Fields.push_back(RtValue::intVal(0));
+    else if (F.Ty.isBool())
+      Obj.Fields.push_back(RtValue::boolVal(false));
+    else
+      Obj.Fields.push_back(RtValue::nullVal());
+  }
+  Objects.push_back(std::move(Obj));
+  return Objects.size() - 1;
+}
+
+size_t Heap::allocArray(bool IntElements, int64_t Length) {
+  RtArray Arr;
+  Arr.IntElements = IntElements;
+  Arr.Elems.assign(static_cast<size_t>(Length),
+                   IntElements ? RtValue::intVal(0) : RtValue::nullVal());
+  Arrays.push_back(std::move(Arr));
+  return Arrays.size() - 1;
+}

@@ -1,0 +1,71 @@
+//===- interp/Heap.h - Object and array heap ---------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple non-collected heap: objects (class id + field slots) and arrays.
+/// MiniOO benchmark workloads are bounded, so allocation without reclamation
+/// is adequate; a cap guards runaway programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_INTERP_HEAP_H
+#define INCLINE_INTERP_HEAP_H
+
+#include "interp/RtValue.h"
+#include "types/ClassHierarchy.h"
+
+#include <vector>
+
+namespace incline::interp {
+
+/// An allocated object instance.
+struct RtObject {
+  int ClassId = types::NullClassId;
+  std::vector<RtValue> Fields;
+};
+
+/// An allocated array.
+struct RtArray {
+  bool IntElements = true;
+  std::vector<RtValue> Elems;
+};
+
+/// The interpreter heap. References are dense indices into the two stores.
+class Heap {
+public:
+  explicit Heap(const types::ClassHierarchy &Classes) : Classes(Classes) {}
+
+  /// Allocates an instance of \p ClassId with default-initialized fields
+  /// (0 / false / null per declared field type).
+  size_t allocObject(int ClassId);
+
+  /// Allocates an array of \p Length default elements.
+  size_t allocArray(bool IntElements, int64_t Length);
+
+  RtObject &object(size_t Ref) { return Objects[Ref]; }
+  const RtObject &object(size_t Ref) const { return Objects[Ref]; }
+  RtArray &array(size_t Ref) { return Arrays[Ref]; }
+  const RtArray &array(size_t Ref) const { return Arrays[Ref]; }
+
+  size_t numObjects() const { return Objects.size(); }
+  size_t numArrays() const { return Arrays.size(); }
+
+  /// Total allocations cap; the interpreter traps when exceeded.
+  bool exhausted() const {
+    return Objects.size() + Arrays.size() > MaxAllocations;
+  }
+
+  static constexpr size_t MaxAllocations = 50'000'000;
+
+private:
+  const types::ClassHierarchy &Classes;
+  std::vector<RtObject> Objects;
+  std::vector<RtArray> Arrays;
+};
+
+} // namespace incline::interp
+
+#endif // INCLINE_INTERP_HEAP_H

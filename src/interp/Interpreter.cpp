@@ -1,0 +1,436 @@
+//===- interp/Interpreter.cpp ----------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "ir/ArithSemantics.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+#include "support/StringUtils.h"
+
+#include <unordered_map>
+
+using namespace incline;
+using namespace incline::interp;
+using namespace incline::ir;
+
+std::string_view incline::interp::trapKindName(TrapKind Kind) {
+  switch (Kind) {
+  case TrapKind::None: return "none";
+  case TrapKind::NullPointer: return "null pointer";
+  case TrapKind::IndexOutOfBounds: return "index out of bounds";
+  case TrapKind::DivisionByZero: return "division by zero";
+  case TrapKind::ClassCastFailure: return "class cast failure";
+  case TrapKind::Deoptimization: return "deoptimization";
+  case TrapKind::StepLimitExceeded: return "step limit exceeded";
+  case TrapKind::StackOverflow: return "stack overflow";
+  case TrapKind::HeapExhausted: return "heap exhausted";
+  case TrapKind::UnknownFunction: return "unknown function";
+  }
+  incline_unreachable("unknown trap kind");
+}
+
+ResolvedBody ModuleEnv::resolve(std::string_view Symbol) {
+  ResolvedBody Body;
+  Body.F = M.function(Symbol);
+  Body.Compiled = false;
+  Body.ProfileName = std::string(Symbol);
+  return Body;
+}
+
+namespace {
+
+/// Executes call frames. One FrameExecutor per Interpreter::run; recursion
+/// into callees happens through C++ recursion (bounded by MaxCallDepth).
+class FrameExecutor {
+public:
+  FrameExecutor(const Module &M, ExecutionEnv &Env, const CostModel &Costs,
+                const ExecLimits &Limits, Heap &TheHeap, ExecResult &Result)
+      : M(M), Env(Env), Costs(Costs), Limits(Limits), TheHeap(TheHeap),
+        Result(Result) {}
+
+  RtValue callFunction(std::string_view Symbol,
+                       const std::vector<RtValue> &Args, size_t Depth) {
+    if (Depth > Limits.MaxCallDepth) {
+      trap(TrapKind::StackOverflow, std::string(Symbol));
+      return RtValue::nullVal();
+    }
+    Env.onInvoke(Symbol);
+    ResolvedBody Body = Env.resolve(Symbol);
+    if (!Body.F) {
+      trap(TrapKind::UnknownFunction, std::string(Symbol));
+      return RtValue::nullVal();
+    }
+    if (!Body.Compiled) {
+      if (profile::ProfileTable *Profiles = Env.profiles())
+        ++Profiles->methodProfile(Body.ProfileName).InvocationCount;
+    }
+    return execBody(Body, Args, Depth);
+  }
+
+private:
+  void trap(TrapKind Kind, std::string Context) {
+    if (Result.Trap != TrapKind::None)
+      return; // Keep the innermost trap.
+    Result.Trap = Kind;
+    Result.TrapMessage = formatString("%s (%s)",
+                                      std::string(trapKindName(Kind)).c_str(),
+                                      Context.c_str());
+  }
+  bool trapped() const { return Result.Trap != TrapKind::None; }
+
+  void charge(uint64_t Cycles, bool Compiled) {
+    if (Compiled)
+      Result.CompiledCycles += Cycles;
+    else
+      Result.InterpretedCycles += Cycles;
+  }
+
+  RtValue execBody(const ResolvedBody &Body, const std::vector<RtValue> &Args,
+                   size_t Depth) {
+    const Function &F = *Body.F;
+    assert(Args.size() == F.numParams() && "argument count mismatch");
+    profile::ProfileTable *Profiles =
+        Body.Compiled ? nullptr : Env.profiles();
+
+    std::unordered_map<const Value *, RtValue> Frame;
+    for (size_t I = 0; I < Args.size(); ++I)
+      Frame[F.arg(I)] = Args[I];
+
+    const BasicBlock *BB = F.entry();
+    const BasicBlock *PrevBB = nullptr;
+    while (true) {
+      if (trapped())
+        return RtValue::nullVal();
+      if (Result.Steps > Limits.MaxSteps) {
+        trap(TrapKind::StepLimitExceeded, F.name());
+        return RtValue::nullVal();
+      }
+
+      // Phis evaluate in parallel against the edge taken.
+      std::vector<PhiInst *> Phis = BB->phis();
+      if (!Phis.empty()) {
+        assert(PrevBB && "phi in entry block");
+        std::vector<RtValue> NewVals;
+        NewVals.reserve(Phis.size());
+        for (PhiInst *Phi : Phis) {
+          Value *In = Phi->incomingValueFor(PrevBB);
+          assert(In && "phi has no entry for the taken edge");
+          NewVals.push_back(eval(In, Frame));
+        }
+        for (size_t I = 0; I < Phis.size(); ++I)
+          Frame[Phis[I]] = NewVals[I];
+      }
+
+      for (size_t Index = Phis.size(); Index < BB->size(); ++Index) {
+        const Instruction *Inst = BB->instructions()[Index].get();
+        ++Result.Steps;
+        charge(Costs.opCost(*Inst), Body.Compiled);
+        if (!Body.Compiled)
+          charge(Costs.InterpDispatchCost, false);
+
+        if (Inst->isTerminator()) {
+          switch (Inst->kind()) {
+          case ValueKind::Jump:
+            PrevBB = BB;
+            BB = cast<JumpInst>(Inst)->target();
+            break;
+          case ValueKind::Branch: {
+            const auto *Br = cast<BranchInst>(Inst);
+            bool Cond = eval(Br->condition(), Frame).asBool();
+            if (Profiles) {
+              profile::BranchProfile &BP =
+                  Profiles->methodProfile(Body.ProfileName)
+                      .Branches[Br->profileId()];
+              if (Cond)
+                ++BP.TrueCount;
+              else
+                ++BP.FalseCount;
+            }
+            PrevBB = BB;
+            BB = Cond ? Br->trueSuccessor() : Br->falseSuccessor();
+            break;
+          }
+          case ValueKind::Return: {
+            const auto *Ret = cast<ReturnInst>(Inst);
+            return Ret->hasValue() ? eval(Ret->returnValue(), Frame)
+                                   : RtValue::nullVal();
+          }
+          case ValueKind::Deopt:
+            trap(TrapKind::Deoptimization, cast<DeoptInst>(Inst)->reason());
+            return RtValue::nullVal();
+          default:
+            incline_unreachable("unknown terminator");
+          }
+          break; // Proceed with the next block.
+        }
+
+        RtValue V = execInstruction(Inst, Frame, Body, Depth, Profiles);
+        if (trapped())
+          return RtValue::nullVal();
+        if (!Inst->type().isVoid())
+          Frame[Inst] = V;
+      }
+    }
+  }
+
+  RtValue eval(const Value *V,
+               const std::unordered_map<const Value *, RtValue> &Frame) {
+    if (const auto *CI = dyn_cast<ConstInt>(V))
+      return RtValue::intVal(CI->value());
+    if (const auto *CB = dyn_cast<ConstBool>(V))
+      return RtValue::boolVal(CB->value());
+    if (isa<ConstNull>(V))
+      return RtValue::nullVal();
+    auto It = Frame.find(V);
+    assert(It != Frame.end() && "use of an unevaluated value");
+    return It->second;
+  }
+
+  RtValue execInstruction(const Instruction *Inst,
+                          std::unordered_map<const Value *, RtValue> &Frame,
+                          const ResolvedBody &Body, size_t Depth,
+                          profile::ProfileTable *Profiles) {
+    switch (Inst->kind()) {
+    case ValueKind::BinOp:
+      return execBinOp(cast<BinOpInst>(Inst), Frame);
+    case ValueKind::UnOp: {
+      const auto *Un = cast<UnOpInst>(Inst);
+      RtValue V = eval(Un->operand(0), Frame);
+      if (Un->opcode() == UnOpInst::Opcode::Neg)
+        return RtValue::intVal(
+            -static_cast<int64_t>(static_cast<uint64_t>(V.asInt())));
+      return RtValue::boolVal(!V.asBool());
+    }
+    case ValueKind::Call: {
+      const auto *Call = cast<CallInst>(Inst);
+      charge(Costs.CallOverhead, Body.Compiled);
+      std::vector<RtValue> Args;
+      Args.reserve(Call->numArgs());
+      for (size_t I = 0; I < Call->numArgs(); ++I)
+        Args.push_back(eval(Call->arg(I), Frame));
+      return callFunction(Call->callee(), Args, Depth + 1);
+    }
+    case ValueKind::VirtualCall: {
+      const auto *VCall = cast<VirtualCallInst>(Inst);
+      charge(Costs.CallOverhead + Costs.VirtualDispatchOverhead,
+             Body.Compiled);
+      RtValue Recv = eval(VCall->receiver(), Frame);
+      if (!Recv.isObject()) {
+        trap(TrapKind::NullPointer, "receiver of " + VCall->methodName());
+        return RtValue::nullVal();
+      }
+      int ClassId = TheHeap.object(Recv.Ref).ClassId;
+      if (Profiles)
+        Profiles->methodProfile(Body.ProfileName)
+            .Receivers[VCall->profileId()]
+            .record(ClassId);
+      const types::MethodInfo *Target =
+          M.classes().resolveMethod(ClassId, VCall->methodName());
+      if (!Target) {
+        trap(TrapKind::UnknownFunction,
+             "virtual " + VCall->methodName());
+        return RtValue::nullVal();
+      }
+      std::vector<RtValue> Args;
+      Args.reserve(VCall->numArgs() + 1);
+      Args.push_back(Recv);
+      for (size_t I = 0; I < VCall->numArgs(); ++I)
+        Args.push_back(eval(VCall->arg(I), Frame));
+      return callFunction(Target->QualifiedName, Args, Depth + 1);
+    }
+    case ValueKind::NewObject: {
+      if (TheHeap.exhausted()) {
+        trap(TrapKind::HeapExhausted, Body.F->name());
+        return RtValue::nullVal();
+      }
+      return RtValue::objectVal(
+          TheHeap.allocObject(cast<NewObjectInst>(Inst)->classId()));
+    }
+    case ValueKind::NewArray: {
+      const auto *New = cast<NewArrayInst>(Inst);
+      if (TheHeap.exhausted()) {
+        trap(TrapKind::HeapExhausted, Body.F->name());
+        return RtValue::nullVal();
+      }
+      int64_t Len = eval(New->length(), Frame).asInt();
+      if (Len < 0) {
+        trap(TrapKind::IndexOutOfBounds, "negative array length");
+        return RtValue::nullVal();
+      }
+      return RtValue::arrayVal(
+          TheHeap.allocArray(New->type().isIntArray(), Len));
+    }
+    case ValueKind::LoadField: {
+      const auto *Load = cast<LoadFieldInst>(Inst);
+      RtValue Obj = eval(Load->object(), Frame);
+      if (!Obj.isObject()) {
+        trap(TrapKind::NullPointer, "field load");
+        return RtValue::nullVal();
+      }
+      return TheHeap.object(Obj.Ref).Fields[Load->fieldSlot()];
+    }
+    case ValueKind::StoreField: {
+      const auto *Store = cast<StoreFieldInst>(Inst);
+      RtValue Obj = eval(Store->object(), Frame);
+      if (!Obj.isObject()) {
+        trap(TrapKind::NullPointer, "field store");
+        return RtValue::nullVal();
+      }
+      TheHeap.object(Obj.Ref).Fields[Store->fieldSlot()] =
+          eval(Store->storedValue(), Frame);
+      return RtValue::nullVal();
+    }
+    case ValueKind::LoadIndex: {
+      const auto *Load = cast<LoadIndexInst>(Inst);
+      RtValue Arr = eval(Load->array(), Frame);
+      RtValue Idx = eval(Load->index(), Frame);
+      if (!Arr.isArray()) {
+        trap(TrapKind::NullPointer, "array load");
+        return RtValue::nullVal();
+      }
+      RtArray &A = TheHeap.array(Arr.Ref);
+      int64_t I = Idx.asInt();
+      if (I < 0 || static_cast<size_t>(I) >= A.Elems.size()) {
+        trap(TrapKind::IndexOutOfBounds, "array load");
+        return RtValue::nullVal();
+      }
+      return A.Elems[static_cast<size_t>(I)];
+    }
+    case ValueKind::StoreIndex: {
+      const auto *Store = cast<StoreIndexInst>(Inst);
+      RtValue Arr = eval(Store->array(), Frame);
+      RtValue Idx = eval(Store->index(), Frame);
+      RtValue V = eval(Store->storedValue(), Frame);
+      if (!Arr.isArray()) {
+        trap(TrapKind::NullPointer, "array store");
+        return RtValue::nullVal();
+      }
+      RtArray &A = TheHeap.array(Arr.Ref);
+      int64_t I = Idx.asInt();
+      if (I < 0 || static_cast<size_t>(I) >= A.Elems.size()) {
+        trap(TrapKind::IndexOutOfBounds, "array store");
+        return RtValue::nullVal();
+      }
+      A.Elems[static_cast<size_t>(I)] = V;
+      return RtValue::nullVal();
+    }
+    case ValueKind::ArrayLength: {
+      RtValue Arr = eval(cast<ArrayLengthInst>(Inst)->array(), Frame);
+      if (!Arr.isArray()) {
+        trap(TrapKind::NullPointer, "array length");
+        return RtValue::nullVal();
+      }
+      return RtValue::intVal(
+          static_cast<int64_t>(TheHeap.array(Arr.Ref).Elems.size()));
+    }
+    case ValueKind::InstanceOf: {
+      const auto *IsInst = cast<InstanceOfInst>(Inst);
+      RtValue Obj = eval(IsInst->object(), Frame);
+      if (!Obj.isObject())
+        return RtValue::boolVal(false); // null is no instance of anything.
+      return RtValue::boolVal(M.classes().isSubclassOf(
+          TheHeap.object(Obj.Ref).ClassId, IsInst->testClassId()));
+    }
+    case ValueKind::CheckCast: {
+      const auto *Cast = cast<CheckCastInst>(Inst);
+      RtValue Obj = eval(Cast->object(), Frame);
+      if (Obj.isNull())
+        return Obj; // null casts to anything, like Java.
+      if (!Obj.isObject() ||
+          !M.classes().isSubclassOf(TheHeap.object(Obj.Ref).ClassId,
+                                    Cast->targetClassId())) {
+        trap(TrapKind::ClassCastFailure, Body.F->name());
+        return RtValue::nullVal();
+      }
+      return Obj;
+    }
+    case ValueKind::GetClassId: {
+      RtValue Obj = eval(cast<GetClassIdInst>(Inst)->object(), Frame);
+      if (!Obj.isObject()) {
+        trap(TrapKind::NullPointer, "getclassid");
+        return RtValue::nullVal();
+      }
+      return RtValue::intVal(TheHeap.object(Obj.Ref).ClassId);
+    }
+    case ValueKind::NullCheck: {
+      RtValue Obj = eval(cast<NullCheckInst>(Inst)->object(), Frame);
+      if (Obj.isNull()) {
+        trap(TrapKind::NullPointer, "nullcheck");
+        return RtValue::nullVal();
+      }
+      return Obj;
+    }
+    case ValueKind::Print: {
+      RtValue V = eval(cast<PrintInst>(Inst)->value(), Frame);
+      if (V.isBool())
+        Result.Output += V.asBool() ? "true\n" : "false\n";
+      else
+        Result.Output += formatString(
+            "%lld\n", static_cast<long long>(V.asInt()));
+      return RtValue::nullVal();
+    }
+    default:
+      incline_unreachable("unhandled instruction in interpreter");
+    }
+  }
+
+  RtValue execBinOp(const BinOpInst *Bin,
+                    std::unordered_map<const Value *, RtValue> &Frame) {
+    RtValue L = eval(Bin->lhs(), Frame);
+    RtValue R = eval(Bin->rhs(), Frame);
+    using Op = BinOpInst::Opcode;
+    Op Opcode = Bin->opcode();
+
+    // Equality covers references, bools and ints uniformly.
+    if (Opcode == Op::Eq)
+      return RtValue::boolVal(L.equals(R));
+    if (Opcode == Op::Ne)
+      return RtValue::boolVal(!L.equals(R));
+
+    if (L.isBool()) {
+      std::optional<bool> Folded = foldBoolBinOp(Opcode, L.asBool(),
+                                                 R.asBool());
+      assert(Folded && "invalid bool binop survived sema");
+      return RtValue::boolVal(*Folded);
+    }
+
+    if (Bin->isComparison())
+      return RtValue::boolVal(
+          foldIntComparison(Opcode, L.asInt(), R.asInt()));
+
+    std::optional<int64_t> Folded = foldIntBinOp(Opcode, L.asInt(), R.asInt());
+    if (!Folded) {
+      trap(TrapKind::DivisionByZero, "binop");
+      return RtValue::nullVal();
+    }
+    return RtValue::intVal(*Folded);
+  }
+
+  const Module &M;
+  ExecutionEnv &Env;
+  const CostModel &Costs;
+  const ExecLimits &Limits;
+  Heap &TheHeap;
+  ExecResult &Result;
+};
+
+} // namespace
+
+ExecResult Interpreter::run(std::string_view Symbol,
+                            const std::vector<RtValue> &Args) {
+  ExecResult Result;
+  FrameExecutor Exec(M, Env, Costs, Limits, TheHeap, Result);
+  Result.Return = Exec.callFunction(Symbol, Args, 0);
+  return Result;
+}
+
+ExecResult incline::interp::runMain(const ir::Module &M,
+                                    profile::ProfileTable *Profiles) {
+  ModuleEnv Env(M, Profiles);
+  Interpreter I(M, Env);
+  return I.run("main");
+}

@@ -1,0 +1,156 @@
+//===- interp/Interpreter.h - IR execution engine --------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes IR directly. The interpreter plays three roles in the
+/// reproduction:
+///
+///  1. the VM's interpreted tier — collects branch/receiver/invocation
+///     profiles exactly like HotSpot's profiling interpreter;
+///  2. the "hardware" — compiled methods are *also* executed here, but
+///     against the compiled-tier cost model (no dispatch cost), so a
+///     method's simulated cycles drop after JIT compilation the way
+///     wall-clock time drops on the paper's testbed;
+///  3. the semantic oracle — differential tests compare program output and
+///     results across optimization levels and inliner policies.
+///
+/// Which body (source or compiled) runs for a callee, and whether its entry
+/// is counted for hotness, is delegated to an ExecutionEnv — the JIT
+/// runtime implements it; tests use the default module-only env.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_INTERP_INTERPRETER_H
+#define INCLINE_INTERP_INTERPRETER_H
+
+#include "interp/CostModel.h"
+#include "interp/Heap.h"
+#include "interp/RtValue.h"
+#include "ir/Module.h"
+#include "profile/ProfileData.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace incline::interp {
+
+/// Why execution stopped abnormally.
+enum class TrapKind : uint8_t {
+  None,
+  NullPointer,
+  IndexOutOfBounds,
+  DivisionByZero,
+  ClassCastFailure,
+  Deoptimization,
+  StepLimitExceeded,
+  StackOverflow,
+  HeapExhausted,
+  UnknownFunction,
+};
+
+/// Name of a trap kind for messages.
+std::string_view trapKindName(TrapKind Kind);
+
+/// The body the environment chose for a callee, plus its execution tier.
+struct ResolvedBody {
+  const ir::Function *F = nullptr;
+  bool Compiled = false;
+  /// Profile-lookup key: the *original* method name even for specialized
+  /// clones (profile ids match across clones).
+  std::string ProfileName;
+};
+
+/// Policy hook: decides which body executes for each invoked symbol and
+/// observes invocations (the JIT runtime counts hotness here).
+class ExecutionEnv {
+public:
+  virtual ~ExecutionEnv() = default;
+
+  /// Resolves \p Symbol to an executable body. Returns a null `F` when the
+  /// symbol is unknown (the interpreter traps).
+  virtual ResolvedBody resolve(std::string_view Symbol) = 0;
+
+  /// Called on every function entry *before* execution; the JIT runtime
+  /// bumps hotness counters and may compile here.
+  virtual void onInvoke(std::string_view Symbol) { (void)Symbol; }
+
+  /// Where interpreted-tier execution records profiles; null disables
+  /// profiling.
+  virtual profile::ProfileTable *profiles() { return nullptr; }
+};
+
+/// Default env: runs every function from the module, interpreted, with
+/// optional profile recording.
+class ModuleEnv : public ExecutionEnv {
+public:
+  explicit ModuleEnv(const ir::Module &M,
+                     profile::ProfileTable *Profiles = nullptr)
+      : M(M), Profiles(Profiles) {}
+
+  ResolvedBody resolve(std::string_view Symbol) override;
+  profile::ProfileTable *profiles() override { return Profiles; }
+
+private:
+  const ir::Module &M;
+  profile::ProfileTable *Profiles;
+};
+
+/// Result of one program / function execution.
+struct ExecResult {
+  RtValue Return = RtValue::nullVal();
+  TrapKind Trap = TrapKind::None;
+  std::string TrapMessage;
+
+  /// Simulated cycles by tier (the harness applies i-cache pressure to the
+  /// compiled share).
+  uint64_t InterpretedCycles = 0;
+  uint64_t CompiledCycles = 0;
+  uint64_t Steps = 0;
+
+  /// Program output from `print`.
+  std::string Output;
+
+  bool ok() const { return Trap == TrapKind::None; }
+  uint64_t totalCycles() const { return InterpretedCycles + CompiledCycles; }
+};
+
+/// Execution limits guarding runaway programs.
+struct ExecLimits {
+  uint64_t MaxSteps = 500'000'000;
+  size_t MaxCallDepth = 2'000;
+};
+
+/// The execution engine.
+class Interpreter {
+public:
+  Interpreter(const ir::Module &M, ExecutionEnv &Env,
+              const CostModel &Costs = CostModel(),
+              const ExecLimits &Limits = ExecLimits())
+      : M(M), Env(Env), Costs(Costs), Limits(Limits), TheHeap(M.classes()) {}
+
+  /// Runs `Symbol(Args...)` to completion.
+  ExecResult run(std::string_view Symbol,
+                 const std::vector<RtValue> &Args = {});
+
+  Heap &heap() { return TheHeap; }
+
+private:
+  const ir::Module &M;
+  ExecutionEnv &Env;
+  CostModel Costs;
+  ExecLimits Limits;
+  Heap TheHeap;
+};
+
+/// Convenience for tests: compile-free single-shot execution of `main` with
+/// fresh state, returning the result (output, cycles, trap).
+ExecResult runMain(const ir::Module &M,
+                   profile::ProfileTable *Profiles = nullptr);
+
+} // namespace incline::interp
+
+#endif // INCLINE_INTERP_INTERPRETER_H

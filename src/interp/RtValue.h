@@ -1,0 +1,74 @@
+//===- interp/RtValue.h - Runtime values -------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interpreter's value representation: 64-bit ints, bools, null, and
+/// references into the heap (objects and arrays).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_INTERP_RTVALUE_H
+#define INCLINE_INTERP_RTVALUE_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace incline::interp {
+
+/// A dynamically typed runtime value.
+struct RtValue {
+  enum class Kind : uint8_t { Int, Bool, Null, Object, Array };
+
+  Kind K = Kind::Null;
+  int64_t I = 0;  ///< Int payload, or 0/1 for Bool.
+  size_t Ref = 0; ///< Heap index for Object/Array.
+
+  static RtValue intVal(int64_t V) { return {Kind::Int, V, 0}; }
+  static RtValue boolVal(bool V) { return {Kind::Bool, V ? 1 : 0, 0}; }
+  static RtValue nullVal() { return {Kind::Null, 0, 0}; }
+  static RtValue objectVal(size_t Ref) { return {Kind::Object, 0, Ref}; }
+  static RtValue arrayVal(size_t Ref) { return {Kind::Array, 0, Ref}; }
+
+  bool isInt() const { return K == Kind::Int; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isReference() const { return isNull() || isObject() || isArray(); }
+
+  int64_t asInt() const {
+    assert(isInt() && "not an int");
+    return I;
+  }
+  bool asBool() const {
+    assert(isBool() && "not a bool");
+    return I != 0;
+  }
+
+  /// Reference identity / primitive equality — MiniOO `==` semantics.
+  bool equals(const RtValue &Other) const {
+    if (isNull() && Other.isNull())
+      return true;
+    if (K != Other.K)
+      return false;
+    switch (K) {
+    case Kind::Int:
+    case Kind::Bool:
+      return I == Other.I;
+    case Kind::Object:
+    case Kind::Array:
+      return Ref == Other.Ref;
+    case Kind::Null:
+      return true;
+    }
+    return false;
+  }
+};
+
+} // namespace incline::interp
+
+#endif // INCLINE_INTERP_RTVALUE_H

@@ -1,0 +1,99 @@
+//===- ir/ArithSemantics.h - Single source of MiniOO integer semantics -----===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniOO integer arithmetic semantics, shared by the interpreter and the
+/// constant folder so compiled and interpreted execution can never diverge:
+/// two's-complement wraparound add/sub/mul, C-style truncated div/mod with
+/// an explicit INT64_MIN/-1 wrap, shift amounts masked to 6 bits, and a
+/// trap (non-foldable) marker for division by zero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_IR_ARITHSEMANTICS_H
+#define INCLINE_IR_ARITHSEMANTICS_H
+
+#include "ir/Instruction.h"
+
+#include <cstdint>
+#include <optional>
+
+namespace incline::ir {
+
+/// Folds an integer-valued binary op. Returns std::nullopt when the
+/// operation would trap (division by zero) — such ops must stay in the
+/// program. Comparison opcodes are handled by foldIntComparison.
+inline std::optional<int64_t> foldIntBinOp(BinOpInst::Opcode Op, int64_t A,
+                                           int64_t B) {
+  using Opcode = BinOpInst::Opcode;
+  auto UA = static_cast<uint64_t>(A);
+  auto UB = static_cast<uint64_t>(B);
+  switch (Op) {
+  case Opcode::Add:
+    return static_cast<int64_t>(UA + UB);
+  case Opcode::Sub:
+    return static_cast<int64_t>(UA - UB);
+  case Opcode::Mul:
+    return static_cast<int64_t>(UA * UB);
+  case Opcode::Div:
+    if (B == 0)
+      return std::nullopt;
+    if (A == INT64_MIN && B == -1)
+      return INT64_MIN; // Wraps.
+    return A / B;
+  case Opcode::Mod:
+    if (B == 0)
+      return std::nullopt;
+    if (A == INT64_MIN && B == -1)
+      return 0;
+    return A % B;
+  case Opcode::Shl:
+    return static_cast<int64_t>(UA << (UB & 63));
+  case Opcode::Shr:
+    return A >> (UB & 63); // Arithmetic shift.
+  default:
+    return std::nullopt; // Not an int-valued op.
+  }
+}
+
+/// Folds an integer comparison.
+inline bool foldIntComparison(BinOpInst::Opcode Op, int64_t A, int64_t B) {
+  using Opcode = BinOpInst::Opcode;
+  switch (Op) {
+  case Opcode::Eq: return A == B;
+  case Opcode::Ne: return A != B;
+  case Opcode::Lt: return A < B;
+  case Opcode::Le: return A <= B;
+  case Opcode::Gt: return A > B;
+  case Opcode::Ge: return A >= B;
+  default:
+    return false;
+  }
+}
+
+/// Folds a boolean binary op (And/Or/Xor/Eq/Ne over bools).
+inline std::optional<bool> foldBoolBinOp(BinOpInst::Opcode Op, bool A,
+                                         bool B) {
+  using Opcode = BinOpInst::Opcode;
+  switch (Op) {
+  case Opcode::And: return A && B;
+  case Opcode::Or: return A || B;
+  case Opcode::Xor: return A != B;
+  case Opcode::Eq: return A == B;
+  case Opcode::Ne: return A != B;
+  default:
+    return std::nullopt;
+  }
+}
+
+/// Integer negation with wraparound.
+inline int64_t foldNeg(int64_t A) {
+  return static_cast<int64_t>(-static_cast<uint64_t>(A));
+}
+
+} // namespace incline::ir
+
+#endif // INCLINE_IR_ARITHSEMANTICS_H

@@ -1,0 +1,89 @@
+//===- ir/Dominators.cpp ----------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Dominators.h"
+
+#include "ir/Function.h"
+
+#include <cassert>
+
+using namespace incline;
+using namespace incline::ir;
+
+DominatorTree::DominatorTree(const Function &F) {
+  RPO = F.reversePostOrder();
+  for (size_t I = 0; I < RPO.size(); ++I)
+    RPOIndex.emplace(RPO[I], I);
+  IDom.assign(RPO.size(), nullptr);
+  if (RPO.empty())
+    return;
+  IDom[0] = RPO[0]; // Entry's idom is itself during the fixpoint.
+
+  // Cooper-Harvey-Kennedy: intersect along idom chains until stable.
+  auto Intersect = [&](size_t A, size_t B) {
+    while (A != B) {
+      while (A > B)
+        A = RPOIndex.at(IDom[A]);
+      while (B > A)
+        B = RPOIndex.at(IDom[B]);
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 1; I < RPO.size(); ++I) {
+      size_t NewIdom = SIZE_MAX;
+      for (const BasicBlock *Pred : RPO[I]->predecessors()) {
+        auto It = RPOIndex.find(Pred);
+        if (It == RPOIndex.end())
+          continue; // Unreachable predecessor.
+        size_t PredIdx = It->second;
+        if (IDom[PredIdx] == nullptr)
+          continue; // Not yet processed this round.
+        NewIdom = (NewIdom == SIZE_MAX) ? PredIdx : Intersect(NewIdom, PredIdx);
+      }
+      assert(NewIdom != SIZE_MAX && "reachable block with no processed pred");
+      if (IDom[I] != RPO[NewIdom]) {
+        IDom[I] = RPO[NewIdom];
+        Changed = true;
+      }
+    }
+  }
+  IDom[0] = nullptr; // Entry has no immediate dominator.
+}
+
+BasicBlock *DominatorTree::idom(const BasicBlock *BB) const {
+  auto It = RPOIndex.find(BB);
+  if (It == RPOIndex.end())
+    return nullptr;
+  return IDom[It->second];
+}
+
+bool DominatorTree::dominates(const BasicBlock *A, const BasicBlock *B) const {
+  if (!isReachable(A) || !isReachable(B))
+    return false;
+  // Walk B's idom chain; RPO index of a dominator is never larger.
+  size_t AIdx = RPOIndex.at(A);
+  const BasicBlock *Cur = B;
+  while (Cur) {
+    if (Cur == A)
+      return true;
+    if (RPOIndex.at(Cur) < AIdx)
+      return false; // Passed above A without meeting it.
+    Cur = IDom[RPOIndex.at(Cur)];
+  }
+  return false;
+}
+
+std::vector<BasicBlock *> DominatorTree::children(const BasicBlock *BB) const {
+  std::vector<BasicBlock *> Result;
+  for (size_t I = 1; I < RPO.size(); ++I)
+    if (IDom[I] == BB)
+      Result.push_back(RPO[I]);
+  return Result;
+}

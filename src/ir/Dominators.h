@@ -1,0 +1,59 @@
+//===- ir/Dominators.h - Dominator tree -------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator tree built with the Cooper-Harvey-Kennedy iterative algorithm.
+/// Consumers: GVN (dominance-scoped value numbering), the verifier (defs
+/// dominate uses), and loop detection (back edge = edge to a dominator).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_IR_DOMINATORS_H
+#define INCLINE_IR_DOMINATORS_H
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+namespace incline::ir {
+
+class BasicBlock;
+class Function;
+
+/// An immutable dominator tree snapshot of a function's CFG. Invalidated by
+/// any CFG mutation; rebuild after transformations.
+class DominatorTree {
+public:
+  explicit DominatorTree(const Function &F);
+
+  /// The immediate dominator of \p BB (null for the entry block and for
+  /// unreachable blocks).
+  BasicBlock *idom(const BasicBlock *BB) const;
+
+  /// True if \p A dominates \p B (reflexive). Unreachable blocks dominate
+  /// nothing and are dominated by everything reachable? No: queries on
+  /// unreachable blocks return false.
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+
+  /// Children of \p BB in the dominator tree.
+  std::vector<BasicBlock *> children(const BasicBlock *BB) const;
+
+  /// Reverse post order used to build the tree (reachable blocks only).
+  const std::vector<BasicBlock *> &reversePostOrder() const { return RPO; }
+
+  bool isReachable(const BasicBlock *BB) const {
+    return RPOIndex.count(BB) != 0;
+  }
+
+private:
+  std::vector<BasicBlock *> RPO;
+  std::unordered_map<const BasicBlock *, size_t> RPOIndex;
+  std::vector<BasicBlock *> IDom; // Indexed by RPO position.
+};
+
+} // namespace incline::ir
+
+#endif // INCLINE_IR_DOMINATORS_H

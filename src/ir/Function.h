@@ -1,0 +1,99 @@
+//===- ir/Function.h - IR function -----------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Function owns its basic blocks, arguments, and uniqued constants. Its
+/// instruction count is the paper's `|ir(n)|` — the unit of all cost/size
+/// metrics (Eqs. 1-2, 5, 8, 12).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_IR_FUNCTION_H
+#define INCLINE_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace incline::ir {
+
+/// A function (free function or method; methods take `this` as parameter 0).
+class Function {
+public:
+  Function(std::string Name, std::vector<types::Type> ParamTypes,
+           std::vector<std::string> ParamNames, types::Type ReturnType);
+  Function(const Function &) = delete;
+  Function &operator=(const Function &) = delete;
+  ~Function();
+
+  const std::string &name() const { return Name; }
+  types::Type returnType() const { return ReturnType; }
+  size_t numParams() const { return Args.size(); }
+  Argument *arg(size_t I) const {
+    assert(I < Args.size());
+    return Args[I].get();
+  }
+  const std::vector<std::unique_ptr<Argument>> &args() const { return Args; }
+
+  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
+    return Blocks;
+  }
+  BasicBlock *entry() const {
+    assert(!Blocks.empty() && "function has no entry block");
+    return Blocks[0].get();
+  }
+
+  /// Creates a new block. The first block created is the entry.
+  BasicBlock *addBlock(std::string NameHint);
+
+  /// Unlinks and destroys \p BB. The block must have no predecessors and
+  /// its instructions no outside uses. Renumbers remaining block ids.
+  void removeBlock(BasicBlock *BB);
+
+  /// Moves \p BB to the end of the block list (block order is only
+  /// cosmetic; entry stays at index 0).
+  void moveBlockToEnd(BasicBlock *BB);
+
+  /// Total instruction count: the paper's |ir|.
+  size_t instructionCount() const;
+
+  /// Uniqued constants.
+  ConstInt *constInt(int64_t V);
+  ConstBool *constBool(bool V);
+  ConstNull *constNull();
+
+  /// Fresh profile id for a newly created instruction; see
+  /// Instruction::profileId().
+  unsigned takeNextProfileId() { return NextProfileId++; }
+  unsigned nextProfileIdWatermark() const { return NextProfileId; }
+  /// Raises the watermark (used by the cloner so clones can keep original
+  /// ids while new instructions still get fresh ones).
+  void reserveProfileIdsUpTo(unsigned Watermark);
+
+  /// Blocks in reverse post order from the entry (every reachable block).
+  std::vector<BasicBlock *> reversePostOrder() const;
+
+private:
+  std::string Name;
+  types::Type ReturnType;
+  std::vector<std::unique_ptr<Argument>> Args;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+
+  std::map<int64_t, std::unique_ptr<ConstInt>> IntConstants;
+  std::unique_ptr<ConstBool> TrueConstant;
+  std::unique_ptr<ConstBool> FalseConstant;
+  std::unique_ptr<ConstNull> NullConstant;
+
+  unsigned NextProfileId = 0;
+  unsigned NextBlockId = 0;
+};
+
+} // namespace incline::ir
+
+#endif // INCLINE_IR_FUNCTION_H

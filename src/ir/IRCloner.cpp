@@ -1,0 +1,350 @@
+//===- ir/IRCloner.cpp --------------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRCloner.h"
+
+#include "ir/Function.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+#include <unordered_set>
+#include <vector>
+
+using namespace incline;
+using namespace incline::ir;
+
+namespace {
+
+/// Clones one instruction structurally; operands are remapped by the caller
+/// afterwards (two-pass scheme handles forward references from phis).
+std::unique_ptr<Instruction> cloneInstructionShell(const Instruction *Inst,
+                                                   Function &NewF) {
+  // Operand placeholders: the original operands are installed first and
+  // remapped in pass 2. Constants are re-uniqued here immediately.
+  auto MapConst = [&](Value *V) -> Value * {
+    if (auto *CI = dyn_cast<ConstInt>(V))
+      return NewF.constInt(CI->value());
+    if (auto *CB = dyn_cast<ConstBool>(V))
+      return NewF.constBool(CB->value());
+    if (isa<ConstNull>(V))
+      return NewF.constNull();
+    return V; // Remapped later.
+  };
+  std::vector<Value *> Ops;
+  Ops.reserve(Inst->numOperands());
+  for (Value *Op : Inst->operands())
+    Ops.push_back(MapConst(Op));
+
+  switch (Inst->kind()) {
+  case ValueKind::Phi:
+    // Incoming pairs are added in pass 2 when blocks are known.
+    return std::make_unique<PhiInst>(Inst->type());
+  case ValueKind::BinOp:
+    return std::make_unique<BinOpInst>(cast<BinOpInst>(Inst)->opcode(),
+                                       Ops[0], Ops[1]);
+  case ValueKind::UnOp:
+    return std::make_unique<UnOpInst>(cast<UnOpInst>(Inst)->opcode(), Ops[0]);
+  case ValueKind::Call:
+    return std::make_unique<CallInst>(cast<CallInst>(Inst)->callee(), Ops,
+                                      Inst->type());
+  case ValueKind::VirtualCall: {
+    const auto *VC = cast<VirtualCallInst>(Inst);
+    std::vector<Value *> Args(Ops.begin() + 1, Ops.end());
+    return std::make_unique<VirtualCallInst>(VC->methodName(), Ops[0], Args,
+                                             Inst->type());
+  }
+  case ValueKind::NewObject:
+    return std::make_unique<NewObjectInst>(
+        cast<NewObjectInst>(Inst)->classId());
+  case ValueKind::NewArray:
+    return std::make_unique<NewArrayInst>(Inst->type(), Ops[0]);
+  case ValueKind::LoadField:
+    return std::make_unique<LoadFieldInst>(
+        Ops[0], cast<LoadFieldInst>(Inst)->fieldSlot(), Inst->type());
+  case ValueKind::StoreField:
+    return std::make_unique<StoreFieldInst>(
+        Ops[0], cast<StoreFieldInst>(Inst)->fieldSlot(), Ops[1]);
+  case ValueKind::LoadIndex:
+    return std::make_unique<LoadIndexInst>(Ops[0], Ops[1], Inst->type());
+  case ValueKind::StoreIndex:
+    return std::make_unique<StoreIndexInst>(Ops[0], Ops[1], Ops[2]);
+  case ValueKind::ArrayLength:
+    return std::make_unique<ArrayLengthInst>(Ops[0]);
+  case ValueKind::InstanceOf:
+    return std::make_unique<InstanceOfInst>(
+        Ops[0], cast<InstanceOfInst>(Inst)->testClassId());
+  case ValueKind::CheckCast:
+    return std::make_unique<CheckCastInst>(
+        Ops[0], cast<CheckCastInst>(Inst)->targetClassId());
+  case ValueKind::GetClassId:
+    return std::make_unique<GetClassIdInst>(Ops[0]);
+  case ValueKind::NullCheck:
+    return std::make_unique<NullCheckInst>(Ops[0]);
+  case ValueKind::Print:
+    return std::make_unique<PrintInst>(Ops[0]);
+  case ValueKind::Return:
+    return std::make_unique<ReturnInst>(Ops.empty() ? nullptr : Ops[0]);
+  case ValueKind::Deopt:
+    return std::make_unique<DeoptInst>(cast<DeoptInst>(Inst)->reason());
+  case ValueKind::Branch:
+  case ValueKind::Jump:
+  default:
+    incline_unreachable("unhandled instruction kind in cloner");
+  }
+}
+
+struct CloneBlocksResult {
+  BasicBlock *Entry = nullptr;
+  std::vector<Instruction *> Returns;
+};
+
+/// Shared engine: clones all of \p Source's blocks into \p Host. \p Map
+/// must be pre-seeded with replacements for \p Source's arguments. When
+/// \p PreserveProfileIds is false, cloned instructions receive fresh ids
+/// from \p Host.
+CloneBlocksResult cloneBlocks(const Function &Source, Function &Host,
+                              std::unordered_map<const Value *, Value *> &Map,
+                              bool PreserveProfileIds) {
+  CloneBlocksResult Result;
+
+  auto Remap = [&](Value *V) -> Value * {
+    auto It = Map.find(V);
+    if (It != Map.end())
+      return It->second;
+    if (auto *CI = dyn_cast<ConstInt>(V))
+      return Host.constInt(CI->value());
+    if (auto *CB = dyn_cast<ConstBool>(V))
+      return Host.constBool(CB->value());
+    if (isa<ConstNull>(V))
+      return Host.constNull();
+    incline_unreachable("unmapped value while cloning");
+  };
+  auto AssignId = [&](Instruction *Inst, const Instruction *Old) {
+    Inst->setProfileId(PreserveProfileIds ? Old->profileId()
+                                          : Host.takeNextProfileId());
+  };
+
+  // Pass 1: blocks + non-terminator shells.
+  std::unordered_map<const BasicBlock *, BasicBlock *> BlockMap;
+  for (const auto &BB : Source.blocks())
+    BlockMap[BB.get()] = Host.addBlock(BB->name());
+  Result.Entry = BlockMap.at(Source.entry());
+
+  struct PendingTerm {
+    const Instruction *Old;
+    BasicBlock *NewBB;
+  };
+  std::vector<PendingTerm> PendingTerms;
+
+  for (const auto &BB : Source.blocks()) {
+    BasicBlock *NewBB = BlockMap[BB.get()];
+    for (const auto &Inst : BB->instructions()) {
+      if (Inst->isTerminator() && !isa<ReturnInst, DeoptInst>(Inst.get())) {
+        PendingTerms.push_back({Inst.get(), NewBB});
+        continue;
+      }
+      std::unique_ptr<Instruction> Clone =
+          cloneInstructionShell(Inst.get(), Host);
+      AssignId(Clone.get(), Inst.get());
+      Clone->setType(Inst->type());
+      Clone->setExactType(Inst->hasExactType());
+      Instruction *Raw;
+      if (Clone->isTerminator()) {
+        // Return/Deopt: append directly (no successors to hook up).
+        Raw = NewBB->append(std::move(Clone));
+        if (isa<ReturnInst>(Raw))
+          Result.Returns.push_back(Raw);
+      } else {
+        Raw = NewBB->insertAt(NewBB->size(), std::move(Clone));
+      }
+      Map[Inst.get()] = Raw;
+    }
+  }
+
+  // Pass 2a: remap operands; fill in phis.
+  for (const auto &BB : Source.blocks()) {
+    for (const auto &Inst : BB->instructions()) {
+      auto MappedIt = Map.find(Inst.get());
+      if (MappedIt == Map.end())
+        continue; // Branch/Jump handled below.
+      auto *NewInst = cast<Instruction>(MappedIt->second);
+      if (const auto *OldPhi = dyn_cast<PhiInst>(Inst.get())) {
+        auto *NewPhi = cast<PhiInst>(NewInst);
+        for (size_t I = 0; I < OldPhi->numIncoming(); ++I)
+          NewPhi->addIncoming(Remap(OldPhi->incomingValue(I)),
+                              BlockMap.at(OldPhi->incomingBlock(I)));
+        continue;
+      }
+      for (size_t I = 0; I < NewInst->numOperands(); ++I) {
+        Value *Op = NewInst->operand(I);
+        // Constants were already re-uniqued by the shell cloner; values
+        // still pointing into the source function get remapped here.
+        if (!isa<Constant>(Op) && Map.count(Op))
+          NewInst->setOperand(I, Map.at(Op));
+      }
+    }
+  }
+
+  // Pass 2b: branch/jump terminators with remapped operands + successors.
+  for (const PendingTerm &PT : PendingTerms) {
+    std::unique_ptr<Instruction> NewTerm;
+    if (const auto *Br = dyn_cast<BranchInst>(PT.Old)) {
+      NewTerm = std::make_unique<BranchInst>(
+          Remap(Br->condition()), BlockMap.at(Br->trueSuccessor()),
+          BlockMap.at(Br->falseSuccessor()));
+    } else if (const auto *Jmp = dyn_cast<JumpInst>(PT.Old)) {
+      NewTerm = std::make_unique<JumpInst>(BlockMap.at(Jmp->target()));
+    } else {
+      incline_unreachable("unhandled terminator in cloner");
+    }
+    AssignId(NewTerm.get(), PT.Old);
+    Instruction *Raw = PT.NewBB->append(std::move(NewTerm));
+    Map[PT.Old] = Raw;
+  }
+
+  return Result;
+}
+
+} // namespace
+
+ClonedFunction incline::ir::cloneFunction(const Function &Source,
+                                          std::string NewName) {
+  ClonedFunction Result;
+  std::vector<types::Type> ParamTypes;
+  std::vector<std::string> ParamNames;
+  for (const auto &Arg : Source.args()) {
+    ParamTypes.push_back(Arg->type());
+    ParamNames.push_back(Arg->name());
+  }
+  Result.F = std::make_unique<Function>(std::move(NewName),
+                                        std::move(ParamTypes),
+                                        std::move(ParamNames),
+                                        Source.returnType());
+  Function &NewF = *Result.F;
+  for (size_t I = 0; I < Source.numParams(); ++I) {
+    NewF.arg(I)->setExactType(Source.arg(I)->hasExactType());
+    Result.ValueMap[Source.arg(I)] = NewF.arg(I);
+  }
+  cloneBlocks(Source, NewF, Result.ValueMap, /*PreserveProfileIds=*/true);
+  NewF.reserveProfileIdsUpTo(Source.nextProfileIdWatermark());
+  return Result;
+}
+
+ClonedRegion incline::ir::cloneRegion(
+    Function &F, const std::vector<BasicBlock *> &Blocks,
+    const std::unordered_map<const Value *, Value *> &SeedMap) {
+  ClonedRegion Result;
+  Result.ValueMap = SeedMap;
+  auto &Map = Result.ValueMap;
+
+  std::unordered_set<const BasicBlock *> InRegion(Blocks.begin(),
+                                                  Blocks.end());
+  auto Remap = [&](Value *V) -> Value * {
+    auto It = Map.find(V);
+    return It != Map.end() ? It->second : V; // Outside defs: identity.
+  };
+
+  // Pass 1: blocks and non-terminator shells (skipping seeded values).
+  struct PendingTerm {
+    const Instruction *Old;
+    BasicBlock *NewBB;
+  };
+  std::vector<PendingTerm> PendingTerms;
+  for (BasicBlock *BB : Blocks)
+    Result.BlockMap[BB] = F.addBlock(BB->name() + ".peel");
+  for (BasicBlock *BB : Blocks) {
+    BasicBlock *NewBB = Result.BlockMap[BB];
+    for (const auto &Inst : BB->instructions()) {
+      if (Map.count(Inst.get()))
+        continue; // Seeded away (e.g. a header phi).
+      if (Inst->isTerminator() && !isa<ReturnInst, DeoptInst>(Inst.get())) {
+        PendingTerms.push_back({Inst.get(), NewBB});
+        continue;
+      }
+      std::unique_ptr<Instruction> Clone =
+          cloneInstructionShell(Inst.get(), F);
+      Clone->setProfileId(F.takeNextProfileId());
+      Clone->setType(Inst->type());
+      Clone->setExactType(Inst->hasExactType());
+      Instruction *Raw;
+      if (Clone->isTerminator())
+        Raw = NewBB->append(std::move(Clone));
+      else
+        Raw = NewBB->insertAt(NewBB->size(), std::move(Clone));
+      Map[Inst.get()] = Raw;
+    }
+  }
+
+  // Pass 2a: remap operands; fill in phis (their incoming blocks must all
+  // be inside the region — callers guarantee header phis are seeded).
+  for (BasicBlock *BB : Blocks) {
+    for (const auto &Inst : BB->instructions()) {
+      auto MappedIt = Map.find(Inst.get());
+      if (MappedIt == Map.end())
+        continue;
+      auto *NewInst = dyn_cast<Instruction>(MappedIt->second);
+      // Only process genuine clones (which live in the mapped block);
+      // seeded values map to pre-existing defs elsewhere.
+      if (!NewInst || NewInst->parent() != Result.BlockMap.at(BB))
+        continue;
+      if (const auto *OldPhi = dyn_cast<PhiInst>(Inst.get())) {
+        auto *NewPhi = dyn_cast<PhiInst>(NewInst);
+        if (!NewPhi)
+          continue; // Seeded phi.
+        for (size_t I = 0; I < OldPhi->numIncoming(); ++I) {
+          const BasicBlock *In = OldPhi->incomingBlock(I);
+          assert(InRegion.count(In) &&
+                 "region phi with an incoming edge from outside");
+          NewPhi->addIncoming(Remap(OldPhi->incomingValue(I)),
+                              Result.BlockMap.at(In));
+        }
+        continue;
+      }
+      for (size_t I = 0; I < NewInst->numOperands(); ++I) {
+        Value *Op = NewInst->operand(I);
+        if (!isa<Constant>(Op) && Map.count(Op))
+          NewInst->setOperand(I, Map.at(Op));
+      }
+    }
+  }
+
+  // Pass 2b: branch/jump terminators.
+  for (const PendingTerm &PT : PendingTerms) {
+    auto MapBlock = [&](BasicBlock *Succ) {
+      auto It = Result.BlockMap.find(Succ);
+      return It != Result.BlockMap.end() ? It->second : Succ;
+    };
+    std::unique_ptr<Instruction> NewTerm;
+    if (const auto *Br = dyn_cast<BranchInst>(PT.Old)) {
+      NewTerm = std::make_unique<BranchInst>(Remap(Br->condition()),
+                                             MapBlock(Br->trueSuccessor()),
+                                             MapBlock(Br->falseSuccessor()));
+    } else if (const auto *Jmp = dyn_cast<JumpInst>(PT.Old)) {
+      NewTerm = std::make_unique<JumpInst>(MapBlock(Jmp->target()));
+    } else {
+      incline_unreachable("unhandled terminator in region cloner");
+    }
+    NewTerm->setProfileId(F.takeNextProfileId());
+    Instruction *Raw = PT.NewBB->append(std::move(NewTerm));
+    Map[PT.Old] = Raw;
+  }
+  return Result;
+}
+
+ClonedBody incline::ir::cloneBodyInto(
+    const Function &Source, Function &Host,
+    const std::vector<Value *> &ArgReplacements) {
+  assert(ArgReplacements.size() == Source.numParams() &&
+         "one replacement per parameter required");
+  ClonedBody Result;
+  for (size_t I = 0; I < Source.numParams(); ++I)
+    Result.ValueMap[Source.arg(I)] = ArgReplacements[I];
+  CloneBlocksResult Cloned =
+      cloneBlocks(Source, Host, Result.ValueMap, /*PreserveProfileIds=*/false);
+  Result.Entry = Cloned.Entry;
+  Result.Returns = std::move(Cloned.Returns);
+  return Result;
+}

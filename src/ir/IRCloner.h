@@ -1,0 +1,88 @@
+//===- ir/IRCloner.h - Function cloning -------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep-copies a function body. Two consumers:
+///
+///  * The inliner's call-tree exploration clones each expanded callee so it
+///    can be *specialized* (argument types propagated, optimizations run)
+///    without touching the original method — the paper's "callsite
+///    specialization" rationale for using a call tree instead of a call
+///    graph (§III-A).
+///  * The inline substitution itself clones the callee body into the
+///    caller.
+///
+/// Profile ids are preserved so specialized copies keep their profiles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_IR_IRCLONER_H
+#define INCLINE_IR_IRCLONER_H
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace incline::ir {
+
+class BasicBlock;
+class Function;
+class Instruction;
+class Value;
+
+/// Result of cloning: the new function plus the old-value -> new-value map
+/// (covering arguments and instructions; constants are re-uniqued).
+struct ClonedFunction {
+  std::unique_ptr<Function> F;
+  std::unordered_map<const Value *, Value *> ValueMap;
+};
+
+/// Clones \p Source into a fresh function named \p NewName. Argument types
+/// (including exactness bits) are copied as-is; callers typically refine
+/// them afterwards for specialization.
+ClonedFunction cloneFunction(const Function &Source, std::string NewName);
+
+/// Result of cloning a body into another (host) function.
+struct ClonedBody {
+  BasicBlock *Entry = nullptr;
+  /// The clones of the source's return instructions (the inliner rewires
+  /// these to jumps into the continuation).
+  std::vector<Instruction *> Returns;
+  std::unordered_map<const Value *, Value *> ValueMap;
+};
+
+/// Clones \p Source's body into \p Host (as additional blocks), replacing
+/// each of \p Source's arguments with the corresponding value from
+/// \p ArgReplacements (values owned by \p Host). Cloned instructions get
+/// FRESH profile ids in \p Host's namespace — the host's profiles do not
+/// describe the grafted code.
+ClonedBody cloneBodyInto(const Function &Source, Function &Host,
+                         const std::vector<Value *> &ArgReplacements);
+
+/// Result of duplicating a region of blocks within one function.
+struct ClonedRegion {
+  std::unordered_map<const Value *, Value *> ValueMap;
+  std::unordered_map<const BasicBlock *, BasicBlock *> BlockMap;
+};
+
+/// Duplicates \p Blocks inside \p F (loop peeling's engine).
+///
+/// \p SeedMap pre-maps values that must NOT be cloned — their region-side
+/// definitions are skipped and every cloned use refers to the seed value
+/// instead (used to replace header phis with their entry values). Values
+/// defined outside the region map to themselves. Terminator successors
+/// inside the region are remapped to the clones; successors outside are
+/// left as-is, and the new edges into outside blocks do NOT fix outside
+/// phis — the caller is responsible (it knows which values flow).
+/// Cloned instructions receive fresh profile ids.
+ClonedRegion cloneRegion(Function &F, const std::vector<BasicBlock *> &Blocks,
+                         const std::unordered_map<const Value *, Value *>
+                             &SeedMap);
+
+} // namespace incline::ir
+
+#endif // INCLINE_IR_IRCLONER_H

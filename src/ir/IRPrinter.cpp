@@ -1,0 +1,211 @@
+//===- ir/IRPrinter.cpp ----------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+
+#include "ir/Module.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+#include "support/StringUtils.h"
+
+#include <sstream>
+#include <unordered_map>
+
+using namespace incline;
+using namespace incline::ir;
+
+std::string incline::ir::typeToString(types::Type Ty) {
+  using types::TypeKind;
+  switch (Ty.kind()) {
+  case TypeKind::Void:
+    return "void";
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::Bool:
+    return "bool";
+  case TypeKind::Object:
+    return Ty.isNull() ? "null" : formatString("class#%d", Ty.classId());
+  case TypeKind::IntArray:
+    return "int[]";
+  case TypeKind::ObjectArray:
+    return formatString("class#%d[]", Ty.classId());
+  }
+  incline_unreachable("unknown type kind");
+}
+
+namespace {
+
+/// Per-function printing context: assigns %N names to instruction results.
+class FunctionPrinter {
+public:
+  explicit FunctionPrinter(const Function &F) : F(F) {
+    for (const auto &BB : F.blocks())
+      for (const auto &Inst : BB->instructions())
+        if (!Inst->type().isVoid())
+          Names[Inst.get()] = NextId++;
+  }
+
+  std::string print() {
+    std::ostringstream OS;
+    OS << "func " << F.name() << "(";
+    for (size_t I = 0; I < F.numParams(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << valueName(F.arg(I)) << ": " << typeToString(F.arg(I)->type());
+    }
+    OS << ") -> " << typeToString(F.returnType()) << " {\n";
+    for (const auto &BB : F.blocks()) {
+      OS << blockName(BB.get()) << ":";
+      if (!BB->predecessors().empty()) {
+        OS << "  ; preds:";
+        for (const BasicBlock *Pred : BB->predecessors())
+          OS << " " << blockName(Pred);
+      }
+      OS << "\n";
+      for (const auto &Inst : BB->instructions())
+        OS << "  " << renderInstruction(Inst.get()) << "\n";
+    }
+    OS << "}\n";
+    return OS.str();
+  }
+
+private:
+  std::string blockName(const BasicBlock *BB) const {
+    return formatString("%s.%u", BB->name().c_str(), BB->id());
+  }
+
+  std::string valueName(const Value *V) const {
+    if (const auto *Arg = dyn_cast<Argument>(V))
+      return "%arg." + Arg->name();
+    if (const auto *CI = dyn_cast<ConstInt>(V))
+      return formatString("%lld", static_cast<long long>(CI->value()));
+    if (const auto *CB = dyn_cast<ConstBool>(V))
+      return CB->value() ? "true" : "false";
+    if (isa<ConstNull>(V))
+      return "null";
+    auto It = Names.find(V);
+    assert(It != Names.end() && "printing an unnamed value");
+    return formatString("%%%u", It->second);
+  }
+
+  std::string operandList(const Instruction *Inst, size_t Begin = 0) const {
+    std::string Result;
+    for (size_t I = Begin; I < Inst->numOperands(); ++I) {
+      if (I != Begin)
+        Result += ", ";
+      Result += valueName(Inst->operand(I));
+    }
+    return Result;
+  }
+
+  std::string renderInstruction(const Instruction *Inst) const {
+    std::string Prefix;
+    if (!Inst->type().isVoid())
+      Prefix = valueName(Inst) + " = ";
+
+    switch (Inst->kind()) {
+    case ValueKind::Phi: {
+      const auto *Phi = cast<PhiInst>(Inst);
+      std::string Body = "phi " + typeToString(Phi->type());
+      for (size_t I = 0; I < Phi->numIncoming(); ++I)
+        Body += formatString(" [%s, %s]",
+                             valueName(Phi->incomingValue(I)).c_str(),
+                             blockName(Phi->incomingBlock(I)).c_str());
+      return Prefix + Body;
+    }
+    case ValueKind::BinOp: {
+      const auto *Bin = cast<BinOpInst>(Inst);
+      return Prefix + std::string(BinOpInst::opcodeName(Bin->opcode())) +
+             " " + operandList(Inst);
+    }
+    case ValueKind::UnOp: {
+      const auto *Un = cast<UnOpInst>(Inst);
+      return Prefix +
+             (Un->opcode() == UnOpInst::Opcode::Neg ? "neg " : "not ") +
+             operandList(Inst);
+    }
+    case ValueKind::Call: {
+      const auto *Call = cast<CallInst>(Inst);
+      return Prefix + "call " + Call->callee() + "(" + operandList(Inst) +
+             ")";
+    }
+    case ValueKind::VirtualCall: {
+      const auto *VCall = cast<VirtualCallInst>(Inst);
+      return Prefix + "vcall " + valueName(VCall->receiver()) + "." +
+             VCall->methodName() + "(" + operandList(Inst, 1) + ")";
+    }
+    case ValueKind::NewObject:
+      return Prefix +
+             formatString("new class#%d", cast<NewObjectInst>(Inst)->classId());
+    case ValueKind::NewArray:
+      return Prefix + "newarray " + typeToString(Inst->type()) + ", len=" +
+             operandList(Inst);
+    case ValueKind::LoadField:
+      return Prefix + formatString("loadfield %s.#%u",
+                                   valueName(Inst->operand(0)).c_str(),
+                                   cast<LoadFieldInst>(Inst)->fieldSlot());
+    case ValueKind::StoreField:
+      return Prefix + formatString("storefield %s.#%u = %s",
+                                   valueName(Inst->operand(0)).c_str(),
+                                   cast<StoreFieldInst>(Inst)->fieldSlot(),
+                                   valueName(Inst->operand(1)).c_str());
+    case ValueKind::LoadIndex:
+      return Prefix + "loadindex " + operandList(Inst);
+    case ValueKind::StoreIndex:
+      return Prefix + "storeindex " + operandList(Inst);
+    case ValueKind::ArrayLength:
+      return Prefix + "arraylength " + operandList(Inst);
+    case ValueKind::InstanceOf:
+      return Prefix + formatString("instanceof %s, class#%d",
+                                   valueName(Inst->operand(0)).c_str(),
+                                   cast<InstanceOfInst>(Inst)->testClassId());
+    case ValueKind::CheckCast:
+      return Prefix + formatString("checkcast %s, class#%d",
+                                   valueName(Inst->operand(0)).c_str(),
+                                   cast<CheckCastInst>(Inst)->targetClassId());
+    case ValueKind::GetClassId:
+      return Prefix + "getclassid " + operandList(Inst);
+    case ValueKind::NullCheck:
+      return Prefix + "nullcheck " + operandList(Inst);
+    case ValueKind::Print:
+      return Prefix + "print " + operandList(Inst);
+    case ValueKind::Branch: {
+      const auto *Br = cast<BranchInst>(Inst);
+      return formatString("br %s ? %s : %s",
+                          valueName(Br->condition()).c_str(),
+                          blockName(Br->trueSuccessor()).c_str(),
+                          blockName(Br->falseSuccessor()).c_str());
+    }
+    case ValueKind::Jump:
+      return "jump " + blockName(cast<JumpInst>(Inst)->target());
+    case ValueKind::Return:
+      return Inst->numOperands() ? "ret " + operandList(Inst) : "ret";
+    case ValueKind::Deopt:
+      return "deopt \"" + cast<DeoptInst>(Inst)->reason() + "\"";
+    default:
+      incline_unreachable("unhandled instruction kind in printer");
+    }
+  }
+
+  const Function &F;
+  std::unordered_map<const Value *, unsigned> Names;
+  unsigned NextId = 0;
+};
+
+} // namespace
+
+std::string incline::ir::printFunction(const Function &F) {
+  return FunctionPrinter(F).print();
+}
+
+std::string incline::ir::printModule(const Module &M) {
+  std::string Result;
+  for (const auto &[Name, F] : M.functions()) {
+    Result += printFunction(*F);
+    Result += "\n";
+  }
+  return Result;
+}

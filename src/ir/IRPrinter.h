@@ -1,0 +1,40 @@
+//===- ir/IRPrinter.h - Textual IR dump ------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders functions and modules as readable text for examples, debugging
+/// and golden tests. Values are numbered per function (%0, %1, ...);
+/// arguments print as %arg.NAME.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_IR_IRPRINTER_H
+#define INCLINE_IR_IRPRINTER_H
+
+#include <string>
+
+namespace incline::types {
+class Type;
+}
+
+namespace incline::ir {
+
+class Function;
+class Module;
+
+/// Human-readable name of a type ("int", "C", "C[]", ...). Class ids print
+/// as "class#N" (the printer does not consult the hierarchy for names).
+std::string typeToString(types::Type Ty);
+
+/// Renders \p F to text.
+std::string printFunction(const Function &F);
+
+/// Renders every function in \p M (in name order).
+std::string printModule(const Module &M);
+
+} // namespace incline::ir
+
+#endif // INCLINE_IR_IRPRINTER_H

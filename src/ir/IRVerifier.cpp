@@ -1,0 +1,232 @@
+//===- ir/IRVerifier.cpp -----------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRVerifier.h"
+
+#include "ir/Dominators.h"
+#include "ir/Module.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace incline;
+using namespace incline::ir;
+
+namespace {
+
+class Verifier {
+public:
+  explicit Verifier(const Function &F) : F(F) {}
+
+  std::vector<std::string> run() {
+    checkBlocks();
+    checkUseDefSymmetry();
+    checkPredecessorSymmetry();
+    checkPhis();
+    checkDominance();
+    return std::move(Problems);
+  }
+
+private:
+  void problem(std::string Msg) {
+    Problems.push_back("[" + F.name() + "] " + std::move(Msg));
+  }
+
+  void checkBlocks() {
+    if (F.blocks().empty()) {
+      problem("function has no blocks");
+      return;
+    }
+    if (!F.entry()->predecessors().empty())
+      problem("entry block has predecessors");
+    for (const auto &BB : F.blocks()) {
+      if (BB->empty()) {
+        problem("block " + BB->name() + " is empty");
+        continue;
+      }
+      bool SeenNonPhi = false;
+      for (size_t I = 0; I < BB->size(); ++I) {
+        const Instruction *Inst = BB->instructions()[I].get();
+        if (Inst->parent() != BB.get())
+          problem("instruction parent link broken in " + BB->name());
+        if (isa<PhiInst>(Inst)) {
+          if (SeenNonPhi)
+            problem("phi after non-phi in " + BB->name());
+        } else {
+          SeenNonPhi = true;
+        }
+        bool IsLast = I + 1 == BB->size();
+        if (Inst->isTerminator() != IsLast)
+          problem(IsLast ? "block " + BB->name() + " lacks a terminator"
+                         : "terminator in the middle of " + BB->name());
+      }
+    }
+  }
+
+  void checkUseDefSymmetry() {
+    // Every operand's use list must contain the user exactly as many times
+    // as the user references the operand, and vice versa.
+    std::unordered_map<const Value *,
+                       std::unordered_map<const Instruction *, int>>
+        ExpectedUses;
+    std::unordered_set<const Value *> KnownValues;
+    for (const auto &Arg : F.args())
+      KnownValues.insert(Arg.get());
+    for (const auto &BB : F.blocks())
+      for (const auto &Inst : BB->instructions())
+        KnownValues.insert(Inst.get());
+
+    for (const auto &BB : F.blocks()) {
+      for (const auto &Inst : BB->instructions()) {
+        for (const Value *Op : Inst->operands()) {
+          ++ExpectedUses[Op][Inst.get()];
+          if (!isa<Constant>(Op) && !KnownValues.count(Op))
+            problem("operand defined outside the function");
+        }
+      }
+    }
+    auto CheckValue = [&](const Value *V) {
+      std::unordered_map<const Instruction *, int> Actual;
+      for (const Instruction *User : V->users())
+        ++Actual[User];
+      auto Expected = ExpectedUses.find(V);
+      const std::unordered_map<const Instruction *, int> Empty;
+      const auto &Exp = Expected == ExpectedUses.end() ? Empty
+                                                       : Expected->second;
+      if (Actual != Exp)
+        problem("use-list out of sync for a value");
+    };
+    for (const Value *V : KnownValues)
+      CheckValue(V);
+  }
+
+  void checkPredecessorSymmetry() {
+    // BB->predecessors() must match the multiset of terminator edges.
+    std::unordered_map<const BasicBlock *,
+                       std::unordered_map<const BasicBlock *, int>>
+        Expected;
+    for (const auto &BB : F.blocks()) {
+      const Instruction *Term = BB->terminator();
+      if (!Term)
+        continue;
+      for (const BasicBlock *Succ : successorsOf(Term))
+        ++Expected[Succ][BB.get()];
+    }
+    for (const auto &BB : F.blocks()) {
+      std::unordered_map<const BasicBlock *, int> Actual;
+      for (const BasicBlock *Pred : BB->predecessors())
+        ++Actual[Pred];
+      const std::unordered_map<const BasicBlock *, int> Empty;
+      auto It = Expected.find(BB.get());
+      const auto &Exp = It == Expected.end() ? Empty : It->second;
+      if (Actual != Exp)
+        problem("predecessor list out of sync for " + BB->name());
+    }
+  }
+
+  void checkPhis() {
+    for (const auto &BB : F.blocks()) {
+      std::unordered_set<const BasicBlock *> PredSet(
+          BB->predecessors().begin(), BB->predecessors().end());
+      for (const PhiInst *Phi : BB->phis()) {
+        std::unordered_set<const BasicBlock *> Seen;
+        for (size_t I = 0; I < Phi->numIncoming(); ++I) {
+          const BasicBlock *In = Phi->incomingBlock(I);
+          if (!PredSet.count(In))
+            problem("phi in " + BB->name() +
+                    " has an incoming edge from a non-predecessor");
+          if (!Seen.insert(In).second)
+            problem("phi in " + BB->name() + " has a duplicate incoming edge");
+        }
+        if (Seen.size() != PredSet.size())
+          problem("phi in " + BB->name() + " misses a predecessor entry");
+      }
+    }
+  }
+
+  void checkDominance() {
+    if (F.blocks().empty() || !Problems.empty())
+      return; // Skip when structure is already broken.
+    DominatorTree DT(F);
+    for (const auto &BB : F.blocks()) {
+      if (!DT.isReachable(BB.get()))
+        continue;
+      for (const auto &Inst : BB->instructions()) {
+        for (size_t OpIdx = 0; OpIdx < Inst->numOperands(); ++OpIdx) {
+          const Value *Op = Inst->operand(OpIdx);
+          const auto *Def = dyn_cast<Instruction>(Op);
+          if (!Def)
+            continue; // Arguments and constants dominate everything.
+          const BasicBlock *DefBB = Def->parent();
+          if (const auto *Phi = dyn_cast<PhiInst>(Inst.get())) {
+            // A phi operand must dominate the incoming edge's source.
+            const BasicBlock *In = Phi->incomingBlock(OpIdx);
+            if (!DT.dominates(DefBB, In))
+              problem("phi operand does not dominate incoming block in " +
+                      BB->name());
+            continue;
+          }
+          if (DefBB == BB.get()) {
+            if (BB->indexOf(Def) >= BB->indexOf(Inst.get()))
+              problem("use before def inside " + BB->name());
+          } else if (!DT.dominates(DefBB, BB.get())) {
+            problem("operand def does not dominate use in " + BB->name());
+          }
+        }
+      }
+    }
+  }
+
+  const Function &F;
+  std::vector<std::string> Problems;
+};
+
+} // namespace
+
+std::vector<std::string> incline::ir::verifyFunction(const Function &F) {
+  return Verifier(F).run();
+}
+
+std::vector<std::string> incline::ir::verifyModule(const Module &M) {
+  std::vector<std::string> Problems;
+  for (const auto &[Name, F] : M.functions()) {
+    std::vector<std::string> Local = verifyFunction(*F);
+    Problems.insert(Problems.end(), Local.begin(), Local.end());
+    // Cross-function checks: every direct call target must exist and the
+    // argument count must match its signature.
+    for (const auto &BB : F->blocks()) {
+      for (const auto &Inst : BB->instructions()) {
+        const auto *Call = dyn_cast<CallInst>(Inst.get());
+        if (!Call)
+          continue;
+        const Function *Callee = M.function(Call->callee());
+        if (!Callee) {
+          Problems.push_back("[" + Name + "] call to unknown function " +
+                             Call->callee());
+          continue;
+        }
+        if (Callee->numParams() != Call->numArgs())
+          Problems.push_back("[" + Name + "] call to " + Call->callee() +
+                             " with wrong argument count");
+      }
+    }
+  }
+  return Problems;
+}
+
+bool incline::ir::verifyFunctionOrDie(const Function &F) {
+  std::vector<std::string> Problems = verifyFunction(F);
+  if (Problems.empty())
+    return true;
+  for (const std::string &P : Problems)
+    std::fprintf(stderr, "verifier: %s\n", P.c_str());
+  INCLINE_FATAL("IR verification failed");
+}

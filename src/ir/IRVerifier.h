@@ -1,0 +1,38 @@
+//===- ir/IRVerifier.h - Structural IR well-formedness checks --------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural verification run after every transformation in tests:
+/// terminator placement, bidirectional use-def consistency, phi/predecessor
+/// agreement, CFG edge symmetry, and SSA dominance of defs over uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_IR_IRVERIFIER_H
+#define INCLINE_IR_IRVERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace incline::ir {
+
+class Function;
+class Module;
+
+/// Verifies \p F; returns a list of human-readable problems (empty = OK).
+std::vector<std::string> verifyFunction(const Function &F);
+
+/// Verifies every function in \p M plus cross-function invariants (call
+/// targets resolve, argument counts match signatures).
+std::vector<std::string> verifyModule(const Module &M);
+
+/// Convenience: asserts (fatally) that \p F verifies; returns true so it
+/// can be used in boolean contexts.
+bool verifyFunctionOrDie(const Function &F);
+
+} // namespace incline::ir
+
+#endif // INCLINE_IR_IRVERIFIER_H

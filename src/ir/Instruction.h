@@ -1,0 +1,568 @@
+//===- ir/Instruction.h - IR instruction class hierarchy -----------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// All IR instructions. The set mirrors what MiniOO programs need: SSA phis,
+/// integer/boolean arithmetic, direct and virtual calls, object and array
+/// allocation and access, type tests/casts, a print intrinsic, and
+/// terminators. Virtual calls (`VirtualCallInst`) are the raw material of
+/// the paper's inliner: devirtualization rewrites them into direct
+/// `CallInst`s, and polymorphic inlining expands them into typeswitches
+/// built from `GetClassIdInst` + comparisons.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_IR_INSTRUCTION_H
+#define INCLINE_IR_INSTRUCTION_H
+
+#include "ir/Value.h"
+#include "support/Casting.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace incline::ir {
+
+class BasicBlock;
+
+/// Base class for everything that lives inside a basic block.
+///
+/// Each instruction carries a `profileId`, a function-unique id assigned at
+/// creation and *preserved by cloning*: runtime profiles (branch
+/// probabilities, receiver types) are keyed by (function name, profileId),
+/// so specialized copies of a method made by the inliner's call-tree
+/// exploration still find their profiles.
+class Instruction : public Value {
+public:
+  ~Instruction() override;
+
+  BasicBlock *parent() const { return Parent; }
+  void setParent(BasicBlock *BB) { Parent = BB; }
+
+  /// The function-unique profiling id (see class comment).
+  unsigned profileId() const { return ProfileId; }
+  void setProfileId(unsigned Id) { ProfileId = Id; }
+
+  size_t numOperands() const { return Operands.size(); }
+  Value *operand(size_t I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+  const std::vector<Value *> &operands() const { return Operands; }
+
+  /// Replaces operand \p I, maintaining use lists on both values.
+  void setOperand(size_t I, Value *V);
+
+  /// Replaces every occurrence of \p Old among the operands with \p New.
+  void replaceUsesOfWith(Value *Old, Value *New);
+
+  /// Drops all operands (removing this from their use lists). Called before
+  /// an instruction is destroyed or abandoned.
+  void dropAllOperands();
+
+  bool isTerminator() const {
+    return kind() >= FirstTerminatorKind && kind() <= LastTerminatorKind;
+  }
+
+  /// True if the instruction writes memory or performs I/O and therefore
+  /// must not be removed even when unused.
+  bool hasSideEffects() const;
+
+  /// True if the instruction may read mutable memory (so it cannot be
+  /// freely value-numbered across stores).
+  bool readsMemory() const;
+
+  static bool classof(const Value *V) {
+    return V->kind() >= FirstInstKind && V->kind() <= LastInstKind;
+  }
+
+protected:
+  Instruction(ValueKind Kind, types::Type Ty) : Value(Kind, Ty) {}
+
+  void addOperand(Value *V);
+
+  /// Erases operand slot \p I (shifting later slots down), maintaining the
+  /// use list. Only variadic instructions (phis) may shrink.
+  void removeOperand(size_t I);
+
+private:
+  BasicBlock *Parent = nullptr;
+  unsigned ProfileId = 0;
+  std::vector<Value *> Operands;
+};
+
+//===----------------------------------------------------------------------===//
+// Phi
+//===----------------------------------------------------------------------===//
+
+/// An SSA phi. Incoming blocks are stored explicitly (parallel to the
+/// operand list) so CFG edits can update them precisely.
+class PhiInst : public Instruction {
+public:
+  explicit PhiInst(types::Type Ty) : Instruction(ValueKind::Phi, Ty) {}
+
+  void addIncoming(Value *V, BasicBlock *Pred);
+  size_t numIncoming() const { return Incoming.size(); }
+  BasicBlock *incomingBlock(size_t I) const {
+    assert(I < Incoming.size());
+    return Incoming[I];
+  }
+  void setIncomingBlock(size_t I, BasicBlock *BB) {
+    assert(I < Incoming.size());
+    Incoming[I] = BB;
+  }
+  Value *incomingValue(size_t I) const { return operand(I); }
+  void setIncomingValue(size_t I, Value *V) { setOperand(I, V); }
+
+  /// Returns the incoming value for \p Pred, or null if absent.
+  Value *incomingValueFor(const BasicBlock *Pred) const;
+
+  /// Removes the incoming entry for \p Pred (must exist).
+  void removeIncoming(const BasicBlock *Pred);
+
+  /// If all incoming values are the same value X (ignoring self-references),
+  /// returns X; otherwise null.
+  Value *uniqueIncomingValue() const;
+
+  static bool classof(const Value *V) { return V->kind() == ValueKind::Phi; }
+
+private:
+  std::vector<BasicBlock *> Incoming;
+};
+
+//===----------------------------------------------------------------------===//
+// Arithmetic
+//===----------------------------------------------------------------------===//
+
+/// Binary integer/boolean operations, including comparisons (bool result).
+class BinOpInst : public Instruction {
+public:
+  enum class Opcode : uint8_t {
+    Add, Sub, Mul, Div, Mod,
+    And, Or, Xor, Shl, Shr,
+    Eq, Ne, Lt, Le, Gt, Ge,
+  };
+
+  BinOpInst(Opcode Op, Value *Lhs, Value *Rhs)
+      : Instruction(ValueKind::BinOp, resultType(Op)), Op(Op) {
+    addOperand(Lhs);
+    addOperand(Rhs);
+  }
+
+  Opcode opcode() const { return Op; }
+  Value *lhs() const { return operand(0); }
+  Value *rhs() const { return operand(1); }
+
+  static bool isComparison(Opcode Op) { return Op >= Opcode::Eq; }
+  bool isComparison() const { return isComparison(Op); }
+  /// Commutative in the algebraic sense (Eq/Ne included).
+  static bool isCommutative(Opcode Op);
+  static types::Type resultType(Opcode Op) {
+    return isComparison(Op) ? types::Type::boolTy() : types::Type::intTy();
+  }
+  static std::string_view opcodeName(Opcode Op);
+
+  static bool classof(const Value *V) { return V->kind() == ValueKind::BinOp; }
+
+private:
+  Opcode Op;
+};
+
+/// Unary operations: integer negation and boolean not.
+class UnOpInst : public Instruction {
+public:
+  enum class Opcode : uint8_t { Neg, Not };
+
+  UnOpInst(Opcode Op, Value *V)
+      : Instruction(ValueKind::UnOp, Op == Opcode::Neg
+                                         ? types::Type::intTy()
+                                         : types::Type::boolTy()),
+        Op(Op) {
+    addOperand(V);
+  }
+
+  Opcode opcode() const { return Op; }
+  static bool classof(const Value *V) { return V->kind() == ValueKind::UnOp; }
+
+private:
+  Opcode Op;
+};
+
+//===----------------------------------------------------------------------===//
+// Calls
+//===----------------------------------------------------------------------===//
+
+/// A direct call to the function named `callee()`. For method calls the
+/// receiver is operand 0. Direct calls are what the inliner can expand
+/// (call-tree kind C) and ultimately inline.
+class CallInst : public Instruction {
+public:
+  CallInst(std::string Callee, const std::vector<Value *> &Args,
+           types::Type RetTy)
+      : Instruction(ValueKind::Call, RetTy), Callee(std::move(Callee)) {
+    for (Value *A : Args)
+      addOperand(A);
+  }
+
+  const std::string &callee() const { return Callee; }
+  void setCallee(std::string NewCallee) { Callee = std::move(NewCallee); }
+  size_t numArgs() const { return numOperands(); }
+  Value *arg(size_t I) const { return operand(I); }
+
+  static bool classof(const Value *V) { return V->kind() == ValueKind::Call; }
+
+private:
+  std::string Callee;
+};
+
+/// A virtual (receiver-polymorphic) call: operand 0 is the receiver and the
+/// callee is resolved from its dynamic class at run time. The inliner marks
+/// these as kind G (cannot inline) unless it can devirtualize them or
+/// speculate on the receiver type profile (kind P, §IV "Polymorphic
+/// inlining").
+class VirtualCallInst : public Instruction {
+public:
+  VirtualCallInst(std::string MethodName, Value *Receiver,
+                  const std::vector<Value *> &Args, types::Type RetTy)
+      : Instruction(ValueKind::VirtualCall, RetTy),
+        MethodName(std::move(MethodName)) {
+    addOperand(Receiver);
+    for (Value *A : Args)
+      addOperand(A);
+  }
+
+  const std::string &methodName() const { return MethodName; }
+  Value *receiver() const { return operand(0); }
+  size_t numArgs() const { return numOperands() - 1; }
+  Value *arg(size_t I) const { return operand(I + 1); }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::VirtualCall;
+  }
+
+private:
+  std::string MethodName;
+};
+
+//===----------------------------------------------------------------------===//
+// Allocation and memory access
+//===----------------------------------------------------------------------===//
+
+/// `new C`: allocates an instance with zero-initialized fields. The result
+/// type is exact — the seed of devirtualization.
+class NewObjectInst : public Instruction {
+public:
+  explicit NewObjectInst(int ClassId)
+      : Instruction(ValueKind::NewObject, types::Type::object(ClassId)),
+        ClassId(ClassId) {
+    setExactType(true);
+  }
+
+  int classId() const { return ClassId; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::NewObject;
+  }
+
+private:
+  int ClassId;
+};
+
+/// `new int[n]` / `new C[n]`: allocates a zero/null-initialized array.
+class NewArrayInst : public Instruction {
+public:
+  NewArrayInst(types::Type ArrayTy, Value *Length)
+      : Instruction(ValueKind::NewArray, ArrayTy) {
+    assert(ArrayTy.isArray() && "NewArray must produce an array type");
+    setExactType(true);
+    addOperand(Length);
+  }
+
+  Value *length() const { return operand(0); }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::NewArray;
+  }
+};
+
+/// Reads field slot `fieldSlot()` of the object operand.
+class LoadFieldInst : public Instruction {
+public:
+  LoadFieldInst(Value *Obj, unsigned FieldSlot, types::Type FieldTy)
+      : Instruction(ValueKind::LoadField, FieldTy), FieldSlot(FieldSlot) {
+    addOperand(Obj);
+  }
+
+  Value *object() const { return operand(0); }
+  unsigned fieldSlot() const { return FieldSlot; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::LoadField;
+  }
+
+private:
+  unsigned FieldSlot;
+};
+
+/// Writes field slot `fieldSlot()` of the object operand.
+class StoreFieldInst : public Instruction {
+public:
+  StoreFieldInst(Value *Obj, unsigned FieldSlot, Value *Val)
+      : Instruction(ValueKind::StoreField, types::Type::voidTy()),
+        FieldSlot(FieldSlot) {
+    addOperand(Obj);
+    addOperand(Val);
+  }
+
+  Value *object() const { return operand(0); }
+  Value *storedValue() const { return operand(1); }
+  unsigned fieldSlot() const { return FieldSlot; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::StoreField;
+  }
+
+private:
+  unsigned FieldSlot;
+};
+
+/// Reads `array[index]`.
+class LoadIndexInst : public Instruction {
+public:
+  LoadIndexInst(Value *Array, Value *Index, types::Type ElemTy)
+      : Instruction(ValueKind::LoadIndex, ElemTy) {
+    addOperand(Array);
+    addOperand(Index);
+  }
+
+  Value *array() const { return operand(0); }
+  Value *index() const { return operand(1); }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::LoadIndex;
+  }
+};
+
+/// Writes `array[index] = value`.
+class StoreIndexInst : public Instruction {
+public:
+  StoreIndexInst(Value *Array, Value *Index, Value *Val)
+      : Instruction(ValueKind::StoreIndex, types::Type::voidTy()) {
+    addOperand(Array);
+    addOperand(Index);
+    addOperand(Val);
+  }
+
+  Value *array() const { return operand(0); }
+  Value *index() const { return operand(1); }
+  Value *storedValue() const { return operand(2); }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::StoreIndex;
+  }
+};
+
+/// `array.length`.
+class ArrayLengthInst : public Instruction {
+public:
+  explicit ArrayLengthInst(Value *Array)
+      : Instruction(ValueKind::ArrayLength, types::Type::intTy()) {
+    addOperand(Array);
+  }
+
+  Value *array() const { return operand(0); }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::ArrayLength;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Type tests
+//===----------------------------------------------------------------------===//
+
+/// `obj instanceof C` — true iff the dynamic class is C or a subclass.
+/// Null is not an instance of anything. Folded by the canonicalizer when
+/// the operand's type is exact ("type-check folding", §IV).
+class InstanceOfInst : public Instruction {
+public:
+  InstanceOfInst(Value *Obj, int TestClassId)
+      : Instruction(ValueKind::InstanceOf, types::Type::boolTy()),
+        TestClassId(TestClassId) {
+    addOperand(Obj);
+  }
+
+  Value *object() const { return operand(0); }
+  int testClassId() const { return TestClassId; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::InstanceOf;
+  }
+
+private:
+  int TestClassId;
+};
+
+/// `(C) obj` — narrows the static type; traps at run time on mismatch.
+class CheckCastInst : public Instruction {
+public:
+  CheckCastInst(Value *Obj, int TargetClassId)
+      : Instruction(ValueKind::CheckCast, types::Type::object(TargetClassId)),
+        TargetClassId(TargetClassId) {
+    addOperand(Obj);
+  }
+
+  Value *object() const { return operand(0); }
+  int targetClassId() const { return TargetClassId; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::CheckCast;
+  }
+
+private:
+  int TargetClassId;
+};
+
+/// Asserts that the operand is non-null and forwards it (a pi node): traps
+/// with a NullPointer error otherwise. Emitted when devirtualizing through
+/// class-hierarchy analysis, so a direct call keeps the virtual call's NPE
+/// semantics. Folds away when the operand is provably non-null.
+class NullCheckInst : public Instruction {
+public:
+  explicit NullCheckInst(Value *Obj)
+      : Instruction(ValueKind::NullCheck, Obj->type()) {
+    setExactType(Obj->hasExactType());
+    addOperand(Obj);
+  }
+
+  Value *object() const { return operand(0); }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::NullCheck;
+  }
+};
+
+/// Reads the dynamic class id of an object — the dispatch-table load used
+/// to build typeswitches for polymorphic inlining (Hölzle & Ungar style).
+class GetClassIdInst : public Instruction {
+public:
+  explicit GetClassIdInst(Value *Obj)
+      : Instruction(ValueKind::GetClassId, types::Type::intTy()) {
+    addOperand(Obj);
+  }
+
+  Value *object() const { return operand(0); }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::GetClassId;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// I/O
+//===----------------------------------------------------------------------===//
+
+/// The MiniOO `print(x)` intrinsic (int or bool operand). Program output is
+/// the observable behaviour that differential tests compare across
+/// optimization levels and inliner policies.
+class PrintInst : public Instruction {
+public:
+  explicit PrintInst(Value *V)
+      : Instruction(ValueKind::Print, types::Type::voidTy()) {
+    addOperand(V);
+  }
+
+  Value *value() const { return operand(0); }
+
+  static bool classof(const Value *V) { return V->kind() == ValueKind::Print; }
+};
+
+//===----------------------------------------------------------------------===//
+// Terminators
+//===----------------------------------------------------------------------===//
+
+/// Conditional branch on a boolean operand.
+class BranchInst : public Instruction {
+public:
+  BranchInst(Value *Cond, BasicBlock *TrueSucc, BasicBlock *FalseSucc)
+      : Instruction(ValueKind::Branch, types::Type::voidTy()),
+        TrueSucc(TrueSucc), FalseSucc(FalseSucc) {
+    addOperand(Cond);
+  }
+
+  Value *condition() const { return operand(0); }
+  BasicBlock *trueSuccessor() const { return TrueSucc; }
+  BasicBlock *falseSuccessor() const { return FalseSucc; }
+  void setTrueSuccessor(BasicBlock *BB) { TrueSucc = BB; }
+  void setFalseSuccessor(BasicBlock *BB) { FalseSucc = BB; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::Branch;
+  }
+
+private:
+  BasicBlock *TrueSucc;
+  BasicBlock *FalseSucc;
+};
+
+/// Unconditional jump.
+class JumpInst : public Instruction {
+public:
+  explicit JumpInst(BasicBlock *Target)
+      : Instruction(ValueKind::Jump, types::Type::voidTy()), Target(Target) {}
+
+  BasicBlock *target() const { return Target; }
+  void setTarget(BasicBlock *BB) { Target = BB; }
+
+  static bool classof(const Value *V) { return V->kind() == ValueKind::Jump; }
+
+private:
+  BasicBlock *Target;
+};
+
+/// Function return, with an optional value.
+class ReturnInst : public Instruction {
+public:
+  explicit ReturnInst(Value *Val)
+      : Instruction(ValueKind::Return, types::Type::voidTy()) {
+    if (Val)
+      addOperand(Val);
+  }
+
+  bool hasValue() const { return numOperands() == 1; }
+  Value *returnValue() const { return hasValue() ? operand(0) : nullptr; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::Return;
+  }
+};
+
+/// A point the compiled code believes unreachable; executing it is a
+/// simulated deoptimization (the interpreter reports it as a trap).
+class DeoptInst : public Instruction {
+public:
+  explicit DeoptInst(std::string Reason)
+      : Instruction(ValueKind::Deopt, types::Type::voidTy()),
+        Reason(std::move(Reason)) {}
+
+  const std::string &reason() const { return Reason; }
+
+  static bool classof(const Value *V) { return V->kind() == ValueKind::Deopt; }
+
+private:
+  std::string Reason;
+};
+
+/// Successor blocks of a terminator instruction, in a fixed order.
+std::vector<BasicBlock *> successorsOf(const Instruction *Term);
+
+/// Rewrites every successor edge \p Old of \p Term to \p New.
+void replaceSuccessor(Instruction *Term, BasicBlock *Old, BasicBlock *New);
+
+} // namespace incline::ir
+
+#endif // INCLINE_IR_INSTRUCTION_H

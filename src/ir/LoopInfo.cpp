@@ -1,0 +1,93 @@
+//===- ir/LoopInfo.cpp -------------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/LoopInfo.h"
+
+#include "ir/Dominators.h"
+#include "ir/Function.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace incline;
+using namespace incline::ir;
+
+LoopInfo::LoopInfo(const Function &F, const DominatorTree &DT) {
+  (void)F; // The CFG is walked through the dominator tree's RPO snapshot.
+  // Find back edges: (Latch -> Header) where Header dominates Latch.
+  std::unordered_map<BasicBlock *, Loop *> LoopByHeader;
+  for (BasicBlock *BB : DT.reversePostOrder()) {
+    for (BasicBlock *Succ : BB->successors()) {
+      if (!DT.dominates(Succ, BB))
+        continue;
+      Loop *&L = LoopByHeader[Succ];
+      if (!L) {
+        Loops.push_back(std::make_unique<Loop>());
+        L = Loops.back().get();
+        L->Header = Succ;
+        L->Blocks.insert(Succ);
+      }
+      L->Latches.push_back(BB);
+      // Reverse flood fill from the latch, stopping at the header.
+      std::vector<BasicBlock *> Work = {BB};
+      while (!Work.empty()) {
+        BasicBlock *Cur = Work.back();
+        Work.pop_back();
+        if (!L->Blocks.insert(Cur).second)
+          continue;
+        for (BasicBlock *Pred : Cur->predecessors())
+          if (DT.isReachable(Pred))
+            Work.push_back(Pred);
+      }
+    }
+  }
+
+  // Establish nesting: loop A is nested in B iff B contains A's header and
+  // A != B. Among containing loops, the parent is the smallest one.
+  for (const auto &A : Loops) {
+    Loop *Best = nullptr;
+    for (const auto &B : Loops) {
+      if (A.get() == B.get() || !B->contains(A->Header))
+        continue;
+      if (!Best || B->Blocks.size() < Best->Blocks.size())
+        Best = B.get();
+    }
+    A->Parent = Best;
+  }
+  for (const auto &L : Loops) {
+    unsigned Depth = 1;
+    for (Loop *P = L->Parent; P; P = P->Parent)
+      ++Depth;
+    L->Depth = Depth;
+  }
+
+  // Innermost loop per block: the smallest loop containing it.
+  for (const auto &L : Loops) {
+    for (BasicBlock *BB : L->Blocks) {
+      auto It = InnermostLoop.find(BB);
+      if (It == InnermostLoop.end() ||
+          L->Blocks.size() < It->second->Blocks.size())
+        InnermostLoop[BB] = L.get();
+    }
+  }
+}
+
+Loop *LoopInfo::loopFor(const BasicBlock *BB) const {
+  auto It = InnermostLoop.find(BB);
+  return It == InnermostLoop.end() ? nullptr : It->second;
+}
+
+unsigned LoopInfo::depthOf(const BasicBlock *BB) const {
+  Loop *L = loopFor(BB);
+  return L ? L->Depth : 0;
+}
+
+bool LoopInfo::isHeader(const BasicBlock *BB) const {
+  for (const auto &L : Loops)
+    if (L->Header == BB)
+      return true;
+  return false;
+}

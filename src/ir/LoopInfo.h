@@ -1,0 +1,66 @@
+//===- ir/LoopInfo.h - Natural loop detection --------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural-loop discovery from dominator-based back edges. Consumers: the
+/// block-frequency estimator (loop trip multipliers for the paper's f(n)),
+/// the loop-peeling optimization, and the profiling interpreter's backedge
+/// counters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_IR_LOOPINFO_H
+#define INCLINE_IR_LOOPINFO_H
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace incline::ir {
+
+class BasicBlock;
+class DominatorTree;
+class Function;
+
+/// One natural loop: a header plus its body blocks (header included).
+struct Loop {
+  BasicBlock *Header = nullptr;
+  /// Blocks whose edge to the header is a back edge.
+  std::vector<BasicBlock *> Latches;
+  std::unordered_set<BasicBlock *> Blocks;
+  Loop *Parent = nullptr;       ///< Enclosing loop, or null.
+  unsigned Depth = 1;           ///< 1 for outermost loops.
+
+  bool contains(const BasicBlock *BB) const {
+    return Blocks.count(const_cast<BasicBlock *>(BB)) != 0;
+  }
+};
+
+/// All natural loops of a function. Loops with the same header are merged.
+class LoopInfo {
+public:
+  LoopInfo(const Function &F, const DominatorTree &DT);
+
+  const std::vector<std::unique_ptr<Loop>> &loops() const { return Loops; }
+
+  /// Innermost loop containing \p BB, or null.
+  Loop *loopFor(const BasicBlock *BB) const;
+
+  /// Nesting depth of \p BB (0 when not in any loop).
+  unsigned depthOf(const BasicBlock *BB) const;
+
+  /// True if \p BB is some loop's header.
+  bool isHeader(const BasicBlock *BB) const;
+
+private:
+  std::vector<std::unique_ptr<Loop>> Loops;
+  std::unordered_map<const BasicBlock *, Loop *> InnermostLoop;
+};
+
+} // namespace incline::ir
+
+#endif // INCLINE_IR_LOOPINFO_H

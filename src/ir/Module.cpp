@@ -1,0 +1,34 @@
+//===- ir/Module.cpp -------------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace incline;
+using namespace incline::ir;
+
+Function *Module::addFunction(std::string Name,
+                              std::vector<types::Type> ParamTypes,
+                              std::vector<std::string> ParamNames,
+                              types::Type ReturnType) {
+  auto F = std::make_unique<Function>(Name, std::move(ParamTypes),
+                                      std::move(ParamNames), ReturnType);
+  return adoptFunction(std::move(F));
+}
+
+Function *Module::adoptFunction(std::unique_ptr<Function> F) {
+  Function *Raw = F.get();
+  auto [It, Inserted] = Funcs.emplace(Raw->name(), std::move(F));
+  if (!Inserted)
+    INCLINE_FATAL("duplicate function symbol in module");
+  return It->second.get();
+}
+
+Function *Module::function(std::string_view Name) const {
+  auto It = Funcs.find(Name);
+  return It == Funcs.end() ? nullptr : It->second.get();
+}

@@ -1,0 +1,63 @@
+//===- ir/Module.h - Translation unit: functions + class hierarchy --------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Module owns every function of a MiniOO program (keyed by symbol name —
+/// "main", "Class.method") together with the class hierarchy. It is the
+/// shared substrate for the interpreter, the JIT runtime, and the inliner.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_IR_MODULE_H
+#define INCLINE_IR_MODULE_H
+
+#include "ir/Function.h"
+#include "types/ClassHierarchy.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace incline::ir {
+
+/// The compiled program.
+class Module {
+public:
+  Module() = default;
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+
+  types::ClassHierarchy &classes() { return Classes; }
+  const types::ClassHierarchy &classes() const { return Classes; }
+
+  /// Creates a function; the symbol must be unique.
+  Function *addFunction(std::string Name, std::vector<types::Type> ParamTypes,
+                        std::vector<std::string> ParamNames,
+                        types::Type ReturnType);
+
+  /// Registers an externally constructed function (e.g. a specialized copy
+  /// promoted to a compilation result).
+  Function *adoptFunction(std::unique_ptr<Function> F);
+
+  /// Looks up a function by symbol; null if absent.
+  Function *function(std::string_view Name) const;
+
+  /// Deterministically ordered (by name) view of all functions.
+  const std::map<std::string, std::unique_ptr<Function>, std::less<>> &
+  functions() const {
+    return Funcs;
+  }
+
+  size_t numFunctions() const { return Funcs.size(); }
+
+private:
+  types::ClassHierarchy Classes;
+  std::map<std::string, std::unique_ptr<Function>, std::less<>> Funcs;
+};
+
+} // namespace incline::ir
+
+#endif // INCLINE_IR_MODULE_H

@@ -1,0 +1,36 @@
+//===- ir/Value.cpp --------------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Value.h"
+
+#include "ir/Instruction.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+
+using namespace incline;
+using namespace incline::ir;
+
+Value::~Value() {
+  assert(Users.empty() && "value destroyed while still in use");
+}
+
+void Value::replaceAllUsesWith(Value *New) {
+  assert(New != this && "replacing a value with itself");
+  while (!Users.empty()) {
+    Instruction *User = Users.back();
+    // replaceUsesOfWith removes every (User, slot) entry for this value.
+    User->replaceUsesOfWith(this, New);
+  }
+}
+
+void Value::removeUser(Instruction *User) {
+  auto It = std::find(Users.begin(), Users.end(), User);
+  assert(It != Users.end() && "removing a non-existent user");
+  // Order is irrelevant: swap-and-pop.
+  *It = Users.back();
+  Users.pop_back();
+}

@@ -1,0 +1,60 @@
+//===- jit/Compiler.h - Compiler interface for the JIT runtime ------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The second-tier compiler abstraction. The JIT runtime invokes it when a
+/// method gets hot; implementations (in src/inliner) differ only in their
+/// inlining algorithm — exactly the paper's experimental setup, where "the
+/// only component that we replaced was the inliner" (§V).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_JIT_COMPILER_H
+#define INCLINE_JIT_COMPILER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace incline::ir {
+class Function;
+class Module;
+} // namespace incline::ir
+
+namespace incline::profile {
+class ProfileTable;
+}
+
+namespace incline::jit {
+
+/// Per-compilation statistics reported by a compiler.
+struct CompileStats {
+  uint64_t InlinedCallsites = 0;
+  uint64_t Rounds = 0;          ///< Inliner rounds (expand/analyze/inline).
+  uint64_t ExploredNodes = 0;   ///< Call-tree nodes ever created.
+  uint64_t OptsTriggered = 0;   ///< Canonicalizer rewrites observed.
+  uint64_t CodeSize = 0;        ///< |ir| of the final compiled body.
+};
+
+/// A second-tier compiler: consumes the profiled source IR of one method
+/// and produces optimized code.
+class Compiler {
+public:
+  virtual ~Compiler();
+
+  /// Compiles \p Source (a method of \p M) using \p Profiles. The returned
+  /// function keeps the source's name (profile keys stay valid).
+  virtual std::unique_ptr<ir::Function>
+  compile(const ir::Function &Source, const ir::Module &M,
+          const profile::ProfileTable &Profiles, CompileStats &Stats) = 0;
+
+  /// Short name for reports ("incremental", "greedy", "c2", ...).
+  virtual std::string name() const = 0;
+};
+
+} // namespace incline::jit
+
+#endif // INCLINE_JIT_COMPILER_H

@@ -1,0 +1,87 @@
+//===- jit/JitRuntime.cpp -----------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/JitRuntime.h"
+
+#include "interp/CostModel.h"
+#include "ir/IRVerifier.h"
+#include "support/ErrorHandling.h"
+
+using namespace incline;
+using namespace incline::jit;
+
+Compiler::~Compiler() = default;
+
+JitRuntime::JitRuntime(ir::Module &M, Compiler &TheCompiler, JitConfig Config)
+    : M(M), TheCompiler(TheCompiler), Config(Config) {}
+
+interp::ResolvedBody JitRuntime::resolve(std::string_view Symbol) {
+  interp::ResolvedBody Body;
+  Body.ProfileName = std::string(Symbol);
+  auto It = CodeCache.find(Symbol);
+  if (It != CodeCache.end()) {
+    Body.F = It->second.get();
+    Body.Compiled = true;
+    return Body;
+  }
+  Body.F = M.function(Symbol);
+  Body.Compiled = false;
+  return Body;
+}
+
+void JitRuntime::onInvoke(std::string_view Symbol) {
+  if (!Config.Enabled || CodeCache.count(Symbol))
+    return;
+  auto It = HotnessCounters.find(Symbol);
+  if (It == HotnessCounters.end())
+    It = HotnessCounters.emplace(std::string(Symbol), 0).first;
+  ++It->second;
+  if (It->second < Config.CompileThreshold)
+    return;
+  // Guard against reentrant compilation (the compiler itself never runs
+  // MiniOO code, but be defensive).
+  if (CompilationInProgress)
+    return;
+  compileNow(Symbol);
+}
+
+void JitRuntime::compileNow(std::string_view Symbol) {
+  const ir::Function *Source = M.function(Symbol);
+  if (!Source || CodeCache.count(Symbol))
+    return;
+  CompilationInProgress = true;
+  CompilationRecord Record;
+  Record.Symbol = std::string(Symbol);
+  Record.CompileIndex = Compilations.size();
+  std::unique_ptr<ir::Function> Code =
+      TheCompiler.compile(*Source, M, Profiles, Record.Stats);
+  CompilationInProgress = false;
+  if (!Code)
+    return; // The compiler bailed out; stay interpreted.
+  assert(ir::verifyFunction(*Code).empty() &&
+         "compiler produced invalid code");
+  Record.Stats.CodeSize = Code->instructionCount();
+  Compilations.push_back(Record);
+  CodeCache.emplace(std::string(Symbol), std::move(Code));
+}
+
+interp::ExecResult JitRuntime::runMain() {
+  interp::Interpreter Interp(M, *this);
+  return Interp.run("main");
+}
+
+uint64_t JitRuntime::installedCodeSize() const {
+  uint64_t Total = 0;
+  for (const auto &[Symbol, F] : CodeCache)
+    Total += F->instructionCount();
+  return Total;
+}
+
+double JitRuntime::effectiveCycles(const interp::ExecResult &R) const {
+  double Pressure = interp::CostModel::icachePressure(installedCodeSize());
+  return static_cast<double>(R.InterpretedCycles) +
+         static_cast<double>(R.CompiledCycles) * Pressure;
+}

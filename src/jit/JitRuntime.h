@@ -1,0 +1,95 @@
+//===- jit/JitRuntime.h - Tiered execution runtime -------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The VM substitute: methods start in the profiling interpreter; when a
+/// method's invocation count crosses the compile threshold it is compiled
+/// (synchronously, at the invocation — the online compilation stream of
+/// §II's problem statement) and subsequent calls run the compiled body
+/// under the cheaper compiled-tier cost model.
+///
+/// The runtime tracks installed code size; the benchmark harness combines
+/// it with the cost model's i-cache pressure term to produce effective
+/// cycles, reproducing the paper's code-size/performance trade-off.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_JIT_JITRUNTIME_H
+#define INCLINE_JIT_JITRUNTIME_H
+
+#include "interp/Interpreter.h"
+#include "jit/Compiler.h"
+#include "profile/ProfileData.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace incline::jit {
+
+/// Tiering configuration.
+struct JitConfig {
+  /// Invocations of a method before it is compiled.
+  uint64_t CompileThreshold = 50;
+  /// Master switch (off = pure interpretation).
+  bool Enabled = true;
+};
+
+/// One installed compilation.
+struct CompilationRecord {
+  std::string Symbol;
+  CompileStats Stats;
+  uint64_t CompileIndex = 0; ///< Order of arrival in the compile stream.
+};
+
+/// The tiered runtime. Implements the interpreter's ExecutionEnv: hotness
+/// counting on invocation, code-cache lookups on resolution, profile
+/// recording for the interpreted tier.
+class JitRuntime : public interp::ExecutionEnv {
+public:
+  JitRuntime(ir::Module &M, Compiler &TheCompiler,
+             JitConfig Config = JitConfig());
+
+  // ExecutionEnv implementation.
+  interp::ResolvedBody resolve(std::string_view Symbol) override;
+  void onInvoke(std::string_view Symbol) override;
+  profile::ProfileTable *profiles() override { return &Profiles; }
+
+  /// Runs `main` once under tiered execution. Call repeatedly to simulate
+  /// benchmark iterations: hotness and compiled code persist across runs.
+  interp::ExecResult runMain();
+
+  /// Total |ir| of all installed compiled code.
+  uint64_t installedCodeSize() const;
+
+  /// Effective cycles of \p R after applying i-cache pressure to its
+  /// compiled-tier share (the harness's "wall clock").
+  double effectiveCycles(const interp::ExecResult &R) const;
+
+  const std::vector<CompilationRecord> &compilations() const {
+    return Compilations;
+  }
+  const profile::ProfileTable &profileTable() const { return Profiles; }
+
+  /// Forces compilation of \p Symbol now (used by tests).
+  void compileNow(std::string_view Symbol);
+
+private:
+  ir::Module &M;
+  Compiler &TheCompiler;
+  JitConfig Config;
+  profile::ProfileTable Profiles;
+
+  std::map<std::string, uint64_t, std::less<>> HotnessCounters;
+  std::map<std::string, std::unique_ptr<ir::Function>, std::less<>> CodeCache;
+  std::vector<CompilationRecord> Compilations;
+  bool CompilationInProgress = false;
+};
+
+} // namespace incline::jit
+
+#endif // INCLINE_JIT_JITRUNTIME_H

@@ -1,0 +1,111 @@
+//===- opt/CFGUtils.cpp ---------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/CFGUtils.h"
+
+#include "ir/Function.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace incline;
+using namespace incline::ir;
+using namespace incline::opt;
+
+size_t incline::opt::removeUnreachableBlocks(Function &F) {
+  std::unordered_set<const BasicBlock *> Reachable;
+  for (BasicBlock *BB : F.reversePostOrder())
+    Reachable.insert(BB);
+
+  std::vector<BasicBlock *> Dead;
+  for (const auto &BB : F.blocks())
+    if (!Reachable.count(BB.get()))
+      Dead.push_back(BB.get());
+  if (Dead.empty())
+    return 0;
+
+  // Pass 1: remove phi entries in reachable successors, then unhook the
+  // dead blocks' outgoing edges. After this no dead block has predecessors
+  // (reachable -> dead edges cannot exist).
+  for (BasicBlock *BB : Dead) {
+    Instruction *Term = BB->terminator();
+    if (!Term)
+      continue;
+    for (BasicBlock *Succ : successorsOf(Term))
+      if (Reachable.count(Succ))
+        removePhiEntriesForEdge(*Succ, *BB);
+    std::unique_ptr<Instruction> Owned = BB->detach(Term);
+    Owned->dropAllOperands();
+  }
+
+  // Pass 2: sever all remaining value references (dead blocks may form
+  // cycles among themselves), then destroy.
+  for (BasicBlock *BB : Dead)
+    BB->dropAllReferences();
+  for (BasicBlock *BB : Dead)
+    F.removeBlock(BB);
+  return Dead.size();
+}
+
+size_t incline::opt::mergeStraightLineBlocks(Function &F) {
+  size_t Merged = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &BBOwner : F.blocks()) {
+      BasicBlock *B = BBOwner.get();
+      auto *Jump = dyn_cast_if_present<JumpInst>(B->terminator());
+      if (!Jump)
+        continue;
+      BasicBlock *S = Jump->target();
+      if (S == B || S == F.entry() || S->predecessors().size() != 1)
+        continue;
+
+      // Phis in S have a single incoming value: replace them.
+      for (PhiInst *Phi : S->phis()) {
+        Value *In = Phi->incomingValue(0);
+        assert(Phi->numIncoming() == 1 && "single-pred block with wide phi");
+        Phi->replaceAllUsesWith(In);
+        S->erase(Phi);
+      }
+
+      // Remove B's jump, then move S's instructions into B.
+      std::unique_ptr<Instruction> OldJump = B->detach(Jump);
+      OldJump->dropAllOperands();
+      while (!S->empty()) {
+        Instruction *Inst = S->front();
+        std::unique_ptr<Instruction> Owned = S->detach(Inst);
+        Inst->setParent(nullptr);
+        if (Inst->isTerminator())
+          B->append(std::move(Owned));
+        else
+          B->insertAt(B->size(), std::move(Owned));
+      }
+      // Successor phis still key their incoming edges by S; rekey to B.
+      // (B had no edge to those successors before the merge: its only
+      // successor was S.)
+      for (BasicBlock *T : B->successors())
+        for (PhiInst *Phi : T->phis())
+          for (size_t I = 0; I < Phi->numIncoming(); ++I)
+            if (Phi->incomingBlock(I) == S)
+              Phi->setIncomingBlock(I, B);
+
+      F.removeBlock(S);
+      ++Merged;
+      Changed = true;
+      break; // Block list mutated; restart the scan.
+    }
+  }
+  return Merged;
+}
+
+void incline::opt::removePhiEntriesForEdge(BasicBlock &To,
+                                           const BasicBlock &From) {
+  for (PhiInst *Phi : To.phis())
+    if (Phi->incomingValueFor(&From))
+      Phi->removeIncoming(&From);
+}

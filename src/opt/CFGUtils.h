@@ -1,0 +1,44 @@
+//===- opt/CFGUtils.h - Shared CFG cleanup helpers -------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CFG maintenance shared by the canonicalizer, DCE, loop peeling and the
+/// inline substitution: unreachable-block removal (with phi fixups) and
+/// straight-line block merging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_OPT_CFGUTILS_H
+#define INCLINE_OPT_CFGUTILS_H
+
+#include <cstddef>
+
+namespace incline::ir {
+class BasicBlock;
+class Function;
+} // namespace incline::ir
+
+namespace incline::opt {
+
+/// Removes every block unreachable from the entry, fixing up phi incoming
+/// lists of surviving successors. Returns the number of blocks removed.
+size_t removeUnreachableBlocks(ir::Function &F);
+
+/// Splices single-predecessor blocks into their unique jumping predecessor
+/// (B -> S where B ends in an unconditional jump and S's only predecessor
+/// is B). Phis in S become their single incoming value. Returns the number
+/// of merges performed.
+size_t mergeStraightLineBlocks(ir::Function &F);
+
+/// Removes the CFG edge \p From -> \p To caused by a pruned branch: drops
+/// \p To's phi entries for \p From. (The terminator rewrite itself is the
+/// caller's job.) Safe when \p To still has other predecessors; if \p To
+/// becomes unreachable, run removeUnreachableBlocks afterwards.
+void removePhiEntriesForEdge(ir::BasicBlock &To, const ir::BasicBlock &From);
+
+} // namespace incline::opt
+
+#endif // INCLINE_OPT_CFGUTILS_H

@@ -1,0 +1,539 @@
+//===- opt/Canonicalizer.cpp ------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Canonicalizer.h"
+
+#include "ir/ArithSemantics.h"
+#include "ir/Module.h"
+#include "opt/CFGUtils.h"
+#include "support/Casting.h"
+
+#include <deque>
+#include <unordered_set>
+
+using namespace incline;
+using namespace incline::ir;
+using namespace incline::opt;
+
+CanonStats &CanonStats::operator+=(const CanonStats &Other) {
+  ConstantsFolded += Other.ConstantsFolded;
+  StrengthReductions += Other.StrengthReductions;
+  BranchesPruned += Other.BranchesPruned;
+  PhisSimplified += Other.PhisSimplified;
+  TypeChecksFolded += Other.TypeChecksFolded;
+  NullChecksFolded += Other.NullChecksFolded;
+  Devirtualized += Other.Devirtualized;
+  CastsFolded += Other.CastsFolded;
+  BudgetExhausted = BudgetExhausted || Other.BudgetExhausted;
+  return *this;
+}
+
+namespace {
+
+/// True when \p V can never be null at run time.
+bool isProvablyNonNull(const Value *V) {
+  if (V->hasExactType())
+    return true; // Exactness is only asserted for non-null values.
+  return isa<NewObjectInst, NewArrayInst, NullCheckInst>(V);
+}
+
+class CanonicalizerImpl {
+public:
+  CanonicalizerImpl(Function &F, const Module &M, const CanonOptions &Opts)
+      : F(F), M(M), Opts(Opts) {}
+
+  CanonStats run() {
+    seedWorklist();
+    uint64_t Visits = 0;
+    while (true) {
+      while (!Worklist.empty()) {
+        if (++Visits > Opts.VisitBudget) {
+          Stats.BudgetExhausted = true;
+          return Stats;
+        }
+        Instruction *Inst = Worklist.front();
+        Worklist.pop_front();
+        InWorklist.erase(Inst);
+        if (!Alive.count(Inst))
+          continue;
+        simplify(Inst);
+      }
+      // CFG cleanup can enable more local rewrites (e.g. phis narrowing
+      // after a block loses an edge); iterate until everything settles.
+      size_t CFGChanges = removeUnreachableBlocks(F);
+      CFGChanges += mergeStraightLineBlocks(F);
+      if (CFGChanges == 0)
+        return Stats;
+      seedWorklist();
+    }
+  }
+
+private:
+  void seedWorklist() {
+    Worklist.clear();
+    InWorklist.clear();
+    Alive.clear();
+    for (const auto &BB : F.blocks())
+      for (const auto &Inst : BB->instructions())
+        Alive.insert(Inst.get());
+    // Deterministic order: blocks in function order.
+    for (const auto &BB : F.blocks())
+      for (const auto &Inst : BB->instructions())
+        enqueue(Inst.get());
+  }
+
+  void enqueue(Instruction *Inst) {
+    if (!Alive.count(Inst) || InWorklist.count(Inst))
+      return;
+    Worklist.push_back(Inst);
+    InWorklist.insert(Inst);
+  }
+
+  void enqueueUsers(Value *V) {
+    for (Instruction *User : V->users())
+      enqueue(User);
+  }
+
+  /// Removes \p Inst (which must be use-free) from the function.
+  void eraseInst(Instruction *Inst) {
+    Alive.erase(Inst);
+    // Operands lose a use; their users may now simplify (no-op for the
+    // canonicalizer, but keeps exactness propagation flowing).
+    for (Value *Op : Inst->operands())
+      if (auto *OpInst = dyn_cast<Instruction>(Op))
+        enqueue(OpInst);
+    Inst->parent()->erase(Inst);
+  }
+
+  /// RAUWs \p Inst with \p With and erases it.
+  void replaceInst(Instruction *Inst, Value *With) {
+    enqueueUsers(Inst);
+    Inst->replaceAllUsesWith(With);
+    if (auto *WithInst = dyn_cast<Instruction>(With))
+      enqueue(WithInst);
+    eraseInst(Inst);
+  }
+
+  void simplify(Instruction *Inst) {
+    switch (Inst->kind()) {
+    case ValueKind::Phi:
+      simplifyPhi(cast<PhiInst>(Inst));
+      return;
+    case ValueKind::BinOp:
+      simplifyBinOp(cast<BinOpInst>(Inst));
+      return;
+    case ValueKind::UnOp:
+      simplifyUnOp(cast<UnOpInst>(Inst));
+      return;
+    case ValueKind::Branch:
+      simplifyBranch(cast<BranchInst>(Inst));
+      return;
+    case ValueKind::InstanceOf:
+      simplifyInstanceOf(cast<InstanceOfInst>(Inst));
+      return;
+    case ValueKind::CheckCast:
+      simplifyCheckCast(cast<CheckCastInst>(Inst));
+      return;
+    case ValueKind::NullCheck:
+      simplifyNullCheck(cast<NullCheckInst>(Inst));
+      return;
+    case ValueKind::GetClassId:
+      simplifyGetClassId(cast<GetClassIdInst>(Inst));
+      return;
+    case ValueKind::VirtualCall:
+      if (Opts.EnableDevirtualization)
+        devirtualize(cast<VirtualCallInst>(Inst));
+      return;
+    default:
+      return;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Individual rewrites
+  //===--------------------------------------------------------------------===//
+
+  void simplifyPhi(PhiInst *Phi) {
+    if (Value *Same = Phi->uniqueIncomingValue()) {
+      ++Stats.PhisSimplified;
+      replaceInst(Phi, Same);
+      return;
+    }
+    // Type narrowing / exactness propagation: when every incoming value
+    // shares one static object type T (a subtype of the phi's declared
+    // type) and all are exact, the phi is exactly T. This is what lets
+    // argument specialization flow through joins.
+    if (!Phi->hasExactType() && Phi->type().isObject()) {
+      bool AllExact = false;
+      types::Type Common = types::Type::voidTy();
+      for (size_t I = 0; I < Phi->numIncoming(); ++I) {
+        Value *In = Phi->incomingValue(I);
+        if (In == Phi)
+          continue;
+        if (!In->hasExactType() || !In->type().isObject()) {
+          AllExact = false;
+          break;
+        }
+        if (Common.isVoid()) {
+          Common = In->type();
+          AllExact = true;
+        } else if (Common != In->type()) {
+          AllExact = false;
+          break;
+        }
+      }
+      if (AllExact) {
+        Phi->setType(Common);
+        Phi->setExactType(true);
+        enqueueUsers(Phi);
+      }
+    }
+  }
+
+  void simplifyBinOp(BinOpInst *Bin) {
+    Value *L = Bin->lhs();
+    Value *R = Bin->rhs();
+    using Op = BinOpInst::Opcode;
+    Op Opcode = Bin->opcode();
+
+    // Canonical operand order: constants to the right of commutative ops.
+    if (isa<Constant>(L) && !isa<Constant>(R) &&
+        BinOpInst::isCommutative(Opcode)) {
+      Bin->setOperand(0, R);
+      Bin->setOperand(1, L);
+      std::swap(L, R);
+    }
+
+    // Full constant folding.
+    const auto *LInt = dyn_cast<ConstInt>(L);
+    const auto *RInt = dyn_cast<ConstInt>(R);
+    const auto *LBool = dyn_cast<ConstBool>(L);
+    const auto *RBool = dyn_cast<ConstBool>(R);
+    if (LInt && RInt) {
+      if (Bin->isComparison()) {
+        ++Stats.ConstantsFolded;
+        replaceInst(Bin, F.constBool(foldIntComparison(Opcode, LInt->value(),
+                                                       RInt->value())));
+        return;
+      }
+      if (std::optional<int64_t> Folded =
+              foldIntBinOp(Opcode, LInt->value(), RInt->value())) {
+        ++Stats.ConstantsFolded;
+        replaceInst(Bin, F.constInt(*Folded));
+        return;
+      }
+      return; // Division by zero: must trap at run time.
+    }
+    if (LBool && RBool) {
+      if (std::optional<bool> Folded =
+              foldBoolBinOp(Opcode, LBool->value(), RBool->value())) {
+        ++Stats.ConstantsFolded;
+        replaceInst(Bin, F.constBool(*Folded));
+        return;
+      }
+    }
+    // Null == null and friends.
+    if (isa<ConstNull>(L) && isa<ConstNull>(R) &&
+        (Opcode == Op::Eq || Opcode == Op::Ne)) {
+      ++Stats.ConstantsFolded;
+      replaceInst(Bin, F.constBool(Opcode == Op::Eq));
+      return;
+    }
+
+    // x OP x identities (sound for pure SSA values of any type).
+    if (L == R) {
+      switch (Opcode) {
+      case Op::Sub:
+        ++Stats.StrengthReductions;
+        replaceInst(Bin, F.constInt(0));
+        return;
+      case Op::And:
+      case Op::Or:
+        ++Stats.StrengthReductions;
+        replaceInst(Bin, L);
+        return;
+      case Op::Xor:
+        ++Stats.StrengthReductions;
+        replaceInst(Bin, F.constBool(false));
+        return;
+      case Op::Eq:
+      case Op::Le:
+      case Op::Ge:
+        ++Stats.StrengthReductions;
+        replaceInst(Bin, F.constBool(true));
+        return;
+      case Op::Ne:
+      case Op::Lt:
+      case Op::Gt:
+        ++Stats.StrengthReductions;
+        replaceInst(Bin, F.constBool(false));
+        return;
+      default:
+        break;
+      }
+    }
+
+    // Identities with a constant RHS.
+    if (RInt) {
+      int64_t C = RInt->value();
+      switch (Opcode) {
+      case Op::Add:
+      case Op::Sub:
+      case Op::Shl:
+      case Op::Shr:
+        if (C == 0) {
+          ++Stats.StrengthReductions;
+          replaceInst(Bin, L);
+          return;
+        }
+        break;
+      case Op::Mul:
+        if (C == 1) {
+          ++Stats.StrengthReductions;
+          replaceInst(Bin, L);
+          return;
+        }
+        if (C == 0) {
+          ++Stats.StrengthReductions;
+          replaceInst(Bin, F.constInt(0));
+          return;
+        }
+        // Strength reduction: multiply by a power of two becomes a shift.
+        if (C > 1 && (C & (C - 1)) == 0) {
+          int Shift = 0;
+          while ((int64_t(1) << Shift) != C)
+            ++Shift;
+          auto Shl = std::make_unique<BinOpInst>(Op::Shl, L,
+                                                 F.constInt(Shift));
+          Shl->setProfileId(F.takeNextProfileId());
+          Instruction *NewInst =
+              Bin->parent()->insertBefore(Bin, std::move(Shl));
+          ++Stats.StrengthReductions;
+          Alive.insert(NewInst);
+          replaceInst(Bin, NewInst);
+          return;
+        }
+        break;
+      case Op::Div:
+        if (C == 1) {
+          ++Stats.StrengthReductions;
+          replaceInst(Bin, L);
+          return;
+        }
+        break;
+      case Op::Mod:
+        if (C == 1) {
+          ++Stats.StrengthReductions;
+          replaceInst(Bin, F.constInt(0));
+          return;
+        }
+        break;
+      default:
+        break;
+      }
+    }
+    if (RBool) {
+      switch (Opcode) {
+      case Op::And:
+        ++Stats.StrengthReductions;
+        replaceInst(Bin, RBool->value() ? L
+                                        : static_cast<Value *>(
+                                              F.constBool(false)));
+        return;
+      case Op::Or:
+        ++Stats.StrengthReductions;
+        replaceInst(Bin, RBool->value()
+                             ? static_cast<Value *>(F.constBool(true))
+                             : L);
+        return;
+      case Op::Eq:
+        // x == true -> x; x == false -> !x (latter left alone: a rewrite
+        // to UnOp would not reduce cost).
+        if (RBool->value()) {
+          ++Stats.StrengthReductions;
+          replaceInst(Bin, L);
+          return;
+        }
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  void simplifyUnOp(UnOpInst *Un) {
+    Value *V = Un->operand(0);
+    if (Un->opcode() == UnOpInst::Opcode::Neg) {
+      if (const auto *CI = dyn_cast<ConstInt>(V)) {
+        ++Stats.ConstantsFolded;
+        replaceInst(Un, F.constInt(foldNeg(CI->value())));
+        return;
+      }
+      if (auto *Inner = dyn_cast<UnOpInst>(V);
+          Inner && Inner->opcode() == UnOpInst::Opcode::Neg) {
+        ++Stats.StrengthReductions;
+        replaceInst(Un, Inner->operand(0));
+        return;
+      }
+      return;
+    }
+    // Not.
+    if (const auto *CB = dyn_cast<ConstBool>(V)) {
+      ++Stats.ConstantsFolded;
+      replaceInst(Un, F.constBool(!CB->value()));
+      return;
+    }
+    if (auto *Inner = dyn_cast<UnOpInst>(V);
+        Inner && Inner->opcode() == UnOpInst::Opcode::Not) {
+      ++Stats.StrengthReductions;
+      replaceInst(Un, Inner->operand(0));
+      return;
+    }
+  }
+
+  void simplifyBranch(BranchInst *Br) {
+    const auto *Cond = dyn_cast<ConstBool>(Br->condition());
+    if (!Cond)
+      return;
+    BasicBlock *Source = Br->parent();
+    BasicBlock *Taken = Cond->value() ? Br->trueSuccessor()
+                                      : Br->falseSuccessor();
+    BasicBlock *Dead = Cond->value() ? Br->falseSuccessor()
+                                     : Br->trueSuccessor();
+    if (Dead != Taken) {
+      removePhiEntriesForEdge(*Dead, *Source);
+      for (PhiInst *Phi : Dead->phis())
+        enqueue(Phi);
+    }
+    // Erasing the branch unhooks both CFG edges; the jump restores one.
+    eraseInst(Br);
+    auto Jump = std::make_unique<JumpInst>(Taken);
+    Jump->setProfileId(F.takeNextProfileId());
+    Instruction *NewJump = Source->append(std::move(Jump));
+    Alive.insert(NewJump);
+    ++Stats.BranchesPruned;
+  }
+
+  void simplifyInstanceOf(InstanceOfInst *Is) {
+    Value *Obj = Is->object();
+    if (isa<ConstNull>(Obj) || Obj->type().isNull()) {
+      ++Stats.TypeChecksFolded;
+      replaceInst(Is, F.constBool(false));
+      return;
+    }
+    if (Obj->hasExactType() && Obj->type().isObject()) {
+      bool Result = M.classes().isSubclassOf(Obj->type().classId(),
+                                             Is->testClassId());
+      ++Stats.TypeChecksFolded;
+      replaceInst(Is, F.constBool(Result));
+      return;
+    }
+    // Non-exact but the whole subtree of the static type passes the test,
+    // and the value is provably non-null: fold to true.
+    if (Obj->type().isObject() && isProvablyNonNull(Obj) &&
+        M.classes().isSubclassOf(Obj->type().classId(), Is->testClassId())) {
+      ++Stats.TypeChecksFolded;
+      replaceInst(Is, F.constBool(true));
+      return;
+    }
+  }
+
+  void simplifyCheckCast(CheckCastInst *Cast) {
+    Value *Obj = Cast->object();
+    if (isa<ConstNull>(Obj)) {
+      ++Stats.CastsFolded;
+      replaceInst(Cast, F.constNull());
+      return;
+    }
+    // Upcast or identity cast always succeeds; null flows through a cast
+    // unchanged, so non-nullness is not required here.
+    if (Obj->type().isObject() &&
+        M.classes().isSubclassOf(Obj->type().classId(),
+                                 Cast->targetClassId())) {
+      ++Stats.CastsFolded;
+      replaceInst(Cast, Obj);
+      return;
+    }
+  }
+
+  void simplifyNullCheck(NullCheckInst *Check) {
+    if (isProvablyNonNull(Check->object())) {
+      ++Stats.NullChecksFolded;
+      replaceInst(Check, Check->object());
+    }
+  }
+
+  void simplifyGetClassId(GetClassIdInst *Get) {
+    Value *Obj = Get->object();
+    if (Obj->hasExactType() && Obj->type().isObject()) {
+      ++Stats.TypeChecksFolded;
+      replaceInst(Get, F.constInt(Obj->type().classId()));
+    }
+  }
+
+  void devirtualize(VirtualCallInst *VCall) {
+    Value *Recv = VCall->receiver();
+    if (!Recv->type().isObject() || Recv->type().isNull())
+      return;
+    int StaticClass = Recv->type().classId();
+
+    const types::MethodInfo *Target = nullptr;
+    bool NeedsNullCheck = true;
+    if (Recv->hasExactType()) {
+      Target = M.classes().resolveMethod(StaticClass, VCall->methodName());
+      NeedsNullCheck = !isProvablyNonNull(Recv);
+    } else {
+      // Class hierarchy analysis: every possible receiver class in the
+      // static type's subtree dispatches to the same method.
+      Target = M.classes().uniqueDispatchTarget(StaticClass,
+                                                VCall->methodName());
+      NeedsNullCheck = !isProvablyNonNull(Recv);
+    }
+    if (!Target)
+      return;
+    // The target body must exist in the module (it always does for code
+    // produced by the frontend; be defensive for hand-built IR).
+    if (!M.function(Target->QualifiedName))
+      return;
+
+    BasicBlock *BB = VCall->parent();
+    Value *CheckedRecv = Recv;
+    if (NeedsNullCheck) {
+      auto Check = std::make_unique<NullCheckInst>(Recv);
+      Check->setProfileId(F.takeNextProfileId());
+      Instruction *NewCheck = BB->insertBefore(VCall, std::move(Check));
+      Alive.insert(NewCheck);
+      CheckedRecv = NewCheck;
+    }
+    std::vector<Value *> Args;
+    Args.push_back(CheckedRecv);
+    for (size_t I = 0; I < VCall->numArgs(); ++I)
+      Args.push_back(VCall->arg(I));
+    auto Call = std::make_unique<CallInst>(Target->QualifiedName, Args,
+                                           VCall->type());
+    Call->setProfileId(F.takeNextProfileId());
+    Instruction *NewCall = BB->insertBefore(VCall, std::move(Call));
+    Alive.insert(NewCall);
+    ++Stats.Devirtualized;
+    replaceInst(VCall, NewCall);
+  }
+
+  Function &F;
+  const Module &M;
+  CanonOptions Opts;
+  CanonStats Stats;
+
+  std::deque<Instruction *> Worklist;
+  std::unordered_set<Instruction *> InWorklist;
+  std::unordered_set<Instruction *> Alive;
+};
+
+} // namespace
+
+CanonStats incline::opt::canonicalize(Function &F, const Module &M,
+                                      const CanonOptions &Options) {
+  return CanonicalizerImpl(F, M, Options).run();
+}

@@ -1,0 +1,79 @@
+//===- opt/Canonicalizer.h - Local simplification engine --------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reproduction of Graal's "canonicalization" phase (§IV, "Deep
+/// inlining trials"): a worklist of local rewrites —
+///
+///   * constant folding              * strength reduction
+///   * branch pruning                * phi simplification
+///   * type-check folding            * null-check folding
+///   * devirtualization (exact receiver type or unique CHA target)
+///   * exactness propagation through phis and casts
+///
+/// The pass counts how many "simple optimizations" fired — that count is
+/// the N_s(n) input of the paper's local-benefit formula (Eq. 4), which is
+/// how deep inlining trials measure a callee's optimization potential after
+/// argument types are propagated into it.
+///
+/// A node-visit budget models the JIT's bounded compile time: once
+/// exhausted the pass stops early (§II.3 — optimizations with a limited
+/// budget are less effective on huge methods).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_OPT_CANONICALIZER_H
+#define INCLINE_OPT_CANONICALIZER_H
+
+#include <cstdint>
+
+namespace incline::ir {
+class Function;
+class Module;
+} // namespace incline::ir
+
+namespace incline::opt {
+
+/// Which rewrites fired during one canonicalization run.
+struct CanonStats {
+  unsigned ConstantsFolded = 0;
+  unsigned StrengthReductions = 0;
+  unsigned BranchesPruned = 0;
+  unsigned PhisSimplified = 0;
+  unsigned TypeChecksFolded = 0;
+  unsigned NullChecksFolded = 0;
+  unsigned Devirtualized = 0;
+  unsigned CastsFolded = 0;
+  /// True when the visit budget ran out before the fixpoint.
+  bool BudgetExhausted = false;
+
+  /// The paper's N_s: the number of simple optimizations triggered, all
+  /// with equal weight ("we give them all equal weight", §IV).
+  unsigned total() const {
+    return ConstantsFolded + StrengthReductions + BranchesPruned +
+           PhisSimplified + TypeChecksFolded + NullChecksFolded +
+           Devirtualized + CastsFolded;
+  }
+
+  CanonStats &operator+=(const CanonStats &Other);
+};
+
+/// Canonicalizer options.
+struct CanonOptions {
+  /// Maximum worklist pops before giving up (compile-time budget).
+  uint64_t VisitBudget = 200'000;
+  /// Whether virtual calls may be rewritten to direct calls.
+  bool EnableDevirtualization = true;
+};
+
+/// Runs the canonicalizer on \p F to a fixpoint (or until the budget runs
+/// out). \p M provides the class hierarchy and callee signatures.
+CanonStats canonicalize(ir::Function &F, const ir::Module &M,
+                        const CanonOptions &Options = CanonOptions());
+
+} // namespace incline::opt
+
+#endif // INCLINE_OPT_CANONICALIZER_H

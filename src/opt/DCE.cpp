@@ -1,0 +1,42 @@
+//===- opt/DCE.cpp ------------------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/DCE.h"
+
+#include "ir/Function.h"
+#include "opt/CFGUtils.h"
+#include "support/Casting.h"
+
+using namespace incline;
+using namespace incline::ir;
+using namespace incline::opt;
+
+DCEStats incline::opt::eliminateDeadCode(Function &F) {
+  DCEStats Stats;
+  Stats.BlocksRemoved = removeUnreachableBlocks(F);
+
+  // Iterate: removing a dead instruction can orphan its operands.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &BB : F.blocks()) {
+      // Walk backwards so def-use chains die in one sweep.
+      for (size_t I = BB->size(); I-- > 0;) {
+        Instruction *Inst = BB->instructions()[I].get();
+        if (Inst->hasUses() || Inst->isTerminator())
+          continue;
+        if (Inst->hasSideEffects())
+          continue;
+        // A NullCheck folds away in the canonicalizer when provably
+        // non-null; it is a side effect (may trap), so it is never dead.
+        BB->erase(Inst);
+        ++Stats.InstructionsRemoved;
+        Changed = true;
+      }
+    }
+  }
+  return Stats;
+}

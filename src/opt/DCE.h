@@ -1,0 +1,36 @@
+//===- opt/DCE.h - Dead code elimination -------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Removes unused side-effect-free instructions (iterating to a fixpoint so
+/// chains die together) and unreachable blocks. Runs after canonicalization
+/// and inlining to keep `|ir|` — the inliner's cost metric — honest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_OPT_DCE_H
+#define INCLINE_OPT_DCE_H
+
+#include <cstddef>
+
+namespace incline::ir {
+class Function;
+}
+
+namespace incline::opt {
+
+/// Result of a DCE run.
+struct DCEStats {
+  size_t InstructionsRemoved = 0;
+  size_t BlocksRemoved = 0;
+};
+
+/// Runs dead-code elimination on \p F.
+DCEStats eliminateDeadCode(ir::Function &F);
+
+} // namespace incline::opt
+
+#endif // INCLINE_OPT_DCE_H

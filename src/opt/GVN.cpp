@@ -1,0 +1,145 @@
+//===- opt/GVN.cpp -----------------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/GVN.h"
+
+#include "ir/Dominators.h"
+#include "ir/Function.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+using namespace incline;
+using namespace incline::ir;
+using namespace incline::opt;
+
+namespace {
+
+/// Structural key of a pure expression. Ordered so std::map gives
+/// deterministic behaviour.
+struct ExprKey {
+  ValueKind Kind;
+  int Subcode; // Opcode / class id / 0.
+  std::vector<const Value *> Operands;
+
+  bool operator<(const ExprKey &Other) const {
+    if (Kind != Other.Kind)
+      return Kind < Other.Kind;
+    if (Subcode != Other.Subcode)
+      return Subcode < Other.Subcode;
+    return Operands < Other.Operands;
+  }
+};
+
+/// Returns the value-numbering key for \p Inst, or nullopt when the
+/// instruction is not GVN-able (memory reads, side effects, phis).
+std::optional<ExprKey> keyFor(const Instruction *Inst) {
+  ExprKey Key;
+  Key.Kind = Inst->kind();
+  Key.Subcode = 0;
+  switch (Inst->kind()) {
+  case ValueKind::BinOp: {
+    const auto *Bin = cast<BinOpInst>(Inst);
+    Key.Subcode = static_cast<int>(Bin->opcode());
+    Key.Operands = {Bin->lhs(), Bin->rhs()};
+    // Commutative ops: canonical operand order by address is unstable
+    // across runs, but the *choice* of which duplicate survives does not
+    // affect semantics or determinism of output programs; keys must only
+    // be consistent within one GVN run.
+    if (BinOpInst::isCommutative(Bin->opcode()) &&
+        Key.Operands[1] < Key.Operands[0])
+      std::swap(Key.Operands[0], Key.Operands[1]);
+    return Key;
+  }
+  case ValueKind::UnOp:
+    Key.Subcode = static_cast<int>(cast<UnOpInst>(Inst)->opcode());
+    Key.Operands = {Inst->operand(0)};
+    return Key;
+  case ValueKind::InstanceOf:
+    Key.Subcode = cast<InstanceOfInst>(Inst)->testClassId();
+    Key.Operands = {Inst->operand(0)};
+    return Key;
+  case ValueKind::GetClassId:
+  case ValueKind::ArrayLength:
+  case ValueKind::NullCheck:
+    // Array lengths are immutable; class ids are immutable; a dominated
+    // repeated null check of the same value is redundant.
+    Key.Operands = {Inst->operand(0)};
+    return Key;
+  default:
+    return std::nullopt;
+  }
+}
+
+} // namespace
+
+size_t incline::opt::runGVN(Function &F) {
+  DominatorTree DT(F);
+  size_t Eliminated = 0;
+
+  // Scoped hash table via dominator-tree DFS: entries pushed in a child
+  // scope are popped on exit.
+  std::map<ExprKey, std::vector<Instruction *>> Available;
+
+  // Explicit DFS over the dominator tree.
+  struct StackEntry {
+    BasicBlock *BB;
+    std::vector<ExprKey> Pushed;
+    bool Expanded = false;
+  };
+  std::vector<StackEntry> Stack;
+  Stack.push_back({F.entry(), {}, false});
+
+  while (!Stack.empty()) {
+    StackEntry &Entry = Stack.back();
+    if (Entry.Expanded) {
+      // Leaving this scope: pop its entries.
+      for (const ExprKey &Key : Entry.Pushed) {
+        auto It = Available.find(Key);
+        assert(It != Available.end() && "scope imbalance in GVN");
+        It->second.pop_back();
+        if (It->second.empty())
+          Available.erase(It);
+      }
+      Stack.pop_back();
+      continue;
+    }
+    Entry.Expanded = true;
+    BasicBlock *BB = Entry.BB;
+
+    // Process instructions; collect replacements first since erasing
+    // mutates the block.
+    std::vector<Instruction *> ToErase;
+    for (const auto &InstOwner : BB->instructions()) {
+      Instruction *Inst = InstOwner.get();
+      std::optional<ExprKey> Key = keyFor(Inst);
+      if (!Key)
+        continue;
+      auto It = Available.find(*Key);
+      if (It != Available.end() && !It->second.empty()) {
+        Instruction *Leader = It->second.back();
+        Inst->replaceAllUsesWith(Leader);
+        ToErase.push_back(Inst);
+        ++Eliminated;
+        continue;
+      }
+      Available[*Key].push_back(Inst);
+      Entry.Pushed.push_back(*Key);
+    }
+    for (Instruction *Inst : ToErase)
+      BB->erase(Inst);
+
+    // Visit dominator-tree children. Note: Entry may dangle after
+    // push_back; copy what we need first.
+    std::vector<BasicBlock *> Children = DT.children(BB);
+    for (BasicBlock *Child : Children)
+      Stack.push_back({Child, {}, false});
+  }
+  return Eliminated;
+}

@@ -1,0 +1,32 @@
+//===- opt/GVN.h - Global value numbering -------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator-scoped global value numbering over pure expressions (binops,
+/// unops, type tests, array lengths, class-id reads, null checks). One of
+/// the canonicalization-family optimizations the paper lists as triggered
+/// by inlining ("global value numbering [15]", §IV).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_OPT_GVN_H
+#define INCLINE_OPT_GVN_H
+
+#include <cstddef>
+
+namespace incline::ir {
+class Function;
+}
+
+namespace incline::opt {
+
+/// Replaces dominated redundant pure computations. Returns the number of
+/// instructions eliminated.
+size_t runGVN(ir::Function &F);
+
+} // namespace incline::opt
+
+#endif // INCLINE_OPT_GVN_H

@@ -1,0 +1,175 @@
+//===- opt/InlineIR.cpp -------------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/InlineIR.h"
+
+#include "ir/IRBuilder.h"
+#include "ir/IRCloner.h"
+#include "ir/Module.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+#include "types/ClassHierarchy.h"
+
+using namespace incline;
+using namespace incline::ir;
+using namespace incline::opt;
+
+BasicBlock *incline::opt::splitBlockAfter(Function &F, Instruction *Point) {
+  BasicBlock *B = Point->parent();
+  assert(B && "split point must be attached");
+  BasicBlock *Cont = F.addBlock(B->name() + ".cont");
+
+  size_t SplitIndex = B->indexOf(Point) + 1;
+  while (B->size() > SplitIndex) {
+    Instruction *Inst = B->instructions()[SplitIndex].get();
+    std::unique_ptr<Instruction> Owned = B->detach(Inst);
+    if (Inst->isTerminator())
+      Cont->append(std::move(Owned));
+    else
+      Cont->insertAt(Cont->size(), std::move(Owned));
+  }
+
+  // Successor phis keyed by B now receive their edge from Cont.
+  for (BasicBlock *Succ : Cont->successors())
+    for (PhiInst *Phi : Succ->phis())
+      for (size_t I = 0; I < Phi->numIncoming(); ++I)
+        if (Phi->incomingBlock(I) == B)
+          Phi->setIncomingBlock(I, Cont);
+  return Cont;
+}
+
+InlineResult incline::opt::inlineCall(Function &Caller, CallInst *Call,
+                                      const Function &Callee) {
+  assert(Call->parent() && Call->parent()->parent() == &Caller &&
+         "callsite does not belong to the caller");
+  assert(Call->numArgs() == Callee.numParams() && "argument count mismatch");
+
+  BasicBlock *Pre = Call->parent();
+  BasicBlock *Cont = splitBlockAfter(Caller, Call);
+
+  // Graft the callee body; arguments become the actual call operands.
+  std::vector<Value *> Args;
+  for (size_t I = 0; I < Call->numArgs(); ++I)
+    Args.push_back(Call->arg(I));
+  ClonedBody Body = cloneBodyInto(Callee, Caller, Args);
+  assert(!Body.Returns.empty() &&
+         "refusing to inline a callee with no return");
+
+  // Rewire: pre-block jumps into the callee entry; returns jump to Cont.
+  {
+    auto Jump = std::make_unique<JumpInst>(Body.Entry);
+    Jump->setProfileId(Caller.takeNextProfileId());
+    Pre->append(std::move(Jump));
+  }
+
+  Value *ReturnValue = nullptr;
+  bool ProducesValue = !Call->type().isVoid();
+  if (ProducesValue && Body.Returns.size() > 1) {
+    // Multiple returns merge through a phi at the continuation head.
+    auto Phi = std::make_unique<PhiInst>(Call->type());
+    Phi->setProfileId(Caller.takeNextProfileId());
+    PhiInst *PhiRaw = cast<PhiInst>(Cont->insertAt(0, std::move(Phi)));
+    for (Instruction *RetInst : Body.Returns) {
+      auto *Ret = cast<ReturnInst>(RetInst);
+      PhiRaw->addIncoming(Ret->returnValue(), Ret->parent());
+    }
+    ReturnValue = PhiRaw;
+  } else if (ProducesValue) {
+    ReturnValue = cast<ReturnInst>(Body.Returns[0])->returnValue();
+  }
+
+  for (Instruction *RetInst : Body.Returns) {
+    BasicBlock *RetBB = RetInst->parent();
+    std::unique_ptr<Instruction> OldRet = RetBB->detach(RetInst);
+    OldRet->dropAllOperands();
+    auto Jump = std::make_unique<JumpInst>(Cont);
+    Jump->setProfileId(Caller.takeNextProfileId());
+    RetBB->append(std::move(Jump));
+  }
+
+  if (ProducesValue)
+    Call->replaceAllUsesWith(ReturnValue);
+  InlineResult Result;
+  Result.ValueMap = std::move(Body.ValueMap);
+  Pre->erase(Call);
+  return Result;
+}
+
+TypeSwitchResult
+incline::opt::emitTypeSwitch(Function &Caller, VirtualCallInst *VCall,
+                             const std::vector<SpeculatedTarget> &Targets) {
+  assert(!Targets.empty() && "typeswitch needs at least one target");
+  BasicBlock *Pre = VCall->parent();
+  assert(Pre && Pre->parent() == &Caller && "callsite not in caller");
+  BasicBlock *Cont = splitBlockAfter(Caller, VCall);
+
+  Value *Recv = VCall->receiver();
+  std::vector<Value *> ExtraArgs;
+  for (size_t I = 0; I < VCall->numArgs(); ++I)
+    ExtraArgs.push_back(VCall->arg(I));
+  types::Type RetTy = VCall->type();
+  bool ProducesValue = !RetTy.isVoid();
+
+  TypeSwitchResult Result;
+
+  // Pre: null check + class-id load, then the first test.
+  IRBuilder B(Caller, Pre);
+  Value *CheckedRecv = B.nullCheck(Recv);
+  Value *ClassId = B.getClassId(CheckedRecv);
+
+  // Result merge phi (created up front; arms add incoming edges).
+  PhiInst *MergePhi = nullptr;
+  if (ProducesValue) {
+    auto Phi = std::make_unique<PhiInst>(RetTy);
+    Phi->setProfileId(Caller.takeNextProfileId());
+    MergePhi = cast<PhiInst>(Cont->insertAt(0, std::move(Phi)));
+  }
+
+  BasicBlock *TestBB = Pre; // The current block emitting a class-id test.
+  for (size_t I = 0; I < Targets.size(); ++I) {
+    const SpeculatedTarget &Target = Targets[I];
+    BasicBlock *ArmBB =
+        Caller.addBlock("typeswitch.arm" + std::to_string(I));
+    BasicBlock *NextBB =
+        Caller.addBlock(I + 1 < Targets.size()
+                            ? "typeswitch.test" + std::to_string(I + 1)
+                            : "typeswitch.fallback");
+
+    B.setInsertBlock(TestBB);
+    Value *Hit = B.binop(BinOpInst::Opcode::Eq, ClassId,
+                         B.constInt(Target.ClassId));
+    B.branch(Hit, ArmBB, NextBB);
+
+    // Arm: receiver pinned to the exact class, direct call, jump to Cont.
+    B.setInsertBlock(ArmBB);
+    CheckCastInst *Pinned = B.checkCast(CheckedRecv, Target.ClassId);
+    Pinned->setExactType(true); // class id matched exactly on this path.
+    std::vector<Value *> CallArgs;
+    CallArgs.push_back(Pinned);
+    CallArgs.insert(CallArgs.end(), ExtraArgs.begin(), ExtraArgs.end());
+    CallInst *Direct = B.call(Target.Method->QualifiedName, CallArgs, RetTy);
+    Result.DirectCalls.push_back(Direct);
+    B.jump(Cont);
+    if (MergePhi)
+      MergePhi->addIncoming(Direct, ArmBB);
+
+    TestBB = NextBB;
+  }
+
+  // Fallback: the residual virtual call.
+  B.setInsertBlock(TestBB);
+  VirtualCallInst *Fallback =
+      B.virtualCall(VCall->methodName(), CheckedRecv, ExtraArgs, RetTy);
+  Result.Fallback = Fallback;
+  B.jump(Cont);
+  if (MergePhi)
+    MergePhi->addIncoming(Fallback, TestBB);
+
+  if (MergePhi)
+    VCall->replaceAllUsesWith(MergePhi);
+  Pre->erase(VCall);
+  return Result;
+}

@@ -1,0 +1,87 @@
+//===- opt/InlineIR.h - Mechanical inline substitution ---------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two graft transformations the inliner applies:
+///
+///  * `inlineCall` — the classic inline substitution [74]: replaces a
+///    direct callsite with a copy of the callee body (the paper's
+///    `inlineIR`, Listing 5);
+///  * `emitTypeSwitch` — expands a virtual callsite into a class-id
+///    dispatch cascade over speculated receiver types, each arm a direct
+///    call, ending in the generic virtual call (Hölzle & Ungar [34],
+///    §IV "Polymorphic inlining").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_OPT_INLINEIR_H
+#define INCLINE_OPT_INLINEIR_H
+
+#include <unordered_map>
+#include <vector>
+
+namespace incline::types {
+struct MethodInfo;
+}
+
+namespace incline::ir {
+class BasicBlock;
+class CallInst;
+class Function;
+class Instruction;
+class Value;
+class VirtualCallInst;
+} // namespace incline::ir
+
+namespace incline::opt {
+
+/// Result of one inline substitution.
+struct InlineResult {
+  /// Maps each value of the callee (arguments and instructions) to its
+  /// counterpart in the caller — how the call-tree transfers its child
+  /// callsite pointers after inlining.
+  std::unordered_map<const ir::Value *, ir::Value *> ValueMap;
+};
+
+/// Inlines \p Callee's body at \p Call inside \p Caller, removing the call.
+///
+/// Requirements: \p Call belongs to \p Caller; argument count matches;
+/// \p Callee contains at least one return instruction. Arguments keep the
+/// *call-site* static types (specialization): the callee copy sees the
+/// actual argument values directly.
+InlineResult inlineCall(ir::Function &Caller, ir::CallInst *Call,
+                        const ir::Function &Callee);
+
+/// One speculated dispatch target of a typeswitch.
+struct SpeculatedTarget {
+  int ClassId;
+  const types::MethodInfo *Method;
+};
+
+/// Result of typeswitch emission.
+struct TypeSwitchResult {
+  /// The direct calls created, one per speculated target (same order).
+  /// These become new kind-C children of the polymorphic call-tree node.
+  std::vector<ir::CallInst *> DirectCalls;
+  /// The fallback virtual call covering unspeculated receivers.
+  ir::VirtualCallInst *Fallback = nullptr;
+};
+
+/// Replaces \p VCall with a null check + class-id dispatch over \p Targets
+/// (at least one), falling back to a residual virtual call. Semantics are
+/// preserved for every receiver class.
+TypeSwitchResult emitTypeSwitch(ir::Function &Caller,
+                                ir::VirtualCallInst *VCall,
+                                const std::vector<SpeculatedTarget> &Targets);
+
+/// Splits \p Point's block after \p Point; everything following it moves
+/// into a new continuation block (successor phis are rekeyed). The source
+/// block is left without a terminator. Exposed for the inliner's phases.
+ir::BasicBlock *splitBlockAfter(ir::Function &F, ir::Instruction *Point);
+
+} // namespace incline::opt
+
+#endif // INCLINE_OPT_INLINEIR_H

@@ -1,0 +1,46 @@
+//===- opt/LoopPeeling.h - First-iteration loop peeling --------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Peels the first iteration of while-shaped loops whose header carries a
+/// phi that is *more precisely typed on entry* than in the steady state —
+/// the paper's trigger: "we also apply peeling on a loop's first iteration
+/// if we detect that the loop contains a phi-node whose type is more
+/// specific in that first iteration" (§IV). After peeling, the
+/// canonicalizer sees the exact entry type in the peeled copy and can
+/// devirtualize its calls.
+///
+/// Applies to loops in canonical while shape: a single latch, a header
+/// with exactly one entry predecessor, and a single exit block reached
+/// only from the header. Loops in other shapes are skipped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_OPT_LOOPPEELING_H
+#define INCLINE_OPT_LOOPPEELING_H
+
+#include <cstddef>
+
+namespace incline::ir {
+class Function;
+}
+
+namespace incline::opt {
+
+/// Peeling configuration.
+struct PeelOptions {
+  /// Loops larger than this many instructions are not worth duplicating.
+  size_t MaxLoopSize = 120;
+  /// Peel even without the type-precision trigger (for testing).
+  bool RequireTypeTrigger = true;
+};
+
+/// Peels qualifying loops once. Returns the number of loops peeled.
+size_t peelLoops(ir::Function &F, const PeelOptions &Options = PeelOptions());
+
+} // namespace incline::opt
+
+#endif // INCLINE_OPT_LOOPPEELING_H

@@ -1,0 +1,29 @@
+//===- opt/PassPipeline.cpp --------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/PassPipeline.h"
+
+#include "ir/Function.h"
+#include "opt/GVN.h"
+
+using namespace incline;
+using namespace incline::opt;
+
+PipelineStats incline::opt::runOptimizationPipeline(ir::Function &F,
+                                                    const ir::Module &M,
+                                                    uint64_t VisitBudget) {
+  PipelineStats Stats;
+  CanonOptions Options;
+  Options.VisitBudget = VisitBudget / 2;
+
+  Stats.Canon += canonicalize(F, M, Options);
+  Stats.GVNEliminated = runGVN(F);
+  Stats.RWE = eliminateReadsWrites(F);
+  // RWE-forwarded values can expose new exact types: canonicalize again.
+  Stats.Canon += canonicalize(F, M, Options);
+  Stats.DCE = eliminateDeadCode(F);
+  return Stats;
+}

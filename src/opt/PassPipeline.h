@@ -1,0 +1,45 @@
+//===- opt/PassPipeline.h - Standard optimization bundle -------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler's mid-end bundle run by the JIT pipeline after inlining,
+/// and by the inliner between rounds: canonicalize -> GVN -> read-write
+/// elimination -> canonicalize -> DCE, under a shared node budget.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_OPT_PASSPIPELINE_H
+#define INCLINE_OPT_PASSPIPELINE_H
+
+#include "opt/Canonicalizer.h"
+#include "opt/DCE.h"
+#include "opt/ReadWriteElimination.h"
+
+#include <cstddef>
+
+namespace incline::ir {
+class Function;
+class Module;
+} // namespace incline::ir
+
+namespace incline::opt {
+
+/// Combined statistics of one pipeline run.
+struct PipelineStats {
+  CanonStats Canon;
+  size_t GVNEliminated = 0;
+  RWEStats RWE;
+  DCEStats DCE;
+};
+
+/// Runs the standard bundle on \p F. \p VisitBudget bounds the
+/// canonicalizer (split across its two runs).
+PipelineStats runOptimizationPipeline(ir::Function &F, const ir::Module &M,
+                                      uint64_t VisitBudget = 200'000);
+
+} // namespace incline::opt
+
+#endif // INCLINE_OPT_PASSPIPELINE_H

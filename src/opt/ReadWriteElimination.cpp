@@ -1,0 +1,153 @@
+//===- opt/ReadWriteElimination.cpp --------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/ReadWriteElimination.h"
+
+#include "ir/Function.h"
+#include "support/Casting.h"
+
+#include <map>
+#include <vector>
+
+using namespace incline;
+using namespace incline::ir;
+using namespace incline::opt;
+
+namespace {
+
+/// Known contents of one memory location within a block.
+struct FieldLoc {
+  const Value *Object;
+  unsigned Slot;
+  bool operator<(const FieldLoc &Other) const {
+    if (Object != Other.Object)
+      return Object < Other.Object;
+    return Slot < Other.Slot;
+  }
+};
+
+struct ArrayLoc {
+  const Value *Array;
+  const Value *Index;
+  bool operator<(const ArrayLoc &Other) const {
+    if (Array != Other.Array)
+      return Array < Other.Array;
+    return Index < Other.Index;
+  }
+};
+
+} // namespace
+
+RWEStats incline::opt::eliminateReadsWrites(Function &F) {
+  RWEStats Stats;
+  for (const auto &BB : F.blocks()) {
+    // Available values per location, plus the last unobserved store for
+    // dead-store removal.
+    std::map<FieldLoc, Value *> FieldValues;
+    std::map<ArrayLoc, Value *> ArrayValues;
+    std::map<FieldLoc, StoreFieldInst *> PendingFieldStores;
+
+    std::vector<Instruction *> ToErase;
+
+    auto KillAll = [&] {
+      FieldValues.clear();
+      ArrayValues.clear();
+      PendingFieldStores.clear();
+    };
+
+    for (const auto &InstOwner : BB->instructions()) {
+      Instruction *Inst = InstOwner.get();
+      switch (Inst->kind()) {
+      case ValueKind::LoadField: {
+        auto *Load = cast<LoadFieldInst>(Inst);
+        FieldLoc Loc{Load->object(), Load->fieldSlot()};
+        auto It = FieldValues.find(Loc);
+        if (It != FieldValues.end()) {
+          // The available value may have a less precise static type than
+          // the load (e.g. forwarding a `new C` into a load declared as a
+          // supertype) — that is the point: it is *more* precise info.
+          bool FromStore = PendingFieldStores.count(Loc) ||
+                           !isa<LoadFieldInst>(It->second);
+          Load->replaceAllUsesWith(It->second);
+          ToErase.push_back(Load);
+          if (FromStore)
+            ++Stats.LoadsForwarded;
+          else
+            ++Stats.LoadsDeduplicated;
+        } else {
+          FieldValues[Loc] = Load;
+        }
+        // A load of slot k observes memory through *any* object that may
+        // alias: all pending slot-k stores become live.
+        for (auto It = PendingFieldStores.begin();
+             It != PendingFieldStores.end();) {
+          if (It->first.Slot == Load->fieldSlot())
+            It = PendingFieldStores.erase(It);
+          else
+            ++It;
+        }
+        break;
+      }
+      case ValueKind::StoreField: {
+        auto *Store = cast<StoreFieldInst>(Inst);
+        FieldLoc Loc{Store->object(), Store->fieldSlot()};
+        // A store to slot k may alias the same slot of any other object of
+        // a compatible class; conservatively drop knowledge of slot k on
+        // every other object.
+        for (auto It = FieldValues.begin(); It != FieldValues.end();) {
+          if (It->first.Slot == Store->fieldSlot() &&
+              It->first.Object != Store->object())
+            It = FieldValues.erase(It);
+          else
+            ++It;
+        }
+        // Dead store: the previous store to the same location was never
+        // observed (no load, no call, no block end in between).
+        auto Pending = PendingFieldStores.find(Loc);
+        if (Pending != PendingFieldStores.end()) {
+          ToErase.push_back(Pending->second);
+          ++Stats.StoresRemoved;
+        }
+        PendingFieldStores[Loc] = Store;
+        FieldValues[Loc] = Store->storedValue();
+        break;
+      }
+      case ValueKind::LoadIndex: {
+        auto *Load = cast<LoadIndexInst>(Inst);
+        ArrayLoc Loc{Load->array(), Load->index()};
+        auto It = ArrayValues.find(Loc);
+        if (It != ArrayValues.end()) {
+          Load->replaceAllUsesWith(It->second);
+          ToErase.push_back(Load);
+          ++Stats.LoadsDeduplicated;
+        } else {
+          ArrayValues[Loc] = Load;
+        }
+        break;
+      }
+      case ValueKind::StoreIndex: {
+        auto *Store = cast<StoreIndexInst>(Inst);
+        // Any array store may alias any array location with a different
+        // (array, index) pair; keep only the stored location.
+        ArrayValues.clear();
+        ArrayValues[ArrayLoc{Store->array(), Store->index()}] =
+            Store->storedValue();
+        break;
+      }
+      case ValueKind::Call:
+      case ValueKind::VirtualCall:
+        // Calls may read and write anything.
+        KillAll();
+        break;
+      default:
+        break;
+      }
+    }
+    for (Instruction *Inst : ToErase)
+      BB->erase(Inst);
+  }
+  return Stats;
+}

@@ -1,0 +1,43 @@
+//===- opt/ReadWriteElimination.h - Redundant memory op removal -----------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block-local store-to-load forwarding and redundant-load elimination for
+/// object fields and array elements. The paper applies read-write
+/// elimination to the root method at the end of every inlining round
+/// because it "partially restores the method receiver type information
+/// that is lost when writing values to memory (and later reading the same
+/// values)" (§IV) — forwarding a stored value to a later load re-exposes
+/// its exact type to the canonicalizer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_OPT_READWRITEELIMINATION_H
+#define INCLINE_OPT_READWRITEELIMINATION_H
+
+#include <cstddef>
+
+namespace incline::ir {
+class Function;
+}
+
+namespace incline::opt {
+
+/// Statistics of one read-write elimination run.
+struct RWEStats {
+  size_t LoadsForwarded = 0;   ///< Load replaced by a stored value.
+  size_t LoadsDeduplicated = 0; ///< Load replaced by an earlier load.
+  size_t StoresRemoved = 0;    ///< Store overwritten before any read.
+};
+
+/// Runs read-write elimination on \p F (block-local, conservative
+/// aliasing: any call kills everything; a store to field slot k kills all
+/// slot-k knowledge of other objects).
+RWEStats eliminateReadsWrites(ir::Function &F);
+
+} // namespace incline::opt
+
+#endif // INCLINE_OPT_READWRITEELIMINATION_H

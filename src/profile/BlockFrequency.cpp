@@ -1,0 +1,164 @@
+//===- profile/BlockFrequency.cpp --------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/BlockFrequency.h"
+
+#include "ir/Dominators.h"
+#include "ir/Function.h"
+#include "ir/LoopInfo.h"
+#include "profile/ProfileData.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+using namespace incline;
+using namespace incline::profile;
+using namespace incline::ir;
+
+namespace {
+
+/// Loop-nest-aware frequency solver. Loops are solved with the geometric
+/// closed form: a header executes entryMass / (1 - backedgeMass) times,
+/// where backedgeMass is the probability mass returning to the header per
+/// header execution (computed by a local propagation that itself uses the
+/// scales of inner loops). This is exact for reducible CFGs, unlike a
+/// truncated power iteration which badly underestimates hot loops.
+class FrequencySolver {
+public:
+  FrequencySolver(const Function &F, const ProfileTable *Profiles,
+                  const std::string &ProfileName)
+      : F(F), Profiles(Profiles), ProfileName(ProfileName), DT(F),
+        LI(F, DT) {}
+
+  std::unordered_map<const BasicBlock *, double> solve() {
+    std::unordered_map<const BasicBlock *, double> Freq;
+    const std::vector<BasicBlock *> &RPO = DT.reversePostOrder();
+    if (RPO.empty())
+      return Freq;
+    std::unordered_set<const BasicBlock *> All(RPO.begin(), RPO.end());
+    propagate(RPO, All, F.entry(), Freq);
+    return Freq;
+  }
+
+private:
+  double edgeProb(const BasicBlock *BB, const BasicBlock *Succ) const {
+    const Instruction *Term = BB->terminator();
+    if (!Term)
+      return 0.0;
+    if (const auto *Br = dyn_cast<BranchInst>(Term)) {
+      double TrueProb =
+          Profiles ? Profiles->branchProbability(ProfileName,
+                                                 Br->profileId())
+                   : 0.5;
+      double P = 0.0;
+      if (Br->trueSuccessor() == Succ)
+        P += TrueProb;
+      if (Br->falseSuccessor() == Succ)
+        P += 1.0 - TrueProb;
+      return P;
+    }
+    if (const auto *Jmp = dyn_cast<JumpInst>(Term))
+      return Jmp->target() == Succ ? 1.0 : 0.0;
+    return 0.0;
+  }
+
+  bool isBackedge(const BasicBlock *From, const BasicBlock *To) const {
+    return DT.dominates(To, From);
+  }
+
+  /// Expected executions of a loop header per unit of entry mass.
+  double loopScale(Loop *L) {
+    auto It = ScaleCache.find(L);
+    if (It != ScaleCache.end())
+      return It->second;
+    // Local propagation inside the loop with header mass 1; inner loops
+    // use their own (recursively computed) scales.
+    std::vector<BasicBlock *> LoopRPO;
+    for (BasicBlock *BB : DT.reversePostOrder())
+      if (L->contains(BB))
+        LoopRPO.push_back(BB);
+    std::unordered_map<const BasicBlock *, double> Local;
+    propagate(LoopRPO, L->Blocks, L->Header, Local);
+
+    double BackedgeMass = 0.0;
+    for (BasicBlock *Latch : L->Latches) {
+      auto FIt = Local.find(Latch);
+      if (FIt != Local.end())
+        BackedgeMass += FIt->second * edgeProb(Latch, L->Header);
+    }
+    double Scale = BackedgeMass >= 1.0 - 1e-9
+                       ? MaxBlockFrequency
+                       : 1.0 / (1.0 - BackedgeMass);
+    Scale = std::min(Scale, MaxBlockFrequency);
+    ScaleCache[L] = Scale;
+    return Scale;
+  }
+
+  /// Forward RPO propagation over \p Blocks (restricted to \p Region),
+  /// treating \p Entry as injecting mass 1 and skipping backedges into
+  /// each block; loop headers (other than \p Entry) multiply their entry
+  /// mass by their loop scale.
+  void propagate(const std::vector<BasicBlock *> &Blocks,
+                 const std::unordered_set<BasicBlock *> &Region,
+                 const BasicBlock *Entry,
+                 std::unordered_map<const BasicBlock *, double> &Freq) {
+    for (const BasicBlock *BB : Blocks) {
+      double Mass;
+      if (BB == Entry) {
+        Mass = 1.0;
+      } else {
+        Mass = 0.0;
+        for (const BasicBlock *Pred : BB->predecessors()) {
+          if (!Region.count(const_cast<BasicBlock *>(Pred)))
+            continue;
+          if (isBackedge(Pred, BB))
+            continue; // The geometric closed form covers these.
+          auto It = Freq.find(Pred);
+          if (It != Freq.end())
+            Mass += It->second * edgeProb(Pred, BB);
+        }
+      }
+      // A loop header amplifies its entry mass by the loop's trip scale.
+      // (When BB == Entry this is exactly the recursive scale computation
+      // asking about an inner loop; the region's own header must not
+      // re-apply its scale.)
+      Loop *L = LI.loopFor(BB);
+      if (L && L->Header == BB && BB != Entry)
+        Mass *= loopScale(L);
+      Freq[BB] = std::min(Mass, MaxBlockFrequency);
+    }
+  }
+
+  /// Region wrapper for the full function (every reachable block).
+  void propagate(const std::vector<BasicBlock *> &Blocks,
+                 const std::unordered_set<const BasicBlock *> &Region,
+                 const BasicBlock *Entry,
+                 std::unordered_map<const BasicBlock *, double> &Freq) {
+    std::unordered_set<BasicBlock *> Mutable;
+    for (const BasicBlock *BB : Region)
+      Mutable.insert(const_cast<BasicBlock *>(BB));
+    propagate(Blocks, Mutable, Entry, Freq);
+  }
+
+  const Function &F;
+  const ProfileTable *Profiles;
+  const std::string &ProfileName;
+  DominatorTree DT;
+  LoopInfo LI;
+  std::unordered_map<Loop *, double> ScaleCache;
+};
+
+} // namespace
+
+std::unordered_map<const BasicBlock *, double>
+profile::computeBlockFrequencies(const Function &F,
+                                 const ProfileTable *Profiles,
+                                 const std::string &ProfileName) {
+  FrequencySolver Solver(F, Profiles, ProfileName);
+  return Solver.solve();
+}

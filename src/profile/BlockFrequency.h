@@ -1,0 +1,53 @@
+//===- profile/BlockFrequency.h - Relative execution frequencies ----------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes the expected number of executions of each basic block per
+/// invocation of its function, from profiled (or default) branch
+/// probabilities. A callsite's frequency relative to the root — the paper's
+/// f(n) in Eq. 4 — is the block frequency of the callsite multiplied down
+/// the call-tree path.
+///
+/// Implementation: the frequencies are the solution of a linear flow system
+/// (entry injects 1.0, branches split by probability). We solve it
+/// iteratively in reverse post order; loops converge geometrically as long
+/// as their exit probability is non-zero, and the iteration/frequency caps
+/// bound pathological (never-exiting) profiles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_PROFILE_BLOCKFREQUENCY_H
+#define INCLINE_PROFILE_BLOCKFREQUENCY_H
+
+#include <string>
+#include <unordered_map>
+
+namespace incline::ir {
+class BasicBlock;
+class Function;
+} // namespace incline::ir
+
+namespace incline::profile {
+
+class ProfileTable;
+
+/// Frequency cap: a block never counts as more than this many executions
+/// per invocation (guards against loops profiled as never exiting).
+inline constexpr double MaxBlockFrequency = 1e6;
+
+/// Per-block expected executions per invocation of \p F.
+///
+/// \p ProfileName is the method name used for profile lookups — for
+/// specialized clones this is the *original* method's name (profile ids in
+/// the clone still match). When \p Profiles is null every branch defaults
+/// to probability 0.5.
+std::unordered_map<const ir::BasicBlock *, double>
+computeBlockFrequencies(const ir::Function &F, const ProfileTable *Profiles,
+                        const std::string &ProfileName);
+
+} // namespace incline::profile
+
+#endif // INCLINE_PROFILE_BLOCKFREQUENCY_H

@@ -1,0 +1,78 @@
+//===- profile/ProfileData.cpp ----------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/ProfileData.h"
+
+#include <algorithm>
+
+using namespace incline;
+using namespace incline::profile;
+
+uint64_t ReceiverProfile::total() const {
+  uint64_t Sum = 0;
+  for (const auto &[ClassId, Count] : Counts)
+    Sum += Count;
+  return Sum;
+}
+
+std::vector<std::pair<int, double>>
+ReceiverProfile::topReceivers(size_t MaxTargets, double MinProbability) const {
+  uint64_t Total = total();
+  if (Total == 0)
+    return {};
+  std::vector<std::pair<int, double>> All;
+  for (const auto &[ClassId, Count] : Counts)
+    All.emplace_back(ClassId,
+                     static_cast<double>(Count) / static_cast<double>(Total));
+  std::sort(All.begin(), All.end(), [](const auto &A, const auto &B) {
+    if (A.second != B.second)
+      return A.second > B.second;
+    return A.first < B.first; // Deterministic tie-break.
+  });
+  std::vector<std::pair<int, double>> Result;
+  for (const auto &Entry : All) {
+    if (Result.size() >= MaxTargets || Entry.second < MinProbability)
+      break;
+    Result.push_back(Entry);
+  }
+  return Result;
+}
+
+MethodProfile &ProfileTable::methodProfile(std::string_view Method) {
+  auto It = Methods.find(Method);
+  if (It == Methods.end())
+    It = Methods.emplace(std::string(Method), MethodProfile{}).first;
+  return It->second;
+}
+
+const MethodProfile *ProfileTable::find(std::string_view Method) const {
+  auto It = Methods.find(Method);
+  return It == Methods.end() ? nullptr : &It->second;
+}
+
+double ProfileTable::branchProbability(std::string_view Method,
+                                       unsigned ProfileId) const {
+  const MethodProfile *MP = find(Method);
+  if (!MP)
+    return 0.5;
+  auto It = MP->Branches.find(ProfileId);
+  return It == MP->Branches.end() ? 0.5 : It->second.trueProbability();
+}
+
+const ReceiverProfile *
+ProfileTable::receiverProfile(std::string_view Method,
+                              unsigned ProfileId) const {
+  const MethodProfile *MP = find(Method);
+  if (!MP)
+    return nullptr;
+  auto It = MP->Receivers.find(ProfileId);
+  return It == MP->Receivers.end() ? nullptr : &It->second;
+}
+
+uint64_t ProfileTable::invocationCount(std::string_view Method) const {
+  const MethodProfile *MP = find(Method);
+  return MP ? MP->InvocationCount : 0;
+}

@@ -1,0 +1,94 @@
+//===- profile/ProfileData.h - Runtime profiles ----------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JVM-profile substitute: per-method invocation counts, per-branch
+/// taken/not-taken counts, and per-callsite receiver class histograms.
+/// Profiles are recorded by the interpreter during the profiling tier and
+/// consumed by the inliner's frequency and polymorphic-speculation
+/// machinery. Entries are keyed by (method name, instruction profileId);
+/// profile ids survive cloning, so specialized call-tree copies still
+/// resolve their profiles (the paper relies on the same property in Graal).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_PROFILE_PROFILEDATA_H
+#define INCLINE_PROFILE_PROFILEDATA_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace incline::profile {
+
+/// Taken/not-taken counters of one conditional branch.
+struct BranchProfile {
+  uint64_t TrueCount = 0;
+  uint64_t FalseCount = 0;
+
+  uint64_t total() const { return TrueCount + FalseCount; }
+  /// Probability of the true edge; 0.5 when no data was recorded.
+  double trueProbability() const {
+    uint64_t T = total();
+    return T == 0 ? 0.5 : static_cast<double>(TrueCount) /
+                              static_cast<double>(T);
+  }
+};
+
+/// Histogram of observed receiver classes at a virtual callsite. Ordered map
+/// keeps iteration deterministic.
+struct ReceiverProfile {
+  std::map<int, uint64_t> Counts;
+
+  uint64_t total() const;
+  void record(int ClassId) { ++Counts[ClassId]; }
+
+  /// Receiver classes with observed probability >= \p MinProbability,
+  /// most frequent first, at most \p MaxTargets entries. This drives the
+  /// paper's polymorphic inlining (<= 3 targets, >= 10% each).
+  std::vector<std::pair<int, double>>
+  topReceivers(size_t MaxTargets, double MinProbability) const;
+};
+
+/// All profile state of one method.
+struct MethodProfile {
+  uint64_t InvocationCount = 0;
+  std::unordered_map<unsigned, BranchProfile> Branches;
+  std::unordered_map<unsigned, ReceiverProfile> Receivers;
+};
+
+/// Program-wide profile store.
+class ProfileTable {
+public:
+  /// Profile for \p Method, creating an empty record on first touch.
+  MethodProfile &methodProfile(std::string_view Method);
+
+  /// Read-only lookup; null if the method was never profiled.
+  const MethodProfile *find(std::string_view Method) const;
+
+  /// True-edge probability of branch \p ProfileId in \p Method (0.5
+  /// default).
+  double branchProbability(std::string_view Method, unsigned ProfileId) const;
+
+  /// Receiver histogram of callsite \p ProfileId, or null.
+  const ReceiverProfile *receiverProfile(std::string_view Method,
+                                         unsigned ProfileId) const;
+
+  uint64_t invocationCount(std::string_view Method) const;
+
+  void clear() { Methods.clear(); }
+
+private:
+  std::map<std::string, MethodProfile, std::less<>> Methods;
+};
+
+} // namespace incline::profile
+
+#endif // INCLINE_PROFILE_PROFILEDATA_H

@@ -1,0 +1,76 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast ------------------===//
+//
+// Part of the Incline project, a reproduction of the CGO'19 paper
+// "An Optimization-Driven Incremental Inline Substitution Algorithm for
+// Just-in-Time Compilers".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled RTTI in the style of llvm/Support/Casting.h. A class opts in
+/// by providing `static bool classof(const Base *)`. This avoids C++ RTTI
+/// while keeping checked downcasts cheap and explicit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_SUPPORT_CASTING_H
+#define INCLINE_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace incline {
+
+/// Returns true if \p Val is an instance of any of the types \p To...
+template <typename To, typename... Rest, typename From>
+bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  if constexpr (sizeof...(Rest) == 0)
+    return To::classof(Val);
+  else
+    return To::classof(Val) || isa<Rest...>(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(Val && "cast<> used on a null pointer");
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(Val && "cast<> used on a null pointer");
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null when \p Val is not a To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  assert(Val && "dyn_cast<> used on a null pointer");
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  assert(Val && "dyn_cast<> used on a null pointer");
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like isa<>, but tolerates a null pointer (returns false).
+template <typename To, typename... Rest, typename From>
+bool isa_and_present(const From *Val) {
+  return Val && isa<To, Rest...>(Val);
+}
+
+/// Like dyn_cast<>, but tolerates a null pointer (propagates it).
+template <typename To, typename From> To *dyn_cast_if_present(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_if_present(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace incline
+
+#endif // INCLINE_SUPPORT_CASTING_H

@@ -1,0 +1,26 @@
+//===- support/ErrorHandling.cpp ------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace incline;
+
+void incline::reportFatalError(std::string_view Msg, const char *File,
+                               unsigned Line) {
+  std::fprintf(stderr, "incline fatal error: %.*s (at %s:%u)\n",
+               static_cast<int>(Msg.size()), Msg.data(), File, Line);
+  std::abort();
+}
+
+void incline::inclineUnreachableInternal(const char *Msg, const char *File,
+                                         unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed: %s (at %s:%u)\n",
+               Msg ? Msg : "<no message>", File, Line);
+  std::abort();
+}

@@ -1,0 +1,38 @@
+//===- support/ErrorHandling.h - Fatal errors and unreachable ------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Programmatic-error helpers in the spirit of llvm/Support/ErrorHandling.h:
+/// `incline_unreachable` documents impossible control flow and
+/// `reportFatalError` aborts with a diagnostic for unrecoverable states.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_SUPPORT_ERRORHANDLING_H
+#define INCLINE_SUPPORT_ERRORHANDLING_H
+
+#include <string_view>
+
+namespace incline {
+
+/// Prints \p Msg (with source position) to stderr and aborts. Used for
+/// invariant violations that must be diagnosed even in release builds.
+[[noreturn]] void reportFatalError(std::string_view Msg, const char *File,
+                                   unsigned Line);
+
+[[noreturn]] void inclineUnreachableInternal(const char *Msg, const char *File,
+                                             unsigned Line);
+
+} // namespace incline
+
+/// Marks a point in code that should never be reached.
+#define incline_unreachable(msg)                                              \
+  ::incline::inclineUnreachableInternal(msg, __FILE__, __LINE__)
+
+/// Aborts with a diagnostic; for violated invariants (not user errors).
+#define INCLINE_FATAL(msg) ::incline::reportFatalError(msg, __FILE__, __LINE__)
+
+#endif // INCLINE_SUPPORT_ERRORHANDLING_H

@@ -1,0 +1,28 @@
+//===- support/Random.cpp -------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace incline;
+
+size_t SplitMix64::nextWeighted(const std::vector<double> &Weights) {
+  double Total = 0;
+  for (double W : Weights) {
+    assert(W >= 0 && "weights must be non-negative");
+    Total += W;
+  }
+  if (Total <= 0)
+    INCLINE_FATAL("nextWeighted requires at least one positive weight");
+  double Point = nextDouble() * Total;
+  for (size_t I = 0; I < Weights.size(); ++I) {
+    Point -= Weights[I];
+    if (Point < 0)
+      return I;
+  }
+  return Weights.size() - 1;
+}

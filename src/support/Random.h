@@ -1,0 +1,69 @@
+//===- support/Random.h - Deterministic pseudo-random numbers ------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A SplitMix64 generator. Every randomized component of the reproduction
+/// (workload generators, property-test program generator) takes an explicit
+/// seed so all experiments are bit-for-bit reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_SUPPORT_RANDOM_H
+#define INCLINE_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace incline {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit PRNG with a 64-bit state.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow bound must be positive");
+    // Multiply-shift rejection-free mapping (slight bias is irrelevant for
+    // workload generation; determinism is what matters).
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * Bound) >> 64);
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "invalid range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability \p P.
+  bool nextBool(double P = 0.5) { return nextDouble() < P; }
+
+  /// Picks an index according to non-negative \p Weights (must not all be 0).
+  size_t nextWeighted(const std::vector<double> &Weights);
+
+private:
+  uint64_t State;
+};
+
+} // namespace incline
+
+#endif // INCLINE_SUPPORT_RANDOM_H

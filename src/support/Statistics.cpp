@@ -1,0 +1,65 @@
+//===- support/Statistics.cpp ---------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace incline;
+
+double incline::mean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0;
+  double Sum = 0;
+  for (double X : Xs)
+    Sum += X;
+  return Sum / static_cast<double>(Xs.size());
+}
+
+double incline::stddev(const std::vector<double> &Xs) {
+  if (Xs.size() < 2)
+    return 0;
+  double M = mean(Xs);
+  double SumSq = 0;
+  for (double X : Xs)
+    SumSq += (X - M) * (X - M);
+  return std::sqrt(SumSq / static_cast<double>(Xs.size() - 1));
+}
+
+double incline::geomean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0;
+  double LogSum = 0;
+  for (double X : Xs) {
+    assert(X > 0 && "geomean requires positive samples");
+    LogSum += std::log(X);
+  }
+  return std::exp(LogSum / static_cast<double>(Xs.size()));
+}
+
+double incline::minOf(const std::vector<double> &Xs) {
+  assert(!Xs.empty() && "minOf of empty sample");
+  return *std::min_element(Xs.begin(), Xs.end());
+}
+
+double incline::maxOf(const std::vector<double> &Xs) {
+  assert(!Xs.empty() && "maxOf of empty sample");
+  return *std::max_element(Xs.begin(), Xs.end());
+}
+
+double incline::steadyStateMean(const std::vector<double> &Xs, double Fraction,
+                                size_t Cap) {
+  if (Xs.empty())
+    return 0;
+  size_t Window = static_cast<size_t>(
+      std::ceil(Fraction * static_cast<double>(Xs.size())));
+  Window = std::max<size_t>(1, std::min(Window, Cap));
+  Window = std::min(Window, Xs.size());
+  std::vector<double> Tail(Xs.end() - static_cast<long>(Window), Xs.end());
+  return mean(Tail);
+}

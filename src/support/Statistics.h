@@ -1,0 +1,42 @@
+//===- support/Statistics.h - Summary statistics for benchmarking --------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mean / standard deviation / geometric mean helpers used by the benchmark
+/// harness, matching the paper's reporting (mean and stddev over 5 JVM
+/// instances; geomean ratios in Table I).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_SUPPORT_STATISTICS_H
+#define INCLINE_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace incline {
+
+/// Arithmetic mean of \p Xs; 0 for an empty sample.
+double mean(const std::vector<double> &Xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 points.
+double stddev(const std::vector<double> &Xs);
+
+/// Geometric mean; all samples must be positive. 0 for an empty sample.
+double geomean(const std::vector<double> &Xs);
+
+/// Minimum / maximum; undefined for an empty sample (asserts).
+double minOf(const std::vector<double> &Xs);
+double maxOf(const std::vector<double> &Xs);
+
+/// Mean of the last max(1, min(Cap, ceil(Fraction * n))) elements — the
+/// paper's "average of the last 40% (but at most 20) repetitions".
+double steadyStateMean(const std::vector<double> &Xs, double Fraction = 0.4,
+                       size_t Cap = 20);
+
+} // namespace incline
+
+#endif // INCLINE_SUPPORT_STATISTICS_H

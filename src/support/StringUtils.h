@@ -1,0 +1,41 @@
+//===- support/StringUtils.h - Small string helpers ----------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal string manipulation helpers (split/join/format) used by the IR
+/// printer, diagnostics, and the benchmark tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_SUPPORT_STRINGUTILS_H
+#define INCLINE_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace incline {
+
+/// Splits \p Text on \p Sep; empty pieces are kept.
+std::vector<std::string> splitString(std::string_view Text, char Sep);
+
+/// Joins \p Parts with \p Sep between elements.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        std::string_view Sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view Text);
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// True if \p Text starts with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+} // namespace incline
+
+#endif // INCLINE_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,185 @@
+//===- types/ClassHierarchy.cpp -------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "types/ClassHierarchy.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+
+using namespace incline;
+using namespace incline::types;
+
+int ClassHierarchy::addClass(std::string_view Name, int SuperId) {
+  assert(!IdByName.count(std::string(Name)) && "duplicate class name");
+  assert((SuperId == NullClassId ||
+          (SuperId >= 0 && SuperId < static_cast<int>(Classes.size()))) &&
+         "superclass must be registered first");
+  int Id = static_cast<int>(Classes.size());
+  ClassInfo Info;
+  Info.Name = std::string(Name);
+  Info.Id = Id;
+  Info.SuperId = SuperId;
+  Classes.push_back(std::move(Info));
+  LayoutCache.emplace_back();
+  IdByName.emplace(std::string(Name), Id);
+  if (SuperId != NullClassId)
+    Classes[static_cast<size_t>(SuperId)].Subclasses.push_back(Id);
+  return Id;
+}
+
+void ClassHierarchy::addField(int ClassId, std::string_view Name, Type Ty) {
+  assert(ClassId >= 0 && ClassId < static_cast<int>(Classes.size()));
+  // Reject shadowing along the chain: field slots are flat.
+  for (int C = ClassId; C != NullClassId;
+       C = Classes[static_cast<size_t>(C)].SuperId)
+    for (const FieldInfo &F : Classes[static_cast<size_t>(C)].Fields)
+      if (F.Name == Name)
+        INCLINE_FATAL("field shadows an inherited field");
+  FieldInfo Field;
+  Field.Name = std::string(Name);
+  Field.Ty = Ty;
+  Classes[static_cast<size_t>(ClassId)].Fields.push_back(std::move(Field));
+  invalidateLayouts(ClassId);
+}
+
+void ClassHierarchy::addMethod(int ClassId, std::string_view Name,
+                               std::vector<Type> ParamTypes, Type ReturnType) {
+  assert(ClassId >= 0 && ClassId < static_cast<int>(Classes.size()));
+  ClassInfo &Info = Classes[static_cast<size_t>(ClassId)];
+  for (const MethodInfo &M : Info.Methods)
+    if (M.Name == Name)
+      INCLINE_FATAL("duplicate method declaration on class");
+  MethodInfo Method;
+  Method.Name = std::string(Name);
+  Method.QualifiedName = Info.Name + "." + std::string(Name);
+  Method.DeclaringClass = ClassId;
+  Method.ParamTypes = std::move(ParamTypes);
+  Method.ReturnType = ReturnType;
+  Info.Methods.push_back(std::move(Method));
+}
+
+const ClassInfo &ClassHierarchy::classInfo(int ClassId) const {
+  assert(ClassId >= 0 && ClassId < static_cast<int>(Classes.size()) &&
+         "invalid class id");
+  return Classes[static_cast<size_t>(ClassId)];
+}
+
+std::optional<int> ClassHierarchy::classIdOf(std::string_view Name) const {
+  auto It = IdByName.find(std::string(Name));
+  if (It == IdByName.end())
+    return std::nullopt;
+  return It->second;
+}
+
+bool ClassHierarchy::isSubclassOf(int Sub, int Super) const {
+  if (Sub == NullClassId)
+    return true;
+  for (int C = Sub; C != NullClassId;
+       C = Classes[static_cast<size_t>(C)].SuperId)
+    if (C == Super)
+      return true;
+  return false;
+}
+
+bool ClassHierarchy::isAssignable(Type From, Type To) const {
+  if (From == To)
+    return true;
+  // `null` goes into any reference slot.
+  if (From.isNull() && To.isReference())
+    return true;
+  if (From.isObject() && To.isObject())
+    return isSubclassOf(From.classId(), To.classId());
+  // Object arrays are covariant in MiniOO reads; we allow widening of the
+  // static element type, matching Java array covariance.
+  if (From.isObjectArray() && To.isObjectArray())
+    return isSubclassOf(From.classId(), To.classId());
+  return false;
+}
+
+const MethodInfo *ClassHierarchy::resolveMethod(int ClassId,
+                                                std::string_view Name) const {
+  for (int C = ClassId; C != NullClassId;
+       C = Classes[static_cast<size_t>(C)].SuperId)
+    for (const MethodInfo &M : Classes[static_cast<size_t>(C)].Methods)
+      if (M.Name == Name)
+        return &M;
+  return nullptr;
+}
+
+const std::vector<FieldInfo> &ClassHierarchy::fieldLayout(int ClassId) const {
+  assert(ClassId >= 0 && ClassId < static_cast<int>(Classes.size()));
+  auto &Slot = LayoutCache[static_cast<size_t>(ClassId)];
+  if (Slot)
+    return *Slot;
+  std::vector<FieldInfo> Layout;
+  const ClassInfo &Info = Classes[static_cast<size_t>(ClassId)];
+  if (Info.SuperId != NullClassId)
+    Layout = fieldLayout(Info.SuperId);
+  for (const FieldInfo &F : Info.Fields) {
+    FieldInfo Placed = F;
+    Placed.Index = static_cast<unsigned>(Layout.size());
+    Layout.push_back(std::move(Placed));
+  }
+  Slot = std::move(Layout);
+  return *Slot;
+}
+
+unsigned ClassHierarchy::fieldIndex(int ClassId, std::string_view Name) const {
+  for (const FieldInfo &F : fieldLayout(ClassId))
+    if (F.Name == Name)
+      return F.Index;
+  INCLINE_FATAL("unknown field name");
+}
+
+const FieldInfo &ClassHierarchy::fieldAt(int ClassId, unsigned Slot) const {
+  const std::vector<FieldInfo> &Layout = fieldLayout(ClassId);
+  assert(Slot < Layout.size() && "field slot out of range");
+  return Layout[Slot];
+}
+
+std::vector<std::pair<int, const MethodInfo *>>
+ClassHierarchy::dispatchTargets(int ClassId, std::string_view Name) const {
+  std::vector<std::pair<int, const MethodInfo *>> Targets;
+  for (int C : subtreeOf(ClassId))
+    if (const MethodInfo *M = resolveMethod(C, Name))
+      Targets.emplace_back(C, M);
+  return Targets;
+}
+
+const MethodInfo *
+ClassHierarchy::uniqueDispatchTarget(int ClassId,
+                                     std::string_view Name) const {
+  const MethodInfo *Unique = nullptr;
+  for (int C : subtreeOf(ClassId)) {
+    const MethodInfo *M = resolveMethod(C, Name);
+    if (!M)
+      return nullptr; // Some class in the subtree misses the method.
+    if (Unique && Unique != M)
+      return nullptr; // Overridden somewhere below: polymorphic.
+    Unique = M;
+  }
+  return Unique;
+}
+
+std::vector<int> ClassHierarchy::subtreeOf(int ClassId) const {
+  assert(ClassId >= 0 && ClassId < static_cast<int>(Classes.size()));
+  std::vector<int> Result;
+  std::vector<int> Work = {ClassId};
+  while (!Work.empty()) {
+    int C = Work.back();
+    Work.pop_back();
+    Result.push_back(C);
+    const ClassInfo &Info = Classes[static_cast<size_t>(C)];
+    Work.insert(Work.end(), Info.Subclasses.begin(), Info.Subclasses.end());
+  }
+  return Result;
+}
+
+void ClassHierarchy::invalidateLayouts(int ClassId) {
+  for (int C : subtreeOf(ClassId))
+    LayoutCache[static_cast<size_t>(C)].reset();
+}

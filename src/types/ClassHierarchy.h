@@ -1,0 +1,122 @@
+//===- types/ClassHierarchy.h - MiniOO class table and dispatch ----------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime class hierarchy: single inheritance, virtual method
+/// resolution, subtype tests, flattened field layout, and class-hierarchy-
+/// analysis queries (the set of concrete dispatch targets reachable from a
+/// static receiver type). This substitutes for the JVM's class metadata the
+/// paper's inliner consults when devirtualizing and speculating on receiver
+/// type profiles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_TYPES_CLASSHIERARCHY_H
+#define INCLINE_TYPES_CLASSHIERARCHY_H
+
+#include "types/Type.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace incline::types {
+
+/// A declared field; `Index` is its slot in the flattened object layout.
+struct FieldInfo {
+  std::string Name;
+  Type Ty;
+  unsigned Index = 0;
+};
+
+/// A method declared (or overridden) directly on some class. The method body
+/// lives in the IR module under the symbol `QualifiedName`
+/// ("Class.method").
+struct MethodInfo {
+  std::string Name;
+  std::string QualifiedName;
+  int DeclaringClass = NullClassId;
+  std::vector<Type> ParamTypes; ///< Excluding the implicit `this`.
+  Type ReturnType;
+};
+
+/// One class: name, superclass link, declared fields and methods.
+struct ClassInfo {
+  std::string Name;
+  int Id = NullClassId;
+  int SuperId = NullClassId; ///< NullClassId for a root class.
+  std::vector<FieldInfo> Fields;    ///< Declared here only.
+  std::vector<MethodInfo> Methods;  ///< Declared/overridden here only.
+  std::vector<int> Subclasses;      ///< Direct subclasses.
+};
+
+/// The whole-program class table. Ids are dense, assigned in addClass order.
+class ClassHierarchy {
+public:
+  /// Registers a class; \p SuperId must already exist (or be NullClassId).
+  /// Returns the new class id. Class names must be unique.
+  int addClass(std::string_view Name, int SuperId = NullClassId);
+
+  /// Declares a field on \p ClassId. Field names must be unique along the
+  /// inheritance chain. Invalidates cached layouts of the subtree.
+  void addField(int ClassId, std::string_view Name, Type Ty);
+
+  /// Declares (or overrides) a method on \p ClassId.
+  void addMethod(int ClassId, std::string_view Name,
+                 std::vector<Type> ParamTypes, Type ReturnType);
+
+  size_t numClasses() const { return Classes.size(); }
+  const ClassInfo &classInfo(int ClassId) const;
+  /// Returns the id for \p Name, or std::nullopt if unknown.
+  std::optional<int> classIdOf(std::string_view Name) const;
+
+  /// True if \p Sub is \p Super or a (transitive) subclass of it.
+  /// NullClassId is a subclass of everything (type of `null`).
+  bool isSubclassOf(int Sub, int Super) const;
+
+  /// True if a value of static type \p From may be assigned to \p To.
+  bool isAssignable(Type From, Type To) const;
+
+  /// Virtual method resolution: walks from \p ClassId towards the root and
+  /// returns the first matching declaration, or null.
+  const MethodInfo *resolveMethod(int ClassId, std::string_view Name) const;
+
+  /// The flattened field layout of \p ClassId (super fields first). Cached.
+  const std::vector<FieldInfo> &fieldLayout(int ClassId) const;
+
+  /// Slot of field \p Name in the layout of \p ClassId; asserts on misses.
+  unsigned fieldIndex(int ClassId, std::string_view Name) const;
+
+  /// The field at \p Slot in the layout of \p ClassId.
+  const FieldInfo &fieldAt(int ClassId, unsigned Slot) const;
+
+  /// CHA: all distinct (receiver class, resolved method) dispatch targets
+  /// when the static receiver type is \p ClassId. One entry per class in the
+  /// subtree; dedupe by resolved method to count distinct targets.
+  std::vector<std::pair<int, const MethodInfo *>>
+  dispatchTargets(int ClassId, std::string_view Name) const;
+
+  /// If every class in the subtree of \p ClassId resolves \p Name to the
+  /// same method, returns it (a devirtualization opportunity); else null.
+  const MethodInfo *uniqueDispatchTarget(int ClassId,
+                                         std::string_view Name) const;
+
+  /// All ids in the subtree rooted at \p ClassId (inclusive).
+  std::vector<int> subtreeOf(int ClassId) const;
+
+private:
+  void invalidateLayouts(int ClassId);
+
+  std::vector<ClassInfo> Classes;
+  std::unordered_map<std::string, int> IdByName;
+  mutable std::vector<std::optional<std::vector<FieldInfo>>> LayoutCache;
+};
+
+} // namespace incline::types
+
+#endif // INCLINE_TYPES_CLASSHIERARCHY_H

@@ -1,0 +1,81 @@
+//===- types/Type.h - Static types of the MiniOO language ----------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact value type describing MiniOO static types: void, int, bool,
+/// object references (by class id), int arrays, and object arrays. The
+/// special class id `NullClassId` denotes the type of `null`, a subtype of
+/// every reference type.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_TYPES_TYPE_H
+#define INCLINE_TYPES_TYPE_H
+
+#include <cstdint>
+#include <string>
+
+namespace incline::types {
+
+/// Discriminator for Type. MiniOO has no nested arrays, so an array's
+/// element type is fully described by the kind plus a class id.
+enum class TypeKind : uint8_t {
+  Void,
+  Int,
+  Bool,
+  Object,      ///< Reference to an instance of class `ClassId` (or subclass).
+  IntArray,    ///< int[]
+  ObjectArray, ///< C[] where C is class `ClassId`.
+};
+
+/// Class id used as the element/class id of the `null` literal.
+inline constexpr int NullClassId = -1;
+
+/// A MiniOO static type; cheap to copy and compare.
+class Type {
+public:
+  Type() : Kind(TypeKind::Void), ClassId(NullClassId) {}
+
+  static Type voidTy() { return Type(TypeKind::Void, NullClassId); }
+  static Type intTy() { return Type(TypeKind::Int, NullClassId); }
+  static Type boolTy() { return Type(TypeKind::Bool, NullClassId); }
+  static Type object(int ClassId) { return Type(TypeKind::Object, ClassId); }
+  static Type nullTy() { return Type(TypeKind::Object, NullClassId); }
+  static Type intArray() { return Type(TypeKind::IntArray, NullClassId); }
+  static Type objectArray(int ElemClassId) {
+    return Type(TypeKind::ObjectArray, ElemClassId);
+  }
+
+  TypeKind kind() const { return Kind; }
+  /// For Object: the class id; for ObjectArray: the element class id.
+  int classId() const { return ClassId; }
+
+  bool isVoid() const { return Kind == TypeKind::Void; }
+  bool isInt() const { return Kind == TypeKind::Int; }
+  bool isBool() const { return Kind == TypeKind::Bool; }
+  bool isObject() const { return Kind == TypeKind::Object; }
+  bool isNull() const { return isObject() && ClassId == NullClassId; }
+  bool isIntArray() const { return Kind == TypeKind::IntArray; }
+  bool isObjectArray() const { return Kind == TypeKind::ObjectArray; }
+  bool isArray() const { return isIntArray() || isObjectArray(); }
+  /// Reference types can hold `null`.
+  bool isReference() const { return isObject() || isArray(); }
+
+  bool operator==(const Type &Other) const {
+    return Kind == Other.Kind && ClassId == Other.ClassId;
+  }
+  bool operator!=(const Type &Other) const { return !(*this == Other); }
+
+private:
+  Type(TypeKind Kind, int ClassId) : Kind(Kind), ClassId(ClassId) {}
+
+  TypeKind Kind;
+  int32_t ClassId;
+};
+
+} // namespace incline::types
+
+#endif // INCLINE_TYPES_TYPE_H

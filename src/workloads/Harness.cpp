@@ -1,0 +1,52 @@
+//===- workloads/Harness.cpp --------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Harness.h"
+
+#include "frontend/Compiler.h"
+#include "support/Statistics.h"
+
+using namespace incline;
+using namespace incline::workloads;
+
+RunResult incline::workloads::runWorkload(const Workload &W,
+                                          jit::Compiler &Compiler,
+                                          const RunConfig &Config) {
+  RunResult Result;
+  Result.Workload = W.Name;
+  Result.CompilerName = Compiler.name();
+
+  frontend::CompileResult Compiled = frontend::compileProgram(W.Source);
+  if (!Compiled.succeeded()) {
+    Result.Ok = false;
+    Result.Error = "frontend: " + frontend::renderDiagnostics(Compiled.Diags);
+    return Result;
+  }
+
+  jit::JitRuntime Runtime(*Compiled.Mod, Compiler, Config.Jit);
+  int Iterations = Config.Iterations > 0 ? Config.Iterations : W.Iterations;
+  for (int Iter = 0; Iter < Iterations; ++Iter) {
+    interp::ExecResult R = Runtime.runMain();
+    if (!R.ok()) {
+      Result.Ok = false;
+      Result.Error = R.TrapMessage;
+      return Result;
+    }
+    Result.IterationCycles.push_back(Runtime.effectiveCycles(R));
+    Result.Output = std::move(R.Output);
+  }
+  Result.SteadyStateCycles = steadyStateMean(Result.IterationCycles);
+  Result.InstalledCodeSize = Runtime.installedCodeSize();
+  Result.Compilations = Runtime.compilations();
+  return Result;
+}
+
+double incline::workloads::speedupOf(const RunResult &Baseline,
+                                     const RunResult &Measured) {
+  if (Measured.SteadyStateCycles <= 0)
+    return 0;
+  return Baseline.SteadyStateCycles / Measured.SteadyStateCycles;
+}

@@ -1,0 +1,69 @@
+//===- workloads/Harness.h - Benchmark measurement harness -----------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The measurement procedure shared by every bench binary, following the
+/// paper's methodology (§V): run each workload for a fixed number of
+/// repetitions inside one VM instance (hotness and compiled code persist
+/// across repetitions), record per-repetition effective cycles (compiled
+/// cycles scaled by i-cache pressure), and report the steady-state value
+/// as the mean of the last 40% (at most 20) repetitions. Our substrate is
+/// deterministic, so the paper's 5-instance mean/stddev collapses to a
+/// single exact value (stddev 0); the harness still exposes the vector of
+/// per-iteration samples for warmup curves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_WORKLOADS_HARNESS_H
+#define INCLINE_WORKLOADS_HARNESS_H
+
+#include "jit/JitRuntime.h"
+#include "workloads/Workloads.h"
+
+#include <string>
+#include <vector>
+
+namespace incline::workloads {
+
+/// Harness knobs.
+struct RunConfig {
+  jit::JitConfig Jit;
+  /// Repetitions; 0 = the workload's own default.
+  int Iterations = 0;
+
+  RunConfig() { Jit.CompileThreshold = 10; }
+};
+
+/// Result of running one workload under one compiler.
+struct RunResult {
+  std::string Workload;
+  std::string CompilerName;
+  /// Effective cycles of each repetition (warmup curve).
+  std::vector<double> IterationCycles;
+  /// The paper's reported number: steady-state mean (last 40%, max 20).
+  double SteadyStateCycles = 0;
+  /// Total |ir| of installed compiled code at the end of the run.
+  uint64_t InstalledCodeSize = 0;
+  /// Compilations performed, in arrival order.
+  std::vector<jit::CompilationRecord> Compilations;
+  /// Program output of the final repetition (for cross-config validation).
+  std::string Output;
+  /// True when every repetition completed without a trap.
+  bool Ok = true;
+  std::string Error;
+};
+
+/// Runs \p W to steady state under \p Compiler.
+RunResult runWorkload(const Workload &W, jit::Compiler &Compiler,
+                      const RunConfig &Config = RunConfig());
+
+/// Speedup of \p Measured over \p Baseline (baseline/measured: >1 means
+/// \p Measured is faster).
+double speedupOf(const RunResult &Baseline, const RunResult &Measured);
+
+} // namespace incline::workloads
+
+#endif // INCLINE_WORKLOADS_HARNESS_H

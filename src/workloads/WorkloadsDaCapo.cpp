@@ -1,0 +1,416 @@
+//===- workloads/WorkloadsDaCapo.cpp - DaCapo-shaped workloads -------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniOO programs mirroring the Java DaCapo benchmarks the paper
+/// evaluates on: event-driven simulation (avrora), interpreter dispatch
+/// (jython), text indexing (luindex), AST visitors (pmd), numeric ray
+/// tracing (sunflow), and tree transformation (xalan).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadsInternal.h"
+
+using namespace incline::workloads;
+
+std::vector<Workload> incline::workloads::dacapoWorkloads() {
+  std::vector<Workload> Result;
+
+  // avrora: event-driven device simulation. A tight tick loop dispatching
+  // over a small, stable set of device classes — a 3-way polymorphic
+  // callsite that rewards typeswitch speculation.
+  Result.push_back({"avrora", "dacapo",
+                    "event-driven simulation; 3-way polymorphic tick loop",
+                    R"(
+class Device {
+  var state: int;
+  def tick(t: int): int { return 0; }
+}
+class Timer extends Device {
+  def tick(t: int): int {
+    this.state = this.state + 1;
+    if (this.state % 7 == 0) { return 1; }
+    return 0;
+  }
+}
+class Radio extends Device {
+  def tick(t: int): int {
+    this.state = this.state + t % 3;
+    return this.state % 2;
+  }
+}
+class Cpu extends Device {
+  def tick(t: int): int {
+    this.state = this.state * 2 % 255 + 1;
+    return this.state % 3;
+  }
+}
+def step(devices: Device[], t: int): int {
+  var d = 0;
+  var interrupts = 0;
+  while (d < devices.length) {
+    interrupts = interrupts + devices[d].tick(t);
+    d = d + 1;
+  }
+  return interrupts;
+}
+def main() {
+  var devices = new Device[3];
+  devices[0] = new Timer();
+  devices[1] = new Radio();
+  devices[2] = new Cpu();
+  var interrupts = 0;
+  var t = 0;
+  while (t < 2500) {
+    interrupts = interrupts + step(devices, t);
+    t = t + 1;
+  }
+  print(interrupts);
+}
+)",
+                    15});
+
+  // jython: an interpreter's opcode dispatch loop — a megamorphic callsite
+  // (6 opcode classes) where only the hottest receivers are worth
+  // speculating; the rest go through the typeswitch fallback.
+  Result.push_back({"jython", "dacapo",
+                    "interpreter dispatch; megamorphic exec loop",
+                    R"(
+class Vm {
+  var stack: int[];
+  var sp: int;
+  def push(v: int) { this.stack[this.sp] = v; this.sp = this.sp + 1; }
+  def pop(): int { this.sp = this.sp - 1; return this.stack[this.sp]; }
+}
+class Op { def exec(vm: Vm): int { return 0; } }
+class PushOp extends Op {
+  var v: int;
+  def exec(vm: Vm): int { vm.push(this.v); return 1; }
+}
+class AddOp extends Op {
+  def exec(vm: Vm): int { vm.push(vm.pop() + vm.pop()); return 1; }
+}
+class MulOp extends Op {
+  def exec(vm: Vm): int { vm.push(vm.pop() * vm.pop() % 9973); return 1; }
+}
+class DupOp extends Op {
+  def exec(vm: Vm): int {
+    var x = vm.pop();
+    vm.push(x);
+    vm.push(x);
+    return 1;
+  }
+}
+class ModOp extends Op {
+  def exec(vm: Vm): int {
+    var b = vm.pop();
+    var a = vm.pop();
+    vm.push(a % (b + 1));
+    return 1;
+  }
+}
+class PopOp extends Op {
+  def exec(vm: Vm): int { vm.pop(); return 1; }
+}
+def run(prog: Op[], vm: Vm): int {
+  var pc = 0;
+  var count = 0;
+  while (pc < prog.length) {
+    count = count + prog[pc].exec(vm);
+    pc = pc + 1;
+  }
+  return count + vm.pop();
+}
+def main() {
+  var prog = new Op[11];
+  var p0 = new PushOp(); p0.v = 7; prog[0] = p0;
+  var p1 = new PushOp(); p1.v = 13; prog[1] = p1;
+  prog[2] = new AddOp();
+  prog[3] = new DupOp();
+  prog[4] = new MulOp();
+  var p5 = new PushOp(); p5.v = 3; prog[5] = p5;
+  prog[6] = new ModOp();
+  prog[7] = new DupOp();
+  var p8 = new PushOp(); p8.v = 11; prog[8] = p8;
+  prog[9] = new MulOp();
+  prog[10] = new AddOp();
+  var vm = new Vm();
+  vm.stack = new int[64];
+  vm.sp = 0;
+  var total = 0;
+  var rep = 0;
+  while (rep < 300) {
+    total = (total + run(prog, vm)) % 1000003;
+    rep = rep + 1;
+  }
+  print(total);
+  print(vm.sp);
+}
+)",
+                    15});
+
+  // luindex: tokenizing and indexing — many tiny helpers on a hot path;
+  // inlining the whole tokenize/hash/add group (one cluster) is what pays.
+  Result.push_back({"luindex", "dacapo",
+                    "text tokenizing/indexing; tiny-helper cluster",
+                    R"(
+def isSep(c: int): bool { return c == 0; }
+def hashChar(h: int, c: int): int { return (h * 31 + c) % 65521; }
+class Index {
+  var buckets: int[];
+  def add(h: int) {
+    var b = h % this.buckets.length;
+    this.buckets[b] = this.buckets[b] + 1;
+  }
+  def weight(): int {
+    var i = 0;
+    var w = 0;
+    while (i < this.buckets.length) {
+      w = (w + this.buckets[i] * (i + 1)) % 100003;
+      i = i + 1;
+    }
+    return w;
+  }
+}
+def tokenize(text: int[], idx: Index): int {
+  var i = 0;
+  var h = 7;
+  var tokens = 0;
+  while (i < text.length) {
+    var c = text[i];
+    if (isSep(c)) {
+      if (h != 7) {
+        idx.add(h);
+        tokens = tokens + 1;
+        h = 7;
+      }
+    } else {
+      h = hashChar(h, c);
+    }
+    i = i + 1;
+  }
+  if (h != 7) {
+    idx.add(h);
+    tokens = tokens + 1;
+  }
+  return tokens;
+}
+def main() {
+  var text = new int[600];
+  var i = 0;
+  while (i < 600) {
+    if (i % 7 == 3) { text[i] = 0; }
+    else { text[i] = i * 13 % 26 + 1; }
+    i = i + 1;
+  }
+  var idx = new Index();
+  idx.buckets = new int[97];
+  var tokens = 0;
+  var rep = 0;
+  while (rep < 40) {
+    tokens = tokens + tokenize(text, idx);
+    rep = rep + 1;
+  }
+  print(tokens);
+  print(idx.weight());
+}
+)",
+                    15});
+
+  // pmd: rule checking via AST visitors — mutually recursive virtual
+  // dispatch (accept/visit), stressing the recursion penalty (Eq. 14).
+  Result.push_back({"pmd", "dacapo",
+                    "AST visitor rules; mutually recursive dispatch",
+                    R"(
+class Visitor {
+  def visitBin(n: BinNode): int { return 0; }
+  def visitLeaf(n: LeafNode): int { return 0; }
+}
+class Node {
+  var left: Node;
+  var right: Node;
+  var value: int;
+  def accept(v: Visitor): int { return 0; }
+}
+class BinNode extends Node {
+  def accept(v: Visitor): int { return v.visitBin(this); }
+}
+class LeafNode extends Node {
+  def accept(v: Visitor): int { return v.visitLeaf(this); }
+}
+class CountVisitor extends Visitor {
+  def visitBin(n: BinNode): int {
+    return 1 + n.left.accept(this) + n.right.accept(this);
+  }
+  def visitLeaf(n: LeafNode): int { return 1; }
+}
+class SumVisitor extends Visitor {
+  def visitBin(n: BinNode): int {
+    return (n.left.accept(this) + n.right.accept(this)) % 65521;
+  }
+  def visitLeaf(n: LeafNode): int { return n.value; }
+}
+def build(depth: int, seed: int): Node {
+  if (depth <= 0) {
+    var leaf = new LeafNode();
+    leaf.value = seed % 100;
+    return leaf;
+  }
+  var n = new BinNode();
+  n.left = build(depth - 1, seed * 2 + 1);
+  n.right = build(depth - 1, seed * 3 + 2);
+  return n;
+}
+def main() {
+  var tree = build(9, 1);
+  var cv = new CountVisitor();
+  var sv = new SumVisitor();
+  var total = 0;
+  var rep = 0;
+  while (rep < 12) {
+    total = (total + tree.accept(cv)) % 100003;
+    total = (total + tree.accept(sv)) % 100003;
+    rep = rep + 1;
+  }
+  print(total);
+}
+)",
+                    15});
+
+  // sunflow: a numeric kernel whose inner loop calls several *small* hot
+  // methods (dot products, clamps). The paper's adaptive threshold case:
+  // small methods must stay inlineable even near the budget.
+  Result.push_back({"sunflow", "dacapo",
+                    "numeric kernel; small hot leaf methods",
+                    R"(
+class Vec {
+  var x: int;
+  var y: int;
+  var z: int;
+  def dot(o: Vec): int {
+    return this.x * o.x + this.y * o.y + this.z * o.z;
+  }
+  def manhattan(): int {
+    var ax = this.x;
+    if (ax < 0) { ax = 0 - ax; }
+    var ay = this.y;
+    if (ay < 0) { ay = 0 - ay; }
+    var az = this.z;
+    if (az < 0) { az = 0 - az; }
+    return ax + ay + az;
+  }
+}
+def clamp(v: int): int {
+  if (v < 0) { return 0; }
+  if (v > 255) { return 255; }
+  return v;
+}
+def shade(dir: Vec, lights: Vec[]): int {
+  var i = 0;
+  var energy = 0;
+  while (i < lights.length) {
+    var d = dir.dot(lights[i]);
+    energy = energy + clamp(d % 512);
+    i = i + 1;
+  }
+  return energy + dir.manhattan();
+}
+def main() {
+  var lights = new Vec[8];
+  var k = 0;
+  while (k < 8) {
+    var l = new Vec();
+    l.x = k * 3 - 10;
+    l.y = 7 - k;
+    l.z = k * k % 13;
+    lights[k] = l;
+    k = k + 1;
+  }
+  var acc = 0;
+  var py = 0;
+  while (py < 40) {
+    var px = 0;
+    while (px < 40) {
+      var dir = new Vec();
+      dir.x = px % 11 - 5;
+      dir.y = py % 9 - 4;
+      dir.z = 3;
+      acc = (acc + shade(dir, lights)) % 1000003;
+      px = px + 1;
+    }
+    py = py + 1;
+  }
+  print(acc);
+}
+)",
+                    15});
+
+  // xalan: document tree transformation — allocation-heavy recursive
+  // polymorphic rewriting.
+  Result.push_back({"xalan", "dacapo",
+                    "tree transformation; recursive polymorphic rewrite",
+                    R"(
+class TNode {
+  def transform(d: int): TNode { return this; }
+  def weigh(): int { return 0; }
+}
+class Text extends TNode {
+  var t: int;
+  def transform(d: int): TNode {
+    var n = new Text();
+    n.t = this.t + d;
+    return n;
+  }
+  def weigh(): int { return this.t % 31; }
+}
+class Elem extends TNode {
+  var tag: int;
+  var a: TNode;
+  var b: TNode;
+  def transform(d: int): TNode {
+    var n = new Elem();
+    n.tag = this.tag;
+    if (this.tag % 2 == 0) {
+      n.a = this.b.transform(d + 1);
+      n.b = this.a.transform(d + 1);
+    } else {
+      n.a = this.a.transform(d);
+      n.b = this.b.transform(d);
+    }
+    return n;
+  }
+  def weigh(): int {
+    return (this.tag + this.a.weigh() * 3 + this.b.weigh() * 5) % 65521;
+  }
+}
+def buildDoc(depth: int, tag: int): TNode {
+  if (depth <= 0) {
+    var t = new Text();
+    t.t = tag;
+    return t;
+  }
+  var e = new Elem();
+  e.tag = tag;
+  e.a = buildDoc(depth - 1, tag * 2 + 1);
+  e.b = buildDoc(depth - 1, tag * 2 + 2);
+  return e;
+}
+def main() {
+  var doc = buildDoc(8, 1);
+  var acc = 0;
+  var rep = 0;
+  while (rep < 8) {
+    var t = doc.transform(rep);
+    acc = (acc + t.weigh()) % 100003;
+    rep = rep + 1;
+  }
+  print(acc);
+}
+)",
+                    15});
+
+  return Result;
+}

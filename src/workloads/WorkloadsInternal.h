@@ -1,0 +1,26 @@
+//===- workloads/WorkloadsInternal.h - Suite construction helpers ----------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Private header: the per-suite workload constructors assembled by the
+/// registry in Workloads.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_WORKLOADS_WORKLOADSINTERNAL_H
+#define INCLINE_WORKLOADS_WORKLOADSINTERNAL_H
+
+#include "workloads/Workloads.h"
+
+namespace incline::workloads {
+
+std::vector<Workload> dacapoWorkloads();
+std::vector<Workload> scalaDacapoWorkloads();
+std::vector<Workload> sparkAndOtherWorkloads();
+
+} // namespace incline::workloads
+
+#endif // INCLINE_WORKLOADS_WORKLOADSINTERNAL_H

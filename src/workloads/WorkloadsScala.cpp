@@ -1,0 +1,309 @@
+//===- workloads/WorkloadsScala.cpp - Scala-DaCapo-shaped workloads --------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniOO programs mirroring the Scala DaCapo benchmarks — the workloads
+/// the paper's inliner improves most, because idiomatic Scala code hides
+/// hot loops behind layers of small polymorphic methods: collection
+/// combinators (the Fig. 1 foreach example), factor-graph inference
+/// (factorie), rewriting strategies (kiama), and compiler passes
+/// (scalac, and dotty in the "other" group).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadsInternal.h"
+
+using namespace incline::workloads;
+
+std::vector<Workload> incline::workloads::scalaDacapoWorkloads() {
+  std::vector<Workload> Result;
+
+  // actors/foreach: the paper's Fig. 1 — a generic foreach whose inner
+  // length/get/apply calls only devirtualize when the whole cluster is
+  // inlined together.
+  Result.push_back({"foreach", "scala-dacapo",
+                    "Fig.1 collection combinators; cluster-or-nothing",
+                    R"(
+class Fn { def apply(x: int): int { return x; } }
+class Doubler extends Fn { def apply(x: int): int { return x * 2; } }
+class Squarer extends Fn { def apply(x: int): int { return x * x % 251; } }
+class Seq {
+  var data: int[];
+  def length(): int { return this.data.length; }
+  def get(i: int): int { return this.data[i]; }
+  def foreach(f: Fn): int {
+    var i = 0;
+    var acc = 0;
+    while (i < this.length()) {
+      acc = (acc + f.apply(this.get(i))) % 1000003;
+      i = i + 1;
+    }
+    return acc;
+  }
+}
+def main() {
+  var s = new Seq();
+  s.data = new int[64];
+  var i = 0;
+  while (i < 64) {
+    s.data[i] = i * 3 % 17;
+    i = i + 1;
+  }
+  var total = 0;
+  var rep = 0;
+  while (rep < 25) {
+    total = (total + s.foreach(new Doubler())) % 1000003;
+    total = (total + s.foreach(new Squarer())) % 1000003;
+    rep = rep + 1;
+  }
+  print(total);
+}
+)",
+                    15});
+
+  // factorie: factor-graph inference — sweeps flipping binary variables,
+  // each sweep evaluating polymorphic factor scores in a hot inner loop.
+  Result.push_back({"factorie", "scala-dacapo",
+                    "factor-graph inference; polymorphic score loop",
+                    R"(
+class Factor { def score(assign: int[]): int { return 0; } }
+class UnaryFactor extends Factor {
+  var idx: int;
+  var w: int;
+  def score(assign: int[]): int { return assign[this.idx] * this.w; }
+}
+class PairFactor extends Factor {
+  var i: int;
+  var j: int;
+  var w: int;
+  def score(assign: int[]): int {
+    if (assign[this.i] == assign[this.j]) { return this.w; }
+    return 0 - this.w;
+  }
+}
+class BiasFactor extends Factor {
+  var w: int;
+  def score(assign: int[]): int { return this.w; }
+}
+def energy(factors: Factor[], assign: int[]): int {
+  var i = 0;
+  var e = 0;
+  while (i < factors.length) {
+    e = e + factors[i].score(assign);
+    i = i + 1;
+  }
+  return e;
+}
+def main() {
+  var vars = 20;
+  var assign = new int[20];
+  var factors = new Factor[46];
+  var f = 0;
+  while (f < 20) {
+    var u = new UnaryFactor();
+    u.idx = f;
+    u.w = f % 5 - 2;
+    factors[f] = u;
+    f = f + 1;
+  }
+  while (f < 44) {
+    var p = new PairFactor();
+    p.i = (f * 7) % 20;
+    p.j = (f * 11 + 3) % 20;
+    p.w = f % 7 - 3;
+    factors[f] = p;
+    f = f + 1;
+  }
+  var b1 = new BiasFactor();
+  b1.w = 2;
+  factors[44] = b1;
+  var b2 = new BiasFactor();
+  b2.w = 0 - 1;
+  factors[45] = b2;
+
+  var sweep = 0;
+  while (sweep < 12) {
+    var v = 0;
+    while (v < vars) {
+      var before = energy(factors, assign);
+      assign[v] = 1 - assign[v];
+      var after = energy(factors, assign);
+      if (after < before) { } else { assign[v] = 1 - assign[v]; }
+      v = v + 1;
+    }
+    sweep = sweep + 1;
+  }
+  var checksum = energy(factors, assign);
+  var v2 = 0;
+  while (v2 < vars) {
+    checksum = checksum * 2 + assign[v2];
+    v2 = v2 + 1;
+  }
+  print(checksum);
+}
+)",
+                    15});
+
+  // kiama: strategy-combinator rewriting — deep chains of polymorphic
+  // apply() calls through Choice/Repeat combinator objects.
+  Result.push_back({"kiama", "scala-dacapo",
+                    "rewriting strategies; combinator dispatch chains",
+                    R"(
+class Strategy { def apply(t: int): int { return t; } }
+class Halve extends Strategy {
+  def apply(t: int): int {
+    if (t % 2 == 0) { return t / 2; }
+    return 0 - 1;
+  }
+}
+class DecOnTriple extends Strategy {
+  def apply(t: int): int {
+    if (t % 3 == 0) { return t - 1; }
+    return 0 - 1;
+  }
+}
+class Choice extends Strategy {
+  var s1: Strategy;
+  var s2: Strategy;
+  def apply(t: int): int {
+    var r = this.s1.apply(t);
+    if (r >= 0) { return r; }
+    return this.s2.apply(t);
+  }
+}
+class Repeat extends Strategy {
+  var s: Strategy;
+  def apply(t: int): int {
+    var cur = t;
+    var r = this.s.apply(cur);
+    while (r >= 0) {
+      cur = r;
+      r = this.s.apply(cur);
+    }
+    return cur;
+  }
+}
+def main() {
+  var choice = new Choice();
+  choice.s1 = new Halve();
+  choice.s2 = new DecOnTriple();
+  var strat = new Repeat();
+  strat.s = choice;
+  var acc = 0;
+  var i = 1;
+  while (i < 3500) {
+    acc = (acc + strat.apply(i * 7 + 1)) % 65521;
+    i = i + 1;
+  }
+  print(acc);
+}
+)",
+                    15});
+
+  // scalac: a constant-folding compiler pass over expression trees — `is`
+  // and `as` type tests plus recursive polymorphic fold/eval.
+  Result.push_back({"scalac", "scala-dacapo",
+                    "compiler pass; type tests + recursive tree fold",
+                    R"(
+class Expr {
+  def eval(env: int[]): int { return 0; }
+  def size(): int { return 1; }
+  def fold(): Expr { return this; }
+}
+class Lit extends Expr {
+  var v: int;
+  def eval(env: int[]): int { return this.v; }
+}
+class VarE extends Expr {
+  var i: int;
+  def eval(env: int[]): int { return env[this.i]; }
+}
+class Add extends Expr {
+  var a: Expr;
+  var b: Expr;
+  def eval(env: int[]): int {
+    return (this.a.eval(env) + this.b.eval(env)) % 65521;
+  }
+  def size(): int { return 1 + this.a.size() + this.b.size(); }
+  def fold(): Expr {
+    var fa = this.a.fold();
+    var fb = this.b.fold();
+    if (fa is Lit) {
+      if (fb is Lit) {
+        var l = new Lit();
+        l.v = ((fa as Lit).v + (fb as Lit).v) % 65521;
+        return l;
+      }
+    }
+    var n = new Add();
+    n.a = fa;
+    n.b = fb;
+    return n;
+  }
+}
+class Mul extends Expr {
+  var a: Expr;
+  var b: Expr;
+  def eval(env: int[]): int {
+    return this.a.eval(env) * this.b.eval(env) % 65521;
+  }
+  def size(): int { return 1 + this.a.size() + this.b.size(); }
+  def fold(): Expr {
+    var fa = this.a.fold();
+    var fb = this.b.fold();
+    if (fa is Lit) {
+      if (fb is Lit) {
+        var l = new Lit();
+        l.v = (fa as Lit).v * (fb as Lit).v % 65521;
+        return l;
+      }
+    }
+    var n = new Mul();
+    n.a = fa;
+    n.b = fb;
+    return n;
+  }
+}
+def build(depth: int, seed: int): Expr {
+  if (depth <= 0) {
+    if (seed % 3 == 0) {
+      var v = new VarE();
+      v.i = seed % 8;
+      return v;
+    }
+    var l = new Lit();
+    l.v = seed % 97;
+    return l;
+  }
+  if (seed % 2 == 0) {
+    var a = new Add();
+    a.a = build(depth - 1, seed * 5 + 1);
+    a.b = build(depth - 1, seed * 3 + 2);
+    return a;
+  }
+  var m = new Mul();
+  m.a = build(depth - 1, seed * 7 + 1);
+  m.b = build(depth - 1, seed * 5 + 3);
+  return m;
+}
+def main() {
+  var tree = build(9, 1);
+  var env = new int[8];
+  var acc = 0;
+  var rep = 0;
+  while (rep < 10) {
+    env[rep % 8] = rep * 3 + 1;
+    var folded = tree.fold();
+    acc = (acc + folded.eval(env) + folded.size()) % 1000003;
+    rep = rep + 1;
+  }
+  print(acc);
+}
+)",
+                    12});
+
+  return Result;
+}

@@ -1,0 +1,528 @@
+//===- workloads/WorkloadsSparkOther.cpp - Spark/Neo4J/Dotty/STM workloads -===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniOO programs mirroring the paper's Spark-Perf suite (gauss-mix,
+/// dec-tree, naive-bayes), the Neo4J graph queries, the Dotty compiler,
+/// and STMBench7 over ScalaSTM.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadsInternal.h"
+
+using namespace incline::workloads;
+
+std::vector<Workload> incline::workloads::sparkAndOtherWorkloads() {
+  std::vector<Workload> Result;
+
+  // gauss-mix: Gaussian-mixture assignment loops — distance kernels
+  // reached through accessor methods; the paper's most-improved workload.
+  Result.push_back({"gauss-mix", "spark",
+                    "mixture-model EM; nested distance kernels",
+                    R"(
+class Point { var coords: int[]; }
+class Metric {
+  def combine(acc: int, diff: int): int { return acc; }
+}
+class Euclid extends Metric {
+  def combine(acc: int, diff: int): int { return acc + diff * diff; }
+}
+class Manhattan extends Metric {
+  def combine(acc: int, diff: int): int {
+    if (diff < 0) { return acc - diff; }
+    return acc + diff;
+  }
+}
+class Gaussian {
+  var mean: int[];
+  var count: int;
+  var accum: int[];
+  var metric: Metric;
+  def dist(p: Point): int {
+    var i = 0;
+    var d = 0;
+    while (i < this.mean.length) {
+      var diff = p.coords[i] - this.mean[i];
+      d = this.metric.combine(d, diff);
+      i = i + 1;
+    }
+    return d;
+  }
+  def absorb(p: Point) {
+    var i = 0;
+    while (i < this.accum.length) {
+      this.accum[i] = this.accum[i] + p.coords[i];
+      i = i + 1;
+    }
+    this.count = this.count + 1;
+  }
+  def refit() {
+    if (this.count == 0) { return; }
+    var i = 0;
+    while (i < this.mean.length) {
+      this.mean[i] = this.accum[i] / this.count;
+      this.accum[i] = 0;
+      i = i + 1;
+    }
+    this.count = 0;
+  }
+}
+def nearest(gs: Gaussian[], p: Point): int {
+  var best = 0;
+  var bestD = gs[0].dist(p);
+  var k = 1;
+  while (k < gs.length) {
+    var d = gs[k].dist(p);
+    if (d < bestD) {
+      bestD = d;
+      best = k;
+    }
+    k = k + 1;
+  }
+  return best;
+}
+def main() {
+  var dim = 6;
+  var n = 120;
+  var points = new Point[120];
+  var i = 0;
+  while (i < n) {
+    var p = new Point();
+    p.coords = new int[6];
+    var d = 0;
+    while (d < dim) {
+      p.coords[d] = (i * 31 + d * 17) % 50 + i % 4 * 100;
+      d = d + 1;
+    }
+    points[i] = p;
+    i = i + 1;
+  }
+  var gs = new Gaussian[4];
+  var k = 0;
+  while (k < 4) {
+    var g = new Gaussian();
+    g.mean = new int[6];
+    g.accum = new int[6];
+    if (k % 2 == 0) { g.metric = new Euclid(); }
+    else { g.metric = new Manhattan(); }
+    var d2 = 0;
+    while (d2 < dim) {
+      g.mean[d2] = k * 100 + d2;
+      d2 = d2 + 1;
+    }
+    gs[k] = g;
+    k = k + 1;
+  }
+  var em = 0;
+  var checksum = 0;
+  while (em < 8) {
+    var pi = 0;
+    while (pi < n) {
+      var best = nearest(gs, points[pi]);
+      gs[best].absorb(points[pi]);
+      checksum = (checksum + best) % 65521;
+      pi = pi + 1;
+    }
+    var gk = 0;
+    while (gk < 4) {
+      gs[gk].refit();
+      gk = gk + 1;
+    }
+    em = em + 1;
+  }
+  var gk2 = 0;
+  while (gk2 < 4) {
+    checksum = (checksum + gs[gk2].mean[0]) % 65521;
+    gk2 = gk2 + 1;
+  }
+  print(checksum);
+}
+)",
+                    12});
+
+  // dec-tree: decision-tree classification — recursive polymorphic
+  // classify over Split/Leaf nodes, driven by a feature-vector loop.
+  Result.push_back({"dec-tree", "spark",
+                    "decision-tree classification; recursive dispatch",
+                    R"(
+class TreeN { def classify(f: int[]): int { return 0; } }
+class Split extends TreeN {
+  var feature: int;
+  var threshold: int;
+  var lo: TreeN;
+  var hi: TreeN;
+  def classify(f: int[]): int {
+    if (f[this.feature] < this.threshold) {
+      return this.lo.classify(f);
+    }
+    return this.hi.classify(f);
+  }
+}
+class LeafT extends TreeN {
+  var label: int;
+  def classify(f: int[]): int { return this.label; }
+}
+def buildTree(depth: int, seed: int): TreeN {
+  if (depth <= 0) {
+    var l = new LeafT();
+    l.label = seed % 5;
+    return l;
+  }
+  var s = new Split();
+  s.feature = seed % 8;
+  s.threshold = seed * 7 % 64;
+  s.lo = buildTree(depth - 1, seed * 3 + 1);
+  s.hi = buildTree(depth - 1, seed * 5 + 2);
+  return s;
+}
+def main() {
+  var tree = buildTree(8, 1);
+  var hist = new int[5];
+  var rep = 0;
+  while (rep < 15) {
+    var s = 0;
+    while (s < 250) {
+      var f = new int[8];
+      var d = 0;
+      while (d < 8) {
+        f[d] = (s * 13 + d * 29 + rep) % 64;
+        d = d + 1;
+      }
+      var label = tree.classify(f);
+      hist[label] = hist[label] + 1;
+      s = s + 1;
+    }
+    rep = rep + 1;
+  }
+  var checksum = 0;
+  var h = 0;
+  while (h < 5) {
+    checksum = (checksum * 31 + hist[h]) % 1000003;
+    h = h + 1;
+  }
+  print(checksum);
+}
+)",
+                    12});
+
+  // naive-bayes: counting + classification through per-class counter
+  // objects — the per-feature accessor methods must fold into the loop.
+  Result.push_back({"naive-bayes", "spark",
+                    "naive Bayes training/classification; counter accessors",
+                    R"(
+class Counter {
+  var counts: int[];
+  var total: int;
+  def bump(f: int) {
+    this.counts[f] = this.counts[f] + 1;
+    this.total = this.total + 1;
+  }
+  def weightOf(f: int): int {
+    return (this.counts[f] * 1000 + 1) / (this.total + 2);
+  }
+}
+def trainDoc(c: Counter, seed: int) {
+  var w = 0;
+  while (w < 10) {
+    c.bump((seed * 7 + w * 13) % 32);
+    w = w + 1;
+  }
+}
+def scoreDoc(c: Counter, seed: int): int {
+  var score = 0;
+  var w = 0;
+  while (w < 10) {
+    score = score + c.weightOf((seed * 7 + w * 13) % 32);
+    w = w + 1;
+  }
+  return score;
+}
+def main() {
+  var spam = new Counter();
+  spam.counts = new int[32];
+  var ham = new Counter();
+  ham.counts = new int[32];
+  var doc = 0;
+  while (doc < 150) {
+    if (doc % 3 == 0) { trainDoc(spam, doc); }
+    else { trainDoc(ham, doc); }
+    doc = doc + 1;
+  }
+  var correct = 0;
+  var rep = 0;
+  while (rep < 10) {
+    var d = 0;
+    while (d < 150) {
+      var isSpam = scoreDoc(spam, d) > scoreDoc(ham, d);
+      if (isSpam == (d % 3 == 0)) { correct = correct + 1; }
+      d = d + 1;
+    }
+    rep = rep + 1;
+  }
+  print(correct);
+}
+)",
+                    12});
+
+  // neo4j: graph-query traversal — predicate objects over adjacency
+  // arrays; polymorphic test() in a two-level loop.
+  Result.push_back({"neo4j", "other",
+                    "graph queries; predicate dispatch over adjacency",
+                    R"(
+class GNode {
+  var id: int;
+  var kind: int;
+  var adjStart: int;
+  var adjCount: int;
+}
+class Pred { def test(n: GNode): bool { return true; } }
+class KindPred extends Pred {
+  var k: int;
+  def test(n: GNode): bool { return n.kind == this.k; }
+}
+class DegreePred extends Pred {
+  var minDegree: int;
+  def test(n: GNode): bool { return n.adjCount >= this.minDegree; }
+}
+def query(nodes: GNode[], adj: int[], p: Pred): int {
+  var i = 0;
+  var acc = 0;
+  while (i < nodes.length) {
+    var n = nodes[i];
+    if (p.test(n)) {
+      var j = 0;
+      while (j < n.adjCount) {
+        acc = (acc + nodes[adj[n.adjStart + j]].kind + 1) % 65521;
+        j = j + 1;
+      }
+    }
+    i = i + 1;
+  }
+  return acc;
+}
+def main() {
+  var n = 120;
+  var degree = 4;
+  var nodes = new GNode[120];
+  var adj = new int[480];
+  var i = 0;
+  while (i < n) {
+    var node = new GNode();
+    node.id = i;
+    node.kind = i * 7 % 5;
+    node.adjStart = i * degree;
+    node.adjCount = degree;
+    nodes[i] = node;
+    var j = 0;
+    while (j < degree) {
+      adj[i * degree + j] = (i + j * j + 1) % n;
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  var kp = new KindPred();
+  kp.k = 2;
+  var dp = new DegreePred();
+  dp.minDegree = 4;
+  var acc = 0;
+  var rep = 0;
+  while (rep < 25) {
+    acc = (acc + query(nodes, adj, kp)) % 1000003;
+    acc = (acc + query(nodes, adj, dp)) % 1000003;
+    rep = rep + 1;
+  }
+  print(acc);
+}
+)",
+                    15});
+
+  // dotty: a typechecker-shaped pass — subtype-lattice joins through
+  // virtual typeOf methods over a term tree (deeper trees, different
+  // class mix than scalac).
+  Result.push_back({"dotty", "other",
+                    "typechecker pass; lattice joins over term trees",
+                    R"(
+def joinTypes(a: int, b: int): int {
+  if (a == b) { return a; }
+  if (a > b) { return joinTypes(b, a); }
+  if (a == 0) { return b; }
+  return 9;
+}
+class Term {
+  def typeOf(env: int[]): int { return 0; }
+  def depth(): int { return 1; }
+}
+class Lit2 extends Term {
+  var kind: int;
+  def typeOf(env: int[]): int { return this.kind; }
+}
+class Ref extends Term {
+  var slot: int;
+  def typeOf(env: int[]): int { return env[this.slot]; }
+}
+class App extends Term {
+  var fn: Term;
+  var arg: Term;
+  def typeOf(env: int[]): int {
+    return joinTypes(this.fn.typeOf(env), this.arg.typeOf(env));
+  }
+  def depth(): int {
+    var df = this.fn.depth();
+    var da = this.arg.depth();
+    if (df > da) { return df + 1; }
+    return da + 1;
+  }
+}
+class Ascribe extends Term {
+  var body: Term;
+  var ty: int;
+  def typeOf(env: int[]): int {
+    return joinTypes(this.body.typeOf(env), this.ty);
+  }
+  def depth(): int { return this.body.depth() + 1; }
+}
+def buildTerm(depth: int, seed: int): Term {
+  if (depth <= 0) {
+    if (seed % 2 == 0) {
+      var l = new Lit2();
+      l.kind = seed % 8 + 1;
+      return l;
+    }
+    var r = new Ref();
+    r.slot = seed % 6;
+    return r;
+  }
+  if (seed % 3 == 0) {
+    var asc = new Ascribe();
+    asc.body = buildTerm(depth - 1, seed * 5 + 1);
+    asc.ty = seed % 8 + 1;
+    return asc;
+  }
+  var app = new App();
+  app.fn = buildTerm(depth - 1, seed * 3 + 1);
+  app.arg = buildTerm(depth - 1, seed * 7 + 2);
+  return app;
+}
+def main() {
+  var term = buildTerm(10, 1);
+  var env = new int[6];
+  var acc = 0;
+  var rep = 0;
+  while (rep < 12) {
+    env[rep % 6] = rep % 8 + 1;
+    acc = (acc + term.typeOf(env) * 31 + term.depth()) % 1000003;
+    rep = rep + 1;
+  }
+  print(acc);
+}
+)",
+                    12});
+
+  // stmbench: transactional linked-list operations through polymorphic
+  // transaction objects — pointer chasing plus dispatch.
+  Result.push_back({"stmbench", "other",
+                    "STM-like list transactions; op-object dispatch",
+                    R"(
+class Cell {
+  var value: int;
+  var next: Cell;
+}
+class LinkedList {
+  var head: Cell;
+  var size: int;
+  def insert(v: int) {
+    var c = new Cell();
+    c.value = v;
+    c.next = this.head;
+    this.head = c;
+    this.size = this.size + 1;
+  }
+  def remove(v: int): int {
+    if (this.head == null) { return 0; }
+    if (this.head.value == v) {
+      this.head = this.head.next;
+      this.size = this.size - 1;
+      return 1;
+    }
+    var cur = this.head;
+    while (cur.next != null) {
+      if (cur.next.value == v) {
+        cur.next = cur.next.next;
+        this.size = this.size - 1;
+        return 1;
+      }
+      cur = cur.next;
+    }
+    return 0;
+  }
+  def contains(v: int): bool {
+    var cur = this.head;
+    var found = false;
+    while (cur != null) {
+      if (cur.value == v) { found = true; }
+      cur = cur.next;
+    }
+    return found;
+  }
+}
+class TxOp { def apply(l: LinkedList): int { return 0; } }
+class InsertOp extends TxOp {
+  var v: int;
+  def apply(l: LinkedList): int {
+    l.insert(this.v);
+    return 1;
+  }
+}
+class RemoveOp extends TxOp {
+  var v: int;
+  def apply(l: LinkedList): int { return l.remove(this.v); }
+}
+class LookupOp extends TxOp {
+  var v: int;
+  def apply(l: LinkedList): int {
+    if (l.contains(this.v)) { return 1; }
+    return 0;
+  }
+}
+def main() {
+  var ops = new TxOp[30];
+  var k = 0;
+  while (k < 10) {
+    var ins = new InsertOp();
+    ins.v = k * 3 % 10;
+    ops[k] = ins;
+    var rem = new RemoveOp();
+    rem.v = k * 7 % 10;
+    ops[k + 10] = rem;
+    var look = new LookupOp();
+    look.v = k % 10;
+    ops[k + 20] = look;
+    k = k + 1;
+  }
+  var list = new LinkedList();
+  var prime = 0;
+  while (prime < 50) {
+    list.insert(prime + 10);
+    prime = prime + 1;
+  }
+  var acc = 0;
+  var rep = 0;
+  while (rep < 60) {
+    var o = 0;
+    while (o < 30) {
+      acc = (acc + ops[o].apply(list)) % 1000003;
+      o = o + 1;
+    }
+    rep = rep + 1;
+  }
+  print(acc);
+  print(list.size);
+}
+)",
+                    15});
+
+  return Result;
+}

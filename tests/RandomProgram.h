@@ -1,0 +1,37 @@
+//===- tests/RandomProgram.h - Random well-typed MiniOO generator ----------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates random, deterministic (seeded), well-typed, trap-free MiniOO
+/// programs for differential testing: the interpreter's output on the
+/// unoptimized program is the oracle against every optimization pipeline
+/// and every inliner policy.
+///
+/// Trap freedom by construction:
+///  * divisions/mods divide by `d*d + 1` (always positive);
+///  * array indices go through a generated `idx` helper that maps any int
+///    into [0, len);
+///  * object variables are always initialized with `new C()` and object
+///    fields are never reference-typed, so receivers are non-null;
+///  * loops only appear in the bounded `var i = 0; while (i < K)` shape;
+///  * recursion only appears in the structurally decreasing shape.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_TESTS_RANDOMPROGRAM_H
+#define INCLINE_TESTS_RANDOMPROGRAM_H
+
+#include <cstdint>
+#include <string>
+
+namespace incline::testing {
+
+/// Generates one program from \p Seed. Programs print several checksums.
+std::string generateRandomProgram(uint64_t Seed);
+
+} // namespace incline::testing
+
+#endif // INCLINE_TESTS_RANDOMPROGRAM_H

@@ -1,0 +1,61 @@
+//===- tests/TestHelpers.h - Shared test utilities --------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_TESTS_TESTHELPERS_H
+#define INCLINE_TESTS_TESTHELPERS_H
+
+#include "frontend/Compiler.h"
+#include "interp/Interpreter.h"
+#include "ir/IRPrinter.h"
+#include "ir/IRVerifier.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace incline::testing {
+
+/// Compiles MiniOO source, failing the test on diagnostics.
+inline std::unique_ptr<ir::Module> compile(std::string_view Source) {
+  frontend::CompileResult R = frontend::compileProgram(Source);
+  EXPECT_TRUE(R.succeeded()) << frontend::renderDiagnostics(R.Diags);
+  return std::move(R.Mod);
+}
+
+/// Runs `main` and returns the program output; fails the test on traps.
+inline std::string runOutput(const ir::Module &M) {
+  interp::ExecResult R = interp::runMain(M);
+  EXPECT_TRUE(R.ok()) << R.TrapMessage;
+  return R.Output;
+}
+
+/// Asserts that every function in \p M verifies, printing offenders.
+inline void expectVerified(const ir::Module &M) {
+  std::vector<std::string> Problems = ir::verifyModule(M);
+  EXPECT_TRUE(Problems.empty()) << [&] {
+    std::string All;
+    for (const std::string &P : Problems)
+      All += P + "\n";
+    return All + ir::printModule(M);
+  }();
+}
+
+/// Asserts \p F verifies, printing it on failure.
+inline void expectVerified(const ir::Function &F) {
+  std::vector<std::string> Problems = ir::verifyFunction(F);
+  EXPECT_TRUE(Problems.empty()) << [&] {
+    std::string All;
+    for (const std::string &P : Problems)
+      All += P + "\n";
+    return All + ir::printFunction(F);
+  }();
+}
+
+} // namespace incline::testing
+
+#endif // INCLINE_TESTS_TESTHELPERS_H

@@ -1,0 +1,237 @@
+//===- tests/frontend_compiler_test.cpp - Parser/Sema/Lowering tests -------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+
+#include "ir/IRPrinter.h"
+#include "ir/IRVerifier.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace incline;
+using namespace incline::frontend;
+
+namespace {
+
+TEST(CompilerTest, MinimalMain) {
+  CompileResult R = compileProgram("def main() { print(42); }");
+  ASSERT_TRUE(R.succeeded()) << renderDiagnostics(R.Diags);
+  ir::Function *Main = R.Mod->function("main");
+  ASSERT_NE(Main, nullptr);
+  EXPECT_EQ(Main->numParams(), 0u);
+  EXPECT_TRUE(ir::verifyFunction(*Main).empty());
+}
+
+TEST(CompilerTest, ArithmeticAndLocals) {
+  CompileResult R = compileProgram(R"(
+    def main() {
+      var x = 1 + 2 * 3;
+      var y: int = x - 4 / 2;
+      print(x % y);
+    }
+  )");
+  ASSERT_TRUE(R.succeeded()) << renderDiagnostics(R.Diags);
+}
+
+TEST(CompilerTest, IfElseProducesPhi) {
+  CompileResult R = compileProgram(R"(
+    def f(c: bool): int {
+      var x = 0;
+      if (c) { x = 1; } else { x = 2; }
+      return x;
+    }
+    def main() { print(f(true)); }
+  )");
+  ASSERT_TRUE(R.succeeded()) << renderDiagnostics(R.Diags);
+  std::string Text = ir::printFunction(*R.Mod->function("f"));
+  EXPECT_NE(Text.find("phi"), std::string::npos) << Text;
+}
+
+TEST(CompilerTest, WhileLoopProducesLoopPhi) {
+  CompileResult R = compileProgram(R"(
+    def sum(n: int): int {
+      var i = 0;
+      var acc = 0;
+      while (i < n) { acc = acc + i; i = i + 1; }
+      return acc;
+    }
+    def main() { print(sum(10)); }
+  )");
+  ASSERT_TRUE(R.succeeded()) << renderDiagnostics(R.Diags);
+  std::string Text = ir::printFunction(*R.Mod->function("sum"));
+  EXPECT_NE(Text.find("phi"), std::string::npos) << Text;
+  EXPECT_TRUE(ir::verifyModule(*R.Mod).empty());
+}
+
+TEST(CompilerTest, ClassesMethodsFields) {
+  CompileResult R = compileProgram(R"(
+    class Point {
+      var x: int;
+      var y: int;
+      def sum(): int { return this.x + this.y; }
+    }
+    def main() {
+      var p = new Point();
+      p.x = 3;
+      p.y = 4;
+      print(p.sum());
+    }
+  )");
+  ASSERT_TRUE(R.succeeded()) << renderDiagnostics(R.Diags);
+  ASSERT_NE(R.Mod->function("Point.sum"), nullptr);
+  // Method takes `this` as parameter 0.
+  EXPECT_EQ(R.Mod->function("Point.sum")->numParams(), 1u);
+  auto Id = R.Mod->classes().classIdOf("Point");
+  ASSERT_TRUE(Id.has_value());
+  EXPECT_EQ(R.Mod->classes().fieldLayout(*Id).size(), 2u);
+}
+
+TEST(CompilerTest, InheritanceAndOverride) {
+  CompileResult R = compileProgram(R"(
+    class Shape { def area(): int { return 0; } }
+    class Square extends Shape {
+      var side: int;
+      def area(): int { return this.side * this.side; }
+    }
+    def main() {
+      var s: Shape = new Square();
+      print(s.area());
+    }
+  )");
+  ASSERT_TRUE(R.succeeded()) << renderDiagnostics(R.Diags);
+  auto &Classes = R.Mod->classes();
+  int Shape = *Classes.classIdOf("Shape");
+  int Square = *Classes.classIdOf("Square");
+  EXPECT_TRUE(Classes.isSubclassOf(Square, Shape));
+  EXPECT_FALSE(Classes.isSubclassOf(Shape, Square));
+  const types::MethodInfo *M = Classes.resolveMethod(Square, "area");
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->QualifiedName, "Square.area");
+}
+
+TEST(CompilerTest, ForwardClassReference) {
+  // `Derived extends Base` with Base declared later must still resolve.
+  CompileResult R = compileProgram(R"(
+    class Derived extends Base { }
+    class Base { }
+    def main() { }
+  )");
+  ASSERT_TRUE(R.succeeded()) << renderDiagnostics(R.Diags);
+}
+
+TEST(CompilerTest, ArraysAndLength) {
+  CompileResult R = compileProgram(R"(
+    def main() {
+      var xs = new int[10];
+      var i = 0;
+      while (i < xs.length) { xs[i] = i * i; i = i + 1; }
+      print(xs[5]);
+    }
+  )");
+  ASSERT_TRUE(R.succeeded()) << renderDiagnostics(R.Diags);
+}
+
+TEST(CompilerTest, IsAndAsOperators) {
+  CompileResult R = compileProgram(R"(
+    class A { }
+    class B extends A { var v: int; }
+    def main() {
+      var a: A = new B();
+      if (a is B) { print((a as B).v); }
+    }
+  )");
+  ASSERT_TRUE(R.succeeded()) << renderDiagnostics(R.Diags);
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics
+//===----------------------------------------------------------------------===//
+
+void expectError(std::string_view Source, std::string_view Needle) {
+  CompileResult R = compileProgram(Source);
+  ASSERT_FALSE(R.succeeded()) << "expected a diagnostic containing '"
+                              << Needle << "'";
+  std::string All = renderDiagnostics(R.Diags);
+  EXPECT_NE(All.find(Needle), std::string::npos) << All;
+}
+
+TEST(CompilerDiagnosticsTest, UndeclaredVariable) {
+  expectError("def main() { print(x); }", "undeclared variable");
+}
+
+TEST(CompilerDiagnosticsTest, TypeMismatchInArithmetic) {
+  expectError("def main() { var x = 1 + true; }", "arithmetic requires int");
+}
+
+TEST(CompilerDiagnosticsTest, UnknownFunction) {
+  expectError("def main() { nope(); }", "unknown function");
+}
+
+TEST(CompilerDiagnosticsTest, UnknownMethod) {
+  expectError("class A { } def main() { var a = new A(); a.m(); }",
+              "no method");
+}
+
+TEST(CompilerDiagnosticsTest, WrongArgumentCount) {
+  expectError("def f(x: int) { } def main() { f(); }", "expects 1 arguments");
+}
+
+TEST(CompilerDiagnosticsTest, DuplicateClass) {
+  expectError("class A { } class A { } def main() { }", "duplicate class");
+}
+
+TEST(CompilerDiagnosticsTest, UnknownSuperclass) {
+  expectError("class A extends Nope { } def main() { }",
+              "unknown or cyclic superclass");
+}
+
+TEST(CompilerDiagnosticsTest, InheritanceCycle) {
+  expectError("class A extends B { } class B extends A { } def main() { }",
+              "unknown or cyclic superclass");
+}
+
+TEST(CompilerDiagnosticsTest, OverrideSignatureMismatch) {
+  expectError(R"(
+    class A { def m(): int { return 1; } }
+    class B extends A { def m(): bool { return true; } }
+    def main() { }
+  )",
+              "changes the method signature");
+}
+
+TEST(CompilerDiagnosticsTest, RedeclaredLocal) {
+  expectError("def main() { var x = 1; var x = 2; }", "redeclaration");
+}
+
+TEST(CompilerDiagnosticsTest, ThisOutsideMethod) {
+  expectError("def main() { print(this.x); }", "'this' outside a method");
+}
+
+TEST(CompilerDiagnosticsTest, NullInference) {
+  expectError("def main() { var x = null; }", "cannot infer");
+}
+
+TEST(CompilerDiagnosticsTest, ReturnTypeMismatch) {
+  expectError("def f(): int { return true; } def main() { }",
+              "type mismatch in return");
+}
+
+TEST(CompilerDiagnosticsTest, MissingSemicolonIsSyntaxError) {
+  expectError("def main() { print(1) }", "expected ';'");
+}
+
+TEST(CompilerDiagnosticsTest, BlockScopingHidesInnerDecls) {
+  expectError(R"(
+    def main() {
+      if (true) { var x = 1; }
+      print(x);
+    }
+  )",
+              "undeclared variable");
+}
+
+} // namespace

@@ -1,0 +1,109 @@
+//===- tests/frontend_lexer_test.cpp - Lexer unit tests --------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace incline::frontend;
+
+namespace {
+
+std::vector<TokenKind> kindsOf(std::string_view Source) {
+  Lexer Lex(Source);
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : Lex.lexAll())
+    Kinds.push_back(T.Kind);
+  return Kinds;
+}
+
+TEST(LexerTest, EmptyInput) {
+  EXPECT_EQ(kindsOf(""), std::vector<TokenKind>{TokenKind::EndOfFile});
+  EXPECT_EQ(kindsOf("   \n\t "), std::vector<TokenKind>{TokenKind::EndOfFile});
+}
+
+TEST(LexerTest, Keywords) {
+  auto Kinds = kindsOf("class extends var def if else while return print new "
+                       "true false null this int bool is as");
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwClass, TokenKind::KwExtends, TokenKind::KwVar,
+      TokenKind::KwDef,   TokenKind::KwIf,      TokenKind::KwElse,
+      TokenKind::KwWhile, TokenKind::KwReturn,  TokenKind::KwPrint,
+      TokenKind::KwNew,   TokenKind::KwTrue,    TokenKind::KwFalse,
+      TokenKind::KwNull,  TokenKind::KwThis,    TokenKind::KwInt,
+      TokenKind::KwBool,  TokenKind::KwIs,      TokenKind::KwAs,
+      TokenKind::EndOfFile};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, IdentifiersVsKeywords) {
+  Lexer Lex("classy _x x1 whileTrue");
+  std::vector<Token> Tokens = Lex.lexAll();
+  ASSERT_EQ(Tokens.size(), 5u);
+  for (size_t I = 0; I < 4; ++I)
+    EXPECT_EQ(Tokens[I].Kind, TokenKind::Identifier) << I;
+  EXPECT_EQ(Tokens[0].Text, "classy");
+  EXPECT_EQ(Tokens[3].Text, "whileTrue");
+}
+
+TEST(LexerTest, IntLiteralValue) {
+  Lexer Lex("0 42 123456789");
+  std::vector<Token> Tokens = Lex.lexAll();
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].IntValue, 0);
+  EXPECT_EQ(Tokens[1].IntValue, 42);
+  EXPECT_EQ(Tokens[2].IntValue, 123456789);
+}
+
+TEST(LexerTest, IntLiteralSaturatesInsteadOfOverflowing) {
+  Lexer Lex("99999999999999999999999999");
+  Token T = Lex.next();
+  EXPECT_EQ(T.Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(T.IntValue, INT64_MAX);
+}
+
+TEST(LexerTest, OperatorsMaximalMunch) {
+  auto Kinds = kindsOf("== = != ! <= < >= > && || -> -");
+  std::vector<TokenKind> Expected = {
+      TokenKind::EqEq,   TokenKind::Assign,    TokenKind::BangEq,
+      TokenKind::Bang,   TokenKind::LessEq,    TokenKind::Less,
+      TokenKind::GreaterEq, TokenKind::Greater, TokenKind::AmpAmp,
+      TokenKind::PipePipe,  TokenKind::Arrow,   TokenKind::Minus,
+      TokenKind::EndOfFile};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, Comments) {
+  auto Kinds = kindsOf("a // line comment\n b /* block \n comment */ c");
+  std::vector<TokenKind> Expected = {TokenKind::Identifier,
+                                     TokenKind::Identifier,
+                                     TokenKind::Identifier,
+                                     TokenKind::EndOfFile};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  Lexer Lex("a\n  b");
+  Token A = Lex.next();
+  Token B = Lex.next();
+  EXPECT_EQ(A.Loc.Line, 1u);
+  EXPECT_EQ(A.Loc.Column, 1u);
+  EXPECT_EQ(B.Loc.Line, 2u);
+  EXPECT_EQ(B.Loc.Column, 3u);
+}
+
+TEST(LexerTest, InvalidCharacterProducesErrorToken) {
+  auto Kinds = kindsOf("a # b");
+  ASSERT_EQ(Kinds.size(), 4u);
+  EXPECT_EQ(Kinds[1], TokenKind::Error);
+}
+
+TEST(LexerTest, SingleAmpIsError) {
+  auto Kinds = kindsOf("a & b");
+  EXPECT_EQ(Kinds[1], TokenKind::Error);
+}
+
+} // namespace

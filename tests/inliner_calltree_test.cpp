@@ -1,0 +1,477 @@
+//===- tests/inliner_calltree_test.cpp - Call tree & metrics tests ---------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "inliner/CallTree.h"
+
+#include "TestHelpers.h"
+#include "inliner/ClusterAnalysis.h"
+#include "inliner/CostBenefit.h"
+#include "inliner/ExpansionPhase.h"
+#include "ir/IRCloner.h"
+
+#include <gtest/gtest.h>
+
+using namespace incline;
+using namespace incline::inliner;
+using incline::testing::compile;
+
+namespace {
+
+/// Compiles, profiles (one interpreted run of main), and returns both.
+struct ProfiledProgram {
+  std::unique_ptr<ir::Module> M;
+  profile::ProfileTable Profiles;
+};
+
+ProfiledProgram profiledProgram(std::string_view Source) {
+  ProfiledProgram P;
+  P.M = compile(Source);
+  interp::ExecResult R = interp::runMain(*P.M, &P.Profiles);
+  EXPECT_TRUE(R.ok()) << R.TrapMessage;
+  return P;
+}
+
+/// Builds a call tree rooted at \p Symbol's compilation copy.
+std::unique_ptr<CallTree> buildTree(const InlinerConfig &Config,
+                                    ProfiledProgram &P,
+                                    const std::string &Symbol) {
+  auto Tree = std::make_unique<CallTree>(Config, *P.M, P.Profiles);
+  ir::ClonedFunction Clone =
+      ir::cloneFunction(*P.M->function(Symbol), Symbol);
+  Tree->buildRoot(std::move(Clone.F), Symbol);
+  return Tree;
+}
+
+//===----------------------------------------------------------------------===//
+// Cost-benefit tuple algebra (Eqs. 9-11)
+//===----------------------------------------------------------------------===//
+
+TEST(CostBenefitTest, MergeAddsComponentwise) {
+  CostBenefit A(6.0, 2.0);
+  CostBenefit B(3.0, 4.0);
+  CostBenefit C = A.merged(B);
+  EXPECT_DOUBLE_EQ(C.Benefit, 9.0);
+  EXPECT_DOUBLE_EQ(C.Cost, 6.0);
+}
+
+TEST(CostBenefitTest, RatioOrdering) {
+  CostBenefit A(6.0, 2.0); // ratio 3
+  CostBenefit B(5.0, 1.0); // ratio 5
+  EXPECT_TRUE(B.betterThan(A));
+  EXPECT_FALSE(A.betterThan(B));
+  EXPECT_TRUE(A.betterThan(A)); // Reflexive (>=).
+}
+
+TEST(CostBenefitTest, MergeIsCommutativeAndAssociative) {
+  CostBenefit A(1.0, 2.0), B(3.0, 4.0), C(5.0, 6.0);
+  CostBenefit AB = A.merged(B), BA = B.merged(A);
+  EXPECT_DOUBLE_EQ(AB.Benefit, BA.Benefit);
+  EXPECT_DOUBLE_EQ(AB.Cost, BA.Cost);
+  CostBenefit L = A.merged(B).merged(C), R = A.merged(B.merged(C));
+  EXPECT_DOUBLE_EQ(L.Benefit, R.Benefit);
+  EXPECT_DOUBLE_EQ(L.Cost, R.Cost);
+}
+
+TEST(CostBenefitTest, MergingHigherRatioClusterImprovesRatio) {
+  // The analysis-phase invariant: merging m with ratio(m) > ratio(n)
+  // yields ratio strictly between the two.
+  CostBenefit N(2.0, 4.0); // 0.5
+  CostBenefit M(6.0, 2.0); // 3.0
+  double Merged = N.merged(M).ratio();
+  EXPECT_GT(Merged, N.ratio());
+  EXPECT_LT(Merged, M.ratio());
+}
+
+//===----------------------------------------------------------------------===//
+// Call-tree construction
+//===----------------------------------------------------------------------===//
+
+TEST(CallTreeTest, RootChildrenKinds) {
+  ProfiledProgram P = profiledProgram(R"(
+    class A { def m(): int { return 1; } }
+    class B extends A { def m(): int { return 2; } }
+    def leaf(): int { return 5; }
+    def main() {
+      print(leaf());
+      var a: A = new A();
+      // Canonicalization has not run on the tree root, so this stays a
+      // virtual callsite with a monomorphic receiver profile.
+      print(a.m());
+    }
+  )");
+  InlinerConfig Config;
+  auto Tree = buildTree(Config, P, "main");
+  CallNode *Root = Tree->root();
+  ASSERT_EQ(Root->Kind, CallNodeKind::Expanded);
+  ASSERT_EQ(Root->Children.size(), 2u);
+
+  const CallNode &Leaf = *Root->Children[0];
+  EXPECT_EQ(Leaf.Kind, CallNodeKind::Cutoff);
+  EXPECT_EQ(Leaf.CalleeSymbol, "leaf");
+
+  const CallNode &Poly = *Root->Children[1];
+  EXPECT_EQ(Poly.Kind, CallNodeKind::Polymorphic);
+  ASSERT_EQ(Poly.Children.size(), 1u); // Only A observed.
+  EXPECT_EQ(Poly.Children[0]->CalleeSymbol, "A.m");
+  EXPECT_NEAR(Poly.Children[0]->Probability, 1.0, 1e-9);
+}
+
+TEST(CallTreeTest, VirtualCallWithoutProfileIsGeneric) {
+  InlinerConfig Config;
+  // Build the tree WITHOUT running the interpreter: no receiver profiles.
+  ProfiledProgram P;
+  P.M = compile(R"(
+    class A { def m(): int { return 1; } }
+    class B extends A { def m(): int { return 2; } }
+    def f(a: A): int { return a.m(); }
+    def main() { }
+  )");
+  CallTree Tree(Config, *P.M, P.Profiles);
+  ir::ClonedFunction Clone = ir::cloneFunction(*P.M->function("f"), "f");
+  Tree.buildRoot(std::move(Clone.F), "f");
+  ASSERT_EQ(Tree.root()->Children.size(), 1u);
+  EXPECT_EQ(Tree.root()->Children[0]->Kind, CallNodeKind::Generic);
+}
+
+TEST(CallTreeTest, PolymorphicProfileLimitsRespected) {
+  // Five receiver classes, each 20%: with MaxTargets=3 only the three
+  // most frequent (ties broken by class id) are speculated.
+  ProfiledProgram P = profiledProgram(R"(
+    class A { def m(): int { return 0; } }
+    class B extends A { def m(): int { return 1; } }
+    class C extends A { def m(): int { return 2; } }
+    class D extends A { def m(): int { return 3; } }
+    class E extends A { def m(): int { return 4; } }
+    def f(a: A): int { return a.m(); }
+    def main() {
+      var i = 0;
+      while (i < 10) {
+        print(f(new A())); print(f(new B())); print(f(new C()));
+        print(f(new D())); print(f(new E()));
+        i = i + 1;
+      }
+    }
+  )");
+  InlinerConfig Config;
+  Config.MaxPolymorphicTargets = 3;
+  auto Tree = buildTree(Config, P, "f");
+  ASSERT_EQ(Tree->root()->Children.size(), 1u);
+  const CallNode &Poly = *Tree->root()->Children[0];
+  ASSERT_EQ(Poly.Kind, CallNodeKind::Polymorphic);
+  EXPECT_EQ(Poly.Children.size(), 3u);
+  for (const auto &Target : Poly.Children)
+    EXPECT_NEAR(Target->Probability, 0.2, 1e-9);
+}
+
+TEST(CallTreeTest, LowProbabilityReceiversNotSpeculated) {
+  // 95% A, 5% B: B is below the 10% probability floor.
+  ProfiledProgram P = profiledProgram(R"(
+    class A { def m(): int { return 0; } }
+    class B extends A { def m(): int { return 1; } }
+    def f(a: A): int { return a.m(); }
+    def main() {
+      var i = 0;
+      while (i < 19) { print(f(new A())); i = i + 1; }
+      print(f(new B()));
+    }
+  )");
+  InlinerConfig Config;
+  auto Tree = buildTree(Config, P, "f");
+  const CallNode &Poly = *Tree->root()->Children[0];
+  ASSERT_EQ(Poly.Kind, CallNodeKind::Polymorphic);
+  ASSERT_EQ(Poly.Children.size(), 1u);
+  EXPECT_EQ(Poly.Children[0]->CalleeSymbol, "A.m");
+}
+
+TEST(CallTreeTest, FrequencyReflectsLoopProfile) {
+  ProfiledProgram P = profiledProgram(R"(
+    def leaf(): int { return 1; }
+    def main() {
+      var i = 0;
+      var acc = 0;
+      while (i < 100) { acc = acc + leaf(); i = i + 1; }
+      print(acc);
+    }
+  )");
+  InlinerConfig Config;
+  auto Tree = buildTree(Config, P, "main");
+  ASSERT_EQ(Tree->root()->Children.size(), 1u);
+  const CallNode &Leaf = *Tree->root()->Children[0];
+  // The loop body ran 100 times per invocation of main.
+  EXPECT_NEAR(Leaf.Frequency, 100.0, 5.0);
+}
+
+TEST(CallTreeTest, ArgsMoreConcreteCounted) {
+  ProfiledProgram P = profiledProgram(R"(
+    class A { }
+    class B extends A { }
+    def callee(a: A, x: int): int { return x; }
+    def main() { print(callee(new B(), 3)); }
+  )");
+  InlinerConfig Config;
+  auto Tree = buildTree(Config, P, "main");
+  const CallNode &Callee = *Tree->root()->Children[0];
+  ASSERT_EQ(Callee.Kind, CallNodeKind::Cutoff);
+  // `new B()` is a narrower, exact type than the declared `A`; the int
+  // argument cannot improve.
+  EXPECT_EQ(Callee.ArgsMoreConcrete, 1u);
+}
+
+TEST(CallTreeTest, RecursionDepthTracked) {
+  ProfiledProgram P = profiledProgram(R"(
+    def fact(n: int): int {
+      if (n <= 1) { return 1; }
+      return n * fact(n - 1);
+    }
+    def main() { print(fact(5)); }
+  )");
+  InlinerConfig Config;
+  auto Tree = buildTree(Config, P, "fact");
+  ASSERT_EQ(Tree->root()->Children.size(), 1u);
+  CallNode &Level1 = *Tree->root()->Children[0];
+  EXPECT_EQ(Level1.RecursionDepth, 1);
+  ASSERT_TRUE(Tree->expandCutoff(Level1));
+  ASSERT_EQ(Level1.Children.size(), 1u);
+  EXPECT_EQ(Level1.Children[0]->RecursionDepth, 2);
+}
+
+TEST(CallTreeTest, SubtreeMetrics) {
+  ProfiledProgram P = profiledProgram(R"(
+    def a(): int { return b() + c(); }
+    def b(): int { return 1; }
+    def c(): int { return 2; }
+    def main() { print(a()); }
+  )");
+  InlinerConfig Config;
+  auto Tree = buildTree(Config, P, "main");
+  CallNode *Root = Tree->root();
+  ASSERT_EQ(Root->Children.size(), 1u);
+  CallNode &A = *Root->Children[0];
+  EXPECT_EQ(Root->cutoffCount(), 1u);
+
+  ASSERT_TRUE(Tree->expandCutoff(A));
+  EXPECT_EQ(A.Kind, CallNodeKind::Expanded);
+  ASSERT_EQ(A.Children.size(), 2u);
+  EXPECT_EQ(Root->cutoffCount(), 2u); // b and c.
+  // S_c counts the cutoffs' sizes; S_ir also includes root and a.
+  EXPECT_GT(Root->subtreeIrSize(), Root->cutoffSize());
+  EXPECT_EQ(A.cutoffCount(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Expansion: deep trials
+//===----------------------------------------------------------------------===//
+
+TEST(CallTreeTest, DeepTrialsSpecializeAndCountOpts) {
+  ProfiledProgram P = profiledProgram(R"(
+    class A { def m(): int { return 1; } }
+    class B extends A { def m(): int { return 2; } }
+    def callee(a: A): int { return a.m(); }
+    def main() { print(callee(new B())); }
+  )");
+  InlinerConfig Config;
+  auto Tree = buildTree(Config, P, "main");
+  CallNode &Callee = *Tree->root()->Children[0];
+  ASSERT_TRUE(Tree->expandCutoff(Callee));
+  // Specialization propagated the exact B argument; the trial
+  // devirtualized a.m() (at least one optimization triggered).
+  EXPECT_GE(Callee.TrialOpts, 1u);
+  // The devirtualized call appears as a direct cutoff child B.m.
+  ASSERT_EQ(Callee.Children.size(), 1u);
+  EXPECT_EQ(Callee.Children[0]->Kind, CallNodeKind::Cutoff);
+  EXPECT_EQ(Callee.Children[0]->CalleeSymbol, "B.m");
+}
+
+TEST(CallTreeTest, ShallowTrialsDoNotSpecializeDeepNodes) {
+  ProfiledProgram P = profiledProgram(R"(
+    class A { def m(): int { return 1; } }
+    class B extends A { def m(): int { return 2; } }
+    def inner(a: A): int { return a.m(); }
+    def outer(a: A): int { return inner(a); }
+    def main() { print(outer(new B())); }
+  )");
+  InlinerConfig Deep;
+  Deep.DeepTrials = true;
+  auto DeepTree = buildTree(Deep, P, "main");
+  CallNode &DeepOuter = *DeepTree->root()->Children[0];
+  ASSERT_TRUE(DeepTree->expandCutoff(DeepOuter));
+  ASSERT_EQ(DeepOuter.Children.size(), 1u);
+  CallNode &DeepInner = *DeepOuter.Children[0];
+  ASSERT_TRUE(DeepTree->expandCutoff(DeepInner));
+  // Deep trials: inner's receiver became exact B two levels down, so the
+  // trial devirtualizes and exposes B.m.
+  ASSERT_EQ(DeepInner.Children.size(), 1u);
+  EXPECT_EQ(DeepInner.Children[0]->CalleeSymbol, "B.m");
+
+  InlinerConfig Shallow;
+  Shallow.DeepTrials = false;
+  auto ShallowTree = buildTree(Shallow, P, "main");
+  CallNode &ShOuter = *ShallowTree->root()->Children[0];
+  ASSERT_TRUE(ShallowTree->expandCutoff(ShOuter));
+  ASSERT_EQ(ShOuter.Children.size(), 1u);
+  CallNode &ShInner = *ShOuter.Children[0];
+  ASSERT_TRUE(ShallowTree->expandCutoff(ShInner));
+  // Shallow trials: no specialization below the root's direct callees;
+  // inner keeps its polymorphic (generic, unprofiled at that depth)
+  // callsite and triggers no optimizations.
+  EXPECT_EQ(ShInner.TrialOpts, 0u);
+  bool HasDirectBm = false;
+  for (const auto &Child : ShInner.Children)
+    HasDirectBm |= Child->CalleeSymbol == "B.m";
+  EXPECT_FALSE(HasDirectBm);
+}
+
+//===----------------------------------------------------------------------===//
+// Expansion priorities
+//===----------------------------------------------------------------------===//
+
+TEST(ExpansionTest, HotterCalleeExpandsFirst) {
+  ProfiledProgram P = profiledProgram(R"(
+    def hot(): int { return 1; }
+    def cold(): int { return 2; }
+    def main() {
+      var i = 0;
+      var acc = 0;
+      while (i < 200) { acc = acc + hot(); i = i + 1; }
+      acc = acc + cold();
+      print(acc);
+    }
+  )");
+  InlinerConfig Config;
+  Config.MaxExpansionsPerRound = 1;
+  auto Tree = buildTree(Config, P, "main");
+  ExpansionPhase Expansion(Config, *Tree);
+  ASSERT_EQ(Expansion.run(), 1u);
+  const CallNode *Hot = nullptr;
+  for (const auto &Child : Tree->root()->Children)
+    if (Child->Kind == CallNodeKind::Expanded)
+      Hot = Child.get();
+  ASSERT_NE(Hot, nullptr);
+  EXPECT_EQ(Hot->CalleeSymbol, "hot");
+}
+
+TEST(ExpansionTest, RecursionPenaltyStopsRunawayExpansion) {
+  ProfiledProgram P = profiledProgram(R"(
+    def f(n: int): int {
+      if (n <= 0) { return 0; }
+      return 1 + f(n - 1);
+    }
+    def main() { print(f(50)); }
+  )");
+  InlinerConfig Config;
+  Config.MaxExpansionsPerRound = 1000;
+  auto Tree = buildTree(Config, P, "main");
+  ExpansionPhase Expansion(Config, *Tree);
+  Expansion.run();
+  // The recursive chain must not be explored to absurd depth: Eq. 14
+  // makes the penalty exceed any benefit quickly.
+  size_t Depth = 0;
+  const CallNode *Cur = Tree->root();
+  while (Cur && !Cur->Children.empty()) {
+    Cur = Cur->Children[0].get();
+    ++Depth;
+  }
+  EXPECT_LE(Depth, static_cast<size_t>(Config.MaxRecursionDepth) + 2);
+}
+
+TEST(ExpansionTest, AdaptiveThresholdBlocksColdCallsInBigTrees) {
+  ProfiledProgram P = profiledProgram(R"(
+    def cold(): int { return 1; }
+    def main() { print(cold()); }
+  )");
+  InlinerConfig Config;
+  // Simulate an already-huge tree by setting r1 low: the threshold
+  // exp((S_ir - r1)/r2) is then well above the cold call's benefit/size.
+  Config.R1 = -10000.0;
+  Config.R2 = 100.0;
+  auto Tree = buildTree(Config, P, "main");
+  ExpansionPhase Expansion(Config, *Tree);
+  EXPECT_EQ(Expansion.run(), 0u);
+  EXPECT_EQ(Tree->root()->Children[0]->Kind, CallNodeKind::Cutoff);
+}
+
+//===----------------------------------------------------------------------===//
+// Cluster analysis
+//===----------------------------------------------------------------------===//
+
+TEST(ClusterTest, ForeachShapeClustersTogether) {
+  // The paper's motivating shape: log/foreach only pay off when the inner
+  // calls are inlined too. After full expansion, the callee subtree forms
+  // one cluster.
+  ProfiledProgram P = profiledProgram(R"(
+    def get(xs: int[], i: int): int { return xs[i]; }
+    def len(xs: int[]): int { return xs.length; }
+    def sum(xs: int[]): int {
+      var i = 0;
+      var acc = 0;
+      while (i < len(xs)) { acc = acc + get(xs, i); i = i + 1; }
+      return acc;
+    }
+    def main() {
+      var xs = new int[100];
+      var i = 0;
+      while (i < 100) { xs[i] = i; i = i + 1; }
+      print(sum(xs));
+    }
+  )");
+  InlinerConfig Config;
+  auto Tree = buildTree(Config, P, "main");
+  ExpansionPhase Expansion(Config, *Tree);
+  while (Expansion.run() > 0) {
+  }
+  analyzeTree(Config, *Tree);
+
+  // Find the `sum` node: both of its callees should be merged into its
+  // cluster (inlining sum alone would forfeit their benefits).
+  const CallNode *Sum = nullptr;
+  for (const auto &Child : Tree->root()->Children)
+    if (Child->CalleeSymbol == "sum")
+      Sum = Child.get();
+  ASSERT_NE(Sum, nullptr);
+  ASSERT_EQ(Sum->Kind, CallNodeKind::Expanded);
+  ASSERT_EQ(Sum->Children.size(), 2u);
+  EXPECT_TRUE(Sum->Children[0]->InCluster) << Tree->root()->dump();
+  EXPECT_TRUE(Sum->Children[1]->InCluster) << Tree->root()->dump();
+}
+
+TEST(ClusterTest, OneByOneAblationKeepsSingletons) {
+  ProfiledProgram P = profiledProgram(R"(
+    def inner(): int { return 1; }
+    def outer(): int { return inner() + inner(); }
+    def main() { print(outer()); }
+  )");
+  InlinerConfig Config;
+  Config.UseClustering = false;
+  auto Tree = buildTree(Config, P, "main");
+  ExpansionPhase Expansion(Config, *Tree);
+  while (Expansion.run() > 0) {
+  }
+  analyzeTree(Config, *Tree);
+  Tree->root()->forEach([](CallNode &N) {
+    EXPECT_FALSE(N.InCluster);
+  });
+}
+
+TEST(ClusterTest, ClusterMembersAndFront) {
+  ProfiledProgram P = profiledProgram(R"(
+    def a(): int { return b() + 1; }
+    def b(): int { return 2; }
+    def main() { print(a()); }
+  )");
+  InlinerConfig Config;
+  auto Tree = buildTree(Config, P, "main");
+  ExpansionPhase Expansion(Config, *Tree);
+  while (Expansion.run() > 0) {
+  }
+  analyzeTree(Config, *Tree);
+  CallNode &A = *Tree->root()->Children[0];
+  std::vector<CallNode *> Members = clusterMembers(A);
+  // b merges into a's cluster (tiny and beneficial).
+  ASSERT_EQ(Members.size(), 2u) << Tree->root()->dump();
+  EXPECT_TRUE(clusterFront(A).empty());
+}
+
+} // namespace

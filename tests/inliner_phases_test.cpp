@@ -1,0 +1,263 @@
+//===- tests/inliner_phases_test.cpp - Phase-level inliner tests ------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "inliner/InliningPhase.h"
+
+#include "TestHelpers.h"
+#include "inliner/ClusterAnalysis.h"
+#include "inliner/Compilers.h"
+#include "inliner/ExpansionPhase.h"
+#include "ir/IRCloner.h"
+#include "opt/Canonicalizer.h"
+#include "opt/DCE.h"
+#include "support/Casting.h"
+#include "workloads/Harness.h"
+
+#include <gtest/gtest.h>
+
+using namespace incline;
+using namespace incline::inliner;
+using incline::testing::compile;
+
+namespace {
+
+struct TreeFixture {
+  std::unique_ptr<ir::Module> M;
+  profile::ProfileTable Profiles;
+  InlinerConfig Config;
+  std::unique_ptr<CallTree> Tree;
+
+  explicit TreeFixture(std::string_view Source, const std::string &Root,
+                       InlinerConfig Cfg = InlinerConfig()) {
+    Config = Cfg;
+    M = compile(Source);
+    EXPECT_TRUE(interp::runMain(*M, &Profiles).ok());
+    Tree = std::make_unique<CallTree>(Config, *M, Profiles);
+    ir::ClonedFunction Clone = ir::cloneFunction(*M->function(Root), Root);
+    Tree->buildRoot(std::move(Clone.F), Root);
+  }
+
+  void expandFully() {
+    ExpansionPhase Expansion(Config, *Tree);
+    while (Expansion.run() > 0) {
+    }
+    analyzeTree(Config, *Tree);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// canInlineCluster (Eq. 12 and the fixed ablation)
+//===----------------------------------------------------------------------===//
+
+TEST(CanInlineTest, AdaptiveThresholdGrowsWithRootSize) {
+  // A cluster with a fixed ratio passes on a small root and fails once the
+  // root's size pushes the exponent up.
+  InlinerConfig Config;
+  Config.T1 = 0.002;
+  Config.T2 = 120.0;
+
+  TreeFixture Fix(R"(
+    def callee(x: int): int { return x + 1; }
+    def root(x: int): int { return callee(x); }
+    def main() { print(root(1)); }
+  )",
+                  "root", Config);
+  Fix.expandFully();
+  CallNode *Root = Fix.Tree->root();
+  ASSERT_FALSE(Root->Children.empty());
+  CallNode &Cluster = *Root->Children[0];
+  ASSERT_EQ(Cluster.Kind, CallNodeKind::Expanded);
+  EXPECT_TRUE(canInlineCluster(Config, *Root, Cluster));
+
+  // The same cluster against an artificially huge root: with ratio r, the
+  // adaptive threshold t1*2^((root+n)/(16*t2)) eventually exceeds it.
+  CallNode FakeRoot;
+  FakeRoot.Kind = CallNodeKind::Expanded;
+  ir::ClonedFunction Big =
+      ir::cloneFunction(*Fix.M->function("main"), "big");
+  FakeRoot.Body = std::move(Big.F);
+  // Inflate by setting an enormous claimed cluster cost instead of
+  // building a huge body: the formula only reads sizes.
+  CallNode BigCluster;
+  BigCluster.Kind = CallNodeKind::Expanded;
+  BigCluster.Tuple = CostBenefit(Cluster.Tuple.Benefit, 1.0);
+  BigCluster.Tuple =
+      CostBenefit(Cluster.Tuple.Benefit, Cluster.Tuple.Cost + 40000);
+  EXPECT_FALSE(canInlineCluster(Config, FakeRoot, BigCluster));
+}
+
+TEST(CanInlineTest, SmallMethodForgivenessNearBudget) {
+  // Eq. 12's |ir(n)| term: at the same root size, the threshold for a
+  // small cluster is lower than for a large one — the paper's println
+  // example.
+  InlinerConfig Config;
+  TreeFixture Fix("def f(): int { return 1; } def main() { print(f()); }",
+                  "main", Config);
+  Fix.expandFully();
+  CallNode *Root = Fix.Tree->root();
+
+  CallNode Small, Large;
+  Small.Kind = Large.Kind = CallNodeKind::Expanded;
+  // Equal benefit-to-cost ratios; only the absolute size differs.
+  Small.Tuple = CostBenefit(2.0, 400.0);
+  Large.Tuple = CostBenefit(20.0, 4000.0);
+  // Depending on root size both may pass; the invariant worth pinning is
+  // monotonicity: if the large one passes, the small one must too.
+  bool SmallOk = canInlineCluster(Config, *Root, Small);
+  bool LargeOk = canInlineCluster(Config, *Root, Large);
+  EXPECT_TRUE(SmallOk || !LargeOk);
+}
+
+TEST(CanInlineTest, FixedPolicyIgnoresRatio) {
+  InlinerConfig Config;
+  Config.InliningPolicy = InliningPolicyKind::FixedRootSize;
+  Config.FixedInliningThreshold = 100000.0;
+  TreeFixture Fix("def f(): int { return 1; } def main() { print(f()); }",
+                  "main", Config);
+  Fix.expandFully();
+  CallNode *Root = Fix.Tree->root();
+  CallNode Bad;
+  Bad.Kind = CallNodeKind::Expanded;
+  Bad.Tuple = CostBenefit(-100.0, 50.0); // Terrible ratio.
+  EXPECT_TRUE(canInlineCluster(Config, *Root, Bad));
+  Config.FixedInliningThreshold = 1.0; // Root already bigger than this.
+  EXPECT_FALSE(canInlineCluster(Config, *Root, Bad));
+}
+
+TEST(CanInlineTest, HardCapBeatsEveryPolicy) {
+  InlinerConfig Config;
+  Config.RootSizeCap = 10;
+  TreeFixture Fix("def f(): int { return 1; } def main() { print(f()); }",
+                  "main", Config);
+  Fix.expandFully();
+  CallNode *Root = Fix.Tree->root();
+  CallNode Huge;
+  Huge.Kind = CallNodeKind::Expanded;
+  Huge.Tuple = CostBenefit(1e9, 1000.0); // Wonderful ratio, too big.
+  EXPECT_FALSE(canInlineCluster(Config, *Root, Huge));
+}
+
+//===----------------------------------------------------------------------===//
+// Inlining phase mechanics
+//===----------------------------------------------------------------------===//
+
+TEST(InliningPhaseTest, InlinesClusterAndReparentsFront) {
+  // Mechanics test: force `inner` OUT of `outer`'s cluster after the
+  // analysis; inlining `outer` must re-parent `inner` under the root with
+  // its callsite remapped into the root's body.
+  TreeFixture Fix(R"(
+    def inner(x: int): int { return x * 3 + 1; }
+    def outer(x: int): int { return inner(x + 1) + 1; }
+    def main() {
+      var acc = 0;
+      var i = 0;
+      while (i < 30) { acc = acc + outer(acc + i); i = i + 1; }
+      print(acc);
+    }
+  )",
+                  "main");
+  Fix.expandFully();
+  CallNode *Root = Fix.Tree->root();
+  CallNode *Outer = nullptr;
+  for (const auto &Child : Root->Children)
+    if (Child->CalleeSymbol == "outer")
+      Outer = Child.get();
+  ASSERT_NE(Outer, nullptr);
+  ASSERT_EQ(Outer->Kind, CallNodeKind::Expanded);
+  ASSERT_EQ(Outer->Children.size(), 1u);
+  CallNode *Inner = Outer->Children[0].get();
+  ASSERT_EQ(Inner->Kind, CallNodeKind::Expanded);
+  Inner->InCluster = false; // Force the cluster boundary here.
+  // Rebuild outer's tuple so the phase still admits it alone.
+  Outer->Tuple = CostBenefit(100.0, Outer->Tuple.Cost);
+
+  InlinePhaseStats Stats = runInliningPhase(Fix.Config, *Fix.Tree, *Fix.M);
+  EXPECT_GT(Stats.CallsitesInlined, 0u);
+  incline::testing::expectVerified(*Root->Body);
+  // `inner` survives as a node of the root with a live callsite in the
+  // root's body (either still a call, or — if the phase queued and inlined
+  // it as its own cluster — consumed; both prove the re-parent worked, but
+  // with the forced boundary the queue re-admits it, so check both).
+  bool FoundInner = false;
+  for (const auto &Child : Root->Children)
+    if (Child->CalleeSymbol == "inner")
+      FoundInner = true;
+  bool InnerInlinedSeparately = Stats.CallsitesInlined >= 2;
+  EXPECT_TRUE(FoundInner || InnerInlinedSeparately) << Root->dump();
+}
+
+TEST(InliningPhaseTest, ReconcileMarksDeletedCallsites) {
+  // After inlining + optimization, a constant-foldable call disappears;
+  // reconcileRoot must cope and report the change.
+  TreeFixture Fix(R"(
+    def pick(c: bool, a: int, b: int): int {
+      if (c) { return a; }
+      return b;
+    }
+    def main() { print(pick(true, 1, 2)); }
+  )",
+                  "main");
+  Fix.expandFully();
+  InlinePhaseStats Stats = runInliningPhase(Fix.Config, *Fix.Tree, *Fix.M);
+  EXPECT_EQ(Stats.CallsitesInlined, 1u);
+  // Branch on constant true prunes; nothing else remains.
+  opt::canonicalize(*Fix.Tree->root()->Body, *Fix.M);
+  opt::eliminateDeadCode(*Fix.Tree->root()->Body);
+  Fix.Tree->reconcileRoot();
+  EXPECT_EQ(Fix.Tree->root()->cutoffCount(), 0u);
+}
+
+TEST(InliningPhaseTest, DumpIsReadable) {
+  TreeFixture Fix("def f(): int { return 1; } def main() { print(f()); }",
+                  "main");
+  Fix.expandFully();
+  std::string Dump = Fix.Tree->root()->dump();
+  EXPECT_NE(Dump.find("<root>"), std::string::npos);
+  EXPECT_NE(Dump.find("[E]"), std::string::npos);
+  EXPECT_NE(Dump.find("f="), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Harness helpers
+//===----------------------------------------------------------------------===//
+
+TEST(HarnessTest, SpeedupOf) {
+  workloads::RunResult A, B;
+  A.SteadyStateCycles = 200;
+  B.SteadyStateCycles = 100;
+  EXPECT_DOUBLE_EQ(workloads::speedupOf(A, B), 2.0);
+  B.SteadyStateCycles = 0;
+  EXPECT_DOUBLE_EQ(workloads::speedupOf(A, B), 0.0);
+}
+
+TEST(HarnessTest, FailsGracefullyOnBadSource) {
+  workloads::Workload Bad;
+  Bad.Name = "bad";
+  Bad.Source = "def main( {";
+  Bad.Iterations = 2;
+  inliner::IncrementalCompiler Compiler;
+  workloads::RunResult R = workloads::runWorkload(Bad, Compiler);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("frontend"), std::string::npos);
+}
+
+TEST(TrapNamesTest, AllNamed) {
+  EXPECT_EQ(interp::trapKindName(interp::TrapKind::None), "none");
+  EXPECT_EQ(interp::trapKindName(interp::TrapKind::NullPointer),
+            "null pointer");
+  EXPECT_EQ(interp::trapKindName(interp::TrapKind::HeapExhausted),
+            "heap exhausted");
+}
+
+TEST(CallNodeKindTest, Names) {
+  EXPECT_EQ(callNodeKindName(CallNodeKind::Cutoff), "C");
+  EXPECT_EQ(callNodeKindName(CallNodeKind::Expanded), "E");
+  EXPECT_EQ(callNodeKindName(CallNodeKind::Deleted), "D");
+  EXPECT_EQ(callNodeKindName(CallNodeKind::Generic), "G");
+  EXPECT_EQ(callNodeKindName(CallNodeKind::Polymorphic), "P");
+}
+
+} // namespace

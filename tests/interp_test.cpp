@@ -1,0 +1,324 @@
+//===- tests/interp_test.cpp - Interpreter semantics tests -----------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "frontend/Compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace incline;
+using namespace incline::interp;
+
+namespace {
+
+ExecResult runSource(std::string_view Source,
+                     profile::ProfileTable *Profiles = nullptr) {
+  std::unique_ptr<ir::Module> M = frontend::compileOrDie(Source);
+  return runMain(*M, Profiles);
+}
+
+std::string outputOf(std::string_view Source) {
+  ExecResult R = runSource(Source);
+  EXPECT_TRUE(R.ok()) << R.TrapMessage;
+  return R.Output;
+}
+
+TEST(InterpTest, PrintLiteral) {
+  EXPECT_EQ(outputOf("def main() { print(42); }"), "42\n");
+  EXPECT_EQ(outputOf("def main() { print(true); }"), "true\n");
+  EXPECT_EQ(outputOf("def main() { print(false); }"), "false\n");
+}
+
+TEST(InterpTest, Arithmetic) {
+  EXPECT_EQ(outputOf("def main() { print(2 + 3 * 4); }"), "14\n");
+  EXPECT_EQ(outputOf("def main() { print(10 / 3); }"), "3\n");
+  EXPECT_EQ(outputOf("def main() { print(10 % 3); }"), "1\n");
+  EXPECT_EQ(outputOf("def main() { print(-7); }"), "-7\n");
+  EXPECT_EQ(outputOf("def main() { print(0 - 7 / 7); }"), "-1\n");
+}
+
+TEST(InterpTest, Comparisons) {
+  EXPECT_EQ(outputOf("def main() { print(3 < 4); }"), "true\n");
+  EXPECT_EQ(outputOf("def main() { print(4 <= 3); }"), "false\n");
+  EXPECT_EQ(outputOf("def main() { print(3 == 3); }"), "true\n");
+  EXPECT_EQ(outputOf("def main() { print(3 != 3); }"), "false\n");
+}
+
+TEST(InterpTest, BooleanOps) {
+  EXPECT_EQ(outputOf("def main() { print(true && false); }"), "false\n");
+  EXPECT_EQ(outputOf("def main() { print(true || false); }"), "true\n");
+  EXPECT_EQ(outputOf("def main() { print(!true); }"), "false\n");
+}
+
+TEST(InterpTest, ControlFlow) {
+  EXPECT_EQ(outputOf(R"(
+    def main() {
+      var i = 0;
+      var sum = 0;
+      while (i < 5) { sum = sum + i; i = i + 1; }
+      if (sum == 10) { print(1); } else { print(0); }
+    }
+  )"),
+            "1\n");
+}
+
+TEST(InterpTest, FunctionCallsAndRecursion) {
+  EXPECT_EQ(outputOf(R"(
+    def fib(n: int): int {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    def main() { print(fib(10)); }
+  )"),
+            "55\n");
+}
+
+TEST(InterpTest, VirtualDispatch) {
+  EXPECT_EQ(outputOf(R"(
+    class Animal { def sound(): int { return 0; } }
+    class Dog extends Animal { def sound(): int { return 1; } }
+    class Cat extends Animal { def sound(): int { return 2; } }
+    def main() {
+      var a: Animal = new Dog();
+      var b: Animal = new Cat();
+      var c: Animal = new Animal();
+      print(a.sound()); print(b.sound()); print(c.sound());
+    }
+  )"),
+            "1\n2\n0\n");
+}
+
+TEST(InterpTest, InheritedMethodAndFields) {
+  EXPECT_EQ(outputOf(R"(
+    class Base { var x: int; def get(): int { return this.x; } }
+    class Derived extends Base { var y: int; }
+    def main() {
+      var d = new Derived();
+      d.x = 7;
+      d.y = 8;
+      print(d.get());
+      print(d.y);
+    }
+  )"),
+            "7\n8\n");
+}
+
+TEST(InterpTest, Arrays) {
+  EXPECT_EQ(outputOf(R"(
+    def main() {
+      var xs = new int[4];
+      xs[0] = 5; xs[3] = 9;
+      print(xs[0] + xs[1] + xs[3]);
+      print(xs.length);
+    }
+  )"),
+            "14\n4\n");
+}
+
+TEST(InterpTest, ObjectArraysAndDispatch) {
+  EXPECT_EQ(outputOf(R"(
+    class N { def v(): int { return 1; } }
+    class M extends N { def v(): int { return 2; } }
+    def main() {
+      var xs = new N[3];
+      xs[0] = new N(); xs[1] = new M(); xs[2] = new M();
+      var i = 0;
+      var sum = 0;
+      while (i < xs.length) { sum = sum + xs[i].v(); i = i + 1; }
+      print(sum);
+    }
+  )"),
+            "5\n");
+}
+
+TEST(InterpTest, IsAndAs) {
+  EXPECT_EQ(outputOf(R"(
+    class A { }
+    class B extends A { var v: int; }
+    def main() {
+      var x: A = new B();
+      var y: A = new A();
+      print(x is B);
+      print(y is B);
+      print(x is A);
+      var b = x as B;
+      b.v = 3;
+      print(b.v);
+    }
+  )"),
+            "true\nfalse\ntrue\n3\n");
+}
+
+TEST(InterpTest, NullBehaviour) {
+  // instanceof on null is false; `as` passes null through.
+  EXPECT_EQ(outputOf(R"(
+    class A { }
+    def main() {
+      var a: A = null;
+      print(a is A);
+      print((a as A) == null);
+    }
+  )"),
+            "false\ntrue\n");
+}
+
+TEST(InterpTest, FieldsDefaultInitialized) {
+  EXPECT_EQ(outputOf(R"(
+    class C { var i: int; var b: bool; var o: C; }
+    def main() {
+      var c = new C();
+      print(c.i);
+      print(c.b);
+      print(c.o == null);
+    }
+  )"),
+            "0\nfalse\ntrue\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Traps
+//===----------------------------------------------------------------------===//
+
+TEST(InterpTrapTest, DivisionByZero) {
+  ExecResult R = runSource("def main() { var z = 0; print(1 / z); }");
+  EXPECT_EQ(R.Trap, TrapKind::DivisionByZero);
+}
+
+TEST(InterpTrapTest, NullPointerOnCall) {
+  ExecResult R = runSource(R"(
+    class A { def m(): int { return 1; } }
+    def main() { var a: A = null; print(a.m()); }
+  )");
+  EXPECT_EQ(R.Trap, TrapKind::NullPointer);
+}
+
+TEST(InterpTrapTest, IndexOutOfBounds) {
+  ExecResult R = runSource(
+      "def main() { var xs = new int[2]; print(xs[5]); }");
+  EXPECT_EQ(R.Trap, TrapKind::IndexOutOfBounds);
+}
+
+TEST(InterpTrapTest, NegativeIndex) {
+  ExecResult R = runSource(
+      "def main() { var xs = new int[2]; var i = 0 - 1; print(xs[i]); }");
+  EXPECT_EQ(R.Trap, TrapKind::IndexOutOfBounds);
+}
+
+TEST(InterpTrapTest, BadCast) {
+  ExecResult R = runSource(R"(
+    class A { }
+    class B extends A { }
+    def main() { var a: A = new A(); var b = a as B; }
+  )");
+  EXPECT_EQ(R.Trap, TrapKind::ClassCastFailure);
+}
+
+TEST(InterpTrapTest, InfiniteLoopHitsStepLimit) {
+  std::unique_ptr<ir::Module> M =
+      frontend::compileOrDie("def main() { while (true) { } }");
+  ModuleEnv Env(*M);
+  ExecLimits Limits;
+  Limits.MaxSteps = 10'000;
+  Interpreter I(*M, Env, CostModel(), Limits);
+  ExecResult R = I.run("main");
+  EXPECT_EQ(R.Trap, TrapKind::StepLimitExceeded);
+}
+
+TEST(InterpTrapTest, RunawayRecursionHitsStackLimit) {
+  ExecResult R = runSource(R"(
+    def f(n: int): int { return f(n + 1); }
+    def main() { print(f(0)); }
+  )");
+  EXPECT_EQ(R.Trap, TrapKind::StackOverflow);
+}
+
+//===----------------------------------------------------------------------===//
+// Cost accounting and profiles
+//===----------------------------------------------------------------------===//
+
+TEST(InterpCostTest, InterpretedCyclesAccumulate) {
+  ExecResult R = runSource("def main() { print(1 + 2); }");
+  EXPECT_GT(R.InterpretedCycles, 0u);
+  EXPECT_EQ(R.CompiledCycles, 0u); // ModuleEnv never reports compiled code.
+  EXPECT_GT(R.Steps, 0u);
+}
+
+TEST(InterpCostTest, LongerProgramsCostMore) {
+  ExecResult Short = runSource(
+      "def main() { var i = 0; while (i < 10) { i = i + 1; } }");
+  ExecResult Long = runSource(
+      "def main() { var i = 0; while (i < 1000) { i = i + 1; } }");
+  EXPECT_GT(Long.InterpretedCycles, Short.InterpretedCycles * 10);
+}
+
+TEST(InterpProfileTest, BranchProfilesRecorded) {
+  profile::ProfileTable Profiles;
+  ExecResult R = runSource(R"(
+    def main() {
+      var i = 0;
+      while (i < 10) { i = i + 1; }
+    }
+  )",
+                           &Profiles);
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  const profile::MethodProfile *MP = Profiles.find("main");
+  ASSERT_NE(MP, nullptr);
+  EXPECT_EQ(MP->InvocationCount, 1u);
+  // Exactly one conditional branch (the loop condition): 10 true, 1 false.
+  ASSERT_EQ(MP->Branches.size(), 1u);
+  const profile::BranchProfile &BP = MP->Branches.begin()->second;
+  EXPECT_EQ(BP.total(), 11u);
+  EXPECT_NEAR(BP.trueProbability(), 10.0 / 11.0, 1e-9);
+}
+
+TEST(InterpProfileTest, ReceiverProfilesRecorded) {
+  profile::ProfileTable Profiles;
+  ExecResult R = runSource(R"(
+    class A { def m(): int { return 1; } }
+    class B extends A { def m(): int { return 2; } }
+    def poly(a: A): int { return a.m(); }
+    def main() {
+      var i = 0;
+      while (i < 9) {
+        if (i % 3 == 0) { print(poly(new A())); }
+        else { print(poly(new B())); }
+        i = i + 1;
+      }
+    }
+  )",
+                           &Profiles);
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  const profile::MethodProfile *MP = Profiles.find("poly");
+  ASSERT_NE(MP, nullptr);
+  EXPECT_EQ(MP->InvocationCount, 9u);
+  ASSERT_EQ(MP->Receivers.size(), 1u);
+  const profile::ReceiverProfile &RP = MP->Receivers.begin()->second;
+  EXPECT_EQ(RP.total(), 9u);
+  // 3 As, 6 Bs -> top receiver is B with probability 2/3.
+  auto Top = RP.topReceivers(3, 0.1);
+  ASSERT_EQ(Top.size(), 2u);
+  EXPECT_NEAR(Top[0].second, 6.0 / 9.0, 1e-9);
+  EXPECT_NEAR(Top[1].second, 3.0 / 9.0, 1e-9);
+}
+
+TEST(InterpProfileTest, MethodInvocationCountsPerCallee) {
+  profile::ProfileTable Profiles;
+  runSource(R"(
+    def helper(): int { return 1; }
+    def main() {
+      var i = 0;
+      var acc = 0;
+      while (i < 25) { acc = acc + helper(); i = i + 1; }
+      print(acc);
+    }
+  )",
+            &Profiles);
+  EXPECT_EQ(Profiles.invocationCount("helper"), 25u);
+  EXPECT_EQ(Profiles.invocationCount("main"), 1u);
+}
+
+} // namespace

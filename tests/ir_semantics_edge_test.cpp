@@ -1,0 +1,150 @@
+//===- tests/ir_semantics_edge_test.cpp - Hand-built-IR edge cases ----------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Edge cases only reachable with hand-built IR: deoptimization execution,
+/// module-level verification failures, and interpreter behaviour on
+/// constructs the frontend never emits directly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "ir/IRBuilder.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace incline;
+using namespace incline::ir;
+using types::Type;
+
+namespace {
+
+TEST(DeoptTest, ExecutingDeoptTraps) {
+  Module M;
+  Function *F = M.addFunction("main", {}, {}, Type::voidTy());
+  BasicBlock *Entry = F->addBlock("entry");
+  IRBuilder B(*F, Entry);
+  B.deopt("speculation failed");
+
+  interp::ExecResult R = interp::runMain(M);
+  EXPECT_EQ(R.Trap, interp::TrapKind::Deoptimization);
+  EXPECT_NE(R.TrapMessage.find("speculation failed"), std::string::npos);
+}
+
+TEST(DeoptTest, DeoptIsExpensiveInTheCostModel) {
+  interp::CostModel Costs;
+  DeoptInst Deopt("x");
+  PhiInst Phi(Type::intTy());
+  EXPECT_GT(Costs.opCost(Deopt), 100u);
+  EXPECT_EQ(Costs.opCost(Phi), 0u); // Phis are register renames.
+}
+
+TEST(ModuleVerifyTest, CallToUnknownFunction) {
+  Module M;
+  Function *F = M.addFunction("main", {}, {}, Type::voidTy());
+  BasicBlock *Entry = F->addBlock("entry");
+  IRBuilder B(*F, Entry);
+  B.call("missing", {}, Type::voidTy());
+  B.ret();
+  std::vector<std::string> Problems = verifyModule(M);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("unknown function"), std::string::npos);
+}
+
+TEST(ModuleVerifyTest, CallArityMismatch) {
+  Module M;
+  Function *Callee =
+      M.addFunction("callee", {Type::intTy()}, {"x"}, Type::voidTy());
+  {
+    IRBuilder B(*Callee, Callee->addBlock("entry"));
+    B.ret();
+  }
+  Function *F = M.addFunction("main", {}, {}, Type::voidTy());
+  IRBuilder B(*F, F->addBlock("entry"));
+  B.call("callee", {}, Type::voidTy()); // Missing the argument.
+  B.ret();
+  std::vector<std::string> Problems = verifyModule(M);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("wrong argument count"), std::string::npos);
+}
+
+TEST(InterpEdgeTest, CallingUnknownSymbolTraps) {
+  Module M;
+  Function *F = M.addFunction("main", {}, {}, Type::voidTy());
+  IRBuilder B(*F, F->addBlock("entry"));
+  B.call("nothere", {}, Type::voidTy());
+  B.ret();
+  interp::ExecResult R = interp::runMain(M);
+  EXPECT_EQ(R.Trap, interp::TrapKind::UnknownFunction);
+}
+
+TEST(InterpEdgeTest, GetClassIdReadsDynamicClass) {
+  Module M;
+  int A = M.classes().addClass("A");
+  int BClass = M.classes().addClass("B", A);
+  Function *F = M.addFunction("main", {}, {}, Type::voidTy());
+  IRBuilder B(*F, F->addBlock("entry"));
+  Value *Obj = B.newObject(BClass);
+  // Launder exactness through a nullcheck so canonicalization-free
+  // interpretation still sees the runtime class.
+  Value *Id = B.getClassId(B.nullCheck(Obj));
+  B.print(Id);
+  B.ret();
+  interp::ExecResult R = interp::runMain(M);
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(R.Output, std::to_string(BClass) + "\n");
+}
+
+TEST(InterpEdgeTest, NullCheckPassesThroughNonNull) {
+  Module M;
+  int A = M.classes().addClass("A");
+  M.classes().addField(A, "f", Type::intTy());
+  Function *F = M.addFunction("main", {}, {}, Type::voidTy());
+  IRBuilder B(*F, F->addBlock("entry"));
+  Value *Obj = B.newObject(A);
+  B.storeField(Obj, 0, B.constInt(5));
+  Value *Checked = B.nullCheck(Obj);
+  B.print(B.loadField(Checked, 0, Type::intTy()));
+  B.ret();
+  interp::ExecResult R = interp::runMain(M);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Output, "5\n");
+}
+
+TEST(InterpEdgeTest, BranchOnBothEdgesToSameBlock) {
+  // Degenerate but legal: a conditional branch whose both successors are
+  // the same block.
+  Module M;
+  Function *F = M.addFunction("main", {}, {}, Type::voidTy());
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Next = F->addBlock("next");
+  IRBuilder B(*F, Entry);
+  B.branch(F->constBool(true), Next, Next);
+  B.setInsertBlock(Next);
+  B.print(F->constInt(1));
+  B.ret();
+  interp::ExecResult R = interp::runMain(M);
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(R.Output, "1\n");
+  // Next has TWO predecessor entries (one per edge).
+  EXPECT_EQ(Next->predecessors().size(), 2u);
+}
+
+TEST(InterpEdgeTest, InterpretedVsCompiledCostSplit) {
+  auto M = incline::testing::compile(
+      "def main() { var i = 0; while (i < 10) { i = i + 1; } }");
+  // Interpreted-tier execution books everything as interpreted cycles.
+  interp::ModuleEnv Env(*M);
+  interp::Interpreter I(*M, Env);
+  interp::ExecResult R = I.run("main");
+  EXPECT_GT(R.InterpretedCycles, 0u);
+  EXPECT_EQ(R.CompiledCycles, 0u);
+  // Dispatch cost dominates: interpreted cycles >= steps * dispatch.
+  interp::CostModel Costs;
+  EXPECT_GE(R.InterpretedCycles, R.Steps * Costs.InterpDispatchCost);
+}
+
+} // namespace

@@ -1,0 +1,315 @@
+//===- tests/ir_structure_test.cpp - IR core structural tests ---------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Dominators.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRCloner.h"
+#include "ir/IRPrinter.h"
+#include "ir/IRVerifier.h"
+#include "ir/LoopInfo.h"
+#include "ir/Module.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace incline;
+using namespace incline::ir;
+using types::Type;
+
+namespace {
+
+/// Builds: entry -> cond <-> body (loop), cond -> exit. Returns the sum of
+/// 0..n-1 via a loop phi.
+std::unique_ptr<Function> buildLoopFunction() {
+  auto F = std::make_unique<Function>(
+      "sum", std::vector<Type>{Type::intTy()},
+      std::vector<std::string>{"n"}, Type::intTy());
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Cond = F->addBlock("cond");
+  BasicBlock *Body = F->addBlock("body");
+  BasicBlock *Exit = F->addBlock("exit");
+
+  IRBuilder B(*F, Entry);
+  B.jump(Cond);
+
+  B.setInsertBlock(Cond);
+  PhiInst *I = B.phi(Type::intTy());
+  PhiInst *Acc = B.phi(Type::intTy());
+  Value *Lt = B.binop(BinOpInst::Opcode::Lt, I, F->arg(0));
+  B.branch(Lt, Body, Exit);
+
+  B.setInsertBlock(Body);
+  Value *NewAcc = B.binop(BinOpInst::Opcode::Add, Acc, I);
+  Value *NewI = B.binop(BinOpInst::Opcode::Add, I, B.constInt(1));
+  B.jump(Cond);
+
+  B.setInsertBlock(Exit);
+  B.ret(Acc);
+
+  I->addIncoming(F->constInt(0), Entry);
+  I->addIncoming(NewI, Body);
+  Acc->addIncoming(F->constInt(0), Entry);
+  Acc->addIncoming(NewAcc, Body);
+  return F;
+}
+
+TEST(IRStructureTest, UseListsAreSymmetric) {
+  auto F = buildLoopFunction();
+  EXPECT_TRUE(verifyFunction(*F).empty());
+  // The argument n is used once (by the compare).
+  EXPECT_EQ(F->arg(0)->numUses(), 1u);
+}
+
+TEST(IRStructureTest, RAUWRewritesAllUses) {
+  auto F = std::make_unique<Function>("f", std::vector<Type>{Type::intTy()},
+                                      std::vector<std::string>{"x"},
+                                      Type::intTy());
+  BasicBlock *Entry = F->addBlock("entry");
+  IRBuilder B(*F, Entry);
+  Value *A = B.binop(BinOpInst::Opcode::Add, F->arg(0), F->arg(0));
+  Value *M = B.binop(BinOpInst::Opcode::Mul, A, A);
+  B.ret(M);
+
+  EXPECT_EQ(A->numUses(), 2u);
+  A->replaceAllUsesWith(F->constInt(5));
+  EXPECT_EQ(A->numUses(), 0u);
+  auto *Mul = cast<BinOpInst>(M);
+  EXPECT_EQ(Mul->lhs(), F->constInt(5));
+  EXPECT_EQ(Mul->rhs(), F->constInt(5));
+}
+
+TEST(IRStructureTest, ConstantsAreUniqued) {
+  Function F("f", {}, {}, Type::voidTy());
+  EXPECT_EQ(F.constInt(7), F.constInt(7));
+  EXPECT_NE(F.constInt(7), F.constInt(8));
+  EXPECT_EQ(F.constBool(true), F.constBool(true));
+  EXPECT_NE(F.constBool(true), F.constBool(false));
+  EXPECT_EQ(F.constNull(), F.constNull());
+}
+
+TEST(IRStructureTest, PredecessorMaintenance) {
+  auto F = buildLoopFunction();
+  BasicBlock *Cond = F->blocks()[1].get();
+  EXPECT_EQ(Cond->predecessors().size(), 2u); // entry + body.
+  BasicBlock *Exit = F->blocks()[3].get();
+  EXPECT_EQ(Exit->predecessors().size(), 1u);
+  // Detaching the body's terminator unhooks its edge.
+  BasicBlock *Body = F->blocks()[2].get();
+  std::unique_ptr<Instruction> Term = Body->detach(Body->terminator());
+  EXPECT_EQ(Cond->predecessors().size(), 1u);
+  Term->dropAllOperands();
+}
+
+TEST(IRStructureTest, InstructionCount) {
+  auto F = buildLoopFunction();
+  // jump + 2 phis + lt + br + 2 adds + jump + ret = 9.
+  EXPECT_EQ(F->instructionCount(), 9u);
+}
+
+TEST(IRStructureTest, ReversePostOrderStartsAtEntry) {
+  auto F = buildLoopFunction();
+  std::vector<BasicBlock *> RPO = F->reversePostOrder();
+  ASSERT_EQ(RPO.size(), 4u);
+  EXPECT_EQ(RPO[0], F->entry());
+  // Exit must come after cond.
+  size_t CondIdx = 0, ExitIdx = 0;
+  for (size_t I = 0; I < RPO.size(); ++I) {
+    if (RPO[I]->name() == "cond")
+      CondIdx = I;
+    if (RPO[I]->name() == "exit")
+      ExitIdx = I;
+  }
+  EXPECT_LT(CondIdx, ExitIdx);
+}
+
+TEST(IRStructureTest, PrinterOutputsAllPieces) {
+  auto F = buildLoopFunction();
+  std::string Text = printFunction(*F);
+  EXPECT_NE(Text.find("func sum"), std::string::npos);
+  EXPECT_NE(Text.find("phi int"), std::string::npos);
+  EXPECT_NE(Text.find("br"), std::string::npos);
+  EXPECT_NE(Text.find("ret"), std::string::npos);
+  EXPECT_NE(Text.find("preds:"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Dominators and loops
+//===----------------------------------------------------------------------===//
+
+TEST(DominatorTest, LoopCFG) {
+  auto F = buildLoopFunction();
+  DominatorTree DT(*F);
+  BasicBlock *Entry = F->blocks()[0].get();
+  BasicBlock *Cond = F->blocks()[1].get();
+  BasicBlock *Body = F->blocks()[2].get();
+  BasicBlock *Exit = F->blocks()[3].get();
+
+  EXPECT_EQ(DT.idom(Entry), nullptr);
+  EXPECT_EQ(DT.idom(Cond), Entry);
+  EXPECT_EQ(DT.idom(Body), Cond);
+  EXPECT_EQ(DT.idom(Exit), Cond);
+  EXPECT_TRUE(DT.dominates(Entry, Exit));
+  EXPECT_TRUE(DT.dominates(Cond, Body));
+  EXPECT_FALSE(DT.dominates(Body, Exit));
+  EXPECT_TRUE(DT.dominates(Cond, Cond));
+}
+
+TEST(DominatorTest, DiamondCFG) {
+  Function F("f", {Type::boolTy()}, {"c"}, Type::intTy());
+  BasicBlock *Entry = F.addBlock("entry");
+  BasicBlock *Then = F.addBlock("then");
+  BasicBlock *Else = F.addBlock("else");
+  BasicBlock *Merge = F.addBlock("merge");
+  IRBuilder B(F, Entry);
+  B.branch(F.arg(0), Then, Else);
+  B.setInsertBlock(Then);
+  B.jump(Merge);
+  B.setInsertBlock(Else);
+  B.jump(Merge);
+  B.setInsertBlock(Merge);
+  B.ret(F.constInt(0));
+
+  DominatorTree DT(F);
+  EXPECT_EQ(DT.idom(Merge), Entry); // Neither branch dominates the merge.
+  EXPECT_FALSE(DT.dominates(Then, Merge));
+  auto Children = DT.children(Entry);
+  EXPECT_EQ(Children.size(), 3u);
+}
+
+TEST(LoopInfoTest, DetectsNaturalLoop) {
+  auto F = buildLoopFunction();
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const Loop &L = *LI.loops()[0];
+  EXPECT_EQ(L.Header->name(), "cond");
+  ASSERT_EQ(L.Latches.size(), 1u);
+  EXPECT_EQ(L.Latches[0]->name(), "body");
+  EXPECT_EQ(L.Blocks.size(), 2u); // cond + body.
+  EXPECT_EQ(LI.depthOf(L.Header), 1u);
+  EXPECT_EQ(LI.depthOf(F->entry()), 0u);
+  EXPECT_TRUE(LI.isHeader(L.Header));
+}
+
+TEST(LoopInfoTest, NestedLoopsGetDepths) {
+  // entry -> outer <- inner; built from MiniOO for brevity is not possible
+  // here (no frontend dependency), so construct by hand.
+  Function F("f", {Type::intTy()}, {"n"}, Type::voidTy());
+  BasicBlock *Entry = F.addBlock("entry");
+  BasicBlock *Outer = F.addBlock("outer");
+  BasicBlock *Inner = F.addBlock("inner");
+  BasicBlock *Exit = F.addBlock("exit");
+  IRBuilder B(F, Entry);
+  B.jump(Outer);
+  B.setInsertBlock(Outer);
+  Value *C1 = B.binop(BinOpInst::Opcode::Lt, F.constInt(0), F.arg(0));
+  B.branch(C1, Inner, Exit);
+  B.setInsertBlock(Inner);
+  Value *C2 = B.binop(BinOpInst::Opcode::Lt, F.constInt(1), F.arg(0));
+  B.branch(C2, Inner, Outer); // Self-loop + backedge to outer.
+  B.setInsertBlock(Exit);
+  B.ret();
+
+  DominatorTree DT(F);
+  LoopInfo LI(F, DT);
+  ASSERT_EQ(LI.loops().size(), 2u);
+  EXPECT_EQ(LI.depthOf(Inner), 2u);
+  EXPECT_EQ(LI.depthOf(Outer), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Cloner
+//===----------------------------------------------------------------------===//
+
+TEST(ClonerTest, CloneFunctionIsDeepAndEquivalent) {
+  auto F = buildLoopFunction();
+  ClonedFunction Clone = cloneFunction(*F, "sum2");
+  EXPECT_TRUE(verifyFunction(*Clone.F).empty());
+  EXPECT_EQ(Clone.F->name(), "sum2");
+  EXPECT_EQ(Clone.F->instructionCount(), F->instructionCount());
+  EXPECT_EQ(Clone.F->blocks().size(), F->blocks().size());
+  // Value map covers arguments and instructions.
+  EXPECT_TRUE(Clone.ValueMap.count(F->arg(0)));
+  // Profile ids preserved.
+  for (size_t BI = 0; BI < F->blocks().size(); ++BI) {
+    const auto &Old = F->blocks()[BI];
+    const auto &New = Clone.F->blocks()[BI];
+    for (size_t II = 0; II < Old->size(); ++II)
+      EXPECT_EQ(Old->instructions()[II]->profileId(),
+                New->instructions()[II]->profileId());
+  }
+  // Mutating the clone leaves the original untouched.
+  size_t Before = F->instructionCount();
+  Clone.F->entry()->erase(
+      Clone.F->entry()->terminator()); // Unhook the jump.
+  EXPECT_EQ(F->instructionCount(), Before);
+}
+
+TEST(ClonerTest, CloneBodyIntoGetsFreshProfileIds) {
+  auto Callee = buildLoopFunction();
+  Function Host("host", {Type::intTy()}, {"n"}, Type::intTy());
+  BasicBlock *Entry = Host.addBlock("entry");
+  (void)Entry;
+  unsigned Watermark = Host.nextProfileIdWatermark();
+  ClonedBody Body = cloneBodyInto(*Callee, Host, {Host.arg(0)});
+  ASSERT_NE(Body.Entry, nullptr);
+  EXPECT_EQ(Body.Returns.size(), 1u);
+  for (const auto &BB : Host.blocks())
+    for (const auto &Inst : BB->instructions())
+      EXPECT_GE(Inst->profileId(), Watermark);
+  // The callee argument was replaced by the host's argument.
+  bool UsesHostArg = false;
+  for (const Instruction *User : Host.arg(0)->users())
+    UsesHostArg |= User->parent()->parent() == &Host;
+  EXPECT_TRUE(UsesHostArg);
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier negative tests
+//===----------------------------------------------------------------------===//
+
+TEST(VerifierTest, DetectsMissingTerminator) {
+  Function F("f", {}, {}, Type::voidTy());
+  BasicBlock *Entry = F.addBlock("entry");
+  IRBuilder B(F, Entry);
+  B.binop(BinOpInst::Opcode::Add, F.constInt(1), F.constInt(2));
+  std::vector<std::string> Problems = verifyFunction(F);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("terminator"), std::string::npos);
+}
+
+TEST(VerifierTest, DetectsPhiPredecessorMismatch) {
+  Function F("f", {Type::boolTy()}, {"c"}, Type::intTy());
+  BasicBlock *Entry = F.addBlock("entry");
+  BasicBlock *Next = F.addBlock("next");
+  IRBuilder B(F, Entry);
+  B.jump(Next);
+  B.setInsertBlock(Next);
+  PhiInst *Phi = B.phi(Type::intTy());
+  // Wrong: incoming from Next itself, which is not a predecessor.
+  Phi->addIncoming(F.constInt(1), Next);
+  B.ret(Phi);
+  std::vector<std::string> Problems = verifyFunction(F);
+  EXPECT_FALSE(Problems.empty());
+}
+
+TEST(VerifierTest, DetectsUseBeforeDef) {
+  Function F("f", {}, {}, Type::intTy());
+  BasicBlock *Entry = F.addBlock("entry");
+  IRBuilder B(F, Entry);
+  Value *A = B.binop(BinOpInst::Opcode::Add, F.constInt(1), F.constInt(2));
+  Value *M = B.binop(BinOpInst::Opcode::Mul, A, A);
+  B.ret(M);
+  // Move the mul before the add by detaching/reinserting.
+  auto *MulInst = cast<Instruction>(M);
+  std::unique_ptr<Instruction> Owned = Entry->detach(MulInst);
+  Entry->insertAt(0, std::move(Owned));
+  std::vector<std::string> Problems = verifyFunction(F);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("use before def"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,245 @@
+//===- tests/jit_profile_test.cpp - JIT runtime & profile unit tests -------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/JitRuntime.h"
+
+#include "TestHelpers.h"
+#include "inliner/Compilers.h"
+#include "profile/BlockFrequency.h"
+
+#include <gtest/gtest.h>
+
+using namespace incline;
+using incline::testing::compile;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Block frequencies (the paper's f(n) substrate)
+//===----------------------------------------------------------------------===//
+
+/// Block frequency of the block containing the unique Call to \p Callee.
+double callsiteFrequency(const ir::Function &F,
+                         const profile::ProfileTable &Profiles,
+                         const std::string &Callee) {
+  auto Freq = profile::computeBlockFrequencies(F, &Profiles, F.name());
+  for (const auto &BB : F.blocks())
+    for (const auto &Inst : BB->instructions())
+      if (const auto *Call = dyn_cast<ir::CallInst>(Inst.get()))
+        if (Call->callee() == Callee)
+          return Freq.at(BB.get());
+  ADD_FAILURE() << "no callsite to " << Callee;
+  return 0;
+}
+
+TEST(BlockFrequencyTest, HotLoopConvergesToTripCount) {
+  auto M = compile(R"(
+    def leaf(): int { return 1; }
+    def main() {
+      var i = 0;
+      var acc = 0;
+      while (i < 1000) { acc = acc + leaf(); i = i + 1; }
+      print(acc);
+    }
+  )");
+  profile::ProfileTable Profiles;
+  ASSERT_TRUE(interp::runMain(*M, &Profiles).ok());
+  // A truncated power iteration would report ~50 here; the loop-scale
+  // solver must recover the true ~1000.
+  EXPECT_NEAR(callsiteFrequency(*M->function("main"), Profiles, "leaf"),
+              1000.0, 20.0);
+}
+
+TEST(BlockFrequencyTest, NestedLoopsMultiply) {
+  auto M = compile(R"(
+    def leaf(): int { return 1; }
+    def main() {
+      var acc = 0;
+      var i = 0;
+      while (i < 20) {
+        var j = 0;
+        while (j < 30) { acc = acc + leaf(); j = j + 1; }
+        i = i + 1;
+      }
+      print(acc);
+    }
+  )");
+  profile::ProfileTable Profiles;
+  ASSERT_TRUE(interp::runMain(*M, &Profiles).ok());
+  EXPECT_NEAR(callsiteFrequency(*M->function("main"), Profiles, "leaf"),
+              600.0, 30.0);
+}
+
+TEST(BlockFrequencyTest, BranchProbabilitiesSplitFlow) {
+  auto M = compile(R"(
+    def hot(): int { return 1; }
+    def cold(): int { return 2; }
+    def main() {
+      var acc = 0;
+      var i = 0;
+      while (i < 100) {
+        if (i % 10 == 0) { acc = acc + cold(); }
+        else { acc = acc + hot(); }
+        i = i + 1;
+      }
+      print(acc);
+    }
+  )");
+  profile::ProfileTable Profiles;
+  ASSERT_TRUE(interp::runMain(*M, &Profiles).ok());
+  const ir::Function &Main = *M->function("main");
+  EXPECT_NEAR(callsiteFrequency(Main, Profiles, "hot"), 90.0, 5.0);
+  EXPECT_NEAR(callsiteFrequency(Main, Profiles, "cold"), 10.0, 2.0);
+}
+
+TEST(BlockFrequencyTest, DefaultsToHalfWithoutProfiles) {
+  auto M = compile(R"(
+    def f(c: bool): int {
+      if (c) { return 1; }
+      return 2;
+    }
+    def main() { }
+  )");
+  const ir::Function &F = *M->function("f");
+  auto Freq = profile::computeBlockFrequencies(F, nullptr, "f");
+  // Both branch targets get 0.5.
+  int Halves = 0;
+  for (const auto &[BB, V] : Freq)
+    if (std::abs(V - 0.5) < 1e-9)
+      ++Halves;
+  EXPECT_GE(Halves, 2);
+}
+
+TEST(BlockFrequencyTest, FrequencyCapBoundsPathologicalLoops) {
+  auto M = compile(R"(
+    def main() {
+      var i = 0;
+      while (i < 100) { i = i + 1; }
+    }
+  )");
+  // Fake a profile claiming the loop never exits.
+  profile::ProfileTable Profiles;
+  const ir::Function &Main = *M->function("main");
+  for (const auto &BB : Main.blocks())
+    for (const auto &Inst : BB->instructions())
+      if (const auto *Br = dyn_cast<ir::BranchInst>(Inst.get())) {
+        profile::BranchProfile &BP =
+            Profiles.methodProfile("main").Branches[Br->profileId()];
+        BP.TrueCount = 1'000'000;
+        BP.FalseCount = 0;
+      }
+  auto Freq = profile::computeBlockFrequencies(Main, &Profiles, "main");
+  for (const auto &[BB, V] : Freq)
+    EXPECT_LE(V, profile::MaxBlockFrequency);
+}
+
+//===----------------------------------------------------------------------===//
+// JIT runtime details
+//===----------------------------------------------------------------------===//
+
+const char *TwoHotOneCold = R"(
+  def hot1(x: int): int { return x + 1; }
+  def hot2(x: int): int { return x * 2; }
+  def cold(x: int): int { return x - 1; }
+  def main() {
+    var acc = 0;
+    var i = 0;
+    while (i < 50) { acc = hot1(acc) + hot2(i); i = i + 1; }
+    acc = cold(acc);
+    print(acc);
+  }
+)";
+
+TEST(JitRuntimeDetailTest, OnlyHotMethodsCompile) {
+  auto M = compile(TwoHotOneCold);
+  inliner::IncrementalCompiler Compiler;
+  jit::JitConfig Config;
+  Config.CompileThreshold = 20;
+  jit::JitRuntime Runtime(*M, Compiler, Config);
+  Runtime.runMain();
+  std::set<std::string> Compiled;
+  for (const auto &Record : Runtime.compilations())
+    Compiled.insert(Record.Symbol);
+  EXPECT_TRUE(Compiled.count("hot1"));
+  EXPECT_TRUE(Compiled.count("hot2"));
+  EXPECT_FALSE(Compiled.count("cold")); // Called once.
+}
+
+TEST(JitRuntimeDetailTest, CompilationsArriveInHotnessOrder) {
+  auto M = compile(TwoHotOneCold);
+  inliner::IncrementalCompiler Compiler;
+  jit::JitConfig Config;
+  Config.CompileThreshold = 10;
+  jit::JitRuntime Runtime(*M, Compiler, Config);
+  Runtime.runMain();
+  // hot1 is invoked before hot2 within each iteration, so it crosses the
+  // threshold first: compile indices reflect the online stream.
+  ASSERT_GE(Runtime.compilations().size(), 2u);
+  EXPECT_EQ(Runtime.compilations()[0].Symbol, "hot1");
+  EXPECT_EQ(Runtime.compilations()[0].CompileIndex, 0u);
+}
+
+TEST(JitRuntimeDetailTest, CompileNowIsIdempotent) {
+  auto M = compile(TwoHotOneCold);
+  inliner::IncrementalCompiler Compiler;
+  jit::JitRuntime Runtime(*M, Compiler);
+  Runtime.compileNow("hot1");
+  Runtime.compileNow("hot1");
+  EXPECT_EQ(Runtime.compilations().size(), 1u);
+  Runtime.compileNow("no-such-symbol"); // Silently ignored.
+  EXPECT_EQ(Runtime.compilations().size(), 1u);
+}
+
+TEST(JitRuntimeDetailTest, ResolvePrefersCompiledCode) {
+  auto M = compile(TwoHotOneCold);
+  inliner::IncrementalCompiler Compiler;
+  jit::JitRuntime Runtime(*M, Compiler);
+  interp::ResolvedBody Before = Runtime.resolve("hot1");
+  EXPECT_FALSE(Before.Compiled);
+  EXPECT_EQ(Before.F, M->function("hot1"));
+  Runtime.compileNow("hot1");
+  interp::ResolvedBody After = Runtime.resolve("hot1");
+  EXPECT_TRUE(After.Compiled);
+  EXPECT_NE(After.F, M->function("hot1"));
+  EXPECT_EQ(After.ProfileName, "hot1");
+}
+
+TEST(JitRuntimeDetailTest, EffectiveCyclesApplyICachePressure) {
+  interp::ExecResult R;
+  R.InterpretedCycles = 1000;
+  R.CompiledCycles = 1000;
+  auto M = compile(TwoHotOneCold);
+  inliner::IncrementalCompiler Compiler;
+  jit::JitRuntime Runtime(*M, Compiler);
+  // Nothing installed: no pressure.
+  EXPECT_DOUBLE_EQ(Runtime.effectiveCycles(R), 2000.0);
+  // The static pressure curve itself.
+  EXPECT_DOUBLE_EQ(interp::CostModel::icachePressure(0), 1.0);
+  EXPECT_DOUBLE_EQ(
+      interp::CostModel::icachePressure(interp::CostModel::DefaultICacheBudget),
+      1.0);
+  EXPECT_GT(interp::CostModel::icachePressure(
+                2 * interp::CostModel::DefaultICacheBudget),
+            1.2);
+}
+
+TEST(JitRuntimeDetailTest, ProfilesStopGrowingOnceCompiled) {
+  // Once a method runs compiled, the interpreter no longer records its
+  // profiles — mirroring §II.2 ("runtimes stop measuring the hotness").
+  auto M = compile(TwoHotOneCold);
+  inliner::IncrementalCompiler Compiler;
+  jit::JitConfig Config;
+  Config.CompileThreshold = 5;
+  jit::JitRuntime Runtime(*M, Compiler, Config);
+  Runtime.runMain();
+  uint64_t CountAfterFirst =
+      Runtime.profileTable().invocationCount("hot1");
+  Runtime.runMain(); // Fully compiled now.
+  EXPECT_EQ(Runtime.profileTable().invocationCount("hot1"),
+            CountAfterFirst);
+}
+
+} // namespace

@@ -1,0 +1,173 @@
+//===- tests/opt_cfg_test.cpp - CFG utility unit tests ----------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/CFGUtils.h"
+
+#include "TestHelpers.h"
+#include "ir/IRBuilder.h"
+#include "opt/InlineIR.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace incline;
+using namespace incline::ir;
+using namespace incline::opt;
+using types::Type;
+
+namespace {
+
+TEST(CFGUtilsTest, RemovesUnreachableChain) {
+  Function F("f", {}, {}, Type::intTy());
+  BasicBlock *Entry = F.addBlock("entry");
+  BasicBlock *DeadA = F.addBlock("deadA");
+  BasicBlock *DeadB = F.addBlock("deadB");
+  IRBuilder B(F, Entry);
+  B.ret(F.constInt(1));
+  // deadA <-> deadB form an unreachable cycle referencing each other.
+  B.setInsertBlock(DeadA);
+  Value *V = B.binop(BinOpInst::Opcode::Add, F.constInt(1), F.constInt(2));
+  B.jump(DeadB);
+  B.setInsertBlock(DeadB);
+  B.binop(BinOpInst::Opcode::Mul, V, V); // Cross-block use among the dead.
+  B.jump(DeadA);
+
+  EXPECT_EQ(removeUnreachableBlocks(F), 2u);
+  EXPECT_EQ(F.blocks().size(), 1u);
+  incline::testing::expectVerified(F);
+}
+
+TEST(CFGUtilsTest, UnreachablePredRemovalFixesPhis) {
+  Function F("f", {Type::boolTy()}, {"c"}, Type::intTy());
+  BasicBlock *Entry = F.addBlock("entry");
+  BasicBlock *Dead = F.addBlock("dead");
+  BasicBlock *Merge = F.addBlock("merge");
+  IRBuilder B(F, Entry);
+  B.jump(Merge);
+  B.setInsertBlock(Dead);
+  B.jump(Merge);
+  B.setInsertBlock(Merge);
+  PhiInst *Phi = B.phi(Type::intTy());
+  Phi->addIncoming(F.constInt(1), Entry);
+  Phi->addIncoming(F.constInt(2), Dead);
+  B.ret(Phi);
+
+  EXPECT_EQ(removeUnreachableBlocks(F), 1u);
+  // The phi lost its dead edge; now trivial but still valid.
+  EXPECT_EQ(Phi->numIncoming(), 1u);
+  incline::testing::expectVerified(F);
+}
+
+TEST(CFGUtilsTest, MergesStraightLineBlocks) {
+  Function F("f", {}, {}, Type::intTy());
+  BasicBlock *Entry = F.addBlock("entry");
+  BasicBlock *Mid = F.addBlock("mid");
+  BasicBlock *End = F.addBlock("end");
+  IRBuilder B(F, Entry);
+  Value *A = B.binop(BinOpInst::Opcode::Add, F.constInt(1), F.constInt(2));
+  B.jump(Mid);
+  B.setInsertBlock(Mid);
+  Value *M = B.binop(BinOpInst::Opcode::Mul, A, A);
+  B.jump(End);
+  B.setInsertBlock(End);
+  B.ret(M);
+
+  EXPECT_EQ(mergeStraightLineBlocks(F), 2u);
+  EXPECT_EQ(F.blocks().size(), 1u);
+  EXPECT_EQ(F.entry()->size(), 3u); // add, mul, ret.
+  incline::testing::expectVerified(F);
+}
+
+TEST(CFGUtilsTest, MergeRekeysSuccessorPhis) {
+  // entry -> mid -> cond; loop cond <-> body. After merging mid into
+  // entry, cond's phi must key its entry edge by `entry`, not `mid`.
+  Function F("f", {Type::intTy()}, {"n"}, Type::intTy());
+  BasicBlock *Entry = F.addBlock("entry");
+  BasicBlock *Mid = F.addBlock("mid");
+  BasicBlock *Cond = F.addBlock("cond");
+  BasicBlock *Body = F.addBlock("body");
+  BasicBlock *Exit = F.addBlock("exit");
+  IRBuilder B(F, Entry);
+  B.jump(Mid);
+  B.setInsertBlock(Mid);
+  B.jump(Cond);
+  B.setInsertBlock(Cond);
+  PhiInst *I = B.phi(Type::intTy());
+  Value *Lt = B.binop(BinOpInst::Opcode::Lt, I, F.arg(0));
+  B.branch(Lt, Body, Exit);
+  B.setInsertBlock(Body);
+  Value *Inc = B.binop(BinOpInst::Opcode::Add, I, F.constInt(1));
+  B.jump(Cond);
+  B.setInsertBlock(Exit);
+  B.ret(I);
+  I->addIncoming(F.constInt(0), Mid);
+  I->addIncoming(Inc, Body);
+  incline::testing::expectVerified(F);
+
+  EXPECT_EQ(mergeStraightLineBlocks(F), 1u);
+  incline::testing::expectVerified(F);
+  EXPECT_EQ(I->incomingValueFor(Entry), F.constInt(0));
+}
+
+TEST(CFGUtilsTest, MergeSkipsEntryAndMultiPredTargets) {
+  Function F("f", {Type::boolTy()}, {"c"}, Type::intTy());
+  BasicBlock *Entry = F.addBlock("entry");
+  BasicBlock *Then = F.addBlock("then");
+  BasicBlock *Merge = F.addBlock("merge");
+  IRBuilder B(F, Entry);
+  B.branch(F.arg(0), Then, Merge);
+  B.setInsertBlock(Then);
+  B.jump(Merge);
+  B.setInsertBlock(Merge);
+  B.ret(F.constInt(0));
+  // Merge has two predecessors: nothing to merge.
+  EXPECT_EQ(mergeStraightLineBlocks(F), 0u);
+}
+
+TEST(SplitBlockTest, SplitsAfterInstruction) {
+  Function F("f", {Type::intTy()}, {"x"}, Type::intTy());
+  BasicBlock *Entry = F.addBlock("entry");
+  IRBuilder B(F, Entry);
+  Value *A = B.binop(BinOpInst::Opcode::Add, F.arg(0), F.constInt(1));
+  Value *M = B.binop(BinOpInst::Opcode::Mul, A, A);
+  B.ret(M);
+
+  BasicBlock *Cont = splitBlockAfter(F, cast<Instruction>(A));
+  // Entry keeps [add]; Cont holds [mul, ret]. Entry has no terminator yet.
+  EXPECT_EQ(Entry->size(), 1u);
+  EXPECT_EQ(Cont->size(), 2u);
+  EXPECT_FALSE(Entry->hasTerminator());
+  B.setInsertBlock(Entry);
+  B.jump(Cont);
+  incline::testing::expectVerified(F);
+}
+
+TEST(SplitBlockTest, SuccessorPhisRekeyed) {
+  Function F("f", {Type::boolTy()}, {"c"}, Type::intTy());
+  BasicBlock *Entry = F.addBlock("entry");
+  BasicBlock *Other = F.addBlock("other");
+  BasicBlock *Merge = F.addBlock("merge");
+  IRBuilder B(F, Entry);
+  Value *A = B.binop(BinOpInst::Opcode::Add, F.constInt(1), F.constInt(2));
+  B.branch(F.arg(0), Merge, Other);
+  B.setInsertBlock(Other);
+  B.jump(Merge);
+  B.setInsertBlock(Merge);
+  PhiInst *Phi = B.phi(Type::intTy());
+  Phi->addIncoming(A, Entry);
+  Phi->addIncoming(F.constInt(9), Other);
+  B.ret(Phi);
+
+  BasicBlock *Cont = splitBlockAfter(F, cast<Instruction>(A));
+  // The branch moved into Cont: Merge's phi edge must now come from Cont.
+  EXPECT_EQ(Phi->incomingValueFor(Cont), A);
+  EXPECT_EQ(Phi->incomingValueFor(Entry), nullptr);
+  B.setInsertBlock(Entry);
+  B.jump(Cont);
+  incline::testing::expectVerified(F);
+}
+
+} // namespace

@@ -1,0 +1,628 @@
+//===- tests/opt_passes_test.cpp - DCE/GVN/RWE/peeling/inline tests --------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "opt/Canonicalizer.h"
+#include "opt/DCE.h"
+#include "opt/GVN.h"
+#include "opt/InlineIR.h"
+#include "opt/LoopPeeling.h"
+#include "opt/PassPipeline.h"
+#include "opt/ReadWriteElimination.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace incline;
+using namespace incline::ir;
+using namespace incline::opt;
+using incline::testing::compile;
+using incline::testing::expectVerified;
+using incline::testing::runOutput;
+
+namespace {
+
+size_t countKind(const Function &F, ValueKind Kind) {
+  size_t Count = 0;
+  for (const auto &BB : F.blocks())
+    for (const auto &Inst : BB->instructions())
+      if (Inst->kind() == Kind)
+        ++Count;
+  return Count;
+}
+
+Instruction *findFirst(Function &F, ValueKind Kind) {
+  for (const auto &BB : F.blocks())
+    for (const auto &Inst : BB->instructions())
+      if (Inst->kind() == Kind)
+        return Inst.get();
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// DCE
+//===----------------------------------------------------------------------===//
+
+TEST(DCETest, RemovesUnusedPureChain) {
+  auto M = compile(R"(
+    def f(x: int): int {
+      var dead1 = x * 100;
+      var dead2 = dead1 + 5;
+      var dead3 = dead2 - dead1;
+      return x;
+    }
+    def main() { }
+  )");
+  Function *F = M->function("f");
+  DCEStats Stats = eliminateDeadCode(*F);
+  EXPECT_EQ(Stats.InstructionsRemoved, 3u);
+  EXPECT_EQ(countKind(*F, ValueKind::BinOp), 0u);
+  expectVerified(*F);
+}
+
+TEST(DCETest, KeepsSideEffects) {
+  auto M = compile(R"(
+    class C { var f: int; }
+    def f(c: C) {
+      print(1);
+      c.f = 2;
+      var unusedLoad = c.f;
+    }
+    def main() { }
+  )");
+  Function *F = M->function("f");
+  eliminateDeadCode(*F);
+  EXPECT_EQ(countKind(*F, ValueKind::Print), 1u);
+  EXPECT_EQ(countKind(*F, ValueKind::StoreField), 1u);
+  // The unused load is pure -> removed.
+  EXPECT_EQ(countKind(*F, ValueKind::LoadField), 0u);
+}
+
+TEST(DCETest, KeepsCallsTheyMayHaveEffects) {
+  auto M = compile(R"(
+    def g(): int { print(1); return 2; }
+    def f() { var unused = g(); }
+    def main() { }
+  )");
+  Function *F = M->function("f");
+  eliminateDeadCode(*F);
+  EXPECT_EQ(countKind(*F, ValueKind::Call), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// GVN
+//===----------------------------------------------------------------------===//
+
+TEST(GVNTest, EliminatesRedundantComputation) {
+  auto M = compile(R"(
+    def f(x: int, y: int): int {
+      var a = x + y;
+      var b = x + y;
+      return a * b;
+    }
+    def main() { }
+  )");
+  Function *F = M->function("f");
+  size_t Eliminated = runGVN(*F);
+  EXPECT_EQ(Eliminated, 1u);
+  EXPECT_EQ(countKind(*F, ValueKind::BinOp), 2u); // One add + the mul.
+  expectVerified(*F);
+}
+
+TEST(GVNTest, CommutativeOperandsUnify) {
+  auto M = compile(R"(
+    def f(x: int, y: int): int { return (x + y) + (y + x); }
+    def main() { }
+  )");
+  Function *F = M->function("f");
+  EXPECT_EQ(runGVN(*F), 1u);
+}
+
+TEST(GVNTest, RedundancyAcrossDominatedBlocks) {
+  auto M = compile(R"(
+    def f(x: int, c: bool): int {
+      var a = x * 17;
+      if (c) { return x * 17; }
+      return a;
+    }
+    def main() { }
+  )");
+  Function *F = M->function("f");
+  EXPECT_EQ(runGVN(*F), 1u);
+  expectVerified(*F);
+}
+
+TEST(GVNTest, NoUnificationAcrossSiblingBranches) {
+  auto M = compile(R"(
+    def f(x: int, c: bool): int {
+      if (c) { return x * 17; }
+      return x * 17;
+    }
+    def main() { }
+  )");
+  Function *F = M->function("f");
+  // Neither branch dominates the other: both computations stay.
+  EXPECT_EQ(runGVN(*F), 0u);
+}
+
+TEST(GVNTest, DoesNotTouchMemoryReads) {
+  auto M = compile(R"(
+    class C { var f: int; }
+    def f(c: C): int {
+      var a = c.f;
+      c.f = a + 1;
+      var b = c.f;
+      return a + b;
+    }
+    def main() { }
+  )");
+  Function *F = M->function("f");
+  EXPECT_EQ(runGVN(*F), 0u);
+  EXPECT_EQ(countKind(*F, ValueKind::LoadField), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Read-write elimination
+//===----------------------------------------------------------------------===//
+
+TEST(RWETest, ForwardsStoreToLoad) {
+  auto M = compile(R"(
+    class C { var f: int; }
+    def f(c: C, v: int): int {
+      c.f = v;
+      return c.f;
+    }
+    def main() { }
+  )");
+  Function *F = M->function("f");
+  RWEStats Stats = eliminateReadsWrites(*F);
+  EXPECT_EQ(Stats.LoadsForwarded, 1u);
+  EXPECT_EQ(countKind(*F, ValueKind::LoadField), 0u);
+  expectVerified(*F);
+}
+
+TEST(RWETest, DeduplicatesRepeatedLoads) {
+  auto M = compile(R"(
+    class C { var f: int; }
+    def f(c: C): int { return c.f + c.f; }
+    def main() { }
+  )");
+  Function *F = M->function("f");
+  RWEStats Stats = eliminateReadsWrites(*F);
+  EXPECT_EQ(Stats.LoadsDeduplicated, 1u);
+  EXPECT_EQ(countKind(*F, ValueKind::LoadField), 1u);
+}
+
+TEST(RWETest, CallsKillKnowledge) {
+  auto M = compile(R"(
+    class C { var f: int; }
+    def g() { }
+    def f(c: C): int {
+      var a = c.f;
+      g();
+      return c.f + a;
+    }
+    def main() { }
+  )");
+  Function *F = M->function("f");
+  RWEStats Stats = eliminateReadsWrites(*F);
+  EXPECT_EQ(Stats.LoadsDeduplicated, 0u);
+  EXPECT_EQ(countKind(*F, ValueKind::LoadField), 2u);
+}
+
+TEST(RWETest, RemovesDeadStores) {
+  auto M = compile(R"(
+    class C { var f: int; }
+    def f(c: C) {
+      c.f = 1;
+      c.f = 2;
+    }
+    def main() { }
+  )");
+  Function *F = M->function("f");
+  RWEStats Stats = eliminateReadsWrites(*F);
+  EXPECT_EQ(Stats.StoresRemoved, 1u);
+  EXPECT_EQ(countKind(*F, ValueKind::StoreField), 1u);
+}
+
+TEST(RWETest, AliasingLoadBlocksDeadStoreRemoval) {
+  // c.f = 1 may be observed through d.f when c == d at run time.
+  auto M = compile(R"(
+    class C { var f: int; }
+    def f(c: C, d: C): int {
+      c.f = 1;
+      var observed = d.f;
+      c.f = 2;
+      return observed;
+    }
+    def main() { }
+  )");
+  Function *F = M->function("f");
+  RWEStats Stats = eliminateReadsWrites(*F);
+  EXPECT_EQ(Stats.StoresRemoved, 0u);
+  EXPECT_EQ(countKind(*F, ValueKind::StoreField), 2u);
+}
+
+TEST(RWETest, ForwardingRestoresExactTypeForDevirtualization) {
+  // The paper's §IV rationale: the receiver's exact type is lost through
+  // the field store and restored by read-write elimination, after which
+  // canonicalization devirtualizes the call.
+  const char *Source = R"(
+    class A { def m(): int { return 1; } }
+    class B extends A { def m(): int { return 2; } }
+    class Holder { var a: A; }
+    def f(): int {
+      var h = new Holder();
+      h.a = new B();
+      return h.a.m();
+    }
+    def main() { print(f()); }
+  )";
+  auto M = compile(Source);
+  Function *F = M->function("f");
+  CanonStats FirstCanon = canonicalize(*F, *M);
+  EXPECT_EQ(FirstCanon.Devirtualized, 0u); // Blocked by the memory round-trip.
+  eliminateReadsWrites(*F);
+  CanonStats SecondCanon = canonicalize(*F, *M);
+  EXPECT_EQ(SecondCanon.Devirtualized, 1u);
+  expectVerified(*M);
+  EXPECT_EQ(runOutput(*M), "2\n");
+}
+
+TEST(RWETest, SemanticsPreservedOnArrays) {
+  const char *Source = R"(
+    def main() {
+      var xs = new int[3];
+      xs[0] = 1;
+      xs[1] = xs[0] + 1;
+      xs[0] = 5;
+      print(xs[0] + xs[1] + xs[2]);
+    }
+  )";
+  auto Reference = compile(Source);
+  std::string Expected = runOutput(*Reference);
+  auto M = compile(Source);
+  eliminateReadsWrites(*M->function("main"));
+  expectVerified(*M);
+  EXPECT_EQ(runOutput(*M), Expected);
+}
+
+//===----------------------------------------------------------------------===//
+// Inline substitution
+//===----------------------------------------------------------------------===//
+
+TEST(InlineTest, InlinesSimpleCall) {
+  const char *Source = R"(
+    def add(a: int, b: int): int { return a + b; }
+    def main() { print(add(3, 4)); }
+  )";
+  auto M = compile(Source);
+  Function *Main = M->function("main");
+  auto *Call = cast<CallInst>(findFirst(*Main, ValueKind::Call));
+  inlineCall(*Main, Call, *M->function("add"));
+  expectVerified(*Main);
+  EXPECT_EQ(countKind(*Main, ValueKind::Call), 0u);
+  EXPECT_EQ(runOutput(*M), "7\n");
+}
+
+TEST(InlineTest, InlinesCallWithMultipleReturns) {
+  const char *Source = R"(
+    def pick(c: bool, a: int, b: int): int {
+      if (c) { return a; }
+      return b;
+    }
+    def main() { print(pick(true, 1, 2)); print(pick(false, 1, 2)); }
+  )";
+  auto M = compile(Source);
+  Function *Main = M->function("main");
+  // Inline both callsites.
+  while (Instruction *Call = findFirst(*Main, ValueKind::Call))
+    inlineCall(*Main, cast<CallInst>(Call), *M->function("pick"));
+  expectVerified(*Main);
+  EXPECT_EQ(runOutput(*M), "1\n2\n");
+}
+
+TEST(InlineTest, InlinesVoidCallee) {
+  const char *Source = R"(
+    def shout(x: int) { print(x); print(x); }
+    def main() { shout(9); }
+  )";
+  auto M = compile(Source);
+  Function *Main = M->function("main");
+  auto *Call = cast<CallInst>(findFirst(*Main, ValueKind::Call));
+  inlineCall(*Main, Call, *M->function("shout"));
+  expectVerified(*Main);
+  EXPECT_EQ(runOutput(*M), "9\n9\n");
+}
+
+TEST(InlineTest, InlinesCalleeWithLoop) {
+  const char *Source = R"(
+    def sum(n: int): int {
+      var i = 0;
+      var acc = 0;
+      while (i < n) { acc = acc + i; i = i + 1; }
+      return acc;
+    }
+    def main() { print(sum(10)); }
+  )";
+  auto M = compile(Source);
+  Function *Main = M->function("main");
+  auto *Call = cast<CallInst>(findFirst(*Main, ValueKind::Call));
+  inlineCall(*Main, Call, *M->function("sum"));
+  expectVerified(*Main);
+  EXPECT_EQ(runOutput(*M), "45\n");
+}
+
+TEST(InlineTest, ValueMapTracksCalleeInstructions) {
+  const char *Source = R"(
+    def g(): int { return h(); }
+    def h(): int { return 5; }
+    def main() { print(g()); }
+  )";
+  auto M = compile(Source);
+  Function *Main = M->function("main");
+  Function *G = M->function("g");
+  const Instruction *InnerCall = findFirst(*G, ValueKind::Call);
+  auto *Call = cast<CallInst>(findFirst(*Main, ValueKind::Call));
+  InlineResult Result = inlineCall(*Main, Call, *G);
+  // The callee's h() callsite maps to a cloned callsite in main.
+  auto It = Result.ValueMap.find(InnerCall);
+  ASSERT_NE(It, Result.ValueMap.end());
+  auto *Cloned = dyn_cast<CallInst>(It->second);
+  ASSERT_NE(Cloned, nullptr);
+  EXPECT_EQ(Cloned->callee(), "h");
+  EXPECT_EQ(Cloned->parent()->parent(), Main);
+}
+
+TEST(InlineTest, ArgumentSpecializationKeepsExactTypes) {
+  // The inlined body sees `new B()` directly as the parameter.
+  const char *Source = R"(
+    class A { def m(): int { return 1; } }
+    class B extends A { def m(): int { return 2; } }
+    def call(a: A): int { return a.m(); }
+    def main() { print(call(new B())); }
+  )";
+  auto M = compile(Source);
+  Function *Main = M->function("main");
+  auto *Call = cast<CallInst>(findFirst(*Main, ValueKind::Call));
+  inlineCall(*Main, Call, *M->function("call"));
+  // After inlining, canonicalization devirtualizes using the exact arg.
+  CanonStats Stats = canonicalize(*Main, *M);
+  EXPECT_EQ(Stats.Devirtualized, 1u);
+  expectVerified(*M);
+  EXPECT_EQ(runOutput(*M), "2\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Typeswitch emission (polymorphic inlining)
+//===----------------------------------------------------------------------===//
+
+TEST(TypeSwitchTest, PreservesSemanticsForAllReceivers) {
+  const char *Source = R"(
+    class A { def m(): int { return 1; } }
+    class B extends A { def m(): int { return 2; } }
+    class C extends A { def m(): int { return 3; } }
+    def f(a: A): int { return a.m(); }
+    def main() {
+      print(f(new A()));
+      print(f(new B()));
+      print(f(new C()));
+    }
+  )";
+  auto Reference = compile(Source);
+  std::string Expected = runOutput(*Reference);
+
+  auto M = compile(Source);
+  Function *F = M->function("f");
+  auto *VCall = cast<VirtualCallInst>(findFirst(*F, ValueKind::VirtualCall));
+  auto &Classes = M->classes();
+  int A = *Classes.classIdOf("A");
+  int B = *Classes.classIdOf("B");
+  // Speculate A and B; C goes through the fallback virtual call.
+  std::vector<SpeculatedTarget> Targets = {
+      {A, Classes.resolveMethod(A, "m")},
+      {B, Classes.resolveMethod(B, "m")},
+  };
+  TypeSwitchResult Result = emitTypeSwitch(*F, VCall, Targets);
+  ASSERT_EQ(Result.DirectCalls.size(), 2u);
+  ASSERT_NE(Result.Fallback, nullptr);
+  expectVerified(*F);
+  EXPECT_EQ(runOutput(*M), Expected);
+}
+
+TEST(TypeSwitchTest, NullReceiverStillTraps) {
+  const char *Source = R"(
+    class A { def m(): int { return 1; } }
+    def f(a: A): int { return a.m(); }
+    def main() { var a: A = null; print(f(a)); }
+  )";
+  auto M = compile(Source);
+  Function *F = M->function("f");
+  auto *VCall = cast<VirtualCallInst>(findFirst(*F, ValueKind::VirtualCall));
+  auto &Classes = M->classes();
+  int A = *Classes.classIdOf("A");
+  emitTypeSwitch(*F, VCall, {{A, Classes.resolveMethod(A, "m")}});
+  interp::ExecResult R = interp::runMain(*M);
+  EXPECT_EQ(R.Trap, interp::TrapKind::NullPointer);
+}
+
+TEST(TypeSwitchTest, ArmReceiverIsExactForFurtherOptimization) {
+  const char *Source = R"(
+    class A { def m(): int { return 1; } }
+    class B extends A { def m(): int { return 2; } }
+    def f(a: A): int { return a.m(); }
+    def main() { print(f(new B())); }
+  )";
+  auto M = compile(Source);
+  Function *F = M->function("f");
+  auto *VCall = cast<VirtualCallInst>(findFirst(*F, ValueKind::VirtualCall));
+  auto &Classes = M->classes();
+  int B = *Classes.classIdOf("B");
+  TypeSwitchResult Result =
+      emitTypeSwitch(*F, VCall, {{B, Classes.resolveMethod(B, "m")}});
+  // The arm's receiver (operand 0 of the direct call) is pinned exact.
+  ASSERT_EQ(Result.DirectCalls.size(), 1u);
+  EXPECT_TRUE(Result.DirectCalls[0]->arg(0)->hasExactType());
+  EXPECT_EQ(Result.DirectCalls[0]->arg(0)->type().classId(), B);
+  expectVerified(*F);
+  EXPECT_EQ(runOutput(*M), "2\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Loop peeling
+//===----------------------------------------------------------------------===//
+
+TEST(LoopPeelingTest, PeelsTypeTriggeredLoop) {
+  // `cur` starts exactly as B and is replaced by poly() results in later
+  // iterations: the first iteration specializes.
+  const char *Source = R"(
+    class A { def next(): A { return this; } def v(): int { return 1; } }
+    class B extends A { def v(): int { return 2; } }
+    def f(n: int): int {
+      var cur: A = new B();
+      var acc = 0;
+      var i = 0;
+      while (i < n) {
+        acc = acc + cur.v();
+        cur = cur.next();
+        i = i + 1;
+      }
+      return acc;
+    }
+    def main() { print(f(4)); }
+  )";
+  auto Reference = compile(Source);
+  std::string Expected = runOutput(*Reference);
+
+  auto M = compile(Source);
+  Function *F = M->function("f");
+  size_t Peeled = peelLoops(*F);
+  EXPECT_EQ(Peeled, 1u);
+  expectVerified(*F);
+  EXPECT_EQ(runOutput(*M), Expected);
+}
+
+TEST(LoopPeelingTest, SkipsLoopsWithoutTypeTrigger) {
+  auto M = compile(R"(
+    def f(n: int): int {
+      var i = 0;
+      while (i < n) { i = i + 1; }
+      return i;
+    }
+    def main() { }
+  )");
+  EXPECT_EQ(peelLoops(*M->function("f")), 0u);
+}
+
+TEST(LoopPeelingTest, ForcedPeelingPreservesSemantics) {
+  const char *Source = R"(
+    def f(n: int): int {
+      var i = 0;
+      var acc = 100;
+      while (i < n) { acc = acc + i * 2; i = i + 1; }
+      return acc + i;
+    }
+    def main() { print(f(0)); print(f(1)); print(f(7)); }
+  )";
+  auto Reference = compile(Source);
+  std::string Expected = runOutput(*Reference);
+
+  auto M = compile(Source);
+  PeelOptions Options;
+  Options.RequireTypeTrigger = false;
+  EXPECT_EQ(peelLoops(*M->function("f"), Options), 1u);
+  expectVerified(*M->function("f"));
+  EXPECT_EQ(runOutput(*M), Expected);
+}
+
+TEST(LoopPeelingTest, PeelingEnablesDevirtualizationInPeeledIteration) {
+  const char *Source = R"(
+    class A { def next(): A { return this; } def v(): int { return 1; } }
+    class B extends A { def v(): int { return 2; } }
+    def f(n: int): int {
+      var cur: A = new B();
+      var acc = 0;
+      var i = 0;
+      while (i < n) {
+        acc = acc + cur.v();
+        cur = cur.next();
+        i = i + 1;
+      }
+      return acc;
+    }
+    def main() { }
+  )";
+  auto M = compile(Source);
+  Function *F = M->function("f");
+  size_t VCallsBefore = countKind(*F, ValueKind::VirtualCall);
+  ASSERT_EQ(peelLoops(*F), 1u);
+  CanonStats Stats = canonicalize(*F, *M);
+  // The peeled iteration's calls on the exactly-typed receiver fold.
+  EXPECT_GE(Stats.Devirtualized, 1u);
+  EXPECT_GT(countKind(*F, ValueKind::Call), 0u);
+  // The steady-state loop still has its polymorphic calls.
+  EXPECT_GE(countKind(*F, ValueKind::VirtualCall) +
+                countKind(*F, ValueKind::Call),
+            VCallsBefore);
+}
+
+//===----------------------------------------------------------------------===//
+// Full pipeline
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineTest, EndToEndSemanticsPreserved) {
+  const char *Source = R"(
+    class Node {
+      var value: int;
+      var next: Node;
+      def sum(): int {
+        if (this.next == null) { return this.value; }
+        return this.value + this.next.sum();
+      }
+    }
+    def build(n: int): Node {
+      var head: Node = null;
+      var i = 0;
+      while (i < n) {
+        var fresh = new Node();
+        fresh.value = i;
+        fresh.next = head;
+        head = fresh;
+        i = i + 1;
+      }
+      return head;
+    }
+    def main() { print(build(10).sum()); }
+  )";
+  auto Reference = compile(Source);
+  std::string Expected = runOutput(*Reference);
+  auto M = compile(Source);
+  for (const auto &[Name, F] : M->functions())
+    runOptimizationPipeline(*F, *M);
+  expectVerified(*M);
+  EXPECT_EQ(runOutput(*M), Expected);
+}
+
+TEST(PipelineTest, ShrinksCode) {
+  auto M = compile(R"(
+    def f(x: int): int {
+      var a = x + 0;
+      var b = a * 1;
+      var c = b + b;
+      var d = b + b;
+      var unused = x * 99;
+      return c + d;
+    }
+    def main() { }
+  )");
+  Function *F = M->function("f");
+  size_t Before = F->instructionCount();
+  runOptimizationPipeline(*F, *M);
+  EXPECT_LT(F->instructionCount(), Before);
+  expectVerified(*F);
+}
+
+} // namespace

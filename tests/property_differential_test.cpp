@@ -1,0 +1,171 @@
+//===- tests/property_differential_test.cpp - Differential properties ------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The soundness backbone of the reproduction: parameterized sweeps over
+/// seeded random MiniOO programs, asserting that program behaviour is
+/// bit-identical
+///
+///   (a) after every optimization pipeline configuration,
+///   (b) under every inliner policy running in the tiered JIT,
+///
+/// and that the IR verifier holds after every transformation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "RandomProgram.h"
+
+#include "TestHelpers.h"
+#include "inliner/Compilers.h"
+#include "jit/JitRuntime.h"
+#include "opt/Canonicalizer.h"
+#include "opt/DCE.h"
+#include "opt/GVN.h"
+#include "opt/LoopPeeling.h"
+#include "opt/PassPipeline.h"
+#include "opt/ReadWriteElimination.h"
+
+#include <gtest/gtest.h>
+
+using namespace incline;
+using incline::testing::compile;
+using incline::testing::expectVerified;
+using incline::testing::generateRandomProgram;
+
+namespace {
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+/// Reference: interpreted, unoptimized.
+std::string oracle(const std::string &Source) {
+  auto M = compile(Source);
+  interp::ExecResult R = interp::runMain(*M);
+  EXPECT_TRUE(R.ok()) << "generated program trapped: " << R.TrapMessage
+                      << "\n"
+                      << Source;
+  return R.Output;
+}
+
+TEST_P(DifferentialTest, GeneratedProgramIsValidAndTrapFree) {
+  std::string Source = generateRandomProgram(GetParam());
+  frontend::CompileResult R = frontend::compileProgram(Source);
+  ASSERT_TRUE(R.succeeded())
+      << frontend::renderDiagnostics(R.Diags) << "\n"
+      << Source;
+  interp::ExecResult Run = interp::runMain(*R.Mod);
+  EXPECT_TRUE(Run.ok()) << Run.TrapMessage << "\n" << Source;
+  EXPECT_FALSE(Run.Output.empty());
+}
+
+TEST_P(DifferentialTest, OptimizationPipelinesPreserveBehaviour) {
+  std::string Source = generateRandomProgram(GetParam());
+  std::string Expected = oracle(Source);
+
+  using Transform = std::function<void(ir::Function &, const ir::Module &)>;
+  std::pair<const char *, Transform> Variants[] = {
+      {"canonicalize",
+       [](ir::Function &F, const ir::Module &M) {
+         opt::canonicalize(F, M);
+       }},
+      {"canonicalize-no-devirt",
+       [](ir::Function &F, const ir::Module &M) {
+         opt::CanonOptions Options;
+         Options.EnableDevirtualization = false;
+         opt::canonicalize(F, M, Options);
+       }},
+      {"gvn+dce",
+       [](ir::Function &F, const ir::Module &M) {
+         (void)M;
+         opt::runGVN(F);
+         opt::eliminateDeadCode(F);
+       }},
+      {"rwe",
+       [](ir::Function &F, const ir::Module &M) {
+         (void)M;
+         opt::eliminateReadsWrites(F);
+       }},
+      {"forced-peeling",
+       [](ir::Function &F, const ir::Module &M) {
+         (void)M;
+         opt::PeelOptions Options;
+         Options.RequireTypeTrigger = false;
+         opt::peelLoops(F, Options);
+       }},
+      {"full-pipeline",
+       [](ir::Function &F, const ir::Module &M) {
+         opt::runOptimizationPipeline(F, M);
+       }},
+      {"pipeline-x3",
+       [](ir::Function &F, const ir::Module &M) {
+         for (int I = 0; I < 3; ++I)
+           opt::runOptimizationPipeline(F, M);
+       }},
+  };
+
+  for (const auto &[Label, Apply] : Variants) {
+    auto M = compile(Source);
+    for (const auto &[Name, F] : M->functions())
+      Apply(*F, *M);
+    expectVerified(*M);
+    interp::ExecResult R = interp::runMain(*M);
+    ASSERT_TRUE(R.ok()) << Label << " trapped: " << R.TrapMessage << "\n"
+                        << Source;
+    EXPECT_EQ(R.Output, Expected) << Label << "\n" << Source;
+  }
+}
+
+TEST_P(DifferentialTest, InlinerPoliciesPreserveBehaviour) {
+  std::string Source = generateRandomProgram(GetParam());
+  std::string Expected = oracle(Source);
+
+  std::vector<std::pair<std::string, std::unique_ptr<jit::Compiler>>>
+      Compilers;
+  Compilers.emplace_back("incremental",
+                         std::make_unique<inliner::IncrementalCompiler>());
+  {
+    inliner::InlinerConfig C;
+    C.UseClustering = false;
+    Compilers.emplace_back(
+        "1-by-1", std::make_unique<inliner::IncrementalCompiler>(C));
+  }
+  {
+    inliner::InlinerConfig C;
+    C.DeepTrials = false;
+    Compilers.emplace_back(
+        "shallow", std::make_unique<inliner::IncrementalCompiler>(C));
+  }
+  {
+    inliner::InlinerConfig C;
+    C.ExpansionPolicy = inliner::ExpansionPolicyKind::FixedTreeSize;
+    C.InliningPolicy = inliner::InliningPolicyKind::FixedRootSize;
+    Compilers.emplace_back(
+        "fixed", std::make_unique<inliner::IncrementalCompiler>(C));
+  }
+  Compilers.emplace_back("greedy",
+                         std::make_unique<inliner::GreedyCompiler>());
+  Compilers.emplace_back("c2", std::make_unique<inliner::C2StyleCompiler>());
+  Compilers.emplace_back("c1", std::make_unique<inliner::TrivialCompiler>());
+
+  for (auto &[Label, Compiler] : Compilers) {
+    auto M = compile(Source);
+    jit::JitConfig Config;
+    Config.CompileThreshold = 1; // Compile everything immediately.
+    jit::JitRuntime Runtime(*M, *Compiler, Config);
+    for (int Iter = 0; Iter < 3; ++Iter) {
+      interp::ExecResult R = Runtime.runMain();
+      ASSERT_TRUE(R.ok()) << Label << " trapped: " << R.TrapMessage << "\n"
+                          << Source;
+      EXPECT_EQ(R.Output, Expected)
+          << Label << " iteration " << Iter << "\n"
+          << Source;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Range<uint64_t>(0, 50));
+
+} // namespace

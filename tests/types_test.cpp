@@ -1,0 +1,125 @@
+//===- tests/types_test.cpp - Class hierarchy unit tests --------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "types/ClassHierarchy.h"
+
+#include <gtest/gtest.h>
+
+using namespace incline::types;
+
+namespace {
+
+/// Animal <- Dog <- Puppy; Animal <- Cat. Dog overrides sound; Cat
+/// overrides sound; Puppy inherits Dog's.
+class HierarchyFixture : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Animal = H.addClass("Animal");
+    Dog = H.addClass("Dog", Animal);
+    Puppy = H.addClass("Puppy", Dog);
+    Cat = H.addClass("Cat", Animal);
+    H.addField(Animal, "age", Type::intTy());
+    H.addField(Dog, "tricks", Type::intTy());
+    H.addMethod(Animal, "sound", {}, Type::intTy());
+    H.addMethod(Dog, "sound", {}, Type::intTy());
+    H.addMethod(Cat, "sound", {}, Type::intTy());
+    H.addMethod(Animal, "age2", {}, Type::intTy());
+  }
+
+  ClassHierarchy H;
+  int Animal = 0, Dog = 0, Puppy = 0, Cat = 0;
+};
+
+TEST_F(HierarchyFixture, ClassLookup) {
+  EXPECT_EQ(H.numClasses(), 4u);
+  EXPECT_EQ(H.classIdOf("Dog"), Dog);
+  EXPECT_FALSE(H.classIdOf("Horse").has_value());
+  EXPECT_EQ(H.classInfo(Puppy).SuperId, Dog);
+}
+
+TEST_F(HierarchyFixture, Subtyping) {
+  EXPECT_TRUE(H.isSubclassOf(Puppy, Animal));
+  EXPECT_TRUE(H.isSubclassOf(Dog, Dog));
+  EXPECT_FALSE(H.isSubclassOf(Animal, Dog));
+  EXPECT_FALSE(H.isSubclassOf(Cat, Dog));
+  // Null is a subclass of everything.
+  EXPECT_TRUE(H.isSubclassOf(NullClassId, Dog));
+}
+
+TEST_F(HierarchyFixture, Assignability) {
+  EXPECT_TRUE(H.isAssignable(Type::object(Puppy), Type::object(Animal)));
+  EXPECT_FALSE(H.isAssignable(Type::object(Animal), Type::object(Puppy)));
+  EXPECT_TRUE(H.isAssignable(Type::nullTy(), Type::object(Cat)));
+  EXPECT_TRUE(H.isAssignable(Type::nullTy(), Type::intArray()));
+  EXPECT_FALSE(H.isAssignable(Type::intTy(), Type::boolTy()));
+  EXPECT_TRUE(H.isAssignable(Type::intTy(), Type::intTy()));
+  // Array covariance on the element class.
+  EXPECT_TRUE(
+      H.isAssignable(Type::objectArray(Dog), Type::objectArray(Animal)));
+  EXPECT_FALSE(
+      H.isAssignable(Type::objectArray(Animal), Type::objectArray(Dog)));
+}
+
+TEST_F(HierarchyFixture, MethodResolution) {
+  const MethodInfo *PuppySound = H.resolveMethod(Puppy, "sound");
+  ASSERT_NE(PuppySound, nullptr);
+  EXPECT_EQ(PuppySound->QualifiedName, "Dog.sound"); // Inherited override.
+  EXPECT_EQ(H.resolveMethod(Cat, "sound")->QualifiedName, "Cat.sound");
+  EXPECT_EQ(H.resolveMethod(Puppy, "age2")->QualifiedName, "Animal.age2");
+  EXPECT_EQ(H.resolveMethod(Puppy, "missing"), nullptr);
+}
+
+TEST_F(HierarchyFixture, FieldLayoutFlattensInheritance) {
+  const auto &Layout = H.fieldLayout(Puppy);
+  ASSERT_EQ(Layout.size(), 2u);
+  EXPECT_EQ(Layout[0].Name, "age");
+  EXPECT_EQ(Layout[0].Index, 0u);
+  EXPECT_EQ(Layout[1].Name, "tricks");
+  EXPECT_EQ(Layout[1].Index, 1u);
+  EXPECT_EQ(H.fieldIndex(Dog, "tricks"), 1u);
+  EXPECT_EQ(H.fieldAt(Puppy, 0).Name, "age");
+  // Cat only has the inherited field.
+  EXPECT_EQ(H.fieldLayout(Cat).size(), 1u);
+}
+
+TEST_F(HierarchyFixture, DispatchTargets) {
+  auto Targets = H.dispatchTargets(Animal, "sound");
+  // One entry per class in the subtree (4 classes).
+  EXPECT_EQ(Targets.size(), 4u);
+  // sound is polymorphic below Animal: no unique target.
+  EXPECT_EQ(H.uniqueDispatchTarget(Animal, "sound"), nullptr);
+  // Below Dog, Puppy does not override: unique.
+  const MethodInfo *FromDog = H.uniqueDispatchTarget(Dog, "sound");
+  ASSERT_NE(FromDog, nullptr);
+  EXPECT_EQ(FromDog->QualifiedName, "Dog.sound");
+  // age2 is never overridden: unique from the root.
+  EXPECT_EQ(H.uniqueDispatchTarget(Animal, "age2")->QualifiedName,
+            "Animal.age2");
+}
+
+TEST_F(HierarchyFixture, SubtreeEnumeration) {
+  std::vector<int> Sub = H.subtreeOf(Dog);
+  EXPECT_EQ(Sub.size(), 2u); // Dog + Puppy.
+  Sub = H.subtreeOf(Animal);
+  EXPECT_EQ(Sub.size(), 4u);
+}
+
+TEST(TypeTest, BasicPredicates) {
+  EXPECT_TRUE(Type::intTy().isInt());
+  EXPECT_TRUE(Type::voidTy().isVoid());
+  EXPECT_TRUE(Type::nullTy().isNull());
+  EXPECT_TRUE(Type::nullTy().isObject());
+  EXPECT_TRUE(Type::nullTy().isReference());
+  EXPECT_TRUE(Type::intArray().isArray());
+  EXPECT_FALSE(Type::intArray().isObjectArray());
+  EXPECT_TRUE(Type::objectArray(3).isObjectArray());
+  EXPECT_EQ(Type::objectArray(3).classId(), 3);
+  EXPECT_EQ(Type::object(2), Type::object(2));
+  EXPECT_NE(Type::object(2), Type::object(1));
+  EXPECT_NE(Type::intTy(), Type::boolTy());
+}
+
+} // namespace

@@ -1,0 +1,246 @@
+//===- tools/minioo.cpp - The MiniOO command-line driver --------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A command-line driver around the library:
+///
+///   minioo run <file> [--jit=incremental|greedy|c2|c1|off]
+///                     [--threshold=N] [--iterations=N] [--stats]
+///       Executes the program under the tiered runtime and prints its
+///       output (and, with --stats, cycles/code/compilations).
+///
+///   minioo dump <file> [--function=NAME] [--optimize]
+///       Prints the SSA IR of one function (or all), optionally after the
+///       standard optimization pipeline.
+///
+///   minioo compile <file> --function=NAME [--jit=...]
+///       Profiles the program once, compiles NAME with the chosen inliner
+///       and prints the optimized IR plus compile statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "inliner/Compilers.h"
+#include "interp/Interpreter.h"
+#include "ir/IRPrinter.h"
+#include "jit/JitRuntime.h"
+#include "opt/PassPipeline.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace incline;
+
+namespace {
+
+struct Options {
+  std::string Command;
+  std::string File;
+  std::string Jit = "incremental";
+  std::string Function;
+  uint64_t Threshold = 50;
+  int Iterations = 1;
+  bool Stats = false;
+  bool Optimize = false;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  minioo run <file> [--jit=incremental|greedy|c2|c1|off]\n"
+      "                    [--threshold=N] [--iterations=N] [--stats]\n"
+      "  minioo dump <file> [--function=NAME] [--optimize]\n"
+      "  minioo compile <file> --function=NAME [--jit=...]\n");
+  return 2;
+}
+
+std::optional<Options> parseArgs(int argc, char **argv) {
+  if (argc < 3)
+    return std::nullopt;
+  Options Opts;
+  Opts.Command = argv[1];
+  Opts.File = argv[2];
+  for (int I = 3; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto ValueOf = [&](const char *Prefix) -> std::optional<std::string> {
+      if (!startsWith(Arg, Prefix))
+        return std::nullopt;
+      return Arg.substr(std::string(Prefix).size());
+    };
+    if (auto V = ValueOf("--jit=")) {
+      Opts.Jit = *V;
+    } else if (auto V = ValueOf("--threshold=")) {
+      Opts.Threshold = std::stoull(*V);
+    } else if (auto V = ValueOf("--iterations=")) {
+      Opts.Iterations = std::stoi(*V);
+    } else if (auto V = ValueOf("--function=")) {
+      Opts.Function = *V;
+    } else if (Arg == "--stats") {
+      Opts.Stats = true;
+    } else if (Arg == "--optimize") {
+      Opts.Optimize = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      return std::nullopt;
+    }
+  }
+  return Opts;
+}
+
+std::optional<std::string> readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+std::unique_ptr<jit::Compiler> makeCompiler(const std::string &Name) {
+  if (Name == "incremental" || Name == "off")
+    return std::make_unique<inliner::IncrementalCompiler>();
+  if (Name == "greedy")
+    return std::make_unique<inliner::GreedyCompiler>();
+  if (Name == "c2")
+    return std::make_unique<inliner::C2StyleCompiler>();
+  if (Name == "c1")
+    return std::make_unique<inliner::TrivialCompiler>();
+  return nullptr;
+}
+
+int cmdRun(const Options &Opts, ir::Module &M) {
+  std::unique_ptr<jit::Compiler> Compiler = makeCompiler(Opts.Jit);
+  if (!Compiler) {
+    std::fprintf(stderr, "unknown --jit '%s'\n", Opts.Jit.c_str());
+    return 2;
+  }
+  jit::JitConfig Config;
+  Config.CompileThreshold = Opts.Threshold;
+  Config.Enabled = Opts.Jit != "off";
+  jit::JitRuntime Runtime(M, *Compiler, Config);
+
+  for (int Iter = 0; Iter < Opts.Iterations; ++Iter) {
+    interp::ExecResult R = Runtime.runMain();
+    if (!R.ok()) {
+      std::fprintf(stderr, "runtime error: %s\n", R.TrapMessage.c_str());
+      return 1;
+    }
+    if (Iter + 1 == Opts.Iterations)
+      std::fputs(R.Output.c_str(), stdout);
+    if (Opts.Stats)
+      std::fprintf(stderr,
+                   "[iter %d] interp-cycles=%llu compiled-cycles=%llu "
+                   "effective=%.0f installed=%llu\n",
+                   Iter + 1,
+                   static_cast<unsigned long long>(R.InterpretedCycles),
+                   static_cast<unsigned long long>(R.CompiledCycles),
+                   Runtime.effectiveCycles(R),
+                   static_cast<unsigned long long>(
+                       Runtime.installedCodeSize()));
+  }
+  if (Opts.Stats) {
+    std::fprintf(stderr, "compilations:\n");
+    for (const jit::CompilationRecord &Record : Runtime.compilations())
+      std::fprintf(stderr, "  #%llu %-24s size=%llu inlined=%llu\n",
+                   static_cast<unsigned long long>(Record.CompileIndex),
+                   Record.Symbol.c_str(),
+                   static_cast<unsigned long long>(Record.Stats.CodeSize),
+                   static_cast<unsigned long long>(
+                       Record.Stats.InlinedCallsites));
+  }
+  return 0;
+}
+
+int cmdDump(const Options &Opts, ir::Module &M) {
+  if (Opts.Optimize)
+    for (const auto &[Name, F] : M.functions())
+      opt::runOptimizationPipeline(*F, M);
+  if (Opts.Function.empty()) {
+    std::fputs(ir::printModule(M).c_str(), stdout);
+    return 0;
+  }
+  const ir::Function *F = M.function(Opts.Function);
+  if (!F) {
+    std::fprintf(stderr, "no function '%s'\n", Opts.Function.c_str());
+    return 1;
+  }
+  std::fputs(ir::printFunction(*F).c_str(), stdout);
+  return 0;
+}
+
+int cmdCompile(const Options &Opts, ir::Module &M) {
+  if (Opts.Function.empty()) {
+    std::fprintf(stderr, "compile requires --function=NAME\n");
+    return 2;
+  }
+  const ir::Function *Source = M.function(Opts.Function);
+  if (!Source) {
+    std::fprintf(stderr, "no function '%s'\n", Opts.Function.c_str());
+    return 1;
+  }
+  std::unique_ptr<jit::Compiler> Compiler = makeCompiler(Opts.Jit);
+  if (!Compiler) {
+    std::fprintf(stderr, "unknown --jit '%s'\n", Opts.Jit.c_str());
+    return 2;
+  }
+
+  profile::ProfileTable Profiles;
+  interp::ExecResult ProfileRun = interp::runMain(M, &Profiles);
+  if (!ProfileRun.ok())
+    std::fprintf(stderr, "warning: profiling run trapped (%s); compiling "
+                 "with partial profiles\n",
+                 ProfileRun.TrapMessage.c_str());
+
+  jit::CompileStats Stats;
+  std::unique_ptr<ir::Function> Code =
+      Compiler->compile(*Source, M, Profiles, Stats);
+  std::fputs(ir::printFunction(*Code).c_str(), stdout);
+  std::fprintf(stderr,
+               "compiler=%s |ir| %zu -> %zu, inlined=%llu, rounds=%llu, "
+               "explored=%llu, opts=%llu\n",
+               Compiler->name().c_str(), Source->instructionCount(),
+               Code->instructionCount(),
+               static_cast<unsigned long long>(Stats.InlinedCallsites),
+               static_cast<unsigned long long>(Stats.Rounds),
+               static_cast<unsigned long long>(Stats.ExploredNodes),
+               static_cast<unsigned long long>(Stats.OptsTriggered));
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::optional<Options> Opts = parseArgs(argc, argv);
+  if (!Opts)
+    return usage();
+
+  std::optional<std::string> Source = readFile(Opts->File);
+  if (!Source) {
+    std::fprintf(stderr, "cannot read '%s'\n", Opts->File.c_str());
+    return 1;
+  }
+  frontend::CompileResult Compiled = frontend::compileProgram(*Source);
+  if (!Compiled.succeeded()) {
+    std::fputs(frontend::renderDiagnostics(Compiled.Diags).c_str(), stderr);
+    return 1;
+  }
+
+  if (Opts->Command == "run")
+    return cmdRun(*Opts, *Compiled.Mod);
+  if (Opts->Command == "dump")
+    return cmdDump(*Opts, *Compiled.Mod);
+  if (Opts->Command == "compile")
+    return cmdCompile(*Opts, *Compiled.Mod);
+  return usage();
+}
