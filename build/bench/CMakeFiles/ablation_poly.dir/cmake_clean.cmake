@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_poly.dir/ablation_poly.cpp.o"
+  "CMakeFiles/ablation_poly.dir/ablation_poly.cpp.o.d"
+  "ablation_poly"
+  "ablation_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

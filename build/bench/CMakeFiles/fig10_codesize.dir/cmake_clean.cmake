@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_codesize.dir/fig10_codesize.cpp.o"
+  "CMakeFiles/fig10_codesize.dir/fig10_codesize.cpp.o.d"
+  "fig10_codesize"
+  "fig10_codesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_codesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

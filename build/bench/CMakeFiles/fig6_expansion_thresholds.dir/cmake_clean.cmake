@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_expansion_thresholds.dir/fig6_expansion_thresholds.cpp.o"
+  "CMakeFiles/fig6_expansion_thresholds.dir/fig6_expansion_thresholds.cpp.o.d"
+  "fig6_expansion_thresholds"
+  "fig6_expansion_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_expansion_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

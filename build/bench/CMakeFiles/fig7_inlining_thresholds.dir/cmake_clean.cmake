@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_inlining_thresholds.dir/fig7_inlining_thresholds.cpp.o"
+  "CMakeFiles/fig7_inlining_thresholds.dir/fig7_inlining_thresholds.cpp.o.d"
+  "fig7_inlining_thresholds"
+  "fig7_inlining_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_inlining_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_clustering.dir/fig8_clustering.cpp.o"
+  "CMakeFiles/fig8_clustering.dir/fig8_clustering.cpp.o.d"
+  "fig8_clustering"
+  "fig8_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

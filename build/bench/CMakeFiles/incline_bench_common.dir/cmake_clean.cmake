@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incline_bench_common.dir/BenchCommon.cpp.o"
+  "CMakeFiles/incline_bench_common.dir/BenchCommon.cpp.o.d"
+  "libincline_bench_common.a"
+  "libincline_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incline_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

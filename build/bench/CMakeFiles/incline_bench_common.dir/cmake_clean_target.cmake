@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libincline_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_codesize_totals.dir/table1_codesize_totals.cpp.o"
+  "CMakeFiles/table1_codesize_totals.dir/table1_codesize_totals.cpp.o.d"
+  "table1_codesize_totals"
+  "table1_codesize_totals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_codesize_totals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

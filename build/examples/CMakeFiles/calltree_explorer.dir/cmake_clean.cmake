@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calltree_explorer.dir/calltree_explorer.cpp.o"
+  "CMakeFiles/calltree_explorer.dir/calltree_explorer.cpp.o.d"
+  "calltree_explorer"
+  "calltree_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calltree_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

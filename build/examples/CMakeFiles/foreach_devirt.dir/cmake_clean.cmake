@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foreach_devirt.dir/foreach_devirt.cpp.o"
+  "CMakeFiles/foreach_devirt.dir/foreach_devirt.cpp.o.d"
+  "foreach_devirt"
+  "foreach_devirt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foreach_devirt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

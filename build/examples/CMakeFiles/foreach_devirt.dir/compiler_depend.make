@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for foreach_devirt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jit_pipeline.dir/jit_pipeline.cpp.o"
+  "CMakeFiles/jit_pipeline.dir/jit_pipeline.cpp.o.d"
+  "jit_pipeline"
+  "jit_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jit_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incline_frontend.dir/Compiler.cpp.o"
+  "CMakeFiles/incline_frontend.dir/Compiler.cpp.o.d"
+  "CMakeFiles/incline_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/incline_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/incline_frontend.dir/Lowering.cpp.o"
+  "CMakeFiles/incline_frontend.dir/Lowering.cpp.o.d"
+  "CMakeFiles/incline_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/incline_frontend.dir/Parser.cpp.o.d"
+  "CMakeFiles/incline_frontend.dir/Sema.cpp.o"
+  "CMakeFiles/incline_frontend.dir/Sema.cpp.o.d"
+  "CMakeFiles/incline_frontend.dir/SourceLocation.cpp.o"
+  "CMakeFiles/incline_frontend.dir/SourceLocation.cpp.o.d"
+  "libincline_frontend.a"
+  "libincline_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incline_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inliner/Baselines.cpp" "src/inliner/CMakeFiles/incline_inliner.dir/Baselines.cpp.o" "gcc" "src/inliner/CMakeFiles/incline_inliner.dir/Baselines.cpp.o.d"
+  "/root/repo/src/inliner/CallTree.cpp" "src/inliner/CMakeFiles/incline_inliner.dir/CallTree.cpp.o" "gcc" "src/inliner/CMakeFiles/incline_inliner.dir/CallTree.cpp.o.d"
+  "/root/repo/src/inliner/ClusterAnalysis.cpp" "src/inliner/CMakeFiles/incline_inliner.dir/ClusterAnalysis.cpp.o" "gcc" "src/inliner/CMakeFiles/incline_inliner.dir/ClusterAnalysis.cpp.o.d"
+  "/root/repo/src/inliner/Compilers.cpp" "src/inliner/CMakeFiles/incline_inliner.dir/Compilers.cpp.o" "gcc" "src/inliner/CMakeFiles/incline_inliner.dir/Compilers.cpp.o.d"
+  "/root/repo/src/inliner/ExpansionPhase.cpp" "src/inliner/CMakeFiles/incline_inliner.dir/ExpansionPhase.cpp.o" "gcc" "src/inliner/CMakeFiles/incline_inliner.dir/ExpansionPhase.cpp.o.d"
+  "/root/repo/src/inliner/IncrementalInliner.cpp" "src/inliner/CMakeFiles/incline_inliner.dir/IncrementalInliner.cpp.o" "gcc" "src/inliner/CMakeFiles/incline_inliner.dir/IncrementalInliner.cpp.o.d"
+  "/root/repo/src/inliner/InliningPhase.cpp" "src/inliner/CMakeFiles/incline_inliner.dir/InliningPhase.cpp.o" "gcc" "src/inliner/CMakeFiles/incline_inliner.dir/InliningPhase.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/incline_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/incline_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/incline_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/jit/CMakeFiles/incline_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/incline_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/incline_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/incline_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incline_inliner.dir/Baselines.cpp.o"
+  "CMakeFiles/incline_inliner.dir/Baselines.cpp.o.d"
+  "CMakeFiles/incline_inliner.dir/CallTree.cpp.o"
+  "CMakeFiles/incline_inliner.dir/CallTree.cpp.o.d"
+  "CMakeFiles/incline_inliner.dir/ClusterAnalysis.cpp.o"
+  "CMakeFiles/incline_inliner.dir/ClusterAnalysis.cpp.o.d"
+  "CMakeFiles/incline_inliner.dir/Compilers.cpp.o"
+  "CMakeFiles/incline_inliner.dir/Compilers.cpp.o.d"
+  "CMakeFiles/incline_inliner.dir/ExpansionPhase.cpp.o"
+  "CMakeFiles/incline_inliner.dir/ExpansionPhase.cpp.o.d"
+  "CMakeFiles/incline_inliner.dir/IncrementalInliner.cpp.o"
+  "CMakeFiles/incline_inliner.dir/IncrementalInliner.cpp.o.d"
+  "CMakeFiles/incline_inliner.dir/InliningPhase.cpp.o"
+  "CMakeFiles/incline_inliner.dir/InliningPhase.cpp.o.d"
+  "libincline_inliner.a"
+  "libincline_inliner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incline_inliner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incline_interp.dir/Heap.cpp.o"
+  "CMakeFiles/incline_interp.dir/Heap.cpp.o.d"
+  "CMakeFiles/incline_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/incline_interp.dir/Interpreter.cpp.o.d"
+  "libincline_interp.a"
+  "libincline_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incline_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

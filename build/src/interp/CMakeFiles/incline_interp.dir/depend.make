@@ -1,0 +1,2 @@
+# Empty dependencies file for incline_interp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/BasicBlock.cpp" "src/ir/CMakeFiles/incline_ir.dir/BasicBlock.cpp.o" "gcc" "src/ir/CMakeFiles/incline_ir.dir/BasicBlock.cpp.o.d"
+  "/root/repo/src/ir/Dominators.cpp" "src/ir/CMakeFiles/incline_ir.dir/Dominators.cpp.o" "gcc" "src/ir/CMakeFiles/incline_ir.dir/Dominators.cpp.o.d"
+  "/root/repo/src/ir/Function.cpp" "src/ir/CMakeFiles/incline_ir.dir/Function.cpp.o" "gcc" "src/ir/CMakeFiles/incline_ir.dir/Function.cpp.o.d"
+  "/root/repo/src/ir/IRCloner.cpp" "src/ir/CMakeFiles/incline_ir.dir/IRCloner.cpp.o" "gcc" "src/ir/CMakeFiles/incline_ir.dir/IRCloner.cpp.o.d"
+  "/root/repo/src/ir/IRPrinter.cpp" "src/ir/CMakeFiles/incline_ir.dir/IRPrinter.cpp.o" "gcc" "src/ir/CMakeFiles/incline_ir.dir/IRPrinter.cpp.o.d"
+  "/root/repo/src/ir/IRVerifier.cpp" "src/ir/CMakeFiles/incline_ir.dir/IRVerifier.cpp.o" "gcc" "src/ir/CMakeFiles/incline_ir.dir/IRVerifier.cpp.o.d"
+  "/root/repo/src/ir/Instruction.cpp" "src/ir/CMakeFiles/incline_ir.dir/Instruction.cpp.o" "gcc" "src/ir/CMakeFiles/incline_ir.dir/Instruction.cpp.o.d"
+  "/root/repo/src/ir/LoopInfo.cpp" "src/ir/CMakeFiles/incline_ir.dir/LoopInfo.cpp.o" "gcc" "src/ir/CMakeFiles/incline_ir.dir/LoopInfo.cpp.o.d"
+  "/root/repo/src/ir/Module.cpp" "src/ir/CMakeFiles/incline_ir.dir/Module.cpp.o" "gcc" "src/ir/CMakeFiles/incline_ir.dir/Module.cpp.o.d"
+  "/root/repo/src/ir/Value.cpp" "src/ir/CMakeFiles/incline_ir.dir/Value.cpp.o" "gcc" "src/ir/CMakeFiles/incline_ir.dir/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/incline_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/incline_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

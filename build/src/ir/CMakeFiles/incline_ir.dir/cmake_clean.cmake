@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incline_ir.dir/BasicBlock.cpp.o"
+  "CMakeFiles/incline_ir.dir/BasicBlock.cpp.o.d"
+  "CMakeFiles/incline_ir.dir/Dominators.cpp.o"
+  "CMakeFiles/incline_ir.dir/Dominators.cpp.o.d"
+  "CMakeFiles/incline_ir.dir/Function.cpp.o"
+  "CMakeFiles/incline_ir.dir/Function.cpp.o.d"
+  "CMakeFiles/incline_ir.dir/IRCloner.cpp.o"
+  "CMakeFiles/incline_ir.dir/IRCloner.cpp.o.d"
+  "CMakeFiles/incline_ir.dir/IRPrinter.cpp.o"
+  "CMakeFiles/incline_ir.dir/IRPrinter.cpp.o.d"
+  "CMakeFiles/incline_ir.dir/IRVerifier.cpp.o"
+  "CMakeFiles/incline_ir.dir/IRVerifier.cpp.o.d"
+  "CMakeFiles/incline_ir.dir/Instruction.cpp.o"
+  "CMakeFiles/incline_ir.dir/Instruction.cpp.o.d"
+  "CMakeFiles/incline_ir.dir/LoopInfo.cpp.o"
+  "CMakeFiles/incline_ir.dir/LoopInfo.cpp.o.d"
+  "CMakeFiles/incline_ir.dir/Module.cpp.o"
+  "CMakeFiles/incline_ir.dir/Module.cpp.o.d"
+  "CMakeFiles/incline_ir.dir/Value.cpp.o"
+  "CMakeFiles/incline_ir.dir/Value.cpp.o.d"
+  "libincline_ir.a"
+  "libincline_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incline_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incline_jit.dir/JitRuntime.cpp.o"
+  "CMakeFiles/incline_jit.dir/JitRuntime.cpp.o.d"
+  "libincline_jit.a"
+  "libincline_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incline_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libincline_jit.a"
+)

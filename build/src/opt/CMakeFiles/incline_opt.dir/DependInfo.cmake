@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/CFGUtils.cpp" "src/opt/CMakeFiles/incline_opt.dir/CFGUtils.cpp.o" "gcc" "src/opt/CMakeFiles/incline_opt.dir/CFGUtils.cpp.o.d"
+  "/root/repo/src/opt/Canonicalizer.cpp" "src/opt/CMakeFiles/incline_opt.dir/Canonicalizer.cpp.o" "gcc" "src/opt/CMakeFiles/incline_opt.dir/Canonicalizer.cpp.o.d"
+  "/root/repo/src/opt/DCE.cpp" "src/opt/CMakeFiles/incline_opt.dir/DCE.cpp.o" "gcc" "src/opt/CMakeFiles/incline_opt.dir/DCE.cpp.o.d"
+  "/root/repo/src/opt/GVN.cpp" "src/opt/CMakeFiles/incline_opt.dir/GVN.cpp.o" "gcc" "src/opt/CMakeFiles/incline_opt.dir/GVN.cpp.o.d"
+  "/root/repo/src/opt/InlineIR.cpp" "src/opt/CMakeFiles/incline_opt.dir/InlineIR.cpp.o" "gcc" "src/opt/CMakeFiles/incline_opt.dir/InlineIR.cpp.o.d"
+  "/root/repo/src/opt/LoopPeeling.cpp" "src/opt/CMakeFiles/incline_opt.dir/LoopPeeling.cpp.o" "gcc" "src/opt/CMakeFiles/incline_opt.dir/LoopPeeling.cpp.o.d"
+  "/root/repo/src/opt/PassPipeline.cpp" "src/opt/CMakeFiles/incline_opt.dir/PassPipeline.cpp.o" "gcc" "src/opt/CMakeFiles/incline_opt.dir/PassPipeline.cpp.o.d"
+  "/root/repo/src/opt/ReadWriteElimination.cpp" "src/opt/CMakeFiles/incline_opt.dir/ReadWriteElimination.cpp.o" "gcc" "src/opt/CMakeFiles/incline_opt.dir/ReadWriteElimination.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/incline_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/incline_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/incline_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

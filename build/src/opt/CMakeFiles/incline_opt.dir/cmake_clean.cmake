@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incline_opt.dir/CFGUtils.cpp.o"
+  "CMakeFiles/incline_opt.dir/CFGUtils.cpp.o.d"
+  "CMakeFiles/incline_opt.dir/Canonicalizer.cpp.o"
+  "CMakeFiles/incline_opt.dir/Canonicalizer.cpp.o.d"
+  "CMakeFiles/incline_opt.dir/DCE.cpp.o"
+  "CMakeFiles/incline_opt.dir/DCE.cpp.o.d"
+  "CMakeFiles/incline_opt.dir/GVN.cpp.o"
+  "CMakeFiles/incline_opt.dir/GVN.cpp.o.d"
+  "CMakeFiles/incline_opt.dir/InlineIR.cpp.o"
+  "CMakeFiles/incline_opt.dir/InlineIR.cpp.o.d"
+  "CMakeFiles/incline_opt.dir/LoopPeeling.cpp.o"
+  "CMakeFiles/incline_opt.dir/LoopPeeling.cpp.o.d"
+  "CMakeFiles/incline_opt.dir/PassPipeline.cpp.o"
+  "CMakeFiles/incline_opt.dir/PassPipeline.cpp.o.d"
+  "CMakeFiles/incline_opt.dir/ReadWriteElimination.cpp.o"
+  "CMakeFiles/incline_opt.dir/ReadWriteElimination.cpp.o.d"
+  "libincline_opt.a"
+  "libincline_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incline_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/BlockFrequency.cpp" "src/profile/CMakeFiles/incline_profile.dir/BlockFrequency.cpp.o" "gcc" "src/profile/CMakeFiles/incline_profile.dir/BlockFrequency.cpp.o.d"
+  "/root/repo/src/profile/ProfileData.cpp" "src/profile/CMakeFiles/incline_profile.dir/ProfileData.cpp.o" "gcc" "src/profile/CMakeFiles/incline_profile.dir/ProfileData.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/incline_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/incline_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/incline_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

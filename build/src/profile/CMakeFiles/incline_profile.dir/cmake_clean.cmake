@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incline_profile.dir/BlockFrequency.cpp.o"
+  "CMakeFiles/incline_profile.dir/BlockFrequency.cpp.o.d"
+  "CMakeFiles/incline_profile.dir/ProfileData.cpp.o"
+  "CMakeFiles/incline_profile.dir/ProfileData.cpp.o.d"
+  "libincline_profile.a"
+  "libincline_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incline_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

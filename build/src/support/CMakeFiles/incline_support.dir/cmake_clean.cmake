@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incline_support.dir/ErrorHandling.cpp.o"
+  "CMakeFiles/incline_support.dir/ErrorHandling.cpp.o.d"
+  "CMakeFiles/incline_support.dir/Random.cpp.o"
+  "CMakeFiles/incline_support.dir/Random.cpp.o.d"
+  "CMakeFiles/incline_support.dir/Statistics.cpp.o"
+  "CMakeFiles/incline_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/incline_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/incline_support.dir/StringUtils.cpp.o.d"
+  "libincline_support.a"
+  "libincline_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incline_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

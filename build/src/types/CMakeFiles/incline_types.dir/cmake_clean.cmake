@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incline_types.dir/ClassHierarchy.cpp.o"
+  "CMakeFiles/incline_types.dir/ClassHierarchy.cpp.o.d"
+  "libincline_types.a"
+  "libincline_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incline_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

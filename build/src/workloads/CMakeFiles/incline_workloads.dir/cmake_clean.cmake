@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incline_workloads.dir/Harness.cpp.o"
+  "CMakeFiles/incline_workloads.dir/Harness.cpp.o.d"
+  "CMakeFiles/incline_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/incline_workloads.dir/Workloads.cpp.o.d"
+  "CMakeFiles/incline_workloads.dir/WorkloadsDaCapo.cpp.o"
+  "CMakeFiles/incline_workloads.dir/WorkloadsDaCapo.cpp.o.d"
+  "CMakeFiles/incline_workloads.dir/WorkloadsScala.cpp.o"
+  "CMakeFiles/incline_workloads.dir/WorkloadsScala.cpp.o.d"
+  "CMakeFiles/incline_workloads.dir/WorkloadsSparkOther.cpp.o"
+  "CMakeFiles/incline_workloads.dir/WorkloadsSparkOther.cpp.o.d"
+  "libincline_workloads.a"
+  "libincline_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incline_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

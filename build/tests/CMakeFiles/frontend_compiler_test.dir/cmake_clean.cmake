@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_compiler_test.dir/frontend_compiler_test.cpp.o"
+  "CMakeFiles/frontend_compiler_test.dir/frontend_compiler_test.cpp.o.d"
+  "frontend_compiler_test"
+  "frontend_compiler_test.pdb"
+  "frontend_compiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_compiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inliner_calltree_test.dir/inliner_calltree_test.cpp.o"
+  "CMakeFiles/inliner_calltree_test.dir/inliner_calltree_test.cpp.o.d"
+  "inliner_calltree_test"
+  "inliner_calltree_test.pdb"
+  "inliner_calltree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inliner_calltree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

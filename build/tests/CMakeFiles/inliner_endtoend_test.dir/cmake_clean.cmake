@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inliner_endtoend_test.dir/inliner_endtoend_test.cpp.o"
+  "CMakeFiles/inliner_endtoend_test.dir/inliner_endtoend_test.cpp.o.d"
+  "inliner_endtoend_test"
+  "inliner_endtoend_test.pdb"
+  "inliner_endtoend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inliner_endtoend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inliner_phases_test.dir/inliner_phases_test.cpp.o"
+  "CMakeFiles/inliner_phases_test.dir/inliner_phases_test.cpp.o.d"
+  "inliner_phases_test"
+  "inliner_phases_test.pdb"
+  "inliner_phases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inliner_phases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jit_profile_test.dir/jit_profile_test.cpp.o"
+  "CMakeFiles/jit_profile_test.dir/jit_profile_test.cpp.o.d"
+  "jit_profile_test"
+  "jit_profile_test.pdb"
+  "jit_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jit_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

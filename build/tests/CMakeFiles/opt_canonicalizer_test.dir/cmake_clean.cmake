@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_canonicalizer_test.dir/opt_canonicalizer_test.cpp.o"
+  "CMakeFiles/opt_canonicalizer_test.dir/opt_canonicalizer_test.cpp.o.d"
+  "opt_canonicalizer_test"
+  "opt_canonicalizer_test.pdb"
+  "opt_canonicalizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_canonicalizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

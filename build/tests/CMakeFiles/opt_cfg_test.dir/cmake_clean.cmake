@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_cfg_test.dir/opt_cfg_test.cpp.o"
+  "CMakeFiles/opt_cfg_test.dir/opt_cfg_test.cpp.o.d"
+  "opt_cfg_test"
+  "opt_cfg_test.pdb"
+  "opt_cfg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_cfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

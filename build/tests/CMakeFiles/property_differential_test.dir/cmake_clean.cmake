@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_differential_test.dir/RandomProgram.cpp.o"
+  "CMakeFiles/property_differential_test.dir/RandomProgram.cpp.o.d"
+  "CMakeFiles/property_differential_test.dir/property_differential_test.cpp.o"
+  "CMakeFiles/property_differential_test.dir/property_differential_test.cpp.o.d"
+  "property_differential_test"
+  "property_differential_test.pdb"
+  "property_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/support_test.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/support_test.dir/support_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/incline_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/incline_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/incline_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/incline_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/incline_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/incline_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/incline_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/jit/CMakeFiles/incline_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/inliner/CMakeFiles/incline_inliner.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/incline_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/frontend_lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_compiler_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/opt_canonicalizer_test[1]_include.cmake")
+include("/root/repo/build/tests/opt_passes_test[1]_include.cmake")
+include("/root/repo/build/tests/inliner_calltree_test[1]_include.cmake")
+include("/root/repo/build/tests/inliner_endtoend_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/property_differential_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/types_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_structure_test[1]_include.cmake")
+include("/root/repo/build/tests/jit_profile_test[1]_include.cmake")
+include("/root/repo/build/tests/opt_cfg_test[1]_include.cmake")
+include("/root/repo/build/tests/inliner_phases_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_parser_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_semantics_edge_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minioo.dir/minioo.cpp.o"
+  "CMakeFiles/minioo.dir/minioo.cpp.o.d"
+  "minioo"
+  "minioo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minioo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
