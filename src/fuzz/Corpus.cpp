@@ -1,0 +1,68 @@
+//===- fuzz/Corpus.cpp -------------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Corpus.h"
+
+#include "fuzz/Oracle.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace incline;
+using namespace incline::fuzz;
+
+namespace fs = std::filesystem;
+
+std::vector<CorpusEntry> incline::fuzz::loadCorpus(const std::string &Dir) {
+  std::vector<CorpusEntry> Entries;
+  std::error_code EC;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir, EC)) {
+    if (!E.is_regular_file() || E.path().extension() != ".minioo")
+      continue;
+    std::ifstream In(E.path());
+    if (!In)
+      continue;
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    Entries.push_back({E.path().string(), E.path().filename().string(),
+                       Buffer.str()});
+  }
+  std::sort(Entries.begin(), Entries.end(),
+            [](const CorpusEntry &A, const CorpusEntry &B) {
+              return A.Name < B.Name;
+            });
+  return Entries;
+}
+
+std::string incline::fuzz::writeCorpusEntry(const std::string &Dir,
+                                            uint64_t Seed,
+                                            const Divergence &Div,
+                                            const std::string &Source) {
+  fs::create_directories(Dir);
+  // Stage names contain ':' which is awkward in file names.
+  std::string Slug = Div.Stage;
+  for (char &C : Slug)
+    if (C == ':' || C == '/' || C == ' ')
+      C = '-';
+  std::string Name = "seed-" + std::to_string(Seed) + "-" + Slug + ".minioo";
+  fs::path Path = fs::path(Dir) / Name;
+
+  std::ofstream Out(Path);
+  Out << "// incline-fuzz regression input\n";
+  Out << "// seed: " << Seed << "\n";
+  Out << "// divergence: " << Div.summary() << "\n";
+  if (!Div.Detail.empty()) {
+    std::string Detail = Div.Detail;
+    std::replace(Detail.begin(), Detail.end(), '\n', ' ');
+    Out << "// detail: " << Detail << "\n";
+  }
+  Out << "\n" << Source;
+  if (!Source.empty() && Source.back() != '\n')
+    Out << "\n";
+  return Path.string();
+}

@@ -1,0 +1,48 @@
+//===- fuzz/Corpus.h - Failing-input persistence ---------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Persistence for the fuzzing subsystem's regression corpus. Every
+/// divergence the fuzzer finds is written as a standalone `.minioo` file
+/// whose leading `//` comment block records the seed, the divergence
+/// summary, and the guilty pass — MiniOO comments, so each corpus entry is
+/// directly runnable by `minioo` and replayable by the corpus ctest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_FUZZ_CORPUS_H
+#define INCLINE_FUZZ_CORPUS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace incline::fuzz {
+
+struct Divergence;
+
+/// One corpus file.
+struct CorpusEntry {
+  std::string Path;   ///< Absolute or dir-relative path of the file.
+  std::string Name;   ///< File name without directory.
+  std::string Source; ///< Full file contents (header comments included).
+};
+
+/// Loads every `*.minioo` file under \p Dir, sorted by name. Returns an
+/// empty vector when the directory does not exist.
+std::vector<CorpusEntry> loadCorpus(const std::string &Dir);
+
+/// Writes \p Source as a corpus entry under \p Dir (created if missing),
+/// prefixed by a comment header describing \p Seed and \p Div. The file
+/// name is derived from the seed and divergence stage; an existing file of
+/// the same name is overwritten. Returns the path written.
+std::string writeCorpusEntry(const std::string &Dir, uint64_t Seed,
+                             const Divergence &Div,
+                             const std::string &Source);
+
+} // namespace incline::fuzz
+
+#endif // INCLINE_FUZZ_CORPUS_H

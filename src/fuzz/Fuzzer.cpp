@@ -1,0 +1,119 @@
+//===- fuzz/Fuzzer.cpp -------------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include "fuzz/Corpus.h"
+
+#include <chrono>
+#include <ostream>
+
+using namespace incline;
+using namespace incline::fuzz;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point Start) {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+void handleFailure(const FuzzOptions &Options, uint64_t Seed,
+                   Divergence Div, const std::string &Source,
+                   FuzzReport &Report, std::ostream *Log) {
+  FuzzFailure Failure;
+  Failure.Seed = Seed;
+  Failure.Div = std::move(Div);
+  Failure.Source = Source;
+
+  if (Log)
+    *Log << "[incline-fuzz] seed " << Seed << ": "
+         << Failure.Div.summary() << "\n";
+
+  if (Options.Reduce) {
+    // Reduce against a non-bisecting oracle: the predicate runs on every
+    // candidate, and bisection would multiply its cost for no benefit.
+    OracleOptions ReduceOpts = Options.Oracle;
+    ReduceOpts.Bisect = false;
+    DifferentialOracle ReduceOracle(ReduceOpts);
+    ReproPredicate Repro = makeDivergenceMatcher(ReduceOracle, Failure.Div);
+    Failure.ReducedSource = reduceSource(Source, Repro, Options.Reduction,
+                                         &Failure.Reduction);
+    if (Log)
+      *Log << "[incline-fuzz]   reduced " << Failure.Reduction.LinesBefore
+           << " -> " << Failure.Reduction.LinesAfter << " lines ("
+           << Failure.Reduction.Attempts << " attempts)\n";
+  }
+
+  if (!Options.CorpusDir.empty()) {
+    const std::string &Persist =
+        Failure.ReducedSource.empty() ? Failure.Source
+                                      : Failure.ReducedSource;
+    Failure.CorpusFile = writeCorpusEntry(Options.CorpusDir, Seed,
+                                          Failure.Div, Persist);
+    if (Log)
+      *Log << "[incline-fuzz]   persisted to " << Failure.CorpusFile
+           << "\n";
+  }
+
+  Report.Failures.push_back(std::move(Failure));
+}
+
+} // namespace
+
+FuzzReport incline::fuzz::fuzzSeedRange(const FuzzOptions &Options,
+                                        std::ostream *Log) {
+  FuzzReport Report;
+  DifferentialOracle Oracle(Options.Oracle);
+  Clock::time_point Start = Clock::now();
+
+  for (uint64_t Seed = Options.SeedBegin; Seed < Options.SeedEnd; ++Seed) {
+    if (Options.TimeBudgetSeconds > 0 &&
+        secondsSince(Start) >= Options.TimeBudgetSeconds) {
+      Report.TimeBudgetHit = true;
+      break;
+    }
+    std::string Source = generateRandomProgram(Seed, Options.Gen);
+    ++Report.SeedsRun;
+    if (std::optional<Divergence> Div = Oracle.check(Source))
+      handleFailure(Options, Seed, std::move(*Div), Source, Report, Log);
+    if (Report.Failures.size() >= Options.MaxFailures)
+      break;
+  }
+
+  if (Log)
+    *Log << "[incline-fuzz] " << Report.SeedsRun << " seeds, "
+         << Report.Failures.size() << " divergence(s)"
+         << (Report.TimeBudgetHit ? " (time budget hit)" : "") << "\n";
+  return Report;
+}
+
+FuzzReport incline::fuzz::replayCorpus(const std::string &Dir,
+                                       const OracleOptions &Options,
+                                       std::ostream *Log) {
+  FuzzReport Report;
+  DifferentialOracle Oracle(Options);
+  for (const CorpusEntry &Entry : loadCorpus(Dir)) {
+    ++Report.SeedsRun;
+    if (std::optional<Divergence> Div = Oracle.check(Entry.Source)) {
+      FuzzFailure Failure;
+      Failure.Div = std::move(*Div);
+      Failure.Source = Entry.Source;
+      Failure.CorpusFile = Entry.Path;
+      if (Log)
+        *Log << "[incline-fuzz] corpus " << Entry.Name << ": "
+             << Failure.Div.summary() << "\n";
+      Report.Failures.push_back(std::move(Failure));
+    } else if (Log) {
+      *Log << "[incline-fuzz] corpus " << Entry.Name << ": ok\n";
+    }
+  }
+  if (Log)
+    *Log << "[incline-fuzz] " << Report.SeedsRun << " corpus entries, "
+         << Report.Failures.size() << " divergence(s)\n";
+  return Report;
+}

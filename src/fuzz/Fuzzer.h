@@ -1,0 +1,84 @@
+//===- fuzz/Fuzzer.h - Seed-sweep fuzzing driver ---------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top of the fuzzing subsystem: sweeps a seed range through the
+/// random-program generator and the differential oracle; on a divergence,
+/// reduces the program with greedy delta debugging, names the guilty pass
+/// via bisection (done inside the oracle), and persists the reduced input
+/// to a regression corpus directory. Both the `incline-fuzz` CLI and the
+/// in-tree self-tests drive this entry point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_FUZZ_FUZZER_H
+#define INCLINE_FUZZ_FUZZER_H
+
+#include "fuzz/Oracle.h"
+#include "fuzz/RandomProgram.h"
+#include "fuzz/Reducer.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace incline::fuzz {
+
+/// Configuration of one fuzzing run.
+struct FuzzOptions {
+  /// Seed range [SeedBegin, SeedEnd).
+  uint64_t SeedBegin = 0;
+  uint64_t SeedEnd = 100;
+  /// Program-shape controls for the generator.
+  GenOptions Gen;
+  /// Oracle configuration (stages, bisection, fault injection).
+  OracleOptions Oracle;
+  /// Reduce failing inputs before reporting/persisting them.
+  bool Reduce = true;
+  ReduceOptions Reduction;
+  /// Directory to persist failing inputs to; empty = don't persist.
+  std::string CorpusDir;
+  /// Stop early once this much wall-clock time has elapsed (seconds);
+  /// 0 = no time budget. Used by the CI smoke mode.
+  double TimeBudgetSeconds = 0;
+  /// Stop after this many failures (each failure costs a reduction).
+  size_t MaxFailures = 5;
+};
+
+/// One divergence the sweep found.
+struct FuzzFailure {
+  uint64_t Seed = 0;
+  Divergence Div;
+  std::string Source;        ///< Program as generated.
+  std::string ReducedSource; ///< After delta debugging ("" if !Reduce).
+  ReduceStats Reduction;
+  std::string CorpusFile;    ///< Where it was persisted ("" if not).
+};
+
+/// Outcome of one sweep.
+struct FuzzReport {
+  uint64_t SeedsRun = 0;
+  bool TimeBudgetHit = false;
+  std::vector<FuzzFailure> Failures;
+
+  bool ok() const { return Failures.empty(); }
+};
+
+/// Sweeps the configured seed range. \p Log, when non-null, receives
+/// one-line progress and failure reports (the CLI passes stderr).
+FuzzReport fuzzSeedRange(const FuzzOptions &Options,
+                         std::ostream *Log = nullptr);
+
+/// Replays every corpus entry under \p Dir through the oracle; returns the
+/// failures (corpus entries are expected to pass on a healthy compiler —
+/// they are regressions that were fixed, plus hand-written seeds).
+FuzzReport replayCorpus(const std::string &Dir, const OracleOptions &Options,
+                        std::ostream *Log = nullptr);
+
+} // namespace incline::fuzz
+
+#endif // INCLINE_FUZZ_FUZZER_H

@@ -1,0 +1,409 @@
+//===- fuzz/Oracle.cpp -------------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracle.h"
+
+#include "frontend/Compiler.h"
+#include "inliner/Compilers.h"
+#include "interp/Interpreter.h"
+#include "ir/Function.h"
+#include "ir/IRVerifier.h"
+#include "ir/Module.h"
+#include "jit/JitRuntime.h"
+#include "opt/DCE.h"
+#include "opt/GVN.h"
+#include "opt/LoopPeeling.h"
+#include "opt/ReadWriteElimination.h"
+
+#include <cstdint>
+
+using namespace incline;
+using namespace incline::fuzz;
+
+std::string_view incline::fuzz::divergenceKindName(DivergenceKind Kind) {
+  switch (Kind) {
+  case DivergenceKind::FrontendError:
+    return "frontend-error";
+  case DivergenceKind::VerifierError:
+    return "verifier-error";
+  case DivergenceKind::Trap:
+    return "trap";
+  case DivergenceKind::OutputMismatch:
+    return "output-mismatch";
+  }
+  return "unknown";
+}
+
+std::string Divergence::summary() const {
+  std::string S = std::string(divergenceKindName(Kind)) + " at " + Stage;
+  std::string Attribution;
+  if (!Pass.empty())
+    Attribution += "pass " + Pass;
+  if (!Function.empty()) {
+    if (!Attribution.empty())
+      Attribution += ", ";
+    Attribution += "function " + Function;
+  }
+  if (!Attribution.empty())
+    S += " (" + Attribution + ")";
+  return S;
+}
+
+std::string Divergence::render() const {
+  std::string S = summary() + "\n";
+  if (!Detail.empty())
+    S += "detail: " + Detail + "\n";
+  if (Kind == DivergenceKind::OutputMismatch) {
+    S += "--- expected output ---\n" + Expected;
+    S += "--- actual output ---\n" + Actual;
+  }
+  return S;
+}
+
+namespace {
+
+std::unique_ptr<ir::Module> compileOrNull(const std::string &Source,
+                                          std::string *Error = nullptr) {
+  frontend::CompileResult R = frontend::compileProgram(Source);
+  if (!R.succeeded()) {
+    if (Error)
+      *Error = frontend::renderDiagnostics(R.Diags);
+    return nullptr;
+  }
+  return std::move(R.Mod);
+}
+
+std::string joinProblems(const std::vector<std::string> &Problems) {
+  std::string All;
+  for (const std::string &P : Problems) {
+    if (!All.empty())
+      All += "; ";
+    All += P;
+  }
+  return All;
+}
+
+void observe(const opt::PassObserver &Observer, const char *PassName,
+             ir::Function &F) {
+  if (Observer)
+    Observer(PassName, F);
+}
+
+} // namespace
+
+const std::vector<PipelineConfig> &incline::fuzz::allPipelineConfigs() {
+  static const std::vector<PipelineConfig> Configs = {
+      {"canonicalize",
+       [](ir::Function &F, const ir::Module &M, const opt::CanonOptions &C,
+          const opt::PassObserver &Obs) {
+         opt::canonicalize(F, M, C);
+         observe(Obs, "canonicalize", F);
+       }},
+      {"canonicalize-no-devirt",
+       [](ir::Function &F, const ir::Module &M, const opt::CanonOptions &C,
+          const opt::PassObserver &Obs) {
+         opt::CanonOptions Options = C;
+         Options.EnableDevirtualization = false;
+         opt::canonicalize(F, M, Options);
+         observe(Obs, "canonicalize", F);
+       }},
+      {"gvn+dce",
+       [](ir::Function &F, const ir::Module &, const opt::CanonOptions &,
+          const opt::PassObserver &Obs) {
+         opt::runGVN(F);
+         observe(Obs, "gvn", F);
+         opt::eliminateDeadCode(F);
+         observe(Obs, "dce", F);
+       }},
+      {"rwe",
+       [](ir::Function &F, const ir::Module &, const opt::CanonOptions &,
+          const opt::PassObserver &Obs) {
+         opt::eliminateReadsWrites(F);
+         observe(Obs, "rwe", F);
+       }},
+      {"forced-peeling",
+       [](ir::Function &F, const ir::Module &, const opt::CanonOptions &,
+          const opt::PassObserver &Obs) {
+         opt::PeelOptions Options;
+         Options.RequireTypeTrigger = false;
+         opt::peelLoops(F, Options);
+         observe(Obs, "loop-peeling", F);
+       }},
+      {"full-pipeline",
+       [](ir::Function &F, const ir::Module &M, const opt::CanonOptions &C,
+          const opt::PassObserver &Obs) {
+         opt::PipelineOptions Options;
+         Options.Canon = C;
+         Options.Observer = Obs;
+         opt::runOptimizationPipeline(F, M, Options);
+       }},
+      {"pipeline-x3",
+       [](ir::Function &F, const ir::Module &M, const opt::CanonOptions &C,
+          const opt::PassObserver &Obs) {
+         opt::PipelineOptions Options;
+         Options.Canon = C;
+         Options.Observer = Obs;
+         for (int I = 0; I < 3; ++I)
+           opt::runOptimizationPipeline(F, M, Options);
+       }},
+  };
+  return Configs;
+}
+
+const std::vector<JitPolicyConfig> &incline::fuzz::allJitPolicies() {
+  static const std::vector<JitPolicyConfig> Policies = {
+      {"incremental",
+       []() -> std::unique_ptr<jit::Compiler> {
+         return std::make_unique<inliner::IncrementalCompiler>();
+       }},
+      {"1-by-1",
+       []() -> std::unique_ptr<jit::Compiler> {
+         inliner::InlinerConfig C;
+         C.UseClustering = false;
+         return std::make_unique<inliner::IncrementalCompiler>(C);
+       }},
+      {"shallow",
+       []() -> std::unique_ptr<jit::Compiler> {
+         inliner::InlinerConfig C;
+         C.DeepTrials = false;
+         return std::make_unique<inliner::IncrementalCompiler>(C);
+       }},
+      {"fixed",
+       []() -> std::unique_ptr<jit::Compiler> {
+         inliner::InlinerConfig C;
+         C.ExpansionPolicy = inliner::ExpansionPolicyKind::FixedTreeSize;
+         C.InliningPolicy = inliner::InliningPolicyKind::FixedRootSize;
+         return std::make_unique<inliner::IncrementalCompiler>(C);
+       }},
+      {"greedy",
+       []() -> std::unique_ptr<jit::Compiler> {
+         return std::make_unique<inliner::GreedyCompiler>();
+       }},
+      {"c2",
+       []() -> std::unique_ptr<jit::Compiler> {
+         return std::make_unique<inliner::C2StyleCompiler>();
+       }},
+      {"c1",
+       []() -> std::unique_ptr<jit::Compiler> {
+         return std::make_unique<inliner::TrivialCompiler>();
+       }},
+  };
+  return Policies;
+}
+
+DifferentialOracle::DifferentialOracle(OracleOptions Options)
+    : Opts(Options) {}
+
+std::optional<Divergence>
+DifferentialOracle::check(const std::string &Source) const {
+  std::string FrontendDiags;
+  std::unique_ptr<ir::Module> Ref = compileOrNull(Source, &FrontendDiags);
+  if (!Ref) {
+    Divergence D;
+    D.Kind = DivergenceKind::FrontendError;
+    D.Stage = "frontend";
+    D.Detail = FrontendDiags;
+    return D;
+  }
+  if (std::vector<std::string> Problems = ir::verifyModule(*Ref);
+      !Problems.empty()) {
+    Divergence D;
+    D.Kind = DivergenceKind::VerifierError;
+    D.Stage = "frontend";
+    D.Detail = joinProblems(Problems);
+    return D;
+  }
+  interp::ExecResult RefRun = interp::runMain(*Ref);
+  if (!RefRun.ok()) {
+    Divergence D;
+    D.Kind = DivergenceKind::Trap;
+    D.Stage = "reference";
+    D.Detail = RefRun.TrapMessage;
+    return D;
+  }
+  const std::string &Expected = RefRun.Output;
+
+  if (Opts.CheckPipelines) {
+    for (const PipelineConfig &Config : allPipelineConfigs()) {
+      std::unique_ptr<ir::Module> M = compileOrNull(Source);
+      std::optional<Divergence> PerPassProblem;
+      opt::PassObserver Observer;
+      if (Opts.VerifyAfterEachPass)
+        Observer = [&](const std::string &PassName, ir::Function &F) {
+          if (PerPassProblem)
+            return;
+          std::vector<std::string> Problems = ir::verifyFunction(F);
+          if (Problems.empty())
+            return;
+          Divergence D;
+          D.Kind = DivergenceKind::VerifierError;
+          D.Stage = "pipeline:" + Config.Name;
+          D.Pass = PassName;
+          D.Function = F.name();
+          D.Detail = joinProblems(Problems);
+          PerPassProblem = std::move(D);
+        };
+      for (const auto &[Name, F] : M->functions()) {
+        Config.Apply(*F, *M, Opts.Canon, Observer);
+        if (PerPassProblem)
+          return PerPassProblem;
+      }
+      if (std::vector<std::string> Problems = ir::verifyModule(*M);
+          !Problems.empty()) {
+        Divergence D;
+        D.Kind = DivergenceKind::VerifierError;
+        D.Stage = "pipeline:" + Config.Name;
+        D.Detail = joinProblems(Problems);
+        return D;
+      }
+      interp::ExecResult R = interp::runMain(*M);
+      if (!R.ok() || R.Output != Expected) {
+        Divergence D;
+        D.Kind = R.ok() ? DivergenceKind::OutputMismatch
+                        : DivergenceKind::Trap;
+        D.Stage = "pipeline:" + Config.Name;
+        D.Detail = R.ok() ? "optimized output differs from the reference"
+                          : R.TrapMessage;
+        D.Expected = Expected;
+        D.Actual = R.Output;
+        if (Opts.Bisect)
+          if (std::optional<PassBisection> B =
+                  bisectPipeline(Source, Opts)) {
+            D.Pass = B->Pass;
+            D.Function = B->Function;
+          }
+        return D;
+      }
+    }
+  }
+
+  if (Opts.CheckJitPolicies) {
+    for (const JitPolicyConfig &Policy : allJitPolicies()) {
+      std::unique_ptr<ir::Module> M = compileOrNull(Source);
+      std::unique_ptr<jit::Compiler> Compiler = Policy.Make();
+      jit::JitConfig Config;
+      Config.CompileThreshold = Opts.CompileThreshold;
+      jit::JitRuntime Runtime(*M, *Compiler, Config);
+      for (int Iter = 0; Iter < Opts.JitIterations; ++Iter) {
+        interp::ExecResult R = Runtime.runMain();
+        if (R.ok() && R.Output == Expected)
+          continue;
+        Divergence D;
+        D.Kind = R.ok() ? DivergenceKind::OutputMismatch
+                        : DivergenceKind::Trap;
+        D.Stage = "jit:" + Policy.Name;
+        D.Detail = R.ok() ? "iteration " + std::to_string(Iter) +
+                                " output differs from the reference"
+                          : R.TrapMessage;
+        D.Expected = Expected;
+        D.Actual = R.Output;
+        if (Opts.Bisect)
+          if (std::optional<std::string> Guilty =
+                  bisectJitPolicy(Source, Policy, Opts))
+            D.Function = *Guilty;
+        return D;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<PassBisection>
+incline::fuzz::bisectPipeline(const std::string &Source,
+                              const OracleOptions &Options) {
+  std::unique_ptr<ir::Module> Ref = compileOrNull(Source);
+  if (!Ref)
+    return std::nullopt;
+  interp::ExecResult RefRun = interp::runMain(*Ref);
+  if (!RefRun.ok())
+    return std::nullopt;
+  const std::string Expected = RefRun.Output;
+
+  std::vector<std::string> FunctionNames;
+  for (const auto &[Name, F] : Ref->functions())
+    FunctionNames.push_back(Name);
+
+  opt::PipelineOptions PO;
+  PO.Canon = Options.Canon;
+
+  // Applies the first `PrefixLen` passes of the bundle to every function
+  // (or one pass fewer to all but `ExtendOnly`) and reports how the module
+  // misbehaves, if it does.
+  auto Misbehaves =
+      [&](size_t PrefixLen,
+          const std::string &ExtendOnly) -> std::optional<std::string> {
+    std::unique_ptr<ir::Module> M = compileOrNull(Source);
+    for (const auto &[Name, F] : M->functions()) {
+      size_t Len = PrefixLen;
+      if (!ExtendOnly.empty() && Name != ExtendOnly)
+        Len = PrefixLen - 1;
+      opt::runPipelinePrefix(*F, *M, Len, PO);
+    }
+    if (std::vector<std::string> Problems = ir::verifyModule(*M);
+        !Problems.empty())
+      return joinProblems(Problems);
+    interp::ExecResult R = interp::runMain(*M);
+    if (!R.ok())
+      return "trap: " + R.TrapMessage;
+    if (R.Output != Expected)
+      return "output mismatch";
+    return std::nullopt;
+  };
+
+  const std::vector<std::string> &Names = opt::pipelinePassNames();
+  for (size_t Len = 1; Len <= Names.size(); ++Len) {
+    std::optional<std::string> Detail = Misbehaves(Len, "");
+    if (!Detail)
+      continue;
+    PassBisection B;
+    B.Pass = Names[Len - 1];
+    B.Detail = *Detail;
+    // Second axis: is one function alone responsible? Give only one
+    // function the guilty pass and everyone else the clean prefix.
+    for (const std::string &Name : FunctionNames) {
+      if (Misbehaves(Len, Name)) {
+        B.Function = Name;
+        break;
+      }
+    }
+    return B;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string>
+incline::fuzz::bisectJitPolicy(const std::string &Source,
+                               const JitPolicyConfig &Policy,
+                               const OracleOptions &Options) {
+  std::unique_ptr<ir::Module> Ref = compileOrNull(Source);
+  if (!Ref)
+    return std::nullopt;
+  interp::ExecResult RefRun = interp::runMain(*Ref);
+  if (!RefRun.ok())
+    return std::nullopt;
+  const std::string Expected = RefRun.Output;
+
+  std::vector<std::string> FunctionNames;
+  for (const auto &[Name, F] : Ref->functions())
+    FunctionNames.push_back(Name);
+
+  for (const std::string &Name : FunctionNames) {
+    std::unique_ptr<ir::Module> M = compileOrNull(Source);
+    std::unique_ptr<jit::Compiler> Compiler = Policy.Make();
+    jit::JitConfig Config;
+    // Nothing reaches the threshold on its own: only the explicitly
+    // compiled method runs from compiled code.
+    Config.CompileThreshold = UINT64_MAX;
+    jit::JitRuntime Runtime(*M, *Compiler, Config);
+    Runtime.compileNow(Name);
+    for (int Iter = 0; Iter < Options.JitIterations; ++Iter) {
+      interp::ExecResult R = Runtime.runMain();
+      if (!R.ok() || R.Output != Expected)
+        return Name;
+    }
+  }
+  return std::nullopt;
+}

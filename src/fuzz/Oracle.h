@@ -1,0 +1,162 @@
+//===- fuzz/Oracle.h - Differential correctness oracle ---------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential oracle hierarchy behind the fuzzing subsystem. For one
+/// MiniOO program it establishes the reference behaviour (the interpreter
+/// on the unoptimized module), then checks every layer that may disagree:
+///
+///   1. the frontend (the program must compile and the fresh IR verify),
+///   2. every optimization-pipeline configuration, verifying the IR after
+///      *each individual pass* through the PassPipeline observer hook,
+///   3. every inliner policy running inside the tiered JIT runtime, over
+///      several iterations so recompilation paths are exercised.
+///
+/// The first divergence is recorded with enough context to act on: kind
+/// (verifier error, trap, output mismatch), stage, and — after automatic
+/// bisection — the guilty pass and function. Pass bisection replays the
+/// standard bundle prefix-by-prefix; JIT bisection compiles one method at
+/// a time to isolate the guilty compilation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_FUZZ_ORACLE_H
+#define INCLINE_FUZZ_ORACLE_H
+
+#include "opt/Canonicalizer.h"
+#include "opt/PassPipeline.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace incline::ir {
+class Function;
+class Module;
+} // namespace incline::ir
+
+namespace incline::jit {
+class Compiler;
+} // namespace incline::jit
+
+namespace incline::fuzz {
+
+/// How a stage disagreed with the reference.
+enum class DivergenceKind : uint8_t {
+  FrontendError,  ///< The program failed to compile.
+  VerifierError,  ///< The IR verifier flagged a transformed function.
+  Trap,           ///< A stage trapped where the reference did not.
+  OutputMismatch, ///< A stage printed different output.
+};
+
+std::string_view divergenceKindName(DivergenceKind Kind);
+
+/// The first point where a stage disagreed with the reference.
+struct Divergence {
+  DivergenceKind Kind = DivergenceKind::OutputMismatch;
+  /// Which oracle stage diverged: "frontend", "reference",
+  /// "pipeline:<config>", or "jit:<policy>".
+  std::string Stage;
+  /// The guilty transformation, when bisection could name one.
+  std::string Pass;
+  /// The guilty function, when bisection could name one.
+  std::string Function;
+  std::string Detail;
+  std::string Expected;
+  std::string Actual;
+
+  /// One-line form, e.g. "output-mismatch at pipeline:full-pipeline
+  /// (pass canonicalize, function main)".
+  std::string summary() const;
+  /// Multi-line report with expected/actual output.
+  std::string render() const;
+};
+
+/// Oracle configuration.
+struct OracleOptions {
+  /// Canonicalizer switches shared by every canonicalize-based stage —
+  /// this is where the test-only fault injections are enabled.
+  opt::CanonOptions Canon;
+  /// Verify the IR after each individual pass (not just per config).
+  bool VerifyAfterEachPass = true;
+  /// Run pipeline-configuration stages.
+  bool CheckPipelines = true;
+  /// Run tiered-JIT inliner-policy stages.
+  bool CheckJitPolicies = true;
+  /// Iterations per JIT policy (recompilation paths need > 1).
+  int JitIterations = 3;
+  /// Hotness threshold for the tiered runs.
+  uint64_t CompileThreshold = 1;
+  /// Automatically bisect divergences to a pass / function.
+  bool Bisect = true;
+};
+
+/// One named way of optimizing a module's functions, with per-pass
+/// observation. \p Observer may be null.
+struct PipelineConfig {
+  std::string Name;
+  std::function<void(ir::Function &, const ir::Module &,
+                     const opt::CanonOptions &, const opt::PassObserver &)>
+      Apply;
+};
+
+/// Every pipeline configuration the oracle distrusts: each standalone
+/// pass, the standard bundle, and the bundle iterated to a fixpoint.
+const std::vector<PipelineConfig> &allPipelineConfigs();
+
+/// One named tiered-JIT inliner policy.
+struct JitPolicyConfig {
+  std::string Name;
+  std::function<std::unique_ptr<jit::Compiler>()> Make;
+};
+
+/// Every inliner policy the oracle distrusts: the paper's incremental
+/// inliner in all config variants, plus the greedy / C2 / C1 baselines.
+const std::vector<JitPolicyConfig> &allJitPolicies();
+
+/// Result of replaying the standard bundle pass-by-pass.
+struct PassBisection {
+  std::string Pass;     ///< First pass whose prefix misbehaves.
+  std::string Function; ///< Guilty function, when isolatable.
+  std::string Detail;
+};
+
+class DifferentialOracle {
+public:
+  explicit DifferentialOracle(OracleOptions Options = OracleOptions());
+
+  /// Runs the full hierarchy on \p Source; returns the first divergence,
+  /// or nullopt when every stage agrees with the reference.
+  std::optional<Divergence> check(const std::string &Source) const;
+
+  const OracleOptions &options() const { return Opts; }
+
+private:
+  OracleOptions Opts;
+};
+
+/// Replays the standard optimization bundle one pass at a time against the
+/// interpreter reference, naming the first pass (and, when possible, the
+/// function) whose application breaks verification or behaviour. Returns
+/// nullopt when no prefix misbehaves (the divergence needs interaction
+/// between configs, or is not a bundle bug).
+std::optional<PassBisection> bisectPipeline(const std::string &Source,
+                                            const OracleOptions &Options);
+
+/// Compiles one method at a time under \p Policy to isolate the guilty
+/// compilation for a JIT-stage divergence. Returns the guilty function
+/// name, or nullopt when no single compilation reproduces it.
+std::optional<std::string> bisectJitPolicy(const std::string &Source,
+                                           const JitPolicyConfig &Policy,
+                                           const OracleOptions &Options);
+
+} // namespace incline::fuzz
+
+#endif // INCLINE_FUZZ_ORACLE_H

@@ -1,0 +1,70 @@
+//===- fuzz/RandomProgram.h - Random well-typed MiniOO generator -----------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates random, deterministic (seeded), well-typed, trap-free MiniOO
+/// programs for differential testing: the interpreter's output on the
+/// unoptimized program is the oracle against every optimization pipeline
+/// and every inliner policy.
+///
+/// Trap freedom by construction:
+///  * divisions/mods divide by `d*d + 1` (always positive);
+///  * array indices go through a generated `idx` helper that maps any int
+///    into [0, len);
+///  * object variables are always initialized with `new C()` and object
+///    fields are never reference-typed, so receivers are non-null;
+///  * loops only appear in the bounded `var i = 0; while (i < K)` shape;
+///  * recursion only appears in the structurally decreasing shape.
+///
+/// Feature toggles let a failure localize: a divergence that survives with
+/// virtual dispatch disabled cannot be a devirtualization bug; one that
+/// disappears without arrays points at read/write elimination; and so on.
+/// The size budget scales block lengths and function counts so the reducer
+/// starts from small inputs when hunting shallow bugs and from large ones
+/// when hunting interaction bugs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_FUZZ_RANDOMPROGRAM_H
+#define INCLINE_FUZZ_RANDOMPROGRAM_H
+
+#include <cstdint>
+#include <string>
+
+namespace incline::fuzz {
+
+/// Shape controls for one generated program. The defaults reproduce the
+/// historical generator used by `property_differential_test` bit-for-bit.
+struct GenOptions {
+  /// Rough statement budget, in percent of the default program size: 100
+  /// generates the classic shape, 50 halves block lengths, 200 doubles
+  /// them. Clamped to [10, 1000].
+  int SizePercent = 100;
+
+  /// Emit classes, objects, field accesses, and virtual `m` calls. Off:
+  /// programs are purely procedural (no receiver, no CHA, no devirt).
+  bool EnableVirtualDispatch = true;
+
+  /// Emit the `rec` helper and recursive calls inside method bodies.
+  bool EnableRecursion = true;
+
+  /// Emit the `arr` array, indexed loads/stores, and the `idx` helper.
+  bool EnableArrays = true;
+
+  /// Emit bounded `while` loops (the checksum loop in `main` only appears
+  /// together with arrays).
+  bool EnableLoops = true;
+};
+
+/// Generates one program from \p Seed. Programs print several checksums.
+std::string generateRandomProgram(uint64_t Seed);
+
+/// Generates one program from \p Seed under explicit shape controls.
+std::string generateRandomProgram(uint64_t Seed, const GenOptions &Options);
+
+} // namespace incline::fuzz
+
+#endif // INCLINE_FUZZ_RANDOMPROGRAM_H

@@ -1,0 +1,153 @@
+//===- fuzz/Reducer.cpp ------------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Reducer.h"
+
+#include "fuzz/Oracle.h"
+
+#include <vector>
+
+using namespace incline;
+using namespace incline::fuzz;
+
+namespace {
+
+std::vector<std::string> splitLines(const std::string &Source) {
+  std::vector<std::string> Lines;
+  std::string Current;
+  for (char C : Source) {
+    if (C == '\n') {
+      Lines.push_back(Current);
+      Current.clear();
+    } else {
+      Current += C;
+    }
+  }
+  if (!Current.empty())
+    Lines.push_back(Current);
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines) {
+  std::string Out;
+  for (const std::string &L : Lines) {
+    Out += L;
+    Out += '\n';
+  }
+  return Out;
+}
+
+/// Net `{`/`}` balance of one line. MiniOO has no string or character
+/// literals, and `//`-comments are stripped before counting, so brace
+/// counting is exact.
+int braceDelta(const std::string &Line) {
+  int Delta = 0;
+  for (size_t I = 0; I < Line.size(); ++I) {
+    if (Line[I] == '/' && I + 1 < Line.size() && Line[I + 1] == '/')
+      break;
+    if (Line[I] == '{')
+      ++Delta;
+    else if (Line[I] == '}')
+      --Delta;
+  }
+  return Delta;
+}
+
+/// The candidate chunk starting at \p Begin: a single line when the line
+/// is brace-neutral, or the whole region through the matching closer when
+/// the line opens one. Returns the exclusive end index, or Begin when the
+/// line cannot head a removable chunk (e.g. a bare `}` or an unmatched
+/// opener).
+size_t chunkEnd(const std::vector<std::string> &Lines, size_t Begin) {
+  int Delta = braceDelta(Lines[Begin]);
+  if (Delta == 0)
+    return Begin + 1;
+  if (Delta < 0)
+    return Begin; // Closers belong to the chunk of their opener.
+  int Balance = Delta;
+  for (size_t I = Begin + 1; I < Lines.size(); ++I) {
+    Balance += braceDelta(Lines[I]);
+    if (Balance <= 0)
+      return I + 1;
+  }
+  return Begin; // Unbalanced; never remove.
+}
+
+bool isBlank(const std::string &Line) {
+  for (char C : Line)
+    if (C != ' ' && C != '\t')
+      return false;
+  return true;
+}
+
+} // namespace
+
+std::string incline::fuzz::reduceSource(const std::string &Source,
+                                        const ReproPredicate &Reproduces,
+                                        const ReduceOptions &Options,
+                                        ReduceStats *Stats) {
+  ReduceStats Local;
+  std::vector<std::string> Lines = splitLines(Source);
+  Local.LinesBefore = Lines.size();
+
+  bool Changed = true;
+  while (Changed && Local.Attempts < Options.MaxAttempts) {
+    Changed = false;
+    for (size_t I = 0; I < Lines.size();) {
+      if (isBlank(Lines[I])) {
+        // Blank lines never affect reproduction; drop without spending an
+        // oracle attempt.
+        Lines.erase(Lines.begin() + static_cast<ptrdiff_t>(I));
+        Changed = true;
+        continue;
+      }
+      size_t End = chunkEnd(Lines, I);
+      if (End <= I) {
+        ++I;
+        continue;
+      }
+      if (Local.Attempts >= Options.MaxAttempts)
+        break;
+      std::vector<std::string> Candidate;
+      Candidate.reserve(Lines.size() - (End - I));
+      Candidate.insert(Candidate.end(), Lines.begin(),
+                       Lines.begin() + static_cast<ptrdiff_t>(I));
+      Candidate.insert(Candidate.end(),
+                       Lines.begin() + static_cast<ptrdiff_t>(End),
+                       Lines.end());
+      ++Local.Attempts;
+      if (Reproduces(joinLines(Candidate))) {
+        Lines = std::move(Candidate);
+        ++Local.Accepted;
+        Changed = true;
+        // Stay at index I: the next chunk shifted into this position.
+      } else if (End - I > 1) {
+        // The whole region did not go; descend into it (its first line
+        // alone is not removable — it opens the brace — but the region's
+        // inner statements are visited as the scan continues).
+        ++I;
+      } else {
+        ++I;
+      }
+    }
+  }
+
+  Local.LinesAfter = Lines.size();
+  if (Stats)
+    *Stats = Local;
+  return joinLines(Lines);
+}
+
+ReproPredicate
+incline::fuzz::makeDivergenceMatcher(const DifferentialOracle &Oracle,
+                                     const Divergence &Original) {
+  DivergenceKind Kind = Original.Kind;
+  std::string Stage = Original.Stage;
+  return [&Oracle, Kind, Stage](const std::string &Candidate) {
+    std::optional<Divergence> D = Oracle.check(Candidate);
+    return D && D->Kind == Kind && D->Stage == Stage;
+  };
+}

@@ -1,0 +1,64 @@
+//===- fuzz/Reducer.h - Greedy delta-debugging source reducer --------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shrinks a failing MiniOO program while a caller-supplied predicate (the
+/// divergence still reproduces) keeps holding. Reduction is structural and
+/// greedy: candidate chunks are whole brace-balanced regions (classes,
+/// functions, `if`/`while` statements with their bodies) and single
+/// statements, tried largest-first and re-tried to a fixpoint. Reductions
+/// that break the program are rejected by the predicate itself — a
+/// divergence matcher only accepts reproductions of the *same* divergence,
+/// so a reduction that merely fails to compile never counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_FUZZ_REDUCER_H
+#define INCLINE_FUZZ_REDUCER_H
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace incline::fuzz {
+
+class DifferentialOracle;
+struct Divergence;
+
+/// Returns true when \p Source still reproduces the failure of interest.
+using ReproPredicate = std::function<bool(const std::string &Source)>;
+
+/// Knobs for one reduction run.
+struct ReduceOptions {
+  /// Upper bound on predicate evaluations (each one compiles and runs the
+  /// candidate through the oracle, so this caps reduction cost).
+  size_t MaxAttempts = 5'000;
+};
+
+/// Bookkeeping for one reduction run.
+struct ReduceStats {
+  size_t Attempts = 0;  ///< Predicate evaluations.
+  size_t Accepted = 0;  ///< Chunk removals that kept reproducing.
+  size_t LinesBefore = 0;
+  size_t LinesAfter = 0;
+};
+
+/// Greedy delta-debugging: returns the smallest source found for which
+/// \p Reproduces stays true. \p Source itself must satisfy the predicate;
+/// otherwise it is returned unchanged.
+std::string reduceSource(const std::string &Source,
+                         const ReproPredicate &Reproduces,
+                         const ReduceOptions &Options = ReduceOptions(),
+                         ReduceStats *Stats = nullptr);
+
+/// The standard predicate: \p Candidate reproduces when the oracle reports
+/// a divergence of the same kind at the same stage as \p Original.
+ReproPredicate makeDivergenceMatcher(const DifferentialOracle &Oracle,
+                                     const Divergence &Original);
+
+} // namespace incline::fuzz
+
+#endif // INCLINE_FUZZ_REDUCER_H

@@ -133,16 +133,43 @@ private:
   }
 
   void checkPhis() {
+    // Validate phis against the *actual* CFG edges (terminator successor
+    // lists), not only the cached predecessor lists: inliner cleanup edits
+    // terminators and predecessor lists separately, and a stale-but-
+    // internally-consistent pair would otherwise let a phi reference a
+    // block that no longer branches here.
+    std::unordered_set<const BasicBlock *> FunctionBlocks;
+    for (const auto &BB : F.blocks())
+      FunctionBlocks.insert(BB.get());
+    std::unordered_map<const BasicBlock *,
+                       std::unordered_set<const BasicBlock *>>
+        EdgePreds;
+    for (const auto &BB : F.blocks())
+      if (const Instruction *Term = BB->terminator())
+        for (const BasicBlock *Succ : successorsOf(Term))
+          EdgePreds[Succ].insert(BB.get());
+
     for (const auto &BB : F.blocks()) {
       std::unordered_set<const BasicBlock *> PredSet(
           BB->predecessors().begin(), BB->predecessors().end());
+      const std::unordered_set<const BasicBlock *> &FromEdges =
+          EdgePreds[BB.get()];
       for (const PhiInst *Phi : BB->phis()) {
         std::unordered_set<const BasicBlock *> Seen;
         for (size_t I = 0; I < Phi->numIncoming(); ++I) {
           const BasicBlock *In = Phi->incomingBlock(I);
+          if (!FunctionBlocks.count(In)) {
+            problem("phi in " + BB->name() +
+                    " has an incoming block that is not a block of this "
+                    "function");
+            continue;
+          }
           if (!PredSet.count(In))
             problem("phi in " + BB->name() +
                     " has an incoming edge from a non-predecessor");
+          else if (!FromEdges.count(In))
+            problem("phi in " + BB->name() + " has an incoming block (" +
+                    In->name() + ") with no CFG edge to " + BB->name());
           if (!Seen.insert(In).second)
             problem("phi in " + BB->name() + " has a duplicate incoming edge");
         }

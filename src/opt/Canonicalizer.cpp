@@ -213,6 +213,11 @@ private:
     const auto *LBool = dyn_cast<ConstBool>(L);
     const auto *RBool = dyn_cast<ConstBool>(R);
     if (LInt && RInt) {
+      if (Opts.TestOnlyMiscompileSubFold && Opcode == Op::Sub) {
+        ++Stats.ConstantsFolded;
+        replaceInst(Bin, F.constInt(RInt->value() - LInt->value()));
+        return;
+      }
       if (Bin->isComparison()) {
         ++Stats.ConstantsFolded;
         replaceInst(Bin, F.constBool(foldIntComparison(Opcode, LInt->value(),

@@ -67,6 +67,12 @@ struct CanonOptions {
   uint64_t VisitBudget = 200'000;
   /// Whether virtual calls may be rewritten to direct calls.
   bool EnableDevirtualization = true;
+  /// Test-only fault injection for the fuzzing subsystem's self-tests:
+  /// constant-folds `a - b` as `b - a`, a silent miscompile the
+  /// differential oracle must detect, the reducer must shrink, and pass
+  /// bisection must attribute to "canonicalize". Never enable outside
+  /// tests/tools.
+  bool TestOnlyMiscompileSubFold = false;
 };
 
 /// Runs the canonicalizer on \p F to a fixpoint (or until the budget runs

@@ -12,18 +12,80 @@
 using namespace incline;
 using namespace incline::opt;
 
+namespace {
+
+/// One named step of the standard bundle.
+struct PipelineStep {
+  std::string Name;
+  void (*Run)(ir::Function &, const ir::Module &, const PipelineOptions &,
+              PipelineStats &);
+};
+
+const std::vector<PipelineStep> &steps() {
+  static const std::vector<PipelineStep> Steps = {
+      {"canonicalize",
+       [](ir::Function &F, const ir::Module &M, const PipelineOptions &O,
+          PipelineStats &S) {
+         CanonOptions Canon = O.Canon;
+         Canon.VisitBudget = O.VisitBudget / 2;
+         S.Canon += canonicalize(F, M, Canon);
+       }},
+      {"gvn",
+       [](ir::Function &F, const ir::Module &, const PipelineOptions &,
+          PipelineStats &S) { S.GVNEliminated = runGVN(F); }},
+      {"rwe",
+       [](ir::Function &F, const ir::Module &, const PipelineOptions &,
+          PipelineStats &S) { S.RWE = eliminateReadsWrites(F); }},
+      // RWE-forwarded values can expose new exact types: canonicalize again.
+      {"canonicalize-2",
+       [](ir::Function &F, const ir::Module &M, const PipelineOptions &O,
+          PipelineStats &S) {
+         CanonOptions Canon = O.Canon;
+         Canon.VisitBudget = O.VisitBudget / 2;
+         S.Canon += canonicalize(F, M, Canon);
+       }},
+      {"dce",
+       [](ir::Function &F, const ir::Module &, const PipelineOptions &,
+          PipelineStats &S) { S.DCE = eliminateDeadCode(F); }},
+  };
+  return Steps;
+}
+
+} // namespace
+
+const std::vector<std::string> &incline::opt::pipelinePassNames() {
+  static const std::vector<std::string> Names = [] {
+    std::vector<std::string> N;
+    for (const PipelineStep &Step : steps())
+      N.push_back(Step.Name);
+    return N;
+  }();
+  return Names;
+}
+
+PipelineStats incline::opt::runPipelinePrefix(ir::Function &F,
+                                              const ir::Module &M,
+                                              size_t NumPasses,
+                                              const PipelineOptions &Options) {
+  PipelineStats Stats;
+  const std::vector<PipelineStep> &Steps = steps();
+  for (size_t I = 0; I < Steps.size() && I < NumPasses; ++I) {
+    Steps[I].Run(F, M, Options, Stats);
+    if (Options.Observer)
+      Options.Observer(Steps[I].Name, F);
+  }
+  return Stats;
+}
+
+PipelineStats incline::opt::runOptimizationPipeline(
+    ir::Function &F, const ir::Module &M, const PipelineOptions &Options) {
+  return runPipelinePrefix(F, M, steps().size(), Options);
+}
+
 PipelineStats incline::opt::runOptimizationPipeline(ir::Function &F,
                                                     const ir::Module &M,
                                                     uint64_t VisitBudget) {
-  PipelineStats Stats;
-  CanonOptions Options;
-  Options.VisitBudget = VisitBudget / 2;
-
-  Stats.Canon += canonicalize(F, M, Options);
-  Stats.GVNEliminated = runGVN(F);
-  Stats.RWE = eliminateReadsWrites(F);
-  // RWE-forwarded values can expose new exact types: canonicalize again.
-  Stats.Canon += canonicalize(F, M, Options);
-  Stats.DCE = eliminateDeadCode(F);
-  return Stats;
+  PipelineOptions Options;
+  Options.VisitBudget = VisitBudget;
+  return runOptimizationPipeline(F, M, Options);
 }

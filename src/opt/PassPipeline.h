@@ -9,6 +9,13 @@
 /// and by the inliner between rounds: canonicalize -> GVN -> read-write
 /// elimination -> canonicalize -> DCE, under a shared node budget.
 ///
+/// The bundle is exposed as a *named pass list* so correctness tooling can
+/// observe intermediate states: an optional observer fires after every
+/// individual pass (the fuzzing oracle verifies the IR there), and
+/// `runPipelinePrefix` replays only the first N passes (pass bisection
+/// replays growing prefixes to name the transformation that introduced a
+/// divergence).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef INCLINE_OPT_PASSPIPELINE_H
@@ -19,6 +26,9 @@
 #include "opt/ReadWriteElimination.h"
 
 #include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
 
 namespace incline::ir {
 class Function;
@@ -35,10 +45,43 @@ struct PipelineStats {
   DCEStats DCE;
 };
 
+/// Called after each individual pass of the bundle with the pass's name
+/// (see `pipelinePassNames`) and the function it just transformed.
+using PassObserver =
+    std::function<void(const std::string &PassName, ir::Function &F)>;
+
+/// Options threaded through one pipeline run.
+struct PipelineOptions {
+  /// Canonicalizer budget for the *whole* bundle (split across its two
+  /// canonicalization runs), modelling bounded JIT compile time.
+  uint64_t VisitBudget = 200'000;
+  /// Extra canonicalizer switches (devirtualization toggle and the
+  /// test-only fault-injection hooks used by the fuzzer's self-tests).
+  CanonOptions Canon;
+  /// Fires after every pass; null = no observation.
+  PassObserver Observer;
+};
+
+/// The ordered names of the bundle's passes:
+///   {"canonicalize", "gvn", "rwe", "canonicalize-2", "dce"}.
+const std::vector<std::string> &pipelinePassNames();
+
 /// Runs the standard bundle on \p F. \p VisitBudget bounds the
 /// canonicalizer (split across its two runs).
 PipelineStats runOptimizationPipeline(ir::Function &F, const ir::Module &M,
                                       uint64_t VisitBudget = 200'000);
+
+/// Runs the standard bundle with full \p Options (observer, canonicalizer
+/// switches).
+PipelineStats runOptimizationPipeline(ir::Function &F, const ir::Module &M,
+                                      const PipelineOptions &Options);
+
+/// Replays only the first \p NumPasses passes of the bundle (0 = none,
+/// >= pipelinePassNames().size() = all). The bisection driver grows the
+/// prefix one pass at a time to localize a misbehaving transformation.
+PipelineStats runPipelinePrefix(ir::Function &F, const ir::Module &M,
+                                size_t NumPasses,
+                                const PipelineOptions &Options = {});
 
 } // namespace incline::opt
 

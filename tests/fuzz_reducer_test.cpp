@@ -1,0 +1,161 @@
+//===- tests/fuzz_reducer_test.cpp - Reducer + end-to-end fuzzer tests ------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fuzzing subsystem's own regression test: with a known-bad
+/// canonicalization injected behind its test-only flag, the fuzzer must
+/// (a) find the bug, (b) delta-debug the failing program below 40 lines,
+/// and (c) bisect the divergence to the canonicalize pass. Plus unit tests
+/// for the reducer's structural chunking on synthetic predicates.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Corpus.h"
+#include "fuzz/Fuzzer.h"
+#include "fuzz/Oracle.h"
+#include "fuzz/Reducer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+using namespace incline;
+using namespace incline::fuzz;
+
+namespace {
+
+size_t countLines(const std::string &S) {
+  return static_cast<size_t>(std::count(S.begin(), S.end(), '\n'));
+}
+
+TEST(FuzzReducerTest, KeepsOnlyLinesThePredicateNeeds) {
+  const std::string Source = R"(def helper(a: int): int {
+  var x = a * 2;
+  return x + 1;
+}
+def main() {
+  var a = 1;
+  var b = 2;
+  if (a < b) {
+    print(7);
+  }
+  print(42);
+  print(a + b);
+}
+)";
+  // Synthetic predicate: the "program" must keep printing 42.
+  ReproPredicate Repro = [](const std::string &Candidate) {
+    return Candidate.find("print(42);") != std::string::npos;
+  };
+  ReduceStats Stats;
+  std::string Reduced = reduceSource(Source, Repro, ReduceOptions(), &Stats);
+  EXPECT_NE(Reduced.find("print(42);"), std::string::npos);
+  // Everything else is droppable under this predicate: the helper, the
+  // if-statement with its body, and the unrelated declarations.
+  EXPECT_EQ(Reduced.find("helper"), std::string::npos) << Reduced;
+  EXPECT_EQ(Reduced.find("if ("), std::string::npos) << Reduced;
+  EXPECT_LT(countLines(Reduced), 5u) << Reduced;
+  EXPECT_GT(Stats.Accepted, 0u);
+  EXPECT_EQ(Stats.LinesBefore, countLines(Source));
+  EXPECT_EQ(Stats.LinesAfter, countLines(Reduced));
+}
+
+TEST(FuzzReducerTest, RemovesBraceRegionsAtomically) {
+  const std::string Source = R"(def main() {
+  var a = 3;
+  while (a > 0) {
+    print(a);
+    a = a - 1;
+  }
+  print(9);
+}
+)";
+  // Candidate programs must stay brace-balanced or the predicate (which
+  // insists on compilability) rejects them.
+  DifferentialOracle Oracle;
+  ReproPredicate Repro = [&](const std::string &Candidate) {
+    return Candidate.find("print(9);") != std::string::npos &&
+           !Oracle.check(Candidate);
+  };
+  std::string Reduced = reduceSource(Source, Repro);
+  EXPECT_NE(Reduced.find("print(9);"), std::string::npos);
+  EXPECT_EQ(Reduced.find("while"), std::string::npos) << Reduced;
+  // Still a valid, divergence-free program.
+  EXPECT_FALSE(Oracle.check(Reduced));
+}
+
+TEST(FuzzReducerTest, InjectedBugIsFoundReducedAndBisected) {
+  namespace fs = std::filesystem;
+  fs::path CorpusDir =
+      fs::temp_directory_path() / "incline-fuzz-reducer-test-corpus";
+  fs::remove_all(CorpusDir);
+
+  FuzzOptions Options;
+  Options.SeedBegin = 0;
+  Options.SeedEnd = 50;
+  Options.MaxFailures = 1;
+  Options.Oracle.Canon.TestOnlyMiscompileSubFold = true;
+  Options.CorpusDir = CorpusDir.string();
+
+  FuzzReport Report = fuzzSeedRange(Options);
+
+  // (a) The fuzzer finds the injected miscompile.
+  ASSERT_FALSE(Report.Failures.empty())
+      << "injected canonicalizer bug survived " << Report.SeedsRun
+      << " seeds";
+  const FuzzFailure &F = Report.Failures.front();
+  EXPECT_EQ(F.Div.Kind, DivergenceKind::OutputMismatch) << F.Div.render();
+
+  // (b) Delta debugging shrinks the program below 40 lines and the
+  // reduced program still reproduces the same divergence.
+  ASSERT_FALSE(F.ReducedSource.empty());
+  EXPECT_LT(countLines(F.ReducedSource), 40u) << F.ReducedSource;
+  EXPECT_LT(F.Reduction.LinesAfter, F.Reduction.LinesBefore);
+  DifferentialOracle BuggyOracle(Options.Oracle);
+  std::optional<Divergence> Again = BuggyOracle.check(F.ReducedSource);
+  ASSERT_TRUE(Again) << "reduced program no longer reproduces";
+  EXPECT_EQ(Again->Kind, F.Div.Kind);
+  EXPECT_EQ(Again->Stage, F.Div.Stage);
+
+  // (c) Pass bisection names the guilty transformation.
+  EXPECT_EQ(F.Div.Pass.rfind("canonicalize", 0), 0u) << F.Div.summary();
+
+  // The reduced input was persisted as a corpus entry...
+  ASSERT_FALSE(F.CorpusFile.empty());
+  std::vector<CorpusEntry> Entries = loadCorpus(CorpusDir.string());
+  ASSERT_EQ(Entries.size(), 1u);
+  EXPECT_NE(Entries[0].Source.find("// seed: "), std::string::npos);
+
+  // ...and replaying it on the *healthy* compiler is clean: the program
+  // only misbehaves under the injected bug, so it is a valid regression
+  // seed for the real corpus.
+  DifferentialOracle CleanOracle;
+  EXPECT_FALSE(CleanOracle.check(Entries[0].Source));
+
+  fs::remove_all(CorpusDir);
+}
+
+TEST(FuzzReducerTest, ReductionRespectsAttemptBudget) {
+  const std::string Source = generateRandomProgram(0);
+  size_t Calls = 0;
+  ReproPredicate Repro = [&](const std::string &) {
+    ++Calls;
+    return false; // Nothing ever reproduces: every attempt is rejected.
+  };
+  ReduceOptions Options;
+  Options.MaxAttempts = 7;
+  ReduceStats Stats;
+  std::string Reduced = reduceSource(Source, Repro, Options, &Stats);
+  EXPECT_LE(Calls, 7u);
+  EXPECT_EQ(Stats.Accepted, 0u);
+  // Nothing reproduced, so nothing (except blank lines) may be dropped.
+  EXPECT_EQ(countLines(Reduced), Stats.LinesAfter);
+}
+
+} // namespace

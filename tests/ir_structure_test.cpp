@@ -103,6 +103,51 @@ TEST(IRStructureTest, PredecessorMaintenance) {
   Term->dropAllOperands();
 }
 
+TEST(IRStructureTest, VerifierFlagsPhiIncomingWithoutCFGEdge) {
+  auto F = buildLoopFunction();
+  BasicBlock *Cond = F->blocks()[1].get();
+  BasicBlock *Body = F->blocks()[2].get();
+  // Simulate a buggy inliner CFG cleanup: the body's branch back to cond
+  // is removed, but a stale predecessor entry is put back so the cached
+  // predecessor list and the phis stay mutually consistent. The phi check
+  // must still notice that no terminator edge body->cond exists.
+  std::unique_ptr<Instruction> Term = Body->detach(Body->terminator());
+  Cond->addPredecessor(Body);
+  std::vector<std::string> Problems = verifyFunction(*F);
+  bool FlaggedPhi = false;
+  for (const std::string &P : Problems)
+    FlaggedPhi = FlaggedPhi || P.find("no CFG edge") != std::string::npos;
+  EXPECT_TRUE(FlaggedPhi) << "problems reported:\n"
+                          << [&] {
+                               std::string All;
+                               for (const std::string &P : Problems)
+                                 All += P + "\n";
+                               return All;
+                             }();
+  Cond->removePredecessor(Body);
+  Term->dropAllOperands();
+}
+
+TEST(IRStructureTest, VerifierFlagsPhiIncomingFromForeignBlock) {
+  auto F = buildLoopFunction();
+  auto G = buildLoopFunction();
+  BasicBlock *Cond = F->blocks()[1].get();
+  PhiInst *Phi = Cond->phis()[0];
+  // Point one incoming-block slot at a block of a different function
+  // (what a missed remap during cross-function cloning produces).
+  ASSERT_EQ(Phi->numIncoming(), 2u);
+  BasicBlock *Stolen = Phi->incomingBlock(1);
+  Phi->setIncomingBlock(1, G->entry());
+  std::vector<std::string> Problems = verifyFunction(*F);
+  bool Flagged = false;
+  for (const std::string &P : Problems)
+    Flagged = Flagged ||
+              P.find("not a block of this function") != std::string::npos;
+  EXPECT_TRUE(Flagged);
+  Phi->setIncomingBlock(1, Stolen);
+  EXPECT_TRUE(verifyFunction(*F).empty());
+}
+
 TEST(IRStructureTest, InstructionCount) {
   auto F = buildLoopFunction();
   // jump + 2 phis + lt + br + 2 adds + jump + ret = 9.

@@ -606,6 +606,39 @@ TEST(PipelineTest, EndToEndSemanticsPreserved) {
   EXPECT_EQ(runOutput(*M), Expected);
 }
 
+TEST(PipelineTest, ObserverSeesEveryPassInOrder) {
+  auto M = compile(R"(
+    def f(x: int): int { return (x + 0) * 1; }
+    def main() { print(f(3)); }
+  )");
+  Function *F = M->function("f");
+  std::vector<std::string> Seen;
+  PipelineOptions Options;
+  Options.Observer = [&](const std::string &Pass, Function &) {
+    Seen.push_back(Pass);
+  };
+  runOptimizationPipeline(*F, *M, Options);
+  EXPECT_EQ(Seen, pipelinePassNames());
+}
+
+TEST(PipelineTest, PrefixReplayStopsMidBundle) {
+  auto M = compile(R"(
+    def f(x: int): int { return (x + 0) * 1; }
+    def main() { print(f(3)); }
+  )");
+  Function *F = M->function("f");
+  std::vector<std::string> Seen;
+  PipelineOptions Options;
+  Options.Observer = [&](const std::string &Pass, Function &) {
+    Seen.push_back(Pass);
+  };
+  runPipelinePrefix(*F, *M, 2, Options);
+  ASSERT_EQ(Seen.size(), 2u);
+  EXPECT_EQ(Seen[0], "canonicalize");
+  EXPECT_EQ(Seen[1], "gvn");
+  expectVerified(*F);
+}
+
 TEST(PipelineTest, ShrinksCode) {
   auto M = compile(R"(
     def f(x: int): int {

@@ -12,28 +12,25 @@
 ///   (a) after every optimization pipeline configuration,
 ///   (b) under every inliner policy running in the tiered JIT,
 ///
-/// and that the IR verifier holds after every transformation.
+/// and that the IR verifier holds after every transformation. The stage
+/// enumerations live in the fuzzing subsystem (`src/fuzz`) and are shared
+/// with the standalone `incline-fuzz` driver; this suite pins them into
+/// every ctest run.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "RandomProgram.h"
+#include "fuzz/Oracle.h"
+#include "fuzz/RandomProgram.h"
 
 #include "TestHelpers.h"
-#include "inliner/Compilers.h"
 #include "jit/JitRuntime.h"
-#include "opt/Canonicalizer.h"
-#include "opt/DCE.h"
-#include "opt/GVN.h"
-#include "opt/LoopPeeling.h"
-#include "opt/PassPipeline.h"
-#include "opt/ReadWriteElimination.h"
 
 #include <gtest/gtest.h>
 
 using namespace incline;
+using incline::fuzz::generateRandomProgram;
 using incline::testing::compile;
 using incline::testing::expectVerified;
-using incline::testing::generateRandomProgram;
 
 namespace {
 
@@ -64,56 +61,16 @@ TEST_P(DifferentialTest, OptimizationPipelinesPreserveBehaviour) {
   std::string Source = generateRandomProgram(GetParam());
   std::string Expected = oracle(Source);
 
-  using Transform = std::function<void(ir::Function &, const ir::Module &)>;
-  std::pair<const char *, Transform> Variants[] = {
-      {"canonicalize",
-       [](ir::Function &F, const ir::Module &M) {
-         opt::canonicalize(F, M);
-       }},
-      {"canonicalize-no-devirt",
-       [](ir::Function &F, const ir::Module &M) {
-         opt::CanonOptions Options;
-         Options.EnableDevirtualization = false;
-         opt::canonicalize(F, M, Options);
-       }},
-      {"gvn+dce",
-       [](ir::Function &F, const ir::Module &M) {
-         (void)M;
-         opt::runGVN(F);
-         opt::eliminateDeadCode(F);
-       }},
-      {"rwe",
-       [](ir::Function &F, const ir::Module &M) {
-         (void)M;
-         opt::eliminateReadsWrites(F);
-       }},
-      {"forced-peeling",
-       [](ir::Function &F, const ir::Module &M) {
-         (void)M;
-         opt::PeelOptions Options;
-         Options.RequireTypeTrigger = false;
-         opt::peelLoops(F, Options);
-       }},
-      {"full-pipeline",
-       [](ir::Function &F, const ir::Module &M) {
-         opt::runOptimizationPipeline(F, M);
-       }},
-      {"pipeline-x3",
-       [](ir::Function &F, const ir::Module &M) {
-         for (int I = 0; I < 3; ++I)
-           opt::runOptimizationPipeline(F, M);
-       }},
-  };
-
-  for (const auto &[Label, Apply] : Variants) {
+  for (const fuzz::PipelineConfig &Config : fuzz::allPipelineConfigs()) {
     auto M = compile(Source);
     for (const auto &[Name, F] : M->functions())
-      Apply(*F, *M);
+      Config.Apply(*F, *M, opt::CanonOptions(), nullptr);
     expectVerified(*M);
     interp::ExecResult R = interp::runMain(*M);
-    ASSERT_TRUE(R.ok()) << Label << " trapped: " << R.TrapMessage << "\n"
+    ASSERT_TRUE(R.ok()) << Config.Name << " trapped: " << R.TrapMessage
+                        << "\n"
                         << Source;
-    EXPECT_EQ(R.Output, Expected) << Label << "\n" << Source;
+    EXPECT_EQ(R.Output, Expected) << Config.Name << "\n" << Source;
   }
 }
 
@@ -121,45 +78,19 @@ TEST_P(DifferentialTest, InlinerPoliciesPreserveBehaviour) {
   std::string Source = generateRandomProgram(GetParam());
   std::string Expected = oracle(Source);
 
-  std::vector<std::pair<std::string, std::unique_ptr<jit::Compiler>>>
-      Compilers;
-  Compilers.emplace_back("incremental",
-                         std::make_unique<inliner::IncrementalCompiler>());
-  {
-    inliner::InlinerConfig C;
-    C.UseClustering = false;
-    Compilers.emplace_back(
-        "1-by-1", std::make_unique<inliner::IncrementalCompiler>(C));
-  }
-  {
-    inliner::InlinerConfig C;
-    C.DeepTrials = false;
-    Compilers.emplace_back(
-        "shallow", std::make_unique<inliner::IncrementalCompiler>(C));
-  }
-  {
-    inliner::InlinerConfig C;
-    C.ExpansionPolicy = inliner::ExpansionPolicyKind::FixedTreeSize;
-    C.InliningPolicy = inliner::InliningPolicyKind::FixedRootSize;
-    Compilers.emplace_back(
-        "fixed", std::make_unique<inliner::IncrementalCompiler>(C));
-  }
-  Compilers.emplace_back("greedy",
-                         std::make_unique<inliner::GreedyCompiler>());
-  Compilers.emplace_back("c2", std::make_unique<inliner::C2StyleCompiler>());
-  Compilers.emplace_back("c1", std::make_unique<inliner::TrivialCompiler>());
-
-  for (auto &[Label, Compiler] : Compilers) {
+  for (const fuzz::JitPolicyConfig &Policy : fuzz::allJitPolicies()) {
     auto M = compile(Source);
+    std::unique_ptr<jit::Compiler> Compiler = Policy.Make();
     jit::JitConfig Config;
     Config.CompileThreshold = 1; // Compile everything immediately.
     jit::JitRuntime Runtime(*M, *Compiler, Config);
     for (int Iter = 0; Iter < 3; ++Iter) {
       interp::ExecResult R = Runtime.runMain();
-      ASSERT_TRUE(R.ok()) << Label << " trapped: " << R.TrapMessage << "\n"
+      ASSERT_TRUE(R.ok()) << Policy.Name << " trapped: " << R.TrapMessage
+                          << "\n"
                           << Source;
       EXPECT_EQ(R.Output, Expected)
-          << Label << " iteration " << Iter << "\n"
+          << Policy.Name << " iteration " << Iter << "\n"
           << Source;
     }
   }

@@ -1,0 +1,198 @@
+//===- tools/incline-fuzz.cpp - Differential fuzzing driver -----------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one-command answer to "did I break semantics?":
+///
+///   incline-fuzz [--seed-range A:B] [options]
+///       Sweeps seeded random MiniOO programs through the differential
+///       oracle (interpreter reference vs. every optimization-pipeline
+///       configuration vs. every inliner policy in the tiered JIT, with
+///       the IR verified after each individual pass). Each divergence is
+///       delta-debugged to a minimal program, attributed to a pass via
+///       bisection, and optionally persisted to a regression corpus.
+///
+///   incline-fuzz --corpus DIR
+///       Replays every `*.minioo` regression input under DIR through the
+///       oracle (the corpus ctest uses this mode).
+///
+///   incline-fuzz --smoke
+///       Time-bounded sweep for CI: as many seeds as fit the budget.
+///
+/// Exit code: 0 = no divergence, 1 = divergence(s) found, 2 = usage.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+
+using namespace incline;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: incline-fuzz [options]\n"
+      "\n"
+      "mode:\n"
+      "  --seed-range A:B     sweep generator seeds [A, B) (default 0:100)\n"
+      "  --corpus DIR         replay regression corpus instead of sweeping\n"
+      "  --smoke              CI mode: sweep until --time-budget expires\n"
+      "\n"
+      "generator shape:\n"
+      "  --size N             program size budget in percent (default 100)\n"
+      "  --no-virtual         no classes / virtual dispatch\n"
+      "  --no-recursion       no recursive helper\n"
+      "  --no-arrays          no arrays / indexed accesses\n"
+      "  --no-loops           no while loops\n"
+      "\n"
+      "oracle:\n"
+      "  --no-pipelines       skip optimization-pipeline stages\n"
+      "  --no-jit             skip tiered-JIT inliner-policy stages\n"
+      "  --no-per-pass-verify verify per config only, not per pass\n"
+      "  --jit-iterations N   runs per JIT policy (default 3)\n"
+      "  --threshold N        JIT compile threshold (default 1)\n"
+      "\n"
+      "failure handling:\n"
+      "  --no-reduce          keep failing programs unreduced\n"
+      "  --no-bisect          skip pass/function attribution\n"
+      "  --out DIR            persist failing inputs under DIR\n"
+      "  --max-failures N     stop after N failures (default 5)\n"
+      "  --time-budget SECS   wall-clock budget (default 45 with --smoke)\n"
+      "\n"
+      "fault injection (self-test only):\n"
+      "  --inject-bug sub-fold   miscompile constant `a - b` as `b - a`\n");
+  return 2;
+}
+
+struct CliOptions {
+  fuzz::FuzzOptions Fuzz;
+  std::string ReplayDir;
+  bool Smoke = false;
+};
+
+std::optional<CliOptions> parseArgs(int argc, char **argv) {
+  CliOptions Cli;
+  fuzz::FuzzOptions &O = Cli.Fuzz;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    // Value options accept both `--opt value` and `--opt=value`.
+    auto Value = [&](const char *Name) -> std::optional<std::string> {
+      std::string Eq = std::string(Name) + "=";
+      if (Arg.rfind(Eq, 0) == 0)
+        return Arg.substr(Eq.size());
+      if (Arg == Name && I + 1 < argc)
+        return std::string(argv[++I]);
+      return std::nullopt;
+    };
+    if (auto V = Value("--seed-range")) {
+      size_t Colon = V->find(':');
+      if (Colon == std::string::npos)
+        return std::nullopt;
+      O.SeedBegin = std::strtoull(V->substr(0, Colon).c_str(), nullptr, 10);
+      O.SeedEnd = std::strtoull(V->substr(Colon + 1).c_str(), nullptr, 10);
+    } else if (auto V = Value("--corpus")) {
+      Cli.ReplayDir = *V;
+    } else if (auto V = Value("--size")) {
+      O.Gen.SizePercent = std::atoi(V->c_str());
+    } else if (auto V = Value("--jit-iterations")) {
+      O.Oracle.JitIterations = std::atoi(V->c_str());
+    } else if (auto V = Value("--threshold")) {
+      O.Oracle.CompileThreshold =
+          std::strtoull(V->c_str(), nullptr, 10);
+    } else if (auto V = Value("--out")) {
+      O.CorpusDir = *V;
+    } else if (auto V = Value("--max-failures")) {
+      O.MaxFailures = static_cast<size_t>(std::atoi(V->c_str()));
+    } else if (auto V = Value("--time-budget")) {
+      O.TimeBudgetSeconds = std::atof(V->c_str());
+    } else if (auto V = Value("--inject-bug")) {
+      if (*V != "sub-fold")
+        return std::nullopt;
+      O.Oracle.Canon.TestOnlyMiscompileSubFold = true;
+    } else if (Arg == "--smoke") {
+      Cli.Smoke = true;
+    } else if (Arg == "--no-virtual") {
+      O.Gen.EnableVirtualDispatch = false;
+    } else if (Arg == "--no-recursion") {
+      O.Gen.EnableRecursion = false;
+    } else if (Arg == "--no-arrays") {
+      O.Gen.EnableArrays = false;
+    } else if (Arg == "--no-loops") {
+      O.Gen.EnableLoops = false;
+    } else if (Arg == "--no-pipelines") {
+      O.Oracle.CheckPipelines = false;
+    } else if (Arg == "--no-jit") {
+      O.Oracle.CheckJitPolicies = false;
+    } else if (Arg == "--no-per-pass-verify") {
+      O.Oracle.VerifyAfterEachPass = false;
+    } else if (Arg == "--no-reduce") {
+      O.Reduce = false;
+    } else if (Arg == "--no-bisect") {
+      O.Oracle.Bisect = false;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      return std::nullopt;
+    }
+  }
+  if (Cli.Smoke) {
+    if (O.TimeBudgetSeconds <= 0)
+      O.TimeBudgetSeconds = 45;
+    // Effectively unbounded: the time budget is the stop condition.
+    if (O.SeedEnd == 100 && O.SeedBegin == 0)
+      O.SeedEnd = 1'000'000;
+  }
+  return Cli;
+}
+
+void printFailures(const fuzz::FuzzReport &Report) {
+  for (const fuzz::FuzzFailure &F : Report.Failures) {
+    std::fprintf(stderr, "\n=== seed %llu: %s ===\n",
+                 static_cast<unsigned long long>(F.Seed),
+                 F.Div.summary().c_str());
+    std::fputs(F.Div.render().c_str(), stderr);
+    const std::string &Program =
+        F.ReducedSource.empty() ? F.Source : F.ReducedSource;
+    if (!Program.empty()) {
+      std::fprintf(stderr, "--- %s program ---\n",
+                   F.ReducedSource.empty() ? "failing" : "reduced");
+      std::fputs(Program.c_str(), stderr);
+    }
+    if (!F.CorpusFile.empty())
+      std::fprintf(stderr, "persisted: %s\n", F.CorpusFile.c_str());
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::optional<CliOptions> Cli = parseArgs(argc, argv);
+  if (!Cli)
+    return usage();
+
+  fuzz::FuzzReport Report;
+  if (!Cli->ReplayDir.empty()) {
+    Report = fuzz::replayCorpus(Cli->ReplayDir, Cli->Fuzz.Oracle,
+                                &std::cerr);
+    // An empty corpus is almost certainly a mistyped path; a replay that
+    // checked nothing must not look green (CI relies on this mode).
+    if (Report.SeedsRun == 0) {
+      std::fprintf(stderr, "error: no .minioo corpus entries under '%s'\n",
+                   Cli->ReplayDir.c_str());
+      return 2;
+    }
+  } else
+    Report = fuzz::fuzzSeedRange(Cli->Fuzz, &std::cerr);
+
+  printFailures(Report);
+  return Report.ok() ? 0 : 1;
+}
