@@ -13,10 +13,7 @@
 #include "ir/IRVerifier.h"
 #include "ir/Module.h"
 #include "jit/JitRuntime.h"
-#include "opt/DCE.h"
-#include "opt/GVN.h"
-#include "opt/LoopPeeling.h"
-#include "opt/ReadWriteElimination.h"
+#include "opt/Passes.h"
 
 #include <cstdint>
 
@@ -86,10 +83,17 @@ std::string joinProblems(const std::vector<std::string> &Problems) {
   return All;
 }
 
-void observe(const opt::PassObserver &Observer, const char *PassName,
-             ir::Function &F) {
-  if (Observer)
-    Observer(PassName, F);
+/// The per-apply pass context every pipeline configuration runs under: a
+/// private analysis cache shared across the config's passes (gvn+dce hits
+/// it; the epoch net plus the optional verify-cached-analyses cross-check
+/// exercise the caching machinery on fuzzer-generated CFGs) and the
+/// oracle's per-pass observer.
+opt::PassContext configContext(opt::AnalysisManager &AM,
+                               const opt::PassObserver &Obs) {
+  opt::PassContext Ctx;
+  Ctx.AM = &AM;
+  Ctx.Observer = Obs;
+  return Ctx;
 }
 
 } // namespace
@@ -99,38 +103,44 @@ const std::vector<PipelineConfig> &incline::fuzz::allPipelineConfigs() {
       {"canonicalize",
        [](ir::Function &F, const ir::Module &M, const opt::CanonOptions &C,
           const opt::PassObserver &Obs) {
-         opt::canonicalize(F, M, C);
-         observe(Obs, "canonicalize", F);
+         opt::AnalysisManager AM;
+         opt::CanonicalizePass Canon(C);
+         opt::runPass(Canon, F, M, configContext(AM, Obs));
        }},
       {"canonicalize-no-devirt",
        [](ir::Function &F, const ir::Module &M, const opt::CanonOptions &C,
           const opt::PassObserver &Obs) {
          opt::CanonOptions Options = C;
          Options.EnableDevirtualization = false;
-         opt::canonicalize(F, M, Options);
-         observe(Obs, "canonicalize", F);
+         opt::AnalysisManager AM;
+         opt::CanonicalizePass Canon(Options);
+         opt::runPass(Canon, F, M, configContext(AM, Obs));
        }},
       {"gvn+dce",
-       [](ir::Function &F, const ir::Module &, const opt::CanonOptions &,
+       [](ir::Function &F, const ir::Module &M, const opt::CanonOptions &,
           const opt::PassObserver &Obs) {
-         opt::runGVN(F);
-         observe(Obs, "gvn", F);
-         opt::eliminateDeadCode(F);
-         observe(Obs, "dce", F);
+         opt::AnalysisManager AM;
+         opt::PassContext Ctx = configContext(AM, Obs);
+         opt::GVNPass GVN;
+         opt::runPass(GVN, F, M, Ctx);
+         opt::DCEPass DCE;
+         opt::runPass(DCE, F, M, Ctx);
        }},
       {"rwe",
-       [](ir::Function &F, const ir::Module &, const opt::CanonOptions &,
+       [](ir::Function &F, const ir::Module &M, const opt::CanonOptions &,
           const opt::PassObserver &Obs) {
-         opt::eliminateReadsWrites(F);
-         observe(Obs, "rwe", F);
+         opt::AnalysisManager AM;
+         opt::RWEPass RWE;
+         opt::runPass(RWE, F, M, configContext(AM, Obs));
        }},
       {"forced-peeling",
-       [](ir::Function &F, const ir::Module &, const opt::CanonOptions &,
+       [](ir::Function &F, const ir::Module &M, const opt::CanonOptions &,
           const opt::PassObserver &Obs) {
          opt::PeelOptions Options;
          Options.RequireTypeTrigger = false;
-         opt::peelLoops(F, Options);
-         observe(Obs, "loop-peeling", F);
+         opt::AnalysisManager AM;
+         opt::LoopPeelPass Peel(Options);
+         opt::runPass(Peel, F, M, configContext(AM, Obs));
        }},
       {"full-pipeline",
        [](ir::Function &F, const ir::Module &M, const opt::CanonOptions &C,
@@ -284,11 +294,36 @@ DifferentialOracle::check(const std::string &Source) const {
     for (const JitPolicyConfig &Policy : allJitPolicies()) {
       std::unique_ptr<ir::Module> M = compileOrNull(Source);
       std::unique_ptr<jit::Compiler> Compiler = Policy.Make();
+      // Per-pass IR verification reaches inside the compiler: every pass
+      // it runs — inliner rounds, deep-inlining trials, the final bundle —
+      // reports back through the installed context.
+      std::optional<Divergence> PerPassProblem;
+      if (Opts.VerifyAfterEachPass) {
+        opt::PassContext Ctx;
+        Ctx.Observer = [&PerPassProblem, &Policy](const std::string &PassName,
+                                                  ir::Function &F) {
+          if (PerPassProblem)
+            return;
+          std::vector<std::string> Problems = ir::verifyFunction(F);
+          if (Problems.empty())
+            return;
+          Divergence D;
+          D.Kind = DivergenceKind::VerifierError;
+          D.Stage = "jit:" + Policy.Name;
+          D.Pass = PassName;
+          D.Function = F.name();
+          D.Detail = joinProblems(Problems);
+          PerPassProblem = std::move(D);
+        };
+        Compiler->setPassContext(Ctx);
+      }
       jit::JitConfig Config;
       Config.CompileThreshold = Opts.CompileThreshold;
       jit::JitRuntime Runtime(*M, *Compiler, Config);
       for (int Iter = 0; Iter < Opts.JitIterations; ++Iter) {
         interp::ExecResult R = Runtime.runMain();
+        if (PerPassProblem)
+          return PerPassProblem;
         if (R.ok() && R.Output == Expected)
           continue;
         Divergence D;

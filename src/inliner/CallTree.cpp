@@ -7,8 +7,7 @@
 #include "inliner/CallTree.h"
 
 #include "ir/IRCloner.h"
-#include "opt/Canonicalizer.h"
-#include "opt/DCE.h"
+#include "opt/Passes.h"
 #include "profile/BlockFrequency.h"
 #include "support/Casting.h"
 #include "support/ErrorHandling.h"
@@ -253,8 +252,17 @@ void CallTree::collectChildren(CallNode &N) {
     if (Child->Callsite)
       Known.insert(Child->Callsite);
 
-  std::unordered_map<const BasicBlock *, double> Freq =
-      profile::computeBlockFrequencies(*N.Body, &Profiles, N.ProfileName);
+  // Reconciliation re-scans the root every round; the analysis cache keeps
+  // the frequencies across rounds whose passes left the CFG alone. Only a
+  // manager wired to this tree's profile table can serve them.
+  std::unordered_map<const BasicBlock *, double> OwnFreq;
+  const std::unordered_map<const BasicBlock *, double> *Freq = &OwnFreq;
+  if (PassCtx.AM && PassCtx.AM->profiles() == &Profiles) {
+    Freq = &PassCtx.AM->blockFrequencies(*N.Body, N.ProfileName).Frequencies;
+  } else {
+    OwnFreq = profile::computeBlockFrequencies(*N.Body, &Profiles,
+                                               N.ProfileName);
+  }
 
   for (const auto &BB : N.Body->blocks()) {
     for (const auto &Inst : BB->instructions()) {
@@ -262,8 +270,8 @@ void CallTree::collectChildren(CallNode &N) {
         continue;
       if (Known.count(Inst.get()))
         continue;
-      auto FreqIt = Freq.find(BB.get());
-      double BlockFreq = FreqIt != Freq.end() ? FreqIt->second : 0.0;
+      auto FreqIt = Freq->find(BB.get());
+      double BlockFreq = FreqIt != Freq->end() ? FreqIt->second : 0.0;
       addChildForCallsite(N, Inst.get(), BlockFreq);
     }
   }
@@ -343,10 +351,17 @@ bool CallTree::expandCutoff(CallNode &N) {
   unsigned CanonOpts = 0;
   if (Specialize) {
     SpecializedParams = specializeArguments(N);
+    // Trial passes run through the shared context: the fuzz oracle's
+    // observer verifies every specialized copy, and the per-pass registry
+    // attributes trial time separately from root-pipeline time.
     opt::CanonOptions Options;
     Options.VisitBudget = Config.TrialVisitBudget;
-    opt::CanonStats Stats = opt::canonicalize(*N.Body, M, Options);
-    opt::eliminateDeadCode(*N.Body);
+    opt::CanonStats Stats;
+    opt::CanonicalizePass Canon(Options, "canonicalize-trial");
+    Canon.setStatsSink(&Stats);
+    opt::runPass(Canon, *N.Body, M, PassCtx);
+    opt::DCEPass DCE;
+    opt::runPass(DCE, *N.Body, M, PassCtx);
     CanonOpts = Stats.total();
   }
 

@@ -28,6 +28,7 @@
 #include "inliner/CostBenefit.h"
 #include "inliner/InlinerConfig.h"
 #include "ir/Module.h"
+#include "opt/Pass.h"
 #include "profile/ProfileData.h"
 
 #include <functional>
@@ -129,9 +130,13 @@ public:
 /// post-inline reconciliation.
 class CallTree {
 public:
+  /// \p PassCtx is the context trial-body passes run under (analysis
+  /// cache, per-pass observer, metrics sink); default = none of the three.
   CallTree(const InlinerConfig &Config, const ir::Module &M,
-           const profile::ProfileTable &Profiles)
-      : Config(Config), M(M), Profiles(Profiles) {}
+           const profile::ProfileTable &Profiles,
+           opt::PassContext PassCtx = opt::PassContext())
+      : Config(Config), M(M), Profiles(Profiles),
+        PassCtx(std::move(PassCtx)) {}
 
   /// Creates the root node around the compilation copy \p RootBody, whose
   /// profiles live under \p ProfileName, and collects its children.
@@ -178,6 +183,7 @@ private:
   const InlinerConfig &Config;
   const ir::Module &M;
   const profile::ProfileTable &Profiles;
+  opt::PassContext PassCtx;
   std::unique_ptr<CallNode> Root;
   uint64_t NodesCreated = 0;
   uint64_t NextCloneId = 0;

@@ -8,19 +8,80 @@
 
 #include "inliner/IncrementalInliner.h"
 #include "ir/IRCloner.h"
-#include "opt/Canonicalizer.h"
-#include "opt/DCE.h"
 #include "opt/PassPipeline.h"
+#include "opt/Passes.h"
 
 using namespace incline;
 using namespace incline::inliner;
+
+namespace {
+
+/// One compilation's pass-execution scaffolding: a per-compile analysis
+/// cache (unless the installed context already carries one), plus a local
+/// metrics sink stacked on top of the caller's so the compiler can report
+/// per-compilation pass totals in CompileStats.
+class CompileSession {
+public:
+  CompileSession(const opt::PassContext &Installed,
+                 const profile::ProfileTable &Profiles)
+      : OwnAM(&Profiles) {
+    Ctx = Installed;
+    if (!Ctx.AM)
+      Ctx.AM = &OwnAM;
+    CallerSink = Ctx.Instr;
+    Ctx.Instr = &LocalInstr;
+  }
+
+  const opt::PassContext &ctx() const { return Ctx; }
+
+  opt::PipelineOptions pipelineOptions() const {
+    opt::PipelineOptions Options;
+    Options.Observer = Ctx.Observer;
+    Options.AM = Ctx.AM;
+    Options.Instr = Ctx.Instr;
+    return Options;
+  }
+
+  /// Folds this compilation's pass totals into \p Stats and forwards them
+  /// to the caller's sink.
+  void finish(jit::CompileStats &Stats) {
+    opt::PassMetrics Totals = LocalInstr.totals();
+    Stats.PassRuns += Totals.Runs;
+    Stats.PassNanos += Totals.Nanos;
+    Stats.AnalysisCacheHits += Totals.CacheHits;
+    Stats.AnalysisCacheMisses += Totals.CacheMisses;
+    if (CallerSink)
+      LocalInstr.mergeInto(*CallerSink);
+  }
+
+private:
+  opt::AnalysisManager OwnAM;
+  opt::PassInstrumentation LocalInstr;
+  opt::PassInstrumentation *CallerSink = nullptr;
+  opt::PassContext Ctx;
+};
+
+/// Runs one canonicalization pass under \p Ctx, returning its rewrite count.
+unsigned runCanonPass(ir::Function &F, const ir::Module &M,
+                      const opt::PassContext &Ctx,
+                      const opt::CanonOptions &Options = opt::CanonOptions()) {
+  opt::CanonStats Stats;
+  opt::CanonicalizePass Canon(Options);
+  Canon.setStatsSink(&Stats);
+  opt::runPass(Canon, F, M, Ctx);
+  return Stats.total();
+}
+
+} // namespace
 
 std::unique_ptr<ir::Function>
 IncrementalCompiler::compile(const ir::Function &Source, const ir::Module &M,
                              const profile::ProfileTable &Profiles,
                              jit::CompileStats &Stats) {
+  CompileSession Session(PassCtx, Profiles);
   ir::ClonedFunction Clone = ir::cloneFunction(Source, Source.name());
   IncrementalInliner Inliner(Config, M, Profiles);
+  Inliner.setPassContext(Session.ctx());
   InlinerResult Result = Inliner.run(std::move(Clone.F), Source.name());
 
   Stats.InlinedCallsites = Result.CallsitesInlined;
@@ -28,8 +89,10 @@ IncrementalCompiler::compile(const ir::Function &Source, const ir::Module &M,
   Stats.ExploredNodes = Result.NodesExplored;
   Stats.OptsTriggered = Result.OptsTriggered;
 
-  opt::PipelineStats Pipeline = opt::runOptimizationPipeline(*Result.Body, M);
+  opt::PipelineStats Pipeline =
+      opt::runOptimizationPipeline(*Result.Body, M, Session.pipelineOptions());
   Stats.OptsTriggered += Pipeline.Canon.total();
+  Session.finish(Stats);
   return std::move(Result.Body);
 }
 
@@ -37,19 +100,21 @@ std::unique_ptr<ir::Function>
 GreedyCompiler::compile(const ir::Function &Source, const ir::Module &M,
                         const profile::ProfileTable &Profiles,
                         jit::CompileStats &Stats) {
+  CompileSession Session(PassCtx, Profiles);
   ir::ClonedFunction Clone = ir::cloneFunction(Source, Source.name());
   // The greedy inliner does not alternate with optimization: a single
   // canonicalization precedes it (statically-known devirtualization), the
   // shared pipeline follows it.
-  opt::CanonStats Canon = opt::canonicalize(*Clone.F, M);
+  Stats.OptsTriggered = runCanonPass(*Clone.F, M, Session.ctx());
   BaselineResult Result =
       runGreedyInliner(*Clone.F, M, Profiles, Source.name(), Config);
   Stats.InlinedCallsites = Result.CallsitesInlined;
   Stats.Rounds = 1;
-  Stats.OptsTriggered = Canon.total();
 
-  opt::PipelineStats Pipeline = opt::runOptimizationPipeline(*Clone.F, M);
+  opt::PipelineStats Pipeline =
+      opt::runOptimizationPipeline(*Clone.F, M, Session.pipelineOptions());
   Stats.OptsTriggered += Pipeline.Canon.total();
+  Session.finish(Stats);
   return std::move(Clone.F);
 }
 
@@ -57,16 +122,18 @@ std::unique_ptr<ir::Function>
 C2StyleCompiler::compile(const ir::Function &Source, const ir::Module &M,
                          const profile::ProfileTable &Profiles,
                          jit::CompileStats &Stats) {
+  CompileSession Session(PassCtx, Profiles);
   ir::ClonedFunction Clone = ir::cloneFunction(Source, Source.name());
-  opt::CanonStats Canon = opt::canonicalize(*Clone.F, M);
+  Stats.OptsTriggered = runCanonPass(*Clone.F, M, Session.ctx());
   BaselineResult Result =
       runC2StyleInliner(*Clone.F, M, Profiles, Source.name(), Config);
   Stats.InlinedCallsites = Result.CallsitesInlined;
   Stats.Rounds = 2; // Trivial phase + greedy phase.
-  Stats.OptsTriggered = Canon.total();
 
-  opt::PipelineStats Pipeline = opt::runOptimizationPipeline(*Clone.F, M);
+  opt::PipelineStats Pipeline =
+      opt::runOptimizationPipeline(*Clone.F, M, Session.pipelineOptions());
   Stats.OptsTriggered += Pipeline.Canon.total();
+  Session.finish(Stats);
   return std::move(Clone.F);
 }
 
@@ -74,15 +141,16 @@ std::unique_ptr<ir::Function>
 TrivialCompiler::compile(const ir::Function &Source, const ir::Module &M,
                          const profile::ProfileTable &Profiles,
                          jit::CompileStats &Stats) {
-  (void)Profiles; // The first tier does not consult profiles.
+  CompileSession Session(PassCtx, Profiles);
   ir::ClonedFunction Clone = ir::cloneFunction(Source, Source.name());
   BaselineResult Result = runTrivialInliner(*Clone.F, M, Config);
   Stats.InlinedCallsites = Result.CallsitesInlined;
   Stats.Rounds = 1;
 
   // C1 does only light cleanup: canonicalize + DCE, no GVN/RWE.
-  opt::CanonStats Canon = opt::canonicalize(*Clone.F, M);
-  opt::eliminateDeadCode(*Clone.F);
-  Stats.OptsTriggered = Canon.total();
+  Stats.OptsTriggered = runCanonPass(*Clone.F, M, Session.ctx());
+  opt::DCEPass DCE;
+  opt::runPass(DCE, *Clone.F, M, Session.ctx());
+  Session.finish(Stats);
   return std::move(Clone.F);
 }

@@ -9,10 +9,7 @@
 #include "inliner/ClusterAnalysis.h"
 #include "inliner/ExpansionPhase.h"
 #include "inliner/InliningPhase.h"
-#include "opt/Canonicalizer.h"
-#include "opt/DCE.h"
-#include "opt/LoopPeeling.h"
-#include "opt/ReadWriteElimination.h"
+#include "opt/Passes.h"
 
 using namespace incline;
 using namespace incline::inliner;
@@ -21,13 +18,34 @@ InlinerResult IncrementalInliner::run(std::unique_ptr<ir::Function> RootBody,
                                       std::string ProfileName) {
   InlinerResult Result;
 
-  // Parity with Graal: the graph is canonicalized before inlining starts,
-  // so statically obvious devirtualizations precede exploration.
+  // Every pass this run executes — the pre-inlining cleanup, the per-round
+  // re-optimizations, and (via the CallTree) the deep-trial passes — goes
+  // through the pass framework under one context, so the fuzz oracle's
+  // observer sees each of them and one analysis cache serves the whole
+  // compilation. A private cache is created when the caller supplied none.
+  opt::AnalysisManager LocalAM(&Profiles);
+  opt::PassContext Ctx = PassCtx;
+  if (!Ctx.AM)
+    Ctx.AM = &LocalAM;
+
   opt::CanonOptions CanonOpts;
   CanonOpts.VisitBudget = Config.TrialVisitBudget;
-  Result.OptsTriggered += opt::canonicalize(*RootBody, M, CanonOpts).total();
 
-  CallTree Tree(Config, M, Profiles);
+  // Runs one canonicalization pass on \p F and returns how many rewrites
+  // fired (the inliner's OptsTriggered accounting is per-run).
+  auto RunCanon = [&](ir::Function &F) -> unsigned {
+    opt::CanonStats Stats;
+    opt::CanonicalizePass Canon(CanonOpts);
+    Canon.setStatsSink(&Stats);
+    opt::runPass(Canon, F, M, Ctx);
+    return Stats.total();
+  };
+
+  // Parity with Graal: the graph is canonicalized before inlining starts,
+  // so statically obvious devirtualizations precede exploration.
+  Result.OptsTriggered += RunCanon(*RootBody);
+
+  CallTree Tree(Config, M, Profiles, Ctx);
   Tree.buildRoot(std::move(RootBody), std::move(ProfileName));
   ExpansionPhase Expansion(Config, Tree);
 
@@ -46,17 +64,22 @@ InlinerResult IncrementalInliner::run(std::unique_ptr<ir::Function> RootBody,
     size_t Reconciled = 0;
     if (Inlined.ClustersInlined > 0) {
       // §IV "Other optimizations": re-optimize the grown root each round.
-      Result.OptsTriggered +=
-          opt::canonicalize(*Root->Body, M, CanonOpts).total();
+      Result.OptsTriggered += RunCanon(*Root->Body);
       if (Config.EnableRoundReadWriteElimination) {
-        opt::eliminateReadsWrites(*Root->Body);
-        Result.OptsTriggered +=
-            opt::canonicalize(*Root->Body, M, CanonOpts).total();
+        opt::RWEPass RWE;
+        opt::runPass(RWE, *Root->Body, M, Ctx);
+        Result.OptsTriggered += RunCanon(*Root->Body);
       }
-      if (Config.EnableRoundLoopPeeling && opt::peelLoops(*Root->Body) > 0)
-        Result.OptsTriggered +=
-            opt::canonicalize(*Root->Body, M, CanonOpts).total();
-      opt::eliminateDeadCode(*Root->Body);
+      if (Config.EnableRoundLoopPeeling) {
+        size_t Peeled = 0;
+        opt::LoopPeelPass Peel;
+        Peel.setStatsSink(&Peeled);
+        opt::runPass(Peel, *Root->Body, M, Ctx);
+        if (Peeled > 0)
+          Result.OptsTriggered += RunCanon(*Root->Body);
+      }
+      opt::DCEPass DCE;
+      opt::runPass(DCE, *Root->Body, M, Ctx);
       Reconciled = Tree.reconcileRoot();
     }
 

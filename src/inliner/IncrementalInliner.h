@@ -20,6 +20,7 @@
 #define INCLINE_INLINER_INCREMENTALINLINER_H
 
 #include "inliner/CallTree.h"
+#include "opt/Pass.h"
 
 #include <memory>
 #include <string>
@@ -43,6 +44,12 @@ public:
                      const profile::ProfileTable &Profiles)
       : Config(Config), M(M), Profiles(Profiles) {}
 
+  /// Installs the pass-execution context the round-optimization block and
+  /// the deep-inlining trials run their passes under (analysis cache,
+  /// per-pass observer, metrics sink). When Ctx.AM is null the run creates
+  /// a private per-compilation AnalysisManager.
+  void setPassContext(const opt::PassContext &Ctx) { PassCtx = Ctx; }
+
   /// Consumes the compilation copy \p RootBody of the method named
   /// \p ProfileName and returns the inlined, optimized body.
   InlinerResult run(std::unique_ptr<ir::Function> RootBody,
@@ -52,6 +59,7 @@ private:
   const InlinerConfig &Config;
   const ir::Module &M;
   const profile::ProfileTable &Profiles;
+  opt::PassContext PassCtx;
 };
 
 } // namespace incline::inliner

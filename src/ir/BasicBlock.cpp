@@ -6,6 +6,7 @@
 
 #include "ir/BasicBlock.h"
 
+#include "ir/Function.h"
 #include "support/Casting.h"
 #include "support/ErrorHandling.h"
 
@@ -106,9 +107,17 @@ void BasicBlock::dropAllReferences() {
     Inst->dropAllOperands();
 }
 
+void BasicBlock::addPredecessor(BasicBlock *Pred) {
+  Preds.push_back(Pred);
+  if (Parent)
+    Parent->noteCFGChanged();
+}
+
 void BasicBlock::removePredecessor(BasicBlock *Pred) {
   auto It = std::find(Preds.begin(), Preds.end(), Pred);
   assert(It != Preds.end() && "removing a non-existent predecessor");
   Preds.erase(It); // Keep order: phi bookkeeping is order-insensitive but
                    // deterministic iteration aids debugging.
+  if (Parent)
+    Parent->noteCFGChanged();
 }

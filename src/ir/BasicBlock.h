@@ -82,7 +82,8 @@ public:
   std::vector<PhiInst *> phis() const;
 
   /// Edge bookkeeping; called from append/erase/replaceSuccessor only.
-  void addPredecessor(BasicBlock *Pred) { Preds.push_back(Pred); }
+  /// Both bump the parent function's CFG epoch (see Function::cfgEpoch).
+  void addPredecessor(BasicBlock *Pred);
   void removePredecessor(BasicBlock *Pred);
 
   /// Severs every operand link of every instruction in this block (without

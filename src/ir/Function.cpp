@@ -18,6 +18,8 @@ Function::Function(std::string Name, std::vector<types::Type> ParamTypes,
                    std::vector<std::string> ParamNames,
                    types::Type ReturnType)
     : Name(std::move(Name)), ReturnType(ReturnType) {
+  static uint64_t NextUniqueId = 0;
+  UniqueId = NextUniqueId++;
   assert(ParamNames.size() == ParamTypes.size() &&
          "one name per parameter required");
   for (size_t I = 0; I < ParamTypes.size(); ++I)
@@ -36,6 +38,7 @@ Function::~Function() {
 BasicBlock *Function::addBlock(std::string NameHint) {
   Blocks.push_back(
       std::make_unique<BasicBlock>(this, std::move(NameHint), NextBlockId++));
+  noteCFGChanged();
   return Blocks.back().get();
 }
 
@@ -52,6 +55,7 @@ void Function::removeBlock(BasicBlock *BB) {
                          [&](const auto &B) { return B.get() == BB; });
   assert(It != Blocks.end() && "block does not belong to this function");
   Blocks.erase(It);
+  noteCFGChanged();
 }
 
 void Function::moveBlockToEnd(BasicBlock *BB) {

@@ -79,6 +79,21 @@ public:
   /// Blocks in reverse post order from the entry (every reachable block).
   std::vector<BasicBlock *> reversePostOrder() const;
 
+  /// Process-unique id, assigned at construction and never reused. Analysis
+  /// caches key on it instead of the Function address so a cache outliving a
+  /// function can never confuse it with a newer allocation at the same
+  /// address.
+  uint64_t uniqueId() const { return UniqueId; }
+
+  /// Monotonic counter bumped by every CFG mutation (block creation and
+  /// removal, and every edge insertion or removal via the predecessor-list
+  /// bookkeeping). CFG-derived analyses (dominators, loops, block
+  /// frequencies) record the epoch they were computed at; a changed epoch
+  /// means the snapshot is stale.
+  uint64_t cfgEpoch() const { return CFGEpoch; }
+  /// Called from the CFG mutators; not for general use.
+  void noteCFGChanged() { ++CFGEpoch; }
+
 private:
   std::string Name;
   types::Type ReturnType;
@@ -92,6 +107,8 @@ private:
 
   unsigned NextProfileId = 0;
   unsigned NextBlockId = 0;
+  uint64_t UniqueId;
+  uint64_t CFGEpoch = 0;
 };
 
 } // namespace incline::ir

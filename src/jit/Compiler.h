@@ -15,6 +15,8 @@
 #ifndef INCLINE_JIT_COMPILER_H
 #define INCLINE_JIT_COMPILER_H
 
+#include "opt/Pass.h"
+
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -37,6 +39,10 @@ struct CompileStats {
   uint64_t ExploredNodes = 0;   ///< Call-tree nodes ever created.
   uint64_t OptsTriggered = 0;   ///< Canonicalizer rewrites observed.
   uint64_t CodeSize = 0;        ///< |ir| of the final compiled body.
+  uint64_t PassRuns = 0;        ///< Individual pass executions.
+  uint64_t PassNanos = 0;       ///< Wall time spent inside passes.
+  uint64_t AnalysisCacheHits = 0;   ///< Cached-analysis reuses.
+  uint64_t AnalysisCacheMisses = 0; ///< Analyses computed from scratch.
 };
 
 /// A second-tier compiler: consumes the profiled source IR of one method
@@ -53,6 +59,18 @@ public:
 
   /// Short name for reports ("incremental", "greedy", "c2", ...).
   virtual std::string name() const = 0;
+
+  /// Installs hooks the compiler threads through every pass it runs: the
+  /// observer fires after each individual pass on the function it just
+  /// transformed (the fuzz oracle verifies IR there), and the
+  /// instrumentation sink receives per-pass metrics. Compilers create
+  /// their own per-compilation AnalysisManager; Ctx.AM, when set, is used
+  /// as-is instead.
+  void setPassContext(const opt::PassContext &Ctx) { PassCtx = Ctx; }
+  const opt::PassContext &passContext() const { return PassCtx; }
+
+protected:
+  opt::PassContext PassCtx;
 };
 
 } // namespace incline::jit

@@ -1,0 +1,220 @@
+//===- opt/Analysis.cpp ------------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Analysis.h"
+
+#include "ir/Function.h"
+#include "profile/BlockFrequency.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+using namespace incline;
+using namespace incline::opt;
+
+std::string_view incline::opt::analysisKindName(AnalysisKind Kind) {
+  switch (Kind) {
+  case AnalysisKind::Dominators:
+    return "dominators";
+  case AnalysisKind::Loops:
+    return "loops";
+  case AnalysisKind::BlockFrequencies:
+    return "block-frequencies";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool VerifyCachedAnalyses = false;
+
+/// Structural equality of two dominator trees over the same function: same
+/// reachable set and the same immediate dominator for every reachable block.
+bool equivalentDominators(const ir::Function &F, const ir::DominatorTree &A,
+                          const ir::DominatorTree &B) {
+  for (const auto &BB : F.blocks()) {
+    if (A.isReachable(BB.get()) != B.isReachable(BB.get()))
+      return false;
+    if (A.idom(BB.get()) != B.idom(BB.get()))
+      return false;
+  }
+  return true;
+}
+
+/// Structural equality of two loop forests: same headers, and per header
+/// the same block set, latch count, and depth.
+bool equivalentLoops(const ir::LoopInfo &A, const ir::LoopInfo &B) {
+  if (A.loops().size() != B.loops().size())
+    return false;
+  for (const auto &LA : A.loops()) {
+    const ir::Loop *Match = nullptr;
+    for (const auto &LB : B.loops())
+      if (LB->Header == LA->Header) {
+        Match = LB.get();
+        break;
+      }
+    if (!Match || Match->Blocks != LA->Blocks ||
+        Match->Latches.size() != LA->Latches.size() ||
+        Match->Depth != LA->Depth)
+      return false;
+  }
+  return true;
+}
+
+bool equivalentFrequencies(const BlockFrequencyResult &A,
+                           const BlockFrequencyResult &B) {
+  if (A.Frequencies.size() != B.Frequencies.size())
+    return false;
+  for (const auto &[BB, Freq] : A.Frequencies) {
+    auto It = B.Frequencies.find(BB);
+    if (It == B.Frequencies.end())
+      return false;
+    double Scale = std::max({std::fabs(Freq), std::fabs(It->second), 1.0});
+    if (std::fabs(Freq - It->second) > 1e-9 * Scale)
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+void incline::opt::setVerifyCachedAnalyses(bool Enabled) {
+  VerifyCachedAnalyses = Enabled;
+}
+
+bool incline::opt::verifyCachedAnalysesEnabled() {
+  return VerifyCachedAnalyses;
+}
+
+AnalysisManager::FunctionEntry &
+AnalysisManager::freshEntry(const ir::Function &F) {
+  FunctionEntry &Entry = Cache[F.uniqueId()];
+  if (Entry.Epoch != F.cfgEpoch()) {
+    // The CFG moved under the cache: a pass either reported the change (and
+    // the entry is already empty) or mutated the CFG while claiming
+    // preservation — the epoch safety net catches the latter.
+    if (Entry.DT || Entry.LI || Entry.BF)
+      ++Stats.StaleEpoch;
+    Entry.DT.reset();
+    Entry.LI.reset();
+    Entry.BF.reset();
+    Entry.Epoch = F.cfgEpoch();
+  }
+  return Entry;
+}
+
+const ir::DominatorTree &AnalysisManager::dominators(const ir::Function &F) {
+  FunctionEntry &Entry = freshEntry(F);
+  if (Entry.DT) {
+    ++Stats.Hits;
+    if (VerifyCachedAnalyses) {
+      ++Stats.Verified;
+      ir::DominatorTree Fresh(F);
+      if (!equivalentDominators(F, *Entry.DT, Fresh))
+        INCLINE_FATAL("cached DominatorTree for '" + F.name() +
+                      "' disagrees with a fresh computation (preservation "
+                      "contract or CFG-epoch instrumentation bug)");
+    }
+    return *Entry.DT;
+  }
+  ++Stats.Misses;
+  Entry.DT = std::make_unique<ir::DominatorTree>(F);
+  return *Entry.DT;
+}
+
+const ir::LoopInfo &AnalysisManager::loops(const ir::Function &F) {
+  // Resolve dominators first: the call may advance the entry's epoch and
+  // must count its own hit/miss.
+  const ir::DominatorTree &DT = dominators(F);
+  FunctionEntry &Entry = freshEntry(F);
+  if (Entry.LI) {
+    ++Stats.Hits;
+    if (VerifyCachedAnalyses) {
+      ++Stats.Verified;
+      ir::LoopInfo Fresh(F, DT);
+      if (!equivalentLoops(*Entry.LI, Fresh))
+        INCLINE_FATAL("cached LoopInfo for '" + F.name() +
+                      "' disagrees with a fresh computation (preservation "
+                      "contract or CFG-epoch instrumentation bug)");
+    }
+    return *Entry.LI;
+  }
+  ++Stats.Misses;
+  Entry.LI = std::make_unique<ir::LoopInfo>(F, DT);
+  return *Entry.LI;
+}
+
+const BlockFrequencyResult &
+AnalysisManager::blockFrequencies(const ir::Function &F,
+                                  const std::string &ProfileName) {
+  const std::string &Name = ProfileName.empty() ? F.name() : ProfileName;
+  FunctionEntry &Entry = freshEntry(F);
+  if (Entry.BF && Entry.BF->ProfileName == Name) {
+    ++Stats.Hits;
+    if (VerifyCachedAnalyses) {
+      ++Stats.Verified;
+      BlockFrequencyResult Fresh;
+      Fresh.ProfileName = Name;
+      Fresh.Frequencies = profile::computeBlockFrequencies(F, Profiles, Name);
+      if (!equivalentFrequencies(*Entry.BF, Fresh))
+        INCLINE_FATAL("cached block frequencies for '" + F.name() +
+                      "' disagree with a fresh computation (preservation "
+                      "contract or CFG-epoch instrumentation bug)");
+    }
+    return *Entry.BF;
+  }
+  ++Stats.Misses;
+  Entry.BF = std::make_unique<BlockFrequencyResult>();
+  Entry.BF->ProfileName = Name;
+  Entry.BF->Frequencies = profile::computeBlockFrequencies(F, Profiles, Name);
+  return *Entry.BF;
+}
+
+void AnalysisManager::invalidate(const ir::Function &F,
+                                 const PreservedAnalyses &PA) {
+  if (PA.areAllPreserved())
+    return;
+  auto It = Cache.find(F.uniqueId());
+  if (It == Cache.end())
+    return;
+  FunctionEntry &Entry = It->second;
+  if (!PA.isPreserved(AnalysisKind::Dominators) && Entry.DT) {
+    Entry.DT.reset();
+    ++Stats.Invalidated;
+  }
+  if (!PA.isPreserved(AnalysisKind::Loops) && Entry.LI) {
+    Entry.LI.reset();
+    ++Stats.Invalidated;
+  }
+  if (!PA.isPreserved(AnalysisKind::BlockFrequencies) && Entry.BF) {
+    Entry.BF.reset();
+    ++Stats.Invalidated;
+  }
+}
+
+void AnalysisManager::forget(const ir::Function &F) {
+  Cache.erase(F.uniqueId());
+}
+
+void AnalysisManager::clear() { Cache.clear(); }
+
+bool AnalysisManager::isCached(const ir::Function &F,
+                               AnalysisKind Kind) const {
+  auto It = Cache.find(F.uniqueId());
+  if (It == Cache.end() || It->second.Epoch != F.cfgEpoch())
+    return false;
+  switch (Kind) {
+  case AnalysisKind::Dominators:
+    return It->second.DT != nullptr;
+  case AnalysisKind::Loops:
+    return It->second.LI != nullptr;
+  case AnalysisKind::BlockFrequencies:
+    return It->second.BF != nullptr;
+  }
+  return false;
+}

@@ -1,0 +1,198 @@
+//===- opt/Analysis.h - Cached, invalidation-aware function analyses -------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-function analysis cache behind the pass framework. The paper's
+/// inliner is optimization-driven: deep inlining trials re-canonicalize
+/// cloned bodies every round, so every redundant `DominatorTree`/`LoopInfo`
+/// rebuild is compile time taken straight from the hottest path. The
+/// `AnalysisManager` computes each analysis once per (function, CFG state)
+/// and hands out const references until the result is invalidated.
+///
+/// Invalidation is driven from two sides:
+///
+///  * *Contract*: every `FunctionPass` returns a `PreservedAnalyses` set;
+///    the pass manager invalidates whatever the pass reports clobbered.
+///  * *Safety net*: every CFG mutation bumps `ir::Function::cfgEpoch()`;
+///    a cached result whose recorded epoch no longer matches is discarded
+///    (and counted) instead of being served stale. Correctness therefore
+///    never depends on a pass describing itself honestly — an important
+///    property for the differential fuzzer, which distrusts every pass.
+///
+/// A debug cross-check (`setVerifyCachedAnalyses`) recomputes the analysis
+/// on every cache hit and structurally compares it with the cached copy,
+/// aborting on mismatch. It exists to catch epoch-instrumentation gaps and
+/// future incremental-update bugs; the fuzz smoke job runs under it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_OPT_ANALYSIS_H
+#define INCLINE_OPT_ANALYSIS_H
+
+#include "ir/Dominators.h"
+#include "ir/LoopInfo.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace incline::ir {
+class BasicBlock;
+class Function;
+} // namespace incline::ir
+
+namespace incline::profile {
+class ProfileTable;
+}
+
+namespace incline::opt {
+
+/// The analyses the manager knows how to compute and cache.
+enum class AnalysisKind : unsigned {
+  Dominators = 0,      ///< ir::DominatorTree.
+  Loops = 1,           ///< ir::LoopInfo (depends on Dominators).
+  BlockFrequencies = 2 ///< profile::computeBlockFrequencies result.
+};
+
+inline constexpr unsigned NumAnalysisKinds = 3;
+
+std::string_view analysisKindName(AnalysisKind Kind);
+
+/// The set of analyses a pass left intact, returned by every
+/// `FunctionPass::run`. The pass manager invalidates everything *not* in
+/// the set. All three analyses are CFG-derived, so in practice passes
+/// answer all-or-nothing via the CFG epoch; the per-kind interface keeps
+/// the contract extensible.
+class PreservedAnalyses {
+public:
+  /// Nothing was clobbered (pure or failed pass).
+  static PreservedAnalyses all() {
+    PreservedAnalyses PA;
+    PA.Mask = (1u << NumAnalysisKinds) - 1;
+    return PA;
+  }
+  /// Everything must be recomputed (CFG changed).
+  static PreservedAnalyses none() { return PreservedAnalyses(); }
+  /// all() when \p CFGUnchanged, none() otherwise — the common idiom for
+  /// passes that prove preservation by comparing `cfgEpoch` around the run.
+  static PreservedAnalyses allIf(bool CFGUnchanged) {
+    return CFGUnchanged ? all() : none();
+  }
+
+  PreservedAnalyses &preserve(AnalysisKind Kind) {
+    Mask |= 1u << static_cast<unsigned>(Kind);
+    return *this;
+  }
+  PreservedAnalyses &abandon(AnalysisKind Kind) {
+    Mask &= ~(1u << static_cast<unsigned>(Kind));
+    return *this;
+  }
+  bool isPreserved(AnalysisKind Kind) const {
+    return (Mask >> static_cast<unsigned>(Kind)) & 1u;
+  }
+  bool areAllPreserved() const { return Mask == (1u << NumAnalysisKinds) - 1; }
+
+private:
+  unsigned Mask = 0;
+};
+
+/// Cache behaviour counters, exposed per manager (the pass manager also
+/// attributes hit/miss deltas to individual passes for instrumentation).
+struct AnalysisCacheStats {
+  uint64_t Hits = 0;        ///< Requests served from the cache.
+  uint64_t Misses = 0;      ///< Requests that had to compute.
+  uint64_t Invalidated = 0; ///< Entries dropped by PreservedAnalyses.
+  uint64_t StaleEpoch = 0;  ///< Entries dropped by the CFG-epoch safety net.
+  uint64_t Verified = 0;    ///< Hits cross-checked in verify mode.
+
+  double hitRate() const {
+    uint64_t Total = Hits + Misses;
+    return Total == 0 ? 0.0 : static_cast<double>(Hits) / Total;
+  }
+};
+
+/// Block-frequency analysis result (see profile::computeBlockFrequencies).
+struct BlockFrequencyResult {
+  /// Profile-table key the frequencies were computed against.
+  std::string ProfileName;
+  std::unordered_map<const ir::BasicBlock *, double> Frequencies;
+};
+
+/// Process-wide switch for the debug cross-check: when enabled, every cache
+/// hit recomputes the analysis from scratch and structurally compares it
+/// with the cached copy, aborting on mismatch. Enabled by
+/// `incline-fuzz --verify-analyses` and the sanitizer CI job.
+void setVerifyCachedAnalyses(bool Enabled);
+bool verifyCachedAnalysesEnabled();
+
+/// Per-function cache of CFG-derived analyses. One manager spans one unit
+/// of related pass work — a compilation (the inliner threads one through
+/// its rounds and deep-inlining trials), a pipeline run, or an oracle
+/// stage. Results are keyed by `ir::Function::uniqueId`, so a manager may
+/// safely outlive any function it has seen.
+class AnalysisManager {
+public:
+  /// \p Profiles (optional) feeds the block-frequency analysis; when null,
+  /// branches default to probability 0.5.
+  explicit AnalysisManager(const profile::ProfileTable *Profiles = nullptr)
+      : Profiles(Profiles) {}
+
+  AnalysisManager(const AnalysisManager &) = delete;
+  AnalysisManager &operator=(const AnalysisManager &) = delete;
+
+  /// The dominator tree of \p F at its current CFG state.
+  const ir::DominatorTree &dominators(const ir::Function &F);
+
+  /// The natural-loop forest of \p F (computes dominators on demand).
+  const ir::LoopInfo &loops(const ir::Function &F);
+
+  /// Block frequencies of \p F under \p ProfileName (empty = F's own name).
+  /// A cached result computed under a different profile name is replaced.
+  const BlockFrequencyResult &
+  blockFrequencies(const ir::Function &F, const std::string &ProfileName = "");
+
+  /// Drops every analysis of \p F that \p PA does not preserve.
+  void invalidate(const ir::Function &F, const PreservedAnalyses &PA);
+
+  /// Drops every analysis of \p F.
+  void forget(const ir::Function &F);
+
+  /// Drops the whole cache (stats are kept).
+  void clear();
+
+  /// True when \p Kind is cached *and current* for \p F — a subsequent
+  /// request would hit.
+  bool isCached(const ir::Function &F, AnalysisKind Kind) const;
+
+  const AnalysisCacheStats &stats() const { return Stats; }
+
+  /// The profile table block frequencies are computed against (may be
+  /// null). Callers with their own table should only trust cached
+  /// frequencies from a manager wired to the same table.
+  const profile::ProfileTable *profiles() const { return Profiles; }
+
+private:
+  struct FunctionEntry {
+    uint64_t Epoch = 0; ///< F.cfgEpoch() the cached analyses belong to.
+    std::unique_ptr<ir::DominatorTree> DT;
+    std::unique_ptr<ir::LoopInfo> LI;
+    std::unique_ptr<BlockFrequencyResult> BF;
+  };
+
+  /// Returns the entry for \p F, dropping stale analyses whose epoch no
+  /// longer matches the function's CFG epoch.
+  FunctionEntry &freshEntry(const ir::Function &F);
+
+  const profile::ProfileTable *Profiles;
+  std::unordered_map<uint64_t, FunctionEntry> Cache;
+  AnalysisCacheStats Stats;
+};
+
+} // namespace incline::opt
+
+#endif // INCLINE_OPT_ANALYSIS_H

@@ -27,6 +27,7 @@ CanonStats &CanonStats::operator+=(const CanonStats &Other) {
   NullChecksFolded += Other.NullChecksFolded;
   Devirtualized += Other.Devirtualized;
   CastsFolded += Other.CastsFolded;
+  VisitsUsed += Other.VisitsUsed;
   BudgetExhausted = BudgetExhausted || Other.BudgetExhausted;
   return *this;
 }
@@ -47,10 +48,9 @@ public:
 
   CanonStats run() {
     seedWorklist();
-    uint64_t Visits = 0;
     while (true) {
       while (!Worklist.empty()) {
-        if (++Visits > Opts.VisitBudget) {
+        if (++Stats.VisitsUsed > Opts.VisitBudget) {
           Stats.BudgetExhausted = true;
           return Stats;
         }

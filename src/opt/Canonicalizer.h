@@ -47,6 +47,9 @@ struct CanonStats {
   unsigned NullChecksFolded = 0;
   unsigned Devirtualized = 0;
   unsigned CastsFolded = 0;
+  /// Worklist pops spent; lets a pipeline carry the unspent remainder of a
+  /// shared visit budget into a later canonicalization run.
+  uint64_t VisitsUsed = 0;
   /// True when the visit budget ran out before the fixpoint.
   bool BudgetExhausted = false;
 

@@ -79,8 +79,7 @@ std::optional<ExprKey> keyFor(const Instruction *Inst) {
 
 } // namespace
 
-size_t incline::opt::runGVN(Function &F) {
-  DominatorTree DT(F);
+size_t incline::opt::runGVN(Function &F, const DominatorTree &DT) {
   size_t Eliminated = 0;
 
   // Scoped hash table via dominator-tree DFS: entries pushed in a child

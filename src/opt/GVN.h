@@ -18,14 +18,18 @@
 #include <cstddef>
 
 namespace incline::ir {
+class DominatorTree;
 class Function;
-}
+} // namespace incline::ir
 
 namespace incline::opt {
 
 /// Replaces dominated redundant pure computations. Returns the number of
-/// instructions eliminated.
-size_t runGVN(ir::Function &F);
+/// instructions eliminated. \p DT must be current for \p F; the pass does
+/// not mutate the CFG, so \p DT stays valid afterwards. Callers go through
+/// the pass framework (GVNPass in Passes.h), which serves \p DT from the
+/// AnalysisManager cache.
+size_t runGVN(ir::Function &F, const ir::DominatorTree &DT);
 
 } // namespace incline::opt
 

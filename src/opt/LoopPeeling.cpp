@@ -184,9 +184,9 @@ void peelOne(Function &F, const PeelableLoop &Shape) {
 
 } // namespace
 
-size_t incline::opt::peelLoops(Function &F, const PeelOptions &Options) {
-  DominatorTree DT(F);
-  LoopInfo LI(F, DT);
+size_t incline::opt::peelLoops(Function &F, const DominatorTree &DT,
+                               const LoopInfo &LI, const PeelOptions &Options) {
+  (void)DT; // Shape matching only needs LoopInfo; DT kept it current.
 
   // Collect candidates before mutating (peeling invalidates LoopInfo).
   std::vector<PeelableLoop> Candidates;

@@ -25,8 +25,10 @@
 #include <cstddef>
 
 namespace incline::ir {
+class DominatorTree;
 class Function;
-}
+class LoopInfo;
+} // namespace incline::ir
 
 namespace incline::opt {
 
@@ -39,7 +41,13 @@ struct PeelOptions {
 };
 
 /// Peels qualifying loops once. Returns the number of loops peeled.
-size_t peelLoops(ir::Function &F, const PeelOptions &Options = PeelOptions());
+/// \p DT and \p LI must be current for \p F; peeling a loop invalidates
+/// both (the caller's AnalysisManager learns that via the CFG epoch and
+/// the pass's PreservedAnalyses). Callers go through the pass framework
+/// (LoopPeelPass in Passes.h), which serves the analyses from cache.
+size_t peelLoops(ir::Function &F, const ir::DominatorTree &DT,
+                 const ir::LoopInfo &LI,
+                 const PeelOptions &Options = PeelOptions());
 
 } // namespace incline::opt
 

@@ -1,0 +1,141 @@
+//===- opt/Pass.cpp ----------------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pass.h"
+
+#include "ir/Function.h"
+#include "support/StringUtils.h"
+
+#include <chrono>
+
+using namespace incline;
+using namespace incline::opt;
+
+FunctionPass::~FunctionPass() = default;
+
+PassMetrics &PassMetrics::operator+=(const PassMetrics &Other) {
+  Runs += Other.Runs;
+  Nanos += Other.Nanos;
+  IRRemoved += Other.IRRemoved;
+  IRAdded += Other.IRAdded;
+  CacheHits += Other.CacheHits;
+  CacheMisses += Other.CacheMisses;
+  return *this;
+}
+
+void PassInstrumentation::record(std::string_view PassName,
+                                 const PassMetrics &Delta) {
+  auto It = Metrics.find(PassName);
+  if (It == Metrics.end())
+    It = Metrics.emplace(std::string(PassName), PassMetrics()).first;
+  It->second += Delta;
+}
+
+PassMetrics PassInstrumentation::totals() const {
+  PassMetrics Total;
+  for (const auto &[Name, M] : Metrics)
+    Total += M;
+  return Total;
+}
+
+void PassInstrumentation::mergeInto(PassInstrumentation &Other) const {
+  for (const auto &[Name, M] : Metrics)
+    Other.record(Name, M);
+}
+
+std::string PassInstrumentation::report() const {
+  std::string Out = formatString(
+      "%-16s %10s %12s %12s %12s %10s\n", "pass", "runs", "time(ms)",
+      "ir-removed", "ir-added", "hit-rate");
+  auto Row = [&](const std::string &Name, const PassMetrics &M) {
+    uint64_t Lookups = M.CacheHits + M.CacheMisses;
+    std::string HitRate =
+        Lookups == 0
+            ? std::string("-")
+            : formatString("%.0f%%", 100.0 * static_cast<double>(M.CacheHits) /
+                                         static_cast<double>(Lookups));
+    Out += formatString(
+        "%-16s %10llu %12.3f %12llu %12llu %10s\n", Name.c_str(),
+        static_cast<unsigned long long>(M.Runs),
+        static_cast<double>(M.Nanos) / 1e6,
+        static_cast<unsigned long long>(M.IRRemoved),
+        static_cast<unsigned long long>(M.IRAdded), HitRate.c_str());
+  };
+  for (const auto &[Name, M] : Metrics)
+    Row(Name, M);
+  Row("TOTAL", totals());
+  return Out;
+}
+
+PassInstrumentation &PassInstrumentation::global() {
+  static PassInstrumentation Registry;
+  return Registry;
+}
+
+namespace {
+
+/// Shared per-pass execution: timing, run, invalidation, metrics, observer.
+void executePass(FunctionPass &Pass, ir::Function &F, const ir::Module &M,
+                 AnalysisManager &AM, const PassObserver &Observer,
+                 PassInstrumentation *ExtraSink) {
+  size_t SizeBefore = F.instructionCount();
+  AnalysisCacheStats CacheBefore = AM.stats();
+  auto T0 = std::chrono::steady_clock::now();
+
+  PreservedAnalyses PA = Pass.run(F, M, AM);
+  AM.invalidate(F, PA);
+
+  auto T1 = std::chrono::steady_clock::now();
+  size_t SizeAfter = F.instructionCount();
+  const AnalysisCacheStats &CacheAfter = AM.stats();
+
+  PassMetrics Delta;
+  Delta.Runs = 1;
+  Delta.Nanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0).count());
+  if (SizeAfter < SizeBefore)
+    Delta.IRRemoved = SizeBefore - SizeAfter;
+  else
+    Delta.IRAdded = SizeAfter - SizeBefore;
+  Delta.CacheHits = CacheAfter.Hits - CacheBefore.Hits;
+  Delta.CacheMisses = CacheAfter.Misses - CacheBefore.Misses;
+
+  PassInstrumentation::global().record(Pass.name(), Delta);
+  if (ExtraSink)
+    ExtraSink->record(Pass.name(), Delta);
+
+  if (Observer)
+    Observer(std::string(Pass.name()), F);
+}
+
+} // namespace
+
+FunctionPass &FunctionPassManager::addPass(std::unique_ptr<FunctionPass> Pass) {
+  Names.emplace_back(Pass->name());
+  Passes.push_back(std::move(Pass));
+  return *Passes.back();
+}
+
+void FunctionPassManager::run(ir::Function &F, const ir::Module &M,
+                              AnalysisManager &AM) {
+  runPrefix(F, M, AM, Passes.size());
+}
+
+void FunctionPassManager::runPrefix(ir::Function &F, const ir::Module &M,
+                                    AnalysisManager &AM, size_t NumPasses) {
+  for (size_t I = 0; I < Passes.size() && I < NumPasses; ++I)
+    executePass(*Passes[I], F, M, AM, Observer, Instr);
+}
+
+void incline::opt::runPass(FunctionPass &Pass, ir::Function &F,
+                           const ir::Module &M, const PassContext &Ctx) {
+  if (Ctx.AM) {
+    executePass(Pass, F, M, *Ctx.AM, Ctx.Observer, Ctx.Instr);
+    return;
+  }
+  AnalysisManager LocalAM;
+  executePass(Pass, F, M, LocalAM, Ctx.Observer, Ctx.Instr);
+}

@@ -1,0 +1,166 @@
+//===- opt/Pass.h - Function passes, pass manager, instrumentation ---------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unified pass framework. A `FunctionPass` transforms one function and
+/// reports which cached analyses survived; a `FunctionPassManager` runs an
+/// ordered list of passes over a function, wiring every run through:
+///
+///  * the shared `AnalysisManager` (passes consume cached dominators /
+///    loops / block frequencies instead of rebuilding them),
+///  * invalidation (the manager drops whatever a pass reports clobbered),
+///  * the per-pass observer hook the fuzzing oracle verifies IR under, and
+///  * the `PassInstrumentation` registry (wall time, runs, IR-size delta,
+///    analysis cache hits/misses), which makes compile time a first-class
+///    observable metric alongside simulated cycles.
+///
+/// Every layer that runs passes — the standard `PassPipeline` bundle, the
+/// inliner's round-optimization block, the deep-inlining trials, and the
+/// fuzz oracle's pipeline configurations — goes through this interface, so
+/// one observer sees every transformation and one registry accounts for
+/// all compile time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_OPT_PASS_H
+#define INCLINE_OPT_PASS_H
+
+#include "opt/Analysis.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace incline::ir {
+class Function;
+class Module;
+} // namespace incline::ir
+
+namespace incline::opt {
+
+/// Called after each individual pass with the pass's name and the function
+/// it just transformed (the fuzzing oracle verifies the IR here).
+using PassObserver =
+    std::function<void(const std::string &PassName, ir::Function &F)>;
+
+/// One transformation over a single function.
+class FunctionPass {
+public:
+  virtual ~FunctionPass();
+
+  /// Display/registry name ("canonicalize", "gvn", ...). Stable across
+  /// runs: bisection and instrumentation key on it.
+  virtual std::string_view name() const = 0;
+
+  /// Transforms \p F, obtaining any analyses it needs from \p AM, and
+  /// reports which cached analyses are still valid afterwards.
+  virtual PreservedAnalyses run(ir::Function &F, const ir::Module &M,
+                                AnalysisManager &AM) = 0;
+};
+
+/// Accumulated per-pass metrics.
+struct PassMetrics {
+  uint64_t Runs = 0;
+  uint64_t Nanos = 0;       ///< Wall time spent inside the pass.
+  uint64_t IRRemoved = 0;   ///< Sum of per-run instruction-count decreases.
+  uint64_t IRAdded = 0;     ///< Sum of per-run instruction-count increases.
+  uint64_t CacheHits = 0;   ///< Analysis cache hits during the pass's runs.
+  uint64_t CacheMisses = 0; ///< Analysis computations during the pass's runs.
+
+  PassMetrics &operator+=(const PassMetrics &Other);
+};
+
+/// Registry of per-pass metrics. The pass manager records into the
+/// process-wide `global()` registry on every run (plus an optional extra
+/// sink), so `minioo --print-pass-stats` and the compile-time bench report
+/// whatever actually ran. Single-threaded, like the rest of the substrate.
+class PassInstrumentation {
+public:
+  void record(std::string_view PassName, const PassMetrics &Delta);
+
+  const std::map<std::string, PassMetrics, std::less<>> &passes() const {
+    return Metrics;
+  }
+  PassMetrics totals() const;
+  void reset() { Metrics.clear(); }
+  bool empty() const { return Metrics.empty(); }
+
+  /// Merges this registry's metrics into \p Other.
+  void mergeInto(PassInstrumentation &Other) const;
+
+  /// Formatted table: one row per pass plus a totals row.
+  std::string report() const;
+
+  /// The process-wide registry.
+  static PassInstrumentation &global();
+
+private:
+  std::map<std::string, PassMetrics, std::less<>> Metrics;
+};
+
+/// The pass-execution context a compilation session threads through every
+/// layer that runs passes outside the standard bundle (inliner rounds,
+/// deep-inlining trials, baseline compilers). All fields optional.
+struct PassContext {
+  AnalysisManager *AM = nullptr;       ///< Shared analysis cache.
+  PassObserver Observer;               ///< After-each-pass hook.
+  PassInstrumentation *Instr = nullptr; ///< Extra metrics sink.
+};
+
+/// Runs an ordered list of function passes with caching, invalidation,
+/// observation, and instrumentation.
+class FunctionPassManager {
+public:
+  explicit FunctionPassManager(std::string Name = "pipeline")
+      : Name(std::move(Name)) {}
+
+  /// Appends \p Pass; returns it for stats-sink wiring.
+  FunctionPass &addPass(std::unique_ptr<FunctionPass> Pass);
+
+  template <typename PassT, typename... ArgTs>
+  PassT &emplacePass(ArgTs &&...Args) {
+    return static_cast<PassT &>(
+        addPass(std::make_unique<PassT>(std::forward<ArgTs>(Args)...)));
+  }
+
+  size_t size() const { return Passes.size(); }
+  const std::vector<std::string> &passNames() const { return Names; }
+
+  void setObserver(PassObserver Obs) { Observer = std::move(Obs); }
+  /// Extra per-pass metrics sink besides the global registry (null = none).
+  void setInstrumentation(PassInstrumentation *Sink) { Instr = Sink; }
+
+  /// Runs every pass on \p F in order.
+  void run(ir::Function &F, const ir::Module &M, AnalysisManager &AM);
+
+  /// Runs only the first \p NumPasses passes (0 = none, >= size() = all) —
+  /// the replay primitive pass bisection grows prefixes with.
+  void runPrefix(ir::Function &F, const ir::Module &M, AnalysisManager &AM,
+                 size_t NumPasses);
+
+private:
+  std::string Name;
+  std::vector<std::unique_ptr<FunctionPass>> Passes;
+  std::vector<std::string> Names;
+  PassObserver Observer;
+  PassInstrumentation *Instr = nullptr;
+};
+
+/// Runs one pass under \p Ctx — the shared single-pass entry point for
+/// layers with imperative pass sequences (the inliner's round-optimization
+/// block and deep-inlining trials). Uses Ctx.AM when set (a run-local
+/// manager otherwise), applies invalidation, records instrumentation, and
+/// fires Ctx.Observer, exactly like a one-pass FunctionPassManager.
+void runPass(FunctionPass &Pass, ir::Function &F, const ir::Module &M,
+             const PassContext &Ctx);
+
+} // namespace incline::opt
+
+#endif // INCLINE_OPT_PASS_H

@@ -7,58 +7,47 @@
 #include "opt/PassPipeline.h"
 
 #include "ir/Function.h"
-#include "opt/GVN.h"
+#include "opt/Passes.h"
 
 using namespace incline;
 using namespace incline::opt;
 
 namespace {
 
-/// One named step of the standard bundle.
-struct PipelineStep {
-  std::string Name;
-  void (*Run)(ir::Function &, const ir::Module &, const PipelineOptions &,
-              PipelineStats &);
-};
+/// Builds the standard five-pass bundle wired to \p Stats and \p Pool.
+/// A fresh manager per run: the stats sinks and budget pool are run-local.
+FunctionPassManager buildPipeline(const PipelineOptions &Options,
+                                  PipelineStats &Stats, BudgetPool &Pool) {
+  FunctionPassManager FPM("standard-bundle");
 
-const std::vector<PipelineStep> &steps() {
-  static const std::vector<PipelineStep> Steps = {
-      {"canonicalize",
-       [](ir::Function &F, const ir::Module &M, const PipelineOptions &O,
-          PipelineStats &S) {
-         CanonOptions Canon = O.Canon;
-         Canon.VisitBudget = O.VisitBudget / 2;
-         S.Canon += canonicalize(F, M, Canon);
-       }},
-      {"gvn",
-       [](ir::Function &F, const ir::Module &, const PipelineOptions &,
-          PipelineStats &S) { S.GVNEliminated = runGVN(F); }},
-      {"rwe",
-       [](ir::Function &F, const ir::Module &, const PipelineOptions &,
-          PipelineStats &S) { S.RWE = eliminateReadsWrites(F); }},
-      // RWE-forwarded values can expose new exact types: canonicalize again.
-      {"canonicalize-2",
-       [](ir::Function &F, const ir::Module &M, const PipelineOptions &O,
-          PipelineStats &S) {
-         CanonOptions Canon = O.Canon;
-         Canon.VisitBudget = O.VisitBudget / 2;
-         S.Canon += canonicalize(F, M, Canon);
-       }},
-      {"dce",
-       [](ir::Function &F, const ir::Module &, const PipelineOptions &,
-          PipelineStats &S) { S.DCE = eliminateDeadCode(F); }},
-  };
-  return Steps;
+  auto &Canon1 = FPM.emplacePass<CanonicalizePass>(Options.Canon);
+  Canon1.setStatsSink(&Stats.Canon);
+  Canon1.setBudgetPool(&Pool, /*TakeAllRemaining=*/false);
+
+  FPM.emplacePass<GVNPass>().setStatsSink(&Stats.GVNEliminated);
+  FPM.emplacePass<RWEPass>().setStatsSink(&Stats.RWE);
+
+  // RWE-forwarded values can expose new exact types: canonicalize again,
+  // spending whatever the first run left in the pool.
+  auto &Canon2 =
+      FPM.emplacePass<CanonicalizePass>(Options.Canon, "canonicalize-2");
+  Canon2.setStatsSink(&Stats.Canon);
+  Canon2.setBudgetPool(&Pool, /*TakeAllRemaining=*/true);
+
+  FPM.emplacePass<DCEPass>().setStatsSink(&Stats.DCE);
+
+  FPM.setObserver(Options.Observer);
+  FPM.setInstrumentation(Options.Instr);
+  return FPM;
 }
 
 } // namespace
 
 const std::vector<std::string> &incline::opt::pipelinePassNames() {
   static const std::vector<std::string> Names = [] {
-    std::vector<std::string> N;
-    for (const PipelineStep &Step : steps())
-      N.push_back(Step.Name);
-    return N;
+    PipelineStats Stats;
+    BudgetPool Pool(0);
+    return buildPipeline(PipelineOptions(), Stats, Pool).passNames();
   }();
   return Names;
 }
@@ -68,18 +57,20 @@ PipelineStats incline::opt::runPipelinePrefix(ir::Function &F,
                                               size_t NumPasses,
                                               const PipelineOptions &Options) {
   PipelineStats Stats;
-  const std::vector<PipelineStep> &Steps = steps();
-  for (size_t I = 0; I < Steps.size() && I < NumPasses; ++I) {
-    Steps[I].Run(F, M, Options, Stats);
-    if (Options.Observer)
-      Options.Observer(Steps[I].Name, F);
+  BudgetPool Pool(Options.VisitBudget);
+  FunctionPassManager FPM = buildPipeline(Options, Stats, Pool);
+  if (Options.AM) {
+    FPM.runPrefix(F, M, *Options.AM, NumPasses);
+    return Stats;
   }
+  AnalysisManager LocalAM;
+  FPM.runPrefix(F, M, LocalAM, NumPasses);
   return Stats;
 }
 
 PipelineStats incline::opt::runOptimizationPipeline(
     ir::Function &F, const ir::Module &M, const PipelineOptions &Options) {
-  return runPipelinePrefix(F, M, steps().size(), Options);
+  return runPipelinePrefix(F, M, pipelinePassNames().size(), Options);
 }
 
 PipelineStats incline::opt::runOptimizationPipeline(ir::Function &F,

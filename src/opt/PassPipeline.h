@@ -7,7 +7,11 @@
 /// \file
 /// The compiler's mid-end bundle run by the JIT pipeline after inlining,
 /// and by the inliner between rounds: canonicalize -> GVN -> read-write
-/// elimination -> canonicalize -> DCE, under a shared node budget.
+/// elimination -> canonicalize -> DCE, under a shared node budget. Built on
+/// the unified pass framework (Pass.h): every step is a `FunctionPass` run
+/// by a `FunctionPassManager` against an `AnalysisManager`, so analyses are
+/// cached across steps and per-pass metrics land in the instrumentation
+/// registry.
 ///
 /// The bundle is exposed as a *named pass list* so correctness tooling can
 /// observe intermediate states: an optional observer fires after every
@@ -23,10 +27,10 @@
 
 #include "opt/Canonicalizer.h"
 #include "opt/DCE.h"
+#include "opt/Pass.h"
 #include "opt/ReadWriteElimination.h"
 
 #include <cstddef>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -45,21 +49,22 @@ struct PipelineStats {
   DCEStats DCE;
 };
 
-/// Called after each individual pass of the bundle with the pass's name
-/// (see `pipelinePassNames`) and the function it just transformed.
-using PassObserver =
-    std::function<void(const std::string &PassName, ir::Function &F)>;
-
 /// Options threaded through one pipeline run.
 struct PipelineOptions {
-  /// Canonicalizer budget for the *whole* bundle (split across its two
-  /// canonicalization runs), modelling bounded JIT compile time.
+  /// Canonicalizer budget for the *whole* bundle, pooled across its two
+  /// canonicalization runs (the second inherits the first run's unspent
+  /// remainder), modelling bounded JIT compile time.
   uint64_t VisitBudget = 200'000;
   /// Extra canonicalizer switches (devirtualization toggle and the
   /// test-only fault-injection hooks used by the fuzzer's self-tests).
   CanonOptions Canon;
   /// Fires after every pass; null = no observation.
   PassObserver Observer;
+  /// Analysis cache shared with the caller's wider compilation session;
+  /// null = the run uses a private cache.
+  AnalysisManager *AM = nullptr;
+  /// Extra per-pass metrics sink besides the global registry; null = none.
+  PassInstrumentation *Instr = nullptr;
 };
 
 /// The ordered names of the bundle's passes:
@@ -67,12 +72,12 @@ struct PipelineOptions {
 const std::vector<std::string> &pipelinePassNames();
 
 /// Runs the standard bundle on \p F. \p VisitBudget bounds the
-/// canonicalizer (split across its two runs).
+/// canonicalizer (pooled across its two runs).
 PipelineStats runOptimizationPipeline(ir::Function &F, const ir::Module &M,
                                       uint64_t VisitBudget = 200'000);
 
 /// Runs the standard bundle with full \p Options (observer, canonicalizer
-/// switches).
+/// switches, shared analysis cache, metrics sink).
 PipelineStats runOptimizationPipeline(ir::Function &F, const ir::Module &M,
                                       const PipelineOptions &Options);
 

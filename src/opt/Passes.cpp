@@ -1,0 +1,91 @@
+//===- opt/Passes.cpp --------------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Passes.h"
+
+#include "ir/Function.h"
+#include "opt/GVN.h"
+
+using namespace incline;
+using namespace incline::opt;
+
+namespace {
+
+/// Preservation verdict for passes that may edit the CFG: everything
+/// survives iff the function's CFG epoch did not move. (The AnalysisManager
+/// re-checks the epoch on every lookup anyway — this keeps the *reported*
+/// preservation honest so invalidation stats mean something.)
+PreservedAnalyses preservedIfEpochUnchanged(const ir::Function &F,
+                                            uint64_t EpochBefore) {
+  return PreservedAnalyses::allIf(F.cfgEpoch() == EpochBefore);
+}
+
+} // namespace
+
+PreservedAnalyses CanonicalizePass::run(ir::Function &F, const ir::Module &M,
+                                        AnalysisManager &AM) {
+  (void)AM; // Purely local rewrites; no analyses consumed.
+  uint64_t EpochBefore = F.cfgEpoch();
+  CanonOptions RunOpts = Opts;
+  if (Pool)
+    RunOpts.VisitBudget = Pool->draw(TakeAllRemaining);
+  CanonStats Stats = canonicalize(F, M, RunOpts);
+  if (Pool)
+    Pool->spend(Stats.VisitsUsed);
+  if (StatsSink)
+    *StatsSink += Stats;
+  return preservedIfEpochUnchanged(F, EpochBefore);
+}
+
+PreservedAnalyses GVNPass::run(ir::Function &F, const ir::Module &M,
+                               AnalysisManager &AM) {
+  (void)M;
+  const ir::DominatorTree &DT = AM.dominators(F);
+  size_t Eliminated = runGVN(F, DT);
+  if (StatsSink)
+    *StatsSink += Eliminated;
+  // Replaces and erases instructions, never blocks or edges.
+  return PreservedAnalyses::all();
+}
+
+PreservedAnalyses RWEPass::run(ir::Function &F, const ir::Module &M,
+                               AnalysisManager &AM) {
+  (void)M;
+  (void)AM;
+  RWEStats Stats = eliminateReadsWrites(F);
+  if (StatsSink) {
+    StatsSink->LoadsForwarded += Stats.LoadsForwarded;
+    StatsSink->LoadsDeduplicated += Stats.LoadsDeduplicated;
+    StatsSink->StoresRemoved += Stats.StoresRemoved;
+  }
+  // Block-local memory forwarding; the CFG is untouched.
+  return PreservedAnalyses::all();
+}
+
+PreservedAnalyses DCEPass::run(ir::Function &F, const ir::Module &M,
+                               AnalysisManager &AM) {
+  (void)M;
+  (void)AM;
+  uint64_t EpochBefore = F.cfgEpoch();
+  DCEStats Stats = eliminateDeadCode(F);
+  if (StatsSink) {
+    StatsSink->InstructionsRemoved += Stats.InstructionsRemoved;
+    StatsSink->BlocksRemoved += Stats.BlocksRemoved;
+  }
+  return preservedIfEpochUnchanged(F, EpochBefore);
+}
+
+PreservedAnalyses LoopPeelPass::run(ir::Function &F, const ir::Module &M,
+                                    AnalysisManager &AM) {
+  (void)M;
+  uint64_t EpochBefore = F.cfgEpoch();
+  const ir::DominatorTree &DT = AM.dominators(F);
+  const ir::LoopInfo &LI = AM.loops(F);
+  size_t Peeled = peelLoops(F, DT, LI, Opts);
+  if (StatsSink)
+    *StatsSink += Peeled;
+  return preservedIfEpochUnchanged(F, EpochBefore);
+}

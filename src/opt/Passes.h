@@ -1,0 +1,156 @@
+//===- opt/Passes.h - Concrete FunctionPass adapters -----------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The five mid-end transformations as `FunctionPass` objects. The adapters
+/// own the analysis discipline so the underlying transforms stay plain
+/// functions:
+///
+///  * analyses come from the AnalysisManager, never built inside a pass;
+///  * preservation is reported honestly — passes that can edit the CFG
+///    compare the function's CFG epoch before/after instead of guessing;
+///  * per-run statistics flow into optional caller-owned sinks, so the
+///    pipeline's `PipelineStats` and the inliner's round accounting keep
+///    their existing shapes.
+///
+/// `BudgetPool` models the bundle-wide canonicalizer visit budget: each
+/// canonicalization run draws from the pool and pays back what it actually
+/// used, so the second run inherits the first run's unspent remainder.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_OPT_PASSES_H
+#define INCLINE_OPT_PASSES_H
+
+#include "opt/Canonicalizer.h"
+#include "opt/DCE.h"
+#include "opt/LoopPeeling.h"
+#include "opt/Pass.h"
+#include "opt/ReadWriteElimination.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace incline::opt {
+
+/// A shared canonicalizer visit budget, drawn down across the runs of one
+/// pipeline. Draws are halves of the *remaining* pool (or everything, for
+/// the last run), so an early run that converges cheaply leaves its unspent
+/// visits to later runs instead of stranding them.
+class BudgetPool {
+public:
+  explicit BudgetPool(uint64_t Budget) : Remaining(Budget) {}
+
+  uint64_t remaining() const { return Remaining; }
+
+  /// Budget for the next run: half the pool, or all of it when
+  /// \p TakeAllRemaining.
+  uint64_t draw(bool TakeAllRemaining) const {
+    return TakeAllRemaining ? Remaining : Remaining / 2;
+  }
+
+  /// Pays \p Used visits out of the pool (saturating).
+  void spend(uint64_t Used) { Remaining -= Used < Remaining ? Used : Remaining; }
+
+private:
+  uint64_t Remaining;
+};
+
+/// Canonicalization as a pass. The display name is configurable because the
+/// standard bundle runs two instances ("canonicalize", "canonicalize-2")
+/// and bisection keys on the names.
+class CanonicalizePass : public FunctionPass {
+public:
+  explicit CanonicalizePass(CanonOptions Opts,
+                            std::string Name = "canonicalize")
+      : Opts(Opts), PassName(std::move(Name)) {}
+
+  /// Accumulates each run's CanonStats into \p Sink (null = drop).
+  void setStatsSink(CanonStats *Sink) { StatsSink = Sink; }
+
+  /// Draws the visit budget from \p Pool instead of Opts.VisitBudget; with
+  /// \p TakeAllRemaining the run gets the whole remainder (last draw).
+  void setBudgetPool(BudgetPool *Pool, bool TakeAllRemaining) {
+    this->Pool = Pool;
+    this->TakeAllRemaining = TakeAllRemaining;
+  }
+
+  std::string_view name() const override { return PassName; }
+  PreservedAnalyses run(ir::Function &F, const ir::Module &M,
+                        AnalysisManager &AM) override;
+
+private:
+  CanonOptions Opts;
+  std::string PassName;
+  CanonStats *StatsSink = nullptr;
+  BudgetPool *Pool = nullptr;
+  bool TakeAllRemaining = false;
+};
+
+/// Global value numbering as a pass: consumes cached dominators, never
+/// touches the CFG, so every analysis survives.
+class GVNPass : public FunctionPass {
+public:
+  /// Accumulates the eliminated-instruction count into \p Sink.
+  void setStatsSink(size_t *Sink) { StatsSink = Sink; }
+
+  std::string_view name() const override { return "gvn"; }
+  PreservedAnalyses run(ir::Function &F, const ir::Module &M,
+                        AnalysisManager &AM) override;
+
+private:
+  size_t *StatsSink = nullptr;
+};
+
+/// Read-write elimination as a pass: block-local, CFG untouched, all
+/// analyses preserved.
+class RWEPass : public FunctionPass {
+public:
+  void setStatsSink(RWEStats *Sink) { StatsSink = Sink; }
+
+  std::string_view name() const override { return "rwe"; }
+  PreservedAnalyses run(ir::Function &F, const ir::Module &M,
+                        AnalysisManager &AM) override;
+
+private:
+  RWEStats *StatsSink = nullptr;
+};
+
+/// Dead-code elimination as a pass. Removes unreachable blocks, so
+/// preservation is decided by the CFG epoch.
+class DCEPass : public FunctionPass {
+public:
+  void setStatsSink(DCEStats *Sink) { StatsSink = Sink; }
+
+  std::string_view name() const override { return "dce"; }
+  PreservedAnalyses run(ir::Function &F, const ir::Module &M,
+                        AnalysisManager &AM) override;
+
+private:
+  DCEStats *StatsSink = nullptr;
+};
+
+/// First-iteration loop peeling as a pass: consumes cached dominators and
+/// loops; peeling rewrites the CFG, so preservation is epoch-decided.
+class LoopPeelPass : public FunctionPass {
+public:
+  explicit LoopPeelPass(PeelOptions Opts = PeelOptions()) : Opts(Opts) {}
+
+  void setStatsSink(size_t *Sink) { StatsSink = Sink; }
+
+  std::string_view name() const override { return "loop-peel"; }
+  PreservedAnalyses run(ir::Function &F, const ir::Module &M,
+                        AnalysisManager &AM) override;
+
+private:
+  PeelOptions Opts;
+  size_t *StatsSink = nullptr;
+};
+
+} // namespace incline::opt
+
+#endif // INCLINE_OPT_PASSES_H

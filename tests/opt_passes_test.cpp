@@ -42,6 +42,20 @@ Instruction *findFirst(Function &F, ValueKind Kind) {
   return nullptr;
 }
 
+// Convenience wrappers: the production entry points take analyses as
+// parameters (served from the AnalysisManager by the pass framework);
+// these tests exercise the transforms in isolation with fresh analyses.
+size_t runGVN(Function &F) {
+  DominatorTree DT(F);
+  return opt::runGVN(F, DT);
+}
+
+size_t peelLoops(Function &F, const PeelOptions &Options = PeelOptions()) {
+  DominatorTree DT(F);
+  LoopInfo LI(F, DT);
+  return opt::peelLoops(F, DT, LI, Options);
+}
+
 //===----------------------------------------------------------------------===//
 // DCE
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,351 @@
+//===- tests/opt_passmanager_test.cpp - Pass/analysis manager tests --------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unified pass framework: PreservedAnalyses semantics, analysis
+/// caching and both invalidation paths (the preservation contract and the
+/// CFG-epoch safety net), budget pooling across the pipeline's two
+/// canonicalization runs, per-pass instrumentation, and the debug
+/// verify-cached-analyses cross-check under a fuzz smoke sweep.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "fuzz/Fuzzer.h"
+#include "opt/PassPipeline.h"
+#include "opt/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace incline;
+using namespace incline::ir;
+using namespace incline::opt;
+using incline::testing::compile;
+using incline::testing::expectVerified;
+using incline::testing::runOutput;
+
+namespace {
+
+/// A pass that mutates the CFG but *claims* full preservation — the lying
+/// pass the epoch safety net exists for.
+class LyingBlockAddPass : public FunctionPass {
+public:
+  std::string_view name() const override { return "lying-block-add"; }
+  PreservedAnalyses run(ir::Function &F, const ir::Module &,
+                        AnalysisManager &) override {
+    F.addBlock("liar"); // Any CFG edit bumps the epoch.
+    return PreservedAnalyses::all(); // The lie.
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// PreservedAnalyses
+//===----------------------------------------------------------------------===//
+
+TEST(PreservedAnalysesTest, SetSemantics) {
+  EXPECT_TRUE(PreservedAnalyses::all().areAllPreserved());
+  EXPECT_FALSE(PreservedAnalyses::none().areAllPreserved());
+  EXPECT_TRUE(PreservedAnalyses::allIf(true).areAllPreserved());
+  EXPECT_FALSE(PreservedAnalyses::allIf(false).areAllPreserved());
+
+  PreservedAnalyses PA = PreservedAnalyses::none();
+  EXPECT_FALSE(PA.isPreserved(AnalysisKind::Dominators));
+  PA.preserve(AnalysisKind::Dominators);
+  EXPECT_TRUE(PA.isPreserved(AnalysisKind::Dominators));
+  EXPECT_FALSE(PA.isPreserved(AnalysisKind::Loops));
+  EXPECT_FALSE(PA.areAllPreserved());
+
+  PA = PreservedAnalyses::all().abandon(AnalysisKind::BlockFrequencies);
+  EXPECT_TRUE(PA.isPreserved(AnalysisKind::Dominators));
+  EXPECT_FALSE(PA.isPreserved(AnalysisKind::BlockFrequencies));
+}
+
+//===----------------------------------------------------------------------===//
+// Analysis caching and invalidation
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisManagerTest, CacheHitAcrossCanonicalizeThenGVN) {
+  // Straight-line body: canonicalization fires (strength reduction etc.)
+  // but never touches the CFG, so dominators survive into GVN.
+  auto M = compile(R"(
+    def f(x: int, y: int): int {
+      var a = x + y;
+      var b = x + y;
+      var c = a * 2;
+      return a + b + c;
+    }
+    def main() { }
+  )");
+  Function *F = M->function("f");
+
+  AnalysisManager AM;
+  AM.dominators(*F); // Prime the cache: one miss.
+  EXPECT_EQ(AM.stats().Misses, 1u);
+  EXPECT_EQ(AM.stats().Hits, 0u);
+
+  PassContext Ctx;
+  Ctx.AM = &AM;
+  CanonicalizePass Canon((CanonOptions()));
+  runPass(Canon, *F, *M, Ctx);
+  EXPECT_TRUE(AM.isCached(*F, AnalysisKind::Dominators))
+      << "canonicalize left the CFG alone but the cache was dropped";
+
+  GVNPass GVN;
+  runPass(GVN, *F, *M, Ctx);
+  EXPECT_GE(AM.stats().Hits, 1u)
+      << "GVN recomputed dominators despite a warm cache";
+  EXPECT_EQ(AM.stats().Misses, 1u);
+  expectVerified(*F);
+}
+
+TEST(AnalysisManagerTest, CFGMutatingPassInvalidatesHonestly) {
+  // The constant branch is pruned by canonicalization: a CFG change the
+  // pass must report (and does, via the epoch compare).
+  auto M = compile(R"(
+    def f(x: int): int {
+      if (1 < 2) { return x + 1; }
+      return x - 1;
+    }
+    def main() { }
+  )");
+  Function *F = M->function("f");
+
+  AnalysisManager AM;
+  AM.dominators(*F);
+  AM.loops(*F);
+  ASSERT_TRUE(AM.isCached(*F, AnalysisKind::Dominators));
+  ASSERT_TRUE(AM.isCached(*F, AnalysisKind::Loops));
+
+  PassContext Ctx;
+  Ctx.AM = &AM;
+  CanonicalizePass Canon((CanonOptions()));
+  runPass(Canon, *F, *M, Ctx);
+
+  EXPECT_FALSE(AM.isCached(*F, AnalysisKind::Dominators));
+  EXPECT_FALSE(AM.isCached(*F, AnalysisKind::Loops));
+  EXPECT_GE(AM.stats().Invalidated, 1u)
+      << "the pass should have reported the CFG change";
+
+  // Recomputation after the prune sees the simplified CFG.
+  const DominatorTree &DT = AM.dominators(*F);
+  for (const auto &BB : F->blocks())
+    EXPECT_TRUE(DT.isReachable(BB.get()) || BB->predecessors().empty());
+}
+
+TEST(AnalysisManagerTest, EpochSafetyNetCatchesLyingPass) {
+  auto M = compile(R"(
+    def f(x: int): int {
+      if (1 < 2) { return x + 1; }
+      return x - 1;
+    }
+    def main() { }
+  )");
+  Function *F = M->function("f");
+
+  AnalysisManager AM;
+  AM.dominators(*F);
+  uint64_t EpochBefore = F->cfgEpoch();
+
+  PassContext Ctx;
+  Ctx.AM = &AM;
+  LyingBlockAddPass Liar;
+  runPass(Liar, *F, *M, Ctx);
+  ASSERT_NE(F->cfgEpoch(), EpochBefore);
+
+  // Despite the claimed preservation, the epoch safety net drops the entry.
+  EXPECT_FALSE(AM.isCached(*F, AnalysisKind::Dominators));
+  uint64_t MissesBefore = AM.stats().Misses;
+  AM.dominators(*F);
+  EXPECT_EQ(AM.stats().Misses, MissesBefore + 1);
+  EXPECT_GE(AM.stats().StaleEpoch, 1u);
+}
+
+TEST(AnalysisManagerTest, BlockFrequenciesKeyedByProfileName) {
+  auto M = compile(R"(
+    def f(x: int): int { return x + 1; }
+    def main() { }
+  )");
+  Function *F = M->function("f");
+
+  AnalysisManager AM;
+  const BlockFrequencyResult &A = AM.blockFrequencies(*F, "f");
+  EXPECT_EQ(A.ProfileName, "f");
+  EXPECT_EQ(A.Frequencies.count(F->entry()), 1u);
+  EXPECT_EQ(AM.stats().Misses, 1u);
+  AM.blockFrequencies(*F, "f");
+  EXPECT_EQ(AM.stats().Hits, 1u);
+  // A different profile key replaces the cached result (miss, not hit).
+  EXPECT_EQ(AM.blockFrequencies(*F, "other").ProfileName, "other");
+  EXPECT_EQ(AM.stats().Misses, 2u);
+}
+
+TEST(AnalysisManagerTest, VerifyModeAcceptsHonestCache) {
+  auto M = compile(R"(
+    def f(n: int): int {
+      var i = 0;
+      while (i < n) { i = i + 1; }
+      return i;
+    }
+    def main() { }
+  )");
+  Function *F = M->function("f");
+
+  setVerifyCachedAnalyses(true);
+  AnalysisManager AM;
+  AM.dominators(*F);
+  AM.loops(*F);
+  AM.dominators(*F); // Hit: recomputed and structurally compared.
+  AM.loops(*F);
+  EXPECT_GE(AM.stats().Verified, 2u);
+  setVerifyCachedAnalyses(false);
+}
+
+//===----------------------------------------------------------------------===//
+// Budget pool
+//===----------------------------------------------------------------------===//
+
+TEST(BudgetPoolTest, SecondDrawInheritsRemainder) {
+  BudgetPool Pool(100);
+  EXPECT_EQ(Pool.draw(false), 50u); // First run: half the pool.
+  Pool.spend(10);                   // ... but it only used 10 visits.
+  EXPECT_EQ(Pool.remaining(), 90u);
+  EXPECT_EQ(Pool.draw(true), 90u);  // Last run: everything left.
+  Pool.spend(1000);                 // Saturating.
+  EXPECT_EQ(Pool.remaining(), 0u);
+}
+
+TEST(BudgetPoolTest, PipelineCarriesUnspentVisitsForward) {
+  auto M = compile(R"(
+    def f(x: int): int { return x * 8 + x * 8; }
+    def main() { }
+  )");
+  Function *F = M->function("f");
+
+  // Tight total budget: under the old fixed 50/50 split the second
+  // canonicalization run would get VisitBudget/2 no matter how little the
+  // first used. With pooling, VisitsUsed stays within the total and the
+  // bundle converges without exhaustion.
+  PipelineOptions Options;
+  Options.VisitBudget = 64;
+  PipelineStats Stats = runOptimizationPipeline(*F, *M, Options);
+  EXPECT_FALSE(Stats.Canon.BudgetExhausted);
+  EXPECT_LE(Stats.Canon.VisitsUsed, 64u);
+  EXPECT_GT(Stats.Canon.VisitsUsed, 0u);
+  expectVerified(*F);
+}
+
+//===----------------------------------------------------------------------===//
+// Pass manager, observer, instrumentation
+//===----------------------------------------------------------------------===//
+
+TEST(PassManagerTest, PipelineRecordsPerPassMetrics) {
+  auto M = compile(R"(
+    def f(x: int, y: int): int {
+      var a = x + y;
+      var b = x + y;
+      return a * b;
+    }
+    def main() { }
+  )");
+  Function *F = M->function("f");
+
+  PassInstrumentation Sink;
+  PipelineOptions Options;
+  Options.Instr = &Sink;
+  runOptimizationPipeline(*F, *M, Options);
+
+  ASSERT_EQ(Sink.passes().size(), pipelinePassNames().size());
+  for (const std::string &Name : pipelinePassNames()) {
+    auto It = Sink.passes().find(Name);
+    ASSERT_NE(It, Sink.passes().end()) << "no metrics for " << Name;
+    EXPECT_EQ(It->second.Runs, 1u);
+  }
+  EXPECT_EQ(Sink.totals().Runs, pipelinePassNames().size());
+  // GVN asked the shared AnalysisManager for dominators.
+  EXPECT_GE(Sink.totals().CacheMisses, 1u);
+  EXPECT_FALSE(Sink.report().empty());
+}
+
+TEST(PassManagerTest, ObserverSeesPassesThroughRunPass) {
+  auto M = compile(R"(
+    def f(x: int): int { return x + 0; }
+    def main() { }
+  )");
+  Function *F = M->function("f");
+
+  std::vector<std::string> Seen;
+  PassContext Ctx;
+  Ctx.Observer = [&](const std::string &Name, ir::Function &) {
+    Seen.push_back(Name);
+  };
+  CanonicalizePass Canon{CanonOptions(), "canonicalize-trial"};
+  runPass(Canon, *F, *M, Ctx);
+  DCEPass DCE;
+  runPass(DCE, *F, *M, Ctx);
+
+  ASSERT_EQ(Seen.size(), 2u);
+  EXPECT_EQ(Seen[0], "canonicalize-trial");
+  EXPECT_EQ(Seen[1], "dce");
+}
+
+TEST(PassManagerTest, PrefixReplayRunsOnlyRequestedPasses) {
+  auto M = compile(R"(
+    def f(x: int, y: int): int {
+      var a = x + y;
+      var b = x + y;
+      return a * b;
+    }
+    def main() { }
+  )");
+  Function *F = M->function("f");
+
+  std::vector<std::string> Seen;
+  PipelineOptions Options;
+  Options.Observer = [&](const std::string &Name, ir::Function &) {
+    Seen.push_back(Name);
+  };
+  runPipelinePrefix(*F, *M, 2, Options);
+  ASSERT_EQ(Seen.size(), 2u);
+  EXPECT_EQ(Seen[0], "canonicalize");
+  EXPECT_EQ(Seen[1], "gvn");
+}
+
+TEST(PassManagerTest, GlobalRegistryAggregates) {
+  auto M = compile(R"(
+    def f(x: int): int { return x + 1; }
+    def main() { }
+  )");
+  Function *F = M->function("f");
+
+  PassInstrumentation &Global = PassInstrumentation::global();
+  uint64_t Before = Global.totals().Runs;
+  runOptimizationPipeline(*F, *M);
+  EXPECT_EQ(Global.totals().Runs, Before + pipelinePassNames().size());
+}
+
+//===----------------------------------------------------------------------===//
+// Fuzz smoke under the verify-cached-analyses cross-check
+//===----------------------------------------------------------------------===//
+
+TEST(PassManagerTest, FuzzSmokeUnderAnalysisVerification) {
+  // A handful of generated programs through every oracle stage with the
+  // cache cross-check recomputing each analysis on every hit. A stale or
+  // wrongly-preserved analysis aborts the process here.
+  setVerifyCachedAnalyses(true);
+  fuzz::FuzzOptions Options;
+  Options.SeedBegin = 0;
+  Options.SeedEnd = 3;
+  Options.Gen.SizePercent = 40;
+  Options.Oracle.JitIterations = 2;
+  Options.Reduce = false;
+  fuzz::FuzzReport Report = fuzz::fuzzSeedRange(Options);
+  setVerifyCachedAnalyses(false);
+
+  EXPECT_TRUE(Report.ok()) << Report.Failures.size() << " divergences";
+  EXPECT_EQ(Report.SeedsRun, 3u);
+}
+
+} // namespace

@@ -27,6 +27,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "fuzz/Fuzzer.h"
+#include "opt/Analysis.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -59,6 +60,8 @@ int usage() {
       "  --no-pipelines       skip optimization-pipeline stages\n"
       "  --no-jit             skip tiered-JIT inliner-policy stages\n"
       "  --no-per-pass-verify verify per config only, not per pass\n"
+      "  --verify-analyses    recompute every cached analysis on each hit\n"
+      "                       and abort on mismatch (cache cross-check)\n"
       "  --jit-iterations N   runs per JIT policy (default 3)\n"
       "  --threshold N        JIT compile threshold (default 1)\n"
       "\n"
@@ -135,6 +138,8 @@ std::optional<CliOptions> parseArgs(int argc, char **argv) {
       O.Oracle.CheckJitPolicies = false;
     } else if (Arg == "--no-per-pass-verify") {
       O.Oracle.VerifyAfterEachPass = false;
+    } else if (Arg == "--verify-analyses") {
+      opt::setVerifyCachedAnalyses(true);
     } else if (Arg == "--no-reduce") {
       O.Reduce = false;
     } else if (Arg == "--no-bisect") {

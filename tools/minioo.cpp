@@ -20,6 +20,10 @@
 ///       Profiles the program once, compiles NAME with the chosen inliner
 ///       and prints the optimized IR plus compile statistics.
 ///
+/// Every command accepts --print-pass-stats, which dumps the process-wide
+/// per-pass instrumentation table (runs, wall time, IR-size delta, analysis
+/// cache hit-rate) to stderr on exit.
+///
 //===----------------------------------------------------------------------===//
 
 #include "frontend/Compiler.h"
@@ -52,6 +56,7 @@ struct Options {
   int Iterations = 1;
   bool Stats = false;
   bool Optimize = false;
+  bool PrintPassStats = false;
 };
 
 int usage() {
@@ -61,7 +66,8 @@ int usage() {
       "  minioo run <file> [--jit=incremental|greedy|c2|c1|off]\n"
       "                    [--threshold=N] [--iterations=N] [--stats]\n"
       "  minioo dump <file> [--function=NAME] [--optimize]\n"
-      "  minioo compile <file> --function=NAME [--jit=...]\n");
+      "  minioo compile <file> --function=NAME [--jit=...]\n"
+      "common options: --print-pass-stats\n");
   return 2;
 }
 
@@ -90,6 +96,8 @@ std::optional<Options> parseArgs(int argc, char **argv) {
       Opts.Stats = true;
     } else if (Arg == "--optimize") {
       Opts.Optimize = true;
+    } else if (Arg == "--print-pass-stats") {
+      Opts.PrintPassStats = true;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
       return std::nullopt;
@@ -236,11 +244,22 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  int Ret;
   if (Opts->Command == "run")
-    return cmdRun(*Opts, *Compiled.Mod);
-  if (Opts->Command == "dump")
-    return cmdDump(*Opts, *Compiled.Mod);
-  if (Opts->Command == "compile")
-    return cmdCompile(*Opts, *Compiled.Mod);
-  return usage();
+    Ret = cmdRun(*Opts, *Compiled.Mod);
+  else if (Opts->Command == "dump")
+    Ret = cmdDump(*Opts, *Compiled.Mod);
+  else if (Opts->Command == "compile")
+    Ret = cmdCompile(*Opts, *Compiled.Mod);
+  else
+    return usage();
+
+  if (Opts->PrintPassStats) {
+    const opt::PassInstrumentation &Registry = opt::PassInstrumentation::global();
+    if (Registry.empty())
+      std::fprintf(stderr, "no passes ran\n");
+    else
+      std::fputs(Registry.report().c_str(), stderr);
+  }
+  return Ret;
 }
