@@ -77,8 +77,9 @@ unsigned runCanonPass(ir::Function &F, const ir::Module &M,
 std::unique_ptr<ir::Function>
 IncrementalCompiler::compile(const ir::Function &Source, const ir::Module &M,
                              const profile::ProfileTable &Profiles,
-                             jit::CompileStats &Stats) {
-  CompileSession Session(PassCtx, Profiles);
+                             jit::CompileStats &Stats,
+                             const opt::PassContext &Ctx) {
+  CompileSession Session(Ctx, Profiles);
   ir::ClonedFunction Clone = ir::cloneFunction(Source, Source.name());
   IncrementalInliner Inliner(Config, M, Profiles);
   Inliner.setPassContext(Session.ctx());
@@ -99,8 +100,9 @@ IncrementalCompiler::compile(const ir::Function &Source, const ir::Module &M,
 std::unique_ptr<ir::Function>
 GreedyCompiler::compile(const ir::Function &Source, const ir::Module &M,
                         const profile::ProfileTable &Profiles,
-                        jit::CompileStats &Stats) {
-  CompileSession Session(PassCtx, Profiles);
+                        jit::CompileStats &Stats,
+                        const opt::PassContext &Ctx) {
+  CompileSession Session(Ctx, Profiles);
   ir::ClonedFunction Clone = ir::cloneFunction(Source, Source.name());
   // The greedy inliner does not alternate with optimization: a single
   // canonicalization precedes it (statically-known devirtualization), the
@@ -121,8 +123,9 @@ GreedyCompiler::compile(const ir::Function &Source, const ir::Module &M,
 std::unique_ptr<ir::Function>
 C2StyleCompiler::compile(const ir::Function &Source, const ir::Module &M,
                          const profile::ProfileTable &Profiles,
-                         jit::CompileStats &Stats) {
-  CompileSession Session(PassCtx, Profiles);
+                         jit::CompileStats &Stats,
+                         const opt::PassContext &Ctx) {
+  CompileSession Session(Ctx, Profiles);
   ir::ClonedFunction Clone = ir::cloneFunction(Source, Source.name());
   Stats.OptsTriggered = runCanonPass(*Clone.F, M, Session.ctx());
   BaselineResult Result =
@@ -140,8 +143,9 @@ C2StyleCompiler::compile(const ir::Function &Source, const ir::Module &M,
 std::unique_ptr<ir::Function>
 TrivialCompiler::compile(const ir::Function &Source, const ir::Module &M,
                          const profile::ProfileTable &Profiles,
-                         jit::CompileStats &Stats) {
-  CompileSession Session(PassCtx, Profiles);
+                         jit::CompileStats &Stats,
+                         const opt::PassContext &Ctx) {
+  CompileSession Session(Ctx, Profiles);
   ir::ClonedFunction Clone = ir::cloneFunction(Source, Source.name());
   BaselineResult Result = runTrivialInliner(*Clone.F, M, Config);
   Stats.InlinedCallsites = Result.CallsitesInlined;

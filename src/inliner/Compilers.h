@@ -39,8 +39,9 @@ public:
 
   std::unique_ptr<ir::Function>
   compile(const ir::Function &Source, const ir::Module &M,
-          const profile::ProfileTable &Profiles,
-          jit::CompileStats &Stats) override;
+          const profile::ProfileTable &Profiles, jit::CompileStats &Stats,
+          const opt::PassContext &Ctx) override;
+  using jit::Compiler::compile;
   std::string name() const override { return Label; }
 
   const InlinerConfig &config() const { return Config; }
@@ -58,8 +59,9 @@ public:
 
   std::unique_ptr<ir::Function>
   compile(const ir::Function &Source, const ir::Module &M,
-          const profile::ProfileTable &Profiles,
-          jit::CompileStats &Stats) override;
+          const profile::ProfileTable &Profiles, jit::CompileStats &Stats,
+          const opt::PassContext &Ctx) override;
+  using jit::Compiler::compile;
   std::string name() const override { return "greedy"; }
 
 private:
@@ -74,8 +76,9 @@ public:
 
   std::unique_ptr<ir::Function>
   compile(const ir::Function &Source, const ir::Module &M,
-          const profile::ProfileTable &Profiles,
-          jit::CompileStats &Stats) override;
+          const profile::ProfileTable &Profiles, jit::CompileStats &Stats,
+          const opt::PassContext &Ctx) override;
+  using jit::Compiler::compile;
   std::string name() const override { return "c2"; }
 
 private:
@@ -90,8 +93,9 @@ public:
 
   std::unique_ptr<ir::Function>
   compile(const ir::Function &Source, const ir::Module &M,
-          const profile::ProfileTable &Profiles,
-          jit::CompileStats &Stats) override;
+          const profile::ProfileTable &Profiles, jit::CompileStats &Stats,
+          const opt::PassContext &Ctx) override;
+  using jit::Compiler::compile;
   std::string name() const override { return "c1"; }
 
 private:

@@ -137,6 +137,7 @@ private:
           case ValueKind::Jump:
             PrevBB = BB;
             BB = cast<JumpInst>(Inst)->target();
+            Env.onSafepoint();
             break;
           case ValueKind::Branch: {
             const auto *Br = cast<BranchInst>(Inst);
@@ -152,6 +153,7 @@ private:
             }
             PrevBB = BB;
             BB = Cond ? Br->trueSuccessor() : Br->falseSuccessor();
+            Env.onSafepoint();
             break;
           }
           case ValueKind::Return: {

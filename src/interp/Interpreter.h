@@ -75,8 +75,18 @@ public:
   virtual ResolvedBody resolve(std::string_view Symbol) = 0;
 
   /// Called on every function entry *before* execution; the JIT runtime
-  /// bumps hotness counters and may compile here.
+  /// bumps hotness counters and may compile (or enqueue a background
+  /// compilation) here.
   virtual void onInvoke(std::string_view Symbol) { (void)Symbol; }
+
+  /// Safepoint poll, called at every block transition (jumps and branches,
+  /// i.e. including loop back-edges). The JIT runtime publishes finished
+  /// background compilations into the code cache here, so a method that
+  /// finishes compiling while the mutator sits in a long-running loop is
+  /// still installed promptly. Must be cheap: the default is a no-op and
+  /// the JIT runtime's implementation is one atomic load when nothing
+  /// completed.
+  virtual void onSafepoint() {}
 
   /// Where interpreted-tier execution records profiles; null disables
   /// profiling.

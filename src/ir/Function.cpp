@@ -9,6 +9,7 @@
 #include "support/ErrorHandling.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_set>
 
 using namespace incline;
@@ -18,8 +19,10 @@ Function::Function(std::string Name, std::vector<types::Type> ParamTypes,
                    std::vector<std::string> ParamNames,
                    types::Type ReturnType)
     : Name(std::move(Name)), ReturnType(ReturnType) {
-  static uint64_t NextUniqueId = 0;
-  UniqueId = NextUniqueId++;
+  // Atomic: compile worker threads clone functions concurrently with the
+  // mutator; ids must stay process-unique without a lock.
+  static std::atomic<uint64_t> NextUniqueId{0};
+  UniqueId = NextUniqueId.fetch_add(1, std::memory_order_relaxed);
   assert(ParamNames.size() == ParamTypes.size() &&
          "one name per parameter required");
   for (size_t I = 0; I < ParamTypes.size(); ++I)

@@ -20,10 +20,19 @@ namespace {
 
 /// Clones one instruction structurally; operands are remapped by the caller
 /// afterwards (two-pass scheme handles forward references from phis).
+///
+/// Every operand slot that cannot be resolved yet is filled with
+/// \p Placeholder, a value owned by \p NewF — never with the original
+/// source operand. Installing a source value would register the clone in
+/// the *source function's* use lists; with compile worker threads cloning
+/// the same (shared, read-only) source concurrently, that transient
+/// mutation is a data race. Pass 2 reads the original instruction's
+/// operand list to know what belongs in each slot.
 std::unique_ptr<Instruction> cloneInstructionShell(const Instruction *Inst,
-                                                   Function &NewF) {
-  // Operand placeholders: the original operands are installed first and
-  // remapped in pass 2. Constants are re-uniqued here immediately.
+                                                   Function &NewF,
+                                                   Value *Placeholder) {
+  // Constants are re-uniqued into NewF immediately; everything else gets
+  // the placeholder until pass 2.
   auto MapConst = [&](Value *V) -> Value * {
     if (auto *CI = dyn_cast<ConstInt>(V))
       return NewF.constInt(CI->value());
@@ -31,7 +40,7 @@ std::unique_ptr<Instruction> cloneInstructionShell(const Instruction *Inst,
       return NewF.constBool(CB->value());
     if (isa<ConstNull>(V))
       return NewF.constNull();
-    return V; // Remapped later.
+    return Placeholder;
   };
   std::vector<Value *> Ops;
   Ops.reserve(Inst->numOperands());
@@ -126,6 +135,9 @@ CloneBlocksResult cloneBlocks(const Function &Source, Function &Host,
     Inst->setProfileId(PreserveProfileIds ? Old->profileId()
                                           : Host.takeNextProfileId());
   };
+  // Host-owned stand-in for operands that pass 2 fills in; shells must not
+  // reference Source's values (see cloneInstructionShell).
+  Value *Placeholder = Host.constInt(0);
 
   // Pass 1: blocks + non-terminator shells.
   std::unordered_map<const BasicBlock *, BasicBlock *> BlockMap;
@@ -147,7 +159,7 @@ CloneBlocksResult cloneBlocks(const Function &Source, Function &Host,
         continue;
       }
       std::unique_ptr<Instruction> Clone =
-          cloneInstructionShell(Inst.get(), Host);
+          cloneInstructionShell(Inst.get(), Host, Placeholder);
       AssignId(Clone.get(), Inst.get());
       Clone->setType(Inst->type());
       Clone->setExactType(Inst->hasExactType());
@@ -178,13 +190,11 @@ CloneBlocksResult cloneBlocks(const Function &Source, Function &Host,
                               BlockMap.at(OldPhi->incomingBlock(I)));
         continue;
       }
-      for (size_t I = 0; I < NewInst->numOperands(); ++I) {
-        Value *Op = NewInst->operand(I);
-        // Constants were already re-uniqued by the shell cloner; values
-        // still pointing into the source function get remapped here.
-        if (!isa<Constant>(Op) && Map.count(Op))
-          NewInst->setOperand(I, Map.at(Op));
-      }
+      // The slot contents come from the *old* instruction's operands (the
+      // shell holds placeholders); Remap re-uniques constants (a no-op,
+      // the shell already installed them) and maps everything else.
+      for (size_t I = 0; I < NewInst->numOperands(); ++I)
+        NewInst->setOperand(I, Remap(Inst->operand(I)));
     }
   }
 
@@ -246,6 +256,7 @@ ClonedRegion incline::ir::cloneRegion(
     auto It = Map.find(V);
     return It != Map.end() ? It->second : V; // Outside defs: identity.
   };
+  Value *Placeholder = F.constInt(0);
 
   // Pass 1: blocks and non-terminator shells (skipping seeded values).
   struct PendingTerm {
@@ -265,7 +276,7 @@ ClonedRegion incline::ir::cloneRegion(
         continue;
       }
       std::unique_ptr<Instruction> Clone =
-          cloneInstructionShell(Inst.get(), F);
+          cloneInstructionShell(Inst.get(), F, Placeholder);
       Clone->setProfileId(F.takeNextProfileId());
       Clone->setType(Inst->type());
       Clone->setExactType(Inst->hasExactType());
@@ -303,11 +314,11 @@ ClonedRegion incline::ir::cloneRegion(
         }
         continue;
       }
-      for (size_t I = 0; I < NewInst->numOperands(); ++I) {
-        Value *Op = NewInst->operand(I);
-        if (!isa<Constant>(Op) && Map.count(Op))
-          NewInst->setOperand(I, Map.at(Op));
-      }
+      // Restore each slot from the old instruction's operands: mapped
+      // values become their clones, outside defs (and this function's own
+      // constants) are identity — the shell only held placeholders.
+      for (size_t I = 0; I < NewInst->numOperands(); ++I)
+        NewInst->setOperand(I, Remap(Inst->operand(I)));
     }
   }
 

@@ -1,0 +1,74 @@
+//===- jit/CompileQueue.cpp ---------------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/CompileQueue.h"
+
+#include <algorithm>
+
+using namespace incline;
+using namespace incline::jit;
+
+CompileQueue::Outcome CompileQueue::tryEnqueue(CompileTask Task) {
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    if (Closed || Tasks.size() >= Capacity)
+      return Outcome::Full;
+    if (!Queued.insert(Task.Symbol).second)
+      return Outcome::Duplicate;
+    Task.SequenceNo = NextSequenceNo++;
+    Tasks.push_back(std::move(Task));
+  }
+  TaskReady.notify_one();
+  return Outcome::Enqueued;
+}
+
+std::optional<CompileTask> CompileQueue::pop() {
+  std::unique_lock<std::mutex> Guard(Lock);
+  TaskReady.wait(Guard, [&] { return Closed || !Tasks.empty(); });
+  if (Tasks.empty())
+    return std::nullopt; // Closed.
+
+  auto Best = Tasks.begin();
+  if (Order == PopOrder::Priority) {
+    for (auto It = std::next(Tasks.begin()); It != Tasks.end(); ++It)
+      if (It->Hotness > Best->Hotness ||
+          (It->Hotness == Best->Hotness && It->SequenceNo < Best->SequenceNo))
+        Best = It;
+  } else {
+    for (auto It = std::next(Tasks.begin()); It != Tasks.end(); ++It)
+      if (It->SequenceNo < Best->SequenceNo)
+        Best = It;
+  }
+  CompileTask Task = std::move(*Best);
+  Tasks.erase(Best);
+  Queued.erase(Task.Symbol);
+  return Task;
+}
+
+void CompileQueue::close() {
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    Closed = true;
+    Tasks.clear();
+    Queued.clear();
+  }
+  TaskReady.notify_all();
+}
+
+size_t CompileQueue::size() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Tasks.size();
+}
+
+bool CompileQueue::closed() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Closed;
+}
+
+uint64_t CompileQueue::enqueuedCount() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return NextSequenceNo;
+}

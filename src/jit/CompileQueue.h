@@ -1,0 +1,108 @@
+//===- jit/CompileQueue.h - Bounded, prioritized compile-task queue --------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hand-off point between the mutator and the compile worker pool: a
+/// bounded, thread-safe task queue. Tasks carry a snapshot of the profile
+/// table taken at enqueue time, so a worker compiles against exactly the
+/// profiles the mutator had when the method crossed the compile threshold
+/// — the same input a synchronous compile would have seen. That snapshot is
+/// what makes `--jit-mode=deterministic` bit-identical to sync mode.
+///
+/// Ordering is a queue policy:
+///  * `PopOrder::Priority` (async mode) pops the hottest task first,
+///    breaking ties by enqueue order — the classic JIT compile queue, where
+///    a method that got hot later but hotter jumps the line.
+///  * `PopOrder::Fifo` (deterministic mode) pops strictly in enqueue order.
+///
+/// Backpressure is non-blocking by design: when the queue is full the
+/// enqueue is rejected (`Outcome::Full`) and the mutator keeps running
+/// interpreted — a JIT must never stall the application because the
+/// compiler fell behind. The runtime retries on a later invocation (the
+/// hotness counter keeps climbing). Duplicate symbols are rejected at the
+/// queue level too (`Outcome::Duplicate`) as a second line of defense
+/// behind the runtime's in-flight bookkeeping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_JIT_COMPILEQUEUE_H
+#define INCLINE_JIT_COMPILEQUEUE_H
+
+#include "profile/ProfileData.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace incline::jit {
+
+/// One unit of background compilation work.
+struct CompileTask {
+  std::string Symbol;
+  /// Hotness counter value at enqueue time (the pop priority).
+  uint64_t Hotness = 0;
+  /// Enqueue order, assigned by the queue: 0, 1, 2, ... This is also the
+  /// deterministic-mode install order and the priority tie-break.
+  uint64_t SequenceNo = 0;
+  /// Profile state at enqueue time; the worker compiles against this.
+  profile::ProfileTable ProfilesSnapshot;
+};
+
+/// Thread-safe bounded compile-task queue with deduplication.
+class CompileQueue {
+public:
+  enum class PopOrder : uint8_t {
+    Priority, ///< Hottest first, ties by enqueue order (async mode).
+    Fifo      ///< Strict enqueue order (deterministic mode).
+  };
+
+  enum class Outcome : uint8_t {
+    Enqueued,
+    Full,     ///< Bounded capacity reached; task rejected (backpressure).
+    Duplicate ///< Symbol already queued.
+  };
+
+  explicit CompileQueue(size_t Capacity, PopOrder Order = PopOrder::Priority)
+      : Capacity(Capacity == 0 ? 1 : Capacity), Order(Order) {}
+
+  /// Attempts to enqueue; never blocks. On success the task receives its
+  /// sequence number and workers are woken.
+  Outcome tryEnqueue(CompileTask Task);
+
+  /// Blocks until a task is available or the queue is closed; nullopt on
+  /// close. Workers call this.
+  std::optional<CompileTask> pop();
+
+  /// Wakes every waiting worker and makes all subsequent pops fail.
+  /// Already-queued tasks are dropped (the pool drains before closing when
+  /// a graceful shutdown is wanted).
+  void close();
+
+  size_t size() const;
+  bool closed() const;
+
+  /// Total tasks ever accepted (== the next SequenceNo).
+  uint64_t enqueuedCount() const;
+
+private:
+  const size_t Capacity;
+  const PopOrder Order;
+
+  mutable std::mutex Lock;
+  std::condition_variable TaskReady;
+  std::vector<CompileTask> Tasks; ///< Unordered; pop scans by policy.
+  std::set<std::string> Queued;   ///< Symbols currently in Tasks.
+  uint64_t NextSequenceNo = 0;
+  bool Closed = false;
+};
+
+} // namespace incline::jit
+
+#endif // INCLINE_JIT_COMPILEQUEUE_H

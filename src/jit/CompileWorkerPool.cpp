@@ -1,0 +1,123 @@
+//===- jit/CompileWorkerPool.cpp ----------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/CompileWorkerPool.h"
+
+#include "ir/Module.h"
+#include "opt/Analysis.h"
+
+#include <algorithm>
+#include <exception>
+
+using namespace incline;
+using namespace incline::jit;
+
+CompileWorkerPool::CompileWorkerPool(CompileQueue &Queue,
+                                     Compiler &TheCompiler,
+                                     const ir::Module &M, unsigned NumThreads)
+    : Queue(Queue), TheCompiler(TheCompiler), M(M) {
+  if (NumThreads == 0)
+    NumThreads = 1;
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+CompileWorkerPool::~CompileWorkerPool() { shutdown(); }
+
+void CompileWorkerPool::shutdown() {
+  if (ShutDown)
+    return;
+  ShutDown = true;
+  Queue.close();
+  for (std::thread &W : Workers)
+    if (W.joinable())
+      W.join();
+}
+
+void CompileWorkerPool::workerLoop() {
+  while (std::optional<CompileTask> Task = Queue.pop()) {
+    CompileOutcome Outcome;
+    Outcome.Task = std::move(*Task);
+
+    const ir::Function *Source = M.function(Outcome.Task.Symbol);
+    if (!Source) {
+      Outcome.Error = "unknown symbol";
+      deliver(std::move(Outcome));
+      continue;
+    }
+
+    // Worker-private pass scaffolding: start from the compiler's installed
+    // context (observer, extra metrics sink — both thread-safe by
+    // contract) and substitute an analysis manager of our own, wired to
+    // the task's profile snapshot. A fresh manager per task keeps cache
+    // hit/miss counts identical to a synchronous compile of the same
+    // snapshot, which deterministic mode's bit-identical guarantee relies
+    // on.
+    opt::PassContext WorkerCtx = TheCompiler.passContext();
+    opt::AnalysisManager TaskAM(&Outcome.Task.ProfilesSnapshot);
+    WorkerCtx.AM = &TaskAM;
+
+    try {
+      Outcome.Code =
+          TheCompiler.compile(*Source, M, Outcome.Task.ProfilesSnapshot,
+                              Outcome.Stats, WorkerCtx);
+    } catch (const std::exception &E) {
+      Outcome.Code = nullptr;
+      Outcome.Error = E.what();
+      Outcome.Exception = true;
+    } catch (...) {
+      Outcome.Code = nullptr;
+      Outcome.Error = "unknown compiler exception";
+      Outcome.Exception = true;
+    }
+    deliver(std::move(Outcome));
+  }
+}
+
+void CompileWorkerPool::deliver(CompileOutcome Outcome) {
+  {
+    std::lock_guard<std::mutex> Guard(CompletedLock);
+    Completed.push_back(std::move(Outcome));
+  }
+  Delivered.fetch_add(1, std::memory_order_release);
+  CompletedSignal.notify_all();
+}
+
+static void sortBySequence(std::vector<CompileOutcome> &Batch) {
+  std::sort(Batch.begin(), Batch.end(),
+            [](const CompileOutcome &A, const CompileOutcome &B) {
+              return A.Task.SequenceNo < B.Task.SequenceNo;
+            });
+}
+
+std::vector<CompileOutcome> CompileWorkerPool::takeCompleted() {
+  std::vector<CompileOutcome> Batch;
+  {
+    std::lock_guard<std::mutex> Guard(CompletedLock);
+    Batch = std::move(Completed);
+    Completed.clear();
+  }
+  sortBySequence(Batch);
+  return Batch;
+}
+
+std::vector<CompileOutcome> CompileWorkerPool::waitUntilDrained() {
+  // The mutator is the only producer, so the accepted-task count is stable
+  // for the duration of the wait.
+  const uint64_t Target = Queue.enqueuedCount();
+  std::vector<CompileOutcome> Batch;
+  {
+    std::unique_lock<std::mutex> Guard(CompletedLock);
+    CompletedSignal.wait(Guard, [&] {
+      return Delivered.load(std::memory_order_acquire) >= Target;
+    });
+    Batch = std::move(Completed);
+    Completed.clear();
+  }
+  sortBySequence(Batch);
+  return Batch;
+}

@@ -1,0 +1,117 @@
+//===- jit/CompileWorkerPool.h - Background compile threads ----------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// N threads draining the CompileQueue, the way HotSpot/Graal compiler
+/// threads drain the VM's compile request queue while the application keeps
+/// running. The threading contract:
+///
+///  * Workers share the (stateless) `jit::Compiler` and the read-only
+///    `ir::Module`; they never touch the code cache, the live profile
+///    table, or any interpreter state.
+///  * Each task is compiled under a worker-private `opt::PassContext`
+///    carrying a fresh `opt::AnalysisManager` wired to the task's profile
+///    snapshot — pass and analysis state is never shared across threads,
+///    and cache hit/miss counts match what a synchronous compile of the
+///    same snapshot would produce.
+///  * Finished work (installed-ready code or a bailout) is delivered to a
+///    mutex-protected completed list; only the mutator consumes it, at
+///    safepoints, which is the single publish point into the code cache.
+///
+/// A compiler exception on a worker is converted into a bailout outcome
+/// (`Exception = true`) instead of tearing down the process: background
+/// compilation failure must leave the method interpreted, nothing more.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_JIT_COMPILEWORKERPOOL_H
+#define INCLINE_JIT_COMPILEWORKERPOOL_H
+
+#include "jit/CompileQueue.h"
+#include "jit/Compiler.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace incline::ir {
+class Function;
+class Module;
+} // namespace incline::ir
+
+namespace incline::jit {
+
+/// The result of one background compile task, ready for the mutator to
+/// publish (or account as a bailout).
+struct CompileOutcome {
+  CompileTask Task;
+  /// Compiled code; null when the compiler bailed out (or threw).
+  std::unique_ptr<ir::Function> Code;
+  CompileStats Stats;
+  /// Bailout detail; empty for a plain compiler-declined bailout.
+  std::string Error;
+  /// True when the compiler threw instead of returning.
+  bool Exception = false;
+};
+
+/// Fixed-size pool of compile worker threads.
+class CompileWorkerPool {
+public:
+  /// Spawns \p NumThreads workers (clamped to >= 1) draining \p Queue.
+  CompileWorkerPool(CompileQueue &Queue, Compiler &TheCompiler,
+                    const ir::Module &M, unsigned NumThreads);
+  ~CompileWorkerPool();
+
+  CompileWorkerPool(const CompileWorkerPool &) = delete;
+  CompileWorkerPool &operator=(const CompileWorkerPool &) = delete;
+
+  /// Closes the queue (dropping still-pending tasks) and joins every
+  /// worker. Idempotent.
+  void shutdown();
+
+  /// Non-blocking: moves out everything completed so far, ordered by
+  /// enqueue sequence within the batch. Mutator-only.
+  std::vector<CompileOutcome> takeCompleted();
+
+  /// Blocks until every task ever accepted by the queue has been delivered,
+  /// then returns the completed batch (ordered by enqueue sequence).
+  /// Mutator-only, and only valid while the mutator is not enqueueing
+  /// concurrently — which is given, since the mutator is the sole producer.
+  std::vector<CompileOutcome> waitUntilDrained();
+
+  /// Total outcomes ever delivered. Lock-free; the mutator polls this at
+  /// safepoints to skip taking the completed-list lock when nothing new
+  /// finished.
+  uint64_t deliveredCount() const {
+    return Delivered.load(std::memory_order_acquire);
+  }
+
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+private:
+  void workerLoop();
+  void deliver(CompileOutcome Outcome);
+
+  CompileQueue &Queue;
+  Compiler &TheCompiler;
+  const ir::Module &M;
+
+  std::vector<std::thread> Workers;
+  std::mutex CompletedLock;
+  std::condition_variable CompletedSignal;
+  std::vector<CompileOutcome> Completed;
+  std::atomic<uint64_t> Delivered{0};
+  bool ShutDown = false;
+};
+
+} // namespace incline::jit
+
+#endif // INCLINE_JIT_COMPILEWORKERPOOL_H

@@ -51,11 +51,27 @@ class Compiler {
 public:
   virtual ~Compiler();
 
-  /// Compiles \p Source (a method of \p M) using \p Profiles. The returned
-  /// function keeps the source's name (profile keys stay valid).
+  /// Compiles \p Source (a method of \p M) using \p Profiles under the
+  /// pass-execution context \p Ctx. The returned function keeps the
+  /// source's name (profile keys stay valid).
+  ///
+  /// This entry point is what makes compilers shareable across compile
+  /// worker threads: the compiler object itself holds no mutable
+  /// per-compilation state, and every piece of pass/analysis scaffolding
+  /// (analysis cache, observer, metrics sink) arrives through \p Ctx, which
+  /// each worker owns privately. Implementations must not mutate `this`.
   virtual std::unique_ptr<ir::Function>
   compile(const ir::Function &Source, const ir::Module &M,
-          const profile::ProfileTable &Profiles, CompileStats &Stats) = 0;
+          const profile::ProfileTable &Profiles, CompileStats &Stats,
+          const opt::PassContext &Ctx) = 0;
+
+  /// Single-threaded convenience: compiles under the installed context
+  /// (see setPassContext).
+  std::unique_ptr<ir::Function>
+  compile(const ir::Function &Source, const ir::Module &M,
+          const profile::ProfileTable &Profiles, CompileStats &Stats) {
+    return compile(Source, M, Profiles, Stats, PassCtx);
+  }
 
   /// Short name for reports ("incremental", "greedy", "c2", ...).
   virtual std::string name() const = 0;
@@ -65,7 +81,8 @@ public:
   /// transformed (the fuzz oracle verifies IR there), and the
   /// instrumentation sink receives per-pass metrics. Compilers create
   /// their own per-compilation AnalysisManager; Ctx.AM, when set, is used
-  /// as-is instead.
+  /// as-is instead. Not thread-safe: install before handing the compiler
+  /// to a JitRuntime, never while compilations are in flight.
   void setPassContext(const opt::PassContext &Ctx) { PassCtx = Ctx; }
   const opt::PassContext &passContext() const { return PassCtx; }
 

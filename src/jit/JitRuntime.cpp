@@ -7,16 +7,111 @@
 #include "jit/JitRuntime.h"
 
 #include "interp/CostModel.h"
+#include "ir/IRPrinter.h"
 #include "ir/IRVerifier.h"
+#include "jit/CompileQueue.h"
+#include "jit/CompileWorkerPool.h"
 #include "support/ErrorHandling.h"
+#include "support/StringUtils.h"
+
+#include <chrono>
+#include <exception>
 
 using namespace incline;
 using namespace incline::jit;
 
 Compiler::~Compiler() = default;
 
+std::string_view incline::jit::jitModeName(JitMode Mode) {
+  switch (Mode) {
+  case JitMode::Sync: return "sync";
+  case JitMode::Async: return "async";
+  case JitMode::Deterministic: return "deterministic";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// RAII latch for the reentrancy guard: unlatches even when the compiler
+/// throws, so one failed compilation cannot silently disable the JIT for
+/// the rest of the run.
+class CompileInProgressGuard {
+public:
+  explicit CompileInProgressGuard(bool &Flag) : Flag(Flag) { Flag = true; }
+  ~CompileInProgressGuard() { Flag = false; }
+  CompileInProgressGuard(const CompileInProgressGuard &) = delete;
+  CompileInProgressGuard &operator=(const CompileInProgressGuard &) = delete;
+
+private:
+  bool &Flag;
+};
+
+/// Accumulates wall time into a mutator-stall counter.
+class StallTimer {
+public:
+  explicit StallTimer(uint64_t &Sink)
+      : Sink(Sink), Start(std::chrono::steady_clock::now()) {}
+  ~StallTimer() {
+    Sink += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count());
+  }
+
+private:
+  uint64_t &Sink;
+  std::chrono::steady_clock::time_point Start;
+};
+
+uint64_t fnv1a(std::string_view Data) {
+  uint64_t Hash = 1469598103934665603ull;
+  for (unsigned char C : Data) {
+    Hash ^= C;
+    Hash *= 1099511628211ull;
+  }
+  return Hash;
+}
+
+} // namespace
+
+std::string
+incline::jit::streamFingerprint(const std::vector<CompilationRecord> &Stream) {
+  std::string Out;
+  for (const CompilationRecord &R : Stream)
+    Out += formatString(
+        "#%llu %s attempt=%u size=%llu inlined=%llu rounds=%llu "
+        "explored=%llu opts=%llu passes=%llu hits=%llu misses=%llu "
+        "ir=%016llx\n",
+        static_cast<unsigned long long>(R.CompileIndex), R.Symbol.c_str(),
+        R.Attempt, static_cast<unsigned long long>(R.Stats.CodeSize),
+        static_cast<unsigned long long>(R.Stats.InlinedCallsites),
+        static_cast<unsigned long long>(R.Stats.Rounds),
+        static_cast<unsigned long long>(R.Stats.ExploredNodes),
+        static_cast<unsigned long long>(R.Stats.OptsTriggered),
+        static_cast<unsigned long long>(R.Stats.PassRuns),
+        static_cast<unsigned long long>(R.Stats.AnalysisCacheHits),
+        static_cast<unsigned long long>(R.Stats.AnalysisCacheMisses),
+        static_cast<unsigned long long>(R.IRFingerprint));
+  return Out;
+}
+
 JitRuntime::JitRuntime(ir::Module &M, Compiler &TheCompiler, JitConfig Config)
-    : M(M), TheCompiler(TheCompiler), Config(Config) {}
+    : M(M), TheCompiler(TheCompiler), Config(Config) {
+  if (this->Config.Enabled && this->Config.Mode != JitMode::Sync) {
+    CompileQueue::PopOrder Order = this->Config.Mode == JitMode::Deterministic
+                                       ? CompileQueue::PopOrder::Fifo
+                                       : CompileQueue::PopOrder::Priority;
+    Queue = std::make_unique<CompileQueue>(this->Config.QueueCapacity, Order);
+    Pool = std::make_unique<CompileWorkerPool>(*Queue, TheCompiler, M,
+                                               this->Config.Threads);
+  }
+}
+
+JitRuntime::~JitRuntime() {
+  if (Pool)
+    Pool->shutdown();
+}
 
 interp::ResolvedBody JitRuntime::resolve(std::string_view Symbol) {
   interp::ResolvedBody Body;
@@ -32,40 +127,172 @@ interp::ResolvedBody JitRuntime::resolve(std::string_view Symbol) {
   return Body;
 }
 
+JitRuntime::MethodState &JitRuntime::stateOf(std::string_view Symbol) {
+  auto It = Methods.find(Symbol);
+  if (It == Methods.end()) {
+    It = Methods.emplace(std::string(Symbol), MethodState()).first;
+    It->second.NextAttemptAt = Config.CompileThreshold;
+  }
+  return It->second;
+}
+
 void JitRuntime::onInvoke(std::string_view Symbol) {
-  if (!Config.Enabled || CodeCache.count(Symbol))
+  if (!Config.Enabled)
     return;
-  auto It = HotnessCounters.find(Symbol);
-  if (It == HotnessCounters.end())
-    It = HotnessCounters.emplace(std::string(Symbol), 0).first;
-  ++It->second;
-  if (It->second < Config.CompileThreshold)
+  MethodState &State = stateOf(Symbol);
+  if (State.Compiled)
+    return; // Fast path: hotness stops once compiled.
+  ++State.Hotness;
+  if (State.InFlight || State.DoNotCompile)
     return;
+  if (State.Hotness < State.NextAttemptAt)
+    return; // Fast path: not yet hot (or backing off after a bailout).
   // Guard against reentrant compilation (the compiler itself never runs
   // MiniOO code, but be defensive).
   if (CompilationInProgress)
     return;
-  compileNow(Symbol);
+  requestCompile(Symbol, State);
+}
+
+void JitRuntime::onSafepoint() {
+  if (Config.Mode != JitMode::Async || !Pool)
+    return;
+  // One relaxed atomic load when nothing finished — the safepoint poll is
+  // on the interpreter's block-transition path.
+  if (Pool->deliveredCount() == ConsumedOutcomes)
+    return;
+  StallTimer Stall(Stats.MutatorStallNanos);
+  publishBatch(Pool->takeCompleted());
+}
+
+void JitRuntime::requestCompile(std::string_view Symbol, MethodState &State) {
+  if (Config.Mode == JitMode::Sync || !Queue) {
+    ++Stats.CompileRequests;
+    compileOnMutator(Symbol);
+    return;
+  }
+
+  CompileTask Task;
+  Task.Symbol = std::string(Symbol);
+  Task.Hotness = State.Hotness;
+  // Snapshot the live profiles: the worker sees exactly the state a
+  // synchronous compile at this threshold crossing would have seen.
+  Task.ProfilesSnapshot = Profiles;
+
+  CompileQueue::Outcome Enq = Queue->tryEnqueue(std::move(Task));
+  if (Enq != CompileQueue::Outcome::Enqueued) {
+    // Backpressure: stay interpreted and retry once the method has warmed
+    // further, instead of re-snapshotting profiles every invocation.
+    if (Enq == CompileQueue::Outcome::Full)
+      ++Stats.QueueFullRejections;
+    State.NextAttemptAt = State.Hotness + 1 + Config.CompileThreshold / 4;
+    return;
+  }
+  ++Stats.CompileRequests;
+  State.InFlight = true;
+
+  if (Config.Mode == JitMode::Deterministic) {
+    // The enqueue is the safepoint: block until the worker finishes and
+    // install in enqueue order, exactly where Sync mode would have
+    // compiled.
+    StallTimer Stall(Stats.MutatorStallNanos);
+    publishBatch(Pool->waitUntilDrained());
+  }
+}
+
+void JitRuntime::compileOnMutator(std::string_view Symbol) {
+  const ir::Function *Source = M.function(Symbol);
+  if (!Source)
+    return;
+  StallTimer Stall(Stats.MutatorStallNanos);
+  CompileInProgressGuard Guard(CompilationInProgress);
+
+  CompileOutcome Outcome;
+  Outcome.Task.Symbol = std::string(Symbol);
+  try {
+    Outcome.Code =
+        TheCompiler.compile(*Source, M, Profiles, Outcome.Stats);
+  } catch (const std::exception &E) {
+    Outcome.Code = nullptr;
+    Outcome.Error = E.what();
+    Outcome.Exception = true;
+  } catch (...) {
+    Outcome.Code = nullptr;
+    Outcome.Error = "unknown compiler exception";
+    Outcome.Exception = true;
+  }
+  publishOutcome(std::move(Outcome));
+}
+
+void JitRuntime::publishBatch(std::vector<CompileOutcome> Batch) {
+  for (CompileOutcome &Outcome : Batch) {
+    ++ConsumedOutcomes;
+    publishOutcome(std::move(Outcome));
+  }
+}
+
+void JitRuntime::publishOutcome(CompileOutcome &&Outcome) {
+  MethodState &State = stateOf(Outcome.Task.Symbol);
+  State.InFlight = false;
+  if (!Outcome.Code) {
+    recordBailout(State, Outcome.Exception, /*Permanent=*/false);
+    return;
+  }
+  // Verify unconditionally — never behind assert/NDEBUG: installing
+  // unverified code in a Release build is how miscompiles escape. Invalid
+  // code is a (permanent) bailout; the method stays interpreted.
+  if (!ir::verifyFunction(*Outcome.Code).empty()) {
+    ++Stats.VerifyFailures;
+    recordBailout(State, /*WasException=*/false, /*Permanent=*/true);
+    return;
+  }
+
+  CompilationRecord Record;
+  Record.Symbol = Outcome.Task.Symbol;
+  Record.Stats = Outcome.Stats;
+  Record.Stats.CodeSize = Outcome.Code->instructionCount();
+  Record.CompileIndex = Compilations.size();
+  Record.Attempt = State.FailedAttempts + 1;
+  Record.IRFingerprint = fnv1a(ir::printFunction(*Outcome.Code));
+  Compilations.push_back(std::move(Record));
+  CodeCache[Outcome.Task.Symbol] = std::move(Outcome.Code);
+  State.Compiled = true;
+}
+
+void JitRuntime::recordBailout(MethodState &State, bool WasException,
+                               bool Permanent) {
+  ++Stats.Bailouts;
+  if (WasException)
+    ++Stats.CompileExceptions;
+  ++State.FailedAttempts;
+  if (Permanent || State.FailedAttempts >= Config.MaxCompileAttempts) {
+    if (!State.DoNotCompile) {
+      State.DoNotCompile = true;
+      ++Stats.BlacklistedMethods;
+    }
+    return;
+  }
+  // Exponential backoff: the method must earn its next attempt instead of
+  // re-running the pipeline on every subsequent invocation.
+  uint64_t Base = State.NextAttemptAt > State.Hotness ? State.NextAttemptAt
+                                                      : State.Hotness;
+  uint64_t Factor = Config.BailoutBackoffFactor > 1
+                        ? Config.BailoutBackoffFactor
+                        : 2;
+  State.NextAttemptAt = Base * Factor;
+}
+
+void JitRuntime::drainCompilations() {
+  if (!Pool)
+    return;
+  StallTimer Stall(Stats.MutatorStallNanos);
+  publishBatch(Pool->waitUntilDrained());
 }
 
 void JitRuntime::compileNow(std::string_view Symbol) {
-  const ir::Function *Source = M.function(Symbol);
-  if (!Source || CodeCache.count(Symbol))
+  if (CodeCache.count(Symbol))
     return;
-  CompilationInProgress = true;
-  CompilationRecord Record;
-  Record.Symbol = std::string(Symbol);
-  Record.CompileIndex = Compilations.size();
-  std::unique_ptr<ir::Function> Code =
-      TheCompiler.compile(*Source, M, Profiles, Record.Stats);
-  CompilationInProgress = false;
-  if (!Code)
-    return; // The compiler bailed out; stay interpreted.
-  assert(ir::verifyFunction(*Code).empty() &&
-         "compiler produced invalid code");
-  Record.Stats.CodeSize = Code->instructionCount();
-  Compilations.push_back(Record);
-  CodeCache.emplace(std::string(Symbol), std::move(Code));
+  compileOnMutator(Symbol);
 }
 
 interp::ExecResult JitRuntime::runMain() {

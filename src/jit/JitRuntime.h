@@ -6,10 +6,29 @@
 ///
 /// \file
 /// The VM substitute: methods start in the profiling interpreter; when a
-/// method's invocation count crosses the compile threshold it is compiled
-/// (synchronously, at the invocation — the online compilation stream of
-/// §II's problem statement) and subsequent calls run the compiled body
-/// under the cheaper compiled-tier cost model.
+/// method's invocation count crosses the compile threshold a compilation is
+/// requested — the online compilation stream of §II's problem statement.
+/// How the request is served is the execution mode:
+///
+///  * `Sync` — compiled at the invocation, on the mutator, stalling it for
+///    the full pipeline (the original behaviour; still the default).
+///  * `Async` — enqueued on a bounded hotness-priority CompileQueue and
+///    compiled by a CompileWorkerPool while the mutator keeps executing
+///    the method interpreted; finished code is published into the code
+///    cache at safepoints (function entries and block transitions). This
+///    is how HotSpot and Graal actually run.
+///  * `Deterministic` — same queue and worker threads, but the mutator
+///    blocks at the enqueue safepoint until the task is compiled and
+///    installed, in enqueue order. Because every compile sees exactly the
+///    profile state a synchronous compile would have seen, the
+///    `compilations()` stream and the program output are bit-identical to
+///    Sync mode — the replay mode bench figures and differential tests
+///    rely on.
+///
+/// Methods whose compilation bails out (compiler declined, threw, or
+/// produced code that fails IR verification) stay interpreted and back off
+/// exponentially; repeated failure blacklists the method (do-not-compile)
+/// instead of re-running the pipeline on every invocation.
 ///
 /// The runtime tracks installed code size; the benchmark harness combines
 /// it with the cost model's i-cache pressure term to produce effective
@@ -26,17 +45,39 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace incline::jit {
 
+class CompileQueue;
+class CompileWorkerPool;
+struct CompileOutcome;
+
+/// How compile requests are served (see file comment).
+enum class JitMode : uint8_t { Sync, Async, Deterministic };
+
+std::string_view jitModeName(JitMode Mode);
+
 /// Tiering configuration.
 struct JitConfig {
-  /// Invocations of a method before it is compiled.
+  /// Invocations of a method before compilation is requested.
   uint64_t CompileThreshold = 50;
   /// Master switch (off = pure interpretation).
   bool Enabled = true;
+  /// How compile requests are served.
+  JitMode Mode = JitMode::Sync;
+  /// Compile worker threads (Async/Deterministic; clamped to >= 1).
+  unsigned Threads = 1;
+  /// Bound of the compile queue; a full queue rejects requests
+  /// (backpressure) and the mutator retries later.
+  size_t QueueCapacity = 64;
+  /// After a bailout the re-try threshold multiplies by this factor
+  /// (exponential backoff).
+  uint64_t BailoutBackoffFactor = 8;
+  /// Failed attempts before a method is blacklisted (do-not-compile).
+  unsigned MaxCompileAttempts = 3;
 };
 
 /// One installed compilation.
@@ -44,19 +85,48 @@ struct CompilationRecord {
   std::string Symbol;
   CompileStats Stats;
   uint64_t CompileIndex = 0; ///< Order of arrival in the compile stream.
+  unsigned Attempt = 1;      ///< 1 + bailed-out attempts before this one.
+  /// FNV-1a hash of the installed code's printed IR: two streams with equal
+  /// fingerprints installed byte-identical code.
+  uint64_t IRFingerprint = 0;
+};
+
+/// Deterministic textual digest of a compilation stream: everything the
+/// compiler decided (order, symbols, sizes, inlining counts, pass runs,
+/// analysis cache behaviour, installed-IR hashes) excluding wall time.
+/// Equal digests mean bit-identical streams; tests compare Sync vs
+/// Deterministic mode with it.
+std::string streamFingerprint(const std::vector<CompilationRecord> &Stream);
+
+/// Runtime-wide counters (all mutator-owned).
+struct JitRuntimeStats {
+  uint64_t CompileRequests = 0;   ///< Threshold crossings that issued a request.
+  uint64_t Bailouts = 0;          ///< Requests that did not install code.
+  uint64_t CompileExceptions = 0; ///< ... of which the compiler threw.
+  uint64_t VerifyFailures = 0;    ///< ... of which IR verification rejected.
+  uint64_t BlacklistedMethods = 0; ///< Methods marked do-not-compile.
+  uint64_t QueueFullRejections = 0; ///< Requests rejected by backpressure.
+  /// Wall time the mutator was stalled by compilation: the whole pipeline
+  /// in Sync mode, the blocking drain in Deterministic mode, only
+  /// verify+publish in Async mode. The quantity bench/compiletime_async
+  /// compares across modes.
+  uint64_t MutatorStallNanos = 0;
 };
 
 /// The tiered runtime. Implements the interpreter's ExecutionEnv: hotness
 /// counting on invocation, code-cache lookups on resolution, profile
-/// recording for the interpreted tier.
+/// recording for the interpreted tier, compiled-code publication at
+/// safepoints.
 class JitRuntime : public interp::ExecutionEnv {
 public:
   JitRuntime(ir::Module &M, Compiler &TheCompiler,
              JitConfig Config = JitConfig());
+  ~JitRuntime() override;
 
   // ExecutionEnv implementation.
   interp::ResolvedBody resolve(std::string_view Symbol) override;
   void onInvoke(std::string_view Symbol) override;
+  void onSafepoint() override;
   profile::ProfileTable *profiles() override { return &Profiles; }
 
   /// Runs `main` once under tiered execution. Call repeatedly to simulate
@@ -74,20 +144,61 @@ public:
     return Compilations;
   }
   const profile::ProfileTable &profileTable() const { return Profiles; }
+  const JitRuntimeStats &stats() const { return Stats; }
 
-  /// Forces compilation of \p Symbol now (used by tests).
+  /// Blocks until every queued or in-flight background compilation has
+  /// been published (or recorded as a bailout). No-op in Sync mode. Useful
+  /// for tests and for end-of-run reporting in Async mode.
+  void drainCompilations();
+
+  /// Forces a synchronous compilation attempt of \p Symbol now, ignoring
+  /// hotness and backoff (used by tests). Bailouts are still recorded.
   void compileNow(std::string_view Symbol);
 
 private:
+  /// Everything the runtime knows about one method's tier state. One map
+  /// lookup per invocation covers the not-yet-compiled fast path: hotness,
+  /// in-flight dedup, blacklist and threshold live side by side.
+  struct MethodState {
+    uint64_t Hotness = 0;
+    /// Hotness at which the next compile attempt fires.
+    uint64_t NextAttemptAt = 0;
+    unsigned FailedAttempts = 0;
+    bool InFlight = false;     ///< Queued or compiling on a worker.
+    bool Compiled = false;     ///< Installed in the code cache.
+    bool DoNotCompile = false; ///< Blacklisted after repeated failure.
+  };
+
+  MethodState &stateOf(std::string_view Symbol);
+  void requestCompile(std::string_view Symbol, MethodState &State);
+  /// One synchronous attempt on the mutator (Sync mode and compileNow).
+  void compileOnMutator(std::string_view Symbol);
+  /// Verifies, installs or records a bailout. Mutator-only: this is the
+  /// single publish point into the code cache.
+  void publishOutcome(CompileOutcome &&Outcome);
+  void publishBatch(std::vector<CompileOutcome> Batch);
+  void recordBailout(MethodState &State, bool WasException, bool Permanent);
+
   ir::Module &M;
   Compiler &TheCompiler;
   JitConfig Config;
   profile::ProfileTable Profiles;
 
-  std::map<std::string, uint64_t, std::less<>> HotnessCounters;
+  std::map<std::string, MethodState, std::less<>> Methods;
   std::map<std::string, std::unique_ptr<ir::Function>, std::less<>> CodeCache;
   std::vector<CompilationRecord> Compilations;
+  JitRuntimeStats Stats;
   bool CompilationInProgress = false;
+
+  /// Background machinery (Async/Deterministic only). Queue is declared
+  /// before Pool so the pool (which references the queue from its worker
+  /// threads) is destroyed — and its threads joined — first.
+  std::unique_ptr<CompileQueue> Queue;
+  std::unique_ptr<CompileWorkerPool> Pool;
+  /// Outcomes already consumed from the pool; compared against the pool's
+  /// lock-free delivered counter so safepoint polls are one atomic load
+  /// when nothing new finished.
+  uint64_t ConsumedOutcomes = 0;
 };
 
 } // namespace incline::jit

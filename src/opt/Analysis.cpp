@@ -11,6 +11,7 @@
 #include "support/ErrorHandling.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <string>
 
@@ -31,7 +32,9 @@ std::string_view incline::opt::analysisKindName(AnalysisKind Kind) {
 
 namespace {
 
-bool VerifyCachedAnalyses = false;
+// Atomic: compile worker threads consult the flag while the driver may
+// still be parsing options on the main thread.
+std::atomic<bool> VerifyCachedAnalyses{false};
 
 /// Structural equality of two dominator trees over the same function: same
 /// reachable set and the same immediate dominator for every reachable block.

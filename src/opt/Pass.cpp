@@ -28,21 +28,41 @@ PassMetrics &PassMetrics::operator+=(const PassMetrics &Other) {
 
 void PassInstrumentation::record(std::string_view PassName,
                                  const PassMetrics &Delta) {
+  std::lock_guard<std::mutex> Guard(Lock);
   auto It = Metrics.find(PassName);
   if (It == Metrics.end())
     It = Metrics.emplace(std::string(PassName), PassMetrics()).first;
   It->second += Delta;
 }
 
+std::map<std::string, PassMetrics, std::less<>>
+PassInstrumentation::passes() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Metrics;
+}
+
 PassMetrics PassInstrumentation::totals() const {
+  std::lock_guard<std::mutex> Guard(Lock);
   PassMetrics Total;
   for (const auto &[Name, M] : Metrics)
     Total += M;
   return Total;
 }
 
+void PassInstrumentation::reset() {
+  std::lock_guard<std::mutex> Guard(Lock);
+  Metrics.clear();
+}
+
+bool PassInstrumentation::empty() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Metrics.empty();
+}
+
 void PassInstrumentation::mergeInto(PassInstrumentation &Other) const {
-  for (const auto &[Name, M] : Metrics)
+  // Snapshot first: locking both registries at once risks deadlock if two
+  // threads merge in opposite directions.
+  for (const auto &[Name, M] : passes())
     Other.record(Name, M);
 }
 
@@ -64,9 +84,12 @@ std::string PassInstrumentation::report() const {
         static_cast<unsigned long long>(M.IRRemoved),
         static_cast<unsigned long long>(M.IRAdded), HitRate.c_str());
   };
-  for (const auto &[Name, M] : Metrics)
+  PassMetrics Total;
+  for (const auto &[Name, M] : passes()) {
     Row(Name, M);
-  Row("TOTAL", totals());
+    Total += M;
+  }
+  Row("TOTAL", Total);
   return Out;
 }
 

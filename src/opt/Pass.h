@@ -34,6 +34,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -80,17 +81,21 @@ struct PassMetrics {
 /// Registry of per-pass metrics. The pass manager records into the
 /// process-wide `global()` registry on every run (plus an optional extra
 /// sink), so `minioo --print-pass-stats` and the compile-time bench report
-/// whatever actually ran. Single-threaded, like the rest of the substrate.
+/// whatever actually ran.
+///
+/// Thread-safe: background compile workers record into `global()`
+/// concurrently with the mutator, so every accessor synchronizes on an
+/// internal mutex. Reads return snapshots by value — there is no way to
+/// observe the metrics map mid-update.
 class PassInstrumentation {
 public:
   void record(std::string_view PassName, const PassMetrics &Delta);
 
-  const std::map<std::string, PassMetrics, std::less<>> &passes() const {
-    return Metrics;
-  }
+  /// Snapshot of the per-pass metrics (copied under the lock).
+  std::map<std::string, PassMetrics, std::less<>> passes() const;
   PassMetrics totals() const;
-  void reset() { Metrics.clear(); }
-  bool empty() const { return Metrics.empty(); }
+  void reset();
+  bool empty() const;
 
   /// Merges this registry's metrics into \p Other.
   void mergeInto(PassInstrumentation &Other) const;
@@ -102,6 +107,7 @@ public:
   static PassInstrumentation &global();
 
 private:
+  mutable std::mutex Lock;
   std::map<std::string, PassMetrics, std::less<>> Metrics;
 };
 

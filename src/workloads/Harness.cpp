@@ -39,6 +39,8 @@ RunResult incline::workloads::runWorkload(const Workload &W,
     Result.Output = std::move(R.Output);
   }
   Result.SteadyStateCycles = steadyStateMean(Result.IterationCycles);
+  Result.JitStats = Runtime.stats();
+  Runtime.drainCompilations();
   Result.InstalledCodeSize = Runtime.installedCodeSize();
   Result.Compilations = Runtime.compilations();
   return Result;

@@ -47,8 +47,14 @@ struct RunResult {
   double SteadyStateCycles = 0;
   /// Total |ir| of installed compiled code at the end of the run.
   uint64_t InstalledCodeSize = 0;
-  /// Compilations performed, in arrival order.
+  /// Compilations performed, in arrival order. The harness drains
+  /// background compilations before snapshotting, so Async runs report
+  /// every compile that was still in flight at the end of the run.
   std::vector<jit::CompilationRecord> Compilations;
+  /// Runtime counters, snapshotted *before* the settling drain so
+  /// MutatorStallNanos covers only stalls the running program observed
+  /// (bench/compiletime_async compares it across modes).
+  jit::JitRuntimeStats JitStats;
   /// Program output of the final repetition (for cross-config validation).
   std::string Output;
   /// True when every repetition completed without a trap.

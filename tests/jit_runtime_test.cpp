@@ -1,0 +1,421 @@
+//===- tests/jit_runtime_test.cpp - Tiered-runtime correctness tests -------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JIT runtime's failure paths and execution modes:
+///
+///  * compiled code is verified unconditionally before installation (in
+///    Release builds too — this was an assert-only check once), and a
+///    verification failure leaves the method interpreted instead of
+///    executing broken code;
+///  * bailouts back off exponentially and blacklist after repeated
+///    failure, instead of re-running the whole pipeline on every
+///    invocation (the retry-storm regression);
+///  * a throwing compiler cannot latch the reentrancy guard
+///    (CompilationInProgress is RAII-scoped);
+///  * the bounded queue's backpressure and ordering policies;
+///  * `deterministic` mode is bit-identical to `sync` (program output and
+///    compile-stream fingerprint) and `async` mode preserves program
+///    output, across the workloads suite and a seeded fuzz corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#include "jit/JitRuntime.h"
+
+#include "TestHelpers.h"
+#include "fuzz/RandomProgram.h"
+#include "inliner/Compilers.h"
+#include "ir/IRCloner.h"
+#include "jit/CompileQueue.h"
+#include "workloads/Harness.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+using namespace incline;
+using incline::testing::compile;
+
+// ThreadSanitizer slows the compile-heavy equivalence sweeps by two orders
+// of magnitude; under TSan the tests cover a workload subset with fewer
+// repetitions (race coverage does not need the full steady-state suite).
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define INCLINE_TSAN 1
+#endif
+#elif defined(__SANITIZE_THREAD__)
+#define INCLINE_TSAN 1
+#endif
+
+namespace {
+
+#ifdef INCLINE_TSAN
+constexpr size_t MaxEquivalenceWorkloads = 5;
+constexpr int EquivalenceIterations = 4; // Per-run repetitions.
+#else
+constexpr size_t MaxEquivalenceWorkloads = ~size_t(0);
+constexpr int EquivalenceIterations = 0; // 0 = each workload's default.
+#endif
+
+std::vector<workloads::Workload> equivalenceWorkloads() {
+  std::vector<workloads::Workload> All = workloads::allWorkloads();
+  if (All.size() > MaxEquivalenceWorkloads)
+    All.resize(MaxEquivalenceWorkloads);
+  return All;
+}
+
+//===----------------------------------------------------------------------===//
+// Stub compilers driving the failure paths
+//===----------------------------------------------------------------------===//
+
+/// Copies the source body unchanged — the identity second-tier compiler.
+/// Counts invocations so tests can assert how often the runtime retried.
+class PassthroughCompiler : public jit::Compiler {
+public:
+  std::unique_ptr<ir::Function>
+  compile(const ir::Function &Source, const ir::Module &,
+          const profile::ProfileTable &, jit::CompileStats &Stats,
+          const opt::PassContext &) override {
+    ++Calls;
+    auto Clone = ir::cloneFunction(Source, std::string(Source.name()));
+    Stats.CodeSize = Clone.F->instructionCount();
+    return std::move(Clone.F);
+  }
+  std::string name() const override { return "passthrough"; }
+
+  unsigned Calls = 0;
+};
+
+/// Produces structurally broken code: a clone with an extra empty block,
+/// which IR verification rejects. Executing it would abort the interpreter;
+/// the runtime must discard it and stay interpreted.
+class BrokenCodeCompiler : public jit::Compiler {
+public:
+  std::unique_ptr<ir::Function>
+  compile(const ir::Function &Source, const ir::Module &,
+          const profile::ProfileTable &, jit::CompileStats &Stats,
+          const opt::PassContext &) override {
+    ++Calls;
+    auto Clone = ir::cloneFunction(Source, std::string(Source.name()));
+    Clone.F->addBlock("unterminated"); // Empty block: fails verification.
+    Stats.CodeSize = Clone.F->instructionCount();
+    return std::move(Clone.F);
+  }
+  std::string name() const override { return "broken"; }
+
+  unsigned Calls = 0;
+};
+
+/// Declines every compilation (returns null code).
+class AlwaysBailCompiler : public jit::Compiler {
+public:
+  std::unique_ptr<ir::Function>
+  compile(const ir::Function &, const ir::Module &,
+          const profile::ProfileTable &, jit::CompileStats &,
+          const opt::PassContext &) override {
+    ++Calls;
+    return nullptr;
+  }
+  std::string name() const override { return "bail"; }
+
+  unsigned Calls = 0;
+};
+
+/// Throws on the first \p FailuresBeforeSuccess attempts, then compiles
+/// like PassthroughCompiler. Exercises exception-safe unwinding through
+/// the runtime (the CompilationInProgress RAII guard).
+class ThrowThenSucceedCompiler : public jit::Compiler {
+public:
+  explicit ThrowThenSucceedCompiler(unsigned FailuresBeforeSuccess)
+      : FailuresBeforeSuccess(FailuresBeforeSuccess) {}
+
+  std::unique_ptr<ir::Function>
+  compile(const ir::Function &Source, const ir::Module &M,
+          const profile::ProfileTable &Profiles, jit::CompileStats &Stats,
+          const opt::PassContext &Ctx) override {
+    if (Calls++ < FailuresBeforeSuccess)
+      throw std::runtime_error("simulated compiler crash");
+    return Fallback.compile(Source, M, Profiles, Stats, Ctx);
+  }
+  std::string name() const override { return "throw-then-succeed"; }
+
+  unsigned Calls = 0;
+
+private:
+  unsigned FailuresBeforeSuccess;
+  PassthroughCompiler Fallback;
+};
+
+/// A program whose `leaf` gets hot fast (the loop calls it 1000 times) so
+/// one `runMain` crosses any small threshold by a wide margin.
+constexpr const char *HotLeafProgram = R"(
+  def leaf(x: int): int { return x * 2 + 1; }
+  def main() {
+    var i = 0;
+    var acc = 0;
+    while (i < 1000) { acc = acc + leaf(i); i = i + 1; }
+    print(acc);
+  }
+)";
+constexpr const char *HotLeafOutput = "1000000\n";
+
+jit::JitConfig testConfig() {
+  jit::JitConfig Config;
+  Config.CompileThreshold = 10;
+  return Config;
+}
+
+//===----------------------------------------------------------------------===//
+// Satellite 1: unconditional verification of compiled code
+//===----------------------------------------------------------------------===//
+
+TEST(JitVerifyTest, BrokenCodeIsNeverInstalled) {
+  auto M = compile(HotLeafProgram);
+  BrokenCodeCompiler Compiler;
+  jit::JitRuntime Runtime(*M, Compiler, testConfig());
+
+  interp::ExecResult R = Runtime.runMain();
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(R.Output, HotLeafOutput); // Ran interpreted, correctly.
+
+  EXPECT_GE(Compiler.Calls, 1u);
+  EXPECT_EQ(Runtime.stats().VerifyFailures, Compiler.Calls);
+  EXPECT_EQ(Runtime.installedCodeSize(), 0u);
+  EXPECT_TRUE(Runtime.compilations().empty());
+}
+
+TEST(JitVerifyTest, VerifyFailureBlacklistsPermanently) {
+  auto M = compile(HotLeafProgram);
+  BrokenCodeCompiler Compiler;
+  jit::JitRuntime Runtime(*M, Compiler, testConfig());
+
+  ASSERT_TRUE(Runtime.runMain().ok());
+  const unsigned CallsAfterFirstRun = Compiler.Calls;
+  EXPECT_EQ(CallsAfterFirstRun, 1u); // One attempt, then do-not-compile.
+  EXPECT_EQ(Runtime.stats().BlacklistedMethods, 1u);
+
+  // Thousands more invocations must not re-run the broken pipeline.
+  for (int I = 0; I < 5; ++I)
+    ASSERT_TRUE(Runtime.runMain().ok());
+  EXPECT_EQ(Compiler.Calls, CallsAfterFirstRun);
+}
+
+TEST(JitVerifyTest, CompileNowSurvivesBrokenCode) {
+  // Regression: this verification used to live inside an assert(), so
+  // Release builds installed unverified code. compileNow must reject it
+  // in every build type and the program must keep running interpreted.
+  auto M = compile(HotLeafProgram);
+  BrokenCodeCompiler Compiler;
+  jit::JitRuntime Runtime(*M, Compiler, testConfig());
+
+  Runtime.compileNow("leaf");
+  EXPECT_EQ(Runtime.stats().VerifyFailures, 1u);
+  EXPECT_EQ(Runtime.installedCodeSize(), 0u);
+
+  interp::ExecResult R = Runtime.runMain();
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(R.Output, HotLeafOutput);
+}
+
+//===----------------------------------------------------------------------===//
+// Satellite 2: bailout backoff (no retry storm)
+//===----------------------------------------------------------------------===//
+
+TEST(JitBailoutTest, BackoffCapsAttemptsAtMax) {
+  auto M = compile(HotLeafProgram);
+  AlwaysBailCompiler Compiler;
+  jit::JitConfig Config = testConfig();
+  jit::JitRuntime Runtime(*M, Compiler, Config);
+
+  ASSERT_TRUE(Runtime.runMain().ok());
+  // ~990 over-threshold invocations in one run; without backoff each one
+  // would re-enter the compiler. With backoff the attempts are capped at
+  // MaxCompileAttempts and the method lands on the do-not-compile list.
+  EXPECT_EQ(Compiler.Calls, Config.MaxCompileAttempts);
+  EXPECT_EQ(Runtime.stats().Bailouts, Config.MaxCompileAttempts);
+  EXPECT_EQ(Runtime.stats().BlacklistedMethods, 1u);
+
+  for (int I = 0; I < 5; ++I)
+    ASSERT_TRUE(Runtime.runMain().ok());
+  EXPECT_EQ(Compiler.Calls, Config.MaxCompileAttempts); // Stays capped.
+}
+
+TEST(JitBailoutTest, AttemptsAreExponentiallySpaced) {
+  auto M = compile(HotLeafProgram);
+  AlwaysBailCompiler Compiler;
+  jit::JitConfig Config = testConfig();
+  Config.MaxCompileAttempts = 2;
+  jit::JitRuntime Runtime(*M, Compiler, Config);
+
+  ASSERT_TRUE(Runtime.runMain().ok());
+  EXPECT_EQ(Compiler.Calls, 2u);
+  EXPECT_EQ(Runtime.stats().BlacklistedMethods, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Satellite 3: exception safety of the reentrancy guard
+//===----------------------------------------------------------------------===//
+
+TEST(JitExceptionTest, ThrowDoesNotLatchCompilationInProgress) {
+  auto M = compile(HotLeafProgram);
+  ThrowThenSucceedCompiler Compiler(/*FailuresBeforeSuccess=*/1);
+  jit::JitRuntime Runtime(*M, Compiler, testConfig());
+
+  interp::ExecResult R = Runtime.runMain();
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(R.Output, HotLeafOutput);
+
+  EXPECT_EQ(Runtime.stats().CompileExceptions, 1u);
+  // Had the guard stayed latched after the throw, the retry could never
+  // have entered the compiler again; instead the second attempt installs.
+  ASSERT_EQ(Runtime.compilations().size(), 1u);
+  EXPECT_EQ(Runtime.compilations()[0].Symbol, "leaf");
+  EXPECT_EQ(Runtime.compilations()[0].Attempt, 2u);
+  EXPECT_GT(Runtime.installedCodeSize(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// CompileQueue: backpressure, dedup, pop policies
+//===----------------------------------------------------------------------===//
+
+jit::CompileTask task(std::string Symbol, uint64_t Hotness) {
+  jit::CompileTask T;
+  T.Symbol = std::move(Symbol);
+  T.Hotness = Hotness;
+  return T;
+}
+
+TEST(CompileQueueTest, BackpressureRejectsWithoutBlocking) {
+  jit::CompileQueue Queue(/*Capacity=*/2);
+  EXPECT_EQ(Queue.tryEnqueue(task("a", 1)), jit::CompileQueue::Outcome::Enqueued);
+  EXPECT_EQ(Queue.tryEnqueue(task("b", 2)), jit::CompileQueue::Outcome::Enqueued);
+  EXPECT_EQ(Queue.tryEnqueue(task("c", 3)), jit::CompileQueue::Outcome::Full);
+  EXPECT_EQ(Queue.size(), 2u);
+  EXPECT_EQ(Queue.enqueuedCount(), 2u); // Rejected tasks get no sequence no.
+}
+
+TEST(CompileQueueTest, DuplicateSymbolsAreRejected) {
+  jit::CompileQueue Queue(/*Capacity=*/8);
+  EXPECT_EQ(Queue.tryEnqueue(task("a", 1)), jit::CompileQueue::Outcome::Enqueued);
+  EXPECT_EQ(Queue.tryEnqueue(task("a", 9)), jit::CompileQueue::Outcome::Duplicate);
+  EXPECT_EQ(Queue.size(), 1u);
+}
+
+TEST(CompileQueueTest, PriorityPopsHottestFirstTiesByArrival) {
+  jit::CompileQueue Queue(/*Capacity=*/8, jit::CompileQueue::PopOrder::Priority);
+  Queue.tryEnqueue(task("cool", 10));
+  Queue.tryEnqueue(task("hot", 90));
+  Queue.tryEnqueue(task("alsohot", 90));
+  EXPECT_EQ(Queue.pop()->Symbol, "hot"); // Hotter jumps the line...
+  EXPECT_EQ(Queue.pop()->Symbol, "alsohot"); // ...ties pop in arrival order.
+  EXPECT_EQ(Queue.pop()->Symbol, "cool");
+}
+
+TEST(CompileQueueTest, FifoPopsInEnqueueOrder) {
+  jit::CompileQueue Queue(/*Capacity=*/8, jit::CompileQueue::PopOrder::Fifo);
+  Queue.tryEnqueue(task("first", 1));
+  Queue.tryEnqueue(task("second", 99));
+  Queue.tryEnqueue(task("third", 50));
+  EXPECT_EQ(Queue.pop()->Symbol, "first");
+  EXPECT_EQ(Queue.pop()->Symbol, "second");
+  EXPECT_EQ(Queue.pop()->Symbol, "third");
+}
+
+TEST(CompileQueueTest, CloseWakesPoppers) {
+  jit::CompileQueue Queue(/*Capacity=*/8);
+  Queue.close();
+  EXPECT_FALSE(Queue.pop().has_value());
+  EXPECT_EQ(Queue.tryEnqueue(task("late", 1)),
+            jit::CompileQueue::Outcome::Full);
+}
+
+//===----------------------------------------------------------------------===//
+// Tentpole: execution-mode equivalence on the workloads suite
+//===----------------------------------------------------------------------===//
+
+workloads::RunResult runMode(const workloads::Workload &W, jit::JitMode Mode,
+                             unsigned Threads) {
+  inliner::IncrementalCompiler Compiler;
+  workloads::RunConfig Config;
+  Config.Jit.Mode = Mode;
+  Config.Jit.Threads = Threads;
+  Config.Iterations = EquivalenceIterations;
+  return workloads::runWorkload(W, Compiler, Config);
+}
+
+TEST(JitModeEquivalenceTest, DeterministicIsBitIdenticalToSyncOnWorkloads) {
+  for (const workloads::Workload &W : equivalenceWorkloads()) {
+    workloads::RunResult Sync = runMode(W, jit::JitMode::Sync, 1);
+    workloads::RunResult Det = runMode(W, jit::JitMode::Deterministic, 4);
+    ASSERT_TRUE(Sync.Ok) << W.Name << ": " << Sync.Error;
+    ASSERT_TRUE(Det.Ok) << W.Name << ": " << Det.Error;
+    EXPECT_EQ(Sync.Output, Det.Output) << W.Name;
+    EXPECT_EQ(jit::streamFingerprint(Sync.Compilations),
+              jit::streamFingerprint(Det.Compilations))
+        << W.Name;
+    EXPECT_EQ(Sync.InstalledCodeSize, Det.InstalledCodeSize) << W.Name;
+  }
+}
+
+TEST(JitModeEquivalenceTest, AsyncPreservesProgramOutputOnWorkloads) {
+  for (const workloads::Workload &W : equivalenceWorkloads()) {
+    workloads::RunResult Sync = runMode(W, jit::JitMode::Sync, 1);
+    workloads::RunResult Async = runMode(W, jit::JitMode::Async, 4);
+    ASSERT_TRUE(Sync.Ok) << W.Name << ": " << Sync.Error;
+    ASSERT_TRUE(Async.Ok) << W.Name << ": " << Async.Error;
+    EXPECT_EQ(Sync.Output, Async.Output) << W.Name;
+    // Async compiles the same set of methods (order may differ); every
+    // installed body must have passed verification.
+    EXPECT_EQ(Async.JitStats.VerifyFailures, 0u) << W.Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Fuzz smoke: seeded random programs, sync vs deterministic vs async
+//===----------------------------------------------------------------------===//
+
+class JitModeFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+struct ModeRun {
+  std::string Output;
+  std::string Fingerprint;
+};
+
+ModeRun runFuzzProgram(const std::string &Source, jit::JitMode Mode,
+                       unsigned Threads) {
+  auto M = compile(Source);
+  inliner::IncrementalCompiler Compiler;
+  jit::JitConfig Config;
+  Config.CompileThreshold = 1; // Compile everything that runs twice.
+  Config.Mode = Mode;
+  Config.Threads = Threads;
+  jit::JitRuntime Runtime(*M, Compiler, Config);
+  ModeRun Result;
+  for (int Iter = 0; Iter < 2; ++Iter) {
+    interp::ExecResult R = Runtime.runMain();
+    EXPECT_TRUE(R.ok()) << R.TrapMessage << "\n" << Source;
+    Result.Output = R.Output;
+  }
+  Runtime.drainCompilations();
+  Result.Fingerprint = jit::streamFingerprint(Runtime.compilations());
+  return Result;
+}
+
+TEST_P(JitModeFuzzTest, ModesAgreeOnRandomPrograms) {
+  std::string Source = fuzz::generateRandomProgram(GetParam());
+  ModeRun Sync = runFuzzProgram(Source, jit::JitMode::Sync, 1);
+  ModeRun Det = runFuzzProgram(Source, jit::JitMode::Deterministic, 4);
+  EXPECT_EQ(Sync.Output, Det.Output) << Source;
+  EXPECT_EQ(Sync.Fingerprint, Det.Fingerprint) << Source;
+
+  ModeRun Async = runFuzzProgram(Source, jit::JitMode::Async, 4);
+  EXPECT_EQ(Sync.Output, Async.Output) << Source;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JitModeFuzzTest,
+                         ::testing::Range<uint64_t>(0, 200));
+
+} // namespace

@@ -257,10 +257,11 @@ TEST(PassManagerTest, PipelineRecordsPerPassMetrics) {
   Options.Instr = &Sink;
   runOptimizationPipeline(*F, *M, Options);
 
-  ASSERT_EQ(Sink.passes().size(), pipelinePassNames().size());
+  const auto Recorded = Sink.passes();
+  ASSERT_EQ(Recorded.size(), pipelinePassNames().size());
   for (const std::string &Name : pipelinePassNames()) {
-    auto It = Sink.passes().find(Name);
-    ASSERT_NE(It, Sink.passes().end()) << "no metrics for " << Name;
+    auto It = Recorded.find(Name);
+    ASSERT_NE(It, Recorded.end()) << "no metrics for " << Name;
     EXPECT_EQ(It->second.Runs, 1u);
   }
   EXPECT_EQ(Sink.totals().Runs, pipelinePassNames().size());

@@ -51,8 +51,10 @@ struct Options {
   std::string Command;
   std::string File;
   std::string Jit = "incremental";
+  std::string JitMode = "sync";
   std::string Function;
   uint64_t Threshold = 50;
+  unsigned JitThreads = 1;
   int Iterations = 1;
   bool Stats = false;
   bool Optimize = false;
@@ -64,11 +66,23 @@ int usage() {
       stderr,
       "usage:\n"
       "  minioo run <file> [--jit=incremental|greedy|c2|c1|off]\n"
+      "                    [--jit-mode=sync|async|deterministic]\n"
+      "                    [--jit-threads=N]\n"
       "                    [--threshold=N] [--iterations=N] [--stats]\n"
       "  minioo dump <file> [--function=NAME] [--optimize]\n"
       "  minioo compile <file> --function=NAME [--jit=...]\n"
       "common options: --print-pass-stats\n");
   return 2;
+}
+
+std::optional<jit::JitMode> parseJitMode(const std::string &Name) {
+  if (Name == "sync")
+    return jit::JitMode::Sync;
+  if (Name == "async")
+    return jit::JitMode::Async;
+  if (Name == "deterministic")
+    return jit::JitMode::Deterministic;
+  return std::nullopt;
 }
 
 std::optional<Options> parseArgs(int argc, char **argv) {
@@ -86,6 +100,10 @@ std::optional<Options> parseArgs(int argc, char **argv) {
     };
     if (auto V = ValueOf("--jit=")) {
       Opts.Jit = *V;
+    } else if (auto V = ValueOf("--jit-mode=")) {
+      Opts.JitMode = *V;
+    } else if (auto V = ValueOf("--jit-threads=")) {
+      Opts.JitThreads = static_cast<unsigned>(std::stoul(*V));
     } else if (auto V = ValueOf("--threshold=")) {
       Opts.Threshold = std::stoull(*V);
     } else if (auto V = ValueOf("--iterations=")) {
@@ -133,9 +151,16 @@ int cmdRun(const Options &Opts, ir::Module &M) {
     std::fprintf(stderr, "unknown --jit '%s'\n", Opts.Jit.c_str());
     return 2;
   }
+  std::optional<jit::JitMode> Mode = parseJitMode(Opts.JitMode);
+  if (!Mode) {
+    std::fprintf(stderr, "unknown --jit-mode '%s'\n", Opts.JitMode.c_str());
+    return 2;
+  }
   jit::JitConfig Config;
   Config.CompileThreshold = Opts.Threshold;
   Config.Enabled = Opts.Jit != "off";
+  Config.Mode = *Mode;
+  Config.Threads = Opts.JitThreads;
   jit::JitRuntime Runtime(M, *Compiler, Config);
 
   for (int Iter = 0; Iter < Opts.Iterations; ++Iter) {
@@ -158,14 +183,31 @@ int cmdRun(const Options &Opts, ir::Module &M) {
                        Runtime.installedCodeSize()));
   }
   if (Opts.Stats) {
+    // Settle the stream first so async runs report every compilation that
+    // was still in flight when the last iteration finished.
+    Runtime.drainCompilations();
     std::fprintf(stderr, "compilations:\n");
     for (const jit::CompilationRecord &Record : Runtime.compilations())
-      std::fprintf(stderr, "  #%llu %-24s size=%llu inlined=%llu\n",
+      std::fprintf(stderr, "  #%llu %-24s size=%llu inlined=%llu attempt=%u\n",
                    static_cast<unsigned long long>(Record.CompileIndex),
                    Record.Symbol.c_str(),
                    static_cast<unsigned long long>(Record.Stats.CodeSize),
                    static_cast<unsigned long long>(
-                       Record.Stats.InlinedCallsites));
+                       Record.Stats.InlinedCallsites),
+                   Record.Attempt);
+    const jit::JitRuntimeStats &S = Runtime.stats();
+    std::fprintf(stderr,
+                 "jit: mode=%s threads=%u requests=%llu bailouts=%llu "
+                 "verify-failures=%llu blacklisted=%llu queue-full=%llu "
+                 "mutator-stall-ms=%.3f\n",
+                 std::string(jit::jitModeName(Config.Mode)).c_str(),
+                 Config.Threads,
+                 static_cast<unsigned long long>(S.CompileRequests),
+                 static_cast<unsigned long long>(S.Bailouts),
+                 static_cast<unsigned long long>(S.VerifyFailures),
+                 static_cast<unsigned long long>(S.BlacklistedMethods),
+                 static_cast<unsigned long long>(S.QueueFullRejections),
+                 static_cast<double>(S.MutatorStallNanos) / 1e6);
   }
   return 0;
 }
