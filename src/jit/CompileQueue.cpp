@@ -48,14 +48,17 @@ std::optional<CompileTask> CompileQueue::pop() {
   return Task;
 }
 
-void CompileQueue::close() {
+size_t CompileQueue::close() {
+  size_t DroppedTasks;
   {
     std::lock_guard<std::mutex> Guard(Lock);
     Closed = true;
+    DroppedTasks = Tasks.size();
     Tasks.clear();
     Queued.clear();
   }
   TaskReady.notify_all();
+  return DroppedTasks;
 }
 
 size_t CompileQueue::size() const {

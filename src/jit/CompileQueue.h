@@ -82,8 +82,9 @@ public:
 
   /// Wakes every waiting worker and makes all subsequent pops fail.
   /// Already-queued tasks are dropped (the pool drains before closing when
-  /// a graceful shutdown is wanted).
-  void close();
+  /// a graceful shutdown is wanted). Returns how many tasks were dropped,
+  /// so drain waiters can account for deliveries that will never happen.
+  size_t close();
 
   size_t size() const;
   bool closed() const;

@@ -32,7 +32,16 @@ void CompileWorkerPool::shutdown() {
   if (ShutDown)
     return;
   ShutDown = true;
-  Queue.close();
+  // Tasks still queued at close are never delivered; account them so a
+  // drain waiter's target stays reachable instead of hanging forever.
+  size_t DroppedNow = Queue.close();
+  if (DroppedNow != 0) {
+    {
+      std::lock_guard<std::mutex> Guard(CompletedLock);
+      Dropped.fetch_add(DroppedNow, std::memory_order_release);
+    }
+    CompletedSignal.notify_all();
+  }
   for (std::thread &W : Workers)
     if (W.joinable())
       W.join();
@@ -82,8 +91,12 @@ void CompileWorkerPool::deliver(CompileOutcome Outcome) {
   {
     std::lock_guard<std::mutex> Guard(CompletedLock);
     Completed.push_back(std::move(Outcome));
+    // Must change inside the critical section: waitUntilDrained's wait
+    // predicate reads this counter under CompletedLock, and an increment
+    // between the waiter's predicate check and its block would otherwise
+    // lose the notification (the waiter would sleep past it forever).
+    Delivered.fetch_add(1, std::memory_order_release);
   }
-  Delivered.fetch_add(1, std::memory_order_release);
   CompletedSignal.notify_all();
 }
 
@@ -113,7 +126,9 @@ std::vector<CompileOutcome> CompileWorkerPool::waitUntilDrained() {
   {
     std::unique_lock<std::mutex> Guard(CompletedLock);
     CompletedSignal.wait(Guard, [&] {
-      return Delivered.load(std::memory_order_acquire) >= Target;
+      return Delivered.load(std::memory_order_acquire) +
+                 Dropped.load(std::memory_order_acquire) >=
+             Target;
     });
     Batch = std::move(Completed);
     Completed.clear();

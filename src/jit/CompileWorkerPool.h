@@ -79,10 +79,11 @@ public:
   /// enqueue sequence within the batch. Mutator-only.
   std::vector<CompileOutcome> takeCompleted();
 
-  /// Blocks until every task ever accepted by the queue has been delivered,
-  /// then returns the completed batch (ordered by enqueue sequence).
-  /// Mutator-only, and only valid while the mutator is not enqueueing
-  /// concurrently — which is given, since the mutator is the sole producer.
+  /// Blocks until every task ever accepted by the queue has been delivered
+  /// (or dropped by a close), then returns the completed batch (ordered by
+  /// enqueue sequence). Mutator-only, and only valid while the mutator is
+  /// not enqueueing concurrently — which is given, since the mutator is the
+  /// sole producer.
   std::vector<CompileOutcome> waitUntilDrained();
 
   /// Total outcomes ever delivered. Lock-free; the mutator polls this at
@@ -109,6 +110,10 @@ private:
   std::condition_variable CompletedSignal;
   std::vector<CompileOutcome> Completed;
   std::atomic<uint64_t> Delivered{0};
+  /// Tasks the queue dropped at close() without delivery; counted toward
+  /// waitUntilDrained's target so the wait stays satisfiable after (or
+  /// concurrently with) shutdown.
+  std::atomic<uint64_t> Dropped{0};
   bool ShutDown = false;
 };
 

@@ -234,6 +234,14 @@ void JitRuntime::publishBatch(std::vector<CompileOutcome> Batch) {
 void JitRuntime::publishOutcome(CompileOutcome &&Outcome) {
   MethodState &State = stateOf(Outcome.Task.Symbol);
   State.InFlight = false;
+  if (State.Compiled) {
+    // Code for this method was already installed (e.g. a forced
+    // compileNow while the task was in flight). Overwriting the cache
+    // entry would destroy a Function the interpreter may be executing;
+    // record the stale outcome and discard it.
+    ++Stats.StaleOutcomesDiscarded;
+    return;
+  }
   if (!Outcome.Code) {
     recordBailout(State, Outcome.Exception, /*Permanent=*/false);
     return;
@@ -291,6 +299,12 @@ void JitRuntime::drainCompilations() {
 
 void JitRuntime::compileNow(std::string_view Symbol) {
   if (CodeCache.count(Symbol))
+    return;
+  // Refuse while a background compile of the same symbol is in flight:
+  // compiling here as well would race two publications of one method
+  // (the worker's later outcome is dropped as stale, but the forced
+  // compile would double-count work the caller did not ask for).
+  if (stateOf(Symbol).InFlight)
     return;
   compileOnMutator(Symbol);
 }

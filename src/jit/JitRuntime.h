@@ -106,6 +106,9 @@ struct JitRuntimeStats {
   uint64_t VerifyFailures = 0;    ///< ... of which IR verification rejected.
   uint64_t BlacklistedMethods = 0; ///< Methods marked do-not-compile.
   uint64_t QueueFullRejections = 0; ///< Requests rejected by backpressure.
+  /// Worker outcomes discarded because code for the method was already
+  /// installed when they arrived (e.g. compileNow raced an async task).
+  uint64_t StaleOutcomesDiscarded = 0;
   /// Wall time the mutator was stalled by compilation: the whole pipeline
   /// in Sync mode, the blocking drain in Deterministic mode, only
   /// verify+publish in Async mode. The quantity bench/compiletime_async
@@ -153,6 +156,8 @@ public:
 
   /// Forces a synchronous compilation attempt of \p Symbol now, ignoring
   /// hotness and backoff (used by tests). Bailouts are still recorded.
+  /// No-op when the method is already compiled or a background compile of
+  /// it is in flight (racing the worker would double-publish one method).
   void compileNow(std::string_view Symbol);
 
 private:

@@ -30,11 +30,15 @@
 #include "inliner/Compilers.h"
 #include "ir/IRCloner.h"
 #include "jit/CompileQueue.h"
+#include "jit/CompileWorkerPool.h"
 #include "workloads/Harness.h"
 
 #include <gtest/gtest.h>
 
+#include <condition_variable>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
 using namespace incline;
 using incline::testing::compile;
@@ -147,6 +151,53 @@ public:
 private:
   unsigned FailuresBeforeSuccess;
   PassthroughCompiler Fallback;
+};
+
+/// Parks every compile at a gate until release() — lets a test hold a task
+/// "in flight" on a worker at a deterministic point. Compiles like
+/// PassthroughCompiler once released.
+class GatedCompiler : public jit::Compiler {
+public:
+  std::unique_ptr<ir::Function>
+  compile(const ir::Function &Source, const ir::Module &M,
+          const profile::ProfileTable &Profiles, jit::CompileStats &Stats,
+          const opt::PassContext &Ctx) override {
+    {
+      std::unique_lock<std::mutex> Guard(Lock);
+      ++Entered;
+      EnteredSignal.notify_all();
+      Gate.wait(Guard, [&] { return Released; });
+    }
+    return Fallback.compile(Source, M, Profiles, Stats, Ctx);
+  }
+  std::string name() const override { return "gated"; }
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> Guard(Lock);
+      Released = true;
+    }
+    Gate.notify_all();
+  }
+
+  /// Blocks until at least \p N compiles have reached the gate.
+  void waitEntered(unsigned N) {
+    std::unique_lock<std::mutex> Guard(Lock);
+    EnteredSignal.wait(Guard, [&] { return Entered >= N; });
+  }
+
+  unsigned entered() {
+    std::lock_guard<std::mutex> Guard(Lock);
+    return Entered;
+  }
+
+private:
+  PassthroughCompiler Fallback;
+  std::mutex Lock;
+  std::condition_variable Gate;
+  std::condition_variable EnteredSignal;
+  unsigned Entered = 0;
+  bool Released = false;
 };
 
 /// A program whose `leaf` gets hot fast (the loop calls it 1000 times) so
@@ -330,6 +381,96 @@ TEST(CompileQueueTest, CloseWakesPoppers) {
   EXPECT_FALSE(Queue.pop().has_value());
   EXPECT_EQ(Queue.tryEnqueue(task("late", 1)),
             jit::CompileQueue::Outcome::Full);
+}
+
+TEST(CompileQueueTest, CloseReportsDroppedTasks) {
+  jit::CompileQueue Queue(/*Capacity=*/8);
+  Queue.tryEnqueue(task("a", 1));
+  Queue.tryEnqueue(task("b", 2));
+  EXPECT_EQ(Queue.close(), 2u);
+  EXPECT_EQ(Queue.close(), 0u); // Nothing left on a repeated close.
+}
+
+//===----------------------------------------------------------------------===//
+// CompileWorkerPool: drain/shutdown interaction
+//===----------------------------------------------------------------------===//
+
+TEST(CompileWorkerPoolTest, DrainAfterShutdownAccountsDroppedTasks) {
+  // Regression: waitUntilDrained used to wait for every *accepted* task to
+  // be delivered, but close() drops still-queued tasks that never will be
+  // — a drain after shutdown waited forever. Dropped tasks must count
+  // toward the drain target.
+  auto M = compile(HotLeafProgram);
+  GatedCompiler Compiler;
+  jit::CompileQueue Queue(/*Capacity=*/8, jit::CompileQueue::PopOrder::Fifo);
+  jit::CompileWorkerPool Pool(Queue, Compiler, *M, /*NumThreads=*/1);
+
+  // The single worker parks at the gate holding "leaf"; two more tasks
+  // stay queued and will be dropped by the close.
+  ASSERT_EQ(Queue.tryEnqueue(task("leaf", 1)),
+            jit::CompileQueue::Outcome::Enqueued);
+  Compiler.waitEntered(1);
+  ASSERT_EQ(Queue.tryEnqueue(task("q1", 2)),
+            jit::CompileQueue::Outcome::Enqueued);
+  ASSERT_EQ(Queue.tryEnqueue(task("q2", 3)),
+            jit::CompileQueue::Outcome::Enqueued);
+
+  // shutdown() closes the queue (dropping q1/q2) and then joins, which
+  // needs the parked worker released to make progress.
+  std::thread Shutter([&] { Pool.shutdown(); });
+  while (!Queue.closed())
+    std::this_thread::yield();
+  Compiler.release();
+  Shutter.join();
+
+  // Three tasks were accepted, one delivered, two dropped: the drain
+  // target is still reachable and the delivered outcome comes back.
+  std::vector<jit::CompileOutcome> Batch = Pool.waitUntilDrained();
+  ASSERT_EQ(Batch.size(), 1u);
+  EXPECT_EQ(Batch[0].Task.Symbol, "leaf");
+  EXPECT_NE(Batch[0].Code, nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// compileNow vs in-flight background compilation
+//===----------------------------------------------------------------------===//
+
+TEST(JitCompileNowTest, RefusesWhileAsyncCompileInFlight) {
+  // Regression: compileNow checked only the code cache, so a forced
+  // compile racing an in-flight async task of the same symbol published
+  // twice — and the worker's later outcome overwrote (destroyed) the
+  // installed Function at a safepoint while the interpreter could still be
+  // executing it.
+  auto M = compile(HotLeafProgram);
+  GatedCompiler Compiler;
+  jit::JitConfig Config = testConfig();
+  Config.Mode = jit::JitMode::Async;
+  Config.Threads = 1;
+  jit::JitRuntime Runtime(*M, Compiler, Config);
+
+  // Cross the threshold by hand; the worker picks the task up and parks at
+  // the gate with "leaf" in flight.
+  for (uint64_t I = 0; I <= Config.CompileThreshold; ++I)
+    Runtime.onInvoke("leaf");
+  Compiler.waitEntered(1);
+
+  // The forced compile must refuse while the symbol is in flight — it
+  // never reaches the compiler (which would also park, hanging the test).
+  Runtime.compileNow("leaf");
+  EXPECT_EQ(Compiler.entered(), 1u);
+  EXPECT_EQ(Runtime.installedCodeSize(), 0u);
+
+  Compiler.release();
+  Runtime.drainCompilations();
+  ASSERT_EQ(Runtime.compilations().size(), 1u);
+  EXPECT_EQ(Runtime.compilations()[0].Symbol, "leaf");
+  EXPECT_GT(Runtime.installedCodeSize(), 0u);
+  EXPECT_EQ(Runtime.stats().StaleOutcomesDiscarded, 0u);
+
+  // Once installed, a forced compile is a plain code-cache hit.
+  Runtime.compileNow("leaf");
+  EXPECT_EQ(Compiler.entered(), 1u);
+  EXPECT_EQ(Runtime.compilations().size(), 1u);
 }
 
 //===----------------------------------------------------------------------===//

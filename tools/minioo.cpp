@@ -34,8 +34,11 @@
 #include "opt/PassPipeline.h"
 #include "support/StringUtils.h"
 
+#include <cctype>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <optional>
@@ -85,6 +88,23 @@ std::optional<jit::JitMode> parseJitMode(const std::string &Name) {
   return std::nullopt;
 }
 
+/// Parses a non-negative decimal flag value; nullopt on anything else
+/// (empty, sign, trailing junk, overflow) so the caller can print a usage
+/// error instead of dying on an uncaught std::stoul exception.
+std::optional<uint64_t> parseCount(const std::string &Value) {
+  if (Value.empty() || !std::isdigit(static_cast<unsigned char>(Value[0])))
+    return std::nullopt;
+  try {
+    size_t Consumed = 0;
+    uint64_t N = std::stoull(Value, &Consumed);
+    if (Consumed != Value.size())
+      return std::nullopt;
+    return N;
+  } catch (const std::exception &) {
+    return std::nullopt;
+  }
+}
+
 std::optional<Options> parseArgs(int argc, char **argv) {
   if (argc < 3)
     return std::nullopt;
@@ -103,11 +123,26 @@ std::optional<Options> parseArgs(int argc, char **argv) {
     } else if (auto V = ValueOf("--jit-mode=")) {
       Opts.JitMode = *V;
     } else if (auto V = ValueOf("--jit-threads=")) {
-      Opts.JitThreads = static_cast<unsigned>(std::stoul(*V));
+      auto N = parseCount(*V);
+      if (!N) {
+        std::fprintf(stderr, "invalid --jit-threads value '%s'\n", V->c_str());
+        return std::nullopt;
+      }
+      Opts.JitThreads = static_cast<unsigned>(*N);
     } else if (auto V = ValueOf("--threshold=")) {
-      Opts.Threshold = std::stoull(*V);
+      auto N = parseCount(*V);
+      if (!N) {
+        std::fprintf(stderr, "invalid --threshold value '%s'\n", V->c_str());
+        return std::nullopt;
+      }
+      Opts.Threshold = *N;
     } else if (auto V = ValueOf("--iterations=")) {
-      Opts.Iterations = std::stoi(*V);
+      auto N = parseCount(*V);
+      if (!N || *N > static_cast<uint64_t>(std::numeric_limits<int>::max())) {
+        std::fprintf(stderr, "invalid --iterations value '%s'\n", V->c_str());
+        return std::nullopt;
+      }
+      Opts.Iterations = static_cast<int>(*N);
     } else if (auto V = ValueOf("--function=")) {
       Opts.Function = *V;
     } else if (Arg == "--stats") {
