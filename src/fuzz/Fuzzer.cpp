@@ -22,22 +22,27 @@ double secondsSince(Clock::time_point Start) {
   return std::chrono::duration<double>(Clock::now() - Start).count();
 }
 
-void handleFailure(const FuzzOptions &Options, uint64_t Seed,
+void handleFailure(const FuzzOptions &Options,
+                   const OracleOptions &OracleOpts, uint64_t Seed,
                    Divergence Div, const std::string &Source,
                    FuzzReport &Report, std::ostream *Log) {
   FuzzFailure Failure;
   Failure.Seed = Seed;
   Failure.Div = std::move(Div);
   Failure.Source = Source;
+  if (Failure.Div.Kind == DivergenceKind::Timeout)
+    ++Report.Timeouts;
 
   if (Log)
     *Log << "[incline-fuzz] seed " << Seed << ": "
          << Failure.Div.summary() << "\n";
 
   if (Options.Reduce) {
-    // Reduce against a non-bisecting oracle: the predicate runs on every
-    // candidate, and bisection would multiply its cost for no benefit.
-    OracleOptions ReduceOpts = Options.Oracle;
+    // Reduce against a non-bisecting oracle — the predicate runs on every
+    // candidate, and bisection would multiply its cost for no benefit —
+    // but keep the seed's oracle options (notably its chaos schedule) so
+    // the divergence actually reproduces on reduced candidates.
+    OracleOptions ReduceOpts = OracleOpts;
     ReduceOpts.Bisect = false;
     DifferentialOracle ReduceOracle(ReduceOpts);
     ReproPredicate Repro = makeDivergenceMatcher(ReduceOracle, Failure.Div);
@@ -79,16 +84,30 @@ FuzzReport incline::fuzz::fuzzSeedRange(const FuzzOptions &Options,
     }
     std::string Source = generateRandomProgram(Seed, Options.Gen);
     ++Report.SeedsRun;
-    if (std::optional<Divergence> Div = Oracle.check(Source))
-      handleFailure(Options, Seed, std::move(*Div), Source, Report, Log);
+    std::optional<Divergence> Div;
+    OracleOptions SeedOpts = Options.Oracle;
+    if (Options.Oracle.Chaos.Enabled) {
+      // Every program gets its own chaos schedule — still a pure function
+      // of (base chaos seed, program seed), so a failure replays.
+      SeedOpts.Chaos.Seed ^= 0x9E3779B97F4A7C15ULL * (Seed + 1);
+      Div = DifferentialOracle(SeedOpts).check(Source);
+    } else {
+      Div = Oracle.check(Source);
+    }
+    if (Div)
+      handleFailure(Options, SeedOpts, Seed, std::move(*Div), Source,
+                    Report, Log);
     if (Report.Failures.size() >= Options.MaxFailures)
       break;
   }
 
-  if (Log)
+  if (Log) {
     *Log << "[incline-fuzz] " << Report.SeedsRun << " seeds, "
-         << Report.Failures.size() << " divergence(s)"
-         << (Report.TimeBudgetHit ? " (time budget hit)" : "") << "\n";
+         << Report.Failures.size() << " divergence(s)";
+    if (Report.Timeouts > 0)
+      *Log << ", " << Report.Timeouts << " timeout(s)";
+    *Log << (Report.TimeBudgetHit ? " (time budget hit)" : "") << "\n";
+  }
   return Report;
 }
 
@@ -104,6 +123,8 @@ FuzzReport incline::fuzz::replayCorpus(const std::string &Dir,
       Failure.Div = std::move(*Div);
       Failure.Source = Entry.Source;
       Failure.CorpusFile = Entry.Path;
+      if (Failure.Div.Kind == DivergenceKind::Timeout)
+        ++Report.Timeouts;
       if (Log)
         *Log << "[incline-fuzz] corpus " << Entry.Name << ": "
              << Failure.Div.summary() << "\n";

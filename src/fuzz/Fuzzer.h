@@ -63,6 +63,9 @@ struct FuzzFailure {
 struct FuzzReport {
   uint64_t SeedsRun = 0;
   bool TimeBudgetHit = false;
+  /// How many failures were watchdog timeouts (a stage blew its step or
+  /// wall-clock budget) — likely hangs rather than miscompiles.
+  uint64_t Timeouts = 0;
   std::vector<FuzzFailure> Failures;
 
   bool ok() const { return Failures.empty(); }

@@ -15,7 +15,12 @@
 #include "jit/JitRuntime.h"
 #include "opt/Passes.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <stdexcept>
+#include <thread>
 
 using namespace incline;
 using namespace incline::fuzz;
@@ -30,6 +35,8 @@ std::string_view incline::fuzz::divergenceKindName(DivergenceKind Kind) {
     return "trap";
   case DivergenceKind::OutputMismatch:
     return "output-mismatch";
+  case DivergenceKind::Timeout:
+    return "timeout";
   }
   return "unknown";
 }
@@ -95,6 +102,93 @@ opt::PassContext configContext(opt::AnalysisManager &AM,
   Ctx.Observer = Obs;
   return Ctx;
 }
+
+/// Runs `main` of \p M interpreted (the reference semantics) under explicit
+/// limits — interp::runMain with the watchdog budget threaded through.
+interp::ExecResult runModuleMain(const ir::Module &M,
+                                 const interp::ExecLimits &Limits) {
+  interp::ModuleEnv Env(M);
+  interp::Interpreter Interp(M, Env, interp::CostModel(), Limits);
+  return Interp.run("main");
+}
+
+/// Candidate execution limits: generous multiple of the reference's step
+/// count, so legitimate slowdown (interpretation, deopt round trips) fits
+/// but a runaway loop is cut off, plus the stage wall-clock cap.
+interp::ExecLimits candidateLimits(const OracleOptions &Opts,
+                                   const interp::ExecResult &RefRun) {
+  interp::ExecLimits Limits;
+  Limits.MaxSteps = std::max<uint64_t>(Opts.MinStepBudget,
+                                       RefRun.Steps * Opts.StepBudgetFactor);
+  Limits.MaxWallSeconds = Opts.StageWallClockSeconds;
+  return Limits;
+}
+
+/// Classifies a failed (or mismatching) candidate run: a step/wall-clock
+/// trap is the watchdog firing, any other trap is a genuine trap, a clean
+/// run with different output is a mismatch.
+DivergenceKind failureKind(const interp::ExecResult &R) {
+  if (R.ok())
+    return DivergenceKind::OutputMismatch;
+  return R.Trap == interp::TrapKind::StepLimitExceeded
+             ? DivergenceKind::Timeout
+             : DivergenceKind::Trap;
+}
+
+/// Stateless mix of (seed, decision index) -> 64 uniform-ish bits
+/// (splitmix64 finalizer). The chaos schedule must be a pure function of
+/// its inputs so a persisted or reduced failing program replays the exact
+/// same faults.
+uint64_t chaosMix(uint64_t Seed, uint64_t N) {
+  uint64_t X = Seed ^ (N * 0x9E3779B97F4A7C15ULL);
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBULL;
+  return X ^ (X >> 31);
+}
+
+/// Maps one draw to a biased coin with probability \p Rate.
+bool chaosChance(uint64_t Draw, double Rate) {
+  return static_cast<double>(Draw % 10000) < Rate * 10000.0;
+}
+
+/// Compiler decorator injecting the compile-side chaos: per-attempt faults
+/// (thrown as exceptions — the runtime must treat them as bailouts) and,
+/// when configured, a short pre-compile sleep that shifts publication and
+/// invalidation timing around in async mode. Thread-safe: workers compile
+/// concurrently, so the decision counter is atomic — which also means the
+/// async fault schedule depends on task arrival order. That is the point
+/// (randomized timing is what the async stage exists to shake out); the
+/// sync and deterministic stages, where arrival order is fixed, are the
+/// reproducible ones.
+class ChaosCompiler : public jit::Compiler {
+public:
+  ChaosCompiler(std::unique_ptr<jit::Compiler> Inner, ChaosOptions Chaos,
+                uint64_t StageSalt, bool InjectDelay)
+      : Inner(std::move(Inner)), Chaos(Chaos), Salt(StageSalt),
+        InjectDelay(InjectDelay) {}
+
+  std::unique_ptr<ir::Function>
+  compile(const ir::Function &Source, const ir::Module &M,
+          const profile::ProfileTable &Profiles, jit::CompileStats &Stats,
+          const opt::PassContext &Ctx) override {
+    uint64_t Draw = chaosMix(Chaos.Seed ^ Salt, NextDraw.fetch_add(1));
+    if (InjectDelay && Chaos.MaxCompileDelayMicros > 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          chaosMix(Draw, 1) % Chaos.MaxCompileDelayMicros));
+    if (chaosChance(Draw, Chaos.CompileFaultRate))
+      throw std::runtime_error("injected chaos compiler fault");
+    return Inner->compile(Source, M, Profiles, Stats, Ctx);
+  }
+
+  std::string name() const override { return "chaos+" + Inner->name(); }
+
+private:
+  std::unique_ptr<jit::Compiler> Inner;
+  ChaosOptions Chaos;
+  uint64_t Salt;
+  bool InjectDelay;
+  std::atomic<uint64_t> NextDraw{0};
+};
 
 } // namespace
 
@@ -226,15 +320,22 @@ DifferentialOracle::check(const std::string &Source) const {
     D.Detail = joinProblems(Problems);
     return D;
   }
-  interp::ExecResult RefRun = interp::runMain(*Ref);
+  // The reference runs under the wall-clock cap only (its step count is
+  // what candidate budgets derive from, so it gets the default step limit).
+  interp::ExecLimits RefLimits;
+  RefLimits.MaxWallSeconds = Opts.StageWallClockSeconds;
+  interp::ExecResult RefRun = runModuleMain(*Ref, RefLimits);
   if (!RefRun.ok()) {
     Divergence D;
-    D.Kind = DivergenceKind::Trap;
+    D.Kind = RefRun.Trap == interp::TrapKind::StepLimitExceeded
+                 ? DivergenceKind::Timeout
+                 : DivergenceKind::Trap;
     D.Stage = "reference";
     D.Detail = RefRun.TrapMessage;
     return D;
   }
   const std::string &Expected = RefRun.Output;
+  const interp::ExecLimits Budget = candidateLimits(Opts, RefRun);
 
   if (Opts.CheckPipelines) {
     for (const PipelineConfig &Config : allPipelineConfigs()) {
@@ -269,11 +370,10 @@ DifferentialOracle::check(const std::string &Source) const {
         D.Detail = joinProblems(Problems);
         return D;
       }
-      interp::ExecResult R = interp::runMain(*M);
+      interp::ExecResult R = runModuleMain(*M, Budget);
       if (!R.ok() || R.Output != Expected) {
         Divergence D;
-        D.Kind = R.ok() ? DivergenceKind::OutputMismatch
-                        : DivergenceKind::Trap;
+        D.Kind = failureKind(R);
         D.Stage = "pipeline:" + Config.Name;
         D.Detail = R.ok() ? "optimized output differs from the reference"
                           : R.TrapMessage;
@@ -321,14 +421,13 @@ DifferentialOracle::check(const std::string &Source) const {
       Config.CompileThreshold = Opts.CompileThreshold;
       jit::JitRuntime Runtime(*M, *Compiler, Config);
       for (int Iter = 0; Iter < Opts.JitIterations; ++Iter) {
-        interp::ExecResult R = Runtime.runMain();
+        interp::ExecResult R = Runtime.runMain(Budget);
         if (PerPassProblem)
           return PerPassProblem;
         if (R.ok() && R.Output == Expected)
           continue;
         Divergence D;
-        D.Kind = R.ok() ? DivergenceKind::OutputMismatch
-                        : DivergenceKind::Trap;
+        D.Kind = failureKind(R);
         D.Stage = "jit:" + Policy.Name;
         D.Detail = R.ok() ? "iteration " + std::to_string(Iter) +
                                 " output differs from the reference"
@@ -343,6 +442,70 @@ DifferentialOracle::check(const std::string &Source) const {
       }
     }
   }
+
+  // Chaos stages: the incremental policy under every execution mode with
+  // fault injection turned on. The runtime's deoptimization story claims
+  // that forced guard failures, compile faults and invalidation timing are
+  // all output-neutral; here that claim meets a schedule it did not choose.
+  if (Opts.Chaos.Enabled && Opts.CheckJitPolicies) {
+    struct ChaosStage {
+      std::string Name;
+      jit::JitMode Mode;
+      unsigned Threads;
+      bool InjectDelay; ///< Compile latency only perturbs async timing.
+    };
+    const ChaosStage Stages[] = {
+        {"chaos-sync", jit::JitMode::Sync, 1, false},
+        {"chaos-deterministic", jit::JitMode::Deterministic, 2, false},
+        {"chaos-async", jit::JitMode::Async, 2, true},
+        {"chaos-async-4t", jit::JitMode::Async, 4, true},
+    };
+    uint64_t StageSalt = 0;
+    for (const ChaosStage &Stage : Stages) {
+      ++StageSalt;
+      std::unique_ptr<ir::Module> M = compileOrNull(Source);
+      // Aggressive speculation thresholds: fuzzer-generated call sites
+      // rarely reach 90% receiver dominance, and a chaos run that emits no
+      // guards exercises nothing. Guard correctness does not depend on the
+      // profile actually being right — that is the whole contract.
+      inliner::InlinerConfig IC;
+      IC.SpeculationMinProbability = 0.5;
+      IC.SpeculationMinSamples = 2;
+      ChaosCompiler Compiler(std::make_unique<inliner::IncrementalCompiler>(IC),
+                             Opts.Chaos, StageSalt, Stage.InjectDelay);
+      jit::JitConfig Config;
+      Config.CompileThreshold = Opts.CompileThreshold;
+      Config.Mode = Stage.Mode;
+      Config.Threads = Stage.Threads;
+      // Guards execute on the mutator only, so a plain counter suffices;
+      // shared_ptr keeps the closure copyable.
+      Config.ForceGuardFailure =
+          [C = Opts.Chaos, GuardSalt = StageSalt ^ 0x517CC1B727220A95ULL,
+           Counter = std::make_shared<uint64_t>(0)](std::string_view,
+                                                    unsigned) {
+            uint64_t Draw = chaosMix(C.Seed ^ GuardSalt, (*Counter)++);
+            return chaosChance(Draw, C.GuardFailureRate);
+          };
+      jit::JitRuntime Runtime(*M, Compiler, Config);
+      for (int Iter = 0; Iter < Opts.JitIterations; ++Iter) {
+        interp::ExecResult R = Runtime.runMain(Budget);
+        if (R.ok() && R.Output == Expected)
+          continue;
+        Divergence D;
+        D.Kind = failureKind(R);
+        D.Stage = "jit:" + Stage.Name;
+        D.Detail = R.ok() ? "iteration " + std::to_string(Iter) +
+                                " output differs from the reference"
+                          : R.TrapMessage;
+        D.Expected = Expected;
+        D.Actual = R.Output;
+        return D;
+      }
+      // Publish whatever is still in flight before teardown: the stale /
+      // post-invalidation publication paths are part of what chaos covers.
+      Runtime.drainCompilations();
+    }
+  }
   return std::nullopt;
 }
 
@@ -352,10 +515,13 @@ incline::fuzz::bisectPipeline(const std::string &Source,
   std::unique_ptr<ir::Module> Ref = compileOrNull(Source);
   if (!Ref)
     return std::nullopt;
-  interp::ExecResult RefRun = interp::runMain(*Ref);
+  interp::ExecLimits RefLimits;
+  RefLimits.MaxWallSeconds = Options.StageWallClockSeconds;
+  interp::ExecResult RefRun = runModuleMain(*Ref, RefLimits);
   if (!RefRun.ok())
     return std::nullopt;
   const std::string Expected = RefRun.Output;
+  const interp::ExecLimits Budget = candidateLimits(Options, RefRun);
 
   std::vector<std::string> FunctionNames;
   for (const auto &[Name, F] : Ref->functions())
@@ -380,7 +546,7 @@ incline::fuzz::bisectPipeline(const std::string &Source,
     if (std::vector<std::string> Problems = ir::verifyModule(*M);
         !Problems.empty())
       return joinProblems(Problems);
-    interp::ExecResult R = interp::runMain(*M);
+    interp::ExecResult R = runModuleMain(*M, Budget);
     if (!R.ok())
       return "trap: " + R.TrapMessage;
     if (R.Output != Expected)
@@ -416,10 +582,13 @@ incline::fuzz::bisectJitPolicy(const std::string &Source,
   std::unique_ptr<ir::Module> Ref = compileOrNull(Source);
   if (!Ref)
     return std::nullopt;
-  interp::ExecResult RefRun = interp::runMain(*Ref);
+  interp::ExecLimits RefLimits;
+  RefLimits.MaxWallSeconds = Options.StageWallClockSeconds;
+  interp::ExecResult RefRun = runModuleMain(*Ref, RefLimits);
   if (!RefRun.ok())
     return std::nullopt;
   const std::string Expected = RefRun.Output;
+  const interp::ExecLimits Budget = candidateLimits(Options, RefRun);
 
   std::vector<std::string> FunctionNames;
   for (const auto &[Name, F] : Ref->functions())
@@ -435,7 +604,7 @@ incline::fuzz::bisectJitPolicy(const std::string &Source,
     jit::JitRuntime Runtime(*M, *Compiler, Config);
     Runtime.compileNow(Name);
     for (int Iter = 0; Iter < Options.JitIterations; ++Iter) {
-      interp::ExecResult R = Runtime.runMain();
+      interp::ExecResult R = Runtime.runMain(Budget);
       if (!R.ok() || R.Output != Expected)
         return Name;
     }

@@ -54,6 +54,7 @@ enum class DivergenceKind : uint8_t {
   VerifierError,  ///< The IR verifier flagged a transformed function.
   Trap,           ///< A stage trapped where the reference did not.
   OutputMismatch, ///< A stage printed different output.
+  Timeout,        ///< A stage exceeded its step or wall-clock budget.
 };
 
 std::string_view divergenceKindName(DivergenceKind Kind);
@@ -79,6 +80,31 @@ struct Divergence {
   std::string render() const;
 };
 
+/// Fault-injection configuration for the chaos JIT stages (`--chaos`).
+/// Every injected fault is one the runtime claims to absorb without any
+/// observable effect: a forced guard failure deoptimizes into the baseline,
+/// which re-executes the original dispatch; an injected compiler fault is a
+/// bailout, so the method stays interpreted; injected compile latency only
+/// moves publication — and therefore invalidation — timing around in async
+/// mode. The chaos stages assert program output stays bit-identical to the
+/// reference under all of it.
+struct ChaosOptions {
+  bool Enabled = false;
+  /// Seed of the chaos schedule. The schedule is a pure function of
+  /// (Seed, decision index), so a persisted failure replays its faults;
+  /// the fuzzer folds the program seed in so every program sees a
+  /// different schedule.
+  uint64_t Seed = 0;
+  /// Probability that a passing guard is forced onto its fail edge.
+  double GuardFailureRate = 0.25;
+  /// Probability that one compile attempt throws an injected fault.
+  double CompileFaultRate = 0.2;
+  /// Async stages: upper bound of injected compile latency (microseconds),
+  /// randomizing publication and invalidation timing across worker
+  /// threads. 0 disables the delay.
+  unsigned MaxCompileDelayMicros = 200;
+};
+
 /// Oracle configuration.
 struct OracleOptions {
   /// Canonicalizer switches shared by every canonicalize-based stage —
@@ -96,6 +122,16 @@ struct OracleOptions {
   uint64_t CompileThreshold = 1;
   /// Automatically bisect divergences to a pass / function.
   bool Bisect = true;
+  /// Chaos fault injection; adds chaos JIT stages when enabled.
+  ChaosOptions Chaos;
+  /// Watchdog: every candidate execution runs under a step budget of
+  /// max(MinStepBudget, reference steps * StepBudgetFactor) plus the
+  /// wall-clock budget below, so a miscompiled infinite loop (or a deopt
+  /// loop) surfaces as a Timeout divergence instead of hanging the run.
+  uint64_t MinStepBudget = 1'000'000;
+  uint64_t StepBudgetFactor = 64;
+  /// Per-execution wall-clock budget in seconds; 0 disables it.
+  double StageWallClockSeconds = 20.0;
 };
 
 /// One named way of optimizing a module's functions, with per-pass

@@ -89,6 +89,7 @@ IncrementalCompiler::compile(const ir::Function &Source, const ir::Module &M,
   Stats.Rounds = Result.Rounds;
   Stats.ExploredNodes = Result.NodesExplored;
   Stats.OptsTriggered = Result.OptsTriggered;
+  Stats.GuardsEmitted = Result.GuardsEmitted;
 
   opt::PipelineStats Pipeline =
       opt::runOptimizationPipeline(*Result.Body, M, Session.pipelineOptions());

@@ -10,6 +10,7 @@
 #include "inliner/ExpansionPhase.h"
 #include "inliner/InliningPhase.h"
 #include "opt/Passes.h"
+#include "opt/SpeculativeDevirt.h"
 
 using namespace incline;
 using namespace incline::inliner;
@@ -40,6 +41,22 @@ InlinerResult IncrementalInliner::run(std::unique_ptr<ir::Function> RootBody,
     opt::runPass(Canon, F, M, Ctx);
     return Stats.total();
   };
+
+  // Speculation first, on the pristine clone: every virtual call still maps
+  // 1:1 onto its baseline counterpart (profile ids are clone-preserved), so
+  // the deopt frame states it plants resolve against the unmodified module
+  // function. The guarded direct calls become ordinary kind-C nodes when
+  // the call tree is built below.
+  if (Config.EnableSpeculativeDevirt) {
+    opt::SpeculativeDevirtOptions SpecOpts;
+    SpecOpts.MinProbability = Config.SpeculationMinProbability;
+    SpecOpts.MinSamples = Config.SpeculationMinSamples;
+    opt::SpeculativeDevirtStats SpecStats;
+    opt::SpeculativeDevirtPass Spec(SpecOpts, Ctx.Blacklist);
+    Spec.setStatsSink(&SpecStats);
+    opt::runPass(Spec, *RootBody, M, Ctx);
+    Result.GuardsEmitted += SpecStats.GuardsEmitted;
+  }
 
   // Parity with Graal: the graph is canonicalized before inlining starts,
   // so statically obvious devirtualizations precede exploration.

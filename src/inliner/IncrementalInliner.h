@@ -33,6 +33,7 @@ struct InlinerResult {
   size_t Rounds = 0;
   size_t CallsitesInlined = 0;
   size_t TypeSwitchesEmitted = 0;
+  size_t GuardsEmitted = 0; ///< Speculative-devirtualization guards planted.
   uint64_t NodesExplored = 0;
   uint64_t OptsTriggered = 0; ///< Canonicalizer rewrites in root + trials.
 };

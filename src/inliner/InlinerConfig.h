@@ -85,6 +85,17 @@ struct InlinerConfig {
   double MinReceiverProbability = 0.1;
 
   //===--------------------------------------------------------------------===//
+  // Speculative devirtualization (guard + deoptimization; see
+  // opt/SpeculativeDevirt.h). Runs on the pristine compilation clone before
+  // call-tree construction so guarded direct calls participate in inlining
+  // as ordinary kind-C nodes. Much stricter thresholds than the typeswitch
+  // above: a wrong guess costs a deopt plus a recompile, not a slow path.
+  //===--------------------------------------------------------------------===//
+  bool EnableSpeculativeDevirt = true;
+  double SpeculationMinProbability = 0.9;
+  uint64_t SpeculationMinSamples = 8;
+
+  //===--------------------------------------------------------------------===//
   // Round optimizations (§IV "Other optimizations").
   //===--------------------------------------------------------------------===//
   bool EnableRoundReadWriteElimination = true;

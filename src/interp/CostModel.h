@@ -87,6 +87,8 @@ struct CostModel {
       return 40;
     case ir::ValueKind::Branch:
       return 2;
+    case ir::ValueKind::Guard:
+      return 2; // A class-id load + compare, like a typeswitch test.
     case ir::ValueKind::Jump:
       return 1;
     case ir::ValueKind::Return:

@@ -11,6 +11,7 @@
 #include "support/ErrorHandling.h"
 #include "support/StringUtils.h"
 
+#include <chrono>
 #include <unordered_map>
 
 using namespace incline;
@@ -89,30 +90,44 @@ private:
       Result.InterpretedCycles += Cycles;
   }
 
-  RtValue execBody(const ResolvedBody &Body, const std::vector<RtValue> &Args,
+  RtValue execBody(ResolvedBody Body, const std::vector<RtValue> &Args,
                    size_t Depth) {
-    const Function &F = *Body.F;
-    assert(Args.size() == F.numParams() && "argument count mismatch");
+    const Function *F = Body.F;
+    assert(Args.size() == F->numParams() && "argument count mismatch");
     profile::ProfileTable *Profiles =
         Body.Compiled ? nullptr : Env.profiles();
 
     std::unordered_map<const Value *, RtValue> Frame;
     for (size_t I = 0; I < Args.size(); ++I)
-      Frame[F.arg(I)] = Args[I];
+      Frame[F->arg(I)] = Args[I];
 
-    const BasicBlock *BB = F.entry();
+    const BasicBlock *BB = F->entry();
     const BasicBlock *PrevBB = nullptr;
+    // Set by a deoptimization transfer: the next block iteration begins at
+    // this instruction index (the baseline resume point) instead of at the
+    // top, and phi evaluation is skipped (the materialized frame already
+    // holds every live value).
+    size_t ResumeIndex = 0;
     while (true) {
       if (trapped())
         return RtValue::nullVal();
       if (Result.Steps > Limits.MaxSteps) {
-        trap(TrapKind::StepLimitExceeded, F.name());
+        trap(TrapKind::StepLimitExceeded, F->name());
         return RtValue::nullVal();
+      }
+      if (Limits.MaxWallSeconds > 0 && Result.Steps >= NextWallCheckAt) {
+        NextWallCheckAt = Result.Steps + 8192;
+        std::chrono::duration<double> Wall =
+            std::chrono::steady_clock::now() - WallStart;
+        if (Wall.count() > Limits.MaxWallSeconds) {
+          trap(TrapKind::StepLimitExceeded, "wall clock, " + F->name());
+          return RtValue::nullVal();
+        }
       }
 
       // Phis evaluate in parallel against the edge taken.
       std::vector<PhiInst *> Phis = BB->phis();
-      if (!Phis.empty()) {
+      if (ResumeIndex == 0 && !Phis.empty()) {
         assert(PrevBB && "phi in entry block");
         std::vector<RtValue> NewVals;
         NewVals.reserve(Phis.size());
@@ -124,8 +139,10 @@ private:
         for (size_t I = 0; I < Phis.size(); ++I)
           Frame[Phis[I]] = NewVals[I];
       }
+      size_t Begin = ResumeIndex > Phis.size() ? ResumeIndex : Phis.size();
+      ResumeIndex = 0;
 
-      for (size_t Index = Phis.size(); Index < BB->size(); ++Index) {
+      for (size_t Index = Begin; Index < BB->size(); ++Index) {
         const Instruction *Inst = BB->instructions()[Index].get();
         ++Result.Steps;
         charge(Costs.opCost(*Inst), Body.Compiled);
@@ -161,9 +178,38 @@ private:
             return Ret->hasValue() ? eval(Ret->returnValue(), Frame)
                                    : RtValue::nullVal();
           }
-          case ValueKind::Deopt:
-            trap(TrapKind::Deoptimization, cast<DeoptInst>(Inst)->reason());
-            return RtValue::nullVal();
+          case ValueKind::Guard: {
+            const auto *G = cast<GuardInst>(Inst);
+            RtValue Recv = eval(G->receiver(), Frame);
+            // Null receivers fail the guard too: the baseline re-dispatch
+            // then reproduces the virtual call's null-pointer trap exactly.
+            bool Pass = Recv.isObject() &&
+                        TheHeap.object(Recv.Ref).ClassId ==
+                            G->expectedClassId();
+            if (Pass && Env.shouldForceGuardFailure(Body.ProfileName,
+                                                    G->profileId()))
+              Pass = false;
+            PrevBB = BB;
+            BB = Pass ? G->passSuccessor() : G->failSuccessor();
+            Env.onSafepoint();
+            break;
+          }
+          case ValueKind::Deopt: {
+            const auto *D = cast<DeoptInst>(Inst);
+            if (!D->hasFrameState()) {
+              // Legacy meaning: a point the compiled code believed
+              // unreachable. Nothing to recover to — fatal trap.
+              trap(TrapKind::Deoptimization, D->reason());
+              return RtValue::nullVal();
+            }
+            if (!transferToBaseline(D, Body, F, BB, Frame, ResumeIndex))
+              return RtValue::nullVal();
+            // The transfer swapped in the baseline body; re-enter the loop
+            // at the resume point with the materialized frame.
+            Profiles = Env.profiles();
+            PrevBB = nullptr;
+            break;
+          }
           default:
             incline_unreachable("unknown terminator");
           }
@@ -177,6 +223,89 @@ private:
           Frame[Inst] = V;
       }
     }
+  }
+
+  /// Deoptimization: materializes \p D's frame state into a fresh baseline
+  /// frame and redirects execution — \p Body, \p F, \p BB, \p Frame and
+  /// \p ResumeIndex are rewritten so the caller's loop continues in the
+  /// baseline at the resume virtual call. The captured operands are read
+  /// out of the compiled frame *before* anything is torn down. Returns
+  /// false (after trapping) when the frame state does not resolve — the
+  /// verifier rejects such code at install time, so this is defense in
+  /// depth, not a supported path.
+  bool transferToBaseline(const DeoptInst *D, ResolvedBody &Body,
+                          const Function *&F, const BasicBlock *&BB,
+                          std::unordered_map<const Value *, RtValue> &Frame,
+                          size_t &ResumeIndex) {
+    const FrameState &FS = D->frameState();
+    const Function *Baseline = M.function(FS.BaselineSymbol);
+    if (!Baseline) {
+      trap(TrapKind::Deoptimization, "no baseline " + FS.BaselineSymbol);
+      return false;
+    }
+    const BasicBlock *ResumeBB = nullptr;
+    for (const auto &Blk : Baseline->blocks())
+      if (Blk->id() == FS.BaselineBlockId) {
+        ResumeBB = Blk.get();
+        break;
+      }
+    const Instruction *Resume = nullptr;
+    size_t Index = 0;
+    if (ResumeBB)
+      for (; Index < ResumeBB->size(); ++Index)
+        if (ResumeBB->instructions()[Index]->profileId() == FS.ResumePoint) {
+          Resume = ResumeBB->instructions()[Index].get();
+          break;
+        }
+    if (!Resume) {
+      trap(TrapKind::Deoptimization,
+           "unresolved resume point in " + FS.BaselineSymbol);
+      return false;
+    }
+
+    // Baseline values are named by profileId (slots) — build the lookup
+    // once per deoptimization; deopts are rare by construction.
+    std::unordered_map<unsigned, const Value *> BaselineValues;
+    for (const auto &Blk : Baseline->blocks())
+      for (const auto &Inst : Blk->instructions())
+        if (!Inst->type().isVoid())
+          BaselineValues[Inst->profileId()] = Inst.get();
+
+    assert(FS.Slots.size() == D->numOperands() &&
+           "frame-state slots out of sync with captured operands");
+    std::unordered_map<const Value *, RtValue> NewFrame;
+    for (size_t I = 0; I < FS.Slots.size() && I < D->numOperands(); ++I) {
+      const FrameStateSlot &Slot = FS.Slots[I];
+      const Value *Dest = nullptr;
+      if (Slot.Kind == FrameStateSlot::Target::Argument) {
+        if (Slot.BaselineId < Baseline->numParams())
+          Dest = Baseline->arg(Slot.BaselineId);
+      } else {
+        auto It = BaselineValues.find(Slot.BaselineId);
+        if (It != BaselineValues.end())
+          Dest = It->second;
+      }
+      if (!Dest) {
+        trap(TrapKind::Deoptimization,
+             "unresolved frame-state slot in " + FS.BaselineSymbol);
+        return false;
+      }
+      NewFrame[Dest] = eval(D->operand(I), Frame);
+    }
+
+    // Report before transferring: the JIT runtime invalidates the compiled
+    // code here. The retired Function must stay alive (the runtime parks it
+    // in a graveyard) because this C++ frame still references it.
+    Env.onDeopt(Body.ProfileName, *D);
+
+    Body.F = Baseline;
+    Body.Compiled = false;
+    Body.ProfileName = FS.BaselineSymbol;
+    F = Baseline;
+    BB = ResumeBB;
+    Frame = std::move(NewFrame);
+    ResumeIndex = Index;
+    return true;
   }
 
   RtValue eval(const Value *V,
@@ -418,6 +547,12 @@ private:
   const ExecLimits &Limits;
   Heap &TheHeap;
   ExecResult &Result;
+  /// Wall-clock watchdog state (only consulted when Limits.MaxWallSeconds
+  /// is set): one clock read per run at construction, then one read every
+  /// few thousand steps.
+  std::chrono::steady_clock::time_point WallStart =
+      std::chrono::steady_clock::now();
+  uint64_t NextWallCheckAt = 0;
 };
 
 } // namespace

@@ -91,6 +91,29 @@ public:
   /// Where interpreted-tier execution records profiles; null disables
   /// profiling.
   virtual profile::ProfileTable *profiles() { return nullptr; }
+
+  /// Called when a frame-state deoptimization fires, after the baseline
+  /// frame has been materialized and immediately before execution transfers
+  /// into the baseline. \p Method is the profile name of the body that
+  /// deoptimized. The JIT runtime invalidates the installed code and
+  /// tracks the failed speculation here; the default env does nothing (the
+  /// transfer itself is handled by the interpreter).
+  virtual void onDeopt(std::string_view Method, const ir::DeoptInst &Deopt) {
+    (void)Method;
+    (void)Deopt;
+  }
+
+  /// Chaos hook: returning true forces the guard identified by
+  /// (\p Method, \p GuardProfileId) to take its fail edge even though the
+  /// class test passed. Because the fail edge deoptimizes into the baseline
+  /// and re-executes the original dispatch, a forced failure must never
+  /// change program output — exactly what chaos fuzzing asserts.
+  virtual bool shouldForceGuardFailure(std::string_view Method,
+                                       unsigned GuardProfileId) {
+    (void)Method;
+    (void)GuardProfileId;
+    return false;
+  }
 };
 
 /// Default env: runs every function from the module, interpreted, with
@@ -132,6 +155,12 @@ struct ExecResult {
 struct ExecLimits {
   uint64_t MaxSteps = 500'000'000;
   size_t MaxCallDepth = 2'000;
+  /// Wall-clock budget in seconds; 0 = unlimited. Checked coarsely (every
+  /// few thousand steps) so the dispatch loop stays cheap; exceeding it
+  /// traps with StepLimitExceeded like the step budget. The fuzzing
+  /// watchdog uses this so a miscompiled infinite loop surfaces as a
+  /// reported divergence instead of hanging the harness.
+  double MaxWallSeconds = 0;
 };
 
 /// The execution engine.

@@ -114,11 +114,21 @@ public:
   JumpInst *jump(BasicBlock *Target) {
     return append(std::make_unique<JumpInst>(Target));
   }
+  GuardInst *guard(Value *Receiver, int ExpectedClassId, BasicBlock *PassSucc,
+                   BasicBlock *FailSucc) {
+    return append(std::make_unique<GuardInst>(Receiver, ExpectedClassId,
+                                              PassSucc, FailSucc));
+  }
   ReturnInst *ret(Value *V = nullptr) {
     return append(std::make_unique<ReturnInst>(V));
   }
   DeoptInst *deopt(std::string Reason) {
     return append(std::make_unique<DeoptInst>(std::move(Reason)));
+  }
+  DeoptInst *deopt(std::string Reason, FrameState State,
+                   const std::vector<Value *> &Captured) {
+    return append(std::make_unique<DeoptInst>(std::move(Reason),
+                                              std::move(State), Captured));
   }
 
 private:

@@ -96,10 +96,19 @@ std::unique_ptr<Instruction> cloneInstructionShell(const Instruction *Inst,
     return std::make_unique<PrintInst>(Ops[0]);
   case ValueKind::Return:
     return std::make_unique<ReturnInst>(Ops.empty() ? nullptr : Ops[0]);
-  case ValueKind::Deopt:
-    return std::make_unique<DeoptInst>(cast<DeoptInst>(Inst)->reason());
+  case ValueKind::Deopt: {
+    // Frame-state metadata (baseline symbol, block, resume point, slot
+    // descriptors) is copied verbatim — it names the *baseline* function,
+    // which cloning never changes. The captured operands go through the
+    // ordinary placeholder-then-remap scheme like any other operand list.
+    const auto *D = cast<DeoptInst>(Inst);
+    if (D->hasFrameState())
+      return std::make_unique<DeoptInst>(D->reason(), D->frameState(), Ops);
+    return std::make_unique<DeoptInst>(D->reason());
+  }
   case ValueKind::Branch:
   case ValueKind::Jump:
+  case ValueKind::Guard:
   default:
     incline_unreachable("unhandled instruction kind in cloner");
   }
@@ -207,6 +216,10 @@ CloneBlocksResult cloneBlocks(const Function &Source, Function &Host,
           BlockMap.at(Br->falseSuccessor()));
     } else if (const auto *Jmp = dyn_cast<JumpInst>(PT.Old)) {
       NewTerm = std::make_unique<JumpInst>(BlockMap.at(Jmp->target()));
+    } else if (const auto *G = dyn_cast<GuardInst>(PT.Old)) {
+      NewTerm = std::make_unique<GuardInst>(
+          Remap(G->receiver()), G->expectedClassId(),
+          BlockMap.at(G->passSuccessor()), BlockMap.at(G->failSuccessor()));
     } else {
       incline_unreachable("unhandled terminator in cloner");
     }
@@ -335,6 +348,11 @@ ClonedRegion incline::ir::cloneRegion(
                                              MapBlock(Br->falseSuccessor()));
     } else if (const auto *Jmp = dyn_cast<JumpInst>(PT.Old)) {
       NewTerm = std::make_unique<JumpInst>(MapBlock(Jmp->target()));
+    } else if (const auto *G = dyn_cast<GuardInst>(PT.Old)) {
+      NewTerm = std::make_unique<GuardInst>(Remap(G->receiver()),
+                                            G->expectedClassId(),
+                                            MapBlock(G->passSuccessor()),
+                                            MapBlock(G->failSuccessor()));
     } else {
       incline_unreachable("unhandled terminator in region cloner");
     }

@@ -11,6 +11,7 @@
 #include "support/ErrorHandling.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <sstream>
 #include <unordered_map>
 
@@ -181,10 +182,45 @@ private:
     }
     case ValueKind::Jump:
       return "jump " + blockName(cast<JumpInst>(Inst)->target());
+    case ValueKind::Guard: {
+      const auto *G = cast<GuardInst>(Inst);
+      return formatString("guard %s is class#%d ? %s : %s",
+                          valueName(G->receiver()).c_str(),
+                          G->expectedClassId(),
+                          blockName(G->passSuccessor()).c_str(),
+                          blockName(G->failSuccessor()).c_str());
+    }
     case ValueKind::Return:
       return Inst->numOperands() ? "ret " + operandList(Inst) : "ret";
-    case ValueKind::Deopt:
-      return "deopt \"" + cast<DeoptInst>(Inst)->reason() + "\"";
+    case ValueKind::Deopt: {
+      const auto *D = cast<DeoptInst>(Inst);
+      std::string Body = "deopt \"" + D->reason() + "\"";
+      if (!D->hasFrameState()) {
+        assert(D->numOperands() == 0 && "frame-state-less deopt with operands");
+        return Body;
+      }
+      const FrameState &FS = D->frameState();
+      Body += formatString(" frame %s bb%u resume#%u [",
+                           FS.BaselineSymbol.c_str(), FS.BaselineBlockId,
+                           FS.ResumePoint);
+      // Tolerate slot/operand count mismatches: the verifier prints the IR
+      // of *invalid* functions when reporting exactly that problem.
+      size_t N = std::max(FS.Slots.size(), D->numOperands());
+      for (size_t I = 0; I < N; ++I) {
+        if (I)
+          Body += ", ";
+        Body += I < D->numOperands() ? valueName(D->operand(I)) : "?";
+        if (I < FS.Slots.size()) {
+          const FrameStateSlot &Slot = FS.Slots[I];
+          Body += Slot.Kind == FrameStateSlot::Target::Argument
+                      ? formatString(" -> arg%u", Slot.BaselineId)
+                      : formatString(" -> #%u", Slot.BaselineId);
+        } else {
+          Body += " -> ?";
+        }
+      }
+      return Body + "]";
+    }
     default:
       incline_unreachable("unhandled instruction kind in printer");
     }

@@ -31,6 +31,7 @@ public:
     checkUseDefSymmetry();
     checkPredecessorSymmetry();
     checkPhis();
+    checkGuardsAndFrameStates();
     checkDominance();
     return std::move(Problems);
   }
@@ -179,6 +180,48 @@ private:
     }
   }
 
+  void checkGuardsAndFrameStates() {
+    // Structural guard/deopt invariants. The captured frame-state values
+    // are ordinary operands, so the generic dominance check below already
+    // rejects guards/deopts whose mapped values do not dominate them; here
+    // we check what is specific to speculation: a guard tests an object
+    // receiver, its fail edge ends in a recovery point, and a frame state
+    // describes exactly the operands the deopt captured.
+    for (const auto &BB : F.blocks()) {
+      for (const auto &Inst : BB->instructions()) {
+        if (const auto *G = dyn_cast<GuardInst>(Inst.get())) {
+          types::Type RecvTy = G->receiver()->type();
+          if (!RecvTy.isObject() && !RecvTy.isNull())
+            problem("guard in " + BB->name() +
+                    " tests a non-object receiver");
+          const Instruction *FailTerm = G->failSuccessor()->terminator();
+          if (!FailTerm || (!isa<DeoptInst>(FailTerm) &&
+                            !isa<JumpInst>(FailTerm)))
+            problem("guard in " + BB->name() +
+                    " has a fail successor that neither deopts nor jumps "
+                    "toward a deopt");
+        }
+        if (const auto *D = dyn_cast<DeoptInst>(Inst.get())) {
+          if (!D->hasFrameState()) {
+            if (D->numOperands() != 0)
+              problem("deopt without frame state captures operands in " +
+                      BB->name());
+            continue;
+          }
+          const FrameState &FS = D->frameState();
+          if (FS.BaselineSymbol.empty())
+            problem("deopt frame state without a baseline symbol in " +
+                    BB->name());
+          if (FS.Slots.size() != D->numOperands())
+            problem(formatString(
+                "deopt frame state in %s has %zu slots for %zu captured "
+                "operands",
+                BB->name().c_str(), FS.Slots.size(), D->numOperands()));
+        }
+      }
+    }
+  }
+
   void checkDominance() {
     if (F.blocks().empty() || !Problems.empty())
       return; // Skip when structure is already broken.
@@ -222,10 +265,77 @@ std::vector<std::string> incline::ir::verifyFunction(const Function &F) {
   return Verifier(F).run();
 }
 
+std::vector<std::string>
+incline::ir::verifyFrameStates(const Function &F, const Module &M) {
+  std::vector<std::string> Problems;
+  auto Problem = [&](std::string Msg) {
+    Problems.push_back("[" + F.name() + "] " + std::move(Msg));
+  };
+  for (const auto &BB : F.blocks()) {
+    for (const auto &Inst : BB->instructions()) {
+      const auto *D = dyn_cast<DeoptInst>(Inst.get());
+      if (!D || !D->hasFrameState())
+        continue;
+      const FrameState &FS = D->frameState();
+      const Function *Baseline = M.function(FS.BaselineSymbol);
+      if (!Baseline) {
+        Problem("deopt frame state names unknown baseline function " +
+                FS.BaselineSymbol);
+        continue;
+      }
+      // Locate the baseline block and the resume virtual call inside it.
+      const BasicBlock *ResumeBB = nullptr;
+      for (const auto &BBB : Baseline->blocks())
+        if (BBB->id() == FS.BaselineBlockId)
+          ResumeBB = BBB.get();
+      if (!ResumeBB) {
+        Problem(formatString("deopt frame state names missing block %u of %s",
+                             FS.BaselineBlockId, FS.BaselineSymbol.c_str()));
+        continue;
+      }
+      const VirtualCallInst *Resume = nullptr;
+      for (const auto &BInst : ResumeBB->instructions())
+        if (BInst->profileId() == FS.ResumePoint)
+          Resume = dyn_cast<VirtualCallInst>(BInst.get());
+      if (!Resume) {
+        Problem(formatString(
+            "deopt frame state resume point #%u is not a virtual call in "
+            "block %u of %s",
+            FS.ResumePoint, FS.BaselineBlockId, FS.BaselineSymbol.c_str()));
+        continue;
+      }
+      // Every slot must land on a baseline value.
+      std::unordered_set<unsigned> BaselineIds;
+      for (const auto &BBB : Baseline->blocks())
+        for (const auto &BInst : BBB->instructions())
+          if (!BInst->type().isVoid())
+            BaselineIds.insert(BInst->profileId());
+      for (const FrameStateSlot &Slot : FS.Slots) {
+        if (Slot.Kind == FrameStateSlot::Target::Argument) {
+          if (Slot.BaselineId >= Baseline->numParams())
+            Problem(formatString(
+                "deopt frame state maps to argument %u of %s (which has "
+                "%zu parameters)",
+                Slot.BaselineId, FS.BaselineSymbol.c_str(),
+                Baseline->numParams()));
+        } else if (!BaselineIds.count(Slot.BaselineId)) {
+          Problem(formatString(
+              "deopt frame state maps to missing baseline instruction #%u "
+              "of %s",
+              Slot.BaselineId, FS.BaselineSymbol.c_str()));
+        }
+      }
+    }
+  }
+  return Problems;
+}
+
 std::vector<std::string> incline::ir::verifyModule(const Module &M) {
   std::vector<std::string> Problems;
   for (const auto &[Name, F] : M.functions()) {
     std::vector<std::string> Local = verifyFunction(*F);
+    Problems.insert(Problems.end(), Local.begin(), Local.end());
+    Local = verifyFrameStates(*F, M);
     Problems.insert(Problems.end(), Local.begin(), Local.end());
     // Cross-function checks: every direct call target must exist and the
     // argument count must match its signature.

@@ -26,8 +26,17 @@ class Module;
 std::vector<std::string> verifyFunction(const Function &F);
 
 /// Verifies every function in \p M plus cross-function invariants (call
-/// targets resolve, argument counts match signatures).
+/// targets resolve, argument counts match signatures, deopt frame states
+/// resolve against their baseline functions).
 std::vector<std::string> verifyModule(const Module &M);
+
+/// Checks \p F's deopt frame states against the module they resume into:
+/// the baseline symbol exists, the baseline block exists and contains the
+/// resume virtual call, and every slot resolves to a baseline argument or
+/// instruction. Run by verifyModule for module functions and by the JIT
+/// runtime on compiled code before installation (compiled functions are
+/// not module members, so verifyModule never sees them).
+std::vector<std::string> verifyFrameStates(const Function &F, const Module &M);
 
 /// Convenience: asserts (fatally) that \p F verifies; returns true so it
 /// can be used in boolean contexts.

@@ -65,6 +65,7 @@ bool Instruction::hasSideEffects() const {
   case ValueKind::NullCheck: // May trap.
   case ValueKind::Branch:
   case ValueKind::Jump:
+  case ValueKind::Guard:
   case ValueKind::Return:
   case ValueKind::Deopt:
     return true;
@@ -177,6 +178,8 @@ std::vector<BasicBlock *> incline::ir::successorsOf(const Instruction *Term) {
     return {Br->trueSuccessor(), Br->falseSuccessor()};
   if (const auto *Jmp = dyn_cast<JumpInst>(Term))
     return {Jmp->target()};
+  if (const auto *G = dyn_cast<GuardInst>(Term))
+    return {G->passSuccessor(), G->failSuccessor()};
   return {}; // Return, Deopt.
 }
 
@@ -202,6 +205,19 @@ void incline::ir::replaceSuccessor(Instruction *Term, BasicBlock *Old,
   } else if (auto *Jmp = dyn_cast<JumpInst>(Term)) {
     if (Jmp->target() == Old) {
       Jmp->setTarget(New);
+      Replaced = true;
+      Old->removePredecessor(Source);
+      New->addPredecessor(Source);
+    }
+  } else if (auto *G = dyn_cast<GuardInst>(Term)) {
+    if (G->passSuccessor() == Old) {
+      G->setPassSuccessor(New);
+      Replaced = true;
+      Old->removePredecessor(Source);
+      New->addPredecessor(Source);
+    }
+    if (G->failSuccessor() == Old) {
+      G->setFailSuccessor(New);
       Replaced = true;
       Old->removePredecessor(Source);
       New->addPredecessor(Source);

@@ -524,6 +524,72 @@ private:
   BasicBlock *Target;
 };
 
+/// Describes where one captured SSA value lands in the baseline frame a
+/// deoptimization materializes: either a formal argument (by index) or an
+/// instruction result (by baseline profileId — stable across cloning, see
+/// Instruction's class comment).
+struct FrameStateSlot {
+  enum class Target : uint8_t { Argument, Instruction };
+  Target Kind = Target::Argument;
+  unsigned BaselineId = 0; ///< Argument index or baseline profileId.
+};
+
+/// The resume recipe a `DeoptInst` carries: which baseline function to
+/// transfer into, which block, which instruction to re-execute, and how the
+/// deopt's captured operands map onto the baseline's live values there.
+///
+/// Invariants (checked by the verifier):
+///  * `Slots.size()` equals the deopt's operand count (slot i describes
+///    operand i);
+///  * every captured operand dominates the deopt (the generic SSA dominance
+///    rule — capturing only values that dominate the guarded point is what
+///    makes the transfer sound);
+///  * under `verifyModule`, `BaselineSymbol` names a module function whose
+///    block `BaselineBlockId` contains a virtual call with profileId
+///    `ResumePoint`, and every slot resolves to an argument/instruction of
+///    that function.
+struct FrameState {
+  std::string BaselineSymbol; ///< The unoptimized function to resume in.
+  unsigned BaselineBlockId = 0;
+  /// ProfileId of the baseline VirtualCallInst to re-execute on resume.
+  /// Re-executing the dispatch (instead of resuming after it) is what makes
+  /// guard failure output-neutral: the baseline simply performs the virtual
+  /// call the speculation tried to avoid.
+  unsigned ResumePoint = 0;
+  std::vector<FrameStateSlot> Slots; ///< Parallel to the deopt's operands.
+};
+
+/// Speculation guard: tests whether the receiver operand's dynamic class id
+/// equals `expectedClassId()`. Falls through to the pass successor when it
+/// does (the speculated direct call), to the fail successor (which must
+/// reach a frame-state-carrying DeoptInst) when it does not — including
+/// when the receiver is null, so the baseline re-dispatch reproduces the
+/// virtual call's null-pointer trap exactly.
+class GuardInst : public Instruction {
+public:
+  GuardInst(Value *Receiver, int ExpectedClassId, BasicBlock *PassSucc,
+            BasicBlock *FailSucc)
+      : Instruction(ValueKind::Guard, types::Type::voidTy()),
+        ExpectedClassId(ExpectedClassId), PassSucc(PassSucc),
+        FailSucc(FailSucc) {
+    addOperand(Receiver);
+  }
+
+  Value *receiver() const { return operand(0); }
+  int expectedClassId() const { return ExpectedClassId; }
+  BasicBlock *passSuccessor() const { return PassSucc; }
+  BasicBlock *failSuccessor() const { return FailSucc; }
+  void setPassSuccessor(BasicBlock *BB) { PassSucc = BB; }
+  void setFailSuccessor(BasicBlock *BB) { FailSucc = BB; }
+
+  static bool classof(const Value *V) { return V->kind() == ValueKind::Guard; }
+
+private:
+  int ExpectedClassId;
+  BasicBlock *PassSucc;
+  BasicBlock *FailSucc;
+};
+
 /// Function return, with an optional value.
 class ReturnInst : public Instruction {
 public:
@@ -541,20 +607,42 @@ public:
   }
 };
 
-/// A point the compiled code believes unreachable; executing it is a
-/// simulated deoptimization (the interpreter reports it as a trap).
+/// A deoptimization point. Without a frame state it marks a point the
+/// compiled code believes unreachable, and executing it is a fatal trap
+/// (the legacy meaning). With a frame state it is a recovery mechanism:
+/// the interpreter materializes the captured operands into the baseline
+/// function's frame per `frameState()` and continues there, so a failed
+/// speculation degrades to interpretation instead of killing the program.
 class DeoptInst : public Instruction {
 public:
   explicit DeoptInst(std::string Reason)
       : Instruction(ValueKind::Deopt, types::Type::voidTy()),
         Reason(std::move(Reason)) {}
 
+  /// Frame-state form: \p Captured are the compiled-frame SSA values to
+  /// transfer (they become the operands), described slot-by-slot by
+  /// \p State.
+  DeoptInst(std::string Reason, FrameState State,
+            const std::vector<Value *> &Captured)
+      : Instruction(ValueKind::Deopt, types::Type::voidTy()),
+        Reason(std::move(Reason)), State(std::move(State)), HasState(true) {
+    for (Value *V : Captured)
+      addOperand(V);
+  }
+
   const std::string &reason() const { return Reason; }
+  bool hasFrameState() const { return HasState; }
+  const FrameState &frameState() const {
+    assert(HasState && "deopt has no frame state");
+    return State;
+  }
 
   static bool classof(const Value *V) { return V->kind() == ValueKind::Deopt; }
 
 private:
   std::string Reason;
+  FrameState State;
+  bool HasState = false;
 };
 
 /// Successor blocks of a terminator instruction, in a fixed order.

@@ -59,6 +59,7 @@ enum class ValueKind : uint8_t {
   // Terminators (must stay contiguous and last).
   Branch,
   Jump,
+  Guard,
   Return,
   Deopt,
 };

@@ -31,6 +31,7 @@
 #ifndef INCLINE_JIT_COMPILEQUEUE_H
 #define INCLINE_JIT_COMPILEQUEUE_H
 
+#include "opt/SpeculativeDevirt.h"
 #include "profile/ProfileData.h"
 
 #include <condition_variable>
@@ -53,6 +54,11 @@ struct CompileTask {
   uint64_t SequenceNo = 0;
   /// Profile state at enqueue time; the worker compiles against this.
   profile::ProfileTable ProfilesSnapshot;
+  /// Speculation blacklist at enqueue time, same rationale: a worker never
+  /// reads the runtime's live blacklist (the mutator mutates it on deopt),
+  /// and a deterministic-mode compile sees exactly what a synchronous
+  /// compile at the enqueue safepoint would have seen.
+  opt::SpeculationBlacklist BlacklistSnapshot;
 };
 
 /// Thread-safe bounded compile-task queue with deduplication.

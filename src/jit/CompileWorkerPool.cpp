@@ -69,6 +69,7 @@ void CompileWorkerPool::workerLoop() {
     opt::PassContext WorkerCtx = TheCompiler.passContext();
     opt::AnalysisManager TaskAM(&Outcome.Task.ProfilesSnapshot);
     WorkerCtx.AM = &TaskAM;
+    WorkerCtx.Blacklist = &Outcome.Task.BlacklistSnapshot;
 
     try {
       Outcome.Code =

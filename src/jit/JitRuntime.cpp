@@ -81,14 +81,15 @@ incline::jit::streamFingerprint(const std::vector<CompilationRecord> &Stream) {
   for (const CompilationRecord &R : Stream)
     Out += formatString(
         "#%llu %s attempt=%u size=%llu inlined=%llu rounds=%llu "
-        "explored=%llu opts=%llu passes=%llu hits=%llu misses=%llu "
-        "ir=%016llx\n",
+        "explored=%llu opts=%llu guards=%llu passes=%llu hits=%llu "
+        "misses=%llu ir=%016llx\n",
         static_cast<unsigned long long>(R.CompileIndex), R.Symbol.c_str(),
         R.Attempt, static_cast<unsigned long long>(R.Stats.CodeSize),
         static_cast<unsigned long long>(R.Stats.InlinedCallsites),
         static_cast<unsigned long long>(R.Stats.Rounds),
         static_cast<unsigned long long>(R.Stats.ExploredNodes),
         static_cast<unsigned long long>(R.Stats.OptsTriggered),
+        static_cast<unsigned long long>(R.Stats.GuardsEmitted),
         static_cast<unsigned long long>(R.Stats.PassRuns),
         static_cast<unsigned long long>(R.Stats.AnalysisCacheHits),
         static_cast<unsigned long long>(R.Stats.AnalysisCacheMisses),
@@ -175,9 +176,12 @@ void JitRuntime::requestCompile(std::string_view Symbol, MethodState &State) {
   CompileTask Task;
   Task.Symbol = std::string(Symbol);
   Task.Hotness = State.Hotness;
-  // Snapshot the live profiles: the worker sees exactly the state a
-  // synchronous compile at this threshold crossing would have seen.
+  // Snapshot the live profiles (and the speculation blacklist): the worker
+  // sees exactly the state a synchronous compile at this threshold
+  // crossing would have seen — the deterministic-mode bit-identity
+  // guarantee extends to speculation decisions.
   Task.ProfilesSnapshot = Profiles;
+  Task.BlacklistSnapshot = Blacklist;
 
   CompileQueue::Outcome Enq = Queue->tryEnqueue(std::move(Task));
   if (Enq != CompileQueue::Outcome::Enqueued) {
@@ -209,9 +213,13 @@ void JitRuntime::compileOnMutator(std::string_view Symbol) {
 
   CompileOutcome Outcome;
   Outcome.Task.Symbol = std::string(Symbol);
+  // Mutator compiles read the live blacklist — at this point it equals any
+  // snapshot a deterministic-mode enqueue would have taken here.
+  opt::PassContext Ctx = TheCompiler.passContext();
+  Ctx.Blacklist = &Blacklist;
   try {
     Outcome.Code =
-        TheCompiler.compile(*Source, M, Profiles, Outcome.Stats);
+        TheCompiler.compile(*Source, M, Profiles, Outcome.Stats, Ctx);
   } catch (const std::exception &E) {
     Outcome.Code = nullptr;
     Outcome.Error = E.what();
@@ -248,8 +256,12 @@ void JitRuntime::publishOutcome(CompileOutcome &&Outcome) {
   }
   // Verify unconditionally — never behind assert/NDEBUG: installing
   // unverified code in a Release build is how miscompiles escape. Invalid
-  // code is a (permanent) bailout; the method stays interpreted.
-  if (!ir::verifyFunction(*Outcome.Code).empty()) {
+  // code is a (permanent) bailout; the method stays interpreted. Frame
+  // states get the same treatment: compiled functions are not module
+  // members, so verifyModule never sees them — this is the only gate
+  // between a dangling deopt recipe and the interpreter.
+  if (!ir::verifyFunction(*Outcome.Code).empty() ||
+      !ir::verifyFrameStates(*Outcome.Code, M).empty()) {
     ++Stats.VerifyFailures;
     recordBailout(State, /*WasException=*/false, /*Permanent=*/true);
     return;
@@ -262,9 +274,14 @@ void JitRuntime::publishOutcome(CompileOutcome &&Outcome) {
   Record.CompileIndex = Compilations.size();
   Record.Attempt = State.FailedAttempts + 1;
   Record.IRFingerprint = fnv1a(ir::printFunction(*Outcome.Code));
+  Stats.GuardsEmitted += Record.Stats.GuardsEmitted;
   Compilations.push_back(std::move(Record));
   CodeCache[Outcome.Task.Symbol] = std::move(Outcome.Code);
   State.Compiled = true;
+  if (State.DeoptPending) {
+    State.DeoptPending = false;
+    ++Stats.RecompilesAfterDeopt;
+  }
 }
 
 void JitRuntime::recordBailout(MethodState &State, bool WasException,
@@ -290,6 +307,50 @@ void JitRuntime::recordBailout(MethodState &State, bool WasException,
   State.NextAttemptAt = Base * Factor;
 }
 
+void JitRuntime::onDeopt(std::string_view Method,
+                         const ir::DeoptInst &Deopt) {
+  ++Stats.GuardFailures;
+  const ir::FrameState &FS = Deopt.frameState();
+  // Track the failed speculation per (method, baseline callsite). At the
+  // cap, blacklist it: the recompile below (and every later one) leaves
+  // the site as a plain virtual call, so the method converges to a
+  // guard-free body instead of deopt-looping on a lying profile.
+  unsigned &Failures =
+      SpeculationFailures[{std::string(Method), FS.ResumePoint}];
+  ++Failures;
+  if (Failures >= Config.MaxSpeculationFailures &&
+      !Blacklist.contains(Method, FS.ResumePoint)) {
+    Blacklist.add(Method, FS.ResumePoint);
+    ++Stats.SpeculationsBlacklisted;
+  }
+  invalidate(Method);
+}
+
+void JitRuntime::invalidate(std::string_view Symbol) {
+  auto It = CodeCache.find(Symbol);
+  if (It == CodeCache.end())
+    return; // Already invalidated (e.g. repeated deopts of retired code).
+  // Retire, never destroy: the deoptimizing interpreter frames up the C++
+  // stack are still executing this Function. Publication stays write-once
+  // (PR 3's idempotence rules): the cache entry is removed and the epoch
+  // bumped; nothing ever mutates an installed body in place.
+  RetiredCode.push_back(std::move(It->second));
+  CodeCache.erase(It);
+  ++CodeEpoch;
+  ++Stats.Invalidations;
+
+  MethodState &State = stateOf(Symbol);
+  State.Compiled = false;
+  State.DeoptPending = true;
+  // The method is still hot — request the recompile immediately rather
+  // than re-warming from zero. If an async task is already in flight its
+  // outcome will install normally (State.Compiled is false again); a
+  // pre-invalidation snapshot may re-speculate once, after which the
+  // failure counter above retires the speculation for good.
+  if (!State.InFlight && !State.DoNotCompile && !CompilationInProgress)
+    requestCompile(Symbol, State);
+}
+
 void JitRuntime::drainCompilations() {
   if (!Pool)
     return;
@@ -310,7 +371,11 @@ void JitRuntime::compileNow(std::string_view Symbol) {
 }
 
 interp::ExecResult JitRuntime::runMain() {
-  interp::Interpreter Interp(M, *this);
+  return runMain(interp::ExecLimits());
+}
+
+interp::ExecResult JitRuntime::runMain(const interp::ExecLimits &Limits) {
+  interp::Interpreter Interp(M, *this, interp::CostModel(), Limits);
   return Interp.run("main");
 }
 

@@ -41,12 +41,15 @@
 
 #include "interp/Interpreter.h"
 #include "jit/Compiler.h"
+#include "opt/SpeculativeDevirt.h"
 #include "profile/ProfileData.h"
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace incline::jit {
@@ -78,6 +81,15 @@ struct JitConfig {
   uint64_t BailoutBackoffFactor = 8;
   /// Failed attempts before a method is blacklisted (do-not-compile).
   unsigned MaxCompileAttempts = 3;
+  /// Guard failures of one speculation (method + callsite) before it is
+  /// blacklisted and the recompile leaves the site as a virtual call, so a
+  /// lying profile converges to a guard-free body instead of deopt-looping.
+  unsigned MaxSpeculationFailures = 2;
+  /// Chaos hook: when set, a guard whose class test passed still takes its
+  /// fail edge if this returns true for (method, guard profileId). Failure
+  /// is output-neutral by construction (the baseline re-executes the
+  /// dispatch), which is exactly what chaos fuzzing asserts.
+  std::function<bool(std::string_view, unsigned)> ForceGuardFailure;
 };
 
 /// One installed compilation.
@@ -114,6 +126,14 @@ struct JitRuntimeStats {
   /// verify+publish in Async mode. The quantity bench/compiletime_async
   /// compares across modes.
   uint64_t MutatorStallNanos = 0;
+
+  // Speculative devirtualization / deoptimization (see opt/SpeculativeDevirt
+  // and DESIGN.md §9).
+  uint64_t GuardsEmitted = 0;   ///< Guards in all installed compilations.
+  uint64_t GuardFailures = 0;   ///< Deoptimizations taken (guard fail edges).
+  uint64_t Invalidations = 0;   ///< Installed bodies retired after a deopt.
+  uint64_t RecompilesAfterDeopt = 0; ///< Successful re-installs post-deopt.
+  uint64_t SpeculationsBlacklisted = 0; ///< Sites that hit the failure cap.
 };
 
 /// The tiered runtime. Implements the interpreter's ExecutionEnv: hotness
@@ -131,10 +151,19 @@ public:
   void onInvoke(std::string_view Symbol) override;
   void onSafepoint() override;
   profile::ProfileTable *profiles() override { return &Profiles; }
+  void onDeopt(std::string_view Method, const ir::DeoptInst &Deopt) override;
+  bool shouldForceGuardFailure(std::string_view Method,
+                               unsigned GuardProfileId) override {
+    return Config.ForceGuardFailure &&
+           Config.ForceGuardFailure(Method, GuardProfileId);
+  }
 
   /// Runs `main` once under tiered execution. Call repeatedly to simulate
   /// benchmark iterations: hotness and compiled code persist across runs.
   interp::ExecResult runMain();
+  /// Same, under explicit execution limits (the fuzzing watchdog budgets
+  /// candidate runs against the reference run's step count).
+  interp::ExecResult runMain(const interp::ExecLimits &Limits);
 
   /// Total |ir| of all installed compiled code.
   uint64_t installedCodeSize() const;
@@ -148,6 +177,19 @@ public:
   }
   const profile::ProfileTable &profileTable() const { return Profiles; }
   const JitRuntimeStats &stats() const { return Stats; }
+
+  /// Speculations the runtime gave up on (failed >= MaxSpeculationFailures
+  /// times); recompiles leave these callsites as virtual calls.
+  const opt::SpeculationBlacklist &speculationBlacklist() const {
+    return Blacklist;
+  }
+
+  /// Monotone counter bumped by every invalidation. Installed code is never
+  /// mutated or destroyed in place — retiring an entry moves it to a
+  /// graveyard and bumps this epoch, so readers (including the C++ frames
+  /// of the deoptimizing interpreter itself) keep a stable view while new
+  /// resolves see the interpreted tier again.
+  uint64_t codeEpoch() const { return CodeEpoch; }
 
   /// Blocks until every queued or in-flight background compilation has
   /// been published (or recorded as a bailout). No-op in Sync mode. Useful
@@ -172,6 +214,9 @@ private:
     bool InFlight = false;     ///< Queued or compiling on a worker.
     bool Compiled = false;     ///< Installed in the code cache.
     bool DoNotCompile = false; ///< Blacklisted after repeated failure.
+    /// The method deoptimized and its code was invalidated; the next
+    /// successful install counts as a recompile-after-deopt.
+    bool DeoptPending = false;
   };
 
   MethodState &stateOf(std::string_view Symbol);
@@ -183,6 +228,11 @@ private:
   void publishOutcome(CompileOutcome &&Outcome);
   void publishBatch(std::vector<CompileOutcome> Batch);
   void recordBailout(MethodState &State, bool WasException, bool Permanent);
+  /// Retires \p Symbol's installed code (graveyard, epoch bump) and
+  /// requests a recompile. Mutator-only; called from onDeopt, which runs at
+  /// the deoptimization point — a safepoint by definition (the interpreter
+  /// is between instructions, no publication is concurrent).
+  void invalidate(std::string_view Symbol);
 
   ir::Module &M;
   Compiler &TheCompiler;
@@ -194,6 +244,18 @@ private:
   std::vector<CompilationRecord> Compilations;
   JitRuntimeStats Stats;
   bool CompilationInProgress = false;
+
+  /// Invalidated code parked until runtime destruction: the deoptimizing
+  /// interpreter's C++ stack still references the retired Function (it is
+  /// mid-way through executing it), so entries are moved here instead of
+  /// being destroyed — the write-once publish semantics readers rely on.
+  std::vector<std::unique_ptr<ir::Function>> RetiredCode;
+  uint64_t CodeEpoch = 0;
+
+  /// Live speculation-failure bookkeeping, keyed by (method, baseline
+  /// callsite profileId — the frame state's resume point).
+  std::map<std::pair<std::string, unsigned>, unsigned> SpeculationFailures;
+  opt::SpeculationBlacklist Blacklist;
 
   /// Background machinery (Async/Deterministic only). Queue is declared
   /// before Pool so the pool (which references the queue from its worker

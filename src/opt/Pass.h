@@ -46,6 +46,8 @@ class Module;
 
 namespace incline::opt {
 
+class SpeculationBlacklist;
+
 /// Called after each individual pass with the pass's name and the function
 /// it just transformed (the fuzzing oracle verifies the IR here).
 using PassObserver =
@@ -118,6 +120,10 @@ struct PassContext {
   AnalysisManager *AM = nullptr;       ///< Shared analysis cache.
   PassObserver Observer;               ///< After-each-pass hook.
   PassInstrumentation *Instr = nullptr; ///< Extra metrics sink.
+  /// Callsites speculative devirtualization must leave alone (failed too
+  /// often at run time). Owned by the JIT runtime; background compilations
+  /// point this at the snapshot carried in their CompileTask.
+  const SpeculationBlacklist *Blacklist = nullptr;
 };
 
 /// Runs an ordered list of function passes with caching, invalidation,

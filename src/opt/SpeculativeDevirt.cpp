@@ -1,0 +1,321 @@
+//===- opt/SpeculativeDevirt.cpp -------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/SpeculativeDevirt.h"
+
+#include "ir/Dominators.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "opt/InlineIR.h"
+#include "profile/ProfileData.h"
+#include "support/Casting.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace incline;
+using namespace incline::ir;
+using namespace incline::opt;
+
+namespace {
+
+/// The baseline instructions executed at-or-after the resume point: the
+/// resume virtual call and everything following it in its block, plus every
+/// block reachable from the resume block's successors (the resume block
+/// itself re-enters the set through loop back edges). A captured value must
+/// have a user here — otherwise nothing the baseline executes after the
+/// transfer can read it, and it need not be materialized.
+struct AfterSet {
+  const BasicBlock *SiteBB = nullptr;
+  size_t SiteIndex = 0;
+  std::unordered_set<const BasicBlock *> FullBlocks;
+
+  explicit AfterSet(const Instruction *Resume) {
+    SiteBB = Resume->parent();
+    SiteIndex = SiteBB->indexOf(Resume);
+    std::vector<const BasicBlock *> Worklist;
+    for (const BasicBlock *Succ : SiteBB->successors())
+      Worklist.push_back(Succ);
+    while (!Worklist.empty()) {
+      const BasicBlock *BB = Worklist.back();
+      Worklist.pop_back();
+      if (!FullBlocks.insert(BB).second)
+        continue;
+      for (const BasicBlock *Succ : BB->successors())
+        Worklist.push_back(Succ);
+    }
+  }
+
+  bool contains(const Instruction *I) const {
+    const BasicBlock *BB = I->parent();
+    if (FullBlocks.count(BB))
+      return true;
+    return BB == SiteBB && BB->indexOf(I) >= SiteIndex;
+  }
+};
+
+/// True if some baseline user of \p V executes at-or-after the resume point.
+bool liveAcrossResume(const Value *V, const AfterSet &After) {
+  for (const Instruction *User : V->users())
+    if (After.contains(User))
+      return true;
+  return false;
+}
+
+/// One callsite the collection phase approved for speculation.
+struct SpeculationSite {
+  VirtualCallInst *VCall = nullptr; ///< The clone-side virtual call.
+  int SpeculatedClass = 0;          ///< Dominant receiver class K.
+  const types::MethodInfo *Target = nullptr;
+  FrameState State;                 ///< Fully resolved against the baseline.
+};
+
+class SpeculativeDevirtImpl {
+public:
+  SpeculativeDevirtImpl(Function &F, const Module &M,
+                        const profile::ProfileTable &Profiles,
+                        const SpeculativeDevirtOptions &Opts,
+                        const SpeculationBlacklist *Blacklist)
+      : F(F), M(M), Profiles(Profiles), Opts(Opts), Blacklist(Blacklist) {}
+
+  SpeculativeDevirtStats run() {
+    // Only ever rewrite a compilation clone whose baseline still exists
+    // unmodified in the module — the frame states point back into it.
+    Baseline = M.function(F.name());
+    if (!Baseline || Baseline == &F)
+      return Stats;
+
+    std::vector<SpeculationSite> Sites = collectSites();
+    if (Sites.empty())
+      return Stats;
+
+    // Clone-side value lookup for frame-state capture: profileId -> value.
+    // Updated as sites are rewritten (a captured earlier virtual call is
+    // replaced by its guarded direct call, which dominates everything the
+    // original dominated).
+    for (const auto &BB : F.blocks())
+      for (const auto &Inst : BB->instructions())
+        if (!Inst->type().isVoid())
+          CloneValues[Inst->profileId()] = Inst.get();
+
+    for (SpeculationSite &Site : Sites)
+      transform(Site);
+    return Stats;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Collection
+  //===--------------------------------------------------------------------===//
+
+  std::vector<SpeculationSite> collectSites() {
+    // Baseline lookup: profileId -> instruction (ids are clone-preserved,
+    // so the clone's virtual calls name their baseline counterparts).
+    std::unordered_map<unsigned, const Instruction *> BaselineInsts;
+    for (const auto &BB : Baseline->blocks())
+      for (const auto &Inst : BB->instructions())
+        BaselineInsts[Inst->profileId()] = Inst.get();
+
+    const DominatorTree BDT(*Baseline);
+
+    std::vector<SpeculationSite> Sites;
+    for (const auto &BB : F.blocks()) {
+      for (const auto &Inst : BB->instructions()) {
+        auto *VCall = dyn_cast<VirtualCallInst>(Inst.get());
+        if (!VCall)
+          continue;
+        SpeculationSite Site;
+        if (considerSite(VCall, BaselineInsts, BDT, Site))
+          Sites.push_back(std::move(Site));
+      }
+    }
+    return Sites;
+  }
+
+  bool considerSite(
+      VirtualCallInst *VCall,
+      const std::unordered_map<unsigned, const Instruction *> &BaselineInsts,
+      const DominatorTree &BDT, SpeculationSite &Site) {
+    Value *Recv = VCall->receiver();
+    if (!Recv->type().isObject() || Recv->type().isNull())
+      return false;
+    int StaticClass = Recv->type().classId();
+
+    // Leave every site the canonicalizer devirtualizes deterministically
+    // alone: exact receiver types and CHA-unique dispatch need no guard.
+    if (Recv->hasExactType())
+      return false;
+    if (M.classes().uniqueDispatchTarget(StaticClass, VCall->methodName()))
+      return false;
+
+    if (Blacklist && Blacklist->contains(F.name(), VCall->profileId())) {
+      ++Stats.BlacklistSkipped;
+      return false;
+    }
+
+    // A clearly dominant receiver class in the histogram.
+    const profile::ReceiverProfile *RP =
+        Profiles.receiverProfile(F.name(), VCall->profileId());
+    if (!RP || RP->total() < Opts.MinSamples)
+      return false;
+    auto Top = RP->topReceivers(1, Opts.MinProbability);
+    if (Top.empty())
+      return false;
+    int K = Top.front().first;
+
+    // The profile may lie (trained on a different program): the speculated
+    // class must exist, fit the static type, and resolve to a function the
+    // module actually contains.
+    if (!M.classes().isSubclassOf(K, StaticClass))
+      return false;
+    const types::MethodInfo *Target =
+        M.classes().resolveMethod(K, VCall->methodName());
+    if (!Target || !M.function(Target->QualifiedName))
+      return false;
+
+    // The baseline counterpart we deoptimize back to. Virtual calls the
+    // clone acquired with fresh ids (none today — the pass runs before
+    // inlining — but cheap to keep honest) have no resume point: only
+    // single-frame deoptimization is supported.
+    auto It = BaselineInsts.find(VCall->profileId());
+    if (It == BaselineInsts.end())
+      return false;
+    const auto *BV = dyn_cast<VirtualCallInst>(It->second);
+    if (!BV || BV->methodName() != VCall->methodName() ||
+        !BDT.isReachable(BV->parent()))
+      return false;
+
+    if (!buildFrameState(BV, BDT, Site.State))
+      return false;
+    Site.VCall = VCall;
+    Site.SpeculatedClass = K;
+    Site.Target = Target;
+    return true;
+  }
+
+  /// Captures the baseline values a resume at \p BV needs: every argument
+  /// or instruction result that dominates \p BV *and* is used at-or-after
+  /// it. (Anything used later that does not dominate BV is recomputed on
+  /// every path from BV to the use, so it need not be transferred.)
+  /// Deterministic slot order: arguments by index, then instructions in
+  /// baseline block/instruction order.
+  bool buildFrameState(const VirtualCallInst *BV, const DominatorTree &BDT,
+                       FrameState &State) {
+    const AfterSet After(BV);
+    State.BaselineSymbol = Baseline->name();
+    State.BaselineBlockId = BV->parent()->id();
+    State.ResumePoint = BV->profileId();
+    State.Slots.clear();
+
+    for (size_t I = 0; I < Baseline->numParams(); ++I)
+      if (liveAcrossResume(Baseline->arg(I), After))
+        State.Slots.push_back({FrameStateSlot::Target::Argument,
+                               static_cast<unsigned>(I)});
+
+    for (const auto &BB : Baseline->blocks()) {
+      bool DominatesSite =
+          BB.get() != BV->parent() && BDT.dominates(BB.get(), BV->parent());
+      for (const auto &Inst : BB->instructions()) {
+        if (Inst->type().isVoid())
+          continue;
+        bool Dominates =
+            DominatesSite || (BB.get() == BV->parent() &&
+                              BB->indexOf(Inst.get()) < After.SiteIndex);
+        if (Dominates && liveAcrossResume(Inst.get(), After))
+          State.Slots.push_back(
+              {FrameStateSlot::Target::Instruction, Inst->profileId()});
+      }
+    }
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Transformation
+  //===--------------------------------------------------------------------===//
+
+  void transform(SpeculationSite &Site) {
+    VirtualCallInst *VCall = Site.VCall;
+    BasicBlock *Pre = VCall->parent();
+    Value *Recv = VCall->receiver();
+    std::vector<Value *> ExtraArgs;
+    for (size_t I = 0; I < VCall->numArgs(); ++I)
+      ExtraArgs.push_back(VCall->arg(I));
+    types::Type RetTy = VCall->type();
+
+    // Everything after the callsite moves into the continuation; the
+    // virtual call itself stays behind in Pre until the end.
+    BasicBlock *Cont = splitBlockAfter(F, VCall);
+    BasicBlock *CallBB = F.addBlock("spec.call");
+    BasicBlock *FailBB = F.addBlock("spec.deopt");
+
+    IRBuilder B(F, Pre);
+    B.guard(Recv, Site.SpeculatedClass, CallBB, FailBB);
+
+    // Pass edge: receiver pinned to the exact speculated class (the guard
+    // proved it, and also that the receiver is non-null), direct call the
+    // inliner can expand, fall through to the continuation.
+    B.setInsertBlock(CallBB);
+    CheckCastInst *Pinned = B.checkCast(Recv, Site.SpeculatedClass);
+    Pinned->setExactType(true);
+    std::vector<Value *> CallArgs;
+    CallArgs.push_back(Pinned);
+    CallArgs.insert(CallArgs.end(), ExtraArgs.begin(), ExtraArgs.end());
+    CallInst *Direct = B.call(Site.Target->QualifiedName, CallArgs, RetTy);
+    B.jump(Cont);
+
+    // Fail edge: deoptimize, re-executing the dispatch in the baseline.
+    B.setInsertBlock(FailBB);
+    std::vector<Value *> Captured;
+    Captured.reserve(Site.State.Slots.size());
+    for (const FrameStateSlot &Slot : Site.State.Slots)
+      Captured.push_back(Slot.Kind == FrameStateSlot::Target::Argument
+                             ? static_cast<Value *>(F.arg(Slot.BaselineId))
+                             : CloneValues.at(Slot.BaselineId));
+    B.deopt("speculation-failed", std::move(Site.State), Captured);
+
+    // CallBB is Cont's only predecessor (the fail edge never reaches it),
+    // so the direct call dominates every former use of the virtual call.
+    if (!RetTy.isVoid()) {
+      VCall->replaceAllUsesWith(Direct);
+      CloneValues[VCall->profileId()] = Direct;
+    }
+    Pre->erase(VCall);
+    ++Stats.GuardsEmitted;
+  }
+
+  Function &F;
+  const Module &M;
+  const profile::ProfileTable &Profiles;
+  const SpeculativeDevirtOptions &Opts;
+  const SpeculationBlacklist *Blacklist;
+  const Function *Baseline = nullptr;
+  std::unordered_map<unsigned, Value *> CloneValues;
+  SpeculativeDevirtStats Stats;
+};
+
+} // namespace
+
+SpeculativeDevirtStats
+incline::opt::speculativeDevirt(Function &F, const Module &M,
+                                const profile::ProfileTable &Profiles,
+                                const SpeculativeDevirtOptions &Opts,
+                                const SpeculationBlacklist *Blacklist) {
+  return SpeculativeDevirtImpl(F, M, Profiles, Opts, Blacklist).run();
+}
+
+PreservedAnalyses SpeculativeDevirtPass::run(Function &F, const Module &M,
+                                             AnalysisManager &AM) {
+  const profile::ProfileTable *Profiles = AM.profiles();
+  if (!Profiles)
+    return PreservedAnalyses::all();
+  SpeculativeDevirtStats Run = speculativeDevirt(F, M, *Profiles, Opts,
+                                                 Blacklist);
+  if (StatsSink) {
+    StatsSink->GuardsEmitted += Run.GuardsEmitted;
+    StatsSink->BlacklistSkipped += Run.BlacklistSkipped;
+  }
+  return PreservedAnalyses::allIf(Run.GuardsEmitted == 0);
+}

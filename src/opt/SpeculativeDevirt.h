@@ -1,0 +1,130 @@
+//===- opt/SpeculativeDevirt.h - Profile-guided guarded devirtualization ---===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimistic half of the paper's receiver-type speculation, made sound
+/// by real deoptimization. When class-hierarchy analysis cannot prove a
+/// virtual callsite monomorphic but the receiver histogram shows a dominant
+/// class K, the pass rewrites
+///
+///     %r = vcall %recv.m(...)
+///
+/// into
+///
+///     guard %recv is class#K ? call : deopt
+///   call:
+///     %r = call K.m(%recv, ...)    ; direct — the inliner can expand it
+///   deopt:
+///     deopt "speculation-failed" frame <baseline> bbN resume#P [...]
+///
+/// The fail edge carries a FrameState that transfers execution into the
+/// *baseline* (uncompiled) function, re-executing the original virtual call
+/// there — so a wrong speculation degrades to interpretation instead of
+/// changing behaviour. The pass must therefore run on a compilation *clone*
+/// whose baseline still exists unmodified in the module; it refuses to
+/// touch a function that is itself the module's registered body.
+///
+/// It runs at the start of a JIT compilation, before inlining: every
+/// virtual call still maps 1:1 onto its baseline counterpart (profile ids
+/// are clone-preserved), and the direct calls it plants become ordinary
+/// kind-C call-tree nodes — how speculative targets participate in the
+/// incremental inliner.
+///
+/// Speculations that keep failing at run time are blacklisted per
+/// (method, callsite profileId); recompiles consult the blacklist and leave
+/// those sites as virtual calls, converging to a guard-free body.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_OPT_SPECULATIVEDEVIRT_H
+#define INCLINE_OPT_SPECULATIVEDEVIRT_H
+
+#include "opt/Pass.h"
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace incline::ir {
+class Function;
+class Module;
+} // namespace incline::ir
+
+namespace incline::profile {
+class ProfileTable;
+}
+
+namespace incline::opt {
+
+/// Callsites whose speculation failed too often, keyed by
+/// (method name, virtual-call profileId). Owned and mutated by the JIT
+/// runtime on the mutator; compilations receive a copy (snapshot) so
+/// background workers never read it concurrently with updates.
+class SpeculationBlacklist {
+public:
+  void add(std::string_view Method, unsigned ProfileId) {
+    Entries.emplace(std::string(Method), ProfileId);
+  }
+  bool contains(std::string_view Method, unsigned ProfileId) const {
+    return Entries.count({std::string(Method), ProfileId}) != 0;
+  }
+  size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+
+private:
+  std::set<std::pair<std::string, unsigned>> Entries;
+};
+
+/// Speculation thresholds. Deliberately much stricter than polymorphic
+/// typeswitch inlining (which keeps a correct fallback call and therefore
+/// tolerates 10%-probability targets): a guard's failure costs a
+/// deoptimization plus a recompile, so only clearly dominant receivers
+/// qualify.
+struct SpeculativeDevirtOptions {
+  double MinProbability = 0.9; ///< Dominant-class share required.
+  uint64_t MinSamples = 8;     ///< Histogram entries required to trust it.
+};
+
+struct SpeculativeDevirtStats {
+  unsigned GuardsEmitted = 0;     ///< Callsites rewritten to guarded calls.
+  unsigned BlacklistSkipped = 0;  ///< Callsites skipped via the blacklist.
+};
+
+/// Rewrites profitable virtual callsites of \p F (a compilation clone of
+/// the module function with the same name) into guarded direct calls with
+/// deopt fail edges. \p Blacklist may be null (nothing blacklisted).
+SpeculativeDevirtStats
+speculativeDevirt(ir::Function &F, const ir::Module &M,
+                  const profile::ProfileTable &Profiles,
+                  const SpeculativeDevirtOptions &Opts = {},
+                  const SpeculationBlacklist *Blacklist = nullptr);
+
+/// Pass-framework adapter; profiles come from the AnalysisManager, the
+/// blacklist from the PassContext that constructed the pass.
+class SpeculativeDevirtPass : public FunctionPass {
+public:
+  explicit SpeculativeDevirtPass(SpeculativeDevirtOptions Opts = {},
+                                 const SpeculationBlacklist *Blacklist =
+                                     nullptr)
+      : Opts(Opts), Blacklist(Blacklist) {}
+
+  std::string_view name() const override { return "speculative-devirt"; }
+  void setStatsSink(SpeculativeDevirtStats *Sink) { StatsSink = Sink; }
+
+  PreservedAnalyses run(ir::Function &F, const ir::Module &M,
+                        AnalysisManager &AM) override;
+
+private:
+  SpeculativeDevirtOptions Opts;
+  const SpeculationBlacklist *Blacklist;
+  SpeculativeDevirtStats *StatsSink = nullptr;
+};
+
+} // namespace incline::opt
+
+#endif // INCLINE_OPT_SPECULATIVEDEVIRT_H

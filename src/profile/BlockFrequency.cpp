@@ -64,6 +64,17 @@ private:
     }
     if (const auto *Jmp = dyn_cast<JumpInst>(Term))
       return Jmp->target() == Succ ? 1.0 : 0.0;
+    if (const auto *G = dyn_cast<GuardInst>(Term)) {
+      // Speculation bets on the guard holding: the fail edge exits through
+      // a deoptimization, so for optimization purposes all mass follows
+      // the pass edge. Without this the block holding the speculated
+      // direct call reads as never-executed and the inliner walks away
+      // from exactly the callsite the speculation was made for.
+      double P = 0.0;
+      if (G->passSuccessor() == Succ)
+        P += 1.0;
+      return P;
+    }
     return 0.0;
   }
 

@@ -1,0 +1,581 @@
+//===- tests/jit_deopt_test.cpp - Speculation and deoptimization tests -----===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The speculative-devirtualization/deoptimization stack, bottom up:
+///
+///  * the receiver-histogram and CHA queries speculation decisions rest on
+///    (empty histograms, exact probability boundaries, ties, megamorphic
+///    truncation, overriders in and outside the queried subtree);
+///  * the SpeculativeDevirt pass itself (guard emission, sample/probability
+///    thresholds, blacklist consultation, refusal to touch a module's
+///    registered body);
+///  * the runtime contract under lying profiles: a failing guard transfers
+///    to the baseline, the retired code is invalidated and recompiled, the
+///    speculation is eventually blacklisted — and the program output stays
+///    bit-identical to pure interpretation throughout, in every JIT mode;
+///  * the chaos hooks (forced guard failures are output-neutral) and the
+///    fuzzing watchdog (wall-clock budget traps instead of hanging).
+///
+/// Suites are named Jit* so the TSan CI job's -R filter picks them up.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/SpeculativeDevirt.h"
+
+#include "TestHelpers.h"
+#include "fuzz/Oracle.h"
+#include "inliner/Compilers.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRCloner.h"
+#include "ir/Instruction.h"
+#include "jit/JitRuntime.h"
+#include "profile/ProfileData.h"
+#include "support/Casting.h"
+#include "types/ClassHierarchy.h"
+
+#include <gtest/gtest.h>
+
+using namespace incline;
+using incline::testing::compile;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Receiver-histogram queries
+//===----------------------------------------------------------------------===//
+
+TEST(JitReceiverProfileTest, EmptyHistogramYieldsNoTargets) {
+  profile::ReceiverProfile RP;
+  EXPECT_EQ(RP.total(), 0u);
+  EXPECT_TRUE(RP.topReceivers(3, 0.1).empty());
+}
+
+TEST(JitReceiverProfileTest, ExactMinProbabilityBoundaryIsIncluded) {
+  // 9:1 split — the minority class sits exactly on the 10% threshold and
+  // must be kept (the paper's polymorphic criterion is ">= 10%").
+  profile::ReceiverProfile RP;
+  for (int I = 0; I < 9; ++I)
+    RP.record(1);
+  RP.record(2);
+  auto Top = RP.topReceivers(3, 0.1);
+  ASSERT_EQ(Top.size(), 2u);
+  EXPECT_EQ(Top[0].first, 1);
+  EXPECT_EQ(Top[1].first, 2);
+  // Nudging the threshold above the observed share drops it.
+  EXPECT_EQ(RP.topReceivers(3, 0.11).size(), 1u);
+}
+
+TEST(JitReceiverProfileTest, TiedCountsBreakDeterministicallyByClassId) {
+  profile::ReceiverProfile RP;
+  for (int I = 0; I < 5; ++I) {
+    RP.record(7);
+    RP.record(3);
+  }
+  auto Top = RP.topReceivers(3, 0.1);
+  ASSERT_EQ(Top.size(), 2u);
+  EXPECT_EQ(Top[0].first, 3); // Equal shares: lower id first, always.
+  EXPECT_EQ(Top[1].first, 7);
+  EXPECT_DOUBLE_EQ(Top[0].second, 0.5);
+}
+
+TEST(JitReceiverProfileTest, MegamorphicSiteTruncatesToMaxTargets) {
+  profile::ReceiverProfile RP;
+  for (int ClassId = 0; ClassId < 5; ++ClassId)
+    for (int I = 0; I < 4; ++I)
+      RP.record(ClassId);
+  auto Top = RP.topReceivers(3, 0.1);
+  ASSERT_EQ(Top.size(), 3u);
+  EXPECT_EQ(Top[0].first, 0);
+  EXPECT_EQ(Top[1].first, 1);
+  EXPECT_EQ(Top[2].first, 2);
+}
+
+//===----------------------------------------------------------------------===//
+// CHA dispatch-target queries
+//===----------------------------------------------------------------------===//
+
+TEST(JitChaTest, MonomorphicSubtreeHasUniqueTarget) {
+  types::ClassHierarchy CH;
+  int A = CH.addClass("A");
+  int B = CH.addClass("B", A);
+  CH.addMethod(A, "m", {}, types::Type::intTy());
+  const types::MethodInfo *Unique = CH.uniqueDispatchTarget(A, "m");
+  ASSERT_NE(Unique, nullptr);
+  EXPECT_EQ(Unique->QualifiedName, "A.m");
+  // The subclass inherits, it does not override: still unique from B.
+  EXPECT_EQ(CH.uniqueDispatchTarget(B, "m"), Unique);
+}
+
+TEST(JitChaTest, OverriderInSubtreeDefeatsUniqueness) {
+  types::ClassHierarchy CH;
+  int A = CH.addClass("A");
+  int B = CH.addClass("B", A);
+  CH.addMethod(A, "m", {}, types::Type::intTy());
+  CH.addMethod(B, "m", {}, types::Type::intTy());
+  // From A the site is polymorphic; from B (below the override) it is not.
+  EXPECT_EQ(CH.uniqueDispatchTarget(A, "m"), nullptr);
+  const types::MethodInfo *FromB = CH.uniqueDispatchTarget(B, "m");
+  ASSERT_NE(FromB, nullptr);
+  EXPECT_EQ(FromB->QualifiedName, "B.m");
+}
+
+TEST(JitChaTest, SiblingOverrideDoesNotPolluteOtherSubtree) {
+  types::ClassHierarchy CH;
+  int A = CH.addClass("A");
+  int B = CH.addClass("B", A);
+  int C = CH.addClass("C", A);
+  CH.addMethod(A, "m", {}, types::Type::intTy());
+  CH.addMethod(B, "m", {}, types::Type::intTy());
+  // B's override only matters when the static receiver can reach B.
+  EXPECT_EQ(CH.uniqueDispatchTarget(A, "m"), nullptr);
+  const types::MethodInfo *FromC = CH.uniqueDispatchTarget(C, "m");
+  ASSERT_NE(FromC, nullptr);
+  EXPECT_EQ(FromC->QualifiedName, "A.m");
+  // dispatchTargets enumerates one entry per subtree class; dedupe by
+  // resolved method to count distinct implementations.
+  EXPECT_EQ(CH.dispatchTargets(A, "m").size(), 3u);
+}
+
+TEST(JitChaTest, UnknownMethodHasNoTargets) {
+  types::ClassHierarchy CH;
+  int A = CH.addClass("A");
+  EXPECT_EQ(CH.uniqueDispatchTarget(A, "nope"), nullptr);
+  EXPECT_TRUE(CH.dispatchTargets(A, "nope").empty());
+}
+
+//===----------------------------------------------------------------------===//
+// SpeculativeDevirt pass
+//===----------------------------------------------------------------------===//
+
+// A virtual callsite CHA cannot devirtualize (B overrides m) and the
+// canonicalizer cannot either (the receiver's type is inexact — it came
+// from a call, not straight from `new`), whose runtime receiver the tests
+// control through a hand-built profile.
+constexpr const char *SpecSource = R"(
+class A {
+  def m(x: int): int { return x + 1; }
+}
+class B extends A {
+  def m(x: int): int { return x * 2; }
+}
+def pick(kind: int): A {
+  if (kind == 1) { return new B(); }
+  return new A();
+}
+def main() {
+  var a: A = pick(0);
+  print(a.m(41));
+}
+)";
+
+unsigned vcallProfileId(const ir::Function &F) {
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instructions())
+      if (isa<ir::VirtualCallInst>(I.get()))
+        return I->profileId();
+  ADD_FAILURE() << "no virtual call in " << F.name();
+  return 0;
+}
+
+template <typename InstT> unsigned countInsts(const ir::Function &F) {
+  unsigned N = 0;
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instructions())
+      if (isa<InstT>(I.get()))
+        ++N;
+  return N;
+}
+
+TEST(JitSpeculativeDevirtTest, DominantReceiverGetsGuardedDirectCall) {
+  auto M = compile(SpecSource);
+  auto Clone = ir::cloneFunction(*M->function("main"), "main");
+  unsigned Site = vcallProfileId(*Clone.F);
+  int AId = *M->classes().classIdOf("A");
+
+  profile::ProfileTable PT;
+  auto &RP = PT.methodProfile("main").Receivers[Site];
+  for (int I = 0; I < 10; ++I)
+    RP.record(AId);
+
+  opt::SpeculativeDevirtStats Stats =
+      opt::speculativeDevirt(*Clone.F, *M, PT);
+  EXPECT_EQ(Stats.GuardsEmitted, 1u);
+  EXPECT_EQ(countInsts<ir::VirtualCallInst>(*Clone.F), 0u);
+  EXPECT_EQ(countInsts<ir::GuardInst>(*Clone.F), 1u);
+  EXPECT_EQ(countInsts<ir::DeoptInst>(*Clone.F), 1u);
+  incline::testing::expectVerified(*Clone.F);
+}
+
+TEST(JitSpeculativeDevirtTest, TooFewSamplesAreNotTrusted) {
+  auto M = compile(SpecSource);
+  auto Clone = ir::cloneFunction(*M->function("main"), "main");
+  unsigned Site = vcallProfileId(*Clone.F);
+  int AId = *M->classes().classIdOf("A");
+
+  profile::ProfileTable PT;
+  auto &RP = PT.methodProfile("main").Receivers[Site];
+  for (int I = 0; I < 7; ++I) // One below the MinSamples=8 default.
+    RP.record(AId);
+
+  opt::SpeculativeDevirtStats Stats =
+      opt::speculativeDevirt(*Clone.F, *M, PT);
+  EXPECT_EQ(Stats.GuardsEmitted, 0u);
+  EXPECT_EQ(countInsts<ir::VirtualCallInst>(*Clone.F), 1u);
+}
+
+TEST(JitSpeculativeDevirtTest, MixedReceiversBelowProbabilityAreLeftAlone) {
+  auto M = compile(SpecSource);
+  auto Clone = ir::cloneFunction(*M->function("main"), "main");
+  unsigned Site = vcallProfileId(*Clone.F);
+  int AId = *M->classes().classIdOf("A");
+  int BId = *M->classes().classIdOf("B");
+
+  profile::ProfileTable PT;
+  auto &RP = PT.methodProfile("main").Receivers[Site];
+  for (int I = 0; I < 8; ++I)
+    RP.record(AId);
+  for (int I = 0; I < 2; ++I) // 80% dominance < MinProbability=0.9.
+    RP.record(BId);
+
+  opt::SpeculativeDevirtStats Stats =
+      opt::speculativeDevirt(*Clone.F, *M, PT);
+  EXPECT_EQ(Stats.GuardsEmitted, 0u);
+  EXPECT_EQ(countInsts<ir::GuardInst>(*Clone.F), 0u);
+}
+
+TEST(JitSpeculativeDevirtTest, BlacklistedSiteStaysVirtual) {
+  auto M = compile(SpecSource);
+  auto Clone = ir::cloneFunction(*M->function("main"), "main");
+  unsigned Site = vcallProfileId(*Clone.F);
+  int AId = *M->classes().classIdOf("A");
+
+  profile::ProfileTable PT;
+  auto &RP = PT.methodProfile("main").Receivers[Site];
+  for (int I = 0; I < 10; ++I)
+    RP.record(AId);
+
+  opt::SpeculationBlacklist Blacklist;
+  Blacklist.add("main", Site);
+  opt::SpeculativeDevirtStats Stats =
+      opt::speculativeDevirt(*Clone.F, *M, PT, {}, &Blacklist);
+  EXPECT_EQ(Stats.GuardsEmitted, 0u);
+  EXPECT_EQ(Stats.BlacklistSkipped, 1u);
+  EXPECT_EQ(countInsts<ir::VirtualCallInst>(*Clone.F), 1u);
+}
+
+TEST(JitSpeculativeDevirtTest, RefusesTheModuleRegisteredBody) {
+  // Deopt frame states transfer into the *baseline* body; running the pass
+  // on the baseline itself would leave no unmodified frame to transfer to.
+  auto M = compile(SpecSource);
+  ir::Function *Registered = M->function("main");
+  unsigned Site = vcallProfileId(*Registered);
+  int AId = *M->classes().classIdOf("A");
+
+  profile::ProfileTable PT;
+  auto &RP = PT.methodProfile("main").Receivers[Site];
+  for (int I = 0; I < 10; ++I)
+    RP.record(AId);
+
+  opt::SpeculativeDevirtStats Stats =
+      opt::speculativeDevirt(*Registered, *M, PT);
+  EXPECT_EQ(Stats.GuardsEmitted, 0u);
+  EXPECT_EQ(countInsts<ir::GuardInst>(*Registered), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Frame-state IR: printing, cloning, verifier rejections
+//===----------------------------------------------------------------------===//
+
+struct GuardedMain {
+  std::unique_ptr<ir::Module> M;
+  std::unique_ptr<ir::Function> F;
+};
+
+/// A `main` compilation clone with one speculation applied (guard +
+/// direct call + frame-state deopt), for round-trip tests.
+GuardedMain guardedMain() {
+  auto M = compile(SpecSource);
+  auto Clone = ir::cloneFunction(*M->function("main"), "main");
+  unsigned Site = vcallProfileId(*Clone.F);
+  int AId = *M->classes().classIdOf("A");
+  profile::ProfileTable PT;
+  auto &RP = PT.methodProfile("main").Receivers[Site];
+  for (int I = 0; I < 10; ++I)
+    RP.record(AId);
+  opt::speculativeDevirt(*Clone.F, *M, PT);
+  return {std::move(M), std::move(Clone.F)};
+}
+
+TEST(JitFrameStateIRTest, PrinterEmitsDeoptReasonAndFrameState) {
+  // Dumps feed the reducer and bisection: a deopt whose reason or frame
+  // state is dropped from the print is a silent debugging lie.
+  GuardedMain G = guardedMain();
+  std::string Text = ir::printFunction(*G.F);
+  EXPECT_NE(Text.find("guard "), std::string::npos) << Text;
+  EXPECT_NE(Text.find("deopt \"speculation-failed\""), std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find(" frame main bb"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("resume#"), std::string::npos) << Text;
+}
+
+TEST(JitFrameStateIRTest, CloningPreservesPrintedFrameState) {
+  GuardedMain G = guardedMain();
+  auto Clone = ir::cloneFunction(*G.F, "main");
+  EXPECT_EQ(ir::printFunction(*G.F), ir::printFunction(*Clone.F));
+  incline::testing::expectVerified(*Clone.F);
+}
+
+TEST(JitFrameStateIRTest, VerifierRejectsSlotCountMismatch) {
+  auto F = std::make_unique<ir::Function>(
+      "f", std::vector<types::Type>{types::Type::intTy()},
+      std::vector<std::string>{"x"}, types::Type::intTy());
+  ir::BasicBlock *Entry = F->addBlock("entry");
+  ir::IRBuilder B(*F, Entry);
+  ir::FrameState FS;
+  FS.BaselineSymbol = "f";
+  FS.Slots.push_back({ir::FrameStateSlot::Target::Argument, 0});
+  FS.Slots.push_back({ir::FrameStateSlot::Target::Argument, 0});
+  B.deopt("mismatch", std::move(FS), {F->arg(0)}); // 2 slots, 1 operand.
+  std::vector<std::string> Problems = ir::verifyFunction(*F);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems.front().find("slots"), std::string::npos)
+      << Problems.front();
+}
+
+TEST(JitFrameStateIRTest, VerifierRejectsGuardFailEdgeWithoutDeopt) {
+  auto F = std::make_unique<ir::Function>(
+      "g", std::vector<types::Type>{types::Type::object(0)},
+      std::vector<std::string>{"o"}, types::Type::intTy());
+  ir::BasicBlock *Entry = F->addBlock("entry");
+  ir::BasicBlock *Pass = F->addBlock("pass");
+  ir::BasicBlock *Fail = F->addBlock("fail");
+  ir::IRBuilder B(*F, Entry);
+  B.guard(F->arg(0), 0, Pass, Fail);
+  B.setInsertBlock(Pass);
+  B.ret(B.constInt(1));
+  B.setInsertBlock(Fail);
+  B.ret(B.constInt(2)); // A fail edge that recovers nothing.
+  std::vector<std::string> Problems = ir::verifyFunction(*F);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems.front().find("fail successor"), std::string::npos)
+      << Problems.front();
+}
+
+TEST(JitFrameStateIRTest, VerifierRejectsNonDominatingCapture) {
+  // Capturing a value that does not dominate the deopt would transfer
+  // garbage into the baseline frame; the generic SSA dominance rule must
+  // catch frame-state operands like any other use.
+  auto F = std::make_unique<ir::Function>(
+      "h",
+      std::vector<types::Type>{types::Type::intTy(), types::Type::boolTy()},
+      std::vector<std::string>{"x", "c"}, types::Type::intTy());
+  ir::BasicBlock *Entry = F->addBlock("entry");
+  ir::BasicBlock *Left = F->addBlock("left");
+  ir::BasicBlock *DeoptBB = F->addBlock("deopt");
+  ir::IRBuilder B(*F, Entry);
+  B.branch(F->arg(1), Left, DeoptBB);
+  B.setInsertBlock(Left);
+  ir::Value *V = B.binop(ir::BinOpInst::Opcode::Add, F->arg(0),
+                         B.constInt(1));
+  B.ret(V);
+  B.setInsertBlock(DeoptBB);
+  ir::FrameState FS;
+  FS.BaselineSymbol = "h";
+  FS.Slots.push_back({ir::FrameStateSlot::Target::Argument, 0});
+  B.deopt("bad-capture", std::move(FS), {V}); // V defined only in Left.
+  std::vector<std::string> Problems = ir::verifyFunction(*F);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems.front().find("dominate"), std::string::npos)
+      << Problems.front();
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime deoptimization under a lying profile
+//===----------------------------------------------------------------------===//
+
+// 95% of dispatches hit A while the interpreter profiles, so the compile
+// speculates on A — and then every run's tail dispatches B through the
+// guarded site. The profile lies; correctness must not.
+constexpr const char *ProfileLiesSource = R"(
+class A {
+  def m(x: int): int { return x + 1; }
+}
+class B extends A {
+  def m(x: int): int { return x * 2; }
+}
+def main() {
+  var a: A = new A();
+  var b: A = new B();
+  var total = 0;
+  var i = 0;
+  while (i < 100) {
+    var r = a;
+    if (i >= 95) { r = b; }
+    total = total + r.m(i);
+    i = i + 1;
+  }
+  print(total);
+}
+)";
+
+TEST(JitDeoptTest, LyingProfileDeoptsInvalidatesRecompilesAndConverges) {
+  auto Ref = compile(ProfileLiesSource);
+  const std::string Expected = interp::runMain(*Ref).Output;
+
+  auto M = compile(ProfileLiesSource);
+  inliner::IncrementalCompiler Compiler;
+  jit::JitConfig Config;
+  Config.CompileThreshold = 2;
+  jit::JitRuntime Runtime(*M, Compiler, Config);
+
+  for (int Run = 0; Run < 10; ++Run) {
+    interp::ExecResult R = Runtime.runMain();
+    ASSERT_TRUE(R.ok()) << R.TrapMessage;
+    EXPECT_EQ(R.Output, Expected) << "run " << Run;
+  }
+
+  const jit::JitRuntimeStats &S = Runtime.stats();
+  EXPECT_GE(S.GuardsEmitted, 1u);
+  EXPECT_GE(S.GuardFailures, 2u); // One per compiled run until blacklisted.
+  EXPECT_GE(S.Invalidations, 1u);
+  EXPECT_GE(S.RecompilesAfterDeopt, 1u);
+  // MaxSpeculationFailures=2 by default: the site must have been given up
+  // on, and the final body must be guard-free (no further failures).
+  EXPECT_GE(S.SpeculationsBlacklisted, 1u);
+  EXPECT_FALSE(Runtime.speculationBlacklist().empty());
+  EXPECT_GE(Runtime.codeEpoch(), 1u);
+
+  // Converged: one more run executes fully compiled with no new deopt.
+  uint64_t FailuresBefore = Runtime.stats().GuardFailures;
+  interp::ExecResult Final = Runtime.runMain();
+  ASSERT_TRUE(Final.ok());
+  EXPECT_EQ(Final.Output, Expected);
+  EXPECT_EQ(Runtime.stats().GuardFailures, FailuresBefore);
+}
+
+TEST(JitDeoptTest, BackgroundModesStayCorrectUnderLyingProfile) {
+  auto Ref = compile(ProfileLiesSource);
+  const std::string Expected = interp::runMain(*Ref).Output;
+
+  for (jit::JitMode Mode :
+       {jit::JitMode::Deterministic, jit::JitMode::Async}) {
+    auto M = compile(ProfileLiesSource);
+    inliner::IncrementalCompiler Compiler;
+    jit::JitConfig Config;
+    Config.CompileThreshold = 2;
+    Config.Mode = Mode;
+    Config.Threads = 2;
+    jit::JitRuntime Runtime(*M, Compiler, Config);
+
+    for (int Run = 0; Run < 10; ++Run) {
+      interp::ExecResult R = Runtime.runMain();
+      ASSERT_TRUE(R.ok()) << R.TrapMessage;
+      EXPECT_EQ(R.Output, Expected)
+          << jit::jitModeName(Mode) << " run " << Run;
+      Runtime.drainCompilations();
+    }
+    // With the queue drained between runs both modes must have speculated
+    // and recovered; async timing only changes *when*, not *whether*.
+    EXPECT_GE(Runtime.stats().GuardsEmitted, 1u) << jit::jitModeName(Mode);
+    EXPECT_GE(Runtime.stats().GuardFailures, 1u) << jit::jitModeName(Mode);
+    EXPECT_GE(Runtime.stats().Invalidations, 1u) << jit::jitModeName(Mode);
+  }
+}
+
+TEST(JitDeoptTest, ForcedGuardFailureIsOutputNeutral) {
+  // The chaos hook: the class test passes, the fail edge is taken anyway.
+  // The baseline re-executes the dispatch, so output must not change —
+  // this is the invariant the chaos fuzzing stages lean on.
+  constexpr const char *Source = R"(
+class A {
+  def m(x: int): int { return x + 3; }
+}
+class B extends A {
+  def m(x: int): int { return x - 1; }
+}
+def pick(kind: int): A {
+  if (kind == 1) { return new B(); }
+  return new A();
+}
+def main() {
+  var a: A = pick(0);
+  var total = 0;
+  var i = 0;
+  while (i < 50) {
+    total = total + a.m(i);
+    i = i + 1;
+  }
+  print(total);
+}
+)";
+  auto Ref = compile(Source);
+  const std::string Expected = interp::runMain(*Ref).Output;
+
+  auto M = compile(Source);
+  inliner::IncrementalCompiler Compiler;
+  jit::JitConfig Config;
+  Config.CompileThreshold = 2;
+  Config.ForceGuardFailure = [](std::string_view, unsigned) { return true; };
+  jit::JitRuntime Runtime(*M, Compiler, Config);
+
+  for (int Run = 0; Run < 8; ++Run) {
+    interp::ExecResult R = Runtime.runMain();
+    ASSERT_TRUE(R.ok()) << R.TrapMessage;
+    EXPECT_EQ(R.Output, Expected) << "run " << Run;
+  }
+  const jit::JitRuntimeStats &S = Runtime.stats();
+  EXPECT_GE(S.GuardFailures, 1u);
+  // Forcing every guard to fail drives the site into the blacklist and the
+  // recompile converges to a guard-free body, exactly like a lying profile.
+  EXPECT_GE(S.SpeculationsBlacklisted, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Watchdog and chaos oracle
+//===----------------------------------------------------------------------===//
+
+TEST(JitWatchdogTest, WallClockBudgetTrapsRunawayExecution) {
+  auto M = compile(R"(
+def main() {
+  var i = 0;
+  while (i < 2000000000) { i = i + 1; }
+  print(i);
+}
+)");
+  inliner::TrivialCompiler Compiler;
+  jit::JitConfig Config;
+  Config.Enabled = false; // Pure interpretation; the budget is the point.
+  jit::JitRuntime Runtime(*M, Compiler, Config);
+
+  interp::ExecLimits Limits;
+  Limits.MaxWallSeconds = 0.05;
+  interp::ExecResult R = Runtime.runMain(Limits);
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.Trap, interp::TrapKind::StepLimitExceeded);
+  EXPECT_NE(R.TrapMessage.find("wall clock"), std::string::npos)
+      << R.TrapMessage;
+}
+
+TEST(JitChaosOracleTest, ChaosStagesPreserveOutputOnSpeculatingProgram) {
+  // Maximum hostility: every guard execution is forced to fail and half of
+  // all compiles throw, across sync, deterministic and async stages. The
+  // oracle must still see bit-identical output everywhere.
+  fuzz::OracleOptions Opts;
+  Opts.CompileThreshold = 2;
+  Opts.JitIterations = 4;
+  Opts.Chaos.Enabled = true;
+  Opts.Chaos.Seed = 7;
+  Opts.Chaos.GuardFailureRate = 1.0;
+  Opts.Chaos.CompileFaultRate = 0.5;
+
+  fuzz::DifferentialOracle Oracle(Opts);
+  std::optional<fuzz::Divergence> Div =
+      Oracle.check(std::string(ProfileLiesSource));
+  EXPECT_FALSE(Div.has_value()) << Div->render();
+}
+
+} // namespace

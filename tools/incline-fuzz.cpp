@@ -64,6 +64,11 @@ int usage() {
       "                       and abort on mismatch (cache cross-check)\n"
       "  --jit-iterations N   runs per JIT policy (default 3)\n"
       "  --threshold N        JIT compile threshold (default 1)\n"
+      "  --chaos              add chaos JIT stages: forced guard failures,\n"
+      "                       injected compiler faults, randomized\n"
+      "                       publication/invalidation timing (async);\n"
+      "                       output must stay bit-identical regardless\n"
+      "  --chaos-seed N       base seed of the chaos schedule (default 0)\n"
       "\n"
       "failure handling:\n"
       "  --no-reduce          keep failing programs unreduced\n"
@@ -118,6 +123,11 @@ std::optional<CliOptions> parseArgs(int argc, char **argv) {
       O.MaxFailures = static_cast<size_t>(std::atoi(V->c_str()));
     } else if (auto V = Value("--time-budget")) {
       O.TimeBudgetSeconds = std::atof(V->c_str());
+    } else if (auto V = Value("--chaos-seed")) {
+      O.Oracle.Chaos.Enabled = true;
+      O.Oracle.Chaos.Seed = std::strtoull(V->c_str(), nullptr, 10);
+    } else if (Arg == "--chaos") {
+      O.Oracle.Chaos.Enabled = true;
     } else if (auto V = Value("--inject-bug")) {
       if (*V != "sub-fold")
         return std::nullopt;

@@ -243,6 +243,15 @@ int cmdRun(const Options &Opts, ir::Module &M) {
                  static_cast<unsigned long long>(S.BlacklistedMethods),
                  static_cast<unsigned long long>(S.QueueFullRejections),
                  static_cast<double>(S.MutatorStallNanos) / 1e6);
+    std::fprintf(stderr,
+                 "deopt: guards-emitted=%llu guard-failures=%llu "
+                 "invalidations=%llu recompiles-after-deopt=%llu "
+                 "speculations-blacklisted=%llu\n",
+                 static_cast<unsigned long long>(S.GuardsEmitted),
+                 static_cast<unsigned long long>(S.GuardFailures),
+                 static_cast<unsigned long long>(S.Invalidations),
+                 static_cast<unsigned long long>(S.RecompilesAfterDeopt),
+                 static_cast<unsigned long long>(S.SpeculationsBlacklisted));
   }
   return 0;
 }
