@@ -6,6 +6,8 @@
 
 #include "BenchCommon.h"
 
+#include <fstream>
+
 using namespace incline;
 using namespace incline::bench;
 using namespace incline::workloads;
@@ -13,6 +15,82 @@ using namespace incline::workloads;
 ResultCache &incline::bench::globalCache() {
   static ResultCache Cache;
   return Cache;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON result sink (--json <path>)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct JsonRecord {
+  std::string Name;
+  std::vector<std::pair<std::string, double>> Metrics;
+};
+
+struct JsonSink {
+  std::string Path; ///< Empty = recording disabled.
+  std::vector<JsonRecord> Records;
+};
+
+JsonSink &jsonSink() {
+  static JsonSink Sink;
+  return Sink;
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+/// Renders a finite double; NaN/inf have no JSON spelling and become null.
+std::string jsonNumber(double Value) {
+  if (Value != Value || Value > 1e308 || Value < -1e308)
+    return "null";
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.6g", Value);
+  return Buffer;
+}
+
+bool writeJsonResults(const char *Argv0) {
+  const JsonSink &Sink = jsonSink();
+  std::ofstream Out(Sink.Path);
+  if (!Out)
+    return false;
+  std::string Binary = Argv0 ? Argv0 : "bench";
+  size_t Slash = Binary.find_last_of('/');
+  if (Slash != std::string::npos)
+    Binary = Binary.substr(Slash + 1);
+
+  Out << "{\n  \"bench\": \"" << jsonEscape(Binary) << "\",\n"
+      << "  \"results\": [";
+  for (size_t I = 0; I < Sink.Records.size(); ++I) {
+    const JsonRecord &Record = Sink.Records[I];
+    Out << (I ? ",\n" : "\n") << "    {\"name\": \""
+        << jsonEscape(Record.Name) << "\", \"metrics\": {";
+    for (size_t MI = 0; MI < Record.Metrics.size(); ++MI)
+      Out << (MI ? ", " : "") << "\"" << jsonEscape(Record.Metrics[MI].first)
+          << "\": " << jsonNumber(Record.Metrics[MI].second);
+    Out << "}}";
+  }
+  Out << "\n  ]\n}\n";
+  return static_cast<bool>(Out);
+}
+
+} // namespace
+
+void incline::bench::recordJsonResult(
+    const std::string &Name,
+    const std::vector<std::pair<std::string, double>> &Metrics) {
+  if (jsonSink().Path.empty())
+    return;
+  jsonSink().Records.push_back({Name, Metrics});
 }
 
 void incline::bench::registerBenchmarks(
@@ -64,6 +142,11 @@ void incline::bench::printComparisonTable(
       std::printf(" | %22.0f %5llu %4.2f", Result.SteadyStateCycles,
                   static_cast<unsigned long long>(Result.InstalledCodeSize),
                   Speedup);
+      recordJsonResult(
+          W.Name + "/" + Variants[VI].Label,
+          {{"cycles", Result.SteadyStateCycles},
+           {"code", static_cast<double>(Result.InstalledCodeSize)},
+           {"speedup", Speedup}});
     }
     std::printf("\n");
   }
@@ -95,11 +178,32 @@ CompilerVariant incline::bench::c1Variant() {
 
 int incline::bench::benchMain(int argc, char **argv,
                               const std::function<void()> &PrintTables) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+  // Peel --json off before google-benchmark sees the argument list (it
+  // rejects flags it does not know).
+  std::vector<char *> Args;
+  for (int I = 0; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--json" && I + 1 < argc) {
+      jsonSink().Path = argv[++I];
+      continue;
+    }
+    if (Arg.rfind("--json=", 0) == 0) {
+      jsonSink().Path = Arg.substr(7);
+      continue;
+    }
+    Args.push_back(argv[I]);
+  }
+  int Argc = static_cast<int>(Args.size());
+  benchmark::Initialize(&Argc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
     return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   PrintTables();
+  if (!jsonSink().Path.empty() && !writeJsonResults(argv[0])) {
+    std::fprintf(stderr, "cannot write --json file '%s'\n",
+                 jsonSink().Path.c_str());
+    return 1;
+  }
   return 0;
 }

@@ -32,6 +32,8 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace incline::bench {
 
@@ -93,7 +95,18 @@ CompilerVariant greedyVariant();
 CompilerVariant c2Variant();
 CompilerVariant c1Variant();
 
-/// Shared main: runs google-benchmark, then the binary's table printer.
+/// Appends one machine-readable result (a named metric set) to the
+/// process-wide JSON sink. No-op unless the binary was invoked with
+/// `--json <path>`. printComparisonTable records one result per table cell
+/// automatically; binaries with custom tables call this directly. The
+/// document format is specified in TESTING.md ("Benchmark JSON output").
+void recordJsonResult(
+    const std::string &Name,
+    const std::vector<std::pair<std::string, double>> &Metrics);
+
+/// Shared main: strips `--json <path>` / `--json=<path>` from the argument
+/// list, runs google-benchmark, then the binary's table printer, then (if
+/// requested) writes every recorded result as one JSON document.
 int benchMain(int argc, char **argv, const std::function<void()> &PrintTables);
 
 } // namespace incline::bench

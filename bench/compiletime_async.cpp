@@ -114,6 +114,12 @@ void printTables() {
                 W.Name.c_str(), SyncMs, AsyncMs, DetMs,
                 SyncMs > 0 ? 100.0 * AsyncMs / SyncMs : 0.0,
                 OutputsEqual ? "yes" : "NO", StreamsEqual ? "yes" : "NO");
+    recordJsonResult(W.Name,
+                     {{"sync_stall_ms", SyncMs},
+                      {"async_stall_ms", AsyncMs},
+                      {"det_stall_ms", DetMs},
+                      {"outputs_equal", OutputsEqual ? 1.0 : 0.0},
+                      {"det_stream_equals_sync", StreamsEqual ? 1.0 : 0.0}});
   }
   std::printf("%-24s %12.3f %12.3f %12.3f %8.1f%%\n", "TOTAL", SyncTotal,
               AsyncTotal, DetTotal,

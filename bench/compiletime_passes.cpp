@@ -104,6 +104,10 @@ void printTables() {
                 static_cast<unsigned long long>(Cost.Totals.Runs),
                 static_cast<double>(Cost.Totals.Nanos) / 1e6,
                 100.0 * hitRateOf(Cost.Totals));
+    recordJsonResult(W.Name,
+                     {{"pass_runs", static_cast<double>(Cost.Totals.Runs)},
+                      {"pass_ms", static_cast<double>(Cost.Totals.Nanos) / 1e6},
+                      {"hit_rate", hitRateOf(Cost.Totals)}});
   }
   std::printf("%-24s %10llu %12.3f %9.0f%%\n", "TOTAL",
               static_cast<unsigned long long>(All.Runs),

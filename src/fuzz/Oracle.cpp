@@ -263,6 +263,17 @@ const std::vector<JitPolicyConfig> &incline::fuzz::allJitPolicies() {
        []() -> std::unique_ptr<jit::Compiler> {
          return std::make_unique<inliner::IncrementalCompiler>();
        }},
+      // Same algorithm with the shared deep-trial cache: every divergence
+      // check doubles as a cached-vs-fresh cross-check, and with
+      // --verify-trial-cache each hit is additionally recomputed and
+      // compared in full.
+      {"incremental-tc",
+       []() -> std::unique_ptr<jit::Compiler> {
+         inliner::InlinerConfig C;
+         C.TrialCache = inliner::TrialCacheMode::Shared;
+         return std::make_unique<inliner::IncrementalCompiler>(
+             C, "incremental-tc");
+       }},
       {"1-by-1",
        []() -> std::unique_ptr<jit::Compiler> {
          inliner::InlinerConfig C;

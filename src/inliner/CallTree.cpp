@@ -7,12 +7,14 @@
 #include "inliner/CallTree.h"
 
 #include "ir/IRCloner.h"
+#include "ir/IRPrinter.h"
 #include "opt/Passes.h"
 #include "profile/BlockFrequency.h"
 #include "support/Casting.h"
 #include "support/ErrorHandling.h"
 #include "support/StringUtils.h"
 
+#include <chrono>
 #include <unordered_set>
 
 using namespace incline;
@@ -37,7 +39,7 @@ std::string_view incline::inliner::callNodeKindName(CallNodeKind Kind) {
 size_t CallNode::irSize() const {
   switch (Kind) {
   case CallNodeKind::Expanded:
-    return Body ? Body->instructionCount() : 0;
+    return body() ? body()->instructionCount() : 0;
   case CallNodeKind::Cutoff:
     return SourceFn ? SourceFn->instructionCount() : 0;
   case CallNodeKind::Polymorphic:
@@ -245,7 +247,7 @@ void CallTree::addChildForCallsite(CallNode &Parent, Instruction *Inst,
 }
 
 void CallTree::collectChildren(CallNode &N) {
-  assert(N.Body && "collectChildren requires a body");
+  assert(N.body() && "collectChildren requires a body");
   // Callsites already covered by a child (reconciliation reuse).
   std::unordered_set<const Instruction *> Known;
   for (const auto &Child : N.Children)
@@ -258,13 +260,14 @@ void CallTree::collectChildren(CallNode &N) {
   std::unordered_map<const BasicBlock *, double> OwnFreq;
   const std::unordered_map<const BasicBlock *, double> *Freq = &OwnFreq;
   if (PassCtx.AM && PassCtx.AM->profiles() == &Profiles) {
-    Freq = &PassCtx.AM->blockFrequencies(*N.Body, N.ProfileName).Frequencies;
+    Freq =
+        &PassCtx.AM->blockFrequencies(*N.body(), N.ProfileName).Frequencies;
   } else {
-    OwnFreq = profile::computeBlockFrequencies(*N.Body, &Profiles,
+    OwnFreq = profile::computeBlockFrequencies(*N.body(), &Profiles,
                                                N.ProfileName);
   }
 
-  for (const auto &BB : N.Body->blocks()) {
+  for (const auto &BB : N.body()->blocks()) {
     for (const auto &Inst : BB->instructions()) {
       if (!isa<CallInst, VirtualCallInst>(Inst.get()))
         continue;
@@ -277,8 +280,13 @@ void CallTree::collectChildren(CallNode &N) {
   }
 }
 
-unsigned CallTree::specializeArguments(CallNode &N) {
-  assert(N.Body && N.Callsite && "specialization needs body and callsite");
+namespace {
+
+/// Argument specialization on an explicit body — shared between the normal
+/// trial path and the --verify-trial-cache scratch recomputation.
+unsigned specializeBodyForCallsite(Function &Body, Instruction *Callsite,
+                                   int SpeculatedClassId,
+                                   const ir::Module &M) {
   unsigned Improved = 0;
 
   auto Improve = [&](Argument *Param, types::Type ArgTy, bool ArgExact) {
@@ -295,24 +303,115 @@ unsigned CallTree::specializeArguments(CallNode &N) {
     ++Improved;
   };
 
-  if (const auto *Call = dyn_cast<CallInst>(N.Callsite)) {
+  if (const auto *Call = dyn_cast<CallInst>(Callsite)) {
     for (size_t I = 0; I < Call->numArgs(); ++I)
-      Improve(N.Body->arg(I), Call->arg(I)->type(),
+      Improve(Body.arg(I), Call->arg(I)->type(),
               Call->arg(I)->hasExactType());
     return Improved;
   }
 
   // P-target child: receiver is exactly the speculated class; remaining
   // arguments come from the virtual callsite.
-  const auto *VCall = cast<VirtualCallInst>(N.Callsite);
-  assert(N.SpeculatedClassId != types::NullClassId &&
+  const auto *VCall = cast<VirtualCallInst>(Callsite);
+  assert(SpeculatedClassId != types::NullClassId &&
          "virtual callsite child without speculation");
-  Improve(N.Body->arg(0), types::Type::object(N.SpeculatedClassId),
+  Improve(Body.arg(0), types::Type::object(SpeculatedClassId),
           /*ArgExact=*/true);
   for (size_t I = 0; I < VCall->numArgs(); ++I)
-    Improve(N.Body->arg(I + 1), VCall->arg(I)->type(),
+    Improve(Body.arg(I + 1), VCall->arg(I)->type(),
             VCall->arg(I)->hasExactType());
   return Improved;
+}
+
+/// The trial pass bundle: canonicalize (trial budget) + DCE under \p Ctx.
+/// Returns the canonicalizer's rewrite count.
+unsigned runTrialPasses(Function &Body, const ir::Module &M,
+                        uint64_t VisitBudget, const opt::PassContext &Ctx) {
+  opt::CanonOptions Options;
+  Options.VisitBudget = VisitBudget;
+  opt::CanonStats Stats;
+  opt::CanonicalizePass Canon(Options, "canonicalize-trial");
+  Canon.setStatsSink(&Stats);
+  opt::runPass(Canon, Body, M, Ctx);
+  opt::DCEPass DCE;
+  opt::runPass(DCE, Body, M, Ctx);
+  return Stats.total();
+}
+
+} // namespace
+
+unsigned CallTree::specializeArguments(CallNode &N) {
+  assert(N.Body && N.Callsite && "specialization needs body and callsite");
+  return specializeBodyForCallsite(*N.Body, N.Callsite, N.SpeculatedClassId,
+                                   M);
+}
+
+TrialKey CallTree::makeTrialKey(const CallNode &N) {
+  TrialKey Key;
+  Key.ModuleFp = M.contentFingerprint();
+  Key.ConfigFp = TrialCache::configFingerprint(Config.TrialVisitBudget);
+  Key.CalleeSymbol = N.CalleeSymbol;
+
+  auto [It, Inserted] = ProfileFpMemo.try_emplace(N.ProfileName, 0);
+  if (Inserted)
+    It->second = TrialCache::profileFingerprint(Profiles, N.ProfileName);
+  Key.ProfileFp = It->second;
+
+  // The argument signature mirrors specializeBodyForCallsite exactly: two
+  // callsites with equal signatures specialize the callee identically.
+  auto AddArg = [&Key](types::Type Ty, bool Exact) {
+    Key.ArgSig.emplace_back(typeToString(Ty), Exact);
+  };
+  if (const auto *Call = dyn_cast<CallInst>(N.Callsite)) {
+    for (size_t I = 0; I < Call->numArgs(); ++I)
+      AddArg(Call->arg(I)->type(), Call->arg(I)->hasExactType());
+  } else {
+    const auto *VCall = cast<VirtualCallInst>(N.Callsite);
+    AddArg(types::Type::object(N.SpeculatedClassId), /*Exact=*/true);
+    for (size_t I = 0; I < VCall->numArgs(); ++I)
+      AddArg(VCall->arg(I)->type(), VCall->arg(I)->hasExactType());
+  }
+  return Key;
+}
+
+void CallTree::replayTrialMetrics(const TrialResult &Cached,
+                                  ir::Function &Body) {
+  for (const auto &[Name, Delta] : Cached.PassDeltas) {
+    opt::PassMetrics Replayed = Delta;
+    // The replay did no pass work — its saved wall time must not be
+    // re-reported. Everything else (runs, IR deltas, analysis-cache
+    // traffic) is re-recorded verbatim so per-compile pass totals, and with
+    // them the deterministic-mode stream fingerprint, match a cache miss.
+    Replayed.Nanos = 0;
+    opt::PassInstrumentation::global().record(Name, Replayed);
+    if (PassCtx.Instr)
+      PassCtx.Instr->record(Name, Replayed);
+    if (PassCtx.Observer)
+      PassCtx.Observer(Name, Body);
+  }
+}
+
+void CallTree::verifyCachedTrial(const CallNode &N,
+                                 const TrialResult &Cached) {
+  // Recompute the whole trial on a scratch clone under a private,
+  // uninstrumented context: the check must not disturb the session's
+  // metrics sink (and through it the stream fingerprint). The scratch copy
+  // takes the cached body's name so the printed IR is directly comparable.
+  ClonedFunction Scratch = cloneFunction(*N.SourceFn, Cached.Body->name());
+  unsigned FreshSpecialized = specializeBodyForCallsite(
+      *Scratch.F, N.Callsite, N.SpeculatedClassId, M);
+  opt::AnalysisManager ScratchAM(&Profiles);
+  opt::PassContext ScratchCtx;
+  ScratchCtx.AM = &ScratchAM;
+  unsigned FreshCanonOpts =
+      runTrialPasses(*Scratch.F, M, Config.TrialVisitBudget, ScratchCtx);
+
+  if (FreshCanonOpts != Cached.CanonOpts ||
+      FreshSpecialized != Cached.SpecializedParams ||
+      printFunction(*Scratch.F) != printFunction(*Cached.Body))
+    INCLINE_FATAL("cached trial result for '" + N.CalleeSymbol +
+                  "' disagrees with a fresh recomputation "
+                  "(--verify-trial-cache)");
 }
 
 bool CallTree::expandCutoff(CallNode &N) {
@@ -333,12 +432,6 @@ bool CallTree::expandCutoff(CallNode &N) {
     return false;
   }
 
-  ClonedFunction Clone = cloneFunction(
-      *N.SourceFn,
-      formatString("%s$spec%llu", N.SourceFn->name().c_str(),
-                   static_cast<unsigned long long>(NextCloneId++)));
-  N.Body = std::move(Clone.F);
-
   // Deep inlining trials: propagate the callsite's argument types into the
   // copy and run the canonicalizer, counting triggered optimizations
   // (N_s). The shallow ablation only specializes the root's direct
@@ -347,23 +440,92 @@ bool CallTree::expandCutoff(CallNode &N) {
       Config.DeepTrials || (N.Parent && N.Parent->isRoot()) ||
       (N.Parent && N.Parent->Kind == CallNodeKind::Polymorphic &&
        N.Parent->Parent && N.Parent->Parent->isRoot());
+
+  // The clone id is consumed whether or not the cache hits, so the names
+  // of the private clones a compilation does make stay identical across
+  // cache modes (clone names never reach installed code, but identical
+  // naming keeps IR dumps diffable across modes).
+  const std::string CloneName =
+      formatString("%s$spec%llu", N.SourceFn->name().c_str(),
+                   static_cast<unsigned long long>(NextCloneId++));
+
+  auto TrialStart = std::chrono::steady_clock::now();
+  auto ElapsedNanos = [&TrialStart] {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - TrialStart)
+            .count());
+  };
+
   unsigned SpecializedParams = 0;
   unsigned CanonOpts = 0;
-  if (Specialize) {
-    SpecializedParams = specializeArguments(N);
-    // Trial passes run through the shared context: the fuzz oracle's
-    // observer verifies every specialized copy, and the per-pass registry
-    // attributes trial time separately from root-pipeline time.
-    opt::CanonOptions Options;
-    Options.VisitBudget = Config.TrialVisitBudget;
-    opt::CanonStats Stats;
-    opt::CanonicalizePass Canon(Options, "canonicalize-trial");
-    Canon.setStatsSink(&Stats);
-    opt::runPass(Canon, *N.Body, M, PassCtx);
-    opt::DCEPass DCE;
-    opt::runPass(DCE, *N.Body, M, PassCtx);
-    CanonOpts = Stats.total();
+
+  // Unspecialized expansions run no passes, so there is nothing to save by
+  // caching them.
+  const bool UseCache = Cache && Specialize;
+  TrialKey Key;
+  std::shared_ptr<const TrialResult> Cached;
+  if (UseCache) {
+    Key = makeTrialKey(N);
+    Cached = Cache->lookup(Key);
   }
+
+  if (Cached) {
+    // Hit: share the memoized post-trial body instead of re-deriving (or
+    // even re-cloning) it. Post-trial bodies are immutable — inlining
+    // clones *into* the root — so sharing is safe, and the body is
+    // structurally identical to what the trial bundle would have produced
+    // here, meaning everything computed from it below (children,
+    // frequencies, speculation sites) comes out the same as on a miss.
+    N.CachedBody = std::shared_ptr<ir::Function>(Cached, Cached->Body.get());
+    CanonOpts = Cached->CanonOpts;
+    SpecializedParams = Cached->SpecializedParams;
+    replayTrialMetrics(*Cached, *N.body());
+    ++TrialHits;
+    TrialNanosSavedTotal += Cached->TrialNanos;
+    Cache->noteSavedNanos(Cached->TrialNanos);
+    if (verifyTrialCacheEnabled())
+      verifyCachedTrial(N, *Cached);
+  } else {
+    ClonedFunction Clone = cloneFunction(*N.SourceFn, CloneName);
+    N.Body = std::move(Clone.F);
+    if (Specialize) {
+      // Trial passes run through the shared context: the fuzz oracle's
+      // observer verifies every specialized copy, and the per-pass
+      // registry attributes trial time separately from root-pipeline
+      // time. When caching, a local sink is stacked on top to capture the
+      // trial's metric deltas for replay on later hits.
+      opt::PassInstrumentation TrialInstr;
+      opt::PassContext TrialCtx = PassCtx;
+      if (UseCache)
+        TrialCtx.Instr = &TrialInstr;
+      SpecializedParams = specializeArguments(N);
+      CanonOpts =
+          runTrialPasses(*N.Body, M, Config.TrialVisitBudget, TrialCtx);
+      if (UseCache) {
+        // Forward the captured deltas to the session sink — with the
+        // detour removed this is exactly what the passes would have
+        // reported there directly.
+        if (PassCtx.Instr)
+          TrialInstr.mergeInto(*PassCtx.Instr);
+        auto Result = std::make_shared<TrialResult>();
+        Result->CanonOpts = CanonOpts;
+        Result->SpecializedParams = SpecializedParams;
+        for (const auto &[PassName, Delta] : TrialInstr.passes())
+          Result->PassDeltas.emplace_back(PassName, Delta);
+        Result->TrialNanos = ElapsedNanos();
+        // Donate the trial body to the cache — it is immutable from here
+        // on, so this node keeps using it through the entry instead of
+        // paying for a private copy.
+        Result->Body = std::move(N.Body);
+        N.CachedBody =
+            std::shared_ptr<ir::Function>(Result, Result->Body.get());
+        Cache->insert(Key, std::move(Result));
+        ++TrialMisses;
+      }
+    }
+  }
+  TrialNanosTotal += ElapsedNanos();
 
   N.Kind = CallNodeKind::Expanded;
   collectChildren(N);
@@ -402,6 +564,7 @@ size_t CallTree::reconcileRoot() {
       Child->Kind = CallNodeKind::Deleted;
       Child->Children.clear();
       Child->Body.reset();
+      Child->CachedBody.reset();
       Child->Callsite = nullptr;
       ++Changes;
     }

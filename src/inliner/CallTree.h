@@ -27,6 +27,7 @@
 
 #include "inliner/CostBenefit.h"
 #include "inliner/InlinerConfig.h"
+#include "inliner/TrialCache.h"
 #include "ir/Module.h"
 #include "opt/Pass.h"
 #include "profile/ProfileData.h"
@@ -34,6 +35,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace incline::inliner {
@@ -70,9 +72,21 @@ public:
   /// arm its own direct call.
   ir::Instruction *Callsite = nullptr;
 
-  /// The specialized body (E nodes and the root). Kept outside the module:
-  /// it is this callsite's private copy.
+  /// The specialized body (E nodes and the root). Kept outside the module.
+  /// At most one of Body/CachedBody is set: Body is a private copy owned by
+  /// this node (the root, and expansions made with the trial cache off);
+  /// CachedBody aliases the immutable body inside a TrialCache entry.
+  /// Post-trial bodies are read-only downstream — inlining clones *into*
+  /// the caller (opt::inlineCall takes the callee const) — so cache-served
+  /// expansions share the entry's body instead of cloning it, and misses
+  /// donate their trial body to the entry they insert. The aliasing
+  /// shared_ptr keeps the whole entry alive across LRU eviction and
+  /// invalidation for as long as this node needs the body.
   std::unique_ptr<ir::Function> Body;
+  std::shared_ptr<ir::Function> CachedBody;
+
+  /// The node's body, whichever owner currently holds it.
+  ir::Function *body() const { return Body ? Body.get() : CachedBody.get(); }
   /// Profile-table key for Body's profile ids (the original method name).
   std::string ProfileName;
 
@@ -170,6 +184,19 @@ public:
   /// Number of nodes ever created (for compile stats).
   uint64_t nodesCreated() const { return NodesCreated; }
 
+  /// Installs the deep-trial memoization cache (null = every trial runs
+  /// fresh). A hit clones the memoized post-trial body and replays the
+  /// trial's recorded pass metrics, so tree shape, priorities, and the
+  /// deterministic-mode compile fingerprint are bit-identical to a miss.
+  void setTrialCache(TrialCache *C) { Cache = C; }
+
+  uint64_t trialCacheHits() const { return TrialHits; }
+  uint64_t trialCacheMisses() const { return TrialMisses; }
+  /// Wall time spent inside expandCutoff's trial section (both paths).
+  uint64_t trialNanos() const { return TrialNanosTotal; }
+  /// Original trial wall time skipped thanks to cache hits.
+  uint64_t trialNanosSaved() const { return TrialNanosSavedTotal; }
+
 private:
   /// Creates a child node for callsite \p Inst inside \p Parent.
   void addChildForCallsite(CallNode &Parent, ir::Instruction *Inst,
@@ -180,6 +207,17 @@ private:
   /// parameters became more concrete.
   unsigned specializeArguments(CallNode &N);
 
+  /// Builds the memoization key for \p N's trial: module content, callee
+  /// symbol, callsite argument signature, callee profile, trial config.
+  TrialKey makeTrialKey(const CallNode &N);
+  /// Re-records the cached trial's per-pass metric deltas (Nanos zeroed)
+  /// and fires the pass observer on \p Body, mirroring what the skipped
+  /// passes would have reported.
+  void replayTrialMetrics(const TrialResult &Cached, ir::Function &Body);
+  /// --verify-trial-cache: recomputes the trial from scratch under a
+  /// private context and aborts on any divergence from \p Cached.
+  void verifyCachedTrial(const CallNode &N, const TrialResult &Cached);
+
   const InlinerConfig &Config;
   const ir::Module &M;
   const profile::ProfileTable &Profiles;
@@ -187,6 +225,15 @@ private:
   std::unique_ptr<CallNode> Root;
   uint64_t NodesCreated = 0;
   uint64_t NextCloneId = 0;
+
+  TrialCache *Cache = nullptr;
+  uint64_t TrialHits = 0;
+  uint64_t TrialMisses = 0;
+  uint64_t TrialNanosTotal = 0;
+  uint64_t TrialNanosSavedTotal = 0;
+  /// Profiles are frozen for the duration of one compilation, so each
+  /// method's profile digest is computed at most once per tree.
+  std::unordered_map<std::string, uint64_t> ProfileFpMemo;
 };
 
 } // namespace incline::inliner

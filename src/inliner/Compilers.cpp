@@ -11,6 +11,8 @@
 #include "opt/PassPipeline.h"
 #include "opt/Passes.h"
 
+#include <optional>
+
 using namespace incline;
 using namespace incline::inliner;
 
@@ -83,13 +85,32 @@ IncrementalCompiler::compile(const ir::Function &Source, const ir::Module &M,
   ir::ClonedFunction Clone = ir::cloneFunction(Source, Source.name());
   IncrementalInliner Inliner(Config, M, Profiles);
   Inliner.setPassContext(Session.ctx());
+
+  // Per-compile mode gets a private cache (intra-compilation reuse only);
+  // its lifetime counters fold into the compiler-level aggregate so stats
+  // survive the compilation. Shared mode uses the compiler-lifetime
+  // instance, which is internally synchronized for concurrent workers.
+  std::optional<TrialCache> LocalCache;
+  if (Config.TrialCache == TrialCacheMode::PerCompile) {
+    LocalCache.emplace(Config.TrialCacheCapacity);
+    Inliner.setTrialCache(&*LocalCache);
+  } else if (Config.TrialCache == TrialCacheMode::Shared) {
+    Inliner.setTrialCache(Cache.get());
+  }
+
   InlinerResult Result = Inliner.run(std::move(Clone.F), Source.name());
+  if (LocalCache && Cache)
+    Cache->absorbStats(LocalCache->cacheStats());
 
   Stats.InlinedCallsites = Result.CallsitesInlined;
   Stats.Rounds = Result.Rounds;
   Stats.ExploredNodes = Result.NodesExplored;
   Stats.OptsTriggered = Result.OptsTriggered;
   Stats.GuardsEmitted = Result.GuardsEmitted;
+  Stats.TrialCacheHits = Result.TrialCacheHits;
+  Stats.TrialCacheMisses = Result.TrialCacheMisses;
+  Stats.TrialNanos = Result.TrialNanos;
+  Stats.TrialNanosSaved = Result.TrialNanosSaved;
 
   opt::PipelineStats Pipeline =
       opt::runOptimizationPipeline(*Result.Body, M, Session.pipelineOptions());

@@ -26,7 +26,10 @@
 
 #include "inliner/Baselines.h"
 #include "inliner/InlinerConfig.h"
+#include "inliner/TrialCache.h"
 #include "jit/Compiler.h"
+
+#include <memory>
 
 namespace incline::inliner {
 
@@ -35,7 +38,10 @@ class IncrementalCompiler : public jit::Compiler {
 public:
   explicit IncrementalCompiler(InlinerConfig Config = InlinerConfig(),
                                std::string Label = "incremental")
-      : Config(Config), Label(std::move(Label)) {}
+      : Config(Config), Label(std::move(Label)) {
+    if (this->Config.TrialCache != TrialCacheMode::Off)
+      Cache = std::make_unique<TrialCache>(this->Config.TrialCacheCapacity);
+  }
 
   std::unique_ptr<ir::Function>
   compile(const ir::Function &Source, const ir::Module &M,
@@ -46,9 +52,18 @@ public:
 
   const InlinerConfig &config() const { return Config; }
 
+  /// Shared mode: the deep-trial cache itself (the runtime routes
+  /// invalidation events here). PerCompile mode: a stats-only aggregate of
+  /// the per-compilation caches, so `minioo --stats` reports either way.
+  /// Off: null.
+  jit::CompileCache *compileCache() override { return Cache.get(); }
+
 private:
   InlinerConfig Config;
   std::string Label;
+  /// Internally synchronized; safe to touch from concurrent compile
+  /// workers despite compile()'s no-mutation contract.
+  std::unique_ptr<TrialCache> Cache;
 };
 
 /// Greedy (open-source Graal / Steiner et al.) baseline compiler.

@@ -63,6 +63,7 @@ InlinerResult IncrementalInliner::run(std::unique_ptr<ir::Function> RootBody,
   Result.OptsTriggered += RunCanon(*RootBody);
 
   CallTree Tree(Config, M, Profiles, Ctx);
+  Tree.setTrialCache(Cache);
   Tree.buildRoot(std::move(RootBody), std::move(ProfileName));
   ExpansionPhase Expansion(Config, Tree);
 
@@ -109,6 +110,10 @@ InlinerResult IncrementalInliner::run(std::unique_ptr<ir::Function> RootBody,
   }
 
   Result.NodesExplored = Tree.nodesCreated();
+  Result.TrialCacheHits = Tree.trialCacheHits();
+  Result.TrialCacheMisses = Tree.trialCacheMisses();
+  Result.TrialNanos = Tree.trialNanos();
+  Result.TrialNanosSaved = Tree.trialNanosSaved();
   Result.Body = std::move(Tree.root()->Body);
   return Result;
 }

@@ -36,6 +36,10 @@ struct InlinerResult {
   size_t GuardsEmitted = 0; ///< Speculative-devirtualization guards planted.
   uint64_t NodesExplored = 0;
   uint64_t OptsTriggered = 0; ///< Canonicalizer rewrites in root + trials.
+  uint64_t TrialCacheHits = 0;   ///< Deep trials served from the cache.
+  uint64_t TrialCacheMisses = 0; ///< Deep trials computed and cached.
+  uint64_t TrialNanos = 0;       ///< Wall time in the deep-trial section.
+  uint64_t TrialNanosSaved = 0;  ///< Trial wall time skipped via the cache.
 };
 
 /// Runs the incremental inlining algorithm on one compilation request.
@@ -51,6 +55,10 @@ public:
   /// a private per-compilation AnalysisManager.
   void setPassContext(const opt::PassContext &Ctx) { PassCtx = Ctx; }
 
+  /// Installs the deep-trial memoization cache the run's CallTree consults
+  /// (null = trials always run fresh). See TrialCache.h.
+  void setTrialCache(TrialCache *C) { Cache = C; }
+
   /// Consumes the compilation copy \p RootBody of the method named
   /// \p ProfileName and returns the inlined, optimized body.
   InlinerResult run(std::unique_ptr<ir::Function> RootBody,
@@ -61,6 +69,7 @@ private:
   const ir::Module &M;
   const profile::ProfileTable &Profiles;
   opt::PassContext PassCtx;
+  TrialCache *Cache = nullptr;
 };
 
 } // namespace incline::inliner

@@ -34,6 +34,14 @@ enum class InliningPolicyKind {
   FixedRootSize, ///< Classic: inline while |ir(root)| < T_i.
 };
 
+/// Lifetime/sharing of the deep-trial memoization cache (TrialCache.h).
+enum class TrialCacheMode {
+  Off,        ///< Every trial recomputed from scratch (seed behavior).
+  PerCompile, ///< Fresh cache per compilation: intra-compile reuse only.
+  Shared,     ///< One compiler-lifetime cache shared across compilations
+              ///< and compile worker threads.
+};
+
 /// Full configuration of the incremental inlining algorithm.
 struct InlinerConfig {
   //===--------------------------------------------------------------------===//
@@ -113,6 +121,11 @@ struct InlinerConfig {
   size_t MaxExpansionsPerRound = 24;
   /// Canonicalizer visit budget per specialized body.
   uint64_t TrialVisitBudget = 50'000;
+  /// Deep-trial memoization (performance-only: hits are bit-identical to
+  /// misses). Off by default so the seed configuration is unchanged.
+  TrialCacheMode TrialCache = TrialCacheMode::Off;
+  /// Entry bound of the trial cache (LRU-evicted past this).
+  size_t TrialCacheCapacity = 1024;
   /// Exploration penalty for recursion (Eq. 14) is always on; this caps
   /// the depth at which recursive cutoffs may still be expanded at all.
   int MaxRecursionDepth = 8;

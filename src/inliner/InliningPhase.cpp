@@ -92,7 +92,7 @@ private:
     if (N.Kind == CallNodeKind::Expanded) {
       auto *Call = cast<CallInst>(CallsiteInRoot);
       opt::InlineResult Result =
-          opt::inlineCall(*Root.Body, Call, *N.Body);
+          opt::inlineCall(*Root.Body, Call, *N.body());
       ++Stats.CallsitesInlined;
 
       // Children's callsites lived in N's body; remap them into the root.
@@ -109,6 +109,7 @@ private:
       }
       N.Kind = CallNodeKind::Deleted;
       N.Body.reset();
+      N.CachedBody.reset();
       N.Callsite = nullptr;
       return;
     }

@@ -6,10 +6,31 @@
 
 #include "ir/Module.h"
 
+#include "ir/IRPrinter.h"
 #include "support/ErrorHandling.h"
 
 using namespace incline;
 using namespace incline::ir;
+
+namespace {
+
+uint64_t fnv1a(uint64_t Hash, std::string_view Data) {
+  for (unsigned char C : Data) {
+    Hash ^= C;
+    Hash *= 1099511628211ull;
+  }
+  return Hash;
+}
+
+uint64_t fnv1a(uint64_t Hash, uint64_t Value) {
+  for (int I = 0; I < 8; ++I) {
+    Hash ^= (Value >> (I * 8)) & 0xff;
+    Hash *= 1099511628211ull;
+  }
+  return Hash;
+}
+
+} // namespace
 
 Function *Module::addFunction(std::string Name,
                               std::vector<types::Type> ParamTypes,
@@ -31,4 +52,34 @@ Function *Module::adoptFunction(std::unique_ptr<Function> F) {
 Function *Module::function(std::string_view Name) const {
   auto It = Funcs.find(Name);
   return It == Funcs.end() ? nullptr : It->second.get();
+}
+
+uint64_t Module::contentFingerprint() const {
+  uint64_t Memo = ContentFp.load(std::memory_order_acquire);
+  if (Memo != 0)
+    return Memo;
+
+  // printModule covers every function body deterministically (Funcs is
+  // name-ordered); the class hierarchy is appended explicitly because the
+  // printer only emits IR. Concurrent first calls compute the same value,
+  // so a plain racing store is benign. This lazy path only runs for
+  // programmatically built modules — the frontend seeds its modules with a
+  // source-text digest (seedContentFingerprint), which is equivalent (the
+  // frontend is deterministic) and avoids printing the module at all.
+  uint64_t Hash = fnv1a(14695981039346656037ull, printModule(*this));
+  for (size_t Id = 0; Id < Classes.numClasses(); ++Id) {
+    const types::ClassInfo &Info = Classes.classInfo(static_cast<int>(Id));
+    Hash = fnv1a(Hash, Info.Name);
+    Hash = fnv1a(Hash, static_cast<uint64_t>(Info.SuperId + 1));
+    for (const types::FieldInfo &Field : Info.Fields) {
+      Hash = fnv1a(Hash, Field.Name);
+      Hash = fnv1a(Hash, typeToString(Field.Ty));
+    }
+    for (const types::MethodInfo &Method : Info.Methods)
+      Hash = fnv1a(Hash, Method.QualifiedName);
+  }
+  if (Hash == 0)
+    Hash = 1; // Reserve 0 as "not yet computed".
+  ContentFp.store(Hash, std::memory_order_release);
+  return Hash;
 }

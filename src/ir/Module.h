@@ -17,6 +17,8 @@
 #include "ir/Function.h"
 #include "types/ClassHierarchy.h"
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -53,9 +55,33 @@ public:
 
   size_t numFunctions() const { return Funcs.size(); }
 
+  /// Digest of the whole translation unit: every function's printed IR plus
+  /// the class hierarchy. Two modules with equal fingerprints compile
+  /// identically, which lets caches keyed on program content (the inliner's
+  /// trial cache) hit across separately constructed modules of the same
+  /// source. Never 0. Computed on first use and memoized; safe to call
+  /// concurrently, but only once the frontend has finished building the
+  /// module — adding functions afterwards would stale the memo.
+  uint64_t contentFingerprint() const;
+
+  /// Pre-populates the contentFingerprint memo with a digest the builder
+  /// already knows determines the module's content — the frontend seeds the
+  /// source-text digest, since identical source lowers to an identical
+  /// module and printing the module per compilation would dwarf the work
+  /// content-keyed caches are trying to skip. Must be nonzero; ignored if a
+  /// fingerprint was already computed or seeded.
+  void seedContentFingerprint(uint64_t Digest) {
+    assert(Digest != 0 && "0 is reserved for 'not yet computed'");
+    uint64_t Expected = 0;
+    ContentFp.compare_exchange_strong(Expected, Digest,
+                                      std::memory_order_release,
+                                      std::memory_order_relaxed);
+  }
+
 private:
   types::ClassHierarchy Classes;
   std::map<std::string, std::unique_ptr<Function>, std::less<>> Funcs;
+  mutable std::atomic<uint64_t> ContentFp{0};
 };
 
 } // namespace incline::ir

@@ -44,6 +44,38 @@ struct CompileStats {
   uint64_t PassNanos = 0;       ///< Wall time spent inside passes.
   uint64_t AnalysisCacheHits = 0;   ///< Cached-analysis reuses.
   uint64_t AnalysisCacheMisses = 0; ///< Analyses computed from scratch.
+  uint64_t TrialCacheHits = 0;   ///< Deep-trial results served from cache.
+  uint64_t TrialCacheMisses = 0; ///< Deep trials computed from scratch.
+  uint64_t TrialNanos = 0;       ///< Wall time in the deep-trial bundle.
+  uint64_t TrialNanosSaved = 0;  ///< Trial wall time skipped via the cache.
+};
+
+/// Aggregate counters of a compile-result cache (see compileCache()).
+struct CompileCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;          ///< Entries dropped by the LRU bound.
+  uint64_t EpochInvalidations = 0; ///< Full clears from runtime events.
+  uint64_t SavedNanos = 0;         ///< Trial wall time skipped on hits.
+};
+
+/// A cache of memoized compilation work (e.g. the inliner's deep-trial
+/// results) that must not survive events which change what the runtime
+/// knows about the program. The JIT runtime notifies it on such events:
+/// code invalidation after a failed speculation (the code epoch bumps) and
+/// speculation-blacklist growth. Implementations must be thread-safe —
+/// compile workers hit the cache concurrently with runtime events.
+class CompileCache {
+public:
+  virtual ~CompileCache();
+
+  /// Drops every entry whose validity the runtime event could have
+  /// affected. Called by JitRuntime on deopt-driven invalidation and on
+  /// speculation-blacklist updates.
+  virtual void invalidateForRuntimeEvent() = 0;
+
+  /// Snapshot of the lifetime counters.
+  virtual CompileCacheStats cacheStats() const = 0;
 };
 
 /// A second-tier compiler: consumes the profiled source IR of one method
@@ -76,6 +108,11 @@ public:
 
   /// Short name for reports ("incremental", "greedy", "c2", ...).
   virtual std::string name() const = 0;
+
+  /// The compiler's memoization cache, if it keeps one (null otherwise).
+  /// The JIT runtime uses this to deliver invalidation events without the
+  /// jit layer depending on any concrete compiler implementation.
+  virtual CompileCache *compileCache() { return nullptr; }
 
   /// Installs hooks the compiler threads through every pass it runs: the
   /// observer fires after each individual pass on the function it just

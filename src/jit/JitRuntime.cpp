@@ -21,6 +21,7 @@ using namespace incline;
 using namespace incline::jit;
 
 Compiler::~Compiler() = default;
+CompileCache::~CompileCache() = default;
 
 std::string_view incline::jit::jitModeName(JitMode Mode) {
   switch (Mode) {
@@ -322,6 +323,10 @@ void JitRuntime::onDeopt(std::string_view Method,
       !Blacklist.contains(Method, FS.ResumePoint)) {
     Blacklist.add(Method, FS.ResumePoint);
     ++Stats.SpeculationsBlacklisted;
+    // The blacklist feeds future compilations; memoized compile work from
+    // before this entry existed must not be replayed.
+    if (CompileCache *Cache = TheCompiler.compileCache())
+      Cache->invalidateForRuntimeEvent();
   }
   invalidate(Method);
 }
@@ -338,6 +343,9 @@ void JitRuntime::invalidate(std::string_view Symbol) {
   CodeCache.erase(It);
   ++CodeEpoch;
   ++Stats.Invalidations;
+  // Code-epoch bump: flush memoized compile work along with the code.
+  if (CompileCache *Cache = TheCompiler.compileCache())
+    Cache->invalidateForRuntimeEvent();
 
   MethodState &State = stateOf(Symbol);
   State.Compiled = false;

@@ -27,6 +27,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "fuzz/Fuzzer.h"
+#include "inliner/TrialCache.h"
 #include "opt/Analysis.h"
 
 #include <cstdio>
@@ -62,6 +63,8 @@ int usage() {
       "  --no-per-pass-verify verify per config only, not per pass\n"
       "  --verify-analyses    recompute every cached analysis on each hit\n"
       "                       and abort on mismatch (cache cross-check)\n"
+      "  --verify-trial-cache recompute every deep-inlining trial on each\n"
+      "                       trial-cache hit and abort on divergence\n"
       "  --jit-iterations N   runs per JIT policy (default 3)\n"
       "  --threshold N        JIT compile threshold (default 1)\n"
       "  --chaos              add chaos JIT stages: forced guard failures,\n"
@@ -150,6 +153,8 @@ std::optional<CliOptions> parseArgs(int argc, char **argv) {
       O.Oracle.VerifyAfterEachPass = false;
     } else if (Arg == "--verify-analyses") {
       opt::setVerifyCachedAnalyses(true);
+    } else if (Arg == "--verify-trial-cache") {
+      inliner::setVerifyTrialCache(true);
     } else if (Arg == "--no-reduce") {
       O.Reduce = false;
     } else if (Arg == "--no-bisect") {

@@ -55,6 +55,7 @@ struct Options {
   std::string File;
   std::string Jit = "incremental";
   std::string JitMode = "sync";
+  std::string TrialCache = "off";
   std::string Function;
   uint64_t Threshold = 50;
   unsigned JitThreads = 1;
@@ -71,6 +72,7 @@ int usage() {
       "  minioo run <file> [--jit=incremental|greedy|c2|c1|off]\n"
       "                    [--jit-mode=sync|async|deterministic]\n"
       "                    [--jit-threads=N]\n"
+      "                    [--trial-cache=off|per-compile|shared]\n"
       "                    [--threshold=N] [--iterations=N] [--stats]\n"
       "  minioo dump <file> [--function=NAME] [--optimize]\n"
       "  minioo compile <file> --function=NAME [--jit=...]\n"
@@ -122,6 +124,13 @@ std::optional<Options> parseArgs(int argc, char **argv) {
       Opts.Jit = *V;
     } else if (auto V = ValueOf("--jit-mode=")) {
       Opts.JitMode = *V;
+    } else if (auto V = ValueOf("--trial-cache=")) {
+      if (*V != "off" && *V != "per-compile" && *V != "shared") {
+        std::fprintf(stderr, "invalid --trial-cache value '%s'\n",
+                     V->c_str());
+        return std::nullopt;
+      }
+      Opts.TrialCache = *V;
     } else if (auto V = ValueOf("--jit-threads=")) {
       auto N = parseCount(*V);
       if (!N) {
@@ -168,9 +177,16 @@ std::optional<std::string> readFile(const std::string &Path) {
   return Buffer.str();
 }
 
-std::unique_ptr<jit::Compiler> makeCompiler(const std::string &Name) {
-  if (Name == "incremental" || Name == "off")
-    return std::make_unique<inliner::IncrementalCompiler>();
+std::unique_ptr<jit::Compiler> makeCompiler(const std::string &Name,
+                                            const std::string &TrialCache) {
+  if (Name == "incremental" || Name == "off") {
+    inliner::InlinerConfig Config;
+    if (TrialCache == "per-compile")
+      Config.TrialCache = inliner::TrialCacheMode::PerCompile;
+    else if (TrialCache == "shared")
+      Config.TrialCache = inliner::TrialCacheMode::Shared;
+    return std::make_unique<inliner::IncrementalCompiler>(Config);
+  }
   if (Name == "greedy")
     return std::make_unique<inliner::GreedyCompiler>();
   if (Name == "c2")
@@ -181,7 +197,8 @@ std::unique_ptr<jit::Compiler> makeCompiler(const std::string &Name) {
 }
 
 int cmdRun(const Options &Opts, ir::Module &M) {
-  std::unique_ptr<jit::Compiler> Compiler = makeCompiler(Opts.Jit);
+  std::unique_ptr<jit::Compiler> Compiler =
+      makeCompiler(Opts.Jit, Opts.TrialCache);
   if (!Compiler) {
     std::fprintf(stderr, "unknown --jit '%s'\n", Opts.Jit.c_str());
     return 2;
@@ -252,6 +269,19 @@ int cmdRun(const Options &Opts, ir::Module &M) {
                  static_cast<unsigned long long>(S.Invalidations),
                  static_cast<unsigned long long>(S.RecompilesAfterDeopt),
                  static_cast<unsigned long long>(S.SpeculationsBlacklisted));
+    if (const jit::CompileCache *Cache = Compiler->compileCache()) {
+      jit::CompileCacheStats CS = Cache->cacheStats();
+      std::fprintf(stderr,
+                   "trial-cache: mode=%s hits=%llu misses=%llu "
+                   "evictions=%llu epoch-invalidations=%llu "
+                   "saved-ms=%.3f\n",
+                   Opts.TrialCache.c_str(),
+                   static_cast<unsigned long long>(CS.Hits),
+                   static_cast<unsigned long long>(CS.Misses),
+                   static_cast<unsigned long long>(CS.Evictions),
+                   static_cast<unsigned long long>(CS.EpochInvalidations),
+                   static_cast<double>(CS.SavedNanos) / 1e6);
+    }
   }
   return 0;
 }
@@ -283,7 +313,8 @@ int cmdCompile(const Options &Opts, ir::Module &M) {
     std::fprintf(stderr, "no function '%s'\n", Opts.Function.c_str());
     return 1;
   }
-  std::unique_ptr<jit::Compiler> Compiler = makeCompiler(Opts.Jit);
+  std::unique_ptr<jit::Compiler> Compiler =
+      makeCompiler(Opts.Jit, Opts.TrialCache);
   if (!Compiler) {
     std::fprintf(stderr, "unknown --jit '%s'\n", Opts.Jit.c_str());
     return 2;
