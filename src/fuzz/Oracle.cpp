@@ -454,6 +454,51 @@ DifferentialOracle::check(const std::string &Source) const {
     }
   }
 
+  // Loop-entry OSR stages: the incremental policy with OSR on, under every
+  // execution mode. The reference output was already matched by the
+  // OSR-off stages above, so every seed doubles as an OSR-on-vs-off
+  // differential. The method threshold is raised slightly so loops run
+  // interpreted long enough to tier up mid-frame, and the backedge
+  // threshold is tiny so nearly every loop does.
+  if (Opts.CheckJitPolicies && Opts.CheckOsr) {
+    struct OsrStage {
+      std::string Name;
+      jit::JitMode Mode;
+      unsigned Threads;
+    };
+    const OsrStage OsrStages[] = {
+        {"osr-sync", jit::JitMode::Sync, 1},
+        {"osr-deterministic", jit::JitMode::Deterministic, 2},
+        {"osr-async", jit::JitMode::Async, 2},
+    };
+    for (const OsrStage &Stage : OsrStages) {
+      std::unique_ptr<ir::Module> M = compileOrNull(Source);
+      inliner::IncrementalCompiler Compiler{inliner::InlinerConfig()};
+      jit::JitConfig Config;
+      Config.CompileThreshold = std::max<uint64_t>(Opts.CompileThreshold, 3);
+      Config.Mode = Stage.Mode;
+      Config.Threads = Stage.Threads;
+      Config.Osr = true;
+      Config.OsrBackedgeThreshold = 4;
+      jit::JitRuntime Runtime(*M, Compiler, Config);
+      for (int Iter = 0; Iter < Opts.JitIterations; ++Iter) {
+        interp::ExecResult R = Runtime.runMain(Budget);
+        if (R.ok() && R.Output == Expected)
+          continue;
+        Divergence D;
+        D.Kind = failureKind(R);
+        D.Stage = "jit:" + Stage.Name;
+        D.Detail = R.ok() ? "iteration " + std::to_string(Iter) +
+                                " output differs from the reference"
+                          : R.TrapMessage;
+        D.Expected = Expected;
+        D.Actual = R.Output;
+        return D;
+      }
+      Runtime.drainCompilations();
+    }
+  }
+
   // Chaos stages: the incremental policy under every execution mode with
   // fault injection turned on. The runtime's deoptimization story claims
   // that forced guard failures, compile faults and invalidation timing are
@@ -496,6 +541,22 @@ DifferentialOracle::check(const std::string &Source) const {
                                                     unsigned) {
             uint64_t Draw = chaosMix(C.Seed ^ GuardSalt, (*Counter)++);
             return chaosChance(Draw, C.GuardFailureRate);
+          };
+      // Chaos runs with OSR on: interpreted frames (fresh methods, bailed
+      // compiles, post-deopt baselines) tier up mid-loop, and the forced
+      // schedule below requests OSR compiles at backedges the threshold
+      // would not have picked — so forced guard failures fire inside OSR
+      // bodies too, closing the OSR-entry -> deopt-exit -> recompile ->
+      // re-entry loop under every mode. Like guards, the OSR poll runs on
+      // the mutator only, so a plain counter suffices.
+      Config.Osr = true;
+      Config.OsrBackedgeThreshold = 4;
+      Config.ForceOsrEntry =
+          [C = Opts.Chaos, OsrSalt = StageSalt ^ 0xA0761D6478BD642FULL,
+           Counter = std::make_shared<uint64_t>(0)](std::string_view,
+                                                    unsigned, uint64_t) {
+            uint64_t Draw = chaosMix(C.Seed ^ OsrSalt, (*Counter)++);
+            return chaosChance(Draw, C.OsrForceRate);
           };
       jit::JitRuntime Runtime(*M, Compiler, Config);
       for (int Iter = 0; Iter < Opts.JitIterations; ++Iter) {

@@ -103,6 +103,13 @@ struct ChaosOptions {
   /// randomizing publication and invalidation timing across worker
   /// threads. 0 disables the delay.
   unsigned MaxCompileDelayMicros = 200;
+  /// Chaos stages run with loop-entry OSR enabled; this is the probability
+  /// that one interpreted backedge crossing forces an OSR compile request
+  /// ahead of the threshold (deterministic per (Seed, backedge index)).
+  /// Combined with forced guard failures this drives OSR-entry ->
+  /// guard-failure -> deopt-exit -> recompile round trips, all of which
+  /// must be output-neutral.
+  double OsrForceRate = 0.05;
 };
 
 /// Oracle configuration.
@@ -116,6 +123,11 @@ struct OracleOptions {
   bool CheckPipelines = true;
   /// Run tiered-JIT inliner-policy stages.
   bool CheckJitPolicies = true;
+  /// Run loop-entry-OSR stages (incremental policy with `--jit-osr=on`
+  /// under every execution mode, diffed against the same reference the
+  /// OSR-off stages matched — every seed is an OSR-on-vs-off
+  /// differential). Requires CheckJitPolicies.
+  bool CheckOsr = true;
   /// Iterations per JIT policy (recompilation paths need > 1).
   int JitIterations = 3;
   /// Hotness threshold for the tiered runs.

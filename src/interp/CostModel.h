@@ -85,6 +85,8 @@ struct CostModel {
       return 1;
     case ir::ValueKind::Print:
       return 40;
+    case ir::ValueKind::OsrEntry:
+      return 0; // Never executed: the OSR transfer materializes them.
     case ir::ValueKind::Branch:
       return 2;
     case ir::ValueKind::Guard:

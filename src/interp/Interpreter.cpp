@@ -108,6 +108,10 @@ private:
     // top, and phi evaluation is skipped (the materialized frame already
     // holds every live value).
     size_t ResumeIndex = 0;
+    // Set by an OSR poll at a block transition: the frame transfers into
+    // this OSR variant once the target block's phis have been evaluated
+    // (the entry descriptors may read this iteration's phi values).
+    const Function *PendingOsr = nullptr;
     while (true) {
       if (trapped())
         return RtValue::nullVal();
@@ -141,6 +145,18 @@ private:
       }
       size_t Begin = ResumeIndex > Phis.size() ? ResumeIndex : Phis.size();
       ResumeIndex = 0;
+
+      if (PendingOsr) {
+        // The loop header's phis now hold this iteration's values; hand
+        // the frame to the compiled OSR body.
+        const Function *Target = PendingOsr;
+        PendingOsr = nullptr;
+        if (!transferToOsr(Target, Body, F, BB, Frame, ResumeIndex))
+          return RtValue::nullVal();
+        Profiles = nullptr; // The compiled tier records no profiles.
+        PrevBB = nullptr;
+        continue;
+      }
 
       for (size_t Index = Begin; Index < BB->size(); ++Index) {
         const Instruction *Inst = BB->instructions()[Index].get();
@@ -213,6 +229,12 @@ private:
           default:
             incline_unreachable("unknown terminator");
           }
+          // OSR-eligible interpreted bodies report every taken edge: the
+          // env counts backedges there and may offer an OSR body anchored
+          // at the new block. Deopt transfers clear PrevBB (no CFG edge
+          // was taken) and returns leave the frame, so neither polls.
+          if (Body.OsrEligible && !Body.Compiled && PrevBB)
+            PendingOsr = Env.onOsrEdge(Body.ProfileName, *PrevBB, *BB);
           break; // Proceed with the next block.
         }
 
@@ -305,6 +327,69 @@ private:
     BB = ResumeBB;
     Frame = std::move(NewFrame);
     ResumeIndex = Index;
+    return true;
+  }
+
+  /// Loop-entry OSR: the inverse of transferToBaseline. Materializes the
+  /// interpreted frame's live values into a fresh frame for \p OsrF — the
+  /// arguments by index plus one value per leading OsrEntryInst, sourced
+  /// per its slot descriptor — then redirects execution to the OSR body's
+  /// entry block with \p ResumeIndex skipping the already-materialized
+  /// entries. \p F must be the baseline the variant is anchored at and
+  /// \p BB its loop header, with this iteration's phi values already in
+  /// \p Frame. Returns false (after trapping) when a slot does not
+  /// resolve — install-time verification (verifyOsrEntries) rejects such
+  /// code, so this is defense in depth, not a supported path.
+  bool transferToOsr(const Function *OsrF, ResolvedBody &Body,
+                     const Function *&F, const BasicBlock *&BB,
+                     std::unordered_map<const Value *, RtValue> &Frame,
+                     size_t &ResumeIndex) {
+    assert(OsrF->osrAnchor() && "OSR transfer into an unanchored function");
+    assert(OsrF->numParams() == F->numParams() &&
+           "OSR variant signature mismatch");
+    // Baseline values are named by profileId (slots) — build the lookup
+    // per transfer; OSR entries are rare (once per hot loop per tier-up).
+    std::unordered_map<unsigned, const Value *> BaselineValues;
+    for (const auto &Blk : F->blocks())
+      for (const auto &Inst : Blk->instructions())
+        if (!Inst->type().isVoid())
+          BaselineValues[Inst->profileId()] = Inst.get();
+
+    std::unordered_map<const Value *, RtValue> NewFrame;
+    for (size_t I = 0; I < OsrF->numParams(); ++I)
+      NewFrame[OsrF->arg(I)] = eval(F->arg(I), Frame);
+
+    const BasicBlock *Entry = OsrF->entry();
+    size_t Lead = 0;
+    for (const auto &Inst : Entry->instructions()) {
+      const auto *OE = dyn_cast<OsrEntryInst>(Inst.get());
+      if (!OE)
+        break;
+      ++Lead;
+      const FrameStateSlot &Slot = OE->source();
+      const Value *Src = nullptr;
+      if (Slot.Kind == FrameStateSlot::Target::Argument) {
+        if (Slot.BaselineId < F->numParams())
+          Src = F->arg(Slot.BaselineId);
+      } else {
+        auto It = BaselineValues.find(Slot.BaselineId);
+        if (It != BaselineValues.end())
+          Src = It->second;
+      }
+      if (!Src) {
+        trap(TrapKind::Deoptimization,
+             "unresolved osr entry slot in " + OsrF->name());
+        return false;
+      }
+      NewFrame[OE] = eval(Src, Frame);
+    }
+
+    Body.F = OsrF;
+    Body.Compiled = true;
+    F = OsrF;
+    BB = Entry;
+    Frame = std::move(NewFrame);
+    ResumeIndex = Lead;
     return true;
   }
 

@@ -62,6 +62,15 @@ struct ResolvedBody {
   /// Profile-lookup key: the *original* method name even for specialized
   /// clones (profile ids match across clones).
   std::string ProfileName;
+  /// Set by the environment for interpreted bodies whose loops are OSR
+  /// candidates: the interpreter then reports every taken CFG edge through
+  /// onOsrEdge so the environment can count backedges and offer an OSR
+  /// body. Kept false for compiled bodies and when OSR is disabled, so the
+  /// common dispatch path pays nothing. A deoptimization transfer back into
+  /// the baseline preserves the flag — the same C++ frame may tier up again
+  /// once a replacement OSR body is compiled (the OSR <-> deopt round
+  /// trip).
+  bool OsrEligible = false;
 };
 
 /// Policy hook: decides which body executes for each invoked symbol and
@@ -101,6 +110,25 @@ public:
   virtual void onDeopt(std::string_view Method, const ir::DeoptInst &Deopt) {
     (void)Method;
     (void)Deopt;
+  }
+
+  /// Loop-entry OSR poll, called (only for bodies resolved with
+  /// `OsrEligible`) right after the interpreted tier takes the CFG edge
+  /// \p From -> \p To of \p Method. The JIT runtime counts hot backedges
+  /// and requests OSR compilations here; returning a non-null function
+  /// asks the interpreter to transfer the live frame into that OSR variant
+  /// once \p To's phis have been evaluated. The returned function must be
+  /// an OSR variant of \p Method anchored at \p To (entry block made of
+  /// OsrEntryInsts, see ir/Instruction.h) and must stay alive for the rest
+  /// of the frame's execution — the runtime parks invalidated OSR code in
+  /// its graveyard exactly like deoptimized method code.
+  virtual const ir::Function *onOsrEdge(std::string_view Method,
+                                        const ir::BasicBlock &From,
+                                        const ir::BasicBlock &To) {
+    (void)Method;
+    (void)From;
+    (void)To;
+    return nullptr;
   }
 
   /// Chaos hook: returning true forces the guard identified by

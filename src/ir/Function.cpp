@@ -71,6 +71,19 @@ void Function::moveBlockToEnd(BasicBlock *BB) {
   Blocks.push_back(std::move(Owned));
 }
 
+void Function::moveBlockToFront(BasicBlock *BB) {
+  assert(BB->predecessors().empty() &&
+         "an entry block cannot have predecessors");
+  auto It = std::find_if(Blocks.begin(), Blocks.end(),
+                         [&](const auto &B) { return B.get() == BB; });
+  assert(It != Blocks.end() && "block does not belong to this function");
+  std::unique_ptr<BasicBlock> Owned = std::move(*It);
+  Blocks.erase(It);
+  Blocks.insert(Blocks.begin(), std::move(Owned));
+  // The entry changed, so every CFG-derived analysis is stale.
+  noteCFGChanged();
+}
+
 size_t Function::instructionCount() const {
   size_t Count = 0;
   for (const auto &BB : Blocks)

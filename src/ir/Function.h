@@ -18,10 +18,21 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 namespace incline::ir {
+
+/// Marks a function as a loop-entry OSR variant: its entry block
+/// materializes the live frame of `BaselineSymbol` at the loop headed by
+/// baseline block `HeaderBlockId` (see OsrEntryInst). The anchor is copied
+/// by cloneFunction so compilation clones of an OSR skeleton stay OSR
+/// variants.
+struct OsrAnchor {
+  std::string BaselineSymbol;
+  unsigned HeaderBlockId = 0;
+};
 
 /// A function (free function or method; methods take `this` as parameter 0).
 class Function {
@@ -59,6 +70,17 @@ public:
   /// Moves \p BB to the end of the block list (block order is only
   /// cosmetic; entry stays at index 0).
   void moveBlockToEnd(BasicBlock *BB);
+
+  /// Moves \p BB to the front of the block list, making it the entry block
+  /// (used when grafting an OSR entry onto a cloned loop body). \p BB must
+  /// have no predecessors.
+  void moveBlockToFront(BasicBlock *BB);
+
+  /// OSR-variant marker; null for ordinary functions.
+  const OsrAnchor *osrAnchor() const {
+    return Anchor ? &*Anchor : nullptr;
+  }
+  void setOsrAnchor(OsrAnchor A) { Anchor = std::move(A); }
 
   /// Total instruction count: the paper's |ir|.
   size_t instructionCount() const;
@@ -105,6 +127,7 @@ private:
   std::unique_ptr<ConstBool> FalseConstant;
   std::unique_ptr<ConstNull> NullConstant;
 
+  std::optional<OsrAnchor> Anchor;
   unsigned NextProfileId = 0;
   unsigned NextBlockId = 0;
   uint64_t UniqueId;

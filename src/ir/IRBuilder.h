@@ -108,6 +108,9 @@ public:
   PrintInst *print(Value *V) {
     return append(std::make_unique<PrintInst>(V));
   }
+  OsrEntryInst *osrEntry(FrameStateSlot Source, types::Type Ty) {
+    return append(std::make_unique<OsrEntryInst>(Source, Ty));
+  }
   BranchInst *branch(Value *Cond, BasicBlock *TrueSucc, BasicBlock *FalseSucc) {
     return append(std::make_unique<BranchInst>(Cond, TrueSucc, FalseSucc));
   }

@@ -94,6 +94,11 @@ std::unique_ptr<Instruction> cloneInstructionShell(const Instruction *Inst,
     return std::make_unique<NullCheckInst>(Ops[0]);
   case ValueKind::Print:
     return std::make_unique<PrintInst>(Ops[0]);
+  case ValueKind::OsrEntry:
+    // The slot descriptor names the *baseline* function (argument index or
+    // baseline profileId), which cloning never changes — copy verbatim.
+    return std::make_unique<OsrEntryInst>(cast<OsrEntryInst>(Inst)->source(),
+                                          Inst->type());
   case ValueKind::Return:
     return std::make_unique<ReturnInst>(Ops.empty() ? nullptr : Ops[0]);
   case ValueKind::Deopt: {
@@ -253,6 +258,8 @@ ClonedFunction incline::ir::cloneFunction(const Function &Source,
   }
   cloneBlocks(Source, NewF, Result.ValueMap, /*PreserveProfileIds=*/true);
   NewF.reserveProfileIdsUpTo(Source.nextProfileIdWatermark());
+  if (const OsrAnchor *A = Source.osrAnchor())
+    NewF.setOsrAnchor(*A);
   return Result;
 }
 

@@ -57,7 +57,11 @@ public:
         OS << ", ";
       OS << valueName(F.arg(I)) << ": " << typeToString(F.arg(I)->type());
     }
-    OS << ") -> " << typeToString(F.returnType()) << " {\n";
+    OS << ") -> " << typeToString(F.returnType());
+    if (const OsrAnchor *A = F.osrAnchor())
+      OS << formatString(" osr(%s, bb%u)", A->BaselineSymbol.c_str(),
+                         A->HeaderBlockId);
+    OS << " {\n";
     for (const auto &BB : F.blocks()) {
       OS << blockName(BB.get()) << ":";
       if (!BB->predecessors().empty()) {
@@ -173,6 +177,13 @@ private:
       return Prefix + "nullcheck " + operandList(Inst);
     case ValueKind::Print:
       return Prefix + "print " + operandList(Inst);
+    case ValueKind::OsrEntry: {
+      const FrameStateSlot &Slot = cast<OsrEntryInst>(Inst)->source();
+      return Prefix + "osrentry " + typeToString(Inst->type()) +
+             (Slot.Kind == FrameStateSlot::Target::Argument
+                  ? formatString(" <- arg%u", Slot.BaselineId)
+                  : formatString(" <- #%u", Slot.BaselineId));
+    }
     case ValueKind::Branch: {
       const auto *Br = cast<BranchInst>(Inst);
       return formatString("br %s ? %s : %s",

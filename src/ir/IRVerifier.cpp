@@ -32,6 +32,7 @@ public:
     checkPredecessorSymmetry();
     checkPhis();
     checkGuardsAndFrameStates();
+    checkOsrEntries();
     checkDominance();
     return std::move(Problems);
   }
@@ -222,6 +223,36 @@ private:
     }
   }
 
+  void checkOsrEntries() {
+    // Placement rules for OSR entry materialization (the cross-function
+    // slot resolution lives in verifyOsrEntries): entries exist only in
+    // anchored OSR variants, only in the entry block, contiguous from its
+    // top, and each produces a value.
+    bool Anchored = F.osrAnchor() != nullptr;
+    for (const auto &BB : F.blocks()) {
+      bool IsEntry = !F.blocks().empty() && BB.get() == F.entry();
+      bool SeenNonOsrEntry = false;
+      for (const auto &Inst : BB->instructions()) {
+        if (!isa<OsrEntryInst>(Inst.get())) {
+          SeenNonOsrEntry = true;
+          continue;
+        }
+        if (!Anchored)
+          problem("osr entry in a function without an OSR anchor (" +
+                  BB->name() + ")");
+        if (!IsEntry)
+          problem("osr entry outside the entry block (" + BB->name() + ")");
+        else if (SeenNonOsrEntry)
+          problem("osr entry after a non-osr-entry instruction in " +
+                  BB->name());
+        if (Inst->type().isVoid())
+          problem("osr entry with void type in " + BB->name());
+        if (Inst->numOperands() != 0)
+          problem("osr entry with operands in " + BB->name());
+      }
+    }
+  }
+
   void checkDominance() {
     if (F.blocks().empty() || !Problems.empty())
       return; // Skip when structure is already broken.
@@ -330,12 +361,92 @@ incline::ir::verifyFrameStates(const Function &F, const Module &M) {
   return Problems;
 }
 
+std::vector<std::string>
+incline::ir::verifyOsrEntries(const Function &F, const Module &M) {
+  std::vector<std::string> Problems;
+  const OsrAnchor *A = F.osrAnchor();
+  if (!A)
+    return Problems; // verifyFunction rejects stray OsrEntryInsts.
+  auto Problem = [&](std::string Msg) {
+    Problems.push_back("[" + F.name() + "] " + std::move(Msg));
+  };
+  const Function *Baseline = M.function(A->BaselineSymbol);
+  if (!Baseline) {
+    Problem("osr anchor names unknown baseline function " +
+            A->BaselineSymbol);
+    return Problems;
+  }
+  const BasicBlock *Header = nullptr;
+  for (const auto &BB : Baseline->blocks())
+    if (BB->id() == A->HeaderBlockId)
+      Header = BB.get();
+  if (!Header) {
+    Problem(formatString("osr anchor names missing block %u of %s",
+                         A->HeaderBlockId, A->BaselineSymbol.c_str()));
+    return Problems;
+  }
+  const DominatorTree BDT(*Baseline);
+  if (!BDT.isReachable(Header)) {
+    Problem(formatString("osr anchor block %u of %s is unreachable",
+                         A->HeaderBlockId, A->BaselineSymbol.c_str()));
+    return Problems;
+  }
+
+  std::unordered_map<unsigned, const Instruction *> BaselineInsts;
+  for (const auto &BB : Baseline->blocks())
+    for (const auto &Inst : BB->instructions())
+      if (!Inst->type().isVoid())
+        BaselineInsts[Inst->profileId()] = Inst.get();
+
+  for (const auto &BB : F.blocks()) {
+    for (const auto &Inst : BB->instructions()) {
+      const auto *OE = dyn_cast<OsrEntryInst>(Inst.get());
+      if (!OE)
+        continue;
+      const FrameStateSlot &Slot = OE->source();
+      if (Slot.Kind == FrameStateSlot::Target::Argument) {
+        if (Slot.BaselineId >= Baseline->numParams())
+          Problem(formatString(
+              "osr entry reads argument %u of %s (which has %zu parameters)",
+              Slot.BaselineId, A->BaselineSymbol.c_str(),
+              Baseline->numParams()));
+        continue;
+      }
+      auto It = BaselineInsts.find(Slot.BaselineId);
+      if (It == BaselineInsts.end()) {
+        Problem(formatString(
+            "osr entry reads missing baseline instruction #%u of %s",
+            Slot.BaselineId, A->BaselineSymbol.c_str()));
+        continue;
+      }
+      // The transfer fires at the loop header after its phis were
+      // evaluated, so the source must be defined by then on *every* path:
+      // either its block strictly dominates the header, or it is one of
+      // the header's own phis.
+      const Instruction *Def = It->second;
+      const BasicBlock *DefBB = Def->parent();
+      bool Available =
+          DefBB == Header ? isa<PhiInst>(Def)
+                          : BDT.isReachable(DefBB) &&
+                                BDT.dominates(DefBB, Header);
+      if (!Available)
+        Problem(formatString(
+            "osr entry reads baseline instruction #%u of %s, which does "
+            "not dominate the anchor header bb%u",
+            Slot.BaselineId, A->BaselineSymbol.c_str(), A->HeaderBlockId));
+    }
+  }
+  return Problems;
+}
+
 std::vector<std::string> incline::ir::verifyModule(const Module &M) {
   std::vector<std::string> Problems;
   for (const auto &[Name, F] : M.functions()) {
     std::vector<std::string> Local = verifyFunction(*F);
     Problems.insert(Problems.end(), Local.begin(), Local.end());
     Local = verifyFrameStates(*F, M);
+    Problems.insert(Problems.end(), Local.begin(), Local.end());
+    Local = verifyOsrEntries(*F, M);
     Problems.insert(Problems.end(), Local.begin(), Local.end());
     // Cross-function checks: every direct call target must exist and the
     // argument count must match its signature.

@@ -38,6 +38,14 @@ std::vector<std::string> verifyModule(const Module &M);
 /// not module members, so verifyModule never sees them).
 std::vector<std::string> verifyFrameStates(const Function &F, const Module &M);
 
+/// Checks \p F's OSR entry descriptors against the module: when \p F
+/// carries an OSR anchor, the anchored baseline function and loop-header
+/// block must exist, and every OsrEntryInst slot must resolve to a baseline
+/// argument or to a baseline instruction available at the header (defined
+/// in a strictly dominating block, or one of the header's own phis). Run by
+/// verifyModule and by the JIT runtime before installing OSR code.
+std::vector<std::string> verifyOsrEntries(const Function &F, const Module &M);
+
 /// Convenience: asserts (fatally) that \p F verifies; returns true so it
 /// can be used in boolean contexts.
 bool verifyFunctionOrDie(const Function &F);

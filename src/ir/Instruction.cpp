@@ -63,6 +63,7 @@ bool Instruction::hasSideEffects() const {
   case ValueKind::VirtualCall:
   case ValueKind::CheckCast: // May trap.
   case ValueKind::NullCheck: // May trap.
+  case ValueKind::OsrEntry:  // Frame transfer; dead slots must survive DCE.
   case ValueKind::Branch:
   case ValueKind::Jump:
   case ValueKind::Guard:

@@ -559,6 +559,42 @@ struct FrameState {
   std::vector<FrameStateSlot> Slots; ///< Parallel to the deopt's operands.
 };
 
+/// Materializes one live baseline value at a loop-entry OSR point. OSR
+/// variants (functions carrying an `OsrAnchor`, see Function.h) begin with a
+/// contiguous run of these in their entry block: when the interpreter
+/// transfers a mid-loop frame into compiled code, each OsrEntryInst names —
+/// via the same `FrameStateSlot` encoding the deopt machinery uses, just in
+/// the opposite direction — which baseline frame value (argument by index,
+/// or instruction result by baseline profileId) it receives.
+///
+/// Invariants (checked by the verifier):
+///  * only appears in functions with an OSR anchor, only in the entry
+///    block, and only before any non-OsrEntry instruction;
+///  * produces a non-void value;
+///  * under `verifyOsrEntries`, every slot resolves against the anchor's
+///    baseline function and its definition reaches the anchored loop
+///    header: arguments always do, instruction slots must be defined in a
+///    block that strictly dominates the header or be one of the header's
+///    own phis (the transfer happens after the header's phi evaluation).
+///
+/// Reports side effects so no pass removes, merges, or reorders entry
+/// materialization — a dead slot must still be *transferable*, exactly like
+/// a deopt's captured operands pin values live on the other side.
+class OsrEntryInst : public Instruction {
+public:
+  OsrEntryInst(FrameStateSlot Source, types::Type Ty)
+      : Instruction(ValueKind::OsrEntry, Ty), Source(Source) {}
+
+  const FrameStateSlot &source() const { return Source; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::OsrEntry;
+  }
+
+private:
+  FrameStateSlot Source;
+};
+
 /// Speculation guard: tests whether the receiver operand's dynamic class id
 /// equals `expectedClassId()`. Falls through to the pass successor when it
 /// does (the speculated direct call), to the fail successor (which must

@@ -56,6 +56,7 @@ enum class ValueKind : uint8_t {
   GetClassId,
   NullCheck,
   Print,
+  OsrEntry,
   // Terminators (must stay contiguous and last).
   Branch,
   Jump,

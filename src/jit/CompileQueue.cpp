@@ -6,17 +6,25 @@
 
 #include "jit/CompileQueue.h"
 
+#include "support/StringUtils.h"
+
 #include <algorithm>
 
 using namespace incline;
 using namespace incline::jit;
+
+std::string CompileTask::dedupKey() const {
+  if (TaskKind == Kind::Method)
+    return Symbol;
+  return formatString("%s@osr%u", Symbol.c_str(), OsrHeaderBlockId);
+}
 
 CompileQueue::Outcome CompileQueue::tryEnqueue(CompileTask Task) {
   {
     std::lock_guard<std::mutex> Guard(Lock);
     if (Closed || Tasks.size() >= Capacity)
       return Outcome::Full;
-    if (!Queued.insert(Task.Symbol).second)
+    if (!Queued.insert(Task.dedupKey()).second)
       return Outcome::Duplicate;
     Task.SequenceNo = NextSequenceNo++;
     Tasks.push_back(std::move(Task));
@@ -44,7 +52,7 @@ std::optional<CompileTask> CompileQueue::pop() {
   }
   CompileTask Task = std::move(*Best);
   Tasks.erase(Best);
-  Queued.erase(Task.Symbol);
+  Queued.erase(Task.dedupKey());
   return Task;
 }
 

@@ -46,7 +46,16 @@ namespace incline::jit {
 
 /// One unit of background compilation work.
 struct CompileTask {
+  /// What the worker compiles for \p Symbol.
+  enum class Kind : uint8_t {
+    Method, ///< The whole method, entered at function entry.
+    Osr     ///< A loop-entry OSR variant anchored at `OsrHeaderBlockId`.
+  };
+
   std::string Symbol;
+  Kind TaskKind = Kind::Method;
+  /// Baseline block id of the anchored loop header (OSR tasks only).
+  unsigned OsrHeaderBlockId = 0;
   /// Hotness counter value at enqueue time (the pop priority).
   uint64_t Hotness = 0;
   /// Enqueue order, assigned by the queue: 0, 1, 2, ... This is also the
@@ -59,6 +68,12 @@ struct CompileTask {
   /// and a deterministic-mode compile sees exactly what a synchronous
   /// compile at the enqueue safepoint would have seen.
   opt::SpeculationBlacklist BlacklistSnapshot;
+
+  /// Queue-dedup and compile-stream key: the bare symbol for method tasks,
+  /// `symbol@osr<header>` for OSR tasks — a method compilation and an OSR
+  /// variant of the same method may be in flight simultaneously, but two
+  /// OSR requests for the same (method, header) collapse.
+  std::string dedupKey() const;
 };
 
 /// Thread-safe bounded compile-task queue with deduplication.

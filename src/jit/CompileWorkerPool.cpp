@@ -8,6 +8,7 @@
 
 #include "ir/Module.h"
 #include "opt/Analysis.h"
+#include "opt/OsrPlan.h"
 
 #include <algorithm>
 #include <exception>
@@ -57,6 +58,22 @@ void CompileWorkerPool::workerLoop() {
       Outcome.Error = "unknown symbol";
       deliver(std::move(Outcome));
       continue;
+    }
+
+    // OSR tasks compile a skeleton (baseline clone entered at the anchored
+    // loop header) instead of the method itself. Skeleton construction is
+    // deterministic, so building it on the worker keeps the mutator stall
+    // identical to a plain async compile.
+    std::unique_ptr<ir::Function> OsrSkeleton;
+    if (Outcome.Task.TaskKind == CompileTask::Kind::Osr) {
+      OsrSkeleton =
+          opt::buildOsrVariant(*Source, Outcome.Task.OsrHeaderBlockId);
+      if (!OsrSkeleton) {
+        Outcome.Error = "osr header unavailable";
+        deliver(std::move(Outcome));
+        continue;
+      }
+      Source = OsrSkeleton.get();
     }
 
     // Worker-private pass scaffolding: start from the compiler's installed

@@ -126,7 +126,24 @@ interp::ResolvedBody JitRuntime::resolve(std::string_view Symbol) {
   }
   Body.F = M.function(Symbol);
   Body.Compiled = false;
+  // Interpreted tier: mark loop-bearing bodies OSR-eligible so the
+  // interpreter reports their taken backedges. The plan is computed once
+  // per method (the module is immutable at runtime) and an empty plan
+  // keeps the flag off — the dispatch loop pays nothing for loop-free
+  // methods.
+  if (Body.F && Config.Enabled && Config.Osr)
+    Body.OsrEligible = !osrPlanFor(Symbol).empty();
   return Body;
+}
+
+const opt::OsrPlan &JitRuntime::osrPlanFor(std::string_view Symbol) {
+  auto It = OsrPlans.find(Symbol);
+  if (It != OsrPlans.end())
+    return It->second;
+  opt::OsrPlan Plan;
+  if (const ir::Function *F = M.function(Symbol))
+    Plan = opt::computeOsrPlan(*F);
+  return OsrPlans.emplace(std::string(Symbol), std::move(Plan)).first->second;
 }
 
 JitRuntime::MethodState &JitRuntime::stateOf(std::string_view Symbol) {
@@ -205,6 +222,114 @@ void JitRuntime::requestCompile(std::string_view Symbol, MethodState &State) {
   }
 }
 
+const ir::Function *JitRuntime::onOsrEdge(std::string_view Method,
+                                          const ir::BasicBlock &From,
+                                          const ir::BasicBlock &To) {
+  if (!Config.Enabled || !Config.Osr)
+    return nullptr;
+  const opt::OsrPlan &Plan = osrPlanFor(Method);
+  unsigned Header = Plan.headerForEdge(From.id(), To.id());
+  if (Header == opt::OsrPlan::NoHeader)
+    return nullptr;
+  // Backedge profiling lives in the ordinary profile table: snapshots taken
+  // at enqueue time carry it to workers like every other profile.
+  uint64_t Count = ++Profiles.methodProfile(Method).Backedges[Header];
+
+  OsrState &State = OsrStates[{std::string(Method), Header}];
+  if (!State.Compiled && !State.InFlight && !State.DoNotCompile &&
+      !CompilationInProgress) {
+    uint64_t Threshold = State.NextAttemptAt != 0 ? State.NextAttemptAt
+                                                  : Config.OsrBackedgeThreshold;
+    bool Forced =
+        Config.ForceOsrEntry && Config.ForceOsrEntry(Method, Header, Count);
+    if (Forced || Count >= Threshold)
+      requestOsrCompile(Method, Header, State, Count);
+  }
+
+  // Entry only at the credited header itself: an irreducible retreating
+  // edge heats its enclosing natural header but never transfers at its own
+  // target, where the live frame is not the loop-entry frame.
+  if (To.id() != Header)
+    return nullptr;
+  auto It = OsrCache.find({std::string(Method), Header});
+  if (It == OsrCache.end())
+    return nullptr;
+  ++Stats.OsrEntries;
+  return It->second.get();
+}
+
+void JitRuntime::requestOsrCompile(std::string_view Symbol,
+                                   unsigned HeaderBlockId, OsrState &State,
+                                   uint64_t BackedgeCount) {
+  if (Config.Mode == JitMode::Sync || !Queue) {
+    ++Stats.OsrCompileRequests;
+    compileOsrOnMutator(Symbol, HeaderBlockId);
+    return;
+  }
+
+  CompileTask Task;
+  Task.Symbol = std::string(Symbol);
+  Task.TaskKind = CompileTask::Kind::Osr;
+  Task.OsrHeaderBlockId = HeaderBlockId;
+  Task.Hotness = BackedgeCount;
+  Task.ProfilesSnapshot = Profiles;
+  Task.BlacklistSnapshot = Blacklist;
+
+  CompileQueue::Outcome Enq = Queue->tryEnqueue(std::move(Task));
+  if (Enq != CompileQueue::Outcome::Enqueued) {
+    if (Enq == CompileQueue::Outcome::Full)
+      ++Stats.QueueFullRejections;
+    State.NextAttemptAt = BackedgeCount + 1 + Config.OsrBackedgeThreshold / 4;
+    return;
+  }
+  ++Stats.OsrCompileRequests;
+  State.InFlight = true;
+
+  if (Config.Mode == JitMode::Deterministic) {
+    // Same blocking-drain safepoint as method tasks: the variant installs
+    // at the exact backedge crossing a sync-mode compile would have used,
+    // which is what keeps the compile stream bit-identical to Sync.
+    StallTimer Stall(Stats.MutatorStallNanos);
+    publishBatch(Pool->waitUntilDrained());
+  }
+}
+
+void JitRuntime::compileOsrOnMutator(std::string_view Symbol,
+                                     unsigned HeaderBlockId) {
+  const ir::Function *Source = M.function(Symbol);
+  if (!Source)
+    return;
+  StallTimer Stall(Stats.MutatorStallNanos);
+  CompileInProgressGuard Guard(CompilationInProgress);
+
+  CompileOutcome Outcome;
+  Outcome.Task.Symbol = std::string(Symbol);
+  Outcome.Task.TaskKind = CompileTask::Kind::Osr;
+  Outcome.Task.OsrHeaderBlockId = HeaderBlockId;
+  std::unique_ptr<ir::Function> Skeleton =
+      opt::buildOsrVariant(*Source, HeaderBlockId);
+  if (!Skeleton) {
+    Outcome.Error = "osr header unavailable";
+    publishOutcome(std::move(Outcome));
+    return;
+  }
+  opt::PassContext Ctx = TheCompiler.passContext();
+  Ctx.Blacklist = &Blacklist;
+  try {
+    Outcome.Code =
+        TheCompiler.compile(*Skeleton, M, Profiles, Outcome.Stats, Ctx);
+  } catch (const std::exception &E) {
+    Outcome.Code = nullptr;
+    Outcome.Error = E.what();
+    Outcome.Exception = true;
+  } catch (...) {
+    Outcome.Code = nullptr;
+    Outcome.Error = "unknown compiler exception";
+    Outcome.Exception = true;
+  }
+  publishOutcome(std::move(Outcome));
+}
+
 void JitRuntime::compileOnMutator(std::string_view Symbol) {
   const ir::Function *Source = M.function(Symbol);
   if (!Source)
@@ -241,6 +366,10 @@ void JitRuntime::publishBatch(std::vector<CompileOutcome> Batch) {
 }
 
 void JitRuntime::publishOutcome(CompileOutcome &&Outcome) {
+  if (Outcome.Task.TaskKind == CompileTask::Kind::Osr) {
+    publishOsrOutcome(std::move(Outcome));
+    return;
+  }
   MethodState &State = stateOf(Outcome.Task.Symbol);
   State.InFlight = false;
   if (State.Compiled) {
@@ -283,6 +412,70 @@ void JitRuntime::publishOutcome(CompileOutcome &&Outcome) {
     State.DeoptPending = false;
     ++Stats.RecompilesAfterDeopt;
   }
+}
+
+void JitRuntime::publishOsrOutcome(CompileOutcome &&Outcome) {
+  std::pair<std::string, unsigned> Key = {Outcome.Task.Symbol,
+                                          Outcome.Task.OsrHeaderBlockId};
+  OsrState &State = OsrStates[Key];
+  State.InFlight = false;
+  uint64_t Count = 0;
+  if (const profile::MethodProfile *P = Profiles.find(Outcome.Task.Symbol)) {
+    auto It = P->Backedges.find(Outcome.Task.OsrHeaderBlockId);
+    if (It != P->Backedges.end())
+      Count = It->second;
+  }
+  if (State.Compiled) {
+    ++Stats.StaleOutcomesDiscarded;
+    return;
+  }
+  if (!Outcome.Code) {
+    recordOsrBailout(State, Count, Outcome.Exception, /*Permanent=*/false);
+    return;
+  }
+  // Same unconditional verification gate as method code, plus the OSR
+  // contract: entry descriptors must resolve against the baseline at the
+  // anchored header, or the interpreter's frame transfer would read values
+  // the interpreted frame does not hold.
+  if (!ir::verifyFunction(*Outcome.Code).empty() ||
+      !ir::verifyFrameStates(*Outcome.Code, M).empty() ||
+      !ir::verifyOsrEntries(*Outcome.Code, M).empty()) {
+    ++Stats.VerifyFailures;
+    recordOsrBailout(State, Count, /*WasException=*/false, /*Permanent=*/true);
+    return;
+  }
+
+  CompilationRecord Record;
+  Record.Symbol = Outcome.Task.dedupKey(); // "method@osr<header>".
+  Record.Stats = Outcome.Stats;
+  Record.Stats.CodeSize = Outcome.Code->instructionCount();
+  Record.CompileIndex = Compilations.size();
+  Record.Attempt = State.FailedAttempts + 1;
+  Record.IRFingerprint = fnv1a(ir::printFunction(*Outcome.Code));
+  Stats.GuardsEmitted += Record.Stats.GuardsEmitted;
+  Compilations.push_back(std::move(Record));
+  OsrCache[Key] = std::move(Outcome.Code);
+  State.Compiled = true;
+  ++Stats.OsrInstalls;
+}
+
+void JitRuntime::recordOsrBailout(OsrState &State, uint64_t BackedgeCount,
+                                  bool WasException, bool Permanent) {
+  ++Stats.Bailouts;
+  if (WasException)
+    ++Stats.CompileExceptions;
+  ++State.FailedAttempts;
+  if (Permanent || State.FailedAttempts >= Config.MaxCompileAttempts) {
+    State.DoNotCompile = true;
+    return;
+  }
+  uint64_t Base = State.NextAttemptAt > BackedgeCount ? State.NextAttemptAt
+                                                      : BackedgeCount;
+  if (Base == 0)
+    Base = Config.OsrBackedgeThreshold != 0 ? Config.OsrBackedgeThreshold : 1;
+  uint64_t Factor =
+      Config.BailoutBackoffFactor > 1 ? Config.BailoutBackoffFactor : 2;
+  State.NextAttemptAt = Base * Factor;
 }
 
 void JitRuntime::recordBailout(MethodState &State, bool WasException,
@@ -332,20 +525,44 @@ void JitRuntime::onDeopt(std::string_view Method,
 }
 
 void JitRuntime::invalidate(std::string_view Symbol) {
-  auto It = CodeCache.find(Symbol);
-  if (It == CodeCache.end())
-    return; // Already invalidated (e.g. repeated deopts of retired code).
   // Retire, never destroy: the deoptimizing interpreter frames up the C++
   // stack are still executing this Function. Publication stays write-once
   // (PR 3's idempotence rules): the cache entry is removed and the epoch
   // bumped; nothing ever mutates an installed body in place.
-  RetiredCode.push_back(std::move(It->second));
-  CodeCache.erase(It);
+  bool RetiredMethod = false;
+  auto It = CodeCache.find(Symbol);
+  if (It != CodeCache.end()) {
+    RetiredCode.push_back(std::move(It->second));
+    CodeCache.erase(It);
+    ++Stats.Invalidations;
+    RetiredMethod = true;
+  }
+  // OSR variants of the method embed the same failed speculation (they are
+  // compiled from the same baseline against the same profiles), so a deopt
+  // retires them alongside the method body — including when the deopt came
+  // *from* an OSR body of a method that was never method-compiled. Their
+  // states reset to Compiled=false; the loop is still hot, so the next
+  // backedge crossing re-requests against the updated blacklist.
+  bool RetiredOsr = false;
+  for (auto OIt = OsrCache.lower_bound({std::string(Symbol), 0});
+       OIt != OsrCache.end() && OIt->first.first == Symbol;) {
+    RetiredCode.push_back(std::move(OIt->second));
+    OIt = OsrCache.erase(OIt);
+    ++Stats.OsrInvalidations;
+    RetiredOsr = true;
+  }
+  if (RetiredOsr)
+    for (auto SIt = OsrStates.lower_bound({std::string(Symbol), 0});
+         SIt != OsrStates.end() && SIt->first.first == Symbol; ++SIt)
+      SIt->second.Compiled = false;
+  if (!RetiredMethod && !RetiredOsr)
+    return; // Already invalidated (e.g. repeated deopts of retired code).
   ++CodeEpoch;
-  ++Stats.Invalidations;
   // Code-epoch bump: flush memoized compile work along with the code.
   if (CompileCache *Cache = TheCompiler.compileCache())
     Cache->invalidateForRuntimeEvent();
+  if (!RetiredMethod)
+    return; // OSR-only retire: nothing method-level to recompile.
 
   MethodState &State = stateOf(Symbol);
   State.Compiled = false;
@@ -376,6 +593,13 @@ void JitRuntime::compileNow(std::string_view Symbol) {
   if (stateOf(Symbol).InFlight)
     return;
   compileOnMutator(Symbol);
+}
+
+const ir::Function *
+JitRuntime::installedOsrVariant(std::string_view Method,
+                                unsigned HeaderBlockId) const {
+  auto It = OsrCache.find({std::string(Method), HeaderBlockId});
+  return It == OsrCache.end() ? nullptr : It->second.get();
 }
 
 interp::ExecResult JitRuntime::runMain() {

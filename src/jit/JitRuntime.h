@@ -41,6 +41,7 @@
 
 #include "interp/Interpreter.h"
 #include "jit/Compiler.h"
+#include "opt/OsrPlan.h"
 #include "opt/SpeculativeDevirt.h"
 #include "profile/ProfileData.h"
 
@@ -90,6 +91,21 @@ struct JitConfig {
   /// is output-neutral by construction (the baseline re-executes the
   /// dispatch), which is exactly what chaos fuzzing asserts.
   std::function<bool(std::string_view, unsigned)> ForceGuardFailure;
+
+  /// Loop-entry on-stack replacement: when on, interpreted bodies report
+  /// taken backedges and hot loops tier up mid-frame (see DESIGN.md §11).
+  /// Off by default — `Osr = false` must leave every observable (output,
+  /// compile stream, stats) exactly as before the feature existed.
+  bool Osr = false;
+  /// Taken backedges credited to one loop header before an OSR compilation
+  /// of that header is requested.
+  uint64_t OsrBackedgeThreshold = 100;
+  /// Chaos hook: when set, a backedge crossing for (method, header
+  /// baseline-block-id, taken-count) that returns true requests the OSR
+  /// compilation immediately, ignoring the threshold and backoff. Like
+  /// forced guard failures, a forced OSR entry must be output-neutral —
+  /// the variant computes exactly what the interpreted loop would have.
+  std::function<bool(std::string_view, unsigned, uint64_t)> ForceOsrEntry;
 };
 
 /// One installed compilation.
@@ -134,6 +150,12 @@ struct JitRuntimeStats {
   uint64_t Invalidations = 0;   ///< Installed bodies retired after a deopt.
   uint64_t RecompilesAfterDeopt = 0; ///< Successful re-installs post-deopt.
   uint64_t SpeculationsBlacklisted = 0; ///< Sites that hit the failure cap.
+
+  // Loop-entry OSR (see DESIGN.md §11). All zero when Config.Osr is off.
+  uint64_t OsrCompileRequests = 0; ///< Threshold/forced OSR compile requests.
+  uint64_t OsrInstalls = 0;        ///< OSR variants installed.
+  uint64_t OsrEntries = 0;         ///< Frame transfers into OSR code taken.
+  uint64_t OsrInvalidations = 0;   ///< OSR variants retired by a deopt.
 };
 
 /// The tiered runtime. Implements the interpreter's ExecutionEnv: hotness
@@ -152,6 +174,9 @@ public:
   void onSafepoint() override;
   profile::ProfileTable *profiles() override { return &Profiles; }
   void onDeopt(std::string_view Method, const ir::DeoptInst &Deopt) override;
+  const ir::Function *onOsrEdge(std::string_view Method,
+                                const ir::BasicBlock &From,
+                                const ir::BasicBlock &To) override;
   bool shouldForceGuardFailure(std::string_view Method,
                                unsigned GuardProfileId) override {
     return Config.ForceGuardFailure &&
@@ -183,6 +208,12 @@ public:
   const opt::SpeculationBlacklist &speculationBlacklist() const {
     return Blacklist;
   }
+
+  /// The installed OSR variant for (\p Method, baseline header block
+  /// \p HeaderBlockId), or null. Test/inspection hook; execution reaches
+  /// OSR code only through onOsrEdge.
+  const ir::Function *installedOsrVariant(std::string_view Method,
+                                          unsigned HeaderBlockId) const;
 
   /// Monotone counter bumped by every invalidation. Installed code is never
   /// mutated or destroyed in place — retiring an entry moves it to a
@@ -219,8 +250,33 @@ private:
     bool DeoptPending = false;
   };
 
+  /// Tier state of one OSR anchor, the loop-level sibling of MethodState.
+  /// Keyed by (method, baseline header block id).
+  struct OsrState {
+    unsigned FailedAttempts = 0;
+    bool InFlight = false;
+    bool Compiled = false;
+    bool DoNotCompile = false;
+    /// Backedge count at which the next compile attempt fires (post-bailout
+    /// backoff; 0 = the configured threshold applies).
+    uint64_t NextAttemptAt = 0;
+  };
+
   MethodState &stateOf(std::string_view Symbol);
   void requestCompile(std::string_view Symbol, MethodState &State);
+  /// Requests the OSR compilation of (\p Symbol, \p HeaderBlockId) per the
+  /// configured mode. Mutator-only; called from onOsrEdge.
+  void requestOsrCompile(std::string_view Symbol, unsigned HeaderBlockId,
+                         OsrState &State, uint64_t BackedgeCount);
+  /// One synchronous OSR attempt on the mutator (Sync mode).
+  void compileOsrOnMutator(std::string_view Symbol, unsigned HeaderBlockId);
+  /// publishOutcome's OSR-task arm.
+  void publishOsrOutcome(CompileOutcome &&Outcome);
+  void recordOsrBailout(OsrState &State, uint64_t BackedgeCount,
+                        bool WasException, bool Permanent);
+  /// Backedge-credit plan for \p Symbol's baseline, computed on first use.
+  /// The module is immutable at runtime, so the plan never goes stale.
+  const opt::OsrPlan &osrPlanFor(std::string_view Symbol);
   /// One synchronous attempt on the mutator (Sync mode and compileNow).
   void compileOnMutator(std::string_view Symbol);
   /// Verifies, installs or records a bailout. Mutator-only: this is the
@@ -241,6 +297,14 @@ private:
 
   std::map<std::string, MethodState, std::less<>> Methods;
   std::map<std::string, std::unique_ptr<ir::Function>, std::less<>> CodeCache;
+
+  /// Loop-entry OSR state (all empty while Config.Osr is off).
+  std::map<std::string, opt::OsrPlan, std::less<>> OsrPlans;
+  std::map<std::pair<std::string, unsigned>, OsrState> OsrStates;
+  /// Installed OSR variants, keyed like OsrStates. Same write-once publish
+  /// discipline as CodeCache; invalidation retires entries to RetiredCode.
+  std::map<std::pair<std::string, unsigned>, std::unique_ptr<ir::Function>>
+      OsrCache;
   std::vector<CompilationRecord> Compilations;
   JitRuntimeStats Stats;
   bool CompilationInProgress = false;

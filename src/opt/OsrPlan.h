@@ -1,0 +1,94 @@
+//===- opt/OsrPlan.h - Loop-entry OSR planning and skeleton building -------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop-entry on-stack replacement support, in two halves:
+///
+///  * `computeOsrPlan` decides, per CFG edge of an interpreted baseline,
+///    which loop header (if any) that edge's execution should be credited
+///    to for backedge counting, and which headers are eligible OSR entry
+///    points. Natural-loop backedges (target dominates source) credit and
+///    may enter their own header; retreating edges of irreducible cycles
+///    are *normalized* to the innermost enclosing natural loop's header —
+///    they heat that header's counter but never trigger an entry at their
+///    own target, so OSR entry only ever happens at a dominating header
+///    where the live frame is well-defined.
+///
+///  * `buildOsrVariant` manufactures the OSR skeleton for one header: a
+///    clone of the baseline whose new entry block materializes the live
+///    frame through `OsrEntryInst`s (one per header phi plus one per value
+///    defined outside the loop region but used inside it) and jumps to the
+///    header. The skeleton keeps the baseline's name and signature so the
+///    downstream compiler pipeline (speculative devirtualization, frame
+///    states, profiles, trial cache) treats it exactly like a method
+///    compilation; the `OsrAnchor` is what marks it as a loop variant.
+///
+/// This is the inverse of deoptimization's frame transfer: deopt maps
+/// compiled values *out* to baseline slots, OSR entry maps baseline slots
+/// *in* to compiled values, and both speak `FrameStateSlot`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_OPT_OSRPLAN_H
+#define INCLINE_OPT_OSRPLAN_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace incline::ir {
+class Function;
+} // namespace incline::ir
+
+namespace incline::opt {
+
+/// Which loop header each CFG edge credits for backedge counting, plus the
+/// set of headers eligible to anchor an OSR variant. Computed once per
+/// resolved interpreted body and cached by the JIT runtime.
+struct OsrPlan {
+  /// edgeKey(From, To) -> baseline block id of the credited header.
+  std::unordered_map<uint64_t, unsigned> EdgeToHeader;
+  /// Baseline block ids of entry-eligible (natural, dominating) headers.
+  std::unordered_set<unsigned> Headers;
+
+  static uint64_t edgeKey(unsigned FromId, unsigned ToId) {
+    return (static_cast<uint64_t>(FromId) << 32) | ToId;
+  }
+
+  /// Credited header for taking From -> To, or `NoHeader`.
+  unsigned headerForEdge(unsigned FromId, unsigned ToId) const {
+    auto It = EdgeToHeader.find(edgeKey(FromId, ToId));
+    return It == EdgeToHeader.end() ? NoHeader : It->second;
+  }
+
+  bool empty() const { return EdgeToHeader.empty(); }
+
+  static constexpr unsigned NoHeader = ~0u;
+};
+
+/// Analyzes \p F's loops and classifies every retreating CFG edge. See the
+/// file comment for the natural-vs-irreducible normalization rule.
+OsrPlan computeOsrPlan(const ir::Function &F);
+
+/// Builds the OSR skeleton of \p Baseline anchored at the loop header with
+/// baseline block id \p HeaderBlockId. Returns null when the header cannot
+/// anchor a variant (unknown id, or the header is the entry block — a
+/// degenerate self-loop entry would race function entry itself).
+///
+/// The result verifies under `verifyFunction` + `verifyOsrEntries` and is
+/// ready for `jit::Compiler::compile` like any baseline clone. Out-of-loop
+/// materializations carry the *baseline definition's* profile id so that
+/// speculative devirtualization's frame-state capture (which resolves
+/// captured operands by baseline profile id) keeps working inside the
+/// variant; header-phi entries keep fresh ids because the cloned phis
+/// themselves already carry the baseline ids.
+std::unique_ptr<ir::Function> buildOsrVariant(const ir::Function &Baseline,
+                                              unsigned HeaderBlockId);
+
+} // namespace incline::opt
+
+#endif // INCLINE_OPT_OSRPLAN_H

@@ -62,6 +62,10 @@ struct MethodProfile {
   uint64_t InvocationCount = 0;
   std::unordered_map<unsigned, BranchProfile> Branches;
   std::unordered_map<unsigned, ReceiverProfile> Receivers;
+  /// Taken backedge counts keyed by the loop header's baseline block id
+  /// (irreducible retreating edges are credited to the enclosing natural
+  /// header, see opt::OsrPlan). Drives the loop-entry OSR trigger.
+  std::unordered_map<unsigned, uint64_t> Backedges;
 };
 
 /// Program-wide profile store.

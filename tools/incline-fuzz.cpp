@@ -60,6 +60,9 @@ int usage() {
       "oracle:\n"
       "  --no-pipelines       skip optimization-pipeline stages\n"
       "  --no-jit             skip tiered-JIT inliner-policy stages\n"
+      "  --no-osr             skip loop-entry-OSR stages (OSR-on runs of\n"
+      "                       the incremental policy in every jit mode,\n"
+      "                       diffed against the OSR-off reference)\n"
       "  --no-per-pass-verify verify per config only, not per pass\n"
       "  --verify-analyses    recompute every cached analysis on each hit\n"
       "                       and abort on mismatch (cache cross-check)\n"
@@ -68,9 +71,10 @@ int usage() {
       "  --jit-iterations N   runs per JIT policy (default 3)\n"
       "  --threshold N        JIT compile threshold (default 1)\n"
       "  --chaos              add chaos JIT stages: forced guard failures,\n"
-      "                       injected compiler faults, randomized\n"
-      "                       publication/invalidation timing (async);\n"
-      "                       output must stay bit-identical regardless\n"
+      "                       injected compiler faults, forced OSR entries,\n"
+      "                       randomized publication/invalidation timing\n"
+      "                       (async); output must stay bit-identical\n"
+      "                       regardless\n"
       "  --chaos-seed N       base seed of the chaos schedule (default 0)\n"
       "\n"
       "failure handling:\n"
@@ -149,6 +153,8 @@ std::optional<CliOptions> parseArgs(int argc, char **argv) {
       O.Oracle.CheckPipelines = false;
     } else if (Arg == "--no-jit") {
       O.Oracle.CheckJitPolicies = false;
+    } else if (Arg == "--no-osr") {
+      O.Oracle.CheckOsr = false;
     } else if (Arg == "--no-per-pass-verify") {
       O.Oracle.VerifyAfterEachPass = false;
     } else if (Arg == "--verify-analyses") {

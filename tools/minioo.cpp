@@ -56,6 +56,8 @@ struct Options {
   std::string Jit = "incremental";
   std::string JitMode = "sync";
   std::string TrialCache = "off";
+  bool JitOsr = false;
+  uint64_t OsrThreshold = 100;
   std::string Function;
   uint64_t Threshold = 50;
   unsigned JitThreads = 1;
@@ -72,6 +74,7 @@ int usage() {
       "  minioo run <file> [--jit=incremental|greedy|c2|c1|off]\n"
       "                    [--jit-mode=sync|async|deterministic]\n"
       "                    [--jit-threads=N]\n"
+      "                    [--jit-osr=off|on] [--osr-threshold=N]\n"
       "                    [--trial-cache=off|per-compile|shared]\n"
       "                    [--threshold=N] [--iterations=N] [--stats]\n"
       "  minioo dump <file> [--function=NAME] [--optimize]\n"
@@ -131,6 +134,20 @@ std::optional<Options> parseArgs(int argc, char **argv) {
         return std::nullopt;
       }
       Opts.TrialCache = *V;
+    } else if (auto V = ValueOf("--jit-osr=")) {
+      if (*V != "off" && *V != "on") {
+        std::fprintf(stderr, "invalid --jit-osr value '%s'\n", V->c_str());
+        return std::nullopt;
+      }
+      Opts.JitOsr = *V == "on";
+    } else if (auto V = ValueOf("--osr-threshold=")) {
+      auto N = parseCount(*V);
+      if (!N) {
+        std::fprintf(stderr, "invalid --osr-threshold value '%s'\n",
+                     V->c_str());
+        return std::nullopt;
+      }
+      Opts.OsrThreshold = *N;
     } else if (auto V = ValueOf("--jit-threads=")) {
       auto N = parseCount(*V);
       if (!N) {
@@ -213,6 +230,8 @@ int cmdRun(const Options &Opts, ir::Module &M) {
   Config.Enabled = Opts.Jit != "off";
   Config.Mode = *Mode;
   Config.Threads = Opts.JitThreads;
+  Config.Osr = Opts.JitOsr;
+  Config.OsrBackedgeThreshold = Opts.OsrThreshold;
   jit::JitRuntime Runtime(M, *Compiler, Config);
 
   for (int Iter = 0; Iter < Opts.Iterations; ++Iter) {
@@ -269,6 +288,14 @@ int cmdRun(const Options &Opts, ir::Module &M) {
                  static_cast<unsigned long long>(S.Invalidations),
                  static_cast<unsigned long long>(S.RecompilesAfterDeopt),
                  static_cast<unsigned long long>(S.SpeculationsBlacklisted));
+    if (Config.Osr)
+      std::fprintf(stderr,
+                   "osr: requests=%llu installs=%llu entries=%llu "
+                   "invalidations=%llu\n",
+                   static_cast<unsigned long long>(S.OsrCompileRequests),
+                   static_cast<unsigned long long>(S.OsrInstalls),
+                   static_cast<unsigned long long>(S.OsrEntries),
+                   static_cast<unsigned long long>(S.OsrInvalidations));
     if (const jit::CompileCache *Cache = Compiler->compileCache()) {
       jit::CompileCacheStats CS = Cache->cacheStats();
       std::fprintf(stderr,
