@@ -151,6 +151,18 @@ bool chaosChance(uint64_t Draw, double Rate) {
   return static_cast<double>(Draw % 10000) < Rate * 10000.0;
 }
 
+/// FNV-1a over a method name, so per-method chaos schedules (forced
+/// eviction) depend on (seed, method) rather than on the global order
+/// methods happen to be invoked in.
+uint64_t fnv1a(std::string_view Data) {
+  uint64_t Hash = 1469598103934665603ULL;
+  for (unsigned char C : Data) {
+    Hash ^= C;
+    Hash *= 1099511628211ULL;
+  }
+  return Hash;
+}
+
 /// Compiler decorator injecting the compile-side chaos: per-attempt faults
 /// (thrown as exceptions — the runtime must treat them as bailouts) and,
 /// when configured, a short pre-compile sleep that shifts publication and
@@ -558,6 +570,21 @@ DifferentialOracle::check(const std::string &Source) const {
             uint64_t Draw = chaosMix(C.Seed ^ OsrSalt, (*Counter)++);
             return chaosChance(Draw, C.OsrForceRate);
           };
+      // Code-lifecycle chaos: forced evictions (the runtime claims eviction
+      // is a pure performance event — the victim re-tiers through the
+      // interpreter), plus an optional thrash budget and profile decay.
+      // The eviction poll runs on the mutator only, so a plain counter
+      // suffices; the method name is folded in so the schedule is
+      // per (seed, method) rather than per global invocation order.
+      Config.ForceEvict =
+          [C = Opts.Chaos, EvictSalt = StageSalt ^ 0xE7037ED1A0B428DBULL,
+           Counter = std::make_shared<uint64_t>(0)](std::string_view Symbol) {
+            uint64_t Draw = chaosMix(C.Seed ^ EvictSalt,
+                                     chaosMix(fnv1a(Symbol), (*Counter)++));
+            return chaosChance(Draw, C.EvictForceRate);
+          };
+      Config.CodeCacheBudget = Opts.Chaos.CodeCacheBudget;
+      Config.ProfileDecayHalflife = Opts.Chaos.ProfileDecayHalflife;
       jit::JitRuntime Runtime(*M, Compiler, Config);
       for (int Iter = 0; Iter < Opts.JitIterations; ++Iter) {
         interp::ExecResult R = Runtime.runMain(Budget);
@@ -575,6 +602,53 @@ DifferentialOracle::check(const std::string &Source) const {
       }
       // Publish whatever is still in flight before teardown: the stale /
       // post-invalidation publication paths are part of what chaos covers.
+      Runtime.drainCompilations();
+    }
+
+    // Dedicated code-lifecycle thrash stage: a cache budget so tiny that
+    // almost every publication evicts someone (or is rejected outright),
+    // aggressive profile decay, forced per-method evictions, OSR on, and
+    // async publication racing it all — diffed against the same interpreter
+    // reference. No injected compiler faults or guard failures here: a
+    // divergence in this stage attributes cleanly to the eviction / decay /
+    // re-tiering machinery rather than to the compounded chaos above.
+    {
+      std::unique_ptr<ir::Module> M = compileOrNull(Source);
+      inliner::IncrementalCompiler Compiler{inliner::InlinerConfig()};
+      jit::JitConfig Config;
+      Config.CompileThreshold = Opts.CompileThreshold;
+      Config.Mode = jit::JitMode::Async;
+      Config.Threads = 2;
+      Config.Osr = true;
+      Config.OsrBackedgeThreshold = 4;
+      Config.CodeCacheBudget = Opts.Chaos.CodeCacheBudget != 0
+                                   ? Opts.Chaos.CodeCacheBudget
+                                   : 48;
+      Config.ProfileDecayHalflife = Opts.Chaos.ProfileDecayHalflife != 0
+                                        ? Opts.Chaos.ProfileDecayHalflife
+                                        : 32;
+      Config.ForceEvict =
+          [C = Opts.Chaos, EvictSalt = uint64_t{0xD6E8FEB86659FD93ULL},
+           Counter = std::make_shared<uint64_t>(0)](std::string_view Symbol) {
+            uint64_t Draw = chaosMix(C.Seed ^ EvictSalt,
+                                     chaosMix(fnv1a(Symbol), (*Counter)++));
+            return chaosChance(Draw, C.EvictForceRate);
+          };
+      jit::JitRuntime Runtime(*M, Compiler, Config);
+      for (int Iter = 0; Iter < Opts.JitIterations; ++Iter) {
+        interp::ExecResult R = Runtime.runMain(Budget);
+        if (R.ok() && R.Output == Expected)
+          continue;
+        Divergence D;
+        D.Kind = failureKind(R);
+        D.Stage = "jit:evict-async";
+        D.Detail = R.ok() ? "iteration " + std::to_string(Iter) +
+                                " output differs from the reference"
+                          : R.TrapMessage;
+        D.Expected = Expected;
+        D.Actual = R.Output;
+        return D;
+      }
       Runtime.drainCompilations();
     }
   }

@@ -110,6 +110,19 @@ struct ChaosOptions {
   /// guard-failure -> deopt-exit -> recompile round trips, all of which
   /// must be output-neutral.
   double OsrForceRate = 0.05;
+  /// Probability that one invocation of a *compiled* method forcibly
+  /// evicts its code (deterministic per (Seed, decision index)). Eviction
+  /// is a pure performance event — the method falls back to the profiling
+  /// interpreter and re-tiers — so it must be output-neutral too.
+  double EvictForceRate = 0.05;
+  /// Code-cache budget (|ir| units) for the chaos stages. Nonzero turns
+  /// every chaos run into a cache-thrash run: admission rejections and
+  /// coldest-first evictions fire naturally on top of the forced ones.
+  /// 0 leaves the cache unbounded.
+  uint64_t CodeCacheBudget = 0;
+  /// Profile-decay halflife (safepoints per decay tick) for the chaos
+  /// stages. 0 disables decay.
+  uint64_t ProfileDecayHalflife = 0;
 };
 
 /// Oracle configuration.

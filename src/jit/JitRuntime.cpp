@@ -99,7 +99,8 @@ incline::jit::streamFingerprint(const std::vector<CompilationRecord> &Stream) {
 }
 
 JitRuntime::JitRuntime(ir::Module &M, Compiler &TheCompiler, JitConfig Config)
-    : M(M), TheCompiler(TheCompiler), Config(Config) {
+    : M(M), TheCompiler(TheCompiler), Config(std::move(Config)),
+      Code(this->Config.CodeCacheBudget) {
   if (this->Config.Enabled && this->Config.Mode != JitMode::Sync) {
     CompileQueue::PopOrder Order = this->Config.Mode == JitMode::Deterministic
                                        ? CompileQueue::PopOrder::Fifo
@@ -115,12 +116,23 @@ JitRuntime::~JitRuntime() {
     Pool->shutdown();
 }
 
+JitRuntimeStats JitRuntime::stats() const {
+  // The code-lifecycle counters are owned by the code cache (counted once,
+  // at the retire/install point); merge them into the snapshot so existing
+  // readers keep one coherent struct.
+  JitRuntimeStats S = Stats;
+  const CodeCacheStats &C = Code.stats();
+  S.Invalidations = C.Invalidations;
+  S.OsrInvalidations = C.OsrInvalidations;
+  S.OsrInstalls = C.OsrInstalls;
+  return S;
+}
+
 interp::ResolvedBody JitRuntime::resolve(std::string_view Symbol) {
   interp::ResolvedBody Body;
   Body.ProfileName = std::string(Symbol);
-  auto It = CodeCache.find(Symbol);
-  if (It != CodeCache.end()) {
-    Body.F = It->second.get();
+  if (const ir::Function *Compiled = Code.lookupMethod(Symbol)) {
+    Body.F = Compiled;
     Body.Compiled = true;
     return Body;
   }
@@ -159,8 +171,16 @@ void JitRuntime::onInvoke(std::string_view Symbol) {
   if (!Config.Enabled)
     return;
   MethodState &State = stateOf(Symbol);
-  if (State.Compiled)
-    return; // Fast path: hotness stops once compiled.
+  if (State.Compiled) {
+    // Chaos hook: a forced eviction at an invocation boundary exercises the
+    // evict -> reheat -> recompile round trip. When the symbol is pinned
+    // (a compile of it is in flight) the evict is a no-op and the method
+    // stays compiled.
+    if (Config.ForceEvict && Config.ForceEvict(Symbol))
+      evictNow(Symbol);
+    if (State.Compiled)
+      return; // Fast path: hotness stops once compiled.
+  }
   ++State.Hotness;
   if (State.InFlight || State.DoNotCompile)
     return;
@@ -174,6 +194,15 @@ void JitRuntime::onInvoke(std::string_view Symbol) {
 }
 
 void JitRuntime::onSafepoint() {
+  // Profile decay first: a tick is mutator-driven state, identical across
+  // Sync and Deterministic modes (the interpreter reaches safepoints in
+  // the same order), so decay alone never perturbs the bit-identity
+  // contract between them.
+  if (Config.ProfileDecayHalflife != 0 &&
+      ++SafepointsSinceDecay >= Config.ProfileDecayHalflife) {
+    SafepointsSinceDecay = 0;
+    applyProfileDecay();
+  }
   if (Config.Mode != JitMode::Async || !Pool)
     return;
   // One relaxed atomic load when nothing finished — the safepoint poll is
@@ -184,10 +213,29 @@ void JitRuntime::onSafepoint() {
   publishBatch(Pool->takeCompleted());
 }
 
+void JitRuntime::applyProfileDecay() {
+  Profiles.decay();
+  // Uncompiled hotness decays with the profiles it mirrors: a method that
+  // stopped being hot must earn its compile again. Compiled and in-flight
+  // anchors keep their counters — their trigger already fired.
+  for (auto &[Symbol, State] : Methods)
+    if (!State.Compiled && !State.InFlight)
+      State.Hotness >>= 1;
+  Code.decayHeat();
+  // Decayed profiles change every speculation input; memoized trial work
+  // keyed on the old counts must not be replayed (the TrialCache keys on a
+  // profile fingerprint too — this flush is the contract-level guarantee,
+  // via the same interface a deopt blacklist change uses).
+  if (CompileCache *Cache = TheCompiler.compileCache())
+    Cache->invalidateForRuntimeEvent();
+}
+
 void JitRuntime::requestCompile(std::string_view Symbol, MethodState &State) {
   if (Config.Mode == JitMode::Sync || !Queue) {
     ++Stats.CompileRequests;
-    compileOnMutator(Symbol);
+    CompileTask Task;
+    Task.Symbol = std::string(Symbol);
+    compileOnMutator(Task);
     return;
   }
 
@@ -212,6 +260,9 @@ void JitRuntime::requestCompile(std::string_view Symbol, MethodState &State) {
   }
   ++Stats.CompileRequests;
   State.InFlight = true;
+  // Pinned while in flight: the symbol's installed entries (if any) cannot
+  // be budget-eviction victims until the outcome publishes.
+  Code.pin(Symbol);
 
   if (Config.Mode == JitMode::Deterministic) {
     // The enqueue is the safepoint: block until the worker finishes and
@@ -251,11 +302,11 @@ const ir::Function *JitRuntime::onOsrEdge(std::string_view Method,
   // target, where the live frame is not the loop-entry frame.
   if (To.id() != Header)
     return nullptr;
-  auto It = OsrCache.find({std::string(Method), Header});
-  if (It == OsrCache.end())
+  const ir::Function *Variant = Code.lookupOsr(Method, Header);
+  if (!Variant)
     return nullptr;
   ++Stats.OsrEntries;
-  return It->second.get();
+  return Variant;
 }
 
 void JitRuntime::requestOsrCompile(std::string_view Symbol,
@@ -263,7 +314,11 @@ void JitRuntime::requestOsrCompile(std::string_view Symbol,
                                    uint64_t BackedgeCount) {
   if (Config.Mode == JitMode::Sync || !Queue) {
     ++Stats.OsrCompileRequests;
-    compileOsrOnMutator(Symbol, HeaderBlockId);
+    CompileTask Task;
+    Task.Symbol = std::string(Symbol);
+    Task.TaskKind = CompileTask::Kind::Osr;
+    Task.OsrHeaderBlockId = HeaderBlockId;
+    compileOnMutator(Task);
     return;
   }
 
@@ -284,6 +339,7 @@ void JitRuntime::requestOsrCompile(std::string_view Symbol,
   }
   ++Stats.OsrCompileRequests;
   State.InFlight = true;
+  Code.pin(Symbol);
 
   if (Config.Mode == JitMode::Deterministic) {
     // Same blocking-drain safepoint as method tasks: the variant installs
@@ -294,51 +350,31 @@ void JitRuntime::requestOsrCompile(std::string_view Symbol,
   }
 }
 
-void JitRuntime::compileOsrOnMutator(std::string_view Symbol,
-                                     unsigned HeaderBlockId) {
-  const ir::Function *Source = M.function(Symbol);
+void JitRuntime::compileOnMutator(const CompileTask &TaskShape) {
+  const ir::Function *Source = M.function(TaskShape.Symbol);
   if (!Source)
     return;
   StallTimer Stall(Stats.MutatorStallNanos);
   CompileInProgressGuard Guard(CompilationInProgress);
+  // Same pin discipline as the queue path; publishOutcome unpins.
+  Code.pin(TaskShape.Symbol);
 
   CompileOutcome Outcome;
-  Outcome.Task.Symbol = std::string(Symbol);
-  Outcome.Task.TaskKind = CompileTask::Kind::Osr;
-  Outcome.Task.OsrHeaderBlockId = HeaderBlockId;
-  std::unique_ptr<ir::Function> Skeleton =
-      opt::buildOsrVariant(*Source, HeaderBlockId);
-  if (!Skeleton) {
-    Outcome.Error = "osr header unavailable";
-    publishOutcome(std::move(Outcome));
-    return;
-  }
-  opt::PassContext Ctx = TheCompiler.passContext();
-  Ctx.Blacklist = &Blacklist;
-  try {
-    Outcome.Code =
-        TheCompiler.compile(*Skeleton, M, Profiles, Outcome.Stats, Ctx);
-  } catch (const std::exception &E) {
-    Outcome.Code = nullptr;
-    Outcome.Error = E.what();
-    Outcome.Exception = true;
-  } catch (...) {
-    Outcome.Code = nullptr;
-    Outcome.Error = "unknown compiler exception";
-    Outcome.Exception = true;
-  }
-  publishOutcome(std::move(Outcome));
-}
+  Outcome.Task.Symbol = TaskShape.Symbol;
+  Outcome.Task.TaskKind = TaskShape.TaskKind;
+  Outcome.Task.OsrHeaderBlockId = TaskShape.OsrHeaderBlockId;
 
-void JitRuntime::compileOnMutator(std::string_view Symbol) {
-  const ir::Function *Source = M.function(Symbol);
-  if (!Source)
-    return;
-  StallTimer Stall(Stats.MutatorStallNanos);
-  CompileInProgressGuard Guard(CompilationInProgress);
+  std::unique_ptr<ir::Function> Skeleton;
+  if (TaskShape.TaskKind == CompileTask::Kind::Osr) {
+    Skeleton = opt::buildOsrVariant(*Source, TaskShape.OsrHeaderBlockId);
+    if (!Skeleton) {
+      Outcome.Error = "osr header unavailable";
+      publishOutcome(std::move(Outcome));
+      return;
+    }
+    Source = Skeleton.get();
+  }
 
-  CompileOutcome Outcome;
-  Outcome.Task.Symbol = std::string(Symbol);
   // Mutator compiles read the live blacklist — at this point it equals any
   // snapshot a deterministic-mode enqueue would have taken here.
   opt::PassContext Ctx = TheCompiler.passContext();
@@ -366,22 +402,41 @@ void JitRuntime::publishBatch(std::vector<CompileOutcome> Batch) {
 }
 
 void JitRuntime::publishOutcome(CompileOutcome &&Outcome) {
-  if (Outcome.Task.TaskKind == CompileTask::Kind::Osr) {
-    publishOsrOutcome(std::move(Outcome));
-    return;
-  }
-  MethodState &State = stateOf(Outcome.Task.Symbol);
+  // The request pinned the symbol (enqueue or mutator-compile start); the
+  // outcome — whatever it is — ends the flight.
+  Code.unpin(Outcome.Task.Symbol);
+
+  const bool IsOsr = Outcome.Task.TaskKind == CompileTask::Kind::Osr;
+  TierState &State =
+      IsOsr ? OsrStates[{Outcome.Task.Symbol, Outcome.Task.OsrHeaderBlockId}]
+            : stateOf(Outcome.Task.Symbol);
   State.InFlight = false;
+
+  // Backoff base: the anchor's live trigger counter — hotness for method
+  // anchors, the current backedge count for OSR anchors.
+  uint64_t TriggerCount = State.Hotness;
+  uint64_t FallbackThreshold = Config.CompileThreshold;
+  if (IsOsr) {
+    FallbackThreshold = Config.OsrBackedgeThreshold;
+    TriggerCount = 0;
+    if (const profile::MethodProfile *P = Profiles.find(Outcome.Task.Symbol)) {
+      auto It = P->Backedges.find(Outcome.Task.OsrHeaderBlockId);
+      if (It != P->Backedges.end())
+        TriggerCount = It->second;
+    }
+  }
+
   if (State.Compiled) {
-    // Code for this method was already installed (e.g. a forced
-    // compileNow while the task was in flight). Overwriting the cache
-    // entry would destroy a Function the interpreter may be executing;
-    // record the stale outcome and discard it.
+    // Code for this anchor was already installed (e.g. a forced compileNow
+    // while the task was in flight). Overwriting the cache entry would
+    // destroy a Function the interpreter may be executing; record the
+    // stale outcome and discard it.
     ++Stats.StaleOutcomesDiscarded;
     return;
   }
   if (!Outcome.Code) {
-    recordBailout(State, Outcome.Exception, /*Permanent=*/false);
+    recordBailout(State, TriggerCount, FallbackThreshold, !IsOsr,
+                  Outcome.Exception, /*Permanent=*/false);
     return;
   }
   // Verify unconditionally — never behind assert/NDEBUG: installing
@@ -389,97 +444,66 @@ void JitRuntime::publishOutcome(CompileOutcome &&Outcome) {
   // code is a (permanent) bailout; the method stays interpreted. Frame
   // states get the same treatment: compiled functions are not module
   // members, so verifyModule never sees them — this is the only gate
-  // between a dangling deopt recipe and the interpreter.
+  // between a dangling deopt recipe and the interpreter. OSR variants add
+  // the entry-descriptor contract: descriptors must resolve against the
+  // baseline at the anchored header, or the interpreter's frame transfer
+  // would read values the interpreted frame does not hold.
   if (!ir::verifyFunction(*Outcome.Code).empty() ||
-      !ir::verifyFrameStates(*Outcome.Code, M).empty()) {
+      !ir::verifyFrameStates(*Outcome.Code, M).empty() ||
+      (IsOsr && !ir::verifyOsrEntries(*Outcome.Code, M).empty())) {
     ++Stats.VerifyFailures;
-    recordBailout(State, /*WasException=*/false, /*Permanent=*/true);
+    recordBailout(State, TriggerCount, FallbackThreshold, !IsOsr,
+                  /*WasException=*/false, /*Permanent=*/true);
     return;
   }
 
   CompilationRecord Record;
-  Record.Symbol = Outcome.Task.Symbol;
+  Record.Symbol = IsOsr ? Outcome.Task.dedupKey() // "method@osr<header>".
+                        : Outcome.Task.Symbol;
   Record.Stats = Outcome.Stats;
   Record.Stats.CodeSize = Outcome.Code->instructionCount();
   Record.CompileIndex = Compilations.size();
   Record.Attempt = State.FailedAttempts + 1;
   Record.IRFingerprint = fnv1a(ir::printFunction(*Outcome.Code));
+
+  // Install through the budgeted code cache. The record joins the compile
+  // stream only when the code actually lands: a budget rejection is a
+  // bailout, not a compilation.
+  std::string Symbol = Outcome.Task.Symbol;
+  CodeCache::InstallOutcome Install =
+      IsOsr ? Code.installOsr(Symbol, Outcome.Task.OsrHeaderBlockId,
+                              std::move(Outcome.Code))
+            : Code.installMethod(Symbol, std::move(Outcome.Code));
+  if (Install.Status == CodeCache::InstallStatus::RejectedTooBig) {
+    // The body alone exceeds the whole budget; no amount of eviction or
+    // re-warming changes that. Permanent: stay interpreted.
+    recordBailout(State, TriggerCount, FallbackThreshold, !IsOsr,
+                  /*WasException=*/false, /*Permanent=*/true);
+    return;
+  }
+  if (Install.Status == CodeCache::InstallStatus::RejectedPinned) {
+    // Transient: every resident unit is pinned by in-flight compilations.
+    // Back off and retry once the flights land.
+    recordBailout(State, TriggerCount, FallbackThreshold, !IsOsr,
+                  /*WasException=*/false, /*Permanent=*/false);
+    return;
+  }
+  // Budget eviction made room by retiring someone else's code: reset the
+  // victims' tier state so they re-warm honestly.
+  noteEvicted(Install.Evicted);
+
   Stats.GuardsEmitted += Record.Stats.GuardsEmitted;
   Compilations.push_back(std::move(Record));
-  CodeCache[Outcome.Task.Symbol] = std::move(Outcome.Code);
   State.Compiled = true;
-  if (State.DeoptPending) {
+  if (!IsOsr && State.DeoptPending) {
     State.DeoptPending = false;
     ++Stats.RecompilesAfterDeopt;
   }
 }
 
-void JitRuntime::publishOsrOutcome(CompileOutcome &&Outcome) {
-  std::pair<std::string, unsigned> Key = {Outcome.Task.Symbol,
-                                          Outcome.Task.OsrHeaderBlockId};
-  OsrState &State = OsrStates[Key];
-  State.InFlight = false;
-  uint64_t Count = 0;
-  if (const profile::MethodProfile *P = Profiles.find(Outcome.Task.Symbol)) {
-    auto It = P->Backedges.find(Outcome.Task.OsrHeaderBlockId);
-    if (It != P->Backedges.end())
-      Count = It->second;
-  }
-  if (State.Compiled) {
-    ++Stats.StaleOutcomesDiscarded;
-    return;
-  }
-  if (!Outcome.Code) {
-    recordOsrBailout(State, Count, Outcome.Exception, /*Permanent=*/false);
-    return;
-  }
-  // Same unconditional verification gate as method code, plus the OSR
-  // contract: entry descriptors must resolve against the baseline at the
-  // anchored header, or the interpreter's frame transfer would read values
-  // the interpreted frame does not hold.
-  if (!ir::verifyFunction(*Outcome.Code).empty() ||
-      !ir::verifyFrameStates(*Outcome.Code, M).empty() ||
-      !ir::verifyOsrEntries(*Outcome.Code, M).empty()) {
-    ++Stats.VerifyFailures;
-    recordOsrBailout(State, Count, /*WasException=*/false, /*Permanent=*/true);
-    return;
-  }
-
-  CompilationRecord Record;
-  Record.Symbol = Outcome.Task.dedupKey(); // "method@osr<header>".
-  Record.Stats = Outcome.Stats;
-  Record.Stats.CodeSize = Outcome.Code->instructionCount();
-  Record.CompileIndex = Compilations.size();
-  Record.Attempt = State.FailedAttempts + 1;
-  Record.IRFingerprint = fnv1a(ir::printFunction(*Outcome.Code));
-  Stats.GuardsEmitted += Record.Stats.GuardsEmitted;
-  Compilations.push_back(std::move(Record));
-  OsrCache[Key] = std::move(Outcome.Code);
-  State.Compiled = true;
-  ++Stats.OsrInstalls;
-}
-
-void JitRuntime::recordOsrBailout(OsrState &State, uint64_t BackedgeCount,
-                                  bool WasException, bool Permanent) {
-  ++Stats.Bailouts;
-  if (WasException)
-    ++Stats.CompileExceptions;
-  ++State.FailedAttempts;
-  if (Permanent || State.FailedAttempts >= Config.MaxCompileAttempts) {
-    State.DoNotCompile = true;
-    return;
-  }
-  uint64_t Base = State.NextAttemptAt > BackedgeCount ? State.NextAttemptAt
-                                                      : BackedgeCount;
-  if (Base == 0)
-    Base = Config.OsrBackedgeThreshold != 0 ? Config.OsrBackedgeThreshold : 1;
-  uint64_t Factor =
-      Config.BailoutBackoffFactor > 1 ? Config.BailoutBackoffFactor : 2;
-  State.NextAttemptAt = Base * Factor;
-}
-
-void JitRuntime::recordBailout(MethodState &State, bool WasException,
-                               bool Permanent) {
+void JitRuntime::recordBailout(TierState &State, uint64_t TriggerCount,
+                               uint64_t FallbackThreshold, bool IsMethodAnchor,
+                               bool WasException, bool Permanent) {
   ++Stats.Bailouts;
   if (WasException)
     ++Stats.CompileExceptions;
@@ -487,14 +511,17 @@ void JitRuntime::recordBailout(MethodState &State, bool WasException,
   if (Permanent || State.FailedAttempts >= Config.MaxCompileAttempts) {
     if (!State.DoNotCompile) {
       State.DoNotCompile = true;
-      ++Stats.BlacklistedMethods;
+      if (IsMethodAnchor)
+        ++Stats.BlacklistedMethods;
     }
     return;
   }
-  // Exponential backoff: the method must earn its next attempt instead of
-  // re-running the pipeline on every subsequent invocation.
-  uint64_t Base = State.NextAttemptAt > State.Hotness ? State.NextAttemptAt
-                                                      : State.Hotness;
+  // Exponential backoff: the anchor must earn its next attempt instead of
+  // re-running the pipeline on every subsequent trigger.
+  uint64_t Base = State.NextAttemptAt > TriggerCount ? State.NextAttemptAt
+                                                     : TriggerCount;
+  if (Base == 0 && !IsMethodAnchor)
+    Base = FallbackThreshold != 0 ? FallbackThreshold : 1;
   uint64_t Factor = Config.BailoutBackoffFactor > 1
                         ? Config.BailoutBackoffFactor
                         : 2;
@@ -527,37 +554,25 @@ void JitRuntime::onDeopt(std::string_view Method,
 void JitRuntime::invalidate(std::string_view Symbol) {
   // Retire, never destroy: the deoptimizing interpreter frames up the C++
   // stack are still executing this Function. Publication stays write-once
-  // (PR 3's idempotence rules): the cache entry is removed and the epoch
-  // bumped; nothing ever mutates an installed body in place.
-  bool RetiredMethod = false;
-  auto It = CodeCache.find(Symbol);
-  if (It != CodeCache.end()) {
-    RetiredCode.push_back(std::move(It->second));
-    CodeCache.erase(It);
-    ++Stats.Invalidations;
-    RetiredMethod = true;
-  }
-  // OSR variants of the method embed the same failed speculation (they are
-  // compiled from the same baseline against the same profiles), so a deopt
-  // retires them alongside the method body — including when the deopt came
-  // *from* an OSR body of a method that was never method-compiled. Their
-  // states reset to Compiled=false; the loop is still hot, so the next
-  // backedge crossing re-requests against the updated blacklist.
-  bool RetiredOsr = false;
-  for (auto OIt = OsrCache.lower_bound({std::string(Symbol), 0});
-       OIt != OsrCache.end() && OIt->first.first == Symbol;) {
-    RetiredCode.push_back(std::move(OIt->second));
-    OIt = OsrCache.erase(OIt);
-    ++Stats.OsrInvalidations;
-    RetiredOsr = true;
-  }
-  if (RetiredOsr)
-    for (auto SIt = OsrStates.lower_bound({std::string(Symbol), 0});
-         SIt != OsrStates.end() && SIt->first.first == Symbol; ++SIt)
-      SIt->second.Compiled = false;
-  if (!RetiredMethod && !RetiredOsr)
+  // (PR 3's idempotence rules): the code cache moves the entries to its
+  // graveyard and bumps the epoch; nothing ever mutates an installed body
+  // in place. OSR variants of the method embed the same failed speculation
+  // (compiled from the same baseline against the same profiles), so a
+  // deopt retires them alongside the method body — including when the
+  // deopt came *from* an OSR body of a never-method-compiled method.
+  std::vector<CodeCache::Key> Retired = Code.invalidate(Symbol);
+  if (Retired.empty())
     return; // Already invalidated (e.g. repeated deopts of retired code).
-  ++CodeEpoch;
+
+  bool RetiredMethod = false;
+  for (const CodeCache::Key &K : Retired) {
+    if (K.isMethod())
+      RetiredMethod = true;
+    else
+      // The loop is still hot; the next backedge crossing re-requests
+      // against the updated blacklist.
+      OsrStates[{K.Symbol, K.Header}].Compiled = false;
+  }
   // Code-epoch bump: flush memoized compile work along with the code.
   if (CompileCache *Cache = TheCompiler.compileCache())
     Cache->invalidateForRuntimeEvent();
@@ -576,6 +591,34 @@ void JitRuntime::invalidate(std::string_view Symbol) {
     requestCompile(Symbol, State);
 }
 
+void JitRuntime::noteEvicted(const std::vector<CodeCache::Key> &Evicted) {
+  // Eviction is a resource decision, not a correctness event: nothing is
+  // blacklisted, no recompile is requested, and the compiler's memoization
+  // cache is untouched (no assumption changed — which is exactly what
+  // makes the evict -> reheat -> recompile round trip cheap). The victims
+  // simply fall back to the interpreter and re-warm from zero.
+  for (const CodeCache::Key &K : Evicted) {
+    if (K.isMethod()) {
+      MethodState &State = stateOf(K.Symbol);
+      State.Compiled = false;
+      State.Hotness = 0;
+      State.NextAttemptAt = Config.CompileThreshold;
+    } else {
+      OsrState &State = OsrStates[{K.Symbol, K.Header}];
+      State.Compiled = false;
+      State.NextAttemptAt = 0;
+      // Restart the loop's trigger counter too: the variant must earn its
+      // reinstall with fresh backedges, not with the stale count that got
+      // it evicted.
+      Profiles.methodProfile(K.Symbol).Backedges[K.Header] = 0;
+    }
+  }
+}
+
+void JitRuntime::evictNow(std::string_view Symbol) {
+  noteEvicted(Code.evict(Symbol));
+}
+
 void JitRuntime::drainCompilations() {
   if (!Pool)
     return;
@@ -584,7 +627,7 @@ void JitRuntime::drainCompilations() {
 }
 
 void JitRuntime::compileNow(std::string_view Symbol) {
-  if (CodeCache.count(Symbol))
+  if (Code.installedMethod(Symbol))
     return;
   // Refuse while a background compile of the same symbol is in flight:
   // compiling here as well would race two publications of one method
@@ -592,30 +635,37 @@ void JitRuntime::compileNow(std::string_view Symbol) {
   // compile would double-count work the caller did not ask for).
   if (stateOf(Symbol).InFlight)
     return;
-  compileOnMutator(Symbol);
+  CompileTask Task;
+  Task.Symbol = std::string(Symbol);
+  compileOnMutator(Task);
 }
 
 const ir::Function *
 JitRuntime::installedOsrVariant(std::string_view Method,
                                 unsigned HeaderBlockId) const {
-  auto It = OsrCache.find({std::string(Method), HeaderBlockId});
-  return It == OsrCache.end() ? nullptr : It->second.get();
+  return Code.installedOsr(Method, HeaderBlockId);
 }
 
 interp::ExecResult JitRuntime::runMain() {
-  return runMain(interp::ExecLimits());
+  return run("main");
 }
 
 interp::ExecResult JitRuntime::runMain(const interp::ExecLimits &Limits) {
+  return run("main", {}, Limits);
+}
+
+interp::ExecResult JitRuntime::run(std::string_view Symbol,
+                                   const std::vector<interp::RtValue> &Args,
+                                   const interp::ExecLimits &Limits) {
   interp::Interpreter Interp(M, *this, interp::CostModel(), Limits);
-  return Interp.run("main");
+  return Interp.run(Symbol, Args);
 }
 
 uint64_t JitRuntime::installedCodeSize() const {
-  uint64_t Total = 0;
-  for (const auto &[Symbol, F] : CodeCache)
-    Total += F->instructionCount();
-  return Total;
+  // Method bodies only, by design: OSR variants share the method's working
+  // set, and the i-cache pressure term predates them (continuity of the
+  // harness's effective-cycle numbers).
+  return Code.methodBytes();
 }
 
 double JitRuntime::effectiveCycles(const interp::ExecResult &R) const {

@@ -40,6 +40,7 @@
 #define INCLINE_JIT_JITRUNTIME_H
 
 #include "interp/Interpreter.h"
+#include "jit/CodeCache.h"
 #include "jit/Compiler.h"
 #include "opt/OsrPlan.h"
 #include "opt/SpeculativeDevirt.h"
@@ -58,6 +59,7 @@ namespace incline::jit {
 class CompileQueue;
 class CompileWorkerPool;
 struct CompileOutcome;
+struct CompileTask;
 
 /// How compile requests are served (see file comment).
 enum class JitMode : uint8_t { Sync, Async, Deterministic };
@@ -106,6 +108,27 @@ struct JitConfig {
   /// forced guard failures, a forced OSR entry must be output-neutral —
   /// the variant computes exactly what the interpreted loop would have.
   std::function<bool(std::string_view, unsigned, uint64_t)> ForceOsrEntry;
+
+  /// Code-cache |ir| budget covering installed methods AND OSR variants;
+  /// 0 = unbounded (the pre-lifecycle behaviour, bit-identical). Installs
+  /// that would overflow evict the coldest unpinned entries first (see
+  /// CodeCache.h / DESIGN.md §12); evicted methods fall back to the
+  /// interpreter, re-warm from zero, and re-tier when hot again.
+  uint64_t CodeCacheBudget = 0;
+  /// Profile-decay halflife in safepoints; 0 = off (bit-identical to the
+  /// pre-decay runtime). Every halflife-many safepoints the runtime halves
+  /// all profile counters (invocations, branches, receivers, backedges),
+  /// uncompiled hotness, and code-cache heat, then flushes the compiler's
+  /// memoization cache — phase changes re-profile and re-speculate instead
+  /// of serving stale decisions forever.
+  uint64_t ProfileDecayHalflife = 0;
+  /// Chaos hook: an invocation of a *compiled* method for which this
+  /// returns true forcibly evicts that method (graveyard retire + re-warm),
+  /// exercising evict -> reheat -> recompile round trips at schedule-chosen
+  /// points. Pinned (in-flight) symbols are left untouched. Like the other
+  /// chaos hooks, a forced eviction must be output-neutral: the method just
+  /// runs interpreted again until it re-tiers.
+  std::function<bool(std::string_view)> ForceEvict;
 };
 
 /// One installed compilation.
@@ -189,6 +212,15 @@ public:
   /// Same, under explicit execution limits (the fuzzing watchdog budgets
   /// candidate runs against the reference run's step count).
   interp::ExecResult runMain(const interp::ExecLimits &Limits);
+  /// Runs an arbitrary entry point once under tiered execution — the
+  /// multi-tenant traffic harness drives thousands of per-request handler
+  /// invocations through one runtime this way. Tier state (hotness,
+  /// compiled code, profiles) persists across calls exactly as it does for
+  /// runMain; each call gets a fresh heap.
+  interp::ExecResult run(std::string_view Symbol,
+                         const std::vector<interp::RtValue> &Args = {},
+                         const interp::ExecLimits &Limits =
+                             interp::ExecLimits());
 
   /// Total |ir| of all installed compiled code.
   uint64_t installedCodeSize() const;
@@ -201,7 +233,16 @@ public:
     return Compilations;
   }
   const profile::ProfileTable &profileTable() const { return Profiles; }
-  const JitRuntimeStats &stats() const { return Stats; }
+  /// Runtime counters, returned as a snapshot: the code-lifecycle fields
+  /// (installs, invalidations) are counted once, in the code cache, and
+  /// merged in here — the historical duplication between runtime-side and
+  /// cache-side tallies is gone.
+  JitRuntimeStats stats() const;
+  /// Lifecycle counters of the code cache (installs, evictions, occupancy,
+  /// decay ticks) — the `code-cache` line of minioo --stats.
+  const CodeCacheStats &codeCacheStats() const { return Code.stats(); }
+  /// The code cache itself (read-only; tests inspect pinning/occupancy).
+  const CodeCache &codeCache() const { return Code; }
 
   /// Speculations the runtime gave up on (failed >= MaxSpeculationFailures
   /// times); recompiles leave these callsites as virtual calls.
@@ -215,12 +256,13 @@ public:
   const ir::Function *installedOsrVariant(std::string_view Method,
                                           unsigned HeaderBlockId) const;
 
-  /// Monotone counter bumped by every invalidation. Installed code is never
-  /// mutated or destroyed in place — retiring an entry moves it to a
-  /// graveyard and bumps this epoch, so readers (including the C++ frames
-  /// of the deoptimizing interpreter itself) keep a stable view while new
-  /// resolves see the interpreted tier again.
-  uint64_t codeEpoch() const { return CodeEpoch; }
+  /// Monotone counter bumped by every retirement batch (deopt invalidation
+  /// or eviction). Installed code is never mutated or destroyed in place —
+  /// retiring an entry moves it to the code cache's graveyard and bumps
+  /// this epoch, so readers (including the C++ frames of the deoptimizing
+  /// interpreter itself) keep a stable view while new resolves see the
+  /// interpreted tier again.
+  uint64_t codeEpoch() const { return Code.epoch(); }
 
   /// Blocks until every queued or in-flight background compilation has
   /// been published (or recorded as a bailout). No-op in Sync mode. Useful
@@ -233,34 +275,40 @@ public:
   /// it is in flight (racing the worker would double-publish one method).
   void compileNow(std::string_view Symbol);
 
+  /// Forcibly evicts \p Symbol's installed code (method body and OSR
+  /// variants) through the normal eviction path: graveyard retire, epoch
+  /// bump, tier state reset to re-warm from zero. Respects pins — a no-op
+  /// while a compilation of the symbol is in flight. Mutator-only (tests
+  /// and the ForceEvict chaos hook call it between/at safepoints).
+  void evictNow(std::string_view Symbol);
+
 private:
-  /// Everything the runtime knows about one method's tier state. One map
-  /// lookup per invocation covers the not-yet-compiled fast path: hotness,
-  /// in-flight dedup, blacklist and threshold live side by side.
-  struct MethodState {
+  /// Everything the runtime knows about one compilation anchor's tier
+  /// state — the *same* struct serves method anchors (keyed by symbol; one
+  /// map lookup per invocation covers the not-yet-compiled fast path) and
+  /// OSR anchors (keyed by (method, baseline header block id); the
+  /// backedge count in the profile table plays the Hotness role). The
+  /// unification is what lets one publish path and one bailout/backoff
+  /// path serve both tiers.
+  struct TierState {
+    /// Invocation count (method anchors); unused for OSR anchors, whose
+    /// trigger counter is the profile table's backedge count.
     uint64_t Hotness = 0;
-    /// Hotness at which the next compile attempt fires.
+    /// Trigger count at which the next compile attempt fires. For method
+    /// anchors stateOf() seeds it with the compile threshold; for OSR
+    /// anchors 0 means "the configured backedge threshold applies".
     uint64_t NextAttemptAt = 0;
     unsigned FailedAttempts = 0;
     bool InFlight = false;     ///< Queued or compiling on a worker.
     bool Compiled = false;     ///< Installed in the code cache.
     bool DoNotCompile = false; ///< Blacklisted after repeated failure.
     /// The method deoptimized and its code was invalidated; the next
-    /// successful install counts as a recompile-after-deopt.
+    /// successful install counts as a recompile-after-deopt. Method
+    /// anchors only.
     bool DeoptPending = false;
   };
-
-  /// Tier state of one OSR anchor, the loop-level sibling of MethodState.
-  /// Keyed by (method, baseline header block id).
-  struct OsrState {
-    unsigned FailedAttempts = 0;
-    bool InFlight = false;
-    bool Compiled = false;
-    bool DoNotCompile = false;
-    /// Backedge count at which the next compile attempt fires (post-bailout
-    /// backoff; 0 = the configured threshold applies).
-    uint64_t NextAttemptAt = 0;
-  };
+  using MethodState = TierState;
+  using OsrState = TierState;
 
   MethodState &stateOf(std::string_view Symbol);
   void requestCompile(std::string_view Symbol, MethodState &State);
@@ -268,27 +316,41 @@ private:
   /// configured mode. Mutator-only; called from onOsrEdge.
   void requestOsrCompile(std::string_view Symbol, unsigned HeaderBlockId,
                          OsrState &State, uint64_t BackedgeCount);
-  /// One synchronous OSR attempt on the mutator (Sync mode).
-  void compileOsrOnMutator(std::string_view Symbol, unsigned HeaderBlockId);
-  /// publishOutcome's OSR-task arm.
-  void publishOsrOutcome(CompileOutcome &&Outcome);
-  void recordOsrBailout(OsrState &State, uint64_t BackedgeCount,
-                        bool WasException, bool Permanent);
+  /// One synchronous attempt on the mutator (Sync mode, compileNow, and
+  /// OSR requests in Sync mode — OSR tasks carry the header block id).
+  void compileOnMutator(const CompileTask &TaskShape);
+  /// Verifies, installs or records a bailout — the single publish point
+  /// into the code cache, serving method and OSR outcomes alike.
+  /// Mutator-only.
+  void publishOutcome(CompileOutcome &&Outcome);
+  void publishBatch(std::vector<CompileOutcome> Batch);
+  /// Shared bailout/backoff bookkeeping. \p TriggerCount is the anchor's
+  /// current trigger counter (hotness / backedge count) and
+  /// \p FallbackThreshold its configured threshold (used when no backoff
+  /// base exists yet); \p IsMethodAnchor gates the method-blacklist
+  /// counter.
+  void recordBailout(TierState &State, uint64_t TriggerCount,
+                     uint64_t FallbackThreshold, bool IsMethodAnchor,
+                     bool WasException, bool Permanent);
   /// Backedge-credit plan for \p Symbol's baseline, computed on first use.
   /// The module is immutable at runtime, so the plan never goes stale.
   const opt::OsrPlan &osrPlanFor(std::string_view Symbol);
-  /// One synchronous attempt on the mutator (Sync mode and compileNow).
-  void compileOnMutator(std::string_view Symbol);
-  /// Verifies, installs or records a bailout. Mutator-only: this is the
-  /// single publish point into the code cache.
-  void publishOutcome(CompileOutcome &&Outcome);
-  void publishBatch(std::vector<CompileOutcome> Batch);
-  void recordBailout(MethodState &State, bool WasException, bool Permanent);
   /// Retires \p Symbol's installed code (graveyard, epoch bump) and
   /// requests a recompile. Mutator-only; called from onDeopt, which runs at
   /// the deoptimization point — a safepoint by definition (the interpreter
   /// is between instructions, no publication is concurrent).
   void invalidate(std::string_view Symbol);
+  /// Resets tier state for entries the code cache retired by *eviction*
+  /// (budget pressure or the chaos hook): evicted methods re-warm from
+  /// zero, evicted OSR anchors restart their backedge count — eviction is
+  /// a resource decision, not a correctness event, so unlike invalidate()
+  /// nothing is blacklisted, no recompile is requested, and the compile
+  /// cache is not flushed.
+  void noteEvicted(const std::vector<CodeCache::Key> &Evicted);
+  /// One profile-decay tick (see JitConfig::ProfileDecayHalflife):
+  /// exponentially decays profiles, uncompiled hotness, and code-cache
+  /// heat, then flushes the compiler's memoization cache.
+  void applyProfileDecay();
 
   ir::Module &M;
   Compiler &TheCompiler;
@@ -296,25 +358,18 @@ private:
   profile::ProfileTable Profiles;
 
   std::map<std::string, MethodState, std::less<>> Methods;
-  std::map<std::string, std::unique_ptr<ir::Function>, std::less<>> CodeCache;
+  /// Installed code, graveyard, epoch, and occupancy accounting — the
+  /// code-lifecycle owner (see CodeCache.h).
+  CodeCache Code;
 
   /// Loop-entry OSR state (all empty while Config.Osr is off).
   std::map<std::string, opt::OsrPlan, std::less<>> OsrPlans;
   std::map<std::pair<std::string, unsigned>, OsrState> OsrStates;
-  /// Installed OSR variants, keyed like OsrStates. Same write-once publish
-  /// discipline as CodeCache; invalidation retires entries to RetiredCode.
-  std::map<std::pair<std::string, unsigned>, std::unique_ptr<ir::Function>>
-      OsrCache;
   std::vector<CompilationRecord> Compilations;
   JitRuntimeStats Stats;
   bool CompilationInProgress = false;
-
-  /// Invalidated code parked until runtime destruction: the deoptimizing
-  /// interpreter's C++ stack still references the retired Function (it is
-  /// mid-way through executing it), so entries are moved here instead of
-  /// being destroyed — the write-once publish semantics readers rely on.
-  std::vector<std::unique_ptr<ir::Function>> RetiredCode;
-  uint64_t CodeEpoch = 0;
+  /// Safepoints since the last decay tick (ProfileDecayHalflife != 0).
+  uint64_t SafepointsSinceDecay = 0;
 
   /// Live speculation-failure bookkeeping, keyed by (method, baseline
   /// callsite profileId — the frame state's resume point).

@@ -7,6 +7,7 @@
 #include "profile/ProfileData.h"
 
 #include <algorithm>
+#include <iterator>
 
 using namespace incline;
 using namespace incline::profile;
@@ -75,4 +76,30 @@ ProfileTable::receiverProfile(std::string_view Method,
 uint64_t ProfileTable::invocationCount(std::string_view Method) const {
   const MethodProfile *MP = find(Method);
   return MP ? MP->InvocationCount : 0;
+}
+
+void MethodProfile::decay() {
+  InvocationCount >>= 1;
+  for (auto It = Branches.begin(); It != Branches.end();) {
+    It->second.TrueCount >>= 1;
+    It->second.FalseCount >>= 1;
+    It = It->second.total() == 0 ? Branches.erase(It) : std::next(It);
+  }
+  for (auto It = Receivers.begin(); It != Receivers.end();) {
+    auto &Counts = It->second.Counts;
+    for (auto CIt = Counts.begin(); CIt != Counts.end();) {
+      CIt->second >>= 1;
+      CIt = CIt->second == 0 ? Counts.erase(CIt) : std::next(CIt);
+    }
+    It = Counts.empty() ? Receivers.erase(It) : std::next(It);
+  }
+  for (auto It = Backedges.begin(); It != Backedges.end();) {
+    It->second >>= 1;
+    It = It->second == 0 ? Backedges.erase(It) : std::next(It);
+  }
+}
+
+void ProfileTable::decay() {
+  for (auto &[Name, MP] : Methods)
+    MP.decay();
 }

@@ -66,6 +66,12 @@ struct MethodProfile {
   /// (irreducible retreating edges are credited to the enclosing natural
   /// header, see opt::OsrPlan). Drives the loop-entry OSR trigger.
   std::unordered_map<unsigned, uint64_t> Backedges;
+
+  /// One exponential-decay tick: halves every counter and erases inner
+  /// entries (branches, receiver classes, backedges) that reach zero, so a
+  /// phase change re-profiles instead of speculating on ancient history.
+  /// The record itself survives — callers hold references to it.
+  void decay();
 };
 
 /// Program-wide profile store.
@@ -86,6 +92,14 @@ public:
                                          unsigned ProfileId) const;
 
   uint64_t invocationCount(std::string_view Method) const;
+
+  /// One exponential-decay tick over every method (see
+  /// MethodProfile::decay). The runtime calls this at safepoints every
+  /// `--profile-decay` halflife. MethodProfile records are kept (only
+  /// their inner entries are erased): the interpreter's recording sites
+  /// re-fetch profiles per instruction and safepoints fire only at block
+  /// terminators, so no live reference outlasts a tick.
+  void decay();
 
   void clear() { Methods.clear(); }
 

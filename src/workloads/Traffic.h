@@ -1,0 +1,108 @@
+//===- workloads/Traffic.h - Multi-tenant traffic harness ------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The server-scale counterpart of the steady-state harness: instead of one
+/// workload iterated to convergence, thousands of independent request
+/// streams ("tenants", each with its own handler method and receiver mix)
+/// multiplex over ONE JitRuntime — one profile table, one code cache, one
+/// shared compile-memoization cache — the way a process serving many users
+/// does. The request schedule is deterministic (splitmix64 over the seed),
+/// and it deliberately exercises what ISSUE 7 calls the server lifecycle:
+///
+///  * **Hot sets** — most requests target a small rotating window of
+///    tenants; the rest are a uniform cold tail, so the runtime always has
+///    lukewarm code competing for cache space.
+///  * **Phase changes** — every `PhaseLength` requests the hot window
+///    shifts, turning yesterday's hot code cold (profile decay and
+///    coldest-first eviction are what keep this from accumulating).
+///  * **Tenant churn** — every `ChurnInterval` requests one pool slot is
+///    replaced by a never-seen tenant, so compilation never stops.
+///
+/// Per-request latency is effective cycles (the harness's deterministic
+/// "wall clock") plus the request's mutator compile-stall nanoseconds at a
+/// documented 1 cycle ≡ 1 ns conversion — tail percentiles therefore see
+/// both i-cache pressure and compile/deopt/eviction stalls. Output is
+/// digested (FNV-1a over every request's printed output) so differential
+/// tests can assert bit-equal behaviour across JIT configurations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_WORKLOADS_TRAFFIC_H
+#define INCLINE_WORKLOADS_TRAFFIC_H
+
+#include "jit/JitRuntime.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace incline::workloads {
+
+/// Traffic-shape knobs. Defaults give a small but non-trivial run; the
+/// bench scales them up, tests scale them down.
+struct TrafficConfig {
+  jit::JitConfig Jit;
+  uint64_t Seed = 1;        ///< Drives the whole request schedule.
+  unsigned Tenants = 24;    ///< Active pool size (concurrent tenants).
+  unsigned Requests = 1500; ///< Total requests to serve.
+  unsigned HotSetSize = 4;  ///< Tenants in the hot window.
+  /// Requests between hot-window shifts; 0 = stationary (no phase change).
+  unsigned PhaseLength = 0;
+  /// Requests between churn events (one pool slot replaced by a fresh,
+  /// never-executed tenant); 0 = no churn.
+  unsigned ChurnInterval = 0;
+  /// Requests (out of 100) served from the hot window; the rest hit a
+  /// uniformly random pool tenant (the cold tail).
+  unsigned HotSharePercent = 90;
+
+  TrafficConfig() { Jit.CompileThreshold = 10; }
+};
+
+/// Result of one traffic run.
+struct TrafficResult {
+  unsigned Requests = 0;
+  /// Handlers the generated program contains (pool + churn replacements).
+  unsigned Handlers = 0;
+  /// Per-request latency in effective cycles (+ stall ns at 1 ns ≡ 1 cy),
+  /// in request order — the raw material of the percentiles.
+  std::vector<double> LatencyCycles;
+  double P50 = 0;
+  double P99 = 0;
+  double P999 = 0;
+  double MeanCycles = 0;
+  double TotalCycles = 0;
+  /// Requests per million effective cycles.
+  double Throughput = 0;
+  /// FNV-1a over (tenant id, printed output) of every request — the
+  /// differential-correctness digest.
+  uint64_t OutputDigest = 0;
+  /// High-water |ir| of installed code (methods + OSR variants) during the
+  /// run — the denominator of the bounded-vs-unbounded footprint claim.
+  uint64_t PeakCodeBytes = 0;
+  jit::JitRuntimeStats JitStats;
+  jit::CodeCacheStats CacheStats;
+  bool Ok = true;
+  std::string Error;
+};
+
+/// MiniOO source with \p NumHandlers tenant handlers (`handler0` ...),
+/// each a distinct loop over a tenant-specific mix of virtual operators —
+/// distinct code, distinct receiver profiles, comparable cost.
+std::string buildTrafficProgram(unsigned NumHandlers);
+
+/// Serves `Config.Requests` requests over one runtime. \p Compiler is
+/// shared by every compilation in the run (point a TrialCache-backed
+/// compiler here to exercise cross-tenant memoization).
+TrafficResult runTraffic(jit::Compiler &Compiler, const TrafficConfig &Config);
+
+/// Percentile (0 < P <= 100) by nearest-rank over a copy of \p Samples;
+/// 0 for an empty sample.
+double latencyPercentile(const std::vector<double> &Samples, double P);
+
+} // namespace incline::workloads
+
+#endif // INCLINE_WORKLOADS_TRAFFIC_H

@@ -1,0 +1,107 @@
+//===- tests/workloads_traffic_test.cpp - Traffic-harness tests ------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-tenant traffic harness (workloads/Traffic.h):
+///
+///  * a traffic run is a pure function of its config — same seed, same
+///    request stream, same output digest and same compile/lifecycle
+///    counters (latency samples carry the one wall-clock term, the
+///    mutator's real compile stall, so only their cycle part replays);
+///  * bounding the code cache (plus profile decay) never changes request
+///    outputs, only the lifecycle counters — and the budget is honoured
+///    as a hard occupancy bound;
+///  * tenant churn introduces genuinely fresh handlers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Traffic.h"
+
+#include "inliner/Compilers.h"
+
+#include <gtest/gtest.h>
+
+using namespace incline;
+using namespace incline::workloads;
+
+namespace {
+
+TrafficConfig smokeConfig() {
+  TrafficConfig Config;
+  Config.Seed = 11;
+  Config.Tenants = 8;
+  Config.Requests = 240;
+  Config.HotSetSize = 3;
+  Config.PhaseLength = 60;
+  Config.ChurnInterval = 40;
+  Config.Jit.Mode = jit::JitMode::Sync;
+  Config.Jit.CompileThreshold = 8;
+  Config.Jit.Osr = true;
+  Config.Jit.OsrBackedgeThreshold = 64;
+  return Config;
+}
+
+TrafficResult run(const TrafficConfig &Config) {
+  inliner::InlinerConfig IC;
+  IC.TrialCache = inliner::TrialCacheMode::Shared;
+  inliner::IncrementalCompiler Compiler(IC);
+  TrafficResult R = runTraffic(Compiler, Config);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return R;
+}
+
+TEST(WorkloadsTraffic, RunIsDeterministicFromItsConfig) {
+  TrafficResult A = run(smokeConfig());
+  TrafficResult B = run(smokeConfig());
+  EXPECT_EQ(A.Requests, B.Requests);
+  EXPECT_EQ(A.Handlers, B.Handlers);
+  EXPECT_EQ(A.OutputDigest, B.OutputDigest);
+  // The schedule (and therefore the compile stream and the lifecycle
+  // history) replays exactly. Latency samples do not bit-replay: they
+  // include the mutator's *measured* compile-stall nanoseconds, the one
+  // intentional wall-clock term in the harness.
+  EXPECT_EQ(A.LatencyCycles.size(), B.LatencyCycles.size());
+  EXPECT_EQ(A.JitStats.CompileRequests, B.JitStats.CompileRequests);
+  EXPECT_EQ(A.CacheStats.MethodInstalls, B.CacheStats.MethodInstalls);
+  EXPECT_EQ(A.CacheStats.OsrInstalls, B.CacheStats.OsrInstalls);
+  EXPECT_EQ(A.CacheStats.Evictions, B.CacheStats.Evictions);
+  EXPECT_EQ(A.CacheStats.PeakLiveBytes, B.CacheStats.PeakLiveBytes);
+}
+
+TEST(WorkloadsTraffic, BoundedCacheIsOutputNeutralAndHonoursTheBudget) {
+  TrafficResult Unbounded = run(smokeConfig());
+  ASSERT_GT(Unbounded.PeakCodeBytes, 1u);
+
+  TrafficConfig Bounded = smokeConfig();
+  Bounded.Jit.CodeCacheBudget = Unbounded.PeakCodeBytes / 2;
+  Bounded.Jit.ProfileDecayHalflife = 4000;
+  TrafficResult B = run(Bounded);
+
+  // Eviction and decay are performance events: request outputs are
+  // bit-identical to the unbounded run.
+  EXPECT_EQ(B.OutputDigest, Unbounded.OutputDigest);
+  // The budget is a hard bound on the high-water mark...
+  EXPECT_LE(B.CacheStats.PeakLiveBytes, Bounded.Jit.CodeCacheBudget);
+  EXPECT_LE(B.PeakCodeBytes, Bounded.Jit.CodeCacheBudget);
+  // ... and since the unbounded run needed twice this much, the lifecycle
+  // must have actually fired to fit.
+  EXPECT_GE(B.CacheStats.Evictions + B.CacheStats.OsrEvictions +
+                B.CacheStats.AdmissionRejections,
+            1u);
+}
+
+TEST(WorkloadsTraffic, ChurnIntroducesFreshHandlers) {
+  TrafficConfig Config = smokeConfig();
+  TrafficResult R = run(Config);
+  // 240 requests / churn every 40 = 6 fresh handlers beyond the pool.
+  EXPECT_EQ(R.Handlers, Config.Tenants + Config.Requests / Config.ChurnInterval);
+
+  // The generated program is itself deterministic.
+  EXPECT_EQ(buildTrafficProgram(12), buildTrafficProgram(12));
+  EXPECT_NE(buildTrafficProgram(12), buildTrafficProgram(13));
+}
+
+} // namespace

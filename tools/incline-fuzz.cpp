@@ -72,10 +72,19 @@ int usage() {
       "  --threshold N        JIT compile threshold (default 1)\n"
       "  --chaos              add chaos JIT stages: forced guard failures,\n"
       "                       injected compiler faults, forced OSR entries,\n"
-      "                       randomized publication/invalidation timing\n"
-      "                       (async); output must stay bit-identical\n"
+      "                       forced code-cache evictions (plus a dedicated\n"
+      "                       evict-async thrash stage: tiny budget, decay,\n"
+      "                       async), randomized publication/invalidation\n"
+      "                       timing (async); output must stay bit-identical\n"
       "                       regardless\n"
       "  --chaos-seed N       base seed of the chaos schedule (default 0)\n"
+      "  --code-cache-budget N  chaos stages: code-cache budget in |ir|\n"
+      "                       units so evictions and admission rejections\n"
+      "                       fire under cache thrash (default unbounded;\n"
+      "                       the evict-async stage uses 48 regardless)\n"
+      "  --profile-decay N    chaos stages: decay profiles every N\n"
+      "                       safepoints (default off; the evict-async\n"
+      "                       stage uses 32 regardless)\n"
       "\n"
       "failure handling:\n"
       "  --no-reduce          keep failing programs unreduced\n"
@@ -133,6 +142,11 @@ std::optional<CliOptions> parseArgs(int argc, char **argv) {
     } else if (auto V = Value("--chaos-seed")) {
       O.Oracle.Chaos.Enabled = true;
       O.Oracle.Chaos.Seed = std::strtoull(V->c_str(), nullptr, 10);
+    } else if (auto V = Value("--code-cache-budget")) {
+      O.Oracle.Chaos.CodeCacheBudget = std::strtoull(V->c_str(), nullptr, 10);
+    } else if (auto V = Value("--profile-decay")) {
+      O.Oracle.Chaos.ProfileDecayHalflife =
+          std::strtoull(V->c_str(), nullptr, 10);
     } else if (Arg == "--chaos") {
       O.Oracle.Chaos.Enabled = true;
     } else if (auto V = Value("--inject-bug")) {

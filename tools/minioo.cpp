@@ -58,6 +58,8 @@ struct Options {
   std::string TrialCache = "off";
   bool JitOsr = false;
   uint64_t OsrThreshold = 100;
+  uint64_t CodeCacheBudget = 0; ///< 0 = unbounded.
+  uint64_t ProfileDecay = 0;    ///< Halflife in safepoints; 0 = off.
   std::string Function;
   uint64_t Threshold = 50;
   unsigned JitThreads = 1;
@@ -76,6 +78,7 @@ int usage() {
       "                    [--jit-threads=N]\n"
       "                    [--jit-osr=off|on] [--osr-threshold=N]\n"
       "                    [--trial-cache=off|per-compile|shared]\n"
+      "                    [--code-cache-budget=N] [--profile-decay=off|N]\n"
       "                    [--threshold=N] [--iterations=N] [--stats]\n"
       "  minioo dump <file> [--function=NAME] [--optimize]\n"
       "  minioo compile <file> --function=NAME [--jit=...]\n"
@@ -148,6 +151,26 @@ std::optional<Options> parseArgs(int argc, char **argv) {
         return std::nullopt;
       }
       Opts.OsrThreshold = *N;
+    } else if (auto V = ValueOf("--code-cache-budget=")) {
+      auto N = parseCount(*V);
+      if (!N) {
+        std::fprintf(stderr, "invalid --code-cache-budget value '%s'\n",
+                     V->c_str());
+        return std::nullopt;
+      }
+      Opts.CodeCacheBudget = *N;
+    } else if (auto V = ValueOf("--profile-decay=")) {
+      if (*V == "off") {
+        Opts.ProfileDecay = 0;
+      } else {
+        auto N = parseCount(*V);
+        if (!N) {
+          std::fprintf(stderr, "invalid --profile-decay value '%s'\n",
+                       V->c_str());
+          return std::nullopt;
+        }
+        Opts.ProfileDecay = *N;
+      }
     } else if (auto V = ValueOf("--jit-threads=")) {
       auto N = parseCount(*V);
       if (!N) {
@@ -232,6 +255,8 @@ int cmdRun(const Options &Opts, ir::Module &M) {
   Config.Threads = Opts.JitThreads;
   Config.Osr = Opts.JitOsr;
   Config.OsrBackedgeThreshold = Opts.OsrThreshold;
+  Config.CodeCacheBudget = Opts.CodeCacheBudget;
+  Config.ProfileDecayHalflife = Opts.ProfileDecay;
   jit::JitRuntime Runtime(M, *Compiler, Config);
 
   for (int Iter = 0; Iter < Opts.Iterations; ++Iter) {
@@ -296,6 +321,20 @@ int cmdRun(const Options &Opts, ir::Module &M) {
                    static_cast<unsigned long long>(S.OsrInstalls),
                    static_cast<unsigned long long>(S.OsrEntries),
                    static_cast<unsigned long long>(S.OsrInvalidations));
+    const jit::CodeCacheStats &CC = Runtime.codeCacheStats();
+    std::fprintf(stderr,
+                 "code-cache: installed=%llu osr-installed=%llu "
+                 "evicted=%llu osr-evicted=%llu rejected=%llu "
+                 "live=%llu peak=%llu budget=%llu decay-epochs=%llu\n",
+                 static_cast<unsigned long long>(CC.MethodInstalls),
+                 static_cast<unsigned long long>(CC.OsrInstalls),
+                 static_cast<unsigned long long>(CC.Evictions),
+                 static_cast<unsigned long long>(CC.OsrEvictions),
+                 static_cast<unsigned long long>(CC.AdmissionRejections),
+                 static_cast<unsigned long long>(CC.LiveBytes),
+                 static_cast<unsigned long long>(CC.PeakLiveBytes),
+                 static_cast<unsigned long long>(CC.Budget),
+                 static_cast<unsigned long long>(CC.DecayTicks));
     if (const jit::CompileCache *Cache = Compiler->compileCache()) {
       jit::CompileCacheStats CS = Cache->cacheStats();
       std::fprintf(stderr,
