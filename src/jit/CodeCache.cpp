@@ -6,6 +6,7 @@
 
 #include "jit/CodeCache.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace incline;
@@ -70,48 +71,57 @@ void CodeCache::retireEntry(Entry &E, bool IsMethod) {
 }
 
 bool CodeCache::makeRoom(uint64_t NeedBytes, std::vector<Key> &Out) {
-  if (Stats.Budget == 0)
-    return true; // Unbounded.
-  while (Stats.LiveBytes + NeedBytes > Stats.Budget) {
-    // Victim = coldest unpinned entry, oldest first on heat ties. Linear
-    // scan: the cache holds one entry per compiled method/loop, a small
-    // population even under server-scale churn.
-    const Entry *Victim = nullptr;
-    bool VictimIsMethod = false;
-    std::string VictimSymbol;
-    unsigned VictimHeader = MethodEntry;
-    auto Colder = [&](const Entry &E) {
-      return !Victim || E.Heat < Victim->Heat ||
-             (E.Heat == Victim->Heat && E.InstallSeq < Victim->InstallSeq);
-    };
-    for (const auto &[Symbol, E] : Methods)
-      if (!pinned(Symbol) && Colder(E)) {
-        Victim = &E;
-        VictimIsMethod = true;
-        VictimSymbol = Symbol;
-        VictimHeader = MethodEntry;
-      }
-    for (const auto &[SymbolHeader, E] : OsrVariants)
-      if (!pinned(SymbolHeader.first) && Colder(E)) {
-        Victim = &E;
-        VictimIsMethod = false;
-        VictimSymbol = SymbolHeader.first;
-        VictimHeader = SymbolHeader.second;
-      }
-    if (!Victim)
-      return false; // Everything resident is pinned.
-    if (VictimIsMethod) {
-      auto It = Methods.find(VictimSymbol);
+  if (Stats.Budget == 0 || Stats.LiveBytes + NeedBytes <= Stats.Budget)
+    return true; // Unbounded, or it already fits.
+  // Transactional: select the victim set first, retire only once the
+  // install is known to fit. A rejected install must evict nobody — the
+  // runtime keeps the victims' TierState.Compiled bits in sync with what
+  // is actually installed, and a partial eviction followed by a rejection
+  // would retire code whose tier state never learns it is gone. Linear
+  // scan + sort: the cache holds one entry per compiled method/loop, a
+  // small population even under server-scale churn.
+  struct Candidate {
+    uint64_t Heat;
+    uint64_t InstallSeq;
+    uint64_t Size;
+    Key K;
+  };
+  std::vector<Candidate> Candidates;
+  for (const auto &[Symbol, E] : Methods)
+    if (!pinned(Symbol))
+      Candidates.push_back({E.Heat, E.InstallSeq, E.Size, {Symbol, MethodEntry}});
+  for (const auto &[SymbolHeader, E] : OsrVariants)
+    if (!pinned(SymbolHeader.first))
+      Candidates.push_back(
+          {E.Heat, E.InstallSeq, E.Size,
+           {SymbolHeader.first, SymbolHeader.second}});
+  // Coldest first, oldest install first on heat ties.
+  std::sort(Candidates.begin(), Candidates.end(),
+            [](const Candidate &A, const Candidate &B) {
+              return A.Heat != B.Heat ? A.Heat < B.Heat
+                                      : A.InstallSeq < B.InstallSeq;
+            });
+  uint64_t Reclaimed = 0;
+  size_t NumVictims = 0;
+  while (NumVictims != Candidates.size() &&
+         Stats.LiveBytes - Reclaimed + NeedBytes > Stats.Budget)
+    Reclaimed += Candidates[NumVictims++].Size;
+  if (Stats.LiveBytes - Reclaimed + NeedBytes > Stats.Budget)
+    return false; // Every remaining resident byte is pinned; evict nothing.
+  for (size_t I = 0; I != NumVictims; ++I) {
+    Candidate &C = Candidates[I];
+    if (C.K.isMethod()) {
+      auto It = Methods.find(C.K.Symbol);
       retireEntry(It->second, /*IsMethod=*/true);
       Methods.erase(It);
       ++Stats.Evictions;
     } else {
-      auto It = OsrVariants.find({VictimSymbol, VictimHeader});
+      auto It = OsrVariants.find({C.K.Symbol, C.K.Header});
       retireEntry(It->second, /*IsMethod=*/false);
       OsrVariants.erase(It);
       ++Stats.OsrEvictions;
     }
-    Out.push_back({std::move(VictimSymbol), VictimHeader});
+    Out.push_back(std::move(C.K));
   }
   return true;
 }
@@ -140,7 +150,15 @@ CodeCache::installMethod(std::string_view Symbol,
   E.Size = Size;
   E.Heat = 1; // Born warm: a fresh install is by definition hot.
   E.InstallSeq = NextInstallSeq++;
-  Methods[std::string(Symbol)] = std::move(E);
+  auto [It, Inserted] = Methods.try_emplace(std::string(Symbol));
+  assert(Inserted && "duplicate method install: publish discipline broken");
+  if (!Inserted) {
+    // Release-build safety net: retire, never destroy — interpreter frames
+    // may still be executing the old body.
+    retireEntry(It->second, /*IsMethod=*/true);
+    ++Epoch;
+  }
+  It->second = std::move(E);
   MethodBytes += Size;
   bumpLive(Size);
   ++Stats.MethodInstalls;
@@ -172,7 +190,14 @@ CodeCache::installOsr(std::string_view Symbol, unsigned Header,
   E.Size = Size;
   E.Heat = 1;
   E.InstallSeq = NextInstallSeq++;
-  OsrVariants[{std::string(Symbol), Header}] = std::move(E);
+  auto [It, Inserted] =
+      OsrVariants.try_emplace(std::pair(std::string(Symbol), Header));
+  assert(Inserted && "duplicate OSR install: publish discipline broken");
+  if (!Inserted) {
+    retireEntry(It->second, /*IsMethod=*/false);
+    ++Epoch;
+  }
+  It->second = std::move(E);
   bumpLive(Size);
   ++Stats.OsrInstalls;
   if (!Out.Evicted.empty())

@@ -24,7 +24,9 @@
 ///    installed entries (methods *and* OSR variants) never exceeds it.
 ///    Installs that would overflow first evict cold entries; a body larger
 ///    than the whole budget is rejected outright (the runtime turns that
-///    into a permanent bailout).
+///    into a permanent bailout). Eviction is transactional: victims are
+///    chosen before anything is retired, so a rejected install — e.g. when
+///    pinned entries block — evicts nothing.
 ///
 ///  * **Eviction** — coldest-first by decayed heat: every mutator touch
 ///    (method resolve, OSR entry) heats an entry, `decayHeat()` halves all
@@ -98,8 +100,10 @@ public:
     /// The body alone exceeds the whole budget; it can never fit. The
     /// runtime records a permanent bailout (do-not-compile).
     RejectedTooBig,
-    /// The body would fit but every candidate victim is pinned by an
-    /// in-flight compilation. Transient; the runtime backs off and retries.
+    /// The body would fit but the unpinned victims cannot free enough
+    /// room (the rest is pinned by in-flight compilations). Transient; the
+    /// runtime backs off and retries. Eviction is transactional, so a
+    /// rejected install retires nothing — Evicted is always empty here.
     RejectedPinned,
   };
 
@@ -134,7 +138,8 @@ public:
 
   /// Installs \p Code as \p Symbol's method body, evicting cold unpinned
   /// entries as needed. The symbol must not already have a body installed
-  /// (the runtime's publish discipline guarantees it).
+  /// (the runtime's publish discipline guarantees it; asserted — a slip in
+  /// Release retires the old body instead of destroying it).
   InstallOutcome installMethod(std::string_view Symbol,
                                std::unique_ptr<ir::Function> Code);
 
@@ -196,7 +201,9 @@ private:
   /// caller's responsibility (one bump per batch).
   void retireEntry(Entry &E, bool IsMethod);
   /// Evicts cold unpinned entries until \p NeedBytes fit under the budget.
-  /// Appends victims to \p Out; returns false when pinned entries block.
+  /// Transactional: victims are selected before anything is retired, so on
+  /// success the victims are appended to \p Out (coldest first) and on
+  /// failure (pinned entries block) *nothing* was evicted.
   bool makeRoom(uint64_t NeedBytes, std::vector<Key> &Out);
   void bumpLive(uint64_t Bytes);
 

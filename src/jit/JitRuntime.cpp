@@ -474,6 +474,12 @@ void JitRuntime::publishOutcome(CompileOutcome &&Outcome) {
       IsOsr ? Code.installOsr(Symbol, Outcome.Task.OsrHeaderBlockId,
                               std::move(Outcome.Code))
             : Code.installMethod(Symbol, std::move(Outcome.Code));
+  // Budget eviction made room by retiring someone else's code: reset the
+  // victims' tier state so they re-warm honestly. Before the status
+  // checks: eviction is transactional (a rejected install retires nobody,
+  // so Evicted is empty on the rejection paths), but any victim that *was*
+  // retired must re-warm regardless of what happened to the install.
+  noteEvicted(Install.Evicted);
   if (Install.Status == CodeCache::InstallStatus::RejectedTooBig) {
     // The body alone exceeds the whole budget; no amount of eviction or
     // re-warming changes that. Permanent: stay interpreted.
@@ -482,15 +488,16 @@ void JitRuntime::publishOutcome(CompileOutcome &&Outcome) {
     return;
   }
   if (Install.Status == CodeCache::InstallStatus::RejectedPinned) {
-    // Transient: every resident unit is pinned by in-flight compilations.
-    // Back off and retry once the flights land.
-    recordBailout(State, TriggerCount, FallbackThreshold, !IsOsr,
-                  /*WasException=*/false, /*Permanent=*/false);
+    // Transient: the unpinned residents cannot free enough room while
+    // in-flight compilations hold their pins. Not a compile failure —
+    // back off and retry once the flights land, WITHOUT a FailedAttempts
+    // strike: pin contention says nothing about this method's
+    // compilability, and MaxCompileAttempts strikes would blacklist a hot
+    // method forever under sustained budget thrash.
+    ++Stats.Bailouts;
+    applyBackoff(State, TriggerCount, FallbackThreshold, !IsOsr);
     return;
   }
-  // Budget eviction made room by retiring someone else's code: reset the
-  // victims' tier state so they re-warm honestly.
-  noteEvicted(Install.Evicted);
 
   Stats.GuardsEmitted += Record.Stats.GuardsEmitted;
   Compilations.push_back(std::move(Record));
@@ -516,6 +523,12 @@ void JitRuntime::recordBailout(TierState &State, uint64_t TriggerCount,
     }
     return;
   }
+  applyBackoff(State, TriggerCount, FallbackThreshold, IsMethodAnchor);
+}
+
+void JitRuntime::applyBackoff(TierState &State, uint64_t TriggerCount,
+                              uint64_t FallbackThreshold,
+                              bool IsMethodAnchor) {
   // Exponential backoff: the anchor must earn its next attempt instead of
   // re-running the pipeline on every subsequent trigger.
   uint64_t Base = State.NextAttemptAt > TriggerCount ? State.NextAttemptAt

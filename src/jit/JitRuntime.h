@@ -243,6 +243,11 @@ public:
   const CodeCacheStats &codeCacheStats() const { return Code.stats(); }
   /// The code cache itself (read-only; tests inspect pinning/occupancy).
   const CodeCache &codeCache() const { return Code; }
+  /// Mutable access for tests that stage lifecycle states the mutator
+  /// cannot reach deterministically (e.g. holding a pin as a still
+  /// in-flight compilation would). Production code must go through the
+  /// publish/evict paths.
+  CodeCache &codeCacheForTest() { return Code; }
 
   /// Speculations the runtime gave up on (failed >= MaxSpeculationFailures
   /// times); recompiles leave these callsites as virtual calls.
@@ -332,6 +337,12 @@ private:
   void recordBailout(TierState &State, uint64_t TriggerCount,
                      uint64_t FallbackThreshold, bool IsMethodAnchor,
                      bool WasException, bool Permanent);
+  /// Backoff without a FailedAttempts strike: pushes NextAttemptAt out
+  /// exponentially so the anchor earns its next attempt. recordBailout's
+  /// non-permanent tail, also used directly for transient pin-contention
+  /// rejections, which must never count toward the blacklist.
+  void applyBackoff(TierState &State, uint64_t TriggerCount,
+                    uint64_t FallbackThreshold, bool IsMethodAnchor);
   /// Backedge-credit plan for \p Symbol's baseline, computed on first use.
   /// The module is immutable at runtime, so the plan never goes stale.
   const opt::OsrPlan &osrPlanFor(std::string_view Symbol);

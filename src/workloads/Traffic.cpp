@@ -180,8 +180,11 @@ TrafficResult incline::workloads::runTraffic(jit::Compiler &Compiler,
       Result.TotalCycles > 0
           ? static_cast<double>(Result.Requests) / (Result.TotalCycles / 1e6)
           : 0;
-  Result.JitStats = Runtime.stats();
+  // Drain first, then snapshot both stat blocks together: in Async mode
+  // late publications land during the drain, and the JIT and cache stats
+  // must describe the same final state.
   Runtime.drainCompilations();
+  Result.JitStats = Runtime.stats();
   Result.CacheStats = Runtime.codeCacheStats();
   Result.PeakCodeBytes = Result.CacheStats.PeakLiveBytes;
   return Result;

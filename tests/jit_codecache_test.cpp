@@ -35,6 +35,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 
@@ -48,12 +49,14 @@ namespace {
 //===----------------------------------------------------------------------===//
 
 /// Three same-shape functions (identical instruction counts), so budget
-/// arithmetic in the unit tests is exact.
+/// arithmetic in the unit tests is exact, plus one strictly bigger body
+/// (fBig) for the partial-room rejection tests.
 constexpr const char *UnitSource = R"(
 def fA(x: int): int { return x + 1; }
 def fB(x: int): int { return x + 2; }
 def fC(x: int): int { return x + 3; }
-def main() { print(fA(1) + fB(2) + fC(3)); }
+def fBig(x: int): int { return (x + 1) + (x + 2); }
+def main() { print(fA(1) + fB(2) + fC(3) + fBig(4)); }
 )";
 
 struct UnitFixture {
@@ -164,6 +167,40 @@ TEST(JitCodeCacheUnit, PinnedEntriesAreNeverVictims) {
   ASSERT_EQ(Out.Evicted.size(), 1u);
   EXPECT_EQ(Out.Evicted[0].Symbol, "fA");
   EXPECT_EQ(Cache.liveBytes(), F.S);
+}
+
+TEST(JitCodeCacheUnit, RejectedPinnedInstallEvictsNothing) {
+  UnitFixture F;
+  const uint64_t Big = F.M->function("fBig")->instructionCount();
+  // The scenario needs fBig to not fit in fA's slot alone (so the pinned
+  // fB blocks) while still fitting in the whole budget.
+  ASSERT_GT(Big, F.S);
+  ASSERT_LE(Big, 2 * F.S);
+  jit::CodeCache Cache(2 * F.S);
+  Cache.installMethod("fA", F.body("fA"));
+  Cache.installMethod("fB", F.body("fB"));
+  Cache.pin("fB");
+  // Evicting unpinned fA alone cannot make room for fBig. Eviction is
+  // transactional: the rejected install retires NOBODY — in particular
+  // not fA, whose TierState.Compiled bit the runtime would otherwise
+  // leave pointing at retired code forever.
+  jit::CodeCache::InstallOutcome Out =
+      Cache.installMethod("fBig", F.body("fBig"));
+  EXPECT_EQ(Out.Status, jit::CodeCache::InstallStatus::RejectedPinned);
+  EXPECT_TRUE(Out.Evicted.empty());
+  EXPECT_NE(Cache.installedMethod("fA"), nullptr);
+  EXPECT_NE(Cache.installedMethod("fB"), nullptr);
+  EXPECT_EQ(Cache.liveBytes(), 2 * F.S);
+  EXPECT_EQ(Cache.stats().Evictions, 0u);
+  EXPECT_EQ(Cache.stats().AdmissionRejections, 1u);
+  EXPECT_EQ(Cache.epoch(), 0u); // No retirement batch, no epoch bump.
+  // With the pin released the same install succeeds by evicting both.
+  Cache.unpin("fB");
+  Out = Cache.installMethod("fBig", F.body("fBig"));
+  EXPECT_EQ(Out.Status, jit::CodeCache::InstallStatus::Installed);
+  EXPECT_EQ(Out.Evicted.size(), 2u);
+  EXPECT_EQ(Cache.liveBytes(), Big);
+  EXPECT_EQ(Cache.epoch(), 1u);
 }
 
 TEST(JitCodeCacheUnit, BodyLargerThanBudgetIsRejectedOutright) {
@@ -299,6 +336,53 @@ TEST(JitCodeCacheRuntime, EvictReheatRecompileAcrossModes) {
     EXPECT_NE(Runtime.codeCache().installedMethod("hot"), nullptr);
     EXPECT_GT(Runtime.codeCacheStats().MethodInstalls, InstallsBefore);
   }
+}
+
+TEST(JitCodeCacheRuntime, PinnedRejectionBacksOffWithoutBlacklisting) {
+  // Measure the compiled body sizes with an unbounded probe runtime so the
+  // budgeted runtime below has room for exactly one of the two bodies.
+  uint64_t SizeA = 0, SizeB = 0;
+  {
+    std::unique_ptr<ir::Module> M = compile(UnitSource);
+    inliner::IncrementalCompiler Compiler{inliner::InlinerConfig()};
+    jit::JitRuntime Probe(*M, Compiler, jit::JitConfig());
+    Probe.compileNow("fA");
+    SizeA = Probe.codeCacheStats().LiveBytes;
+    Probe.compileNow("fB");
+    SizeB = Probe.codeCacheStats().LiveBytes - SizeA;
+    ASSERT_GT(SizeA, 0u);
+    ASSERT_GT(SizeB, 0u);
+  }
+
+  std::unique_ptr<ir::Module> M = compile(UnitSource);
+  inliner::IncrementalCompiler Compiler{inliner::InlinerConfig()};
+  jit::JitConfig Config;
+  Config.CodeCacheBudget = std::max(SizeA, SizeB);
+  jit::JitRuntime Runtime(*M, Compiler, Config);
+  Runtime.compileNow("fA");
+  ASSERT_NE(Runtime.codeCache().installedMethod("fA"), nullptr);
+
+  // Hold a pin on fA, as a still-in-flight compilation of it would; every
+  // install of fB now comes back RejectedPinned. However often that
+  // repeats — well past MaxCompileAttempts — it is transient pin
+  // contention, not a compile failure: no blacklist strike may accrue.
+  Runtime.codeCacheForTest().pin("fA");
+  const unsigned Attempts = 2 * Config.MaxCompileAttempts;
+  for (unsigned I = 0; I != Attempts; ++I)
+    Runtime.compileNow("fB");
+  EXPECT_EQ(Runtime.codeCache().installedMethod("fB"), nullptr);
+  EXPECT_GE(Runtime.codeCacheStats().AdmissionRejections, Attempts);
+  EXPECT_EQ(Runtime.stats().BlacklistedMethods, 0u);
+  // fA survived every rejected install untouched.
+  ASSERT_NE(Runtime.codeCache().installedMethod("fA"), nullptr);
+
+  // Once the flight lands, the very same method still tiers up (evicting
+  // the now-unpinned fA).
+  Runtime.codeCacheForTest().unpin("fA");
+  Runtime.compileNow("fB");
+  EXPECT_NE(Runtime.codeCache().installedMethod("fB"), nullptr);
+  EXPECT_EQ(Runtime.codeCache().installedMethod("fA"), nullptr);
+  EXPECT_EQ(Runtime.stats().BlacklistedMethods, 0u);
 }
 
 /// Counts installed OSR variants of \p Symbol by probing baseline header
