@@ -360,6 +360,57 @@ DifferentialOracle::check(const std::string &Source) const {
   const std::string &Expected = RefRun.Output;
   const interp::ExecLimits Budget = candidateLimits(Opts, RefRun);
 
+  // Differential stage for the execution cores themselves: the fast
+  // (pre-decoded, slot-frame, PIC) interpreter must match the reference
+  // map-frame core bit-for-bit — output, trap, step and per-tier cycle
+  // totals, and the *content* of the recorded profiles (the inputs every
+  // inlining/devirt decision downstream is made from).
+  {
+    auto CoreRun = [&](interp::InterpMode Mode, profile::ProfileTable &PT)
+        -> std::optional<interp::ExecResult> {
+      std::unique_ptr<ir::Module> M = compileOrNull(Source);
+      if (!M)
+        return std::nullopt;
+      interp::ModuleEnv Env(*M, &PT);
+      interp::InterpOptions IOpts;
+      IOpts.Mode = Mode;
+      interp::Interpreter Interp(*M, Env, interp::CostModel(), Budget,
+                                 IOpts);
+      return Interp.run("main");
+    };
+    profile::ProfileTable FastPT, SlowPT;
+    std::optional<interp::ExecResult> Fast =
+        CoreRun(interp::InterpMode::Fast, FastPT);
+    std::optional<interp::ExecResult> Slow =
+        CoreRun(interp::InterpMode::Reference, SlowPT);
+    if (Fast && Slow) {
+      std::string Mismatch;
+      if (Fast->Output != Slow->Output)
+        Mismatch = "program output";
+      else if (Fast->Trap != Slow->Trap ||
+               Fast->TrapMessage != Slow->TrapMessage)
+        Mismatch = "trap (fast: '" + Fast->TrapMessage + "' vs reference: '" +
+                   Slow->TrapMessage + "')";
+      else if (Fast->Steps != Slow->Steps)
+        Mismatch = "step count";
+      else if (Fast->InterpretedCycles != Slow->InterpretedCycles ||
+               Fast->CompiledCycles != Slow->CompiledCycles)
+        Mismatch = "cycle accounting";
+      else if (FastPT.dump() != SlowPT.dump())
+        Mismatch = "recorded profiles";
+      if (!Mismatch.empty()) {
+        Divergence D;
+        D.Kind = DivergenceKind::OutputMismatch;
+        D.Stage = "interp:fast";
+        D.Detail = "fast interpreter diverged from reference core: " +
+                   Mismatch;
+        D.Expected = Slow->Output + "\n[profiles]\n" + SlowPT.dump();
+        D.Actual = Fast->Output + "\n[profiles]\n" + FastPT.dump();
+        return D;
+      }
+    }
+  }
+
   if (Opts.CheckPipelines) {
     for (const PipelineConfig &Config : allPipelineConfigs()) {
       std::unique_ptr<ir::Module> M = compileOrNull(Source);

@@ -3,9 +3,25 @@
 // Part of the Incline project (CGO'19 incremental inlining reproduction).
 //
 //===----------------------------------------------------------------------===//
+//
+// Two execution cores share one FrameExecutor (DESIGN.md §13):
+//
+//  * execBodyFast (default) runs against DecodedBody tables: slot-indexed
+//    vector frames, per-edge phi move lists, polymorphic inline caches at
+//    virtual callsites, and interned profile handles.
+//  * execBody (reference) is the original map-frame core, kept
+//    runtime-selectable as the semantic baseline the differential oracle
+//    compares against.
+//
+// Both must agree bit-for-bit on program output, traps, step and cycle
+// totals, and recorded profile content — the interp-fast fuzz stage and the
+// frame-transfer equivalence battery enforce exactly that.
+//
+//===----------------------------------------------------------------------===//
 
 #include "interp/Interpreter.h"
 
+#include "interp/DecodedBody.h"
 #include "ir/ArithSemantics.h"
 #include "support/Casting.h"
 #include "support/ErrorHandling.h"
@@ -49,12 +65,15 @@ namespace {
 class FrameExecutor {
 public:
   FrameExecutor(const Module &M, ExecutionEnv &Env, const CostModel &Costs,
-                const ExecLimits &Limits, Heap &TheHeap, ExecResult &Result)
+                const ExecLimits &Limits, Heap &TheHeap, ExecResult &Result,
+                InterpOptions Opts, DecodedCache *Bodies)
       : M(M), Env(Env), Costs(Costs), Limits(Limits), TheHeap(TheHeap),
-        Result(Result) {}
+        Result(Result), Opts(Opts), Bodies(Bodies) {}
 
   RtValue callFunction(std::string_view Symbol,
                        const std::vector<RtValue> &Args, size_t Depth) {
+    if (trapped())
+      return RtValue::nullVal();
     if (Depth > Limits.MaxCallDepth) {
       trap(TrapKind::StackOverflow, std::string(Symbol));
       return RtValue::nullVal();
@@ -65,11 +84,13 @@ public:
       trap(TrapKind::UnknownFunction, std::string(Symbol));
       return RtValue::nullVal();
     }
+    if (Opts.Mode == InterpMode::Fast)
+      return execBodyFast(std::move(Body), Args, Depth);
     if (!Body.Compiled) {
       if (profile::ProfileTable *Profiles = Env.profiles())
         ++Profiles->methodProfile(Body.ProfileName).InvocationCount;
     }
-    return execBody(Body, Args, Depth);
+    return execBody(std::move(Body), Args, Depth);
   }
 
 private:
@@ -89,6 +110,594 @@ private:
     else
       Result.InterpretedCycles += Cycles;
   }
+
+  /// True when the step/wall budget trapped; shared by both cores so the
+  /// check placement (top of every block iteration) stays identical.
+  bool checkBudgets(const std::string &FName) {
+    if (Result.Steps > Limits.MaxSteps) {
+      trap(TrapKind::StepLimitExceeded, FName);
+      return true;
+    }
+    if (Limits.MaxWallSeconds > 0 && Result.Steps >= NextWallCheckAt) {
+      NextWallCheckAt = Result.Steps + 8192;
+      std::chrono::duration<double> Wall =
+          std::chrono::steady_clock::now() - WallStart;
+      if (Wall.count() > Limits.MaxWallSeconds) {
+        trap(TrapKind::StepLimitExceeded, "wall clock, " + FName);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Fast core: pre-decoded bodies, slot frames, inline caches.
+  //===------------------------------------------------------------------===//
+
+  /// Frame read with the reference core's use-before-def discipline: the
+  /// Debug build asserts on the poison sentinel makeFrame planted; Release
+  /// reads a defined null (RtValue zero-initializes) instead of the
+  /// reference map's UB-prone end() dereference.
+  RtValue &slot(std::vector<RtValue> &Frame, int32_t Ref) {
+    assert(Frame[static_cast<size_t>(Ref)].K != DecodedBody::PoisonKind &&
+           "use of an unevaluated value");
+    return Frame[static_cast<size_t>(Ref)];
+  }
+
+  RtValue execBodyFast(ResolvedBody Body, const std::vector<RtValue> &Args,
+                       size_t Depth) {
+    assert(Args.size() == Body.F->numParams() && "argument count mismatch");
+    profile::ProfileTable *Profiles =
+        Body.Compiled ? nullptr : Env.profiles();
+    DecodedBody *DB = &Bodies->bodyFor(*Body.F, Costs);
+
+    if (Profiles) {
+      // Any profiled execution runs the baseline body, whose profile key is
+      // its own name — the invariant that lets interned handles live on the
+      // per-Function DecodedBody.
+      assert(Body.ProfileName == Body.F->name() &&
+             "profiled body keyed by a foreign profile name");
+      DB->ensureFresh(Profiles);
+      if (!DB->MP)
+        DB->MP = &Profiles->methodProfile(Body.ProfileName);
+      ++DB->MP->InvocationCount;
+    }
+
+    std::vector<RtValue> Frame = DB->makeFrame(Args.size());
+    for (size_t I = 0; I < Args.size(); ++I)
+      Frame[I] = Args[I];
+
+    uint32_t BlockIdx = 0;
+    const BasicBlock *PrevBB = nullptr;
+    // Set by deopt/OSR transfers: the next block iteration begins at this
+    // decoded (non-phi) instruction index with phi evaluation skipped (the
+    // materialized frame already holds every live value).
+    size_t ResumeInstIdx = 0;
+    bool SkipPhis = false;
+    // Set by an OSR poll at a block transition: the frame transfers into
+    // this OSR variant once the target block's phis have been evaluated.
+    const Function *PendingOsr = nullptr;
+    // Hoisted per-tier accounting; retargeted by deopt/OSR transfers.
+    uint64_t *CycleSink =
+        Body.Compiled ? &Result.CompiledCycles : &Result.InterpretedCycles;
+    uint64_t DispatchExtra = Body.Compiled ? 0 : Costs.InterpDispatchCost;
+
+    while (true) {
+      if (trapped())
+        return RtValue::nullVal();
+      if (checkBudgets(Body.F->name()))
+        return RtValue::nullVal();
+
+      const DecodedBody::Block &Blk = DB->Blocks[BlockIdx];
+
+      // Phis evaluate in parallel against the edge taken: stage every read,
+      // then write (an edge's move list may permute sibling phis).
+      if (!SkipPhis && Blk.NumPhis != 0) {
+        assert(PrevBB && "phi in entry block");
+        const DecodedBody::Edge *Ed = nullptr;
+        for (uint32_t E = 0; E < Blk.NumEdges; ++E)
+          if (DB->Edges[Blk.FirstEdge + E].Pred == PrevBB) {
+            Ed = &DB->Edges[Blk.FirstEdge + E];
+            break;
+          }
+        assert(Ed && "phi has no entry for the taken edge");
+        if (Ed) {
+          PhiScratch.resize(Ed->MovesCount);
+          for (uint32_t I = 0; I < Ed->MovesCount; ++I)
+            PhiScratch[I] = slot(Frame, DB->Moves[Ed->MovesBegin + I].Src);
+          for (uint32_t I = 0; I < Ed->MovesCount; ++I)
+            Frame[DB->Moves[Ed->MovesBegin + I].Dest] = PhiScratch[I];
+        }
+      }
+      SkipPhis = false;
+      size_t InstIdx = ResumeInstIdx;
+      ResumeInstIdx = 0;
+
+      if (PendingOsr) {
+        // The loop header's phis now hold this iteration's values; hand
+        // the frame to the compiled OSR body.
+        const Function *Target = PendingOsr;
+        PendingOsr = nullptr;
+        if (!transferToOsrFast(Target, Body, DB, Frame, BlockIdx,
+                               ResumeInstIdx))
+          return RtValue::nullVal();
+        SkipPhis = true;
+        Profiles = nullptr; // The compiled tier records no profiles.
+        CycleSink = &Result.CompiledCycles;
+        DispatchExtra = 0;
+        PrevBB = nullptr;
+        continue;
+      }
+
+      for (; InstIdx < Blk.NumInsts; ++InstIdx) {
+        const DecodedBody::Inst &DI = DB->Insts[Blk.FirstInst + InstIdx];
+        ++Result.Steps;
+        *CycleSink += DI.Cost + DispatchExtra;
+
+        switch (DI.Kind) {
+        case ValueKind::Jump: {
+          PrevBB = Blk.BB;
+          uint32_t Next = DI.S0;
+          Env.onSafepoint();
+          if (Body.OsrEligible && !Body.Compiled)
+            PendingOsr = Env.onOsrEdge(Body.ProfileName, *Blk.BB,
+                                       *DB->Blocks[Next].BB);
+          BlockIdx = Next;
+          goto BlockDone;
+        }
+        case ValueKind::Branch: {
+          bool Cond = slot(Frame, DB->Ops[DI.FirstOp]).asBool();
+          if (Profiles) {
+            DB->ensureFresh(Profiles);
+            profile::BranchProfile *&BP = DB->BranchCache[DI.ProfileSlot];
+            if (!BP) {
+              if (!DB->MP)
+                DB->MP = &Profiles->methodProfile(Body.ProfileName);
+              BP = &DB->MP->Branches[DI.I->profileId()];
+            }
+            if (Cond)
+              ++BP->TrueCount;
+            else
+              ++BP->FalseCount;
+          }
+          PrevBB = Blk.BB;
+          uint32_t Next = Cond ? DI.S0 : DI.S1;
+          Env.onSafepoint();
+          if (Body.OsrEligible && !Body.Compiled)
+            PendingOsr = Env.onOsrEdge(Body.ProfileName, *Blk.BB,
+                                       *DB->Blocks[Next].BB);
+          BlockIdx = Next;
+          goto BlockDone;
+        }
+        case ValueKind::Guard: {
+          RtValue Recv = slot(Frame, DB->Ops[DI.FirstOp]);
+          // Null receivers fail the guard too: the baseline re-dispatch
+          // then reproduces the virtual call's null-pointer trap exactly.
+          bool Pass =
+              Recv.isObject() && TheHeap.object(Recv.Ref).ClassId == DI.A;
+          if (Pass && Env.shouldForceGuardFailure(Body.ProfileName,
+                                                  DI.I->profileId()))
+            Pass = false;
+          PrevBB = Blk.BB;
+          uint32_t Next = Pass ? DI.S0 : DI.S1;
+          Env.onSafepoint();
+          if (Body.OsrEligible && !Body.Compiled)
+            PendingOsr = Env.onOsrEdge(Body.ProfileName, *Blk.BB,
+                                       *DB->Blocks[Next].BB);
+          BlockIdx = Next;
+          goto BlockDone;
+        }
+        case ValueKind::Return:
+          return DI.NumOps != 0 ? slot(Frame, DB->Ops[DI.FirstOp])
+                                : RtValue::nullVal();
+        case ValueKind::Deopt: {
+          const auto *D = cast<DeoptInst>(DI.I);
+          if (!D->hasFrameState()) {
+            // Legacy meaning: a point the compiled code believed
+            // unreachable. Nothing to recover to — fatal trap.
+            trap(TrapKind::Deoptimization, D->reason());
+            return RtValue::nullVal();
+          }
+          if (!transferToBaselineFast(D, DI, Body, DB, Frame, BlockIdx,
+                                      ResumeInstIdx))
+            return RtValue::nullVal();
+          // The transfer swapped in the baseline body; re-enter the loop
+          // at the resume point with the materialized frame.
+          SkipPhis = true;
+          Profiles = Env.profiles();
+          CycleSink = &Result.InterpretedCycles;
+          DispatchExtra = Costs.InterpDispatchCost;
+          PrevBB = nullptr;
+          goto BlockDone;
+        }
+        case ValueKind::Call: {
+          *CycleSink += Costs.CallOverhead;
+          std::vector<RtValue> CArgs;
+          CArgs.reserve(DI.NumOps);
+          for (uint32_t I = 0; I < DI.NumOps; ++I)
+            CArgs.push_back(slot(Frame, DB->Ops[DI.FirstOp + I]));
+          RtValue V = callFunction(cast<CallInst>(DI.I)->callee(), CArgs,
+                                   Depth + 1);
+          if (trapped())
+            return RtValue::nullVal();
+          if (DI.Dest >= 0)
+            Frame[DI.Dest] = V;
+          break;
+        }
+        case ValueKind::VirtualCall: {
+          *CycleSink += Costs.CallOverhead + Costs.VirtualDispatchOverhead;
+          const auto *VC = cast<VirtualCallInst>(DI.I);
+          RtValue Recv = slot(Frame, DB->Ops[DI.FirstOp]);
+          if (!Recv.isObject()) {
+            trap(TrapKind::NullPointer, "receiver of " + VC->methodName());
+            return RtValue::nullVal();
+          }
+          int ClassId = TheHeap.object(Recv.Ref).ClassId;
+          const types::MethodInfo *Target = nullptr;
+          if (Opts.InlineCaches || Profiles)
+            DB->ensureFresh(Profiles);
+          if (Opts.InlineCaches) {
+            DecodedBody::Pic &P = DB->Pics[DI.ProfileSlot];
+            for (uint8_t E = 0; E < P.Size; ++E)
+              if (P.E[E].ClassId == ClassId) {
+                Target = P.E[E].Target;
+                // A hit doubles as the receiver record: the interned count
+                // is &ReceiverProfile::Counts[ClassId] (null when this body
+                // executes unprofiled — then a hit records nothing, exactly
+                // like the reference core's compiled tier).
+                if (P.E[E].Count)
+                  ++*P.E[E].Count;
+                else
+                  assert(!Profiles &&
+                         "profiled PIC entry lost its interned count");
+                break;
+              }
+          }
+          if (!Target) {
+            Target = M.classes().resolveMethod(ClassId, VC->methodName());
+            if (!Target) {
+              // Record nothing for a receiver whose dispatch traps — it
+              // must not pollute the histogram speculative devirt feeds on.
+              trap(TrapKind::UnknownFunction, "virtual " + VC->methodName());
+              return RtValue::nullVal();
+            }
+            uint64_t *Count = nullptr;
+            DecodedBody::Pic &P = DB->Pics[DI.ProfileSlot];
+            if (Profiles) {
+              if (!P.RP) {
+                if (!DB->MP)
+                  DB->MP = &Profiles->methodProfile(Body.ProfileName);
+                P.RP = &DB->MP->Receivers[DI.I->profileId()];
+              }
+              P.RP->record(ClassId);
+              Count = &P.RP->Counts[ClassId];
+            }
+            if (Opts.InlineCaches && P.Size < DecodedBody::PicWidth) {
+              P.E[P.Size] = {ClassId, Target, Count};
+              ++P.Size;
+            }
+          }
+          std::vector<RtValue> CArgs;
+          CArgs.reserve(DI.NumOps);
+          CArgs.push_back(Recv);
+          for (uint32_t I = 1; I < DI.NumOps; ++I)
+            CArgs.push_back(slot(Frame, DB->Ops[DI.FirstOp + I]));
+          RtValue V = callFunction(Target->QualifiedName, CArgs, Depth + 1);
+          if (trapped())
+            return RtValue::nullVal();
+          if (DI.Dest >= 0)
+            Frame[DI.Dest] = V;
+          break;
+        }
+        case ValueKind::BinOp: {
+          const RtValue &L = slot(Frame, DB->Ops[DI.FirstOp]);
+          const RtValue &R = slot(Frame, DB->Ops[DI.FirstOp + 1]);
+          using Op = BinOpInst::Opcode;
+          Op Opcode = static_cast<Op>(DI.Sub);
+          RtValue V;
+          // Equality covers references, bools and ints uniformly.
+          if (Opcode == Op::Eq)
+            V = RtValue::boolVal(L.equals(R));
+          else if (Opcode == Op::Ne)
+            V = RtValue::boolVal(!L.equals(R));
+          else if (L.isBool()) {
+            std::optional<bool> Folded =
+                foldBoolBinOp(Opcode, L.asBool(), R.asBool());
+            assert(Folded && "invalid bool binop survived sema");
+            V = RtValue::boolVal(*Folded);
+          } else if (BinOpInst::isComparison(Opcode)) {
+            V = RtValue::boolVal(
+                foldIntComparison(Opcode, L.asInt(), R.asInt()));
+          } else {
+            std::optional<int64_t> Folded =
+                foldIntBinOp(Opcode, L.asInt(), R.asInt());
+            if (!Folded) {
+              trap(TrapKind::DivisionByZero, "binop");
+              return RtValue::nullVal();
+            }
+            V = RtValue::intVal(*Folded);
+          }
+          Frame[DI.Dest] = V;
+          break;
+        }
+        case ValueKind::UnOp: {
+          RtValue V = slot(Frame, DB->Ops[DI.FirstOp]);
+          Frame[DI.Dest] =
+              static_cast<UnOpInst::Opcode>(DI.Sub) == UnOpInst::Opcode::Neg
+                  ? RtValue::intVal(-static_cast<int64_t>(
+                        static_cast<uint64_t>(V.asInt())))
+                  : RtValue::boolVal(!V.asBool());
+          break;
+        }
+        case ValueKind::NewObject: {
+          if (TheHeap.exhausted()) {
+            trap(TrapKind::HeapExhausted, Body.F->name());
+            return RtValue::nullVal();
+          }
+          Frame[DI.Dest] = RtValue::objectVal(TheHeap.allocObject(DI.A));
+          break;
+        }
+        case ValueKind::NewArray: {
+          if (TheHeap.exhausted()) {
+            trap(TrapKind::HeapExhausted, Body.F->name());
+            return RtValue::nullVal();
+          }
+          int64_t Len = slot(Frame, DB->Ops[DI.FirstOp]).asInt();
+          if (Len < 0) {
+            trap(TrapKind::IndexOutOfBounds, "negative array length");
+            return RtValue::nullVal();
+          }
+          Frame[DI.Dest] = RtValue::arrayVal(TheHeap.allocArray(DI.A != 0,
+                                                                Len));
+          break;
+        }
+        case ValueKind::LoadField: {
+          RtValue Obj = slot(Frame, DB->Ops[DI.FirstOp]);
+          if (!Obj.isObject()) {
+            trap(TrapKind::NullPointer, "field load");
+            return RtValue::nullVal();
+          }
+          Frame[DI.Dest] = TheHeap.object(Obj.Ref).Fields[DI.A];
+          break;
+        }
+        case ValueKind::StoreField: {
+          RtValue Obj = slot(Frame, DB->Ops[DI.FirstOp]);
+          if (!Obj.isObject()) {
+            trap(TrapKind::NullPointer, "field store");
+            return RtValue::nullVal();
+          }
+          TheHeap.object(Obj.Ref).Fields[DI.A] =
+              slot(Frame, DB->Ops[DI.FirstOp + 1]);
+          break;
+        }
+        case ValueKind::LoadIndex: {
+          RtValue Arr = slot(Frame, DB->Ops[DI.FirstOp]);
+          RtValue Idx = slot(Frame, DB->Ops[DI.FirstOp + 1]);
+          if (!Arr.isArray()) {
+            trap(TrapKind::NullPointer, "array load");
+            return RtValue::nullVal();
+          }
+          RtArray &A = TheHeap.array(Arr.Ref);
+          int64_t I = Idx.asInt();
+          if (I < 0 || static_cast<size_t>(I) >= A.Elems.size()) {
+            trap(TrapKind::IndexOutOfBounds, "array load");
+            return RtValue::nullVal();
+          }
+          Frame[DI.Dest] = A.Elems[static_cast<size_t>(I)];
+          break;
+        }
+        case ValueKind::StoreIndex: {
+          RtValue Arr = slot(Frame, DB->Ops[DI.FirstOp]);
+          RtValue Idx = slot(Frame, DB->Ops[DI.FirstOp + 1]);
+          RtValue V = slot(Frame, DB->Ops[DI.FirstOp + 2]);
+          if (!Arr.isArray()) {
+            trap(TrapKind::NullPointer, "array store");
+            return RtValue::nullVal();
+          }
+          RtArray &A = TheHeap.array(Arr.Ref);
+          int64_t I = Idx.asInt();
+          if (I < 0 || static_cast<size_t>(I) >= A.Elems.size()) {
+            trap(TrapKind::IndexOutOfBounds, "array store");
+            return RtValue::nullVal();
+          }
+          A.Elems[static_cast<size_t>(I)] = V;
+          break;
+        }
+        case ValueKind::ArrayLength: {
+          RtValue Arr = slot(Frame, DB->Ops[DI.FirstOp]);
+          if (!Arr.isArray()) {
+            trap(TrapKind::NullPointer, "array length");
+            return RtValue::nullVal();
+          }
+          Frame[DI.Dest] = RtValue::intVal(
+              static_cast<int64_t>(TheHeap.array(Arr.Ref).Elems.size()));
+          break;
+        }
+        case ValueKind::InstanceOf: {
+          RtValue Obj = slot(Frame, DB->Ops[DI.FirstOp]);
+          Frame[DI.Dest] = RtValue::boolVal(
+              Obj.isObject() &&
+              M.classes().isSubclassOf(TheHeap.object(Obj.Ref).ClassId,
+                                       DI.A));
+          break;
+        }
+        case ValueKind::CheckCast: {
+          RtValue Obj = slot(Frame, DB->Ops[DI.FirstOp]);
+          if (!Obj.isNull()) { // null casts to anything, like Java.
+            if (!Obj.isObject() ||
+                !M.classes().isSubclassOf(TheHeap.object(Obj.Ref).ClassId,
+                                          DI.A)) {
+              trap(TrapKind::ClassCastFailure, Body.F->name());
+              return RtValue::nullVal();
+            }
+          }
+          Frame[DI.Dest] = Obj;
+          break;
+        }
+        case ValueKind::GetClassId: {
+          RtValue Obj = slot(Frame, DB->Ops[DI.FirstOp]);
+          if (!Obj.isObject()) {
+            trap(TrapKind::NullPointer, "getclassid");
+            return RtValue::nullVal();
+          }
+          Frame[DI.Dest] =
+              RtValue::intVal(TheHeap.object(Obj.Ref).ClassId);
+          break;
+        }
+        case ValueKind::NullCheck: {
+          RtValue Obj = slot(Frame, DB->Ops[DI.FirstOp]);
+          if (Obj.isNull()) {
+            trap(TrapKind::NullPointer, "nullcheck");
+            return RtValue::nullVal();
+          }
+          Frame[DI.Dest] = Obj;
+          break;
+        }
+        case ValueKind::Print: {
+          RtValue V = slot(Frame, DB->Ops[DI.FirstOp]);
+          if (V.isBool())
+            Result.Output += V.asBool() ? "true\n" : "false\n";
+          else
+            Result.Output += formatString(
+                "%lld\n", static_cast<long long>(V.asInt()));
+          break;
+        }
+        case ValueKind::OsrEntry:
+          // Only materialized by OSR transfers (which resume past the
+          // leading run); never dispatched.
+          incline_unreachable("OsrEntry executed outside an OSR transfer");
+        default:
+          incline_unreachable("unhandled instruction in interpreter");
+        }
+      }
+      // Either a terminator redirected control (goto) or the block fell off
+      // its end (unterminated — unverified IR); both re-enter the outer
+      // loop, the latter re-running the block until the step budget traps,
+      // matching the reference core.
+    BlockDone:;
+    }
+  }
+
+  /// Deoptimization against the decoded tables: same contract as
+  /// transferToBaseline, but destination slots resolve through BlockById /
+  /// SlotByProfileId instead of per-deopt hash-map builds.
+  bool transferToBaselineFast(const DeoptInst *D,
+                              const DecodedBody::Inst &DDI,
+                              ResolvedBody &Body, DecodedBody *&DB,
+                              std::vector<RtValue> &Frame,
+                              uint32_t &BlockIdx, size_t &ResumeInstIdx) {
+    const FrameState &FS = D->frameState();
+    const Function *Baseline = M.function(FS.BaselineSymbol);
+    if (!Baseline) {
+      trap(TrapKind::Deoptimization, "no baseline " + FS.BaselineSymbol);
+      return false;
+    }
+    DecodedBody &BDB = Bodies->bodyFor(*Baseline, Costs);
+    int32_t NewBlockIdx = BDB.blockIndexOf(FS.BaselineBlockId);
+    size_t Resume = SIZE_MAX;
+    if (NewBlockIdx >= 0) {
+      const DecodedBody::Block &RBlk = BDB.Blocks[NewBlockIdx];
+      for (uint32_t I = 0; I < RBlk.NumInsts; ++I)
+        if (BDB.Insts[RBlk.FirstInst + I].I->profileId() == FS.ResumePoint) {
+          Resume = I;
+          break;
+        }
+    }
+    if (Resume == SIZE_MAX) {
+      trap(TrapKind::Deoptimization,
+           "unresolved resume point in " + FS.BaselineSymbol);
+      return false;
+    }
+
+    // A frame state whose slot count disagrees with the captured operands
+    // cannot be materialized soundly; trap unconditionally (a Release
+    // build must not transfer a truncated frame).
+    if (FS.Slots.size() != D->numOperands()) {
+      trap(TrapKind::Deoptimization,
+           "frame-state slot/operand mismatch in " + FS.BaselineSymbol);
+      return false;
+    }
+
+    // Every baseline slot starts poisoned (in Debug): only the values the
+    // frame state materializes are live on the other side.
+    std::vector<RtValue> NewFrame = BDB.makeFrame(0);
+    for (size_t I = 0; I < FS.Slots.size(); ++I) {
+      const FrameStateSlot &Slot = FS.Slots[I];
+      int32_t Dest = -1;
+      if (Slot.Kind == FrameStateSlot::Target::Argument) {
+        if (Slot.BaselineId < Baseline->numParams())
+          Dest = static_cast<int32_t>(Slot.BaselineId);
+      } else {
+        Dest = BDB.slotOfProfileId(Slot.BaselineId);
+      }
+      if (Dest < 0) {
+        trap(TrapKind::Deoptimization,
+             "unresolved frame-state slot in " + FS.BaselineSymbol);
+        return false;
+      }
+      NewFrame[Dest] = slot(Frame, DB->Ops[DDI.FirstOp + I]);
+    }
+
+    // Report before transferring: the JIT runtime invalidates the compiled
+    // code here. The retired Function must stay alive (the runtime parks it
+    // in a graveyard) because this C++ frame still references it — and with
+    // it the decoded body keyed by its uniqueId.
+    Env.onDeopt(Body.ProfileName, *D);
+
+    Body.F = Baseline;
+    Body.Compiled = false;
+    Body.ProfileName = FS.BaselineSymbol;
+    DB = &BDB;
+    Frame = std::move(NewFrame);
+    BlockIdx = static_cast<uint32_t>(NewBlockIdx);
+    ResumeInstIdx = Resume;
+    return true;
+  }
+
+  /// Loop-entry OSR against the decoded tables: the inverse of
+  /// transferToBaselineFast. \p Body must be the baseline the variant is
+  /// anchored at, its current block the loop header with this iteration's
+  /// phi values already in \p Frame.
+  bool transferToOsrFast(const Function *OsrF, ResolvedBody &Body,
+                         DecodedBody *&DB, std::vector<RtValue> &Frame,
+                         uint32_t &BlockIdx, size_t &ResumeInstIdx) {
+    assert(OsrF->osrAnchor() && "OSR transfer into an unanchored function");
+    assert(OsrF->numParams() == Body.F->numParams() &&
+           "OSR variant signature mismatch");
+    DecodedBody &ODB = Bodies->bodyFor(*OsrF, Costs);
+    std::vector<RtValue> NewFrame = ODB.makeFrame(OsrF->numParams());
+    // Arguments occupy slots 0..numParams-1 in both bodies.
+    for (size_t I = 0; I < OsrF->numParams(); ++I)
+      NewFrame[I] = Frame[I];
+    for (const DecodedBody::OsrEntryDesc &OE : ODB.OsrEntries) {
+      int32_t Src = -1;
+      if (OE.Source.Kind == FrameStateSlot::Target::Argument) {
+        if (OE.Source.BaselineId < Body.F->numParams())
+          Src = static_cast<int32_t>(OE.Source.BaselineId);
+      } else {
+        Src = DB->slotOfProfileId(OE.Source.BaselineId);
+      }
+      if (Src < 0) {
+        trap(TrapKind::Deoptimization,
+             "unresolved osr entry slot in " + OsrF->name());
+        return false;
+      }
+      NewFrame[OE.DestSlot] = slot(Frame, Src);
+    }
+
+    Body.F = OsrF;
+    Body.Compiled = true;
+    DB = &ODB;
+    Frame = std::move(NewFrame);
+    BlockIdx = 0;
+    ResumeInstIdx = ODB.OsrLeadCount;
+    return true;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Reference core: the original map-frame execution, runtime-selectable
+  // as the differential oracle's semantic baseline.
+  //===------------------------------------------------------------------===//
 
   RtValue execBody(ResolvedBody Body, const std::vector<RtValue> &Args,
                    size_t Depth) {
@@ -115,19 +724,8 @@ private:
     while (true) {
       if (trapped())
         return RtValue::nullVal();
-      if (Result.Steps > Limits.MaxSteps) {
-        trap(TrapKind::StepLimitExceeded, F->name());
+      if (checkBudgets(F->name()))
         return RtValue::nullVal();
-      }
-      if (Limits.MaxWallSeconds > 0 && Result.Steps >= NextWallCheckAt) {
-        NextWallCheckAt = Result.Steps + 8192;
-        std::chrono::duration<double> Wall =
-            std::chrono::steady_clock::now() - WallStart;
-        if (Wall.count() > Limits.MaxWallSeconds) {
-          trap(TrapKind::StepLimitExceeded, "wall clock, " + F->name());
-          return RtValue::nullVal();
-        }
-      }
 
       // Phis evaluate in parallel against the edge taken.
       std::vector<PhiInst *> Phis = BB->phis();
@@ -285,6 +883,15 @@ private:
       return false;
     }
 
+    // A frame state whose slot count disagrees with the captured operands
+    // cannot be materialized soundly; trap unconditionally (a Release
+    // build must not transfer a truncated frame).
+    if (FS.Slots.size() != D->numOperands()) {
+      trap(TrapKind::Deoptimization,
+           "frame-state slot/operand mismatch in " + FS.BaselineSymbol);
+      return false;
+    }
+
     // Baseline values are named by profileId (slots) — build the lookup
     // once per deoptimization; deopts are rare by construction.
     std::unordered_map<unsigned, const Value *> BaselineValues;
@@ -293,10 +900,8 @@ private:
         if (!Inst->type().isVoid())
           BaselineValues[Inst->profileId()] = Inst.get();
 
-    assert(FS.Slots.size() == D->numOperands() &&
-           "frame-state slots out of sync with captured operands");
     std::unordered_map<const Value *, RtValue> NewFrame;
-    for (size_t I = 0; I < FS.Slots.size() && I < D->numOperands(); ++I) {
+    for (size_t I = 0; I < FS.Slots.size(); ++I) {
       const FrameStateSlot &Slot = FS.Slots[I];
       const Value *Dest = nullptr;
       if (Slot.Kind == FrameStateSlot::Target::Argument) {
@@ -402,7 +1007,15 @@ private:
     if (isa<ConstNull>(V))
       return RtValue::nullVal();
     auto It = Frame.find(V);
-    assert(It != Frame.end() && "use of an unevaluated value");
+    if (It == Frame.end()) {
+      // Use-before-def that slipped past the verifier: historically an
+      // assert-only check, so builds without assertions dereferenced
+      // end(). Trap unconditionally instead — this repo keeps asserts on
+      // in every build type (see the top-level CMakeLists), so an assert
+      // here would make the recovery path untestable dead code.
+      trap(TrapKind::Deoptimization, "use of unevaluated value");
+      return RtValue::nullVal();
+    }
     return It->second;
   }
 
@@ -440,10 +1053,6 @@ private:
         return RtValue::nullVal();
       }
       int ClassId = TheHeap.object(Recv.Ref).ClassId;
-      if (Profiles)
-        Profiles->methodProfile(Body.ProfileName)
-            .Receivers[VCall->profileId()]
-            .record(ClassId);
       const types::MethodInfo *Target =
           M.classes().resolveMethod(ClassId, VCall->methodName());
       if (!Target) {
@@ -451,6 +1060,12 @@ private:
              "virtual " + VCall->methodName());
         return RtValue::nullVal();
       }
+      // Record only after successful resolution: a receiver whose dispatch
+      // traps must not pollute the histogram speculative devirt feeds on.
+      if (Profiles)
+        Profiles->methodProfile(Body.ProfileName)
+            .Receivers[VCall->profileId()]
+            .record(ClassId);
       std::vector<RtValue> Args;
       Args.reserve(VCall->numArgs() + 1);
       Args.push_back(Recv);
@@ -632,6 +1247,13 @@ private:
   const ExecLimits &Limits;
   Heap &TheHeap;
   ExecResult &Result;
+  InterpOptions Opts;
+  /// The pre-decoded body cache (null in Reference mode). Owned by the
+  /// Interpreter (or shared by the JIT runtime); outlives every frame.
+  DecodedCache *Bodies;
+  /// Staging buffer for parallel phi moves. Safe as a member: phi moves
+  /// never recurse into callees.
+  std::vector<RtValue> PhiScratch;
   /// Wall-clock watchdog state (only consulted when Limits.MaxWallSeconds
   /// is set): one clock read per run at construction, then one read every
   /// few thousand steps.
@@ -642,17 +1264,31 @@ private:
 
 } // namespace
 
+Interpreter::Interpreter(const ir::Module &M, ExecutionEnv &Env,
+                         const CostModel &Costs, const ExecLimits &Limits,
+                         InterpOptions Opts, DecodedCache *SharedBodies)
+    : M(M), Env(Env), Costs(Costs), Limits(Limits), TheHeap(M.classes()),
+      Opts(Opts), Bodies(SharedBodies) {
+  if (!Bodies && Opts.Mode == InterpMode::Fast) {
+    OwnedBodies = std::make_unique<DecodedCache>();
+    Bodies = OwnedBodies.get();
+  }
+}
+
+Interpreter::~Interpreter() = default;
+
 ExecResult Interpreter::run(std::string_view Symbol,
                             const std::vector<RtValue> &Args) {
   ExecResult Result;
-  FrameExecutor Exec(M, Env, Costs, Limits, TheHeap, Result);
+  FrameExecutor Exec(M, Env, Costs, Limits, TheHeap, Result, Opts, Bodies);
   Result.Return = Exec.callFunction(Symbol, Args, 0);
   return Result;
 }
 
 ExecResult incline::interp::runMain(const ir::Module &M,
-                                    profile::ProfileTable *Profiles) {
+                                    profile::ProfileTable *Profiles,
+                                    InterpOptions Opts) {
   ModuleEnv Env(M, Profiles);
-  Interpreter I(M, Env);
+  Interpreter I(M, Env, CostModel(), ExecLimits(), Opts);
   return I.run("main");
 }

@@ -32,11 +32,34 @@
 #include "ir/Module.h"
 #include "profile/ProfileData.h"
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace incline::interp {
+
+class DecodedCache;
+
+/// Which execution core runs the frames.
+enum class InterpMode : uint8_t {
+  /// Pre-decoded bodies: dense slot frames, per-edge phi move lists,
+  /// polymorphic inline caches, interned profile handles (the default).
+  Fast,
+  /// The original map-frame core, kept runtime-selectable as the
+  /// differential oracle's semantic baseline (`--interp=reference`).
+  Reference,
+};
+
+/// Execution-core options. Semantics, program output, traps, cycle totals
+/// and recorded profile *content* are identical across every setting — only
+/// host-side speed differs (asserted by the interp-fast differential stage).
+struct InterpOptions {
+  InterpMode Mode = InterpMode::Fast;
+  /// Polymorphic inline caches at VirtualCall sites (Fast mode only).
+  /// The ablation bench disables this to isolate the PIC contribution.
+  bool InlineCaches = true;
+};
 
 /// Why execution stopped abnormally.
 enum class TrapKind : uint8_t {
@@ -194,10 +217,16 @@ struct ExecLimits {
 /// The execution engine.
 class Interpreter {
 public:
+  /// \p SharedBodies lets a long-lived owner (the JIT runtime) share one
+  /// pre-decoded body cache across runs, so decode cost is paid once per
+  /// Function instead of once per execution. When null, Fast mode owns a
+  /// private cache for this interpreter's lifetime.
   Interpreter(const ir::Module &M, ExecutionEnv &Env,
               const CostModel &Costs = CostModel(),
-              const ExecLimits &Limits = ExecLimits())
-      : M(M), Env(Env), Costs(Costs), Limits(Limits), TheHeap(M.classes()) {}
+              const ExecLimits &Limits = ExecLimits(),
+              InterpOptions Opts = InterpOptions(),
+              DecodedCache *SharedBodies = nullptr);
+  ~Interpreter();
 
   /// Runs `Symbol(Args...)` to completion.
   ExecResult run(std::string_view Symbol,
@@ -211,12 +240,16 @@ private:
   CostModel Costs;
   ExecLimits Limits;
   Heap TheHeap;
+  InterpOptions Opts;
+  DecodedCache *Bodies = nullptr; ///< Borrowed, or OwnedBodies.get().
+  std::unique_ptr<DecodedCache> OwnedBodies;
 };
 
 /// Convenience for tests: compile-free single-shot execution of `main` with
 /// fresh state, returning the result (output, cycles, trap).
 ExecResult runMain(const ir::Module &M,
-                   profile::ProfileTable *Profiles = nullptr);
+                   profile::ProfileTable *Profiles = nullptr,
+                   InterpOptions Opts = InterpOptions());
 
 } // namespace incline::interp
 

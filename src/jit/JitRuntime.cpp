@@ -283,8 +283,19 @@ const ir::Function *JitRuntime::onOsrEdge(std::string_view Method,
   if (Header == opt::OsrPlan::NoHeader)
     return nullptr;
   // Backedge profiling lives in the ordinary profile table: snapshots taken
-  // at enqueue time carry it to workers like every other profile.
-  uint64_t Count = ++Profiles.methodProfile(Method).Backedges[Header];
+  // at enqueue time carry it to workers like every other profile. The
+  // counter's address is memoized for the (method, header) pair polled last
+  // — loops re-poll the same pair on every iteration — and revalidated
+  // against the decay epoch (decay erases zeroed entries; eviction only
+  // zeroes counters in place, so the pointer survives it).
+  if (!OsrMemoCount || OsrMemoHeader != Header ||
+      OsrMemoEpoch != Profiles.decayEpoch() || OsrMemoMethod != Method) {
+    OsrMemoMethod = std::string(Method);
+    OsrMemoHeader = Header;
+    OsrMemoEpoch = Profiles.decayEpoch();
+    OsrMemoCount = &Profiles.methodProfile(Method).Backedges[Header];
+  }
+  uint64_t Count = ++*OsrMemoCount;
 
   OsrState &State = OsrStates[{std::string(Method), Header}];
   if (!State.Compiled && !State.InFlight && !State.DoNotCompile &&
@@ -670,7 +681,8 @@ interp::ExecResult JitRuntime::runMain(const interp::ExecLimits &Limits) {
 interp::ExecResult JitRuntime::run(std::string_view Symbol,
                                    const std::vector<interp::RtValue> &Args,
                                    const interp::ExecLimits &Limits) {
-  interp::Interpreter Interp(M, *this, interp::CostModel(), Limits);
+  interp::Interpreter Interp(M, *this, interp::CostModel(), Limits,
+                             Config.Interp, &DecodedBodies);
   return Interp.run(Symbol, Args);
 }
 

@@ -39,6 +39,7 @@
 #ifndef INCLINE_JIT_JITRUNTIME_H
 #define INCLINE_JIT_JITRUNTIME_H
 
+#include "interp/DecodedBody.h"
 #include "interp/Interpreter.h"
 #include "jit/CodeCache.h"
 #include "jit/Compiler.h"
@@ -129,6 +130,12 @@ struct JitConfig {
   /// chaos hooks, a forced eviction must be output-neutral: the method just
   /// runs interpreted again until it re-tiers.
   std::function<bool(std::string_view)> ForceEvict;
+
+  /// Which interpreter core executes the frames (fast pre-decoded tables
+  /// vs the reference map-frame oracle; see interp/Interpreter.h). Every
+  /// observable — output, traps, cycles, profiles, the compile stream's
+  /// fingerprint — is identical across cores; only host speed differs.
+  interp::InterpOptions Interp;
 };
 
 /// One installed compilation.
@@ -372,6 +379,24 @@ private:
   /// Installed code, graveyard, epoch, and occupancy accounting — the
   /// code-lifecycle owner (see CodeCache.h).
   CodeCache Code;
+
+  /// Pre-decoded bodies shared across every run() of this runtime, so a
+  /// function is decoded once per lifetime, not once per request. Keyed by
+  /// Function::uniqueId(); the code-cache graveyard keeps retired functions
+  /// alive until runtime destruction, so entries never dangle. Mutator-only,
+  /// like all tier state.
+  interp::DecodedCache DecodedBodies;
+
+  /// Interned backedge counter for the hottest (method, header) pair:
+  /// onOsrEdge fires on *every* taken edge of OSR-eligible loops, and the
+  /// string-keyed methodProfile lookup dominated that path. Invalidated by
+  /// profile decay (the epoch check — decay erases zeroed entries) exactly
+  /// like the interpreter's interned handles; noteEvicted only zeroes
+  /// counters in place, so the pointer survives eviction.
+  std::string OsrMemoMethod;
+  unsigned OsrMemoHeader = 0;
+  uint64_t *OsrMemoCount = nullptr;
+  uint64_t OsrMemoEpoch = 0;
 
   /// Loop-entry OSR state (all empty while Config.Osr is off).
   std::map<std::string, opt::OsrPlan, std::less<>> OsrPlans;

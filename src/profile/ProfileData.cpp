@@ -102,4 +102,41 @@ void MethodProfile::decay() {
 void ProfileTable::decay() {
   for (auto &[Name, MP] : Methods)
     MP.decay();
+  // Inner-map entries may have been erased above; interned pointers into
+  // them are now stale. Anyone holding one revalidates against this.
+  ++DecayEpoch;
+}
+
+std::string ProfileTable::dump() const {
+  // Branches/Receivers/Backedges are unordered; sort their ids so the dump
+  // is a pure function of the table's *content*.
+  auto SortedIds = [](const auto &Map) {
+    std::vector<unsigned> Ids;
+    Ids.reserve(Map.size());
+    for (const auto &[Id, Unused] : Map)
+      Ids.push_back(Id);
+    std::sort(Ids.begin(), Ids.end());
+    return Ids;
+  };
+  std::string Out;
+  for (const auto &[Name, MP] : Methods) {
+    Out += "method " + Name + " inv=" + std::to_string(MP.InvocationCount) +
+           "\n";
+    for (unsigned Id : SortedIds(MP.Branches)) {
+      const BranchProfile &BP = MP.Branches.at(Id);
+      Out += "  branch " + std::to_string(Id) +
+             " true=" + std::to_string(BP.TrueCount) +
+             " false=" + std::to_string(BP.FalseCount) + "\n";
+    }
+    for (unsigned Id : SortedIds(MP.Receivers)) {
+      Out += "  recv " + std::to_string(Id);
+      for (const auto &[ClassId, Count] : MP.Receivers.at(Id).Counts)
+        Out += " " + std::to_string(ClassId) + ":" + std::to_string(Count);
+      Out += "\n";
+    }
+    for (unsigned Id : SortedIds(MP.Backedges))
+      Out += "  backedge " + std::to_string(Id) + "=" +
+             std::to_string(MP.Backedges.at(Id)) + "\n";
+  }
+  return Out;
 }

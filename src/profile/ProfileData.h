@@ -96,15 +96,34 @@ public:
   /// One exponential-decay tick over every method (see
   /// MethodProfile::decay). The runtime calls this at safepoints every
   /// `--profile-decay` halflife. MethodProfile records are kept (only
-  /// their inner entries are erased): the interpreter's recording sites
-  /// re-fetch profiles per instruction and safepoints fire only at block
-  /// terminators, so no live reference outlasts a tick.
+  /// their inner entries are erased), so a `MethodProfile&` survives a
+  /// tick — but pointers *into* the inner maps (a BranchProfile, a
+  /// ReceiverProfile, a receiver-class count, a backedge counter) may
+  /// dangle afterwards. The fast interpreter and the runtime's backedge
+  /// memo intern exactly such pointers, so every tick (and clear()) bumps
+  /// `decayEpoch()`; interned handles are revalidated against it before
+  /// each use and re-resolved on mismatch.
   void decay();
 
-  void clear() { Methods.clear(); }
+  /// Monotone counter bumped by every decay() tick and clear(). Anything
+  /// caching pointers into this table (interned profile handles, inline
+  /// caches doubling as receiver recorders) must flush when it moves.
+  uint64_t decayEpoch() const { return DecayEpoch; }
+
+  void clear() {
+    Methods.clear();
+    ++DecayEpoch;
+  }
+
+  /// Deterministic serialization of the whole table — methods by name,
+  /// inner entries sorted by id — so differential tests and benches can
+  /// assert bit-equal profile *content* across interpreter execution
+  /// cores regardless of unordered-map iteration order.
+  std::string dump() const;
 
 private:
   std::map<std::string, MethodProfile, std::less<>> Methods;
+  uint64_t DecayEpoch = 0;
 };
 
 } // namespace incline::profile

@@ -60,6 +60,7 @@ struct Options {
   uint64_t OsrThreshold = 100;
   uint64_t CodeCacheBudget = 0; ///< 0 = unbounded.
   uint64_t ProfileDecay = 0;    ///< Halflife in safepoints; 0 = off.
+  bool InterpFast = true;       ///< --interp=fast|reference.
   std::string Function;
   uint64_t Threshold = 50;
   unsigned JitThreads = 1;
@@ -79,6 +80,7 @@ int usage() {
       "                    [--jit-osr=off|on] [--osr-threshold=N]\n"
       "                    [--trial-cache=off|per-compile|shared]\n"
       "                    [--code-cache-budget=N] [--profile-decay=off|N]\n"
+      "                    [--interp=fast|reference]\n"
       "                    [--threshold=N] [--iterations=N] [--stats]\n"
       "  minioo dump <file> [--function=NAME] [--optimize]\n"
       "  minioo compile <file> --function=NAME [--jit=...]\n"
@@ -171,6 +173,12 @@ std::optional<Options> parseArgs(int argc, char **argv) {
         }
         Opts.ProfileDecay = *N;
       }
+    } else if (auto V = ValueOf("--interp=")) {
+      if (*V != "fast" && *V != "reference") {
+        std::fprintf(stderr, "invalid --interp value '%s'\n", V->c_str());
+        return std::nullopt;
+      }
+      Opts.InterpFast = *V == "fast";
     } else if (auto V = ValueOf("--jit-threads=")) {
       auto N = parseCount(*V);
       if (!N) {
@@ -257,6 +265,8 @@ int cmdRun(const Options &Opts, ir::Module &M) {
   Config.OsrBackedgeThreshold = Opts.OsrThreshold;
   Config.CodeCacheBudget = Opts.CodeCacheBudget;
   Config.ProfileDecayHalflife = Opts.ProfileDecay;
+  Config.Interp.Mode = Opts.InterpFast ? interp::InterpMode::Fast
+                                       : interp::InterpMode::Reference;
   jit::JitRuntime Runtime(M, *Compiler, Config);
 
   for (int Iter = 0; Iter < Opts.Iterations; ++Iter) {
