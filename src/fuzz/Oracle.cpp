@@ -14,6 +14,7 @@
 #include "ir/Module.h"
 #include "jit/JitRuntime.h"
 #include "opt/Passes.h"
+#include "support/Cancellation.h"
 
 #include <algorithm>
 #include <atomic>
@@ -104,23 +105,40 @@ opt::PassContext configContext(opt::AnalysisManager &AM,
 }
 
 /// Runs `main` of \p M interpreted (the reference semantics) under explicit
-/// limits — interp::runMain with the watchdog budget threaded through.
+/// limits plus a fresh per-run wall-clock deadline token (the repo's one
+/// timeout mechanism, support/Cancellation.h); \p WallSeconds <= 0 disables
+/// the wall clock.
 interp::ExecResult runModuleMain(const ir::Module &M,
-                                 const interp::ExecLimits &Limits) {
+                                 interp::ExecLimits Limits,
+                                 double WallSeconds) {
+  support::CancellationToken Watchdog(
+      support::CancellationToken::wallClockBudget(WallSeconds));
+  Limits.Deadline = &Watchdog;
   interp::ModuleEnv Env(M);
   interp::Interpreter Interp(M, Env, interp::CostModel(), Limits);
   return Interp.run("main");
 }
 
+/// Runs one tiered-JIT iteration under the step budget plus a fresh
+/// per-run wall-clock deadline token — same per-execution watchdog
+/// semantics as runModuleMain.
+interp::ExecResult runJitMain(jit::JitRuntime &Runtime,
+                              interp::ExecLimits Limits, double WallSeconds) {
+  support::CancellationToken Watchdog(
+      support::CancellationToken::wallClockBudget(WallSeconds));
+  Limits.Deadline = &Watchdog;
+  return Runtime.runMain(Limits);
+}
+
 /// Candidate execution limits: generous multiple of the reference's step
 /// count, so legitimate slowdown (interpretation, deopt round trips) fits
-/// but a runaway loop is cut off, plus the stage wall-clock cap.
+/// but a runaway loop is cut off. The wall-clock cap is attached per run by
+/// the helpers above.
 interp::ExecLimits candidateLimits(const OracleOptions &Opts,
                                    const interp::ExecResult &RefRun) {
   interp::ExecLimits Limits;
   Limits.MaxSteps = std::max<uint64_t>(Opts.MinStepBudget,
                                        RefRun.Steps * Opts.StepBudgetFactor);
-  Limits.MaxWallSeconds = Opts.StageWallClockSeconds;
   return Limits;
 }
 
@@ -345,9 +363,8 @@ DifferentialOracle::check(const std::string &Source) const {
   }
   // The reference runs under the wall-clock cap only (its step count is
   // what candidate budgets derive from, so it gets the default step limit).
-  interp::ExecLimits RefLimits;
-  RefLimits.MaxWallSeconds = Opts.StageWallClockSeconds;
-  interp::ExecResult RefRun = runModuleMain(*Ref, RefLimits);
+  interp::ExecResult RefRun =
+      runModuleMain(*Ref, interp::ExecLimits(), Opts.StageWallClockSeconds);
   if (!RefRun.ok()) {
     Divergence D;
     D.Kind = RefRun.Trap == interp::TrapKind::StepLimitExceeded
@@ -371,10 +388,15 @@ DifferentialOracle::check(const std::string &Source) const {
       std::unique_ptr<ir::Module> M = compileOrNull(Source);
       if (!M)
         return std::nullopt;
+      support::CancellationToken Watchdog(
+          support::CancellationToken::wallClockBudget(
+              Opts.StageWallClockSeconds));
+      interp::ExecLimits CoreLimits = Budget;
+      CoreLimits.Deadline = &Watchdog;
       interp::ModuleEnv Env(*M, &PT);
       interp::InterpOptions IOpts;
       IOpts.Mode = Mode;
-      interp::Interpreter Interp(*M, Env, interp::CostModel(), Budget,
+      interp::Interpreter Interp(*M, Env, interp::CostModel(), CoreLimits,
                                  IOpts);
       return Interp.run("main");
     };
@@ -444,7 +466,8 @@ DifferentialOracle::check(const std::string &Source) const {
         D.Detail = joinProblems(Problems);
         return D;
       }
-      interp::ExecResult R = runModuleMain(*M, Budget);
+      interp::ExecResult R =
+          runModuleMain(*M, Budget, Opts.StageWallClockSeconds);
       if (!R.ok() || R.Output != Expected) {
         Divergence D;
         D.Kind = failureKind(R);
@@ -495,7 +518,8 @@ DifferentialOracle::check(const std::string &Source) const {
       Config.CompileThreshold = Opts.CompileThreshold;
       jit::JitRuntime Runtime(*M, *Compiler, Config);
       for (int Iter = 0; Iter < Opts.JitIterations; ++Iter) {
-        interp::ExecResult R = Runtime.runMain(Budget);
+        interp::ExecResult R =
+            runJitMain(Runtime, Budget, Opts.StageWallClockSeconds);
         if (PerPassProblem)
           return PerPassProblem;
         if (R.ok() && R.Output == Expected)
@@ -545,7 +569,8 @@ DifferentialOracle::check(const std::string &Source) const {
       Config.OsrBackedgeThreshold = 4;
       jit::JitRuntime Runtime(*M, Compiler, Config);
       for (int Iter = 0; Iter < Opts.JitIterations; ++Iter) {
-        interp::ExecResult R = Runtime.runMain(Budget);
+        interp::ExecResult R =
+            runJitMain(Runtime, Budget, Opts.StageWallClockSeconds);
         if (R.ok() && R.Output == Expected)
           continue;
         Divergence D;
@@ -638,7 +663,8 @@ DifferentialOracle::check(const std::string &Source) const {
       Config.ProfileDecayHalflife = Opts.Chaos.ProfileDecayHalflife;
       jit::JitRuntime Runtime(*M, Compiler, Config);
       for (int Iter = 0; Iter < Opts.JitIterations; ++Iter) {
-        interp::ExecResult R = Runtime.runMain(Budget);
+        interp::ExecResult R =
+            runJitMain(Runtime, Budget, Opts.StageWallClockSeconds);
         if (R.ok() && R.Output == Expected)
           continue;
         Divergence D;
@@ -687,7 +713,8 @@ DifferentialOracle::check(const std::string &Source) const {
           };
       jit::JitRuntime Runtime(*M, Compiler, Config);
       for (int Iter = 0; Iter < Opts.JitIterations; ++Iter) {
-        interp::ExecResult R = Runtime.runMain(Budget);
+        interp::ExecResult R =
+            runJitMain(Runtime, Budget, Opts.StageWallClockSeconds);
         if (R.ok() && R.Output == Expected)
           continue;
         Divergence D;
@@ -702,6 +729,64 @@ DifferentialOracle::check(const std::string &Source) const {
       }
       Runtime.drainCompilations();
     }
+
+    // Dedicated deadline-chaos stages: supervised compilation with forced
+    // deadline expiries driving the graceful-degradation ladder
+    // (DESIGN.md §14), under every execution mode. The forced-expiry
+    // schedule is a pure function of (seed, symbol, attempt) — no counter —
+    // so it is identical across modes and thread counts, and the
+    // deterministic variant doubles as a supervision-vs-determinism
+    // cross-check. No other fault injection here: a divergence attributes
+    // cleanly to the deadline/ladder machinery. The claim under test:
+    // deadline bailouts, rung-degraded code, ladder upgrades and
+    // interpreter-only demotions are all output-neutral.
+    {
+      struct DeadlineStage {
+        std::string Name;
+        jit::JitMode Mode;
+        unsigned Threads;
+      };
+      const DeadlineStage DeadlineStages[] = {
+          {"deadline-chaos-sync", jit::JitMode::Sync, 1},
+          {"deadline-chaos-deterministic", jit::JitMode::Deterministic, 2},
+          {"deadline-chaos-async", jit::JitMode::Async, 2},
+      };
+      for (const DeadlineStage &Stage : DeadlineStages) {
+        std::unique_ptr<ir::Module> M = compileOrNull(Source);
+        inliner::IncrementalCompiler Compiler{inliner::InlinerConfig()};
+        jit::JitConfig Config;
+        Config.CompileThreshold = Opts.CompileThreshold;
+        Config.Mode = Stage.Mode;
+        Config.Threads = Stage.Threads;
+        Config.Osr = true;
+        Config.OsrBackedgeThreshold = 4;
+        Config.DegradeLadder = true;
+        Config.ForceDeadlineExpiry =
+            [C = Opts.Chaos, DeadlineSalt = uint64_t{0x2545F4914F6CDD1DULL}](
+                std::string_view Symbol, unsigned Attempt) {
+              uint64_t Draw = chaosMix(C.Seed ^ DeadlineSalt,
+                                       chaosMix(fnv1a(Symbol), Attempt));
+              return chaosChance(Draw, C.DeadlineForceRate);
+            };
+        jit::JitRuntime Runtime(*M, Compiler, Config);
+        for (int Iter = 0; Iter < Opts.JitIterations; ++Iter) {
+          interp::ExecResult R =
+              runJitMain(Runtime, Budget, Opts.StageWallClockSeconds);
+          if (R.ok() && R.Output == Expected)
+            continue;
+          Divergence D;
+          D.Kind = failureKind(R);
+          D.Stage = "jit:" + Stage.Name;
+          D.Detail = R.ok() ? "iteration " + std::to_string(Iter) +
+                                  " output differs from the reference"
+                            : R.TrapMessage;
+          D.Expected = Expected;
+          D.Actual = R.Output;
+          return D;
+        }
+        Runtime.drainCompilations();
+      }
+    }
   }
   return std::nullopt;
 }
@@ -712,9 +797,8 @@ incline::fuzz::bisectPipeline(const std::string &Source,
   std::unique_ptr<ir::Module> Ref = compileOrNull(Source);
   if (!Ref)
     return std::nullopt;
-  interp::ExecLimits RefLimits;
-  RefLimits.MaxWallSeconds = Options.StageWallClockSeconds;
-  interp::ExecResult RefRun = runModuleMain(*Ref, RefLimits);
+  interp::ExecResult RefRun = runModuleMain(*Ref, interp::ExecLimits(),
+                                            Options.StageWallClockSeconds);
   if (!RefRun.ok())
     return std::nullopt;
   const std::string Expected = RefRun.Output;
@@ -743,7 +827,8 @@ incline::fuzz::bisectPipeline(const std::string &Source,
     if (std::vector<std::string> Problems = ir::verifyModule(*M);
         !Problems.empty())
       return joinProblems(Problems);
-    interp::ExecResult R = runModuleMain(*M, Budget);
+    interp::ExecResult R =
+        runModuleMain(*M, Budget, Options.StageWallClockSeconds);
     if (!R.ok())
       return "trap: " + R.TrapMessage;
     if (R.Output != Expected)
@@ -779,9 +864,8 @@ incline::fuzz::bisectJitPolicy(const std::string &Source,
   std::unique_ptr<ir::Module> Ref = compileOrNull(Source);
   if (!Ref)
     return std::nullopt;
-  interp::ExecLimits RefLimits;
-  RefLimits.MaxWallSeconds = Options.StageWallClockSeconds;
-  interp::ExecResult RefRun = runModuleMain(*Ref, RefLimits);
+  interp::ExecResult RefRun = runModuleMain(*Ref, interp::ExecLimits(),
+                                            Options.StageWallClockSeconds);
   if (!RefRun.ok())
     return std::nullopt;
   const std::string Expected = RefRun.Output;
@@ -801,7 +885,8 @@ incline::fuzz::bisectJitPolicy(const std::string &Source,
     jit::JitRuntime Runtime(*M, *Compiler, Config);
     Runtime.compileNow(Name);
     for (int Iter = 0; Iter < Options.JitIterations; ++Iter) {
-      interp::ExecResult R = Runtime.runMain(Budget);
+      interp::ExecResult R =
+          runJitMain(Runtime, Budget, Options.StageWallClockSeconds);
       if (!R.ok() || R.Output != Expected)
         return Name;
     }

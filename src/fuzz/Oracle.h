@@ -115,6 +115,14 @@ struct ChaosOptions {
   /// is a pure performance event — the method falls back to the profiling
   /// interpreter and re-tiers — so it must be output-neutral too.
   double EvictForceRate = 0.05;
+  /// Probability that one compile attempt's deadline is forced to expire
+  /// (deterministic per (seed, symbol, attempt) — no counter, so the
+  /// schedule is identical across execution modes and thread counts). The
+  /// deadline-chaos stages run the graceful-degradation ladder under this
+  /// and assert program output stays bit-identical: a deadline bailout
+  /// steps the method down a rung, and every rung — including
+  /// interpreter-only — is semantically equivalent.
+  double DeadlineForceRate = 0.25;
   /// Code-cache budget (|ir| units) for the chaos stages. Nonzero turns
   /// every chaos run into a cache-thrash run: admission rejections and
   /// coldest-first evictions fire naturally on top of the forced ones.

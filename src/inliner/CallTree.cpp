@@ -10,6 +10,7 @@
 #include "ir/IRPrinter.h"
 #include "opt/Passes.h"
 #include "profile/BlockFrequency.h"
+#include "support/Cancellation.h"
 #include "support/Casting.h"
 #include "support/ErrorHandling.h"
 #include "support/StringUtils.h"
@@ -329,6 +330,7 @@ unsigned runTrialPasses(Function &Body, const ir::Module &M,
                         uint64_t VisitBudget, const opt::PassContext &Ctx) {
   opt::CanonOptions Options;
   Options.VisitBudget = VisitBudget;
+  Options.Cancel = Ctx.Cancel; // Mid-worklist wall-clock/cancel polling.
   opt::CanonStats Stats;
   opt::CanonicalizePass Canon(Options, "canonicalize-trial");
   Canon.setStatsSink(&Stats);
@@ -377,6 +379,20 @@ TrialKey CallTree::makeTrialKey(const CallNode &N) {
 void CallTree::replayTrialMetrics(const TrialResult &Cached,
                                   ir::Function &Body) {
   for (const auto &[Name, Delta] : Cached.PassDeltas) {
+    // A hit must charge the compile budget exactly like the miss it
+    // memoizes: work units are a pure function of the per-pass IR deltas,
+    // which the replay re-records verbatim. Without this, turning the
+    // trial cache on would move the deadline-expiry point — a behavioral
+    // difference in a performance-only feature. (The node-quota peak is
+    // noted from the final cached body below; intermediate sizes are not
+    // recorded, which can only under-report the peak — never a spurious
+    // ResourceExhausted.)
+    if (PassCtx.Cancel) {
+      PassCtx.Cancel->checkpoint(Name);
+      // Sum of passRunUnits over the delta's runs: Runs * 1 + the
+      // aggregated IR churn.
+      PassCtx.Cancel->charge(Delta.Runs + Delta.IRAdded + Delta.IRRemoved);
+    }
     opt::PassMetrics Replayed = Delta;
     // The replay did no pass work — its saved wall time must not be
     // re-reported. Everything else (runs, IR deltas, analysis-cache
@@ -389,6 +405,8 @@ void CallTree::replayTrialMetrics(const TrialResult &Cached,
     if (PassCtx.Observer)
       PassCtx.Observer(Name, Body);
   }
+  if (PassCtx.Cancel && Cached.Body)
+    PassCtx.Cancel->noteNodes(Cached.Body->instructionCount());
 }
 
 void CallTree::verifyCachedTrial(const CallNode &N,
@@ -417,6 +435,15 @@ void CallTree::verifyCachedTrial(const CallNode &N,
 bool CallTree::expandCutoff(CallNode &N) {
   assert(N.Kind == CallNodeKind::Cutoff && "can only expand cutoffs");
   assert(N.SourceFn && "cutoff without a source function");
+
+  // Poll the compile budget before every trial expansion: the expansion
+  // loop is where a pathologically deep call tree spends its time, and an
+  // over-deadline compile must unwind from here before cloning yet another
+  // callee. Throwing is safe: the trial cache is only written after a
+  // trial completes, so a mid-trial unwind cannot poison it, and the whole
+  // compilation operates on private clones.
+  if (PassCtx.Cancel)
+    PassCtx.Cancel->checkpoint("expand-cutoff");
 
   if (N.RecursionDepth > Config.MaxRecursionDepth) {
     N.Kind = CallNodeKind::Generic; // Give up on this branch of recursion.

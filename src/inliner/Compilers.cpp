@@ -41,6 +41,7 @@ public:
     Options.Observer = Ctx.Observer;
     Options.AM = Ctx.AM;
     Options.Instr = Ctx.Instr;
+    Options.Cancel = Ctx.Cancel;
     return Options;
   }
 
@@ -83,7 +84,22 @@ IncrementalCompiler::compile(const ir::Function &Source, const ir::Module &M,
                              const opt::PassContext &Ctx) {
   CompileSession Session(Ctx, Profiles);
   ir::ClonedFunction Clone = ir::cloneFunction(Source, Source.name());
-  IncrementalInliner Inliner(Config, M, Profiles);
+
+  // Graceful-degradation rungs (DESIGN.md §14). Rung 2 (baseline) skips
+  // the inliner entirely — the dominant compile cost — and runs only the
+  // standard bundle; rung 1 keeps inlining but drops speculative
+  // devirtualization, so the body carries no guards and no deopt exposure.
+  if (Ctx.DegradeRung >= 2) {
+    opt::PipelineStats Pipeline = opt::runOptimizationPipeline(
+        *Clone.F, M, Session.pipelineOptions());
+    Stats.OptsTriggered = Pipeline.Canon.total();
+    Session.finish(Stats);
+    return std::move(Clone.F);
+  }
+  InlinerConfig Effective = Config;
+  if (Ctx.DegradeRung >= 1)
+    Effective.EnableSpeculativeDevirt = false;
+  IncrementalInliner Inliner(Effective, M, Profiles);
   Inliner.setPassContext(Session.ctx());
 
   // Per-compile mode gets a private cache (intra-compilation reuse only);

@@ -31,6 +31,7 @@ InlinerResult IncrementalInliner::run(std::unique_ptr<ir::Function> RootBody,
 
   opt::CanonOptions CanonOpts;
   CanonOpts.VisitBudget = Config.TrialVisitBudget;
+  CanonOpts.Cancel = Ctx.Cancel; // Mid-worklist wall-clock/cancel polling.
 
   // Runs one canonicalization pass on \p F and returns how many rewrites
   // fired (the inliner's OptsTriggered accounting is per-run).

@@ -23,6 +23,7 @@
 
 #include "interp/DecodedBody.h"
 #include "ir/ArithSemantics.h"
+#include "support/Cancellation.h"
 #include "support/Casting.h"
 #include "support/ErrorHandling.h"
 #include "support/StringUtils.h"
@@ -118,11 +119,9 @@ private:
       trap(TrapKind::StepLimitExceeded, FName);
       return true;
     }
-    if (Limits.MaxWallSeconds > 0 && Result.Steps >= NextWallCheckAt) {
+    if (Limits.Deadline && Result.Steps >= NextWallCheckAt) {
       NextWallCheckAt = Result.Steps + 8192;
-      std::chrono::duration<double> Wall =
-          std::chrono::steady_clock::now() - WallStart;
-      if (Wall.count() > Limits.MaxWallSeconds) {
+      if (Limits.Deadline->expired()) {
         trap(TrapKind::StepLimitExceeded, "wall clock, " + FName);
         return true;
       }
@@ -1254,11 +1253,8 @@ private:
   /// Staging buffer for parallel phi moves. Safe as a member: phi moves
   /// never recurse into callees.
   std::vector<RtValue> PhiScratch;
-  /// Wall-clock watchdog state (only consulted when Limits.MaxWallSeconds
-  /// is set): one clock read per run at construction, then one read every
-  /// few thousand steps.
-  std::chrono::steady_clock::time_point WallStart =
-      std::chrono::steady_clock::now();
+  /// Deadline-poll pacing (only consulted when Limits.Deadline is set):
+  /// the token reads its own clock, one poll every few thousand steps.
   uint64_t NextWallCheckAt = 0;
 };
 

@@ -37,6 +37,10 @@
 #include <string_view>
 #include <vector>
 
+namespace incline::support {
+class CancellationToken;
+} // namespace incline::support
+
 namespace incline::interp {
 
 class DecodedCache;
@@ -206,12 +210,14 @@ struct ExecResult {
 struct ExecLimits {
   uint64_t MaxSteps = 500'000'000;
   size_t MaxCallDepth = 2'000;
-  /// Wall-clock budget in seconds; 0 = unlimited. Checked coarsely (every
-  /// few thousand steps) so the dispatch loop stays cheap; exceeding it
-  /// traps with StepLimitExceeded like the step budget. The fuzzing
-  /// watchdog uses this so a miscompiled infinite loop surfaces as a
-  /// reported divergence instead of hanging the harness.
-  double MaxWallSeconds = 0;
+  /// Optional execution deadline (support/Cancellation.h) — the repo's one
+  /// timeout mechanism, shared with supervised compilation. Polled coarsely
+  /// (every few thousand steps) so the dispatch loop stays cheap; an
+  /// expired or cancelled token traps with StepLimitExceeded like the step
+  /// budget. The fuzzing watchdog arms this with a wall-clock budget so a
+  /// miscompiled infinite loop surfaces as a reported divergence instead of
+  /// hanging the harness. Borrowed; must outlive the execution.
+  const support::CancellationToken *Deadline = nullptr;
 };
 
 /// The execution engine.

@@ -56,6 +56,21 @@ std::optional<CompileTask> CompileQueue::pop() {
   return Task;
 }
 
+std::vector<CompileTask> CompileQueue::cancel(std::string_view Symbol) {
+  std::vector<CompileTask> Removed;
+  std::lock_guard<std::mutex> Guard(Lock);
+  for (auto It = Tasks.begin(); It != Tasks.end();) {
+    if (It->Symbol == Symbol) {
+      Queued.erase(It->dedupKey());
+      Removed.push_back(std::move(*It));
+      It = Tasks.erase(It);
+    } else {
+      ++It;
+    }
+  }
+  return Removed;
+}
+
 size_t CompileQueue::close() {
   size_t DroppedTasks;
   {

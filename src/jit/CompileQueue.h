@@ -33,13 +33,16 @@
 
 #include "opt/SpeculativeDevirt.h"
 #include "profile/ProfileData.h"
+#include "support/Cancellation.h"
 
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace incline::jit {
@@ -68,6 +71,19 @@ struct CompileTask {
   /// and a deterministic-mode compile sees exactly what a synchronous
   /// compile at the enqueue safepoint would have seen.
   opt::SpeculationBlacklist BlacklistSnapshot;
+  /// Supervision token for this compile (budgets + cooperative cancel);
+  /// shared so the mutator can cancel while the worker charges. Null when
+  /// the runtime is configured unsupervised.
+  std::shared_ptr<support::CancellationToken> Cancel;
+  /// Degradation-ladder rung this task compiles at (0 = full optimization;
+  /// see JitRuntime's ladder). Recorded in the compile-stream fingerprint
+  /// for nonzero rungs.
+  unsigned Rung = 0;
+  /// True for a re-heated ladder *upgrade* attempt: the anchor already has
+  /// degraded code installed and this task compiles one rung better. The
+  /// publish path replaces the installed body on success instead of
+  /// discarding the outcome as stale.
+  bool Upgrade = false;
 
   /// Queue-dedup and compile-stream key: the bare symbol for method tasks,
   /// `symbol@osr<header>` for OSR tasks — a method compilation and an OSR
@@ -106,6 +122,13 @@ public:
   /// a graceful shutdown is wanted). Returns how many tasks were dropped,
   /// so drain waiters can account for deliveries that will never happen.
   size_t close();
+
+  /// Removes every still-queued task for \p Symbol (the method task and any
+  /// OSR tasks) and returns them — the cooperative-cancellation fast path
+  /// for work no worker has picked up yet. Sequence numbers stay consumed
+  /// (enqueuedCount is monotone), so the caller must account the removals
+  /// as dropped toward any drain target.
+  std::vector<CompileTask> cancel(std::string_view Symbol);
 
   size_t size() const;
   bool closed() const;

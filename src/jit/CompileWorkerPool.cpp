@@ -33,6 +33,15 @@ void CompileWorkerPool::shutdown() {
   if (ShutDown)
     return;
   ShutDown = true;
+  // Workers mid-compile abandon at their next cancellation checkpoint
+  // instead of finishing work nobody will consume. Their outcomes still
+  // deliver (as Cancelled bailouts), so drain accounting is unaffected.
+  {
+    std::lock_guard<std::mutex> Guard(ActiveLock);
+    for (auto &[Symbol, Tok] : Active)
+      if (Tok)
+        Tok->requestCancel();
+  }
   // Tasks still queued at close are never delivered; account them so a
   // drain waiter's target stays reachable instead of hanging forever.
   size_t DroppedNow = Queue.close();
@@ -87,11 +96,39 @@ void CompileWorkerPool::workerLoop() {
     opt::AnalysisManager TaskAM(&Outcome.Task.ProfilesSnapshot);
     WorkerCtx.AM = &TaskAM;
     WorkerCtx.Blacklist = &Outcome.Task.BlacklistSnapshot;
+    WorkerCtx.Cancel = Outcome.Task.Cancel.get();
+    WorkerCtx.DegradeRung = Outcome.Task.Rung;
+
+    // Register the token so cancelTasksFor can reach work already popped
+    // from the queue; deregistered (by token identity) before delivery.
+    std::shared_ptr<support::CancellationToken> Tok = Outcome.Task.Cancel;
+    if (Tok) {
+      std::lock_guard<std::mutex> Guard(ActiveLock);
+      Active.emplace(Outcome.Task.Symbol, Tok);
+    }
 
     try {
       Outcome.Code =
           TheCompiler.compile(*Source, M, Outcome.Task.ProfilesSnapshot,
                               Outcome.Stats, WorkerCtx);
+    } catch (const support::DeadlineExceeded &E) {
+      Outcome.Code = nullptr;
+      Outcome.Error = E.what();
+      Outcome.Exception = true;
+      Outcome.Class = CompileOutcome::BailoutClass::Deadline;
+    } catch (const support::ResourceExhausted &E) {
+      Outcome.Code = nullptr;
+      Outcome.Error = E.what();
+      Outcome.Exception = true;
+      Outcome.Class = CompileOutcome::BailoutClass::Resource;
+    } catch (const std::bad_alloc &) {
+      // Allocation failure mid-compile is a resource event the supervisor
+      // absorbs (degrade, don't strike) — the compile's private clones all
+      // unwound, so the process is healthy.
+      Outcome.Code = nullptr;
+      Outcome.Error = "out of memory during compilation";
+      Outcome.Exception = true;
+      Outcome.Class = CompileOutcome::BailoutClass::Resource;
     } catch (const std::exception &E) {
       Outcome.Code = nullptr;
       Outcome.Error = E.what();
@@ -101,8 +138,44 @@ void CompileWorkerPool::workerLoop() {
       Outcome.Error = "unknown compiler exception";
       Outcome.Exception = true;
     }
+
+    if (Tok) {
+      // A cancel that lands after the compile finished still marks the
+      // outcome: the result is for retired work either way.
+      Outcome.Cancelled = Tok->cancelRequested();
+      std::lock_guard<std::mutex> Guard(ActiveLock);
+      for (auto [It, End] = Active.equal_range(Outcome.Task.Symbol);
+           It != End; ++It)
+        if (It->second == Tok) {
+          Active.erase(It);
+          break;
+        }
+    }
     deliver(std::move(Outcome));
   }
+}
+
+std::vector<CompileTask>
+CompileWorkerPool::cancelTasksFor(std::string_view Symbol) {
+  // Queued tasks first: removed outright, so they must count as dropped —
+  // their sequence numbers are part of every drain target.
+  std::vector<CompileTask> Removed = Queue.cancel(Symbol);
+  if (!Removed.empty()) {
+    {
+      std::lock_guard<std::mutex> Guard(CompletedLock);
+      Dropped.fetch_add(Removed.size(), std::memory_order_release);
+    }
+    CompletedSignal.notify_all();
+  }
+  // In-flight tasks get a cancel request; the worker abandons at its next
+  // checkpoint and the outcome arrives marked Cancelled.
+  {
+    std::lock_guard<std::mutex> Guard(ActiveLock);
+    for (auto [It, End] = Active.equal_range(Symbol); It != End; ++It)
+      if (It->second)
+        It->second->requestCancel();
+  }
+  return Removed;
 }
 
 void CompileWorkerPool::deliver(CompileOutcome Outcome) {

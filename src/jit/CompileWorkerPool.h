@@ -35,8 +35,11 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -50,6 +53,14 @@ namespace incline::jit {
 /// The result of one background compile task, ready for the mutator to
 /// publish (or account as a bailout).
 struct CompileOutcome {
+  /// What kind of failure a thrown compile was — the supervisor's ladder
+  /// treats these differently from compiler bugs (DESIGN.md §14).
+  enum class BailoutClass : uint8_t {
+    None,     ///< Success, plain bailout, or a genuine compiler exception.
+    Deadline, ///< support::DeadlineExceeded — budget/deadline tripped.
+    Resource  ///< support::ResourceExhausted or std::bad_alloc.
+  };
+
   CompileTask Task;
   /// Compiled code; null when the compiler bailed out (or threw).
   std::unique_ptr<ir::Function> Code;
@@ -58,6 +69,11 @@ struct CompileOutcome {
   std::string Error;
   /// True when the compiler threw instead of returning.
   bool Exception = false;
+  BailoutClass Class = BailoutClass::None;
+  /// True when the task's token had a cancel request by the time the worker
+  /// finished: the result (even a successful one) is for retired work and
+  /// must be discarded neutrally, not counted as a failure.
+  bool Cancelled = false;
 };
 
 /// Fixed-size pool of compile worker threads.
@@ -71,9 +87,18 @@ public:
   CompileWorkerPool(const CompileWorkerPool &) = delete;
   CompileWorkerPool &operator=(const CompileWorkerPool &) = delete;
 
-  /// Closes the queue (dropping still-pending tasks) and joins every
-  /// worker. Idempotent.
+  /// Closes the queue (dropping still-pending tasks), requests cancel on
+  /// every in-flight task's token so workers abandon at their next
+  /// checkpoint, and joins every worker. Idempotent.
   void shutdown();
+
+  /// Cooperative cancellation of all of \p Symbol's work: still-queued
+  /// tasks are removed (accounted as dropped so drain targets stay
+  /// reachable) and returned to the caller; tasks a worker is actively
+  /// compiling get a cancel request on their token and surface later as a
+  /// `Cancelled` outcome. Called by the mutator when deopt invalidates or
+  /// the code cache evicts the symbol.
+  std::vector<CompileTask> cancelTasksFor(std::string_view Symbol);
 
   /// Non-blocking: moves out everything completed so far, ordered by
   /// enqueue sequence within the batch. Mutator-only.
@@ -104,6 +129,14 @@ private:
   CompileQueue &Queue;
   Compiler &TheCompiler;
   const ir::Module &M;
+
+  /// Tokens of tasks currently being compiled, keyed by symbol, so the
+  /// mutator can cancel work already popped from the queue. Multimap:
+  /// a method task and OSR tasks of one symbol may run concurrently.
+  std::mutex ActiveLock;
+  std::multimap<std::string, std::shared_ptr<support::CancellationToken>,
+                std::less<>>
+      Active;
 
   std::vector<std::thread> Workers;
   std::mutex CompletedLock;

@@ -79,11 +79,11 @@ uint64_t fnv1a(std::string_view Data) {
 std::string
 incline::jit::streamFingerprint(const std::vector<CompilationRecord> &Stream) {
   std::string Out;
-  for (const CompilationRecord &R : Stream)
+  for (const CompilationRecord &R : Stream) {
     Out += formatString(
         "#%llu %s attempt=%u size=%llu inlined=%llu rounds=%llu "
         "explored=%llu opts=%llu guards=%llu passes=%llu hits=%llu "
-        "misses=%llu ir=%016llx\n",
+        "misses=%llu ir=%016llx",
         static_cast<unsigned long long>(R.CompileIndex), R.Symbol.c_str(),
         R.Attempt, static_cast<unsigned long long>(R.Stats.CodeSize),
         static_cast<unsigned long long>(R.Stats.InlinedCallsites),
@@ -95,6 +95,13 @@ incline::jit::streamFingerprint(const std::vector<CompilationRecord> &Stream) {
         static_cast<unsigned long long>(R.Stats.AnalysisCacheHits),
         static_cast<unsigned long long>(R.Stats.AnalysisCacheMisses),
         static_cast<unsigned long long>(R.IRFingerprint));
+    // Ladder rung, only when degraded: rung-0 records keep the exact
+    // pre-ladder byte layout, so fingerprints of unsupervised runs stay
+    // comparable across the feature boundary.
+    if (R.Rung != 0)
+      Out += formatString(" rung=%u", R.Rung);
+    Out += '\n';
+  }
   return Out;
 }
 
@@ -178,8 +185,14 @@ void JitRuntime::onInvoke(std::string_view Symbol) {
     // stays compiled.
     if (Config.ForceEvict && Config.ForceEvict(Symbol))
       evictNow(Symbol);
-    if (State.Compiled)
-      return; // Fast path: hotness stops once compiled.
+    if (State.Compiled) {
+      // Degraded-rung installs keep counting: a stable lower-rung method
+      // earns a retry one rung up after re-heating (no-op at rung 0, so the
+      // fully-compiled fast path is unchanged).
+      if (State.Rung != 0)
+        maybeRequestUpgrade(Symbol, State);
+      return; // Fast path: hotness stops once compiled (at full rung).
+    }
   }
   ++State.Hotness;
   if (State.InFlight || State.DoNotCompile)
@@ -230,11 +243,58 @@ void JitRuntime::applyProfileDecay() {
     Cache->invalidateForRuntimeEvent();
 }
 
-void JitRuntime::requestCompile(std::string_view Symbol, MethodState &State) {
+std::shared_ptr<support::CancellationToken>
+JitRuntime::makeCompileToken(std::string_view Symbol, TierState &State) {
+  unsigned Attempt = State.AttemptNo++;
+  bool Forced = Config.ForceDeadlineExpiry &&
+                Config.ForceDeadlineExpiry(Symbol, Attempt);
+  bool Supervised = Config.CompileDeadlineUnits != 0 ||
+                    Config.CompileDeadlineMs != 0 ||
+                    Config.CompileNodeQuota != 0 || Forced;
+  // Background compiles always carry a token — it is the cancellation
+  // channel for deopt/evict/shutdown — while unsupervised sync compiles
+  // (mutator-inline, nothing can cancel them) skip it entirely, keeping
+  // the legacy path token-free.
+  if (!Supervised && (Config.Mode == JitMode::Sync || !Queue))
+    return nullptr;
+  support::CancellationToken::Budgets B;
+  B.WorkUnits = Config.CompileDeadlineUnits;
+  B.WallMillis = Config.CompileDeadlineMs;
+  B.NodeQuota = Config.CompileNodeQuota;
+  // Forced expiry: a 1-unit budget is spent by the first pass run, so the
+  // compile deterministically dies at its second checkpoint — same point
+  // in every execution mode.
+  if (Forced)
+    B.WorkUnits = 1;
+  return std::make_shared<support::CancellationToken>(B);
+}
+
+void JitRuntime::maybeRequestUpgrade(std::string_view Symbol,
+                                     MethodState &State) {
+  if (!Config.DegradeLadder || State.Rung == 0 ||
+      State.Rung >= RungInterpreterOnly)
+    return;
+  if (State.InFlight || State.DoNotCompile || CompilationInProgress)
+    return;
+  ++State.Hotness;
+  if (State.Hotness < State.NextAttemptAt)
+    return; // Not re-heated enough yet.
+  ++Stats.LadderUpgradeAttempts;
+  requestCompile(Symbol, State, static_cast<int>(State.Rung) - 1);
+}
+
+void JitRuntime::requestCompile(std::string_view Symbol, MethodState &State,
+                                int UpgradeToRung) {
+  const bool Upgrade = UpgradeToRung >= 0;
+  const unsigned Rung =
+      Upgrade ? static_cast<unsigned>(UpgradeToRung) : State.Rung;
   if (Config.Mode == JitMode::Sync || !Queue) {
     ++Stats.CompileRequests;
     CompileTask Task;
     Task.Symbol = std::string(Symbol);
+    Task.Rung = Rung;
+    Task.Upgrade = Upgrade;
+    Task.Cancel = makeCompileToken(Symbol, State);
     compileOnMutator(Task);
     return;
   }
@@ -242,6 +302,9 @@ void JitRuntime::requestCompile(std::string_view Symbol, MethodState &State) {
   CompileTask Task;
   Task.Symbol = std::string(Symbol);
   Task.Hotness = State.Hotness;
+  Task.Rung = Rung;
+  Task.Upgrade = Upgrade;
+  Task.Cancel = makeCompileToken(Symbol, State);
   // Snapshot the live profiles (and the speculation blacklist): the worker
   // sees exactly the state a synchronous compile at this threshold
   // crossing would have seen — the deterministic-mode bit-identity
@@ -329,6 +392,8 @@ void JitRuntime::requestOsrCompile(std::string_view Symbol,
     Task.Symbol = std::string(Symbol);
     Task.TaskKind = CompileTask::Kind::Osr;
     Task.OsrHeaderBlockId = HeaderBlockId;
+    Task.Rung = State.Rung;
+    Task.Cancel = makeCompileToken(Symbol, State);
     compileOnMutator(Task);
     return;
   }
@@ -338,6 +403,8 @@ void JitRuntime::requestOsrCompile(std::string_view Symbol,
   Task.TaskKind = CompileTask::Kind::Osr;
   Task.OsrHeaderBlockId = HeaderBlockId;
   Task.Hotness = BackedgeCount;
+  Task.Rung = State.Rung;
+  Task.Cancel = makeCompileToken(Symbol, State);
   Task.ProfilesSnapshot = Profiles;
   Task.BlacklistSnapshot = Blacklist;
 
@@ -374,6 +441,9 @@ void JitRuntime::compileOnMutator(const CompileTask &TaskShape) {
   Outcome.Task.Symbol = TaskShape.Symbol;
   Outcome.Task.TaskKind = TaskShape.TaskKind;
   Outcome.Task.OsrHeaderBlockId = TaskShape.OsrHeaderBlockId;
+  Outcome.Task.Rung = TaskShape.Rung;
+  Outcome.Task.Upgrade = TaskShape.Upgrade;
+  Outcome.Task.Cancel = TaskShape.Cancel;
 
   std::unique_ptr<ir::Function> Skeleton;
   if (TaskShape.TaskKind == CompileTask::Kind::Osr) {
@@ -390,9 +460,26 @@ void JitRuntime::compileOnMutator(const CompileTask &TaskShape) {
   // snapshot a deterministic-mode enqueue would have taken here.
   opt::PassContext Ctx = TheCompiler.passContext();
   Ctx.Blacklist = &Blacklist;
+  Ctx.Cancel = TaskShape.Cancel.get();
+  Ctx.DegradeRung = TaskShape.Rung;
   try {
     Outcome.Code =
         TheCompiler.compile(*Source, M, Profiles, Outcome.Stats, Ctx);
+  } catch (const support::DeadlineExceeded &E) {
+    Outcome.Code = nullptr;
+    Outcome.Error = E.what();
+    Outcome.Exception = true;
+    Outcome.Class = CompileOutcome::BailoutClass::Deadline;
+  } catch (const support::ResourceExhausted &E) {
+    Outcome.Code = nullptr;
+    Outcome.Error = E.what();
+    Outcome.Exception = true;
+    Outcome.Class = CompileOutcome::BailoutClass::Resource;
+  } catch (const std::bad_alloc &) {
+    Outcome.Code = nullptr;
+    Outcome.Error = "out of memory during compilation";
+    Outcome.Exception = true;
+    Outcome.Class = CompileOutcome::BailoutClass::Resource;
   } catch (const std::exception &E) {
     Outcome.Code = nullptr;
     Outcome.Error = E.what();
@@ -437,7 +524,23 @@ void JitRuntime::publishOutcome(CompileOutcome &&Outcome) {
     }
   }
 
-  if (State.Compiled) {
+  // Cancelled outcomes are neutral: the work was retired mid-flight (deopt
+  // invalidation, eviction, shutdown), so whatever the worker produced —
+  // even valid code against the stale snapshot — is discarded without a
+  // strike. The anchor is typically still hot and the cancel cause wants a
+  // fresh compile: retry at the next trigger.
+  if (Outcome.Cancelled) {
+    ++Stats.CompilesCancelled;
+    if (!State.Compiled)
+      State.NextAttemptAt = TriggerCount + 1;
+    return;
+  }
+
+  // A re-heated ladder upgrade replaces the anchor's installed degraded
+  // body instead of being discarded as stale (DESIGN.md §14).
+  const bool IsUpgrade = !IsOsr && Outcome.Task.Upgrade && State.Compiled &&
+                         Outcome.Task.Rung < State.Rung;
+  if (State.Compiled && !IsUpgrade) {
     // Code for this anchor was already installed (e.g. a forced compileNow
     // while the task was in flight). Overwriting the cache entry would
     // destroy a Function the interpreter may be executing; record the
@@ -445,7 +548,27 @@ void JitRuntime::publishOutcome(CompileOutcome &&Outcome) {
     ++Stats.StaleOutcomesDiscarded;
     return;
   }
+  const bool IsDeadline =
+      Outcome.Class == CompileOutcome::BailoutClass::Deadline;
+  const bool Supervision =
+      Outcome.Class != CompileOutcome::BailoutClass::None;
   if (!Outcome.Code) {
+    if (IsUpgrade) {
+      // The upgrade attempt failed; the installed degraded code keeps
+      // serving. No strike, no rung change — just push the next retry out.
+      ++Stats.Bailouts;
+      if (Supervision)
+        ++(IsDeadline ? Stats.DeadlineBailouts : Stats.ResourceBailouts);
+      applyBackoff(State, TriggerCount, FallbackThreshold, !IsOsr);
+      return;
+    }
+    if (Supervision && Config.DegradeLadder) {
+      stepDownLadder(State, TriggerCount, FallbackThreshold, !IsOsr,
+                     IsDeadline);
+      return;
+    }
+    if (Supervision)
+      ++(IsDeadline ? Stats.DeadlineBailouts : Stats.ResourceBailouts);
     recordBailout(State, TriggerCount, FallbackThreshold, !IsOsr,
                   Outcome.Exception, /*Permanent=*/false);
     return;
@@ -463,6 +586,13 @@ void JitRuntime::publishOutcome(CompileOutcome &&Outcome) {
       !ir::verifyFrameStates(*Outcome.Code, M).empty() ||
       (IsOsr && !ir::verifyOsrEntries(*Outcome.Code, M).empty())) {
     ++Stats.VerifyFailures;
+    if (IsUpgrade) {
+      // Broken upgrade body: keep the working degraded code. No strike —
+      // the anchor's installed code is fine, only the retry is deferred.
+      ++Stats.Bailouts;
+      applyBackoff(State, TriggerCount, FallbackThreshold, !IsOsr);
+      return;
+    }
     recordBailout(State, TriggerCount, FallbackThreshold, !IsOsr,
                   /*WasException=*/false, /*Permanent=*/true);
     return;
@@ -476,11 +606,33 @@ void JitRuntime::publishOutcome(CompileOutcome &&Outcome) {
   Record.CompileIndex = Compilations.size();
   Record.Attempt = State.FailedAttempts + 1;
   Record.IRFingerprint = fnv1a(ir::printFunction(*Outcome.Code));
+  Record.Rung = Outcome.Task.Rung;
 
   // Install through the budgeted code cache. The record joins the compile
   // stream only when the code actually lands: a budget rejection is a
   // bailout, not a compilation.
   std::string Symbol = Outcome.Task.Symbol;
+  if (IsUpgrade) {
+    // Replace the degraded body: retire it (and any OSR variants compiled
+    // alongside it — they embed the same degraded assumptions) through the
+    // eviction path, then install the better body below.
+    std::vector<CodeCache::Key> Retired = Code.evict(Symbol);
+    for (const CodeCache::Key &K : Retired)
+      if (!K.isMethod()) {
+        OsrState &OS = OsrStates[{K.Symbol, K.Header}];
+        OS.Compiled = false;
+        OS.NextAttemptAt = 0;
+        Profiles.methodProfile(K.Symbol).Backedges[K.Header] = 0;
+      }
+    if (Code.installedMethod(Symbol)) {
+      // A concurrent pin (e.g. an in-flight OSR task of this symbol)
+      // blocked the retire; keep the old body and retry the upgrade later.
+      ++Stats.Bailouts;
+      applyBackoff(State, TriggerCount, FallbackThreshold, !IsOsr);
+      return;
+    }
+    State.Compiled = false;
+  }
   CodeCache::InstallOutcome Install =
       IsOsr ? Code.installOsr(Symbol, Outcome.Task.OsrHeaderBlockId,
                               std::move(Outcome.Code))
@@ -492,6 +644,15 @@ void JitRuntime::publishOutcome(CompileOutcome &&Outcome) {
   // retired must re-warm regardless of what happened to the install.
   noteEvicted(Install.Evicted);
   if (Install.Status == CodeCache::InstallStatus::RejectedTooBig) {
+    if (IsUpgrade) {
+      // The upgraded body outgrew the budget the degraded one fit in. The
+      // old body is already retired (the method re-warms), but a bigger
+      // body is a property of this rung, not of the method: back off
+      // without a strike and let the degraded rung re-install.
+      ++Stats.Bailouts;
+      applyBackoff(State, TriggerCount, FallbackThreshold, !IsOsr);
+      return;
+    }
     // The body alone exceeds the whole budget; no amount of eviction or
     // re-warming changes that. Permanent: stay interpreted.
     recordBailout(State, TriggerCount, FallbackThreshold, !IsOsr,
@@ -513,6 +674,24 @@ void JitRuntime::publishOutcome(CompileOutcome &&Outcome) {
   Stats.GuardsEmitted += Record.Stats.GuardsEmitted;
   Compilations.push_back(std::move(Record));
   State.Compiled = true;
+  if (!IsOsr) {
+    if (IsUpgrade)
+      ++Stats.LadderUpgrades;
+    State.Rung = Outcome.Task.Rung;
+    if (State.Rung != 0 && State.Rung < RungInterpreterOnly &&
+        Config.DegradeLadder) {
+      // Degraded code is serving; schedule the re-heat distance the anchor
+      // must cover before the next upgrade attempt (maybeRequestUpgrade
+      // compares Hotness against this on every invocation of the compiled
+      // body).
+      uint64_t Factor = Config.BailoutBackoffFactor > 1
+                            ? Config.BailoutBackoffFactor
+                            : 2;
+      uint64_t Threshold =
+          Config.CompileThreshold != 0 ? Config.CompileThreshold : 1;
+      State.NextAttemptAt = State.Hotness + Threshold * Factor;
+    }
+  }
   if (!IsOsr && State.DeoptPending) {
     State.DeoptPending = false;
     ++Stats.RecompilesAfterDeopt;
@@ -552,6 +731,45 @@ void JitRuntime::applyBackoff(TierState &State, uint64_t TriggerCount,
   State.NextAttemptAt = Base * Factor;
 }
 
+void JitRuntime::stepDownLadder(TierState &State, uint64_t TriggerCount,
+                                uint64_t FallbackThreshold,
+                                bool IsMethodAnchor, bool IsDeadline) {
+  // A deadline or resource bailout is a property of the *rung*, not of the
+  // method: the fix is a cheaper compilation, not a blacklist strike
+  // (DESIGN.md §14). Step down one rung and retry after backoff; only the
+  // bottom rung gives up on compilation — and even that is an explicit
+  // interpreter-only decision, not a blacklist entry.
+  ++Stats.Bailouts;
+  ++(IsDeadline ? Stats.DeadlineBailouts : Stats.ResourceBailouts);
+  ++Stats.LadderStepDowns;
+  ++State.Rung;
+  if (State.Rung >= RungInterpreterOnly) {
+    State.DoNotCompile = true;
+    ++Stats.LadderInterpreterOnly;
+    return;
+  }
+  applyBackoff(State, TriggerCount, FallbackThreshold, IsMethodAnchor);
+}
+
+void JitRuntime::cancelInFlight(std::string_view Symbol) {
+  if (!Pool)
+    return;
+  // Still-queued tasks come back removed; account their flights over here
+  // (unpin + InFlight reset) since no outcome will ever arrive for them.
+  // Tasks a worker already picked up keep flying: their tokens got a
+  // cancel request and their outcomes arrive marked Cancelled, which
+  // publishOutcome discards neutrally.
+  for (const CompileTask &T : Pool->cancelTasksFor(Symbol)) {
+    ++Stats.CompilesCancelled;
+    Code.unpin(T.Symbol);
+    TierState &State = T.TaskKind == CompileTask::Kind::Osr
+                           ? static_cast<TierState &>(
+                                 OsrStates[{T.Symbol, T.OsrHeaderBlockId}])
+                           : stateOf(T.Symbol);
+    State.InFlight = false;
+  }
+}
+
 void JitRuntime::onDeopt(std::string_view Method,
                          const ir::DeoptInst &Deopt) {
   ++Stats.GuardFailures;
@@ -587,6 +805,12 @@ void JitRuntime::invalidate(std::string_view Symbol) {
   std::vector<CodeCache::Key> Retired = Code.invalidate(Symbol);
   if (Retired.empty())
     return; // Already invalidated (e.g. repeated deopts of retired code).
+
+  // Cooperative cancellation: any in-flight compile of this symbol is
+  // building against assumptions this invalidation just broke. Queued
+  // tasks are removed outright; running workers abandon at their next
+  // checkpoint and their outcomes are discarded as Cancelled.
+  cancelInFlight(Symbol);
 
   bool RetiredMethod = false;
   for (const CodeCache::Key &K : Retired) {
@@ -640,7 +864,14 @@ void JitRuntime::noteEvicted(const std::vector<CodeCache::Key> &Evicted) {
 }
 
 void JitRuntime::evictNow(std::string_view Symbol) {
-  noteEvicted(Code.evict(Symbol));
+  // Eviction respects pins, so a symbol with a compile in flight normally
+  // cannot be evicted — but cancel defensively anyway: if anything *was*
+  // retired while work was queued or flying, that work is for a body the
+  // runtime just decided not to keep.
+  std::vector<CodeCache::Key> Evicted = Code.evict(Symbol);
+  if (!Evicted.empty())
+    cancelInFlight(Symbol);
+  noteEvicted(Evicted);
 }
 
 void JitRuntime::drainCompilations() {
@@ -657,10 +888,13 @@ void JitRuntime::compileNow(std::string_view Symbol) {
   // compiling here as well would race two publications of one method
   // (the worker's later outcome is dropped as stale, but the forced
   // compile would double-count work the caller did not ask for).
-  if (stateOf(Symbol).InFlight)
+  MethodState &State = stateOf(Symbol);
+  if (State.InFlight)
     return;
   CompileTask Task;
   Task.Symbol = std::string(Symbol);
+  Task.Rung = State.Rung; // A degraded anchor stays degraded when forced.
+  Task.Cancel = makeCompileToken(Symbol, State);
   compileOnMutator(Task);
 }
 

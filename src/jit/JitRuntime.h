@@ -46,6 +46,7 @@
 #include "opt/OsrPlan.h"
 #include "opt/SpeculativeDevirt.h"
 #include "profile/ProfileData.h"
+#include "support/Cancellation.h"
 
 #include <cstdint>
 #include <functional>
@@ -66,6 +67,18 @@ struct CompileTask;
 enum class JitMode : uint8_t { Sync, Async, Deterministic };
 
 std::string_view jitModeName(JitMode Mode);
+
+/// The graceful-degradation ladder (DESIGN.md §14). A deadline or resource
+/// bailout steps the anchor down one rung — each rung compiles with less
+/// ambition, so the next attempt is cheaper — instead of striking toward
+/// the blacklist. A stable install at a lower rung may retry one rung up
+/// after re-heating.
+enum LadderRung : unsigned {
+  RungFull = 0,           ///< Full optimization (speculation + inlining).
+  RungNoSpeculation = 1,  ///< Speculative devirtualization disabled.
+  RungNoInlining = 2,     ///< Baseline: no inlining, scalar opts only.
+  RungInterpreterOnly = 3 ///< Give up compiling; stay interpreted.
+};
 
 /// Tiering configuration.
 struct JitConfig {
@@ -136,6 +149,35 @@ struct JitConfig {
   /// observable — output, traps, cycles, profiles, the compile stream's
   /// fingerprint — is identical across cores; only host speed differs.
   interp::InterpOptions Interp;
+
+  // Supervised compilation (DESIGN.md §14): compile deadlines, cooperative
+  // cancellation, and the graceful-degradation ladder. With every knob at
+  // its default the runtime is bit-identical to the unsupervised one.
+
+  /// Deterministic compile deadline in work units (charged per pass run
+  /// from the pass's IR delta — identical across execution modes, so this
+  /// clock is legal in `--jit-mode=deterministic`); 0 = off.
+  uint64_t CompileDeadlineUnits = 0;
+  /// Wall-clock compile deadline in milliseconds; 0 = off. Inherently
+  /// nondeterministic — pair with the ladder, not with bit-identity tests.
+  uint64_t CompileDeadlineMs = 0;
+  /// Per-compile peak IR-node quota (a resource bound, tripping
+  /// ResourceExhausted rather than DeadlineExceeded); 0 = off.
+  uint64_t CompileNodeQuota = 0;
+  /// Graceful-degradation ladder switch: on, deadline/resource bailouts
+  /// step the anchor down one rung (Full -> NoSpeculation -> NoInlining ->
+  /// InterpreterOnly) with backoff and no blacklist strike; off, they take
+  /// the legacy bailout->backoff->blacklist path. Moot while no deadline,
+  /// quota, or forced expiry is configured.
+  bool DegradeLadder = true;
+  /// Chaos hook: when set, a compile request of (symbol, per-anchor attempt
+  /// number) for which this returns true gets a token whose work budget is
+  /// already as good as spent, so the compile deterministically dies with
+  /// DeadlineExceeded at its first checkpoint — driving the ladder at
+  /// schedule-chosen points. Output must stay identical (degraded code and
+  /// the interpreter compute the same values); the deadline-chaos oracle
+  /// stage asserts exactly that.
+  std::function<bool(std::string_view, unsigned)> ForceDeadlineExpiry;
 };
 
 /// One installed compilation.
@@ -144,6 +186,10 @@ struct CompilationRecord {
   CompileStats Stats;
   uint64_t CompileIndex = 0; ///< Order of arrival in the compile stream.
   unsigned Attempt = 1;      ///< 1 + bailed-out attempts before this one.
+  /// Ladder rung the installed code was compiled at (0 = full). Nonzero
+  /// rungs are recorded in the stream fingerprint; rung 0 is omitted so
+  /// pre-ladder fingerprints stay byte-identical.
+  unsigned Rung = 0;
   /// FNV-1a hash of the installed code's printed IR: two streams with equal
   /// fingerprints installed byte-identical code.
   uint64_t IRFingerprint = 0;
@@ -186,6 +232,16 @@ struct JitRuntimeStats {
   uint64_t OsrInstalls = 0;        ///< OSR variants installed.
   uint64_t OsrEntries = 0;         ///< Frame transfers into OSR code taken.
   uint64_t OsrInvalidations = 0;   ///< OSR variants retired by a deopt.
+
+  // Supervised compilation (see DESIGN.md §14). All zero while no
+  // deadline/quota/forced expiry is configured and nothing is cancelled.
+  uint64_t DeadlineBailouts = 0;  ///< Compiles killed by a deadline.
+  uint64_t ResourceBailouts = 0;  ///< Compiles killed by quota/bad_alloc.
+  uint64_t CompilesCancelled = 0; ///< Tasks cancelled (deopt/evict/shutdown).
+  uint64_t LadderStepDowns = 0;   ///< Anchor rung decrements taken.
+  uint64_t LadderUpgradeAttempts = 0; ///< Re-heated retries one rung up.
+  uint64_t LadderUpgrades = 0;        ///< ... of which installed.
+  uint64_t LadderInterpreterOnly = 0; ///< Anchors that hit the bottom rung.
 };
 
 /// The tiered runtime. Implements the interpreter's ExecutionEnv: hotness
@@ -318,12 +374,47 @@ private:
     /// successful install counts as a recompile-after-deopt. Method
     /// anchors only.
     bool DeoptPending = false;
+    /// Graceful-degradation ladder rung the anchor currently compiles at
+    /// (LadderRung; 0 = full optimization). Stepped down by deadline and
+    /// resource bailouts, stepped back up by a successful re-heated
+    /// upgrade. DESIGN.md §14.
+    unsigned Rung = 0;
+    /// Compile requests ever issued for this anchor — the deterministic
+    /// per-anchor attempt number the ForceDeadlineExpiry chaos schedule
+    /// keys on.
+    unsigned AttemptNo = 0;
   };
   using MethodState = TierState;
   using OsrState = TierState;
 
   MethodState &stateOf(std::string_view Symbol);
-  void requestCompile(std::string_view Symbol, MethodState &State);
+  /// Requests a compilation of \p Symbol. \p UpgradeToRung >= 0 marks a
+  /// re-heated ladder upgrade attempt compiling at that (better) rung while
+  /// the anchor's current degraded code stays installed; -1 is a normal
+  /// request at the anchor's current rung.
+  void requestCompile(std::string_view Symbol, MethodState &State,
+                      int UpgradeToRung = -1);
+  /// Degraded-rung re-heat (DESIGN.md §14): a method stably installed at a
+  /// lower rung keeps counting invocations; once re-heated past the pushed
+  /// out threshold it retries one rung up. Mutator-only, from onInvoke.
+  void maybeRequestUpgrade(std::string_view Symbol, MethodState &State);
+  /// Builds the supervision token for one compile attempt of \p State
+  /// (consuming its attempt number), honoring the configured deadlines and
+  /// the ForceDeadlineExpiry chaos schedule. Null when the compile needs no
+  /// supervision (no budgets configured and no background cancellation
+  /// possible).
+  std::shared_ptr<support::CancellationToken>
+  makeCompileToken(std::string_view Symbol, TierState &State);
+  /// Cooperatively cancels all of \p Symbol's queued or running compiles
+  /// (the work's result is already retired): queued tasks unwind their
+  /// flight state here; running tasks surface later as Cancelled outcomes.
+  void cancelInFlight(std::string_view Symbol);
+  /// The deadline/resource half of the bailout path with the ladder on:
+  /// step the anchor down one rung with backoff — no FailedAttempts strike,
+  /// no blacklist; the bottom rung retires the anchor to the interpreter.
+  void stepDownLadder(TierState &State, uint64_t TriggerCount,
+                      uint64_t FallbackThreshold, bool IsMethodAnchor,
+                      bool IsDeadline);
   /// Requests the OSR compilation of (\p Symbol, \p HeaderBlockId) per the
   /// configured mode. Mutator-only; called from onOsrEdge.
   void requestOsrCompile(std::string_view Symbol, unsigned HeaderBlockId,

@@ -9,6 +9,7 @@
 #include "ir/ArithSemantics.h"
 #include "ir/Module.h"
 #include "opt/CFGUtils.h"
+#include "support/Cancellation.h"
 #include "support/Casting.h"
 
 #include <deque>
@@ -54,6 +55,13 @@ public:
           Stats.BudgetExhausted = true;
           return Stats;
         }
+        // Cooperative cancellation point for long runs: only the wall clock
+        // or a cancel request can fire here (work units are charged at pass
+        // boundaries, after this run completes), so the poll is free of
+        // deterministic-mode side effects.
+        if (Opts.Cancel && (Stats.VisitsUsed & 2047) == 0 &&
+            Opts.Cancel->expired())
+          Opts.Cancel->checkpoint("canonicalize");
         Instruction *Inst = Worklist.front();
         Worklist.pop_front();
         InWorklist.erase(Inst);

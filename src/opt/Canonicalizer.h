@@ -35,6 +35,10 @@ class Function;
 class Module;
 } // namespace incline::ir
 
+namespace incline::support {
+class CancellationToken;
+} // namespace incline::support
+
 namespace incline::opt {
 
 /// Which rewrites fired during one canonicalization run.
@@ -76,6 +80,12 @@ struct CanonOptions {
   /// bisection must attribute to "canonicalize". Never enable outside
   /// tests/tools.
   bool TestOnlyMiscompileSubFold = false;
+  /// Supervised-compilation token polled every few thousand worklist pops
+  /// so a wall-clock deadline or a cancel request unwinds mid-run instead
+  /// of waiting for the pass boundary. Work-unit charging stays pass-level
+  /// (executePass), so this poll cannot change deterministic-mode behavior:
+  /// only the nondeterministic clocks can fire here. Null = unsupervised.
+  const support::CancellationToken *Cancel = nullptr;
 };
 
 /// Runs the canonicalizer on \p F to a fixpoint (or until the budget runs

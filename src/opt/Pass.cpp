@@ -7,6 +7,7 @@
 #include "opt/Pass.h"
 
 #include "ir/Function.h"
+#include "support/Cancellation.h"
 #include "support/StringUtils.h"
 
 #include <chrono>
@@ -103,7 +104,13 @@ namespace {
 /// Shared per-pass execution: timing, run, invalidation, metrics, observer.
 void executePass(FunctionPass &Pass, ir::Function &F, const ir::Module &M,
                  AnalysisManager &AM, const PassObserver &Observer,
-                 PassInstrumentation *ExtraSink) {
+                 PassInstrumentation *ExtraSink,
+                 support::CancellationToken *Cancel) {
+  // Supervised compiles checkpoint *before* starting new work: an expired
+  // budget unwinds here, before this pass mutates anything, which is what
+  // keeps partial IR from escaping a DeadlineExceeded.
+  if (Cancel)
+    Cancel->checkpoint(Pass.name());
   size_t SizeBefore = F.instructionCount();
   AnalysisCacheStats CacheBefore = AM.stats();
   auto T0 = std::chrono::steady_clock::now();
@@ -130,6 +137,17 @@ void executePass(FunctionPass &Pass, ir::Function &F, const ir::Module &M,
   if (ExtraSink)
     ExtraSink->record(Pass.name(), Delta);
 
+  // Charge deterministic work units from the IR delta — a pure function of
+  // what the pass did, so the charge stream (and therefore the point where
+  // a unit deadline trips) is identical across sync / async / deterministic
+  // modes and across trial-cache hit vs miss (replayTrialMetrics re-charges
+  // the recorded deltas). Peak size feeds the node quota.
+  if (Cancel) {
+    Cancel->charge(support::CancellationToken::passRunUnits(Delta.IRAdded,
+                                                            Delta.IRRemoved));
+    Cancel->noteNodes(SizeAfter);
+  }
+
   if (Observer)
     Observer(std::string(Pass.name()), F);
 }
@@ -150,15 +168,15 @@ void FunctionPassManager::run(ir::Function &F, const ir::Module &M,
 void FunctionPassManager::runPrefix(ir::Function &F, const ir::Module &M,
                                     AnalysisManager &AM, size_t NumPasses) {
   for (size_t I = 0; I < Passes.size() && I < NumPasses; ++I)
-    executePass(*Passes[I], F, M, AM, Observer, Instr);
+    executePass(*Passes[I], F, M, AM, Observer, Instr, Cancel);
 }
 
 void incline::opt::runPass(FunctionPass &Pass, ir::Function &F,
                            const ir::Module &M, const PassContext &Ctx) {
   if (Ctx.AM) {
-    executePass(Pass, F, M, *Ctx.AM, Ctx.Observer, Ctx.Instr);
+    executePass(Pass, F, M, *Ctx.AM, Ctx.Observer, Ctx.Instr, Ctx.Cancel);
     return;
   }
   AnalysisManager LocalAM;
-  executePass(Pass, F, M, LocalAM, Ctx.Observer, Ctx.Instr);
+  executePass(Pass, F, M, LocalAM, Ctx.Observer, Ctx.Instr, Ctx.Cancel);
 }

@@ -44,6 +44,10 @@ class Function;
 class Module;
 } // namespace incline::ir
 
+namespace incline::support {
+class CancellationToken;
+} // namespace incline::support
+
 namespace incline::opt {
 
 class SpeculationBlacklist;
@@ -124,6 +128,15 @@ struct PassContext {
   /// often at run time). Owned by the JIT runtime; background compilations
   /// point this at the snapshot carried in their CompileTask.
   const SpeculationBlacklist *Blacklist = nullptr;
+  /// The compilation's budget/cancel token (DESIGN.md §14). When set, every
+  /// pass execution checkpoints before running (throwing DeadlineExceeded /
+  /// ResourceExhausted out of the compile) and charges deterministic work
+  /// units from its IR delta afterwards. Null = unsupervised.
+  support::CancellationToken *Cancel = nullptr;
+  /// Graceful-degradation rung this compilation runs at (DESIGN.md §14):
+  /// 0 = full optimization, 1 = no speculation, 2 = no inlining (baseline).
+  /// Compilers that support degradation read this; others ignore it.
+  unsigned DegradeRung = 0;
 };
 
 /// Runs an ordered list of function passes with caching, invalidation,
@@ -148,6 +161,9 @@ public:
   void setObserver(PassObserver Obs) { Observer = std::move(Obs); }
   /// Extra per-pass metrics sink besides the global registry (null = none).
   void setInstrumentation(PassInstrumentation *Sink) { Instr = Sink; }
+  /// Budget/cancel token checkpointed and charged around every pass run
+  /// (null = unsupervised).
+  void setCancellation(support::CancellationToken *Tok) { Cancel = Tok; }
 
   /// Runs every pass on \p F in order.
   void run(ir::Function &F, const ir::Module &M, AnalysisManager &AM);
@@ -163,6 +179,7 @@ private:
   std::vector<std::string> Names;
   PassObserver Observer;
   PassInstrumentation *Instr = nullptr;
+  support::CancellationToken *Cancel = nullptr;
 };
 
 /// Runs one pass under \p Ctx — the shared single-pass entry point for

@@ -20,7 +20,14 @@ FunctionPassManager buildPipeline(const PipelineOptions &Options,
                                   PipelineStats &Stats, BudgetPool &Pool) {
   FunctionPassManager FPM("standard-bundle");
 
-  auto &Canon1 = FPM.emplacePass<CanonicalizePass>(Options.Canon);
+  // The canonicalizer polls the token mid-worklist (wall clock / cancel
+  // only; work units are charged at pass granularity) so a runaway
+  // canonicalization cannot outlive its deadline by a whole pass.
+  CanonOptions CanonOpts = Options.Canon;
+  if (!CanonOpts.Cancel)
+    CanonOpts.Cancel = Options.Cancel;
+
+  auto &Canon1 = FPM.emplacePass<CanonicalizePass>(CanonOpts);
   Canon1.setStatsSink(&Stats.Canon);
   Canon1.setBudgetPool(&Pool, /*TakeAllRemaining=*/false);
 
@@ -30,7 +37,7 @@ FunctionPassManager buildPipeline(const PipelineOptions &Options,
   // RWE-forwarded values can expose new exact types: canonicalize again,
   // spending whatever the first run left in the pool.
   auto &Canon2 =
-      FPM.emplacePass<CanonicalizePass>(Options.Canon, "canonicalize-2");
+      FPM.emplacePass<CanonicalizePass>(CanonOpts, "canonicalize-2");
   Canon2.setStatsSink(&Stats.Canon);
   Canon2.setBudgetPool(&Pool, /*TakeAllRemaining=*/true);
 
@@ -38,6 +45,7 @@ FunctionPassManager buildPipeline(const PipelineOptions &Options,
 
   FPM.setObserver(Options.Observer);
   FPM.setInstrumentation(Options.Instr);
+  FPM.setCancellation(Options.Cancel);
   return FPM;
 }
 

@@ -65,6 +65,9 @@ struct PipelineOptions {
   AnalysisManager *AM = nullptr;
   /// Extra per-pass metrics sink besides the global registry; null = none.
   PassInstrumentation *Instr = nullptr;
+  /// Compile budget/cancel token checkpointed and charged around every pass
+  /// of the bundle; null = unsupervised.
+  support::CancellationToken *Cancel = nullptr;
 };
 
 /// The ordered names of the bundle's passes:

@@ -1,0 +1,39 @@
+//===- support/Cancellation.cpp ----------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Cancellation.h"
+
+#include "support/StringUtils.h"
+
+using namespace incline;
+using namespace incline::support;
+
+void CancellationToken::checkpoint(std::string_view Where) const {
+  // Order matters for classification: a cancel request wins over an expired
+  // clock (the supervisor treats cancels as neutral, deadlines as ladder
+  // events), and the node quota is reported as a resource failure.
+  if (cancelRequested())
+    throw DeadlineExceeded(
+        formatString("compilation cancelled at %.*s",
+                     static_cast<int>(Where.size()), Where.data()));
+  if (nodesExpired())
+    throw ResourceExhausted(formatString(
+        "IR-node quota exceeded at %.*s: peak %llu > quota %llu",
+        static_cast<int>(Where.size()), Where.data(),
+        static_cast<unsigned long long>(peakNodes()),
+        static_cast<unsigned long long>(Limits.NodeQuota)));
+  if (workExpired())
+    throw DeadlineExceeded(formatString(
+        "compile deadline exceeded at %.*s: %llu work units > budget %llu",
+        static_cast<int>(Where.size()), Where.data(),
+        static_cast<unsigned long long>(workUsed()),
+        static_cast<unsigned long long>(Limits.WorkUnits)));
+  if (wallExpired())
+    throw DeadlineExceeded(formatString(
+        "compile wall-clock deadline exceeded at %.*s (limit %llu ms)",
+        static_cast<int>(Where.size()), Where.data(),
+        static_cast<unsigned long long>(Limits.WallMillis)));
+}

@@ -1,0 +1,190 @@
+//===- support/Cancellation.h - Compile budgets & cooperative cancel -------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The supervised-compilation primitive (DESIGN.md §14): a budget token a
+/// compilation carries through every layer that does work, with *dual
+/// clocks*:
+///
+///  * **Deterministic work units** — charged from per-pass IR deltas (a pure
+///    function of what the pass did, identical across sync / async /
+///    deterministic execution), so `--compile-deadline=<units>` is usable in
+///    `--jit-mode=deterministic` without breaking the bit-identical
+///    compile-stream contract.
+///  * **Wall clock** — an optional real-time deadline for server deployments
+///    (`--compile-deadline-ms`) and the fuzz oracle's watchdog. Inherently
+///    nondeterministic; never consulted by deterministic-mode budgets.
+///
+/// plus an **IR-node quota** (peak function size during compilation — the
+/// memory analogue of the deadline) and an asynchronous **cancel request**
+/// (deopt invalidated the method, the cache evicted it, the pool is shutting
+/// down — the work's result is already garbage).
+///
+/// The protocol is cooperative: work loops call `checkpoint()` at natural
+/// boundaries (before each pass, between trial expansions) and the token
+/// throws `DeadlineExceeded` / `ResourceExhausted` when a clock or quota has
+/// tripped. Throwing is what makes over-deadline compiles safe: every
+/// compilation operates on private clones and memo caches insert only after
+/// their unit of work completes, so stack unwinding discards partial IR
+/// without poisoning shared state. Pure polls (`expired()`) are provided for
+/// loops that must not unwind (the interpreter's step loop traps instead of
+/// throwing).
+///
+/// Thread model: the owning worker charges; any thread may `requestCancel()`.
+/// All counters are atomics with relaxed ordering — a cancel observed one
+/// checkpoint late is within the cooperative contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_SUPPORT_CANCELLATION_H
+#define INCLINE_SUPPORT_CANCELLATION_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace incline::support {
+
+/// Thrown by CancellationToken::checkpoint() when the deterministic work
+/// budget, the wall-clock deadline, or a cancel request fires. Callers that
+/// supervise compilations catch it and classify via the token's state
+/// (`cancelRequested()` distinguishes a cancel from a genuine deadline).
+class DeadlineExceeded : public std::runtime_error {
+public:
+  explicit DeadlineExceeded(const std::string &What)
+      : std::runtime_error(What) {}
+};
+
+/// Thrown by CancellationToken::checkpoint() when the IR-node quota is
+/// exceeded; also what CompileWorkerPool maps std::bad_alloc to. A resource
+/// failure, not a compiler bug: the supervisor degrades instead of striking.
+class ResourceExhausted : public std::runtime_error {
+public:
+  explicit ResourceExhausted(const std::string &What)
+      : std::runtime_error(What) {}
+};
+
+/// One compilation's budget + cancel state. See file comment.
+class CancellationToken {
+public:
+  struct Budgets {
+    /// Deterministic work-unit budget; 0 = unbounded. Units are charged by
+    /// executePass from the pass's IR delta (see chargeFor below).
+    uint64_t WorkUnits = 0;
+    /// Wall-clock deadline in milliseconds from arm time; 0 = none.
+    uint64_t WallMillis = 0;
+    /// Peak live IR-node quota; 0 = unbounded.
+    uint64_t NodeQuota = 0;
+  };
+
+  CancellationToken() { arm(); }
+  explicit CancellationToken(Budgets B) : Limits(B) { arm(); }
+
+  /// Convenience for wall-clock-only watchdogs (the fuzz oracle): a token
+  /// whose sole clock is \p Seconds of wall time. Non-positive = unlimited.
+  static Budgets wallClockBudget(double Seconds) {
+    Budgets B;
+    if (Seconds > 0)
+      B.WallMillis = static_cast<uint64_t>(Seconds * 1000.0);
+    return B;
+  }
+
+  /// (Re)starts the wall clock. Constructors arm automatically; re-arm to
+  /// reuse one token across sequential supervised regions.
+  void arm() { WallStart = std::chrono::steady_clock::now(); }
+
+  //===--------------------------------------------------------------------===//
+  // Charging (owning worker).
+  //===--------------------------------------------------------------------===//
+
+  /// Adds \p Units of deterministic work. Saturating; never throws — the
+  /// next checkpoint reports the overrun.
+  void charge(uint64_t Units) {
+    WorkUsed.fetch_add(Units, std::memory_order_relaxed);
+  }
+
+  /// The canonical work-unit cost of one pass run over a function whose
+  /// size changed by \p IRAdded/\p IRRemoved: a pure function of the IR
+  /// delta, so identical across execution modes.
+  static uint64_t passRunUnits(uint64_t IRAdded, uint64_t IRRemoved) {
+    return 1 + IRAdded + IRRemoved;
+  }
+
+  /// Records a peak-live-IR observation of \p Nodes for the node quota.
+  void noteNodes(uint64_t Nodes) {
+    uint64_t Prev = PeakNodes.load(std::memory_order_relaxed);
+    while (Nodes > Prev &&
+           !PeakNodes.compare_exchange_weak(Prev, Nodes,
+                                            std::memory_order_relaxed)) {
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Checkpoints.
+  //===--------------------------------------------------------------------===//
+
+  /// Cooperative cancellation point: throws DeadlineExceeded (work budget,
+  /// wall deadline, or cancel request) or ResourceExhausted (node quota),
+  /// tagging the message with \p Where. Cheap when nothing tripped.
+  void checkpoint(std::string_view Where) const;
+
+  /// Pure poll of every clock (for loops that trap instead of unwinding,
+  /// e.g. the interpreter's step budget check). True once any clock or a
+  /// cancel request has fired. Never throws.
+  bool expired() const {
+    return cancelRequested() || workExpired() || nodesExpired() ||
+           wallExpired();
+  }
+
+  bool workExpired() const {
+    return Limits.WorkUnits != 0 &&
+           WorkUsed.load(std::memory_order_relaxed) > Limits.WorkUnits;
+  }
+  bool nodesExpired() const {
+    return Limits.NodeQuota != 0 &&
+           PeakNodes.load(std::memory_order_relaxed) > Limits.NodeQuota;
+  }
+  bool wallExpired() const {
+    if (Limits.WallMillis == 0)
+      return false;
+    auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - WallStart);
+    return static_cast<uint64_t>(Elapsed.count()) > Limits.WallMillis;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Cancellation (any thread).
+  //===--------------------------------------------------------------------===//
+
+  void requestCancel() { Cancelled.store(true, std::memory_order_relaxed); }
+  bool cancelRequested() const {
+    return Cancelled.load(std::memory_order_relaxed);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Introspection.
+  //===--------------------------------------------------------------------===//
+
+  const Budgets &limits() const { return Limits; }
+  uint64_t workUsed() const { return WorkUsed.load(std::memory_order_relaxed); }
+  uint64_t peakNodes() const {
+    return PeakNodes.load(std::memory_order_relaxed);
+  }
+
+private:
+  Budgets Limits;
+  std::atomic<uint64_t> WorkUsed{0};
+  std::atomic<uint64_t> PeakNodes{0};
+  std::atomic<bool> Cancelled{false};
+  std::chrono::steady_clock::time_point WallStart;
+};
+
+} // namespace incline::support
+
+#endif // INCLINE_SUPPORT_CANCELLATION_H

@@ -38,7 +38,8 @@ uint64_t fnv1aAppend(uint64_t Hash, std::string_view Data) {
 
 } // namespace
 
-std::string incline::workloads::buildTrafficProgram(unsigned NumHandlers) {
+std::string incline::workloads::buildTrafficProgram(unsigned NumHandlers,
+                                                    unsigned NumHostile) {
   // One shared operator hierarchy; every handler picks a tenant-specific
   // mix, so receiver histograms (and therefore speculation decisions)
   // differ per tenant while the code shape stays comparable.
@@ -82,6 +83,42 @@ def main() { print(0); }
         "}\n",
         T, C0, C1, C2, T % 13, Trip, T % 5);
   }
+  // Hostile tenants: each handler loops over its own helper chain — one
+  // virtual apply per level, every level a distinct function — so the
+  // inliner's trial expansion walks a deep call tree per compile while one
+  // *execution* of the chain stays cheap. This is the deadline-blowing
+  // workload of the supervised-compilation bench: without a deadline the
+  // compile is merely slow; with one it must bail out cleanly and step the
+  // handler down the degradation ladder.
+  const unsigned HostileDepth = 14;
+  for (unsigned T = 0; T < NumHostile; ++T) {
+    for (unsigned D = HostileDepth; D-- > 0;) {
+      const char *Cls = OpClasses[(T * 13 + D * 7) % 5];
+      if (D + 1 == HostileDepth)
+        Src += formatString("def deep%u_%u(a: int): int {\n"
+                            "  var op: Op = new %s();\n"
+                            "  return op.apply(a, %u);\n"
+                            "}\n",
+                            T, D, Cls, D + T % 7);
+      else
+        Src += formatString("def deep%u_%u(a: int): int {\n"
+                            "  var op: Op = new %s();\n"
+                            "  return deep%u_%u(op.apply(a, %u)) %% 65521;\n"
+                            "}\n",
+                            T, D, Cls, T, D + 1, D + T % 7);
+    }
+    Src += formatString("def hostile%u(): int {\n"
+                        "  var acc = %u;\n"
+                        "  var i = 0;\n"
+                        "  while (i < %u) {\n"
+                        "    acc = deep%u_0(acc + i);\n"
+                        "    i = i + 1;\n"
+                        "  }\n"
+                        "  print(acc);\n"
+                        "  return acc;\n"
+                        "}\n",
+                        T, T % 11, 16 + (T * 5) % 24, T);
+  }
   return Src;
 }
 
@@ -109,8 +146,8 @@ TrafficResult incline::workloads::runTraffic(jit::Compiler &Compiler,
   unsigned NumHandlers = Config.Tenants + ChurnEvents;
   Result.Handlers = NumHandlers;
 
-  frontend::CompileResult Compiled =
-      frontend::compileProgram(buildTrafficProgram(NumHandlers));
+  frontend::CompileResult Compiled = frontend::compileProgram(
+      buildTrafficProgram(NumHandlers, Config.HostileTenants));
   if (!Compiled.succeeded()) {
     Result.Ok = false;
     Result.Error = "frontend: " + frontend::renderDiagnostics(Compiled.Diags);
@@ -139,13 +176,22 @@ TrafficResult incline::workloads::runTraffic(jit::Compiler &Compiler,
                              ? static_cast<unsigned>(
                                    (I / Config.PhaseLength) * Config.HotSetSize)
                              : 0;
-    unsigned Slot;
-    if (Config.HotSetSize != 0 && Draw() % 100 < Config.HotSharePercent)
-      Slot = (PhaseBase + Draw() % Config.HotSetSize) % Pool.size();
-    else
-      Slot = Draw() % Pool.size();
-    unsigned Tenant = Pool[Slot];
-    std::string Symbol = "handler" + std::to_string(Tenant);
+    // Hostile draw first (guarded, so configs without hostile tenants keep
+    // their exact pre-existing schedule and digest).
+    std::string Symbol;
+    if (Config.HostileTenants != 0 &&
+        Draw() % 100 < Config.HostileSharePercent) {
+      Symbol = "hostile" + std::to_string(Draw() % Config.HostileTenants);
+      ++Result.HostileRequests;
+    } else {
+      unsigned Slot;
+      if (Config.HotSetSize != 0 && Draw() % 100 < Config.HotSharePercent)
+        Slot = (PhaseBase + Draw() % Config.HotSetSize) % Pool.size();
+      else
+        Slot = Draw() % Pool.size();
+      unsigned Tenant = Pool[Slot];
+      Symbol = "handler" + std::to_string(Tenant);
+    }
 
     uint64_t StallBefore = Runtime.stats().MutatorStallNanos;
     interp::ExecResult R = Runtime.run(Symbol);

@@ -58,6 +58,16 @@ struct TrafficConfig {
   /// Requests (out of 100) served from the hot window; the rest hit a
   /// uniformly random pool tenant (the cold tail).
   unsigned HotSharePercent = 90;
+  /// Hostile tenants: handlers whose bodies sit on top of deep helper-call
+  /// chains, so one compile explores a large call tree and blows any
+  /// reasonable compile deadline. They live outside the churn pool and are
+  /// scheduled by HostileSharePercent. 0 disables the scenario (and leaves
+  /// the request schedule of existing configs untouched).
+  unsigned HostileTenants = 0;
+  /// Requests (out of 100) served by a uniformly random hostile tenant
+  /// (drawn before the hot/cold split). Only meaningful when
+  /// HostileTenants != 0.
+  unsigned HostileSharePercent = 10;
 
   TrafficConfig() { Jit.CompileThreshold = 10; }
 };
@@ -65,6 +75,8 @@ struct TrafficConfig {
 /// Result of one traffic run.
 struct TrafficResult {
   unsigned Requests = 0;
+  /// Requests served by hostile (deep-call-tree) tenants.
+  unsigned HostileRequests = 0;
   /// Handlers the generated program contains (pool + churn replacements).
   unsigned Handlers = 0;
   /// Per-request latency in effective cycles (+ stall ns at 1 ns ≡ 1 cy),
@@ -91,8 +103,11 @@ struct TrafficResult {
 
 /// MiniOO source with \p NumHandlers tenant handlers (`handler0` ...),
 /// each a distinct loop over a tenant-specific mix of virtual operators —
-/// distinct code, distinct receiver profiles, comparable cost.
-std::string buildTrafficProgram(unsigned NumHandlers);
+/// distinct code, distinct receiver profiles, comparable cost. When
+/// \p NumHostile is nonzero, also emits `hostile0` ... handlers, each a
+/// loop over its own deep chain of helper calls (virtual dispatch at every
+/// level) — cheap to execute, pathologically expensive to inline.
+std::string buildTrafficProgram(unsigned NumHandlers, unsigned NumHostile = 0);
 
 /// Serves `Config.Requests` requests over one runtime. \p Compiler is
 /// shared by every compilation in the run (point a TrialCache-backed

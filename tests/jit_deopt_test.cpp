@@ -34,6 +34,7 @@
 #include "ir/Instruction.h"
 #include "jit/JitRuntime.h"
 #include "profile/ProfileData.h"
+#include "support/Cancellation.h"
 #include "support/Casting.h"
 #include "types/ClassHierarchy.h"
 
@@ -551,8 +552,10 @@ def main() {
   Config.Enabled = false; // Pure interpretation; the budget is the point.
   jit::JitRuntime Runtime(*M, Compiler, Config);
 
+  support::CancellationToken Watchdog(
+      support::CancellationToken::wallClockBudget(0.05));
   interp::ExecLimits Limits;
-  Limits.MaxWallSeconds = 0.05;
+  Limits.Deadline = &Watchdog;
   interp::ExecResult R = Runtime.runMain(Limits);
   EXPECT_FALSE(R.ok());
   EXPECT_EQ(R.Trap, interp::TrapKind::StepLimitExceeded);

@@ -1,0 +1,563 @@
+//===- tests/jit_supervision_test.cpp - Supervised-compilation tests -------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The supervised-compilation contract (DESIGN.md §14), bottom up:
+///
+///  * compile deadlines: a forced or genuine deadline expiry unwinds the
+///    compile cleanly and the method keeps running interpreted — output is
+///    always bit-equal to pure interpretation;
+///  * the graceful-degradation ladder: deadline/resource bailouts step the
+///    method down one rung (never toward the blacklist), a stable install
+///    at a lower rung re-heats and upgrades back up, and `--degrade-ladder
+///    =off` restores the legacy strike-to-blacklist path exactly;
+///  * cooperative cancellation: queued tasks are removed synchronously,
+///    actively-compiling tasks observe the cancel at their next checkpoint
+///    and surface as neutral Cancelled outcomes — no stale install, no
+///    hang in waitUntilDrained, including through pool shutdown;
+///  * determinism: work-unit deadlines are charged from per-pass IR deltas
+///    only, so an unhit deadline leaves the deterministic compile-stream
+///    fingerprint bit-identical to the unsupervised runtime;
+///  * backpressure: a queue-full rejection is a scheduling event, never a
+///    strike toward the blacklist (regression).
+///
+/// Suites are named Jit*/CompileQueue* so the TSan CI job's -R filter picks
+/// them up.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "fuzz/Oracle.h"
+#include "inliner/Compilers.h"
+#include "ir/IRCloner.h"
+#include "jit/CompileQueue.h"
+#include "jit/CompileWorkerPool.h"
+#include "jit/JitRuntime.h"
+#include "opt/Pass.h"
+#include "support/Cancellation.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+using namespace incline;
+using incline::testing::compile;
+
+namespace {
+
+/// A program whose `leaf` gets hot fast; `main` stays relatively cold. The
+/// virtual dispatch in `helper` gives rung 0 something to speculate on, so
+/// the rungs genuinely differ in ambition.
+constexpr const char *HotVirtualProgram = R"(
+  class Shape {
+    def area(): int { return 0; }
+  }
+  class Square extends Shape {
+    def area(): int { return 4; }
+  }
+  def helper(s: Shape): int { return s.area() + 1; }
+  def leaf(x: int): int {
+    var s: Shape = new Square();
+    return helper(s) + x;
+  }
+  def main() {
+    var i = 0;
+    var acc = 0;
+    while (i < 1000) { acc = acc + leaf(i); i = i + 1; }
+    print(acc);
+  }
+)";
+
+jit::JitConfig supervisedConfig() {
+  jit::JitConfig Config;
+  Config.CompileThreshold = 10;
+  return Config;
+}
+
+//===----------------------------------------------------------------------===//
+// The graceful-degradation ladder
+//===----------------------------------------------------------------------===//
+
+TEST(JitSupervisionTest, ForcedExpiryDescendsLadderToInterpreterOnly) {
+  auto M = compile(HotVirtualProgram);
+  const std::string Expected = incline::testing::runOutput(*M);
+
+  inliner::IncrementalCompiler Compiler;
+  jit::JitConfig Config = supervisedConfig();
+  // Every attempt of every symbol dies at its first checkpoint: the ladder
+  // must walk Full -> NoSpeculation -> NoInlining -> InterpreterOnly and
+  // stop, without ever touching the blacklist counter.
+  Config.ForceDeadlineExpiry = [](std::string_view, unsigned) {
+    return true;
+  };
+  jit::JitRuntime Runtime(*M, Compiler, Config);
+
+  for (int Run = 0; Run < 3; ++Run) {
+    interp::ExecResult R = Runtime.runMain();
+    ASSERT_TRUE(R.ok()) << R.TrapMessage;
+    EXPECT_EQ(R.Output, Expected) << "run " << Run;
+  }
+
+  const jit::JitRuntimeStats &S = Runtime.stats();
+  EXPECT_GE(S.DeadlineBailouts, 3u);
+  EXPECT_GE(S.LadderStepDowns, 3u);
+  EXPECT_GE(S.LadderInterpreterOnly, 1u);
+  EXPECT_EQ(S.BlacklistedMethods, 0u);
+  EXPECT_EQ(S.ResourceBailouts, 0u);
+  EXPECT_EQ(Runtime.installedCodeSize(), 0u);
+  EXPECT_TRUE(Runtime.compilations().empty());
+}
+
+TEST(JitSupervisionTest, FirstAttemptExpiryInstallsAtLowerRungThenUpgrades) {
+  auto M = compile(HotVirtualProgram);
+  const std::string Expected = incline::testing::runOutput(*M);
+
+  inliner::IncrementalCompiler Compiler;
+  jit::JitConfig Config = supervisedConfig();
+  // Only the very first attempt per anchor blows its deadline: the retry
+  // compiles (and installs) one rung down, then the method re-heats on its
+  // compiled fast path and the upgrade attempt restores full optimization.
+  Config.ForceDeadlineExpiry = [](std::string_view, unsigned Attempt) {
+    return Attempt == 0;
+  };
+  jit::JitRuntime Runtime(*M, Compiler, Config);
+
+  for (int Run = 0; Run < 3; ++Run) {
+    interp::ExecResult R = Runtime.runMain();
+    ASSERT_TRUE(R.ok()) << R.TrapMessage;
+    EXPECT_EQ(R.Output, Expected) << "run " << Run;
+  }
+
+  const jit::JitRuntimeStats &S = Runtime.stats();
+  EXPECT_GE(S.DeadlineBailouts, 1u);
+  EXPECT_GE(S.LadderStepDowns, 1u);
+  EXPECT_EQ(S.BlacklistedMethods, 0u);
+  EXPECT_GT(Runtime.installedCodeSize(), 0u);
+
+  // The first install of `leaf` happened at rung 1 (the stream fingerprint
+  // says so — nonzero rungs are recorded), and the 1000-invocations-per-run
+  // fast path re-heats it far past the pushed-out threshold, so the upgrade
+  // fires and installs at full rung again.
+  bool SawDegradedInstall = false;
+  for (const jit::CompilationRecord &Record : Runtime.compilations())
+    if (Record.Symbol == "leaf" && Record.Rung == 1)
+      SawDegradedInstall = true;
+  EXPECT_TRUE(SawDegradedInstall);
+  EXPECT_NE(jit::streamFingerprint(Runtime.compilations()).find("rung=1"),
+            std::string::npos);
+  EXPECT_GE(S.LadderUpgradeAttempts, 1u);
+  EXPECT_GE(S.LadderUpgrades, 1u);
+  EXPECT_EQ(Runtime.compilations().back().Rung, 0u);
+}
+
+TEST(JitSupervisionTest, LadderOffRestoresLegacyBlacklistPath) {
+  auto M = compile(HotVirtualProgram);
+  const std::string Expected = incline::testing::runOutput(*M);
+
+  inliner::IncrementalCompiler Compiler;
+  jit::JitConfig Config = supervisedConfig();
+  Config.DegradeLadder = false;
+  Config.ForceDeadlineExpiry = [](std::string_view, unsigned) {
+    return true;
+  };
+  jit::JitRuntime Runtime(*M, Compiler, Config);
+
+  for (int Run = 0; Run < 4; ++Run) {
+    interp::ExecResult R = Runtime.runMain();
+    ASSERT_TRUE(R.ok()) << R.TrapMessage;
+    EXPECT_EQ(R.Output, Expected) << "run " << Run;
+  }
+
+  // With the ladder off a deadline bailout is a plain failed attempt:
+  // MaxCompileAttempts strikes blacklist the method, and no ladder counter
+  // ever moves.
+  const jit::JitRuntimeStats &S = Runtime.stats();
+  EXPECT_GE(S.DeadlineBailouts, Config.MaxCompileAttempts);
+  EXPECT_GE(S.BlacklistedMethods, 1u);
+  EXPECT_EQ(S.LadderStepDowns, 0u);
+  EXPECT_EQ(S.LadderInterpreterOnly, 0u);
+  EXPECT_EQ(Runtime.installedCodeSize(), 0u);
+}
+
+TEST(JitSupervisionTest, NodeQuotaTripsResourceBailoutWithoutStrike) {
+  auto M = compile(HotVirtualProgram);
+  const std::string Expected = incline::testing::runOutput(*M);
+
+  inliner::IncrementalCompiler Compiler;
+  jit::JitConfig Config = supervisedConfig();
+  // A 1-node quota trips on every rung's very first pass: classified as a
+  // resource bailout (the memory analogue of the deadline), stepping the
+  // ladder down with no blacklist strike.
+  Config.CompileNodeQuota = 1;
+  jit::JitRuntime Runtime(*M, Compiler, Config);
+
+  for (int Run = 0; Run < 3; ++Run) {
+    interp::ExecResult R = Runtime.runMain();
+    ASSERT_TRUE(R.ok()) << R.TrapMessage;
+    EXPECT_EQ(R.Output, Expected) << "run " << Run;
+  }
+
+  const jit::JitRuntimeStats &S = Runtime.stats();
+  EXPECT_GE(S.ResourceBailouts, 3u);
+  EXPECT_EQ(S.DeadlineBailouts, 0u);
+  EXPECT_GE(S.LadderStepDowns, 3u);
+  EXPECT_GE(S.LadderInterpreterOnly, 1u);
+  EXPECT_EQ(S.BlacklistedMethods, 0u);
+  // The quota is inclusive: a method whose peak IR never exceeds one node
+  // (Square.area is a bare `return 4`) may still compile. Anything that
+  // did install must have stayed within the quota.
+  for (const jit::CompilationRecord &Record : Runtime.compilations())
+    EXPECT_LE(Record.Stats.CodeSize, Config.CompileNodeQuota)
+        << Record.Symbol;
+}
+
+TEST(JitSupervisionTest, GenerousUnitDeadlineCompilesNormally) {
+  auto M = compile(HotVirtualProgram);
+  const std::string Expected = incline::testing::runOutput(*M);
+
+  inliner::IncrementalCompiler Compiler;
+  jit::JitConfig Config = supervisedConfig();
+  Config.CompileDeadlineUnits = uint64_t(1) << 40;
+  jit::JitRuntime Runtime(*M, Compiler, Config);
+
+  interp::ExecResult R = Runtime.runMain();
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(R.Output, Expected);
+  EXPECT_GT(Runtime.installedCodeSize(), 0u);
+  const jit::JitRuntimeStats &S = Runtime.stats();
+  EXPECT_EQ(S.DeadlineBailouts, 0u);
+  EXPECT_EQ(S.LadderStepDowns, 0u);
+  for (const jit::CompilationRecord &Record : Runtime.compilations())
+    EXPECT_EQ(Record.Rung, 0u) << Record.Symbol;
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism: an unhit deadline is invisible in the compile stream
+//===----------------------------------------------------------------------===//
+
+TEST(JitSupervisionTest, UnhitDeadlineKeepsDeterministicStreamBitIdentical) {
+  auto RunDeterministic = [](uint64_t DeadlineUnits) {
+    auto M = compile(HotVirtualProgram);
+    inliner::IncrementalCompiler Compiler;
+    jit::JitConfig Config = supervisedConfig();
+    Config.Mode = jit::JitMode::Deterministic;
+    Config.Threads = 2;
+    Config.CompileDeadlineUnits = DeadlineUnits;
+    jit::JitRuntime Runtime(*M, Compiler, Config);
+    std::string Output;
+    for (int Run = 0; Run < 3; ++Run) {
+      interp::ExecResult R = Runtime.runMain();
+      EXPECT_TRUE(R.ok()) << R.TrapMessage;
+      Output += R.Output;
+    }
+    Runtime.drainCompilations();
+    return std::make_pair(Output,
+                          jit::streamFingerprint(Runtime.compilations()));
+  };
+
+  // Supervision off vs a work-unit deadline no compile comes near: the
+  // token charges along but never trips, and because work units are a pure
+  // function of per-pass IR deltas the stream fingerprint — order, sizes,
+  // pass runs, installed-IR hashes — is byte-identical.
+  auto [OffOutput, OffFingerprint] = RunDeterministic(0);
+  auto [OnOutput, OnFingerprint] = RunDeterministic(uint64_t(1) << 40);
+  EXPECT_EQ(OffOutput, OnOutput);
+  EXPECT_EQ(OffFingerprint, OnFingerprint);
+  EXPECT_EQ(OffFingerprint.find("rung="), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Backpressure: queue-full rejections never strike (regression)
+//===----------------------------------------------------------------------===//
+
+/// Parks every compile at a gate until release(); compiles like a
+/// passthrough once released.
+class GatedCompiler : public jit::Compiler {
+public:
+  std::unique_ptr<ir::Function>
+  compile(const ir::Function &Source, const ir::Module &, const profile::ProfileTable &,
+          jit::CompileStats &Stats, const opt::PassContext &) override {
+    {
+      std::unique_lock<std::mutex> Guard(Lock);
+      ++Entered;
+      EnteredSignal.notify_all();
+      Gate.wait(Guard, [&] { return Released; });
+    }
+    auto Clone = ir::cloneFunction(Source, std::string(Source.name()));
+    Stats.CodeSize = Clone.F->instructionCount();
+    return std::move(Clone.F);
+  }
+  std::string name() const override { return "gated"; }
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> Guard(Lock);
+      Released = true;
+    }
+    Gate.notify_all();
+  }
+
+  void waitEntered(unsigned N) {
+    std::unique_lock<std::mutex> Guard(Lock);
+    EnteredSignal.wait(Guard, [&] { return Entered >= N; });
+  }
+
+private:
+  std::mutex Lock;
+  std::condition_variable Gate;
+  std::condition_variable EnteredSignal;
+  unsigned Entered = 0;
+  bool Released = false;
+};
+
+constexpr const char *ThreeLeavesProgram = R"(
+  def f0(x: int): int { return x + 1; }
+  def f1(x: int): int { return x + 2; }
+  def f2(x: int): int { return x + 3; }
+  def main() { print(f0(1) + f1(2) + f2(3)); }
+)";
+
+TEST(JitSupervisionTest, QueueFullRejectionIsNeverABlacklistStrike) {
+  auto M = compile(ThreeLeavesProgram);
+  GatedCompiler Compiler;
+  jit::JitConfig Config = supervisedConfig();
+  Config.Mode = jit::JitMode::Async;
+  Config.Threads = 1;
+  Config.QueueCapacity = 1;
+  jit::JitRuntime Runtime(*M, Compiler, Config);
+
+  // The worker parks holding f0; f1 fills the 1-slot queue; f2's request
+  // is rejected by backpressure.
+  for (uint64_t I = 0; I <= Config.CompileThreshold; ++I)
+    Runtime.onInvoke("f0");
+  Compiler.waitEntered(1);
+  for (uint64_t I = 0; I <= Config.CompileThreshold; ++I)
+    Runtime.onInvoke("f1");
+  for (uint64_t I = 0; I <= Config.CompileThreshold; ++I)
+    Runtime.onInvoke("f2");
+  EXPECT_GE(Runtime.stats().QueueFullRejections, 1u);
+  EXPECT_EQ(Runtime.stats().BlacklistedMethods, 0u);
+  EXPECT_EQ(Runtime.stats().Bailouts, 0u);
+
+  Compiler.release();
+  Runtime.drainCompilations();
+
+  // The rejected method retries on later invocations (its rejection pushed
+  // NextAttemptAt out a fraction of the threshold, no exponential strike)
+  // and compiles like any other — a full queue is scheduling, not failure.
+  for (uint64_t I = 0; I <= 2 * Config.CompileThreshold; ++I)
+    Runtime.onInvoke("f2");
+  Runtime.drainCompilations();
+  bool F2Compiled = false;
+  for (const jit::CompilationRecord &Record : Runtime.compilations())
+    if (Record.Symbol == "f2")
+      F2Compiled = true;
+  EXPECT_TRUE(F2Compiled);
+  EXPECT_EQ(Runtime.stats().BlacklistedMethods, 0u);
+  EXPECT_EQ(Runtime.stats().Bailouts, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Cooperative cancellation: queue, pool, and runtime shutdown
+//===----------------------------------------------------------------------===//
+
+jit::CompileTask makeTask(std::string Symbol, uint64_t Hotness) {
+  jit::CompileTask Task;
+  Task.Symbol = std::move(Symbol);
+  Task.Hotness = Hotness;
+  Task.Cancel = std::make_shared<support::CancellationToken>();
+  return Task;
+}
+
+TEST(CompileQueueCancelTest, CancelRemovesQueuedTasksAndFreesTheSlot) {
+  jit::CompileQueue Queue(/*Capacity=*/8, jit::CompileQueue::PopOrder::Fifo);
+  ASSERT_EQ(Queue.tryEnqueue(makeTask("f0", 1)),
+            jit::CompileQueue::Outcome::Enqueued);
+  ASSERT_EQ(Queue.tryEnqueue(makeTask("f1", 2)),
+            jit::CompileQueue::Outcome::Enqueued);
+  ASSERT_EQ(Queue.tryEnqueue(makeTask("f2", 3)),
+            jit::CompileQueue::Outcome::Enqueued);
+
+  std::vector<jit::CompileTask> Removed = Queue.cancel("f1");
+  ASSERT_EQ(Removed.size(), 1u);
+  EXPECT_EQ(Removed[0].Symbol, "f1");
+  EXPECT_EQ(Queue.size(), 2u);
+  // Sequence numbers stay consumed: the caller accounts removals as dropped.
+  EXPECT_EQ(Queue.enqueuedCount(), 3u);
+  // A second cancel is a no-op, and the symbol may be re-enqueued (the
+  // dedup slot was freed).
+  EXPECT_TRUE(Queue.cancel("f1").empty());
+  EXPECT_EQ(Queue.tryEnqueue(makeTask("f1", 9)),
+            jit::CompileQueue::Outcome::Enqueued);
+
+  // Pop order skips the cancelled task: f0, f2, then the re-enqueued f1.
+  EXPECT_EQ(Queue.pop()->Symbol, "f0");
+  EXPECT_EQ(Queue.pop()->Symbol, "f2");
+  EXPECT_EQ(Queue.pop()->Symbol, "f1");
+}
+
+/// Spins inside compile() until its task's token is cancelled, then unwinds
+/// through checkpoint() — the cooperative-cancellation protocol a real
+/// supervised compile follows, compressed to its essentials.
+class CancelPollingCompiler : public jit::Compiler {
+public:
+  std::unique_ptr<ir::Function>
+  compile(const ir::Function &, const ir::Module &, const profile::ProfileTable &,
+          jit::CompileStats &, const opt::PassContext &Ctx) override {
+    {
+      std::lock_guard<std::mutex> Guard(Lock);
+      ++Entered;
+    }
+    EnteredSignal.notify_all();
+    auto GiveUpAt =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!(Ctx.Cancel && Ctx.Cancel->expired())) {
+      if (std::chrono::steady_clock::now() > GiveUpAt)
+        return nullptr; // Fail the wait, not the whole test binary.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    Ctx.Cancel->checkpoint("cancel-polling-compiler");
+    return nullptr; // Unreachable: the checkpoint throws.
+  }
+  std::string name() const override { return "cancel-polling"; }
+
+  void waitEntered(unsigned N) {
+    std::unique_lock<std::mutex> Guard(Lock);
+    EnteredSignal.wait(Guard, [&] { return Entered >= N; });
+  }
+
+private:
+  std::mutex Lock;
+  std::condition_variable EnteredSignal;
+  unsigned Entered = 0;
+};
+
+TEST(CompileWorkerPoolCancelTest, CancelReachesActiveTaskAndQueuedTask) {
+  auto M = compile(ThreeLeavesProgram);
+  CancelPollingCompiler Compiler;
+  jit::CompileQueue Queue(/*Capacity=*/8, jit::CompileQueue::PopOrder::Fifo);
+  jit::CompileWorkerPool Pool(Queue, Compiler, *M, /*NumThreads=*/1);
+
+  // The single worker picks up f0 and spins on its token; f1 stays queued.
+  ASSERT_EQ(Queue.tryEnqueue(makeTask("f0", 1)),
+            jit::CompileQueue::Outcome::Enqueued);
+  Compiler.waitEntered(1);
+  ASSERT_EQ(Queue.tryEnqueue(makeTask("f1", 2)),
+            jit::CompileQueue::Outcome::Enqueued);
+
+  // Cancelling the queued task removes it synchronously and accounts it as
+  // dropped (waitUntilDrained's target must stay reachable).
+  std::vector<jit::CompileTask> Removed = Pool.cancelTasksFor("f1");
+  ASSERT_EQ(Removed.size(), 1u);
+  EXPECT_EQ(Removed[0].Symbol, "f1");
+
+  // Cancelling the active task reaches it through its token: the worker
+  // unwinds at its next checkpoint and the outcome surfaces as Cancelled —
+  // never as a failure, never as installable code.
+  EXPECT_TRUE(Pool.cancelTasksFor("f0").empty());
+  std::vector<jit::CompileOutcome> Batch = Pool.waitUntilDrained();
+  ASSERT_EQ(Batch.size(), 1u);
+  EXPECT_EQ(Batch[0].Task.Symbol, "f0");
+  EXPECT_TRUE(Batch[0].Cancelled);
+  EXPECT_EQ(Batch[0].Code, nullptr);
+}
+
+TEST(JitCancellationRaceTest, RuntimeShutdownCancelsInFlightCompile) {
+  // Destroying the runtime while a supervised compile is actively running
+  // must cancel it through its token and join cleanly — no hang, no stale
+  // publication. (A compiler that never observed the cancel would park
+  // shutdown forever; the polling compiler's 30s escape hatch turns that
+  // hang into a visible failure.)
+  auto M = compile(ThreeLeavesProgram);
+  CancelPollingCompiler Compiler;
+  jit::JitConfig Config = supervisedConfig();
+  Config.Mode = jit::JitMode::Async;
+  Config.Threads = 1;
+  auto Runtime = std::make_unique<jit::JitRuntime>(*M, Compiler, Config);
+
+  for (uint64_t I = 0; I <= Config.CompileThreshold; ++I)
+    Runtime->onInvoke("f0");
+  Compiler.waitEntered(1);
+
+  Runtime.reset(); // Shutdown cancels the in-flight token and joins.
+  SUCCEED();
+}
+
+TEST(JitCancellationRaceTest, EvictionWhileCompileInFlightKeepsStateSane) {
+  // evictNow on a symbol whose compile is in flight must respect the pin
+  // (no eviction, no cancel) and the later publication must still install
+  // exactly once — the transactional-eviction contract from PR 7 composed
+  // with the cancellation machinery of this PR.
+  auto M = compile(ThreeLeavesProgram);
+  GatedCompiler Compiler;
+  jit::JitConfig Config = supervisedConfig();
+  Config.Mode = jit::JitMode::Async;
+  Config.Threads = 1;
+  jit::JitRuntime Runtime(*M, Compiler, Config);
+
+  for (uint64_t I = 0; I <= Config.CompileThreshold; ++I)
+    Runtime.onInvoke("f0");
+  Compiler.waitEntered(1);
+  Runtime.evictNow("f0"); // Pinned by the in-flight compile: a no-op.
+
+  Compiler.release();
+  Runtime.drainCompilations();
+  ASSERT_EQ(Runtime.compilations().size(), 1u);
+  EXPECT_EQ(Runtime.compilations()[0].Symbol, "f0");
+  EXPECT_GT(Runtime.installedCodeSize(), 0u);
+  EXPECT_EQ(Runtime.stats().CompilesCancelled, 0u);
+
+  // Now that the pin is gone the eviction goes through, and the method
+  // re-warms from zero like any evicted method.
+  Runtime.evictNow("f0");
+  EXPECT_EQ(Runtime.installedCodeSize(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// The deadline-chaos oracle stages
+//===----------------------------------------------------------------------===//
+
+TEST(JitDeadlineChaosTest, ForcedExpiryIsOutputNeutralAcrossModes) {
+  // Maximum hostility: every compile attempt's deadline is forced to
+  // expire, across the sync / deterministic / async deadline-chaos stages,
+  // with OSR on and the ladder walking every method down to the
+  // interpreter. The oracle must still see bit-identical output.
+  fuzz::OracleOptions Opts;
+  Opts.CompileThreshold = 2;
+  Opts.JitIterations = 4;
+  Opts.Chaos.Enabled = true;
+  Opts.Chaos.Seed = 11;
+  Opts.Chaos.DeadlineForceRate = 1.0;
+
+  fuzz::DifferentialOracle Oracle(Opts);
+  std::optional<fuzz::Divergence> Div = Oracle.check(R"(
+    class Shape {
+      def area(): int { return 0; }
+    }
+    class Square extends Shape {
+      def area(): int { return 7; }
+    }
+    def helper(s: Shape): int { return s.area() + 1; }
+    def main() {
+      var i = 0;
+      var acc = 0;
+      while (i < 40) {
+        var s: Shape = new Square();
+        acc = acc + helper(s);
+        i = i + 1;
+      }
+      print(acc);
+    }
+  )");
+  EXPECT_FALSE(Div.has_value()) << Div->render();
+}
+
+} // namespace

@@ -4,12 +4,16 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Cancellation.h"
 #include "support/Casting.h"
 #include "support/Random.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
 
 #include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
 
 using namespace incline;
 
@@ -172,6 +176,87 @@ TEST(StringUtilsTest, StartsWith) {
   EXPECT_TRUE(startsWith("foobar", "foo"));
   EXPECT_FALSE(startsWith("fo", "foo"));
   EXPECT_TRUE(startsWith("x", ""));
+}
+
+//===----------------------------------------------------------------------===//
+// CancellationToken
+//===----------------------------------------------------------------------===//
+
+TEST(CancellationTest, UnboundedTokenNeverExpires) {
+  support::CancellationToken Tok;
+  Tok.charge(1'000'000);
+  Tok.noteNodes(1'000'000);
+  EXPECT_FALSE(Tok.expired());
+  EXPECT_NO_THROW(Tok.checkpoint("here"));
+}
+
+TEST(CancellationTest, WorkBudgetThrowsDeadlineExceeded) {
+  support::CancellationToken::Budgets B;
+  B.WorkUnits = 10;
+  support::CancellationToken Tok(B);
+  Tok.charge(10);
+  // The budget is inclusive: exactly-at-budget is still within it.
+  EXPECT_NO_THROW(Tok.checkpoint("at-budget"));
+  Tok.charge(1);
+  EXPECT_TRUE(Tok.workExpired());
+  EXPECT_THROW(Tok.checkpoint("over-budget"), support::DeadlineExceeded);
+}
+
+TEST(CancellationTest, NodeQuotaThrowsResourceExhausted) {
+  support::CancellationToken::Budgets B;
+  B.NodeQuota = 100;
+  support::CancellationToken Tok(B);
+  Tok.noteNodes(40);
+  Tok.noteNodes(100);
+  EXPECT_NO_THROW(Tok.checkpoint("at-quota"));
+  Tok.noteNodes(101);
+  // noteNodes is a CAS-max: a later smaller observation must not lower the
+  // recorded peak.
+  Tok.noteNodes(3);
+  EXPECT_EQ(Tok.peakNodes(), 101u);
+  EXPECT_THROW(Tok.checkpoint("over-quota"), support::ResourceExhausted);
+}
+
+TEST(CancellationTest, CancelWinsOverQuotaClassification) {
+  // A cancelled token reports DeadlineExceeded even if a quota also
+  // tripped: the supervisor keys the Cancelled outcome off
+  // cancelRequested(), not the exception type, but the checkpoint order is
+  // part of the contract.
+  support::CancellationToken::Budgets B;
+  B.NodeQuota = 1;
+  support::CancellationToken Tok(B);
+  Tok.noteNodes(2);
+  Tok.requestCancel();
+  EXPECT_TRUE(Tok.cancelRequested());
+  EXPECT_THROW(Tok.checkpoint("cancelled"), support::DeadlineExceeded);
+}
+
+TEST(CancellationTest, WallClockBudgetExpires) {
+  support::CancellationToken Tok(
+      support::CancellationToken::wallClockBudget(0.001));
+  auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!Tok.expired() && std::chrono::steady_clock::now() < Deadline) {
+  }
+  EXPECT_TRUE(Tok.wallExpired());
+  EXPECT_THROW(Tok.checkpoint("wall"), support::DeadlineExceeded);
+  // Non-positive seconds means no wall clock at all.
+  EXPECT_EQ(support::CancellationToken::wallClockBudget(0.0).WallMillis, 0u);
+  EXPECT_EQ(support::CancellationToken::wallClockBudget(-1.0).WallMillis, 0u);
+}
+
+TEST(CancellationTest, PassRunUnitsArePureDeltaFunction) {
+  // 1 base unit plus the IR delta — the charge is identical whether the
+  // pass ran live or its metrics were replayed from the trial cache.
+  EXPECT_EQ(support::CancellationToken::passRunUnits(0, 0), 1u);
+  EXPECT_EQ(support::CancellationToken::passRunUnits(5, 2), 8u);
+}
+
+TEST(CancellationTest, CrossThreadCancelObserved) {
+  support::CancellationToken Tok;
+  std::thread Canceller([&Tok] { Tok.requestCancel(); });
+  Canceller.join();
+  EXPECT_TRUE(Tok.expired());
+  EXPECT_THROW(Tok.checkpoint("after-join"), support::DeadlineExceeded);
 }
 
 } // namespace

@@ -85,6 +85,10 @@ int usage() {
       "  --profile-decay N    chaos stages: decay profiles every N\n"
       "                       safepoints (default off; the evict-async\n"
       "                       stage uses 32 regardless)\n"
+      "  --deadline-force R   deadline-chaos stages: probability that one\n"
+      "                       compile attempt's deadline is forced to\n"
+      "                       expire, stepping the method down the\n"
+      "                       degradation ladder (default 0.25)\n"
       "\n"
       "failure handling:\n"
       "  --no-reduce          keep failing programs unreduced\n"
@@ -147,6 +151,8 @@ std::optional<CliOptions> parseArgs(int argc, char **argv) {
     } else if (auto V = Value("--profile-decay")) {
       O.Oracle.Chaos.ProfileDecayHalflife =
           std::strtoull(V->c_str(), nullptr, 10);
+    } else if (auto V = Value("--deadline-force")) {
+      O.Oracle.Chaos.DeadlineForceRate = std::atof(V->c_str());
     } else if (Arg == "--chaos") {
       O.Oracle.Chaos.Enabled = true;
     } else if (auto V = Value("--inject-bug")) {

@@ -60,6 +60,9 @@ struct Options {
   uint64_t OsrThreshold = 100;
   uint64_t CodeCacheBudget = 0; ///< 0 = unbounded.
   uint64_t ProfileDecay = 0;    ///< Halflife in safepoints; 0 = off.
+  uint64_t CompileDeadline = 0; ///< Work units per compile; 0 = off.
+  uint64_t CompileDeadlineMs = 0; ///< Wall ms per compile; 0 = off.
+  bool DegradeLadder = true;    ///< --degrade-ladder=off|on.
   bool InterpFast = true;       ///< --interp=fast|reference.
   std::string Function;
   uint64_t Threshold = 50;
@@ -80,6 +83,9 @@ int usage() {
       "                    [--jit-osr=off|on] [--osr-threshold=N]\n"
       "                    [--trial-cache=off|per-compile|shared]\n"
       "                    [--code-cache-budget=N] [--profile-decay=off|N]\n"
+      "                    [--compile-deadline=off|N]\n"
+      "                    [--compile-deadline-ms=N]\n"
+      "                    [--degrade-ladder=off|on]\n"
       "                    [--interp=fast|reference]\n"
       "                    [--threshold=N] [--iterations=N] [--stats]\n"
       "  minioo dump <file> [--function=NAME] [--optimize]\n"
@@ -173,6 +179,33 @@ std::optional<Options> parseArgs(int argc, char **argv) {
         }
         Opts.ProfileDecay = *N;
       }
+    } else if (auto V = ValueOf("--compile-deadline=")) {
+      if (*V == "off") {
+        Opts.CompileDeadline = 0;
+      } else {
+        auto N = parseCount(*V);
+        if (!N) {
+          std::fprintf(stderr, "invalid --compile-deadline value '%s'\n",
+                       V->c_str());
+          return std::nullopt;
+        }
+        Opts.CompileDeadline = *N;
+      }
+    } else if (auto V = ValueOf("--compile-deadline-ms=")) {
+      auto N = parseCount(*V);
+      if (!N) {
+        std::fprintf(stderr, "invalid --compile-deadline-ms value '%s'\n",
+                     V->c_str());
+        return std::nullopt;
+      }
+      Opts.CompileDeadlineMs = *N;
+    } else if (auto V = ValueOf("--degrade-ladder=")) {
+      if (*V != "off" && *V != "on") {
+        std::fprintf(stderr, "invalid --degrade-ladder value '%s'\n",
+                     V->c_str());
+        return std::nullopt;
+      }
+      Opts.DegradeLadder = *V == "on";
     } else if (auto V = ValueOf("--interp=")) {
       if (*V != "fast" && *V != "reference") {
         std::fprintf(stderr, "invalid --interp value '%s'\n", V->c_str());
@@ -265,6 +298,9 @@ int cmdRun(const Options &Opts, ir::Module &M) {
   Config.OsrBackedgeThreshold = Opts.OsrThreshold;
   Config.CodeCacheBudget = Opts.CodeCacheBudget;
   Config.ProfileDecayHalflife = Opts.ProfileDecay;
+  Config.CompileDeadlineUnits = Opts.CompileDeadline;
+  Config.CompileDeadlineMs = Opts.CompileDeadlineMs;
+  Config.DegradeLadder = Opts.DegradeLadder;
   Config.Interp.Mode = Opts.InterpFast ? interp::InterpMode::Fast
                                        : interp::InterpMode::Reference;
   jit::JitRuntime Runtime(M, *Compiler, Config);
@@ -314,6 +350,17 @@ int cmdRun(const Options &Opts, ir::Module &M) {
                  static_cast<unsigned long long>(S.BlacklistedMethods),
                  static_cast<unsigned long long>(S.QueueFullRejections),
                  static_cast<double>(S.MutatorStallNanos) / 1e6);
+    std::fprintf(stderr,
+                 "supervise: deadline-bailouts=%llu resource-bailouts=%llu "
+                 "cancelled=%llu ladder-downs=%llu upgrades=%llu/%llu "
+                 "interp-only=%llu\n",
+                 static_cast<unsigned long long>(S.DeadlineBailouts),
+                 static_cast<unsigned long long>(S.ResourceBailouts),
+                 static_cast<unsigned long long>(S.CompilesCancelled),
+                 static_cast<unsigned long long>(S.LadderStepDowns),
+                 static_cast<unsigned long long>(S.LadderUpgrades),
+                 static_cast<unsigned long long>(S.LadderUpgradeAttempts),
+                 static_cast<unsigned long long>(S.LadderInterpreterOnly));
     std::fprintf(stderr,
                  "deopt: guards-emitted=%llu guard-failures=%llu "
                  "invalidations=%llu recompiles-after-deopt=%llu "
