@@ -64,6 +64,26 @@ const Scenario Scenarios[] = {
     {"tenant-churn", 1, 1}, // Both scaled in configOf.
 };
 
+/// How the code cache (and the compiler feeding it) is configured.
+enum class CacheMode {
+  Unbounded,    ///< No budget, no decay: pre-lifecycle configuration.
+  Bounded,      ///< Budget = 50% of unbounded peak, decay on.
+  BoundedPrune, ///< Bounded + cold-branch pruning (ISSUE 10): same budget,
+                ///< but compiles install only the hot slice.
+};
+
+const char *cacheModeName(CacheMode Mode) {
+  switch (Mode) {
+  case CacheMode::Unbounded:
+    return "unbounded";
+  case CacheMode::Bounded:
+    return "bounded";
+  case CacheMode::BoundedPrune:
+    return "bound+prune";
+  }
+  return "?";
+}
+
 TrafficConfig configOf(const Scenario &S, bool Bounded, uint64_t Budget) {
   TrafficConfig Config;
   Config.Seed = 7;
@@ -92,32 +112,41 @@ struct Cell {
   uint64_t Budget = 0;
 };
 
-/// One simulation per (scenario, bounded). The bounded cell derives its
+/// One simulation per (scenario, mode). Both bounded cells derive their
 /// budget from the unbounded cell's peak footprint, so unbounded always
-/// runs first. One shared-TrialCache compiler per cell: eviction/decay
-/// interplay with cross-compilation memoization is part of what's measured.
-const Cell &cellOf(const Scenario &S, bool Bounded) {
+/// runs first — and the prune cell competes for exactly the same budget
+/// the plain bounded cell got. One shared-TrialCache compiler per cell:
+/// eviction/decay interplay with cross-compilation memoization is part of
+/// what's measured.
+const Cell &cellOf(const Scenario &S, CacheMode Mode) {
   static std::map<std::string, Cell> Cache;
-  std::string Key =
-      std::string(S.Name) + "|" + (Bounded ? "bounded" : "unbounded");
+  std::string Key = std::string(S.Name) + "|" + cacheModeName(Mode);
   auto It = Cache.find(Key);
   if (It != Cache.end())
     return It->second;
 
   Cell C;
-  if (Bounded) {
-    const Cell &Unbounded = cellOf(S, false);
+  if (Mode != CacheMode::Unbounded) {
+    const Cell &Unbounded = cellOf(S, CacheMode::Unbounded);
     C.Budget = Unbounded.R.PeakCodeBytes / 2;
     if (C.Budget == 0)
       C.Budget = 1;
   }
   inliner::InlinerConfig InlineConfig;
   InlineConfig.TrialCache = inliner::TrialCacheMode::Shared;
+  if (Mode == CacheMode::BoundedPrune) {
+    InlineConfig.EnableColdBranchPruning = true;
+    // Never-taken edges only: a positive threshold would prune loop exits
+    // (probability 1/trip-count but certain to fire), and the resulting
+    // trap + recompile churn would undo the cache-pressure win.
+    InlineConfig.ColdPruneMaxProbability = 0.0;
+  }
   inliner::IncrementalCompiler Compiler(InlineConfig);
-  C.R = runTraffic(Compiler, configOf(S, Bounded, C.Budget));
+  C.R = runTraffic(Compiler,
+                   configOf(S, Mode != CacheMode::Unbounded, C.Budget));
   if (!C.R.Ok)
     std::fprintf(stderr, "WARNING: scenario %s (%s) failed: %s\n", S.Name,
-                 Bounded ? "bounded" : "unbounded", C.R.Error.c_str());
+                 cacheModeName(Mode), C.R.Error.c_str());
   return Cache.emplace(std::move(Key), std::move(C)).first->second;
 }
 
@@ -158,23 +187,26 @@ const Cell &hostileCellOf(bool LadderOn) {
 
 void registerTrafficBenchmarks() {
   for (const Scenario &S : Scenarios)
-    for (bool Bounded : {false, true})
+    for (CacheMode Mode : {CacheMode::Unbounded, CacheMode::Bounded,
+                           CacheMode::BoundedPrune})
       benchmark::RegisterBenchmark(
           ("server_traffic/" + std::string(S.Name) + "/" +
-           (Bounded ? "bounded" : "unbounded"))
+           cacheModeName(Mode))
               .c_str(),
-          [&S, Bounded](benchmark::State &State) {
+          [&S, Mode](benchmark::State &State) {
             for (auto _ : State) {
-              const Cell &C = cellOf(S, Bounded);
+              const Cell &C = cellOf(S, Mode);
               benchmark::DoNotOptimize(C.R.P99);
             }
-            const Cell &C = cellOf(S, Bounded);
+            const Cell &C = cellOf(S, Mode);
             State.counters["throughput_per_mcy"] = C.R.Throughput;
             State.counters["p50_cy"] = C.R.P50;
             State.counters["p99_cy"] = C.R.P99;
             State.counters["p999_cy"] = C.R.P999;
             State.counters["peak_code"] =
                 static_cast<double>(C.R.PeakCodeBytes);
+            State.counters["evictions"] = static_cast<double>(
+                C.R.CacheStats.Evictions + C.R.CacheStats.OsrEvictions);
           })
           ->Iterations(1);
   for (bool LadderOn : {false, true})
@@ -204,35 +236,56 @@ void printTables() {
   std::printf("\nMulti-tenant traffic: throughput and request-latency tails "
               "(%s scale)\n",
               Smoke ? "smoke" : "full");
-  std::printf("%-14s %-10s %9s %10s %10s %10s %9s %9s %7s %6s\n", "scenario",
+  std::printf("%-14s %-11s %9s %10s %10s %10s %9s %9s %7s %6s\n", "scenario",
               "cache", "req/Mcy", "p50", "p99", "p999", "peak|ir|", "budget",
               "evict", "out=");
   bool AllPass = true;
   for (const Scenario &S : Scenarios) {
-    const Cell &U = cellOf(S, false);
-    const Cell &B = cellOf(S, true);
+    const Cell &U = cellOf(S, CacheMode::Unbounded);
+    const Cell &B = cellOf(S, CacheMode::Bounded);
+    const Cell &P = cellOf(S, CacheMode::BoundedPrune);
     const bool OutEqual = U.R.OutputDigest == B.R.OutputDigest;
+    const bool PruneOutEqual = U.R.OutputDigest == P.R.OutputDigest;
     const double P99Ratio = U.R.P99 > 0 ? B.R.P99 / U.R.P99 : 0;
     const double BytesRatio =
         U.R.PeakCodeBytes > 0 ? static_cast<double>(B.R.PeakCodeBytes) /
                                     static_cast<double>(U.R.PeakCodeBytes)
                               : 0;
+    const uint64_t BoundEvict =
+        B.R.CacheStats.Evictions + B.R.CacheStats.OsrEvictions;
+    const uint64_t PruneEvict =
+        P.R.CacheStats.Evictions + P.R.CacheStats.OsrEvictions;
+    const double PruneP99Ratio = B.R.P99 > 0 ? P.R.P99 / B.R.P99 : 0;
     const bool Pass = OutEqual && P99Ratio <= 2.0 && BytesRatio <= 0.5 &&
                       U.R.Ok && B.R.Ok;
-    AllPass = AllPass && Pass;
-    for (const Cell *C : {&U, &B}) {
-      const bool Bounded = C == &B;
-      std::printf("%-14s %-10s %9.2f %10.0f %10.0f %10.0f %9llu %9llu %7llu "
+    // ISSUE 10's bar: under the same budget, pruned compiles must thrash
+    // the cache strictly less, with bit-equal outputs and a flat-or-better
+    // tail (a 10% allowance absorbs compile-stall timing noise). When the
+    // plain bounded cell already fits without a single eviction there is
+    // nothing left to beat — both-zero counts as met.
+    const bool EvictBar =
+        BoundEvict == 0 ? PruneEvict == 0 : PruneEvict < BoundEvict;
+    const bool PrunePass =
+        PruneOutEqual && EvictBar && PruneP99Ratio <= 1.10 && P.R.Ok;
+    AllPass = AllPass && Pass && PrunePass;
+    for (const Cell *C : {&U, &B, &P}) {
+      const CacheMode Mode = C == &U   ? CacheMode::Unbounded
+                             : C == &B ? CacheMode::Bounded
+                                       : CacheMode::BoundedPrune;
+      const bool CellOutEqual =
+          Mode == CacheMode::BoundedPrune ? PruneOutEqual : OutEqual;
+      std::printf("%-14s %-11s %9.2f %10.0f %10.0f %10.0f %9llu %9llu %7llu "
                   "%6s\n",
-                  S.Name, Bounded ? "bounded" : "unbounded", C->R.Throughput,
+                  S.Name, cacheModeName(Mode), C->R.Throughput,
                   C->R.P50, C->R.P99, C->R.P999,
                   static_cast<unsigned long long>(C->R.PeakCodeBytes),
                   static_cast<unsigned long long>(C->Budget),
                   static_cast<unsigned long long>(C->R.CacheStats.Evictions +
                                                   C->R.CacheStats.OsrEvictions),
-                  Bounded ? (OutEqual ? "yes" : "NO") : "-");
+                  Mode != CacheMode::Unbounded ? (CellOutEqual ? "yes" : "NO")
+                                               : "-");
       recordJsonResult(
-          std::string(S.Name) + "/" + (Bounded ? "bounded" : "unbounded"),
+          std::string(S.Name) + "/" + cacheModeName(Mode),
           {{"throughput_per_mcy", C->R.Throughput},
            {"p50_cy", C->R.P50},
            {"p99_cy", C->R.P99},
@@ -246,14 +299,30 @@ void printTables() {
            {"decay_ticks", static_cast<double>(C->R.CacheStats.DecayTicks)},
            {"admission_rejections",
             static_cast<double>(C->R.CacheStats.AdmissionRejections)},
-           {"outputs_equal", OutEqual ? 1.0 : 0.0},
-           {"p99_ratio_vs_unbounded", Bounded ? P99Ratio : 1.0},
-           {"peak_bytes_ratio_vs_unbounded", Bounded ? BytesRatio : 1.0}});
+           {"branches_pruned",
+            static_cast<double>(C->R.JitStats.BranchesPruned)},
+           {"cold_branch_deopts",
+            static_cast<double>(C->R.JitStats.ColdBranchDeopts)},
+           {"prunes_blacklisted",
+            static_cast<double>(C->R.JitStats.PrunesBlacklisted)},
+           {"outputs_equal", CellOutEqual ? 1.0 : 0.0},
+           {"p99_ratio_vs_unbounded",
+            Mode != CacheMode::Unbounded && U.R.P99 > 0 ? C->R.P99 / U.R.P99
+                                                        : 1.0},
+           {"peak_bytes_ratio_vs_unbounded",
+            Mode != CacheMode::Unbounded ? BytesRatio : 1.0}});
     }
-    std::printf("%-14s %-10s p99 ratio %.2fx (bar <= 2x), peak bytes %.0f%% "
+    std::printf("%-14s %-11s p99 ratio %.2fx (bar <= 2x), peak bytes %.0f%% "
                 "(bar <= 50%%) => %s\n",
                 S.Name, "", P99Ratio, 100.0 * BytesRatio,
                 Pass ? "PASS" : "FAIL");
+    std::printf("%-14s %-11s prune: evictions %llu -> %llu (bar: strictly "
+                "lower), p99 %.2fx vs bounded\n%-14s %-11s (bar <= 1.10x), "
+                "outputs %s => %s\n",
+                S.Name, "", static_cast<unsigned long long>(BoundEvict),
+                static_cast<unsigned long long>(PruneEvict), PruneP99Ratio,
+                "", "", PruneOutEqual ? "equal" : "UNEQUAL",
+                PrunePass ? "PASS" : "FAIL");
   }
   // Hostile-tenant / supervised-compilation table: deep-call-tree tenants
   // under a tight compile deadline, ladder off vs on.
@@ -317,9 +386,10 @@ void printTables() {
 
   std::printf("\nacceptance: bounded cache holds p99 within 2x of unbounded "
               "at <= 50%% of its peak\ncode footprint, with bit-equal request "
-              "outputs; the degradation ladder holds\nhostile-tenant p99 "
-              "within 1.25x of ladder-off, zero blacklist strikes,\nbit-equal "
-              "outputs => %s\n",
+              "outputs; cold-branch pruning under the\nsame budget evicts "
+              "strictly less at a flat-or-better p99; the degradation\n"
+              "ladder holds hostile-tenant p99 within 1.25x of ladder-off, "
+              "zero blacklist\nstrikes, bit-equal outputs => %s\n",
               AllPass ? "PASS" : "FAIL");
   recordJsonResult("acceptance", {{"all_pass", AllPass ? 1.0 : 0.0}});
 }

@@ -730,6 +730,77 @@ DifferentialOracle::check(const std::string &Source) const {
       Runtime.drainCompilations();
     }
 
+    // Dedicated prune-chaos stages: minimal-slice compilation with forced
+    // cold-branch prunes, under every execution mode. The forced-prune
+    // schedule is a pure function of (seed, method, branch profileId) — no
+    // counter — so it is identical across modes and thread counts. No
+    // other fault injection here: a divergence attributes cleanly to the
+    // prune/trap/recompile machinery. The claim under test: an uncommon
+    // trap is semantically a branch — pruning *any* edge, however hot,
+    // only moves execution back to the interpreter at the pruned target,
+    // and the per-(method, block) blacklist converges the recompile to an
+    // unpruned body.
+    {
+      struct PruneStage {
+        std::string Name;
+        jit::JitMode Mode;
+        unsigned Threads;
+      };
+      const PruneStage PruneStages[] = {
+          {"prune-chaos-sync", jit::JitMode::Sync, 1},
+          {"prune-chaos-deterministic", jit::JitMode::Deterministic, 2},
+          {"prune-chaos-async", jit::JitMode::Async, 2},
+      };
+      for (const PruneStage &Stage : PruneStages) {
+        std::unique_ptr<ir::Module> M = compileOrNull(Source);
+        inliner::InlinerConfig IC;
+        if (Opts.Chaos.ColdPruneMaxProbability >= 0.0) {
+          // Threshold pruning on top of the forced schedule, with a sample
+          // floor low enough for fuzzer-sized programs to clear.
+          IC.EnableColdBranchPruning = true;
+          IC.ColdPruneMaxProbability = Opts.Chaos.ColdPruneMaxProbability;
+          IC.ColdPruneMinSamples = 2;
+        }
+        inliner::IncrementalCompiler Compiler{IC};
+        jit::JitConfig Config;
+        Config.CompileThreshold = Opts.CompileThreshold;
+        Config.Mode = Stage.Mode;
+        Config.Threads = Stage.Threads;
+        Config.Osr = true;
+        Config.OsrBackedgeThreshold = 4;
+        // Tree shaking rides along: reachability is CHA-sound, so on a
+        // program whose only entry is main it must never change output —
+        // at worst a wrongly-shaken method just stays interpreted, and the
+        // call-tree arm filter must keep its typeswitch fallback correct.
+        Config.TreeShake = true;
+        Config.ForceColdBranch =
+            [C = Opts.Chaos, PruneSalt = uint64_t{0x8EBC6AF09C88C6E3ULL}](
+                std::string_view Method, unsigned BranchProfileId) {
+              uint64_t Draw = chaosMix(C.Seed ^ PruneSalt,
+                                       chaosMix(fnv1a(Method),
+                                                BranchProfileId));
+              return chaosChance(Draw, C.PruneForceRate);
+            };
+        jit::JitRuntime Runtime(*M, Compiler, Config);
+        for (int Iter = 0; Iter < Opts.JitIterations; ++Iter) {
+          interp::ExecResult R =
+              runJitMain(Runtime, Budget, Opts.StageWallClockSeconds);
+          if (R.ok() && R.Output == Expected)
+            continue;
+          Divergence D;
+          D.Kind = failureKind(R);
+          D.Stage = "jit:" + Stage.Name;
+          D.Detail = R.ok() ? "iteration " + std::to_string(Iter) +
+                                  " output differs from the reference"
+                            : R.TrapMessage;
+          D.Expected = Expected;
+          D.Actual = R.Output;
+          return D;
+        }
+        Runtime.drainCompilations();
+      }
+    }
+
     // Dedicated deadline-chaos stages: supervised compilation with forced
     // deadline expiries driving the graceful-degradation ladder
     // (DESIGN.md §14), under every execution mode. The forced-expiry

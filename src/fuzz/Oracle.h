@@ -123,6 +123,20 @@ struct ChaosOptions {
   /// steps the method down a rung, and every rung — including
   /// interpreter-only — is semantically equivalent.
   double DeadlineForceRate = 0.25;
+  /// Prune-chaos stages: probability that one conditional branch of a
+  /// compiling method is forcibly pruned behind a cold-branch uncommon
+  /// trap. The schedule is a pure function of (seed, method, branch
+  /// profileId) — no counter — so it is identical across execution modes
+  /// and thread counts. A forced prune of a *hot* edge must be
+  /// output-neutral: the trap resumes the baseline exactly where the
+  /// branch would have gone, re-profiles, and recompiles without the
+  /// prune.
+  double PruneForceRate = 0.25;
+  /// Profile-driven pruning threshold for the prune-chaos stages (the
+  /// `--cold-prune` knob): maximum observed probability a branch edge may
+  /// have and still be pruned. Negative leaves threshold pruning off, so
+  /// only the forced schedule above plants traps.
+  double ColdPruneMaxProbability = -1.0;
   /// Code-cache budget (|ir| units) for the chaos stages. Nonzero turns
   /// every chaos run into a cache-thrash run: admission rejections and
   /// coldest-first evictions fire naturally on top of the forced ones.

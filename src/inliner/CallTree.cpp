@@ -8,6 +8,7 @@
 
 #include "ir/IRCloner.h"
 #include "ir/IRPrinter.h"
+#include "opt/ModuleReachability.h"
 #include "opt/Passes.h"
 #include "profile/BlockFrequency.h"
 #include "support/Cancellation.h"
@@ -223,6 +224,13 @@ void CallTree::addChildForCallsite(CallNode &Parent, Instruction *Inst,
       continue; // Profile-polluted entry; skip the class.
     const Function *TargetFn = M.function(Target->QualifiedName);
     if (!TargetFn)
+      continue;
+    // Tree shaking: don't grow arms for receivers the reachability
+    // analysis proved impossible or methods it proved dead — the
+    // typeswitch's virtual-call fallback keeps the slow path correct.
+    if (PassCtx.Reachable &&
+        (!PassCtx.Reachable->isClassLive(ClassId) ||
+         !PassCtx.Reachable->isReachable(Target->QualifiedName)))
       continue;
     auto TargetChild = std::make_unique<CallNode>();
     TargetChild->Parent = Child.get();

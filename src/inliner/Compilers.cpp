@@ -97,8 +97,12 @@ IncrementalCompiler::compile(const ir::Function &Source, const ir::Module &M,
     return std::move(Clone.F);
   }
   InlinerConfig Effective = Config;
-  if (Ctx.DegradeRung >= 1)
+  if (Ctx.DegradeRung >= 1) {
+    // No speculation of any kind on the degraded rungs: no guards, no
+    // uncommon traps, no deopt exposure.
     Effective.EnableSpeculativeDevirt = false;
+    Effective.EnableColdBranchPruning = false;
+  }
   IncrementalInliner Inliner(Effective, M, Profiles);
   Inliner.setPassContext(Session.ctx());
 
@@ -123,6 +127,7 @@ IncrementalCompiler::compile(const ir::Function &Source, const ir::Module &M,
   Stats.ExploredNodes = Result.NodesExplored;
   Stats.OptsTriggered = Result.OptsTriggered;
   Stats.GuardsEmitted = Result.GuardsEmitted;
+  Stats.BranchesPruned = Result.BranchesPruned;
   Stats.TrialCacheHits = Result.TrialCacheHits;
   Stats.TrialCacheMisses = Result.TrialCacheMisses;
   Stats.TrialNanos = Result.TrialNanos;

@@ -9,6 +9,7 @@
 #include "inliner/ClusterAnalysis.h"
 #include "inliner/ExpansionPhase.h"
 #include "inliner/InliningPhase.h"
+#include "opt/ColdBranchPruning.h"
 #include "opt/Passes.h"
 #include "opt/SpeculativeDevirt.h"
 
@@ -43,7 +44,28 @@ InlinerResult IncrementalInliner::run(std::unique_ptr<ir::Function> RootBody,
     return Stats.total();
   };
 
-  // Speculation first, on the pristine clone: every virtual call still maps
+  // Minimal-slice compilation first, on the pristine clone: every branch
+  // still maps 1:1 onto its baseline counterpart, so the uncommon traps'
+  // frame states resolve against the unmodified module function. Running
+  // before devirtualization and call-tree construction means guards,
+  // trials, and rounds are never spent on profile-cold code. The chaos
+  // hook can force prunes with pruning nominally off (output-neutral by
+  // construction), which is how the fuzz oracle stresses the trap path.
+  if ((Config.EnableColdBranchPruning || Ctx.ForceColdBranch) &&
+      Ctx.DegradeRung == 0) {
+    opt::ColdBranchPruningOptions PruneOpts;
+    PruneOpts.MaxProbability =
+        Config.EnableColdBranchPruning ? Config.ColdPruneMaxProbability : -1.0;
+    PruneOpts.MinSamples = Config.ColdPruneMinSamples;
+    PruneOpts.ForceColdBranch = Ctx.ForceColdBranch;
+    opt::ColdBranchPruningStats PruneStats;
+    opt::ColdBranchPruningPass Prune(PruneOpts, Ctx.PruneBlacklist);
+    Prune.setStatsSink(&PruneStats);
+    opt::runPass(Prune, *RootBody, M, Ctx);
+    Result.BranchesPruned += PruneStats.BranchesPruned;
+  }
+
+  // Speculation next, still on a 1:1 clone: every virtual call still maps
   // 1:1 onto its baseline counterpart (profile ids are clone-preserved), so
   // the deopt frame states it plants resolve against the unmodified module
   // function. The guarded direct calls become ordinary kind-C nodes when

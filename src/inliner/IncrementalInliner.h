@@ -34,6 +34,7 @@ struct InlinerResult {
   size_t CallsitesInlined = 0;
   size_t TypeSwitchesEmitted = 0;
   size_t GuardsEmitted = 0; ///< Speculative-devirtualization guards planted.
+  size_t BranchesPruned = 0; ///< Cold edges replaced with uncommon traps.
   uint64_t NodesExplored = 0;
   uint64_t OptsTriggered = 0; ///< Canonicalizer rewrites in root + trials.
   uint64_t TrialCacheHits = 0;   ///< Deep trials served from the cache.

@@ -104,6 +104,20 @@ struct InlinerConfig {
   uint64_t SpeculationMinSamples = 8;
 
   //===--------------------------------------------------------------------===//
+  // Minimal-slice compilation (uncommon traps; see opt/ColdBranchPruning.h).
+  // Runs first on the pristine compilation clone — before devirtualization
+  // and call-tree construction — so trials, guards, and the backend only
+  // ever see the hot slice. Off by default: the seed configuration and the
+  // deterministic compile-stream fingerprint are unchanged unless asked.
+  //===--------------------------------------------------------------------===//
+  bool EnableColdBranchPruning = false;
+  /// Prune an edge whose observed probability is <= this (0 = never-taken
+  /// edges only).
+  double ColdPruneMaxProbability = 0.0;
+  /// Branch executions required before the profile is trusted.
+  uint64_t ColdPruneMinSamples = 16;
+
+  //===--------------------------------------------------------------------===//
   // Round optimizations (§IV "Other optimizations").
   //===--------------------------------------------------------------------===//
   bool EnableRoundReadWriteElimination = true;

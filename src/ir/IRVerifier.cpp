@@ -324,16 +324,36 @@ incline::ir::verifyFrameStates(const Function &F, const Module &M) {
                              FS.BaselineBlockId, FS.BaselineSymbol.c_str()));
         continue;
       }
-      const VirtualCallInst *Resume = nullptr;
-      for (const auto &BInst : ResumeBB->instructions())
-        if (BInst->profileId() == FS.ResumePoint)
-          Resume = dyn_cast<VirtualCallInst>(BInst.get());
-      if (!Resume) {
-        Problem(formatString(
-            "deopt frame state resume point #%u is not a virtual call in "
-            "block %u of %s",
-            FS.ResumePoint, FS.BaselineBlockId, FS.BaselineSymbol.c_str()));
-        continue;
+      if (D->isColdBranch()) {
+        // A cold-branch uncommon trap resumes at the pruned target's entry:
+        // the first non-phi instruction of the named baseline block. Phis
+        // are not resumable (their values arrive through the frame-state
+        // slots, already selected for the pruned edge).
+        const Instruction *First = nullptr;
+        for (const auto &BInst : ResumeBB->instructions())
+          if (!isa<PhiInst>(BInst.get())) {
+            First = BInst.get();
+            break;
+          }
+        if (!First || First->profileId() != FS.ResumePoint) {
+          Problem(formatString(
+              "cold-branch frame state resume point #%u is not the first "
+              "non-phi instruction of block %u of %s",
+              FS.ResumePoint, FS.BaselineBlockId, FS.BaselineSymbol.c_str()));
+          continue;
+        }
+      } else {
+        const VirtualCallInst *Resume = nullptr;
+        for (const auto &BInst : ResumeBB->instructions())
+          if (BInst->profileId() == FS.ResumePoint)
+            Resume = dyn_cast<VirtualCallInst>(BInst.get());
+        if (!Resume) {
+          Problem(formatString(
+              "deopt frame state resume point #%u is not a virtual call in "
+              "block %u of %s",
+              FS.ResumePoint, FS.BaselineBlockId, FS.BaselineSymbol.c_str()));
+          continue;
+        }
       }
       // Every slot must land on a baseline value.
       std::unordered_set<unsigned> BaselineIds;

@@ -545,16 +545,24 @@ struct FrameStateSlot {
 ///    rule — capturing only values that dominate the guarded point is what
 ///    makes the transfer sound);
 ///  * under `verifyModule`, `BaselineSymbol` names a module function whose
-///    block `BaselineBlockId` contains a virtual call with profileId
-///    `ResumePoint`, and every slot resolves to an argument/instruction of
-///    that function.
+///    block `BaselineBlockId` contains the resume instruction with
+///    profileId `ResumePoint`, and every slot resolves to an
+///    argument/instruction of that function. For speculation-guard deopts
+///    the resume instruction must be a virtual call; for cold-branch
+///    uncommon traps (reason `DeoptInst::ColdBranchReason`) it must be the
+///    first non-phi instruction of the named block — the pruned branch
+///    target's entry point.
 struct FrameState {
   std::string BaselineSymbol; ///< The unoptimized function to resume in.
   unsigned BaselineBlockId = 0;
-  /// ProfileId of the baseline VirtualCallInst to re-execute on resume.
-  /// Re-executing the dispatch (instead of resuming after it) is what makes
-  /// guard failure output-neutral: the baseline simply performs the virtual
-  /// call the speculation tried to avoid.
+  /// ProfileId of the baseline instruction to re-execute on resume.
+  /// For a speculation guard this is the baseline VirtualCallInst:
+  /// re-executing the dispatch (instead of resuming after it) is what makes
+  /// guard failure output-neutral — the baseline simply performs the
+  /// virtual call the speculation tried to avoid. For a cold-branch trap it
+  /// is the first non-phi instruction of the pruned branch target: the
+  /// interpreter enters the cold block exactly where compiled code would
+  /// have (phi values arrive pre-materialized through the slots).
   unsigned ResumePoint = 0;
   std::vector<FrameStateSlot> Slots; ///< Parallel to the deopt's operands.
 };
@@ -651,6 +659,13 @@ public:
 /// speculation degrades to interpretation instead of killing the program.
 class DeoptInst : public Instruction {
 public:
+  /// Reason string of a cold-branch uncommon trap (ColdBranchPruning).
+  /// These deopts are accounted separately from speculation-guard failures:
+  /// taking one means the profile was stale, not that a guarded assumption
+  /// broke, so the runtime blacklists the prune and recompiles without it
+  /// instead of charging a speculation failure.
+  static constexpr const char *ColdBranchReason = "cold-branch";
+
   explicit DeoptInst(std::string Reason)
       : Instruction(ValueKind::Deopt, types::Type::voidTy()),
         Reason(std::move(Reason)) {}
@@ -667,6 +682,8 @@ public:
   }
 
   const std::string &reason() const { return Reason; }
+  /// True for a cold-branch uncommon trap (see ColdBranchReason).
+  bool isColdBranch() const { return Reason == ColdBranchReason; }
   bool hasFrameState() const { return HasState; }
   const FrameState &frameState() const {
     assert(HasState && "deopt has no frame state");

@@ -37,6 +37,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -44,6 +45,10 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+namespace incline::opt {
+class ModuleReachability;
+}
 
 namespace incline::jit {
 
@@ -71,6 +76,18 @@ struct CompileTask {
   /// and a deterministic-mode compile sees exactly what a synchronous
   /// compile at the enqueue safepoint would have seen.
   opt::SpeculationBlacklist BlacklistSnapshot;
+  /// Cold-branch prune blacklist at enqueue time — (method, cold-target
+  /// baseline block id) pairs whose uncommon trap fired. Same snapshot
+  /// discipline as BlacklistSnapshot.
+  opt::SpeculationBlacklist PruneBlacklistSnapshot;
+  /// Chaos hook forcing prune decisions (see JitConfig::ForceColdBranch);
+  /// copied per task because the pool never sees the runtime's config. Must
+  /// be a pure function, so sharing it across threads is safe.
+  std::function<bool(std::string_view, unsigned)> ForceColdBranch;
+  /// Module reachability shared with the compile (null = no tree shaking).
+  /// Immutable after compute, so workers read it lock-free; the shared_ptr
+  /// keeps it alive across the runtime's lifetime transitions.
+  std::shared_ptr<const opt::ModuleReachability> Reachable;
   /// Supervision token for this compile (budgets + cooperative cancel);
   /// shared so the mutator can cancel while the worker charges. Null when
   /// the runtime is configured unsupervised.

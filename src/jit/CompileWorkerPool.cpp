@@ -96,6 +96,9 @@ void CompileWorkerPool::workerLoop() {
     opt::AnalysisManager TaskAM(&Outcome.Task.ProfilesSnapshot);
     WorkerCtx.AM = &TaskAM;
     WorkerCtx.Blacklist = &Outcome.Task.BlacklistSnapshot;
+    WorkerCtx.PruneBlacklist = &Outcome.Task.PruneBlacklistSnapshot;
+    WorkerCtx.ForceColdBranch = Outcome.Task.ForceColdBranch;
+    WorkerCtx.Reachable = Outcome.Task.Reachable.get();
     WorkerCtx.Cancel = Outcome.Task.Cancel.get();
     WorkerCtx.DegradeRung = Outcome.Task.Rung;
 

@@ -39,6 +39,7 @@ struct CompileStats {
   uint64_t ExploredNodes = 0;   ///< Call-tree nodes ever created.
   uint64_t OptsTriggered = 0;   ///< Canonicalizer rewrites observed.
   uint64_t GuardsEmitted = 0;   ///< Speculative-devirtualization guards.
+  uint64_t BranchesPruned = 0;  ///< Cold edges replaced with uncommon traps.
   uint64_t CodeSize = 0;        ///< |ir| of the final compiled body.
   uint64_t PassRuns = 0;        ///< Individual pass executions.
   uint64_t PassNanos = 0;       ///< Wall time spent inside passes.

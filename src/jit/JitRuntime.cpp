@@ -11,6 +11,7 @@
 #include "ir/IRVerifier.h"
 #include "jit/CompileQueue.h"
 #include "jit/CompileWorkerPool.h"
+#include "opt/ModuleReachability.h"
 #include "support/ErrorHandling.h"
 #include "support/StringUtils.h"
 
@@ -100,6 +101,12 @@ incline::jit::streamFingerprint(const std::vector<CompilationRecord> &Stream) {
     // comparable across the feature boundary.
     if (R.Rung != 0)
       Out += formatString(" rung=%u", R.Rung);
+    // Same contract for cold-branch pruning: the field appears only when a
+    // trap was actually planted, so `--cold-prune=off` streams stay
+    // byte-identical to pre-feature ones.
+    if (R.Stats.BranchesPruned != 0)
+      Out += formatString(
+          " pruned=%llu", static_cast<unsigned long long>(R.Stats.BranchesPruned));
     Out += '\n';
   }
   return Out;
@@ -283,8 +290,41 @@ void JitRuntime::maybeRequestUpgrade(std::string_view Symbol,
   requestCompile(Symbol, State, static_cast<int>(State.Rung) - 1);
 }
 
+std::shared_ptr<const opt::ModuleReachability>
+JitRuntime::ensureReachability() {
+  if (!Config.TreeShake)
+    return nullptr;
+  if (!Reachability) {
+    // Computed exactly once, at the first compile request: the module is
+    // immutable at runtime, so the CHA skeleton never changes, and the
+    // profile assist only *adds* live classes the static analysis already
+    // had to assume conservatively — later profiles cannot invalidate the
+    // set. First-request timing is also mode-independent (Sync and
+    // Deterministic reach it at the same threshold crossing with the same
+    // profiles), preserving the bit-identity contract.
+    std::vector<std::string> Roots = Config.TreeShakeRoots;
+    if (Roots.empty())
+      Roots.emplace_back("main");
+    Reachability = std::make_shared<const opt::ModuleReachability>(
+        opt::ModuleReachability::compute(M, Roots, &Profiles));
+    Stats.MethodsShaken = Reachability->numShaken();
+  }
+  return Reachability;
+}
+
 void JitRuntime::requestCompile(std::string_view Symbol, MethodState &State,
                                 int UpgradeToRung) {
+  // Tree shaking: a method the analysis proved dead cannot legitimately be
+  // hot — if it runs anyway the configured roots were understated, and the
+  // safe answer is the interpreter. Skip the whole pipeline and stop
+  // asking, without a blacklist strike (this is a resource decision, not a
+  // compile failure).
+  if (std::shared_ptr<const opt::ModuleReachability> R = ensureReachability())
+    if (!R->isReachable(Symbol)) {
+      ++Stats.ShakenCompileSkips;
+      State.DoNotCompile = true;
+      return;
+    }
   const bool Upgrade = UpgradeToRung >= 0;
   const unsigned Rung =
       Upgrade ? static_cast<unsigned>(UpgradeToRung) : State.Rung;
@@ -305,12 +345,15 @@ void JitRuntime::requestCompile(std::string_view Symbol, MethodState &State,
   Task.Rung = Rung;
   Task.Upgrade = Upgrade;
   Task.Cancel = makeCompileToken(Symbol, State);
-  // Snapshot the live profiles (and the speculation blacklist): the worker
-  // sees exactly the state a synchronous compile at this threshold
-  // crossing would have seen — the deterministic-mode bit-identity
-  // guarantee extends to speculation decisions.
+  // Snapshot the live profiles (and both blacklists): the worker sees
+  // exactly the state a synchronous compile at this threshold crossing
+  // would have seen — the deterministic-mode bit-identity guarantee
+  // extends to speculation and pruning decisions.
   Task.ProfilesSnapshot = Profiles;
   Task.BlacklistSnapshot = Blacklist;
+  Task.PruneBlacklistSnapshot = PruneBlacklist;
+  Task.ForceColdBranch = Config.ForceColdBranch;
+  Task.Reachable = ensureReachability();
 
   CompileQueue::Outcome Enq = Queue->tryEnqueue(std::move(Task));
   if (Enq != CompileQueue::Outcome::Enqueued) {
@@ -407,6 +450,9 @@ void JitRuntime::requestOsrCompile(std::string_view Symbol,
   Task.Cancel = makeCompileToken(Symbol, State);
   Task.ProfilesSnapshot = Profiles;
   Task.BlacklistSnapshot = Blacklist;
+  Task.PruneBlacklistSnapshot = PruneBlacklist;
+  Task.ForceColdBranch = Config.ForceColdBranch;
+  Task.Reachable = ensureReachability();
 
   CompileQueue::Outcome Enq = Queue->tryEnqueue(std::move(Task));
   if (Enq != CompileQueue::Outcome::Enqueued) {
@@ -456,10 +502,15 @@ void JitRuntime::compileOnMutator(const CompileTask &TaskShape) {
     Source = Skeleton.get();
   }
 
-  // Mutator compiles read the live blacklist — at this point it equals any
-  // snapshot a deterministic-mode enqueue would have taken here.
+  // Mutator compiles read the live blacklists — at this point they equal
+  // any snapshot a deterministic-mode enqueue would have taken here. The
+  // member shared_ptr keeps the reachability object alive past the
+  // temporary returned here.
   opt::PassContext Ctx = TheCompiler.passContext();
   Ctx.Blacklist = &Blacklist;
+  Ctx.PruneBlacklist = &PruneBlacklist;
+  Ctx.ForceColdBranch = Config.ForceColdBranch;
+  Ctx.Reachable = ensureReachability().get();
   Ctx.Cancel = TaskShape.Cancel.get();
   Ctx.DegradeRung = TaskShape.Rung;
   try {
@@ -672,6 +723,7 @@ void JitRuntime::publishOutcome(CompileOutcome &&Outcome) {
   }
 
   Stats.GuardsEmitted += Record.Stats.GuardsEmitted;
+  Stats.BranchesPruned += Record.Stats.BranchesPruned;
   Compilations.push_back(std::move(Record));
   State.Compiled = true;
   if (!IsOsr) {
@@ -772,8 +824,29 @@ void JitRuntime::cancelInFlight(std::string_view Symbol) {
 
 void JitRuntime::onDeopt(std::string_view Method,
                          const ir::DeoptInst &Deopt) {
-  ++Stats.GuardFailures;
   const ir::FrameState &FS = Deopt.frameState();
+  if (Deopt.isColdBranch()) {
+    // An uncommon trap fired: the profile lied about the branch being
+    // cold, nothing more. This is *not* a guard failure — no speculation
+    // failure counter, no MaxSpeculationFailures ladder. The prune is
+    // retired immediately (keyed by the cold target's baseline block id):
+    // unlike a speculation guard, keeping the branch costs nothing, so one
+    // trap is all the evidence needed. The recompile below re-reads the
+    // re-profiled branch through the grown blacklist and converges to an
+    // unpruned body.
+    ++Stats.ColdBranchDeopts;
+    if (!PruneBlacklist.contains(Method, FS.BaselineBlockId)) {
+      PruneBlacklist.add(Method, FS.BaselineBlockId);
+      ++Stats.PrunesBlacklisted;
+      // The prune blacklist feeds future compilations; memoized compile
+      // work from before this entry existed must not be replayed.
+      if (CompileCache *Cache = TheCompiler.compileCache())
+        Cache->invalidateForRuntimeEvent();
+    }
+    invalidate(Method);
+    return;
+  }
+  ++Stats.GuardFailures;
   // Track the failed speculation per (method, baseline callsite). At the
   // cap, blacklist it: the recompile below (and every later one) leaves
   // the site as a plain virtual call, so the method converges to a

@@ -1,0 +1,121 @@
+//===- opt/ColdBranchPruning.h - Profile-guided uncommon-trap pruning ------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal-slice compilation: replaces cold branch targets with uncommon
+/// traps so every downstream consumer — the inliner's deep trials, the
+/// round optimizations, and the installed body itself — only ever sees the
+/// hot slice of the method. For a conditional branch whose profile says one
+/// side is never (or almost never) taken, the pass rewrites
+///
+///     branch %c, bbHot, bbCold
+///
+/// into
+///
+///     branch %c, bbHot, prune.trap
+///   prune.trap:
+///     deopt "cold-branch" frame <baseline> bbCold resume#P [...]
+///
+/// where the frame state resumes the *baseline* (uncompiled) function at
+/// the entry of the pruned target — its first non-phi instruction — with
+/// the target's phi values materialized from the pruned edge's incoming
+/// values. Taking the trap therefore behaves exactly like taking the
+/// branch, just interpreted: the prune is semantics-preserving by
+/// construction (the "OSR à la Carte" uncommon-trap pattern).
+///
+/// Like speculative devirtualization, the pass only runs on a compilation
+/// clone whose baseline still exists unmodified in the module, and it runs
+/// first — before devirtualization and call-tree construction — so guards,
+/// trials, and typeswitches are never spent on code the profile says is
+/// dead.
+///
+/// A trap that fires means the profile was stale, not that an assumption
+/// broke: the runtime blacklists the prune per (method, cold-target
+/// baseline block id) and recompiles without it (see JitRuntime::onDeopt),
+/// converging to an unpruned body for branches that turn out to be warm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_OPT_COLDBRANCHPRUNING_H
+#define INCLINE_OPT_COLDBRANCHPRUNING_H
+
+#include "opt/Pass.h"
+#include "opt/SpeculativeDevirt.h"
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace incline::ir {
+class Function;
+class Module;
+} // namespace incline::ir
+
+namespace incline::profile {
+class ProfileTable;
+}
+
+namespace incline::opt {
+
+/// Chaos hook: forces a prune decision at (method, branch profileId)
+/// regardless of the profile. Pruning is output-neutral by construction
+/// (the trap recovers into the baseline), so the fuzz oracle uses this to
+/// prune *hot* edges and assert the program output never changes.
+using ForceColdBranchHook =
+    std::function<bool(std::string_view Method, unsigned BranchProfileId)>;
+
+/// Pruning thresholds. The default MaxProbability of 0 prunes only
+/// never-taken edges — the conservative production setting; raising it
+/// trades recompiles for code size like any speculation knob.
+struct ColdBranchPruningOptions {
+  /// Prune an edge when its observed probability is <= this (and strictly
+  /// below the other side's).
+  double MaxProbability = 0.0;
+  /// Branch executions required before the profile is trusted.
+  uint64_t MinSamples = 16;
+  /// Chaos hook (null = off); see ForceColdBranchHook.
+  ForceColdBranchHook ForceColdBranch;
+};
+
+struct ColdBranchPruningStats {
+  unsigned BranchesPruned = 0;   ///< Cold edges replaced with traps.
+  unsigned BlacklistSkipped = 0; ///< Prunes skipped via the blacklist.
+};
+
+/// Prunes cold branch targets of \p F (a compilation clone of the module
+/// function with the same name) behind "cold-branch" uncommon traps.
+/// \p PruneBlacklist — keyed (method, cold-target baseline block id) — may
+/// be null (nothing blacklisted).
+ColdBranchPruningStats
+pruneColdBranches(ir::Function &F, const ir::Module &M,
+                  const profile::ProfileTable &Profiles,
+                  const ColdBranchPruningOptions &Opts = {},
+                  const SpeculationBlacklist *PruneBlacklist = nullptr);
+
+/// Pass-framework adapter; profiles come from the AnalysisManager, the
+/// blacklist and chaos hook from the PassContext that constructed the pass.
+class ColdBranchPruningPass : public FunctionPass {
+public:
+  explicit ColdBranchPruningPass(ColdBranchPruningOptions Opts = {},
+                                 const SpeculationBlacklist *PruneBlacklist =
+                                     nullptr)
+      : Opts(std::move(Opts)), PruneBlacklist(PruneBlacklist) {}
+
+  std::string_view name() const override { return "cold-branch-pruning"; }
+  void setStatsSink(ColdBranchPruningStats *Sink) { StatsSink = Sink; }
+
+  PreservedAnalyses run(ir::Function &F, const ir::Module &M,
+                        AnalysisManager &AM) override;
+
+private:
+  ColdBranchPruningOptions Opts;
+  const SpeculationBlacklist *PruneBlacklist;
+  ColdBranchPruningStats *StatsSink = nullptr;
+};
+
+} // namespace incline::opt
+
+#endif // INCLINE_OPT_COLDBRANCHPRUNING_H

@@ -1,0 +1,182 @@
+//===- opt/ModuleReachability.cpp ------------------------------------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/ModuleReachability.h"
+
+#include "ir/Module.h"
+#include "profile/ProfileData.h"
+#include "support/Casting.h"
+
+#include <utility>
+
+using namespace incline;
+using namespace incline::ir;
+using namespace incline::opt;
+
+namespace {
+
+class ReachabilityBuilder {
+public:
+  ReachabilityBuilder(const Module &M, const profile::ProfileTable *Profiles)
+      : M(M), Profiles(Profiles) {
+    Live.resize(M.classes().numClasses(), 0);
+  }
+
+  void run(const std::vector<std::string> &RootSymbols) {
+    for (const std::string &Root : RootSymbols) {
+      markFunction(Root);
+      // A root's caller lives outside the analyzed world: any subclass of
+      // an object parameter's declared class may arrive, so CHA cannot
+      // prove anything in that subtree dead.
+      if (const Function *F = M.function(Root))
+        for (size_t I = 0; I < F->numParams(); ++I) {
+          types::Type Ty = F->arg(I)->type();
+          if (Ty.isObject() && !Ty.isNull())
+            for (int K : M.classes().subtreeOf(Ty.classId()))
+              markClass(K);
+        }
+    }
+    drain();
+
+    // CHA fallback: dispatch sites whose receiver subtree has no live class
+    // at fixpoint keep every CHA target reachable — "never instantiated"
+    // proves nothing about a receiver whose provenance we cannot see.
+    // New reachability can surface new sites, so iterate to a fixpoint.
+    for (;;) {
+      size_t Before = Reachable.size();
+      for (const auto &[ClassId, Name] : Sites) {
+        bool AnyLive = false;
+        for (int K : M.classes().subtreeOf(ClassId))
+          if (isLive(K)) {
+            AnyLive = true;
+            break;
+          }
+        if (AnyLive)
+          continue;
+        for (const auto &[K, MI] : M.classes().dispatchTargets(ClassId, Name))
+          if (MI)
+            markFunction(MI->QualifiedName);
+      }
+      drain();
+      if (Reachable.size() == Before)
+        break;
+    }
+  }
+
+  std::set<std::string, std::less<>> takeReachable() {
+    return std::move(Reachable);
+  }
+  std::vector<char> takeLive() { return std::move(Live); }
+
+private:
+  bool isLive(int K) const {
+    return K >= 0 && static_cast<size_t>(K) < Live.size() && Live[K];
+  }
+
+  void markFunction(std::string_view Symbol) {
+    if (Reachable.count(Symbol))
+      return;
+    Reachable.insert(std::string(Symbol));
+    if (const Function *F = M.function(Symbol))
+      FnWork.push_back(F);
+  }
+
+  void markClass(int K) {
+    if (K < 0 || static_cast<size_t>(K) >= Live.size() || Live[K])
+      return;
+    Live[K] = 1;
+    ClassWork.push_back(K);
+  }
+
+  void addSite(int ClassId, const std::string &Name) {
+    if (!SiteSeen.insert({ClassId, Name}).second)
+      return;
+    Sites.emplace_back(ClassId, Name);
+    for (int K : M.classes().subtreeOf(ClassId))
+      if (isLive(K))
+        resolveTo(K, Name);
+  }
+
+  void resolveTo(int K, std::string_view Name) {
+    if (const types::MethodInfo *MI = M.classes().resolveMethod(K, Name))
+      markFunction(MI->QualifiedName);
+  }
+
+  void drain() {
+    while (!FnWork.empty() || !ClassWork.empty()) {
+      if (!FnWork.empty()) {
+        const Function *F = FnWork.back();
+        FnWork.pop_back();
+        scan(*F);
+        continue;
+      }
+      int K = ClassWork.back();
+      ClassWork.pop_back();
+      // A newly live class re-resolves every dispatch site it can receive.
+      for (const auto &[ClassId, Name] : Sites)
+        if (M.classes().isSubclassOf(K, ClassId))
+          resolveTo(K, Name);
+    }
+  }
+
+  void scan(const Function &F) {
+    for (const auto &BB : F.blocks()) {
+      for (const auto &Inst : BB->instructions()) {
+        if (const auto *Call = dyn_cast<CallInst>(Inst.get())) {
+          markFunction(Call->callee());
+        } else if (const auto *New = dyn_cast<NewObjectInst>(Inst.get())) {
+          markClass(New->classId());
+        } else if (const auto *VCall = dyn_cast<VirtualCallInst>(Inst.get())) {
+          types::Type Ty = VCall->receiver()->type();
+          if (Ty.isObject() && !Ty.isNull())
+            addSite(Ty.classId(), VCall->methodName());
+        } else if (const auto *D = dyn_cast<DeoptInst>(Inst.get())) {
+          // A deopt must always find its baseline resume target.
+          if (D->hasFrameState())
+            markFunction(D->frameState().BaselineSymbol);
+        }
+      }
+    }
+    if (const OsrAnchor *A = F.osrAnchor())
+      markFunction(A->BaselineSymbol);
+    // Profile assist: receivers the interpreter actually observed are live
+    // even when no reachable allocation explains them (stale or imported
+    // profiles — the "present only in profiles" case).
+    if (Profiles)
+      if (const profile::MethodProfile *MP = Profiles->find(F.name()))
+        for (const auto &[ProfileId, RP] : MP->Receivers)
+          for (const auto &[K, Count] : RP.Counts)
+            if (Count)
+              markClass(K);
+  }
+
+  const Module &M;
+  const profile::ProfileTable *Profiles;
+  std::set<std::string, std::less<>> Reachable;
+  std::vector<char> Live;
+  std::vector<const Function *> FnWork;
+  std::vector<int> ClassWork;
+  std::vector<std::pair<int, std::string>> Sites;
+  std::set<std::pair<int, std::string>> SiteSeen;
+};
+
+} // namespace
+
+ModuleReachability
+ModuleReachability::compute(const Module &M,
+                            const std::vector<std::string> &RootSymbols,
+                            const profile::ProfileTable *Profiles) {
+  ReachabilityBuilder Builder(M, Profiles);
+  Builder.run(RootSymbols);
+
+  ModuleReachability Result;
+  Result.Reachable = Builder.takeReachable();
+  Result.Live = Builder.takeLive();
+  for (const auto &[Name, F] : M.functions())
+    if (!Result.Reachable.count(Name))
+      Result.Shaken.push_back(Name);
+  return Result;
+}

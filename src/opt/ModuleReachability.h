@@ -1,0 +1,90 @@
+//===- opt/ModuleReachability.h - CHA/profile-assisted tree shaking --------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-module tree shaking: computes the set of methods reachable from a
+/// set of root symbols, so the inliner and the second-tier compilers can
+/// skip dead methods entirely — smaller call trees, fewer polymorphic
+/// arms, less for the trial cache to memoize.
+///
+/// Roots are everything the runtime can still enter directly: program
+/// entry points, baseline symbols named by installed frame states (a deopt
+/// must always find its resume target), and OSR anchor baselines.
+///
+/// The propagation is rapid-type-analysis shaped, kept conservative where
+/// CHA cannot prove better:
+///  * direct calls reach their callee;
+///  * `new C` makes C live; receiver classes observed in profiles are live
+///    too (a profile may know flows the static analysis cannot see);
+///  * object-typed parameters of *root* functions make the declared
+///    class's whole subtree live — the caller is outside the analyzed
+///    world, so any subclass instance may arrive;
+///  * a virtual call with static receiver class C reaches, for every live
+///    class K <= C, the method K resolves — and when *no* class of C's
+///    subtree is live, falls back to plain CHA (all dispatch targets stay
+///    reachable): the receiver's provenance is unproven, so nothing may be
+///    shaken on the strength of "never instantiated" alone.
+///
+/// The result is immutable after compute(), so one instance can be shared
+/// by-const-pointer across compile worker threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INCLINE_OPT_MODULEREACHABILITY_H
+#define INCLINE_OPT_MODULEREACHABILITY_H
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace incline::ir {
+class Module;
+}
+
+namespace incline::profile {
+class ProfileTable;
+}
+
+namespace incline::opt {
+
+/// The reachable-method set of one module under a fixed set of roots.
+class ModuleReachability {
+public:
+  /// Computes reachability of \p M from \p RootSymbols. \p Profiles (may be
+  /// null) contributes observed receiver classes to the live-class set.
+  static ModuleReachability compute(const ir::Module &M,
+                                    const std::vector<std::string> &RootSymbols,
+                                    const profile::ProfileTable *Profiles);
+
+  /// True if \p Symbol was reached by the analysis. Callers ask about
+  /// module method symbols; anything else was never analyzed and reads as
+  /// unreachable.
+  bool isReachable(std::string_view Symbol) const {
+    return Reachable.count(Symbol) != 0;
+  }
+
+  /// True if instances of \p ClassId may exist at run time.
+  bool isClassLive(int ClassId) const {
+    return ClassId >= 0 && static_cast<size_t>(ClassId) < Live.size() &&
+           Live[ClassId];
+  }
+
+  size_t numReachable() const { return Reachable.size(); }
+  /// Module functions proven unreachable — what tier-2 may skip.
+  size_t numShaken() const { return Shaken.size(); }
+  /// The shaken methods, deterministically ordered by symbol name.
+  const std::vector<std::string> &shakenMethods() const { return Shaken; }
+
+private:
+  std::set<std::string, std::less<>> Reachable;
+  std::vector<char> Live;
+  std::vector<std::string> Shaken;
+};
+
+} // namespace incline::opt
+
+#endif // INCLINE_OPT_MODULEREACHABILITY_H

@@ -50,6 +50,7 @@ class CancellationToken;
 
 namespace incline::opt {
 
+class ModuleReachability;
 class SpeculationBlacklist;
 
 /// Called after each individual pass with the pass's name and the function
@@ -128,6 +129,19 @@ struct PassContext {
   /// often at run time). Owned by the JIT runtime; background compilations
   /// point this at the snapshot carried in their CompileTask.
   const SpeculationBlacklist *Blacklist = nullptr;
+  /// Branch-edge prunes cold-branch pruning must leave alone (their trap
+  /// fired at run time), keyed (method, cold-target baseline block id).
+  /// Same ownership/snapshot discipline as Blacklist.
+  const SpeculationBlacklist *PruneBlacklist = nullptr;
+  /// Chaos hook forcing cold-branch prune decisions (null = off); must be a
+  /// pure function of its arguments so concurrent compilations of the same
+  /// method decide identically. See opt/ColdBranchPruning.h.
+  std::function<bool(std::string_view Method, unsigned BranchProfileId)>
+      ForceColdBranch;
+  /// Reachable-method set for tree shaking (null = shake nothing). Owned by
+  /// the JIT runtime; immutable after construction, so workers share it
+  /// by-const-pointer. See opt/ModuleReachability.h.
+  const ModuleReachability *Reachable = nullptr;
   /// The compilation's budget/cancel token (DESIGN.md §14). When set, every
   /// pass execution checkpoints before running (throwing DeadlineExceeded /
   /// ResourceExhausted out of the compile) and charges deterministic work

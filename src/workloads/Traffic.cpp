@@ -66,6 +66,10 @@ def main() { print(0); }
     const char *C0 = OpClasses[(T * 31 + 0) % 5];
     const char *C1 = OpClasses[(T * 31 + 17) % 5];
     const char *C2 = OpClasses[(T * 31 + 34) % 5];
+    // Each handler carries a per-request validation branch that can never
+    // fire (`i % 3` is always a valid ops index): realistic server
+    // handlers are full of such cold error paths, and they are exactly
+    // what cold-branch pruning strips from the installed code.
     Src += formatString(
         "def handler%u(): int {\n"
         "  var ops = new Op[3];\n"
@@ -75,13 +79,24 @@ def main() { print(0); }
         "  var acc = %u;\n"
         "  var i = 0;\n"
         "  while (i < %u) {\n"
-        "    acc = ops[i %% 3].apply(acc, i + %u);\n"
+        "    var sel = i %% 3;\n"
+        "    if (sel > 2) {\n"
+        "      print(%u);\n"
+        "      print(i);\n"
+        "      print(acc);\n"
+        "      print(acc %% 3);\n"
+        "      print(acc %% 5);\n"
+        "      print(acc %% 7);\n"
+        "      print(acc %% 11);\n"
+        "      print(acc %% 13);\n"
+        "    }\n"
+        "    acc = ops[sel].apply(acc, i + %u);\n"
         "    i = i + 1;\n"
         "  }\n"
         "  print(acc);\n"
         "  return acc;\n"
         "}\n",
-        T, C0, C1, C2, T % 13, Trip, T % 5);
+        T, C0, C1, C2, T % 13, Trip, 910000 + T, T % 5);
   }
   // Hostile tenants: each handler loops over its own helper chain — one
   // virtual apply per level, every level a distinct function — so the

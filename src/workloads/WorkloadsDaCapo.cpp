@@ -66,6 +66,19 @@ def main() {
   var t = 0;
   while (t < 2500) {
     interrupts = interrupts + step(devices, t);
+    // Corruption check: tick() never returns a negative count, so this
+    // diagnostic dump is dead in every real run — exactly the cold path
+    // uncommon-trap pruning exists to strip.
+    if (interrupts < 0) {
+      print(900001);
+      print(t);
+      print(interrupts);
+      var d2 = 0;
+      while (d2 < devices.length) {
+        print(devices[d2].state);
+        d2 = d2 + 1;
+      }
+    }
     t = t + 1;
   }
   print(interrupts);
@@ -144,6 +157,18 @@ def main() {
   var rep = 0;
   while (rep < 300) {
     total = (total + run(prog, vm)) % 1000003;
+    // The modulo above bounds total below 1000003; this stack dump only
+    // fires on an arithmetic bug and stays cold forever.
+    if (total > 1000003) {
+      print(900002);
+      print(rep);
+      print(total);
+      var sp2 = 0;
+      while (sp2 < vm.sp) {
+        print(vm.stack[sp2]);
+        sp2 = sp2 + 1;
+      }
+    }
     rep = rep + 1;
   }
   print(total);
@@ -212,6 +237,18 @@ def main() {
   var rep = 0;
   while (rep < 40) {
     tokens = tokens + tokenize(text, idx);
+    // tokenize() returns a non-negative count; the bucket dump below is
+    // a cold diagnostic path that never executes.
+    if (tokens < 0) {
+      print(900003);
+      print(rep);
+      print(tokens);
+      var b2 = 0;
+      while (b2 < idx.buckets.length) {
+        print(idx.buckets[b2]);
+        b2 = b2 + 1;
+      }
+    }
     rep = rep + 1;
   }
   print(tokens);
@@ -273,6 +310,16 @@ def main() {
   while (rep < 12) {
     total = (total + tree.accept(cv)) % 100003;
     total = (total + tree.accept(sv)) % 100003;
+    // Both accumulations are reduced mod 100003, so this rule-violation
+    // report is dead code in every real run.
+    if (total > 100003) {
+      print(900004);
+      print(rep);
+      print(total);
+      print(tree.value);
+      print(tree.left.value);
+      print(tree.right.value);
+    }
     rep = rep + 1;
   }
   print(total);
@@ -339,6 +386,19 @@ def main() {
       dir.y = py % 9 - 4;
       dir.z = 3;
       acc = (acc + shade(dir, lights)) % 1000003;
+      // acc is reduced mod 1000003 each pixel; the light dump is a cold
+      // overflow diagnostic that never runs.
+      if (acc > 1000003) {
+        print(900005);
+        print(px);
+        print(py);
+        print(acc);
+        var lz = 0;
+        while (lz < lights.length) {
+          print(lights[lz].x + lights[lz].y + lights[lz].z);
+          lz = lz + 1;
+        }
+      }
       px = px + 1;
     }
     py = py + 1;
@@ -405,6 +465,17 @@ def main() {
   while (rep < 8) {
     var t = doc.transform(rep);
     acc = (acc + t.weigh()) % 100003;
+    // weigh() results are folded mod 100003; this malformed-document
+    // trace never executes.
+    if (acc > 100003) {
+      print(900006);
+      print(rep);
+      print(acc);
+      print(acc % 7);
+      print(acc % 11);
+      print(acc % 13);
+      print(rep * 31 + acc);
+    }
     rep = rep + 1;
   }
   print(acc);

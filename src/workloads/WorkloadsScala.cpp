@@ -57,6 +57,18 @@ def main() {
   while (rep < 25) {
     total = (total + s.foreach(new Doubler())) % 1000003;
     total = (total + s.foreach(new Squarer())) % 1000003;
+    // total stays below the modulus by construction; this element dump
+    // is a cold diagnostic path that never fires.
+    if (total > 1000003) {
+      print(900007);
+      print(rep);
+      print(total);
+      var x2 = 0;
+      while (x2 < s.data.length) {
+        print(s.data[x2]);
+        x2 = x2 + 1;
+      }
+    }
     rep = rep + 1;
   }
   print(total);
@@ -129,6 +141,19 @@ def main() {
     var v = 0;
     while (v < vars) {
       var before = energy(factors, assign);
+      // Factor weights are tiny (|w| <= 3, 46 factors), so |energy| is
+      // bounded far below 100000 — the assignment dump never executes.
+      if (before > 100000) {
+        print(900008);
+        print(sweep);
+        print(v);
+        print(before);
+        var a2 = 0;
+        while (a2 < vars) {
+          print(assign[a2]);
+          a2 = a2 + 1;
+        }
+      }
       assign[v] = 1 - assign[v];
       var after = energy(factors, assign);
       if (after < before) { } else { assign[v] = 1 - assign[v]; }
@@ -196,6 +221,16 @@ def main() {
   var i = 1;
   while (i < 3500) {
     acc = (acc + strat.apply(i * 7 + 1)) % 65521;
+    // acc is reduced mod 65521 every step; the divergence trace below
+    // is dead in every real run.
+    if (acc > 65521) {
+      print(900009);
+      print(i);
+      print(acc);
+      print(acc * 2 + i);
+      print(acc % 3);
+      print(acc % 5);
+    }
     i = i + 1;
   }
   print(acc);
@@ -298,6 +333,18 @@ def main() {
     env[rep % 8] = rep * 3 + 1;
     var folded = tree.fold();
     acc = (acc + folded.eval(env) + folded.size()) % 1000003;
+    // acc is reduced mod 1000003 per pass; the environment dump is a
+    // cold internal-error path that never runs.
+    if (acc > 1000003) {
+      print(900010);
+      print(rep);
+      print(acc);
+      var e2 = 0;
+      while (e2 < env.length) {
+        print(env[e2]);
+        e2 = e2 + 1;
+      }
+    }
     rep = rep + 1;
   }
   print(acc);

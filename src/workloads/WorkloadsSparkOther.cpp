@@ -124,6 +124,19 @@ def main() {
       var best = nearest(gs, points[pi]);
       gs[best].absorb(points[pi]);
       checksum = (checksum + best) % 65521;
+      // checksum is reduced mod 65521 per point; the coordinate dump is
+      // a cold numeric-blowup diagnostic that never runs.
+      if (checksum > 65521) {
+        print(900011);
+        print(em);
+        print(pi);
+        print(checksum);
+        var d3 = 0;
+        while (d3 < dim) {
+          print(points[pi].coords[d3]);
+          d3 = d3 + 1;
+        }
+      }
       pi = pi + 1;
     }
     var gk = 0;
@@ -192,6 +205,19 @@ def main() {
         d = d + 1;
       }
       var label = tree.classify(f);
+      // Leaves carry labels 0..4 by construction; this out-of-range
+      // bounds check is the classic never-taken guard.
+      if (label > 4) {
+        print(900012);
+        print(rep);
+        print(s);
+        print(label);
+        var f2 = 0;
+        while (f2 < 8) {
+          print(f[f2]);
+          f2 = f2 + 1;
+        }
+      }
       hist[label] = hist[label] + 1;
       s = s + 1;
     }
@@ -258,6 +284,16 @@ def main() {
     while (d < 150) {
       var isSpam = scoreDoc(spam, d) > scoreDoc(ham, d);
       if (isSpam == (d % 3 == 0)) { correct = correct + 1; }
+      // correct only ever increments from zero; the model-state dump is
+      // a cold diagnostic path that never fires.
+      if (correct < 0) {
+        print(900013);
+        print(rep);
+        print(d);
+        print(correct);
+        print(spam.total);
+        print(ham.total);
+      }
       d = d + 1;
     }
     rep = rep + 1;
@@ -332,6 +368,18 @@ def main() {
   while (rep < 25) {
     acc = (acc + query(nodes, adj, kp)) % 1000003;
     acc = (acc + query(nodes, adj, dp)) % 1000003;
+    // acc stays below the modulus; the node-kind dump below is a cold
+    // consistency check that never executes.
+    if (acc > 1000003) {
+      print(900014);
+      print(rep);
+      print(acc);
+      var n2 = 0;
+      while (n2 < n) {
+        print(nodes[n2].kind);
+        n2 = n2 + 1;
+      }
+    }
     rep = rep + 1;
   }
   print(acc);
@@ -414,6 +462,18 @@ def main() {
   while (rep < 12) {
     env[rep % 6] = rep % 8 + 1;
     acc = (acc + term.typeOf(env) * 31 + term.depth()) % 1000003;
+    // acc is reduced mod 1000003 each pass; this typing-environment
+    // dump is dead code in every real run.
+    if (acc > 1000003) {
+      print(900015);
+      print(rep);
+      print(acc);
+      var e3 = 0;
+      while (e3 < env.length) {
+        print(env[e3]);
+        e3 = e3 + 1;
+      }
+    }
     rep = rep + 1;
   }
   print(acc);
@@ -514,6 +574,20 @@ def main() {
     var o = 0;
     while (o < 30) {
       acc = (acc + ops[o].apply(list)) % 1000003;
+      // acc stays below the modulus; the list walk below is a cold
+      // transaction-abort dump that never executes.
+      if (acc > 1000003) {
+        print(900016);
+        print(rep);
+        print(o);
+        print(acc);
+        print(list.size);
+        var cur = list.head;
+        while (cur != null) {
+          print(cur.value);
+          cur = cur.next;
+        }
+      }
       o = o + 1;
     }
     rep = rep + 1;

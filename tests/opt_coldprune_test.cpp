@@ -1,0 +1,450 @@
+//===- tests/opt_coldprune_test.cpp - Cold-branch pruning tests ------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal-slice compilation, bottom up:
+///
+///  * the ColdBranchPruning pass itself (never-taken edges become uncommon
+///    traps whose frame states resume the baseline cold block's entry, the
+///    sample/probability gates, the prune blacklist, the chaos hook);
+///  * the "cold-branch" deopt reason surviving IRPrinter and IRCloner —
+///    a specialized copy of a pruned body must still trap like one;
+///  * the runtime contract: a genuinely cold branch prunes with zero
+///    deopts; a stale profile traps once, retires the prune per (method,
+///    cold-target block), and recompiles with the branch intact; forced
+///    prunes of hot edges are output-neutral; the compile-stream
+///    fingerprint is bit-identical while the feature is off.
+///
+/// Suites are named Jit* where the TSan CI job's -R filter should pick
+/// them up (runtime-level tests), Opt* for pure pass-level tests.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/ColdBranchPruning.h"
+
+#include "TestHelpers.h"
+#include "inliner/Compilers.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRCloner.h"
+#include "ir/IRPrinter.h"
+#include "ir/Instruction.h"
+#include "jit/JitRuntime.h"
+#include "profile/ProfileData.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace incline;
+using incline::testing::compile;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// The pass
+//===----------------------------------------------------------------------===//
+
+// `f` has one conditional whose true side is a multi-instruction cold
+// diagnostic block; main never drives x negative.
+constexpr const char *ColdDiagSource = R"(
+def f(x: int): int {
+  if (x < 0) {
+    print(1);
+    print(2);
+    print(3);
+    return 0 - x;
+  }
+  return x + 1;
+}
+def main() {
+  var total = 0;
+  var i = 0;
+  while (i < 30) {
+    total = total + f(i);
+    i = i + 1;
+  }
+  print(total);
+}
+)";
+
+/// The single conditional branch of \p F (asserts there is exactly one).
+const ir::BranchInst *onlyBranch(const ir::Function &F) {
+  const ir::BranchInst *Found = nullptr;
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instructions())
+      if (const auto *Br = dyn_cast<ir::BranchInst>(I.get())) {
+        EXPECT_EQ(Found, nullptr) << "more than one conditional branch";
+        Found = Br;
+      }
+  EXPECT_NE(Found, nullptr);
+  return Found;
+}
+
+/// The first cold-branch DeoptInst of \p F, or null.
+const ir::DeoptInst *findColdTrap(const ir::Function &F) {
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instructions())
+      if (const auto *D = dyn_cast<ir::DeoptInst>(I.get()))
+        if (D->isColdBranch())
+          return D;
+  return nullptr;
+}
+
+TEST(OptColdPruneTest, NeverTakenEdgeBecomesUncommonTrap) {
+  auto M = compile(ColdDiagSource);
+  const ir::Function *Baseline = M->function("f");
+  ASSERT_NE(Baseline, nullptr);
+  const ir::BranchInst *Br = onlyBranch(*Baseline);
+  const unsigned ColdBlockId = Br->trueSuccessor()->id();
+
+  profile::ProfileTable Profiles;
+  Profiles.methodProfile("f").Branches[Br->profileId()] = {0, 100};
+
+  ir::ClonedFunction Clone = ir::cloneFunction(*Baseline, "f");
+  const size_t SizeBefore = Clone.F->instructionCount();
+  opt::ColdBranchPruningStats Stats =
+      opt::pruneColdBranches(*Clone.F, *M, Profiles);
+  EXPECT_EQ(Stats.BranchesPruned, 1u);
+  EXPECT_LT(Clone.F->instructionCount(), SizeBefore);
+  incline::testing::expectVerified(*Clone.F);
+
+  const ir::DeoptInst *Trap = findColdTrap(*Clone.F);
+  ASSERT_NE(Trap, nullptr);
+  EXPECT_EQ(Trap->reason(), ir::DeoptInst::ColdBranchReason);
+  ASSERT_TRUE(Trap->hasFrameState());
+  const ir::FrameState &FS = Trap->frameState();
+  EXPECT_EQ(FS.BaselineSymbol, "f");
+  // The trap resumes the *baseline* cold block at its entry: the pruned
+  // target's first non-phi instruction.
+  EXPECT_EQ(FS.BaselineBlockId, ColdBlockId);
+  const ir::Instruction *FirstNonPhi = nullptr;
+  for (const auto &I : Br->trueSuccessor()->instructions())
+    if (!isa<ir::PhiInst>(I.get())) {
+      FirstNonPhi = I.get();
+      break;
+    }
+  ASSERT_NE(FirstNonPhi, nullptr);
+  EXPECT_EQ(FS.ResumePoint, FirstNonPhi->profileId());
+}
+
+TEST(OptColdPruneTest, SampleGateRefusesUntrustedProfiles) {
+  auto M = compile(ColdDiagSource);
+  const ir::Function *Baseline = M->function("f");
+  const ir::BranchInst *Br = onlyBranch(*Baseline);
+
+  // 8 samples < the default MinSamples of 16: too little history.
+  profile::ProfileTable Profiles;
+  Profiles.methodProfile("f").Branches[Br->profileId()] = {0, 8};
+
+  ir::ClonedFunction Clone = ir::cloneFunction(*Baseline, "f");
+  opt::ColdBranchPruningStats Stats =
+      opt::pruneColdBranches(*Clone.F, *M, Profiles);
+  EXPECT_EQ(Stats.BranchesPruned, 0u);
+  EXPECT_EQ(findColdTrap(*Clone.F), nullptr);
+}
+
+TEST(OptColdPruneTest, ProbabilityThresholdGatesThePrune) {
+  auto M = compile(ColdDiagSource);
+  const ir::Function *Baseline = M->function("f");
+  const ir::BranchInst *Br = onlyBranch(*Baseline);
+
+  opt::ColdBranchPruningOptions Opts;
+  Opts.MaxProbability = 0.05;
+
+  // 10% taken: warmer than the threshold, stays.
+  {
+    profile::ProfileTable Profiles;
+    Profiles.methodProfile("f").Branches[Br->profileId()] = {10, 90};
+    ir::ClonedFunction Clone = ir::cloneFunction(*Baseline, "f");
+    EXPECT_EQ(opt::pruneColdBranches(*Clone.F, *M, Profiles, Opts)
+                  .BranchesPruned,
+              0u);
+  }
+  // 1% taken: cold enough under the 5% threshold.
+  {
+    profile::ProfileTable Profiles;
+    Profiles.methodProfile("f").Branches[Br->profileId()] = {1, 99};
+    ir::ClonedFunction Clone = ir::cloneFunction(*Baseline, "f");
+    EXPECT_EQ(opt::pruneColdBranches(*Clone.F, *M, Profiles, Opts)
+                  .BranchesPruned,
+              1u);
+    incline::testing::expectVerified(*Clone.F);
+  }
+  // The default threshold of 0 prunes never-taken edges only: 1% is warm.
+  {
+    profile::ProfileTable Profiles;
+    Profiles.methodProfile("f").Branches[Br->profileId()] = {1, 99};
+    ir::ClonedFunction Clone = ir::cloneFunction(*Baseline, "f");
+    EXPECT_EQ(opt::pruneColdBranches(*Clone.F, *M, Profiles)
+                  .BranchesPruned,
+              0u);
+  }
+}
+
+TEST(OptColdPruneTest, BlacklistedPruneIsSkipped) {
+  auto M = compile(ColdDiagSource);
+  const ir::Function *Baseline = M->function("f");
+  const ir::BranchInst *Br = onlyBranch(*Baseline);
+
+  profile::ProfileTable Profiles;
+  Profiles.methodProfile("f").Branches[Br->profileId()] = {0, 100};
+
+  // The blacklist is keyed (method, cold-target baseline block id): one
+  // fired trap retires exactly this prune, everywhere it could recur.
+  opt::SpeculationBlacklist Blacklist;
+  Blacklist.add("f", Br->trueSuccessor()->id());
+
+  ir::ClonedFunction Clone = ir::cloneFunction(*Baseline, "f");
+  opt::ColdBranchPruningStats Stats =
+      opt::pruneColdBranches(*Clone.F, *M, Profiles, {}, &Blacklist);
+  EXPECT_EQ(Stats.BranchesPruned, 0u);
+  EXPECT_EQ(Stats.BlacklistSkipped, 1u);
+  EXPECT_EQ(findColdTrap(*Clone.F), nullptr);
+}
+
+TEST(OptColdPruneTest, ChaosHookForcesPruneWithoutProfileData) {
+  auto M = compile(ColdDiagSource);
+  const ir::Function *Baseline = M->function("f");
+
+  // No samples at all, thresholds off (negative max probability rejects
+  // every profile-driven prune) — only the hook can fire.
+  profile::ProfileTable Profiles;
+  opt::ColdBranchPruningOptions Opts;
+  Opts.MaxProbability = -1.0;
+  Opts.ForceColdBranch = [](std::string_view Method, unsigned) {
+    return Method == "f";
+  };
+
+  ir::ClonedFunction Clone = ir::cloneFunction(*Baseline, "f");
+  opt::ColdBranchPruningStats Stats =
+      opt::pruneColdBranches(*Clone.F, *M, Profiles, Opts);
+  EXPECT_EQ(Stats.BranchesPruned, 1u);
+  incline::testing::expectVerified(*Clone.F);
+}
+
+//===----------------------------------------------------------------------===//
+// Printer/cloner round trip
+//===----------------------------------------------------------------------===//
+
+TEST(OptColdPruneTest, ColdBranchReasonRoundTripsPrinterAndCloner) {
+  auto M = compile(ColdDiagSource);
+  const ir::Function *Baseline = M->function("f");
+  const ir::BranchInst *Br = onlyBranch(*Baseline);
+
+  profile::ProfileTable Profiles;
+  Profiles.methodProfile("f").Branches[Br->profileId()] = {0, 100};
+  ir::ClonedFunction Pruned = ir::cloneFunction(*Baseline, "f");
+  ASSERT_EQ(opt::pruneColdBranches(*Pruned.F, *M, Profiles).BranchesPruned,
+            1u);
+
+  // The printed body names the reason — stats, dumps, and fingerprints all
+  // rest on the printer seeing the real instruction.
+  EXPECT_NE(ir::printFunction(*Pruned.F).find(
+                ir::DeoptInst::ColdBranchReason),
+            std::string::npos);
+
+  // A clone of the pruned body (what call-tree specialization does to an
+  // already-pruned root) keeps the trap, its reason, and its frame state.
+  ir::ClonedFunction Copy = ir::cloneFunction(*Pruned.F, "f");
+  const ir::DeoptInst *Orig = findColdTrap(*Pruned.F);
+  const ir::DeoptInst *Cloned = findColdTrap(*Copy.F);
+  ASSERT_NE(Orig, nullptr);
+  ASSERT_NE(Cloned, nullptr);
+  EXPECT_TRUE(Cloned->isColdBranch());
+  ASSERT_TRUE(Cloned->hasFrameState());
+  EXPECT_EQ(Cloned->frameState().BaselineSymbol,
+            Orig->frameState().BaselineSymbol);
+  EXPECT_EQ(Cloned->frameState().BaselineBlockId,
+            Orig->frameState().BaselineBlockId);
+  EXPECT_EQ(Cloned->frameState().ResumePoint,
+            Orig->frameState().ResumePoint);
+  EXPECT_EQ(Cloned->frameState().Slots.size(),
+            Orig->frameState().Slots.size());
+  incline::testing::expectVerified(*Copy.F);
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime contract
+//===----------------------------------------------------------------------===//
+
+inliner::InlinerConfig pruneConfig(double MaxProbability = 0.0) {
+  inliner::InlinerConfig Config;
+  Config.EnableColdBranchPruning = true;
+  Config.ColdPruneMaxProbability = MaxProbability;
+  return Config;
+}
+
+TEST(JitColdPruneTest, GenuinelyColdBranchPrunesWithZeroDeopts) {
+  auto Ref = compile(ColdDiagSource);
+  const std::string Expected = interp::runMain(*Ref).Output;
+
+  auto M = compile(ColdDiagSource);
+  inliner::IncrementalCompiler Compiler(pruneConfig());
+  jit::JitConfig Config;
+  // High enough that `f`'s branch profile clears the MinSamples trust gate
+  // (16) by the time the compile fires; `f` runs 30x per main iteration.
+  Config.CompileThreshold = 20;
+  jit::JitRuntime Runtime(*M, Compiler, Config);
+
+  for (int Run = 0; Run < 6; ++Run) {
+    interp::ExecResult R = Runtime.runMain();
+    ASSERT_TRUE(R.ok()) << R.TrapMessage;
+    EXPECT_EQ(R.Output, Expected) << "run " << Run;
+  }
+  const jit::JitRuntimeStats &S = Runtime.stats();
+  EXPECT_GE(S.BranchesPruned, 1u);
+  // The diagnostic path is dead for real: the trap must never fire.
+  EXPECT_EQ(S.ColdBranchDeopts, 0u);
+  EXPECT_EQ(S.PrunesBlacklisted, 0u);
+  EXPECT_TRUE(Runtime.pruneBlacklist().empty());
+}
+
+// `step` never sees flag=1 while the profiling tier watches, so the branch
+// is pruned at compile time — and then the final 50 iterations take it.
+// The profile lied; correctness must not.
+constexpr const char *StaleProfileSource = R"(
+def step(flag: int, x: int): int {
+  if (flag == 1) {
+    print(700);
+    print(x);
+    return x * 3;
+  }
+  return x + 1;
+}
+def main() {
+  var total = 0;
+  var i = 0;
+  while (i < 200) {
+    total = (total + step(i / 150, i)) % 65521;
+    i = i + 1;
+  }
+  print(total);
+}
+)";
+
+TEST(JitColdPruneTest, StaleProfileTrapRetiresPruneAndRecompiles) {
+  auto Ref = compile(StaleProfileSource);
+  const std::string Expected = interp::runMain(*Ref).Output;
+
+  auto M = compile(StaleProfileSource);
+  inliner::IncrementalCompiler Compiler(pruneConfig());
+  jit::JitConfig Config;
+  Config.CompileThreshold = 50;
+  jit::JitRuntime Runtime(*M, Compiler, Config);
+
+  interp::ExecResult R = Runtime.runMain();
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(R.Output, Expected);
+
+  const jit::JitRuntimeStats &S = Runtime.stats();
+  EXPECT_GE(S.BranchesPruned, 1u);
+  EXPECT_GE(S.ColdBranchDeopts, 1u);
+  // One trap retires the prune for good: (method, cold-target block) goes
+  // into the prune blacklist and the recompile keeps the branch.
+  EXPECT_GE(S.PrunesBlacklisted, 1u);
+  EXPECT_GE(S.RecompilesAfterDeopt, 1u);
+  EXPECT_FALSE(Runtime.pruneBlacklist().empty());
+  // A cold-branch trap is a resource decision, not a broken speculation:
+  // it must not burn a speculation-failure strike.
+  EXPECT_EQ(S.SpeculationsBlacklisted, 0u);
+
+  // Converged: the recompiled body keeps the branch, so another run takes
+  // the formerly pruned path without any new trap.
+  const uint64_t DeoptsBefore = S.ColdBranchDeopts;
+  interp::ExecResult Again = Runtime.runMain();
+  ASSERT_TRUE(Again.ok());
+  EXPECT_EQ(Again.Output, Expected);
+  EXPECT_EQ(Runtime.stats().ColdBranchDeopts, DeoptsBefore);
+}
+
+TEST(JitColdPruneTest, ForcedPruneOfHotEdgeIsOutputNeutral) {
+  // The chaos hook prunes *hot* edges with pruning nominally off. The trap
+  // resumes the baseline exactly where the branch would have gone, so
+  // output must never change — the invariant the prune-chaos fuzzing
+  // stages lean on.
+  auto Ref = compile(StaleProfileSource);
+  const std::string Expected = interp::runMain(*Ref).Output;
+
+  auto M = compile(StaleProfileSource);
+  inliner::IncrementalCompiler Compiler; // Pruning off in the config.
+  jit::JitConfig Config;
+  Config.CompileThreshold = 20;
+  Config.ForceColdBranch = [](std::string_view, unsigned) { return true; };
+  jit::JitRuntime Runtime(*M, Compiler, Config);
+
+  for (int Run = 0; Run < 6; ++Run) {
+    interp::ExecResult R = Runtime.runMain();
+    ASSERT_TRUE(R.ok()) << R.TrapMessage;
+    EXPECT_EQ(R.Output, Expected) << "run " << Run;
+  }
+  const jit::JitRuntimeStats &S = Runtime.stats();
+  EXPECT_GE(S.BranchesPruned, 1u);
+  EXPECT_GE(S.ColdBranchDeopts, 1u);
+  EXPECT_GE(S.PrunesBlacklisted, 1u);
+}
+
+TEST(JitColdPruneTest, FingerprintBitIdenticalWhileOff) {
+  // The seed contract: with pruning and tree shaking off, the compile
+  // stream — order, symbols, and installed IR bytes — is bit-identical to
+  // a run of the pre-feature configuration (here: the default config,
+  // where both features are off by construction).
+  auto Run = [](const inliner::InlinerConfig &InlineConfig) {
+    auto M = compile(ColdDiagSource);
+    inliner::IncrementalCompiler Compiler(InlineConfig);
+    jit::JitConfig Config;
+    Config.CompileThreshold = 2;
+    jit::JitRuntime Runtime(*M, Compiler, Config);
+    for (int I = 0; I < 6; ++I) {
+      interp::ExecResult R = Runtime.runMain();
+      EXPECT_TRUE(R.ok()) << R.TrapMessage;
+    }
+    return jit::streamFingerprint(Runtime.compilations());
+  };
+
+  inliner::InlinerConfig Default;
+  inliner::InlinerConfig ExplicitlyOff;
+  ExplicitlyOff.EnableColdBranchPruning = false;
+  const std::string Baseline = Run(Default);
+  EXPECT_EQ(Run(ExplicitlyOff), Baseline);
+
+  // And pruning enabled over a program whose every branch is warm installs
+  // byte-identical code (the stream fingerprint itself records the extra
+  // no-op pass run, so compare the installed-IR hashes, not the digest).
+  auto WarmRun = [](bool Prune) {
+    constexpr const char *WarmSource = R"(
+def g(x: int): int {
+  if (x % 2 == 0) { return x + 7; }
+  return x - 3;
+}
+def main() {
+  var total = 0;
+  var i = 0;
+  while (i < 40) {
+    total = total + g(i);
+    i = i + 1;
+  }
+  print(total);
+}
+)";
+    auto M = compile(WarmSource);
+    inliner::InlinerConfig InlineConfig;
+    InlineConfig.EnableColdBranchPruning = Prune;
+    inliner::IncrementalCompiler Compiler(InlineConfig);
+    jit::JitConfig Config;
+    Config.CompileThreshold = 2;
+    jit::JitRuntime Runtime(*M, Compiler, Config);
+    for (int I = 0; I < 6; ++I) {
+      interp::ExecResult R = Runtime.runMain();
+      EXPECT_TRUE(R.ok()) << R.TrapMessage;
+    }
+    std::string Installed;
+    for (const jit::CompilationRecord &Rec : Runtime.compilations())
+      Installed += Rec.Symbol + ":" + std::to_string(Rec.IRFingerprint) + "\n";
+    return Installed;
+  };
+  EXPECT_EQ(WarmRun(false), WarmRun(true));
+}
+
+} // namespace

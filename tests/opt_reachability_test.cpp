@@ -1,0 +1,293 @@
+//===- tests/opt_reachability_test.cpp - Tree-shaking tests ----------------===//
+//
+// Part of the Incline project (CGO'19 incremental inlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ModuleReachability (whole-module tree shaking), pass level and runtime
+/// level. The analysis must be aggressive where CHA + liveness prove code
+/// dead, and conservative everywhere the runtime can still enter a method
+/// behind its back: frame-state baseline symbols, OSR anchors, receiver
+/// classes the profile has seen, and virtual receivers whose provenance
+/// the class hierarchy cannot pin down.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/ModuleReachability.h"
+
+#include "TestHelpers.h"
+#include "inliner/Compilers.h"
+#include "ir/IRCloner.h"
+#include "jit/JitRuntime.h"
+#include "opt/ColdBranchPruning.h"
+#include "profile/ProfileData.h"
+
+#include <gtest/gtest.h>
+
+using namespace incline;
+using incline::testing::compile;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Core propagation
+//===----------------------------------------------------------------------===//
+
+TEST(OptReachabilityTest, DeadHelperIsShakenLiveChainIsKept) {
+  auto M = compile(R"(
+def used(x: int): int { return x + 1; }
+def chained(x: int): int { return used(x) * 2; }
+def dead(x: int): int { return x * 100; }
+def deadToo(x: int): int { return dead(x) + 1; }
+def main() { print(chained(20)); }
+)");
+  opt::ModuleReachability R =
+      opt::ModuleReachability::compute(*M, {"main"}, nullptr);
+  EXPECT_TRUE(R.isReachable("main"));
+  EXPECT_TRUE(R.isReachable("chained"));
+  EXPECT_TRUE(R.isReachable("used"));
+  EXPECT_FALSE(R.isReachable("dead"));
+  EXPECT_FALSE(R.isReachable("deadToo"));
+  EXPECT_EQ(R.numShaken(), 2u);
+  // Deterministic, name-ordered — the --stats and JSON surfaces print it.
+  ASSERT_EQ(R.shakenMethods().size(), 2u);
+  EXPECT_EQ(R.shakenMethods()[0], "dead");
+  EXPECT_EQ(R.shakenMethods()[1], "deadToo");
+}
+
+constexpr const char *HierarchySource = R"(
+class A {
+  def m(): int { return 1; }
+}
+class B extends A {
+  def m(): int { return 2; }
+}
+class C extends A {
+  def m(): int { return 3; }
+}
+def call(a: A): int { return a.m(); }
+def main() {
+  var b: A = new B();
+  print(call(b));
+}
+)";
+
+TEST(OptReachabilityTest, VirtualDispatchReachesOnlyLiveOverrides) {
+  auto M = compile(HierarchySource);
+  opt::ModuleReachability R =
+      opt::ModuleReachability::compute(*M, {"main"}, nullptr);
+  // Only B is instantiated. B.m is reachable through the a.m() dispatch;
+  // C.m is dead. A is never instantiated, but B does not override
+  // nothing — here B.m overrides A.m, so A.m itself is only reachable if
+  // some live class resolves m to it. B overrides it, C is dead: shaken.
+  EXPECT_TRUE(R.isReachable("call"));
+  EXPECT_TRUE(R.isReachable("B.m"));
+  EXPECT_FALSE(R.isReachable("C.m"));
+  EXPECT_FALSE(R.isReachable("A.m"));
+  EXPECT_TRUE(R.isClassLive(*M->classes().classIdOf("B")));
+  EXPECT_FALSE(R.isClassLive(*M->classes().classIdOf("C")));
+}
+
+TEST(OptReachabilityTest, RootParameterSubtreeIsLive) {
+  // `call` as a *root*: its caller lives outside the analyzed world, so
+  // any subclass of A may arrive and every override stays reachable.
+  auto M = compile(HierarchySource);
+  opt::ModuleReachability R =
+      opt::ModuleReachability::compute(*M, {"call"}, nullptr);
+  EXPECT_TRUE(R.isReachable("A.m"));
+  EXPECT_TRUE(R.isReachable("B.m"));
+  EXPECT_TRUE(R.isReachable("C.m"));
+  EXPECT_TRUE(R.isClassLive(*M->classes().classIdOf("A")));
+  EXPECT_TRUE(R.isClassLive(*M->classes().classIdOf("C")));
+}
+
+TEST(OptReachabilityTest, ChaFallbackKeepsUnprovenReceiversWhole) {
+  // The receiver flows out of a field of unproven provenance: no class in
+  // C's subtree is live (nothing instantiates C or D anywhere), yet the
+  // dispatch must keep ALL its CHA targets — "never instantiated" alone
+  // is not proof when the receiver object itself cannot be accounted for.
+  auto M = compile(R"(
+class C {
+  def m(): int { return 10; }
+}
+class D extends C {
+  def m(): int { return 20; }
+}
+class Box {
+  var c: C;
+}
+def probe(b: Box): int { return b.c.m(); }
+def main() { print(0); }
+)");
+  opt::ModuleReachability R =
+      opt::ModuleReachability::compute(*M, {"probe"}, nullptr);
+  EXPECT_TRUE(R.isReachable("C.m"));
+  EXPECT_TRUE(R.isReachable("D.m"));
+}
+
+TEST(OptReachabilityTest, ProfileOnlyReceiverClassesStayLive) {
+  auto M = compile(HierarchySource);
+  // Statically only B is instantiated — but the profile of a reachable
+  // method has seen a C receiver (imported or pre-decay history). The
+  // class and its override must survive the shake.
+  profile::ProfileTable Profiles;
+  profile::ReceiverProfile RP;
+  RP.record(*M->classes().classIdOf("C"));
+  Profiles.methodProfile("call").Receivers[0] = RP;
+
+  opt::ModuleReachability R =
+      opt::ModuleReachability::compute(*M, {"main"}, &Profiles);
+  EXPECT_TRUE(R.isReachable("C.m"));
+  EXPECT_TRUE(R.isClassLive(*M->classes().classIdOf("C")));
+
+  // Sanity: without the profile, C.m is shaken (same module, same roots).
+  opt::ModuleReachability Bare =
+      opt::ModuleReachability::compute(*M, {"main"}, nullptr);
+  EXPECT_FALSE(Bare.isReachable("C.m"));
+}
+
+//===----------------------------------------------------------------------===//
+// Deopt-surface roots: frame states and OSR anchors
+//===----------------------------------------------------------------------===//
+
+TEST(OptReachabilityTest, FrameStateBaselineSymbolIsReachable) {
+  // A pruned compilation clone carries an uncommon trap whose frame state
+  // names its baseline. If such a function is live, its baseline must be
+  // too — a deopt must always find its resume target.
+  auto M = compile(R"(
+def f(x: int): int {
+  if (x < 0) {
+    print(999);
+    return 0 - x;
+  }
+  return x + 1;
+}
+def main() { print(0); }
+)");
+  const ir::Function *Baseline = M->function("f");
+  ASSERT_NE(Baseline, nullptr);
+
+  profile::ProfileTable Profiles;
+  ir::ClonedFunction Clone = ir::cloneFunction(*Baseline, "f");
+  opt::ColdBranchPruningOptions Opts;
+  Opts.MaxProbability = -1.0;
+  Opts.ForceColdBranch = [](std::string_view, unsigned) { return true; };
+  ASSERT_EQ(
+      opt::pruneColdBranches(*Clone.F, *M, Profiles, Opts).BranchesPruned,
+      1u);
+
+  // Install the pruned body under its own symbol and root it: the frame
+  // state inside must pull the baseline "f" into the reachable set even
+  // though no call edge leads there.
+  ir::ClonedFunction Slice = ir::cloneFunction(*Clone.F, "f$slice");
+  M->adoptFunction(std::move(Slice.F));
+  opt::ModuleReachability R =
+      opt::ModuleReachability::compute(*M, {"f$slice"}, nullptr);
+  EXPECT_TRUE(R.isReachable("f$slice"));
+  EXPECT_TRUE(R.isReachable("f"));
+}
+
+TEST(OptReachabilityTest, OsrAnchorBaselineIsReachable) {
+  auto M = compile(R"(
+def g(x: int): int { return x * 2; }
+def main() { print(0); }
+)");
+  // Hand-adopt an OSR continuation whose anchor names `g` as its baseline:
+  // the anchor is the only edge, and it must count.
+  ir::ClonedFunction Osr = ir::cloneFunction(*M->function("g"), "g$osr");
+  Osr.F->setOsrAnchor({"g", 0});
+  M->adoptFunction(std::move(Osr.F));
+
+  opt::ModuleReachability R =
+      opt::ModuleReachability::compute(*M, {"g$osr"}, nullptr);
+  EXPECT_TRUE(R.isReachable("g"));
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime integration
+//===----------------------------------------------------------------------===//
+
+constexpr const char *RuntimeSource = R"(
+def hot(x: int): int { return x * 3 + 1; }
+def dead1(x: int): int { return x * 1000; }
+def dead2(x: int): int { return dead1(x) + 7; }
+def main() {
+  var total = 0;
+  var i = 0;
+  while (i < 40) {
+    total = total + hot(i);
+    i = i + 1;
+  }
+  print(total);
+}
+)";
+
+TEST(JitTreeShakeTest, ShakesDeadMethodsWithoutChangingOutput) {
+  auto Ref = compile(RuntimeSource);
+  const std::string Expected = interp::runMain(*Ref).Output;
+
+  auto M = compile(RuntimeSource);
+  inliner::IncrementalCompiler Compiler;
+  jit::JitConfig Config;
+  Config.CompileThreshold = 2;
+  Config.TreeShake = true;
+  jit::JitRuntime Runtime(*M, Compiler, Config);
+  for (int Run = 0; Run < 6; ++Run) {
+    interp::ExecResult R = Runtime.runMain();
+    ASSERT_TRUE(R.ok()) << R.TrapMessage;
+    EXPECT_EQ(R.Output, Expected) << "run " << Run;
+  }
+  EXPECT_GE(Runtime.stats().MethodsShaken, 2u);
+  ASSERT_NE(Runtime.reachability(), nullptr);
+  EXPECT_FALSE(Runtime.reachability()->isReachable("dead1"));
+  EXPECT_TRUE(Runtime.reachability()->isReachable("hot"));
+}
+
+constexpr const char *HandlerSource = R"(
+def handler(x: int): int { return x % 7 + 2; }
+def main() { print(1); }
+)";
+
+TEST(JitTreeShakeTest, UnrootedHandlerStaysInterpretedButCorrect) {
+  // `handler` is invoked directly by the host, but only "main" is rooted:
+  // the analysis proves it dead, compile requests are skipped (not
+  // blacklisted — being shaken is a configuration fact, not a failure),
+  // and execution falls back to the interpreter with correct results.
+  auto M = compile(HandlerSource);
+  inliner::IncrementalCompiler Compiler;
+  jit::JitConfig Config;
+  Config.CompileThreshold = 2;
+  Config.TreeShake = true;
+  jit::JitRuntime Runtime(*M, Compiler, Config);
+
+  for (int I = 0; I < 8; ++I) {
+    interp::ExecResult R =
+        Runtime.run("handler", {interp::RtValue::intVal(30 + I)});
+    ASSERT_TRUE(R.ok()) << R.TrapMessage;
+    EXPECT_EQ(R.Return.asInt(), (30 + I) % 7 + 2);
+  }
+  EXPECT_GE(Runtime.stats().ShakenCompileSkips, 1u);
+  EXPECT_TRUE(Runtime.compilations().empty());
+}
+
+TEST(JitTreeShakeTest, RootedHandlerCompilesNormally) {
+  auto M = compile(HandlerSource);
+  inliner::IncrementalCompiler Compiler;
+  jit::JitConfig Config;
+  Config.CompileThreshold = 2;
+  Config.TreeShake = true;
+  Config.TreeShakeRoots = {"main", "handler"};
+  jit::JitRuntime Runtime(*M, Compiler, Config);
+
+  for (int I = 0; I < 8; ++I) {
+    interp::ExecResult R =
+        Runtime.run("handler", {interp::RtValue::intVal(30 + I)});
+    ASSERT_TRUE(R.ok()) << R.TrapMessage;
+    EXPECT_EQ(R.Return.asInt(), (30 + I) % 7 + 2);
+  }
+  EXPECT_EQ(Runtime.stats().ShakenCompileSkips, 0u);
+  EXPECT_FALSE(Runtime.compilations().empty());
+}
+
+} // namespace

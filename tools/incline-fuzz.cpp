@@ -89,6 +89,13 @@ int usage() {
       "                       compile attempt's deadline is forced to\n"
       "                       expire, stepping the method down the\n"
       "                       degradation ladder (default 0.25)\n"
+      "  --prune-force R      prune-chaos stages: probability that one\n"
+      "                       conditional branch is forcibly pruned behind\n"
+      "                       a cold-branch uncommon trap (default 0.25)\n"
+      "  --cold-prune P       prune-chaos stages: additionally enable\n"
+      "                       profile-driven pruning of edges observed at\n"
+      "                       probability <= P (default off; forced prunes\n"
+      "                       only)\n"
       "\n"
       "failure handling:\n"
       "  --no-reduce          keep failing programs unreduced\n"
@@ -153,6 +160,10 @@ std::optional<CliOptions> parseArgs(int argc, char **argv) {
           std::strtoull(V->c_str(), nullptr, 10);
     } else if (auto V = Value("--deadline-force")) {
       O.Oracle.Chaos.DeadlineForceRate = std::atof(V->c_str());
+    } else if (auto V = Value("--prune-force")) {
+      O.Oracle.Chaos.PruneForceRate = std::atof(V->c_str());
+    } else if (auto V = Value("--cold-prune")) {
+      O.Oracle.Chaos.ColdPruneMaxProbability = std::atof(V->c_str());
     } else if (Arg == "--chaos") {
       O.Oracle.Chaos.Enabled = true;
     } else if (auto V = Value("--inject-bug")) {

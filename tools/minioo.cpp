@@ -63,6 +63,8 @@ struct Options {
   uint64_t CompileDeadline = 0; ///< Work units per compile; 0 = off.
   uint64_t CompileDeadlineMs = 0; ///< Wall ms per compile; 0 = off.
   bool DegradeLadder = true;    ///< --degrade-ladder=off|on.
+  double ColdPrune = -1.0;      ///< --cold-prune=off|P; negative = off.
+  bool TreeShake = false;       ///< --tree-shake=off|on.
   bool InterpFast = true;       ///< --interp=fast|reference.
   std::string Function;
   uint64_t Threshold = 50;
@@ -86,6 +88,7 @@ int usage() {
       "                    [--compile-deadline=off|N]\n"
       "                    [--compile-deadline-ms=N]\n"
       "                    [--degrade-ladder=off|on]\n"
+      "                    [--cold-prune=off|P] [--tree-shake=off|on]\n"
       "                    [--interp=fast|reference]\n"
       "                    [--threshold=N] [--iterations=N] [--stats]\n"
       "  minioo dump <file> [--function=NAME] [--optimize]\n"
@@ -116,6 +119,21 @@ std::optional<uint64_t> parseCount(const std::string &Value) {
     if (Consumed != Value.size())
       return std::nullopt;
     return N;
+  } catch (const std::exception &) {
+    return std::nullopt;
+  }
+}
+
+/// Parses a probability flag value in [0, 1); nullopt on anything else.
+std::optional<double> parseProbability(const std::string &Value) {
+  if (Value.empty() || !std::isdigit(static_cast<unsigned char>(Value[0])))
+    return std::nullopt;
+  try {
+    size_t Consumed = 0;
+    double P = std::stod(Value, &Consumed);
+    if (Consumed != Value.size() || P < 0.0 || P >= 1.0)
+      return std::nullopt;
+    return P;
   } catch (const std::exception &) {
     return std::nullopt;
   }
@@ -206,6 +224,24 @@ std::optional<Options> parseArgs(int argc, char **argv) {
         return std::nullopt;
       }
       Opts.DegradeLadder = *V == "on";
+    } else if (auto V = ValueOf("--cold-prune=")) {
+      if (*V == "off") {
+        Opts.ColdPrune = -1.0;
+      } else {
+        auto P = parseProbability(*V);
+        if (!P) {
+          std::fprintf(stderr, "invalid --cold-prune value '%s'\n",
+                       V->c_str());
+          return std::nullopt;
+        }
+        Opts.ColdPrune = *P;
+      }
+    } else if (auto V = ValueOf("--tree-shake=")) {
+      if (*V != "off" && *V != "on") {
+        std::fprintf(stderr, "invalid --tree-shake value '%s'\n", V->c_str());
+        return std::nullopt;
+      }
+      Opts.TreeShake = *V == "on";
     } else if (auto V = ValueOf("--interp=")) {
       if (*V != "fast" && *V != "reference") {
         std::fprintf(stderr, "invalid --interp value '%s'\n", V->c_str());
@@ -259,13 +295,18 @@ std::optional<std::string> readFile(const std::string &Path) {
 }
 
 std::unique_ptr<jit::Compiler> makeCompiler(const std::string &Name,
-                                            const std::string &TrialCache) {
+                                            const std::string &TrialCache,
+                                            double ColdPrune = -1.0) {
   if (Name == "incremental" || Name == "off") {
     inliner::InlinerConfig Config;
     if (TrialCache == "per-compile")
       Config.TrialCache = inliner::TrialCacheMode::PerCompile;
     else if (TrialCache == "shared")
       Config.TrialCache = inliner::TrialCacheMode::Shared;
+    if (ColdPrune >= 0.0) {
+      Config.EnableColdBranchPruning = true;
+      Config.ColdPruneMaxProbability = ColdPrune;
+    }
     return std::make_unique<inliner::IncrementalCompiler>(Config);
   }
   if (Name == "greedy")
@@ -279,7 +320,7 @@ std::unique_ptr<jit::Compiler> makeCompiler(const std::string &Name,
 
 int cmdRun(const Options &Opts, ir::Module &M) {
   std::unique_ptr<jit::Compiler> Compiler =
-      makeCompiler(Opts.Jit, Opts.TrialCache);
+      makeCompiler(Opts.Jit, Opts.TrialCache, Opts.ColdPrune);
   if (!Compiler) {
     std::fprintf(stderr, "unknown --jit '%s'\n", Opts.Jit.c_str());
     return 2;
@@ -301,6 +342,7 @@ int cmdRun(const Options &Opts, ir::Module &M) {
   Config.CompileDeadlineUnits = Opts.CompileDeadline;
   Config.CompileDeadlineMs = Opts.CompileDeadlineMs;
   Config.DegradeLadder = Opts.DegradeLadder;
+  Config.TreeShake = Opts.TreeShake;
   Config.Interp.Mode = Opts.InterpFast ? interp::InterpMode::Fast
                                        : interp::InterpMode::Reference;
   jit::JitRuntime Runtime(M, *Compiler, Config);
@@ -364,12 +406,15 @@ int cmdRun(const Options &Opts, ir::Module &M) {
     std::fprintf(stderr,
                  "deopt: guards-emitted=%llu guard-failures=%llu "
                  "invalidations=%llu recompiles-after-deopt=%llu "
-                 "speculations-blacklisted=%llu\n",
+                 "speculations-blacklisted=%llu cold-branch-deopts=%llu "
+                 "prunes-blacklisted=%llu\n",
                  static_cast<unsigned long long>(S.GuardsEmitted),
                  static_cast<unsigned long long>(S.GuardFailures),
                  static_cast<unsigned long long>(S.Invalidations),
                  static_cast<unsigned long long>(S.RecompilesAfterDeopt),
-                 static_cast<unsigned long long>(S.SpeculationsBlacklisted));
+                 static_cast<unsigned long long>(S.SpeculationsBlacklisted),
+                 static_cast<unsigned long long>(S.ColdBranchDeopts),
+                 static_cast<unsigned long long>(S.PrunesBlacklisted));
     if (Config.Osr)
       std::fprintf(stderr,
                    "osr: requests=%llu installs=%llu entries=%llu "
@@ -392,6 +437,19 @@ int cmdRun(const Options &Opts, ir::Module &M) {
                  static_cast<unsigned long long>(CC.PeakLiveBytes),
                  static_cast<unsigned long long>(CC.Budget),
                  static_cast<unsigned long long>(CC.DecayTicks));
+    // Minimal-slice accounting: the live baseline module vs what actually
+    // landed in the code cache, plus what pruning and tree shaking removed
+    // from the compilers' view.
+    uint64_t ModuleIr = 0;
+    for (const auto &[Name, F] : M.functions())
+      ModuleIr += F->instructionCount();
+    std::fprintf(stderr,
+                 "codesize: module-ir=%llu installed=%llu "
+                 "pruned-branches=%llu shaken-methods=%llu\n",
+                 static_cast<unsigned long long>(ModuleIr),
+                 static_cast<unsigned long long>(Runtime.installedCodeSize()),
+                 static_cast<unsigned long long>(S.BranchesPruned),
+                 static_cast<unsigned long long>(S.MethodsShaken));
     if (const jit::CompileCache *Cache = Compiler->compileCache()) {
       jit::CompileCacheStats CS = Cache->cacheStats();
       std::fprintf(stderr,
